@@ -1,0 +1,73 @@
+//! Sampler throughput for the §8 Monte-Carlo evaluation: one bench per
+//! technique (the per-figure cost is `runs × points × sample`), plus the
+//! Figure 13 DAG samplers and a full figure-point estimate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridwfs_eval::exception_dag::{self, DagParams, Strategy};
+use gridwfs_eval::params::Params;
+use gridwfs_eval::stats::estimate;
+use gridwfs_eval::techniques::Technique;
+use gridwfs_sim::rng::Rng;
+use std::hint::black_box;
+
+fn bench_technique_samplers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("technique_sample");
+    for mttf in [10.0, 100.0] {
+        let p = Params::paper_baseline(mttf);
+        for t in Technique::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(t.code(), format!("mttf{mttf}")),
+                &p,
+                |b, p| {
+                    let mut rng = Rng::seed_from_u64(42);
+                    b.iter(|| black_box(t.sample(p, &mut rng)));
+                },
+            );
+        }
+    }
+    // Downtime adds a draw per failure: bench the heavy Figure 12 point.
+    let heavy = Params::paper_baseline(10.0).with_downtime(300.0);
+    g.bench_function("RpCk/mttf10_d300", |b| {
+        let mut rng = Rng::seed_from_u64(43);
+        b.iter(|| black_box(Technique::ReplicationCkpt.sample(&heavy, &mut rng)));
+    });
+    g.finish();
+}
+
+fn bench_exception_dag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_dag_sample");
+    let d = DagParams::paper(0.5);
+    for s in Strategy::ALL {
+        g.bench_with_input(BenchmarkId::new("strategy", s.label()), &d, |b, d| {
+            let mut rng = Rng::seed_from_u64(44);
+            b.iter(|| black_box(exception_dag::sample(s, d, &mut rng, 1e7)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_figure_point(c: &mut Criterion) {
+    // One full data point of Figure 10 at the paper's 100k runs would take
+    // seconds under criterion's iteration count; bench the 10k version and
+    // scale mentally.
+    let mut g = c.benchmark_group("figure_point");
+    g.sample_size(10);
+    let p = Params::paper_baseline(20.0);
+    g.bench_function("fig10_point_10k_runs", |b| {
+        let mut rng = Rng::seed_from_u64(45);
+        b.iter(|| {
+            black_box(estimate(10_000, || {
+                Technique::Checkpointing.sample(&p, &mut rng)
+            }))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_technique_samplers,
+    bench_exception_dag,
+    bench_figure_point
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Micro-benchmarks of the simulation substrate: these kernels are the
+//! inner loop of every Monte-Carlo figure, so their throughput bounds how
+//! fast the evaluation regenerates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridwfs_sim::dist::Dist;
+use gridwfs_sim::event::EventQueue;
+use gridwfs_sim::resource::{GridResource, ResourceId, ResourceSpec};
+use gridwfs_sim::rng::Rng;
+use gridwfs_sim::time::SimTime;
+use gridwfs_sim::trace::FailureTrace;
+use std::hint::black_box;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("next_u64", |b| {
+        let mut rng = Rng::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    g.bench_function("next_f64", |b| {
+        let mut rng = Rng::seed_from_u64(2);
+        b.iter(|| black_box(rng.next_f64()));
+    });
+    g.bench_function("split", |b| {
+        let rng = Rng::seed_from_u64(3);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(rng.split(i))
+        });
+    });
+    g.finish();
+}
+
+fn bench_dist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist");
+    let mut rng = Rng::seed_from_u64(4);
+    for (name, d) in [
+        ("exponential", Dist::exponential_mean(20.0)),
+        ("uniform", Dist::uniform(0.0, 10.0)),
+        ("weibull", Dist::weibull(0.7, 20.0)),
+        ("constant", Dist::constant(0.5)),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(d.sample(&mut rng))));
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for &n in &[100usize, 1_000, 10_000] {
+        g.bench_with_input(BenchmarkId::new("schedule_pop_cycle", n), &n, |b, &n| {
+            let mut rng = Rng::seed_from_u64(5);
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.schedule(SimTime::new(rng.next_f64() * 1e3), i);
+                }
+                let mut count = 0;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                black_box(count)
+            });
+        });
+    }
+    g.bench_function("schedule_cancel_half_pop", |b| {
+        let mut rng = Rng::seed_from_u64(6);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let ids: Vec<_> = (0..1000)
+                .map(|i| q.schedule(SimTime::new(rng.next_f64() * 1e3), i))
+                .collect();
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        });
+    });
+    g.finish();
+}
+
+fn bench_failure_process(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failure_process");
+    g.bench_function("trace_record_horizon_1e3", |b| {
+        let grid_rng = Rng::seed_from_u64(7);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut res = GridResource::new(
+                ResourceId(1),
+                ResourceSpec::unreliable("h", 10.0, 3.0),
+                &grid_rng.split(i),
+            );
+            black_box(FailureTrace::record(&mut res, 1e3))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_dist,
+    bench_event_queue,
+    bench_failure_process
+);
+criterion_main!(benches);

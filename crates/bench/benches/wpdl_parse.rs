@@ -1,0 +1,55 @@
+//! WPDL front-end throughput: parse, validate, and serialise workflows of
+//! increasing size.  The engine checkpoint path re-serialises the parse
+//! tree after *every* task termination (paper §7), so serialisation speed
+//! is on the recovery critical path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridwfs_wpdl::builder::WorkflowBuilder;
+use gridwfs_wpdl::{parse, validate, writer};
+use std::hint::black_box;
+
+fn workflow_xml(n: usize) -> String {
+    let mut b = WorkflowBuilder::new("gen").program("p", 10.0, &["h1", "h2", "h3"]);
+    for i in 0..n {
+        let a = b.activity(format!("t{i}"), "p");
+        if i % 3 == 0 {
+            a.retry(3, 1.0);
+        } else if i % 3 == 1 {
+            a.replicate();
+        }
+    }
+    for i in 0..n - 1 {
+        b = b.edge(&format!("t{i}"), &format!("t{}", i + 1));
+        if i + 2 < n {
+            b = b.on_failure(&format!("t{i}"), &format!("t{}", i + 2));
+        }
+    }
+    writer::to_string(&b.build_unchecked())
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wpdl");
+    for &n in &[10usize, 100, 500] {
+        let xml = workflow_xml(n);
+        g.bench_with_input(BenchmarkId::new("parse", n), &xml, |b, xml| {
+            b.iter(|| black_box(parse::from_str(xml).unwrap()));
+        });
+        let wf = parse::from_str(&xml).unwrap();
+        g.bench_with_input(BenchmarkId::new("validate", n), &wf, |b, wf| {
+            b.iter(|| black_box(validate::validate(wf.clone()).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("serialize", n), &wf, |b, wf| {
+            b.iter(|| black_box(writer::to_string(wf)));
+        });
+        g.bench_with_input(BenchmarkId::new("roundtrip", n), &xml, |b, xml| {
+            b.iter(|| {
+                let wf = parse::from_str(xml).unwrap();
+                black_box(writer::to_string(&wf))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Regenerates every table and figure of the paper's evaluation in one run
+//! and prints an EXPERIMENTS.md-ready record.  Also runs the end-to-end
+//! cross-check: the engine executing the *actual Figure 6 WPDL workflow* on
+//! the simulated Grid must agree with the closed-form Figure 13 model.
+
+use grid_wfs::engine::Engine;
+use grid_wfs::sim_executor::{SimGrid, TaskProfile};
+use gridwfs_eval::exception_dag::{alternative_expected, DagParams};
+use gridwfs_eval::experiments;
+use gridwfs_eval::stats::OnlineStats;
+use gridwfs_sim::resource::ResourceSpec;
+use gridwfs_wpdl::builder::figure6;
+use gridwfs_wpdl::validate::validate;
+
+fn engine_cross_check(p: f64, runs: usize) -> (f64, f64) {
+    // Run the real engine on the real WPDL DAG with exception injection.
+    let mut stats = OnlineStats::new();
+    for i in 0..runs {
+        let mut grid = SimGrid::new(0xC0FFEE ^ i as u64);
+        grid.add_host(ResourceSpec::reliable("volunteer.example.org"));
+        grid.add_host(ResourceSpec::reliable("condor.example.org"));
+        grid.set_profile(
+            "fast_impl",
+            TaskProfile::reliable().with_exception("disk_full", 5, p),
+        );
+        let report = Engine::new(validate(figure6(30.0, 150.0)).unwrap(), grid).run();
+        assert!(report.is_success(), "figure6 DAG always completes");
+        stats.push(report.makespan);
+    }
+    (stats.mean(), alternative_expected(&DagParams::paper(p)))
+}
+
+fn main() {
+    let opts = gridwfs_bench::options();
+    println!("# Grid-WFS evaluation — all figures and tables");
+    println!("# runs per data point: {}\n", opts.runs);
+
+    let (a8, s8) = experiments::fig08(opts.runs, 0x08);
+    gridwfs_bench::print_figure(
+        "Figure 8",
+        "Retry: analytical vs simulation",
+        "F=30, D=0",
+        "MTTF",
+        &[a8.clone(), s8.clone()],
+        opts,
+    );
+    println!(
+        "  deviation: {:.4}\n",
+        experiments::max_relative_deviation(&s8, &a8)
+    );
+
+    let (a9, s9) = experiments::fig09(opts.runs, 0x09);
+    gridwfs_bench::print_figure(
+        "Figure 9",
+        "Checkpointing: analytical vs simulation",
+        "F=30, K=20, C=R=0.5, D=0",
+        "MTTF",
+        &[a9.clone(), s9.clone()],
+        opts,
+    );
+    println!(
+        "  deviation: {:.4}\n",
+        experiments::max_relative_deviation(&s9, &a9)
+    );
+
+    let f10 = experiments::fig10(opts.runs, 0x10);
+    gridwfs_bench::print_figure(
+        "Figure 10",
+        "Techniques vs MTTF",
+        "F=30, K=20, D=0, C=R=0.5, N=3",
+        "MTTF",
+        &f10,
+        opts,
+    );
+    let rp = f10.iter().find(|s| s.label == "Replication").unwrap();
+    let ck = f10.iter().find(|s| s.label == "Checkpointing").unwrap();
+    println!(
+        "  replication first beats checkpointing at MTTF = {:?} (paper ~18)\n",
+        rp.crossover_below(ck)
+    );
+
+    for (name, series) in experiments::fig11(opts.runs, 0x11) {
+        gridwfs_bench::print_figure(
+            "Figure 11",
+            &name,
+            "F=30, K=20, C=R=0.5, N=3",
+            "MTTF",
+            &series,
+            opts,
+        );
+    }
+
+    let f12 = experiments::fig12(opts.runs, 0x12);
+    gridwfs_bench::print_figure(
+        "Figure 12",
+        "Downtime = 10F, full view",
+        "F=30, K=20, D=300, C=R=0.5, N=3",
+        "MTTF",
+        &f12,
+        opts,
+    );
+    let rp12 = f12.iter().find(|s| s.label == "Replication").unwrap();
+    let ck12 = f12.iter().find(|s| s.label == "Checkpointing").unwrap();
+    println!(
+        "  replication takes over from checkpointing at MTTF = {:?} (paper ~12)\n",
+        rp12.crossover_below(ck12)
+    );
+
+    let f13 = experiments::fig13(opts.runs, 0x13);
+    gridwfs_bench::print_figure(
+        "Figure 13",
+        "Exception handling vs masking",
+        "FU=30 (5 checks), SR=150, DJ=0",
+        "p",
+        &f13,
+        opts,
+    );
+
+    println!("== Table 1: capability matrix");
+    print!("{}", gridwfs_eval::capability::render_matrix());
+    println!();
+
+    println!("== Cross-check: engine on the real Figure 6 WPDL vs closed form");
+    let engine_runs = (opts.runs / 100).clamp(50, 500);
+    for p in [0.0, 0.3, 0.7, 1.0] {
+        let (engine_mean, model) = engine_cross_check(p, engine_runs);
+        println!(
+            "  p={p}: engine makespan mean = {engine_mean:.2}, model = {model:.2} ({} runs)",
+            engine_runs
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Figure 8: retrying — analytical model vs simulation (F=30, D=0).
+
+fn main() {
+    let opts = gridwfs_bench::options();
+    let (analytic, sim) = gridwfs_eval::experiments::fig08(opts.runs, 0x08);
+    gridwfs_bench::print_figure(
+        "Figure 8",
+        "Expected execution time using retry recovery strategy",
+        "F=30, D=0, lambda=1/MTTF",
+        "MTTF",
+        &[analytic.clone(), sim.clone()],
+        opts,
+    );
+    if !opts.csv {
+        let dev = gridwfs_eval::experiments::max_relative_deviation(&sim, &analytic);
+        println!("max relative deviation simulation vs analytic: {:.4}", dev);
+        println!("(the paper's validation criterion: simulation == analytic)");
+    }
+}

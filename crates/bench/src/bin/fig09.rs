@@ -1,0 +1,19 @@
+//! Figure 9: checkpointing — analytical model vs simulation
+//! (F=30, K=20, C=R=0.5, D=0).
+
+fn main() {
+    let opts = gridwfs_bench::options();
+    let (analytic, sim) = gridwfs_eval::experiments::fig09(opts.runs, 0x09);
+    gridwfs_bench::print_figure(
+        "Figure 9",
+        "Expected execution time using checkpointing recovery strategy",
+        "F=30, K=20 (a=1.5), C=R=0.5, D=0",
+        "MTTF",
+        &[analytic.clone(), sim.clone()],
+        opts,
+    );
+    if !opts.csv {
+        let dev = gridwfs_eval::experiments::max_relative_deviation(&sim, &analytic);
+        println!("max relative deviation simulation vs analytic: {:.4}", dev);
+    }
+}

@@ -1,0 +1,25 @@
+//! Figure 10: the four fault-tolerance techniques as MTTF increases
+//! (F=30, K=20, D=0, C=R=0.5, N=3).
+
+fn main() {
+    let opts = gridwfs_bench::options();
+    let series = gridwfs_eval::experiments::fig10(opts.runs, 0x10);
+    gridwfs_bench::print_figure(
+        "Figure 10",
+        "Comparison between fault tolerance techniques as MTTF increases",
+        "F=30, K=20, D=0, C=R=0.5, N=3",
+        "MTTF",
+        &series,
+        opts,
+    );
+    if !opts.csv {
+        let rp = series.iter().find(|s| s.label == "Replication").unwrap();
+        let ck = series.iter().find(|s| s.label == "Checkpointing").unwrap();
+        match rp.crossover_below(ck) {
+            Some(x) => println!(
+                "replication first beats checkpointing at MTTF = {x} (paper: ~18, 1/lambda*F ~ 0.6)"
+            ),
+            None => println!("no crossover observed on this grid"),
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 11: the four techniques as downtime increases
+//! (four panels: D = 0, F, 5F, 10F).
+
+fn main() {
+    let opts = gridwfs_bench::options();
+    let panels = gridwfs_eval::experiments::fig11(opts.runs, 0x11);
+    for (name, series) in panels {
+        gridwfs_bench::print_figure(
+            "Figure 11",
+            &format!("Comparison as downtime increases — {name}"),
+            "F=30, K=20, C=R=0.5, N=3 (Rt/Ck/Rp/RpCk legend as in the paper)",
+            "MTTF",
+            &series,
+            opts,
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 12: zoom of the Downtime = 10F panel — checkpointing beats
+//! replication when MTTF < ~12; replication w/ checkpointing is strongest.
+
+fn main() {
+    let opts = gridwfs_bench::options();
+    let series = gridwfs_eval::experiments::fig12(opts.runs, 0x12);
+    gridwfs_bench::print_figure(
+        "Figure 12",
+        "Expected completion time, downtime = 10F (300)",
+        "F=30, K=20, D=300, C=R=0.5, N=3",
+        "MTTF",
+        &series,
+        opts,
+    );
+    if !opts.csv {
+        let rp = series.iter().find(|s| s.label == "Replication").unwrap();
+        let ck = series.iter().find(|s| s.label == "Checkpointing").unwrap();
+        match ck.crossover_below(rp) {
+            // ck starts below rp at small MTTF: find where rp takes over instead.
+            Some(_) => {
+                let takeover = rp.crossover_below(ck);
+                println!(
+                    "checkpointing beats replication until MTTF ~ {:?} (paper: ~12)",
+                    takeover
+                );
+            }
+            None => println!("checkpointing never beats replication on this grid"),
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Table 1: fault tolerance mechanisms in traditional distributed,
+//! parallel, and Grid systems — the related-work capability matrix.
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    if full {
+        print!("{}", gridwfs_eval::capability::render_full());
+    } else {
+        print!("{}", gridwfs_eval::capability::render_matrix());
+        println!();
+        println!("(--full prints every Table 1 column and the Grid-WFS policy");
+        println!(" configuration expressing each system's single mechanism)");
+    }
+}

@@ -1,0 +1,40 @@
+//! Tail study (extension): the paper compares *expected* completion times;
+//! the tails tell a sharper story.  Replication buys little mean at
+//! moderate failure rates but collapses the p99 — exactly why one would
+//! pay 3× the CPU.
+
+use gridwfs_eval::params::Params;
+use gridwfs_eval::stats::SampleSet;
+use gridwfs_eval::techniques::Technique;
+use gridwfs_sim::rng::Rng;
+
+fn main() {
+    let opts = gridwfs_bench::options();
+    println!("== completion-time tails (F=30, K=20, C=R=0.5, N=3, D=0)");
+    println!("   runs/cell: {}\n", opts.runs);
+    for mttf in [10.0, 20.0, 50.0] {
+        let p = Params::paper_baseline(mttf);
+        println!("MTTF = {mttf}");
+        println!(
+            "  {:<30} {:>9} {:>9} {:>9} {:>9} {:>10}",
+            "technique", "mean", "p50", "p90", "p99", "max"
+        );
+        for (i, t) in Technique::ALL.into_iter().enumerate() {
+            let mut rng = Rng::seed_from_u64(0x7A11 ^ ((mttf as u64) << 8) ^ i as u64);
+            let mut set = SampleSet::new();
+            for _ in 0..opts.runs {
+                set.push(t.sample(&p, &mut rng));
+            }
+            println!(
+                "  {:<30} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>10.2}",
+                t.label(),
+                set.mean(),
+                set.quantile(0.5),
+                set.quantile(0.9),
+                set.quantile(0.99),
+                set.max(),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,86 @@
+//! Shared plumbing for the figure-regenerator binaries.
+//!
+//! Every binary accepts `--runs N` (default 100 000, the paper's count) and
+//! `--csv` (emit CSV instead of the aligned table), so
+//! `cargo run --release -p gridwfs-bench --bin fig10 -- --runs 100000`
+//! regenerates the corresponding paper figure's data.
+
+use gridwfs_eval::sweep::{render_csv, render_table, Series};
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Monte-Carlo runs per data point.
+    pub runs: usize,
+    /// Emit CSV instead of a table.
+    pub csv: bool,
+}
+
+/// Parses `--runs N` and `--csv` from an argument iterator.
+pub fn parse_options(args: impl Iterator<Item = String>) -> Options {
+    let mut opts = Options {
+        runs: 100_000,
+        csv: false,
+    };
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--runs" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    opts.runs = n;
+                }
+            }
+            "--csv" => opts.csv = true,
+            _ => {}
+        }
+    }
+    opts
+}
+
+/// Parses options from the process arguments.
+pub fn options() -> Options {
+    parse_options(std::env::args().skip(1))
+}
+
+/// Prints one figure: a header block and the series data.
+pub fn print_figure(id: &str, title: &str, params: &str, x_label: &str, series: &[Series], opts: Options) {
+    if opts.csv {
+        print!("{}", render_csv(x_label, series));
+        return;
+    }
+    println!("== {id}: {title}");
+    println!("   parameters: {params}");
+    println!("   runs/point: {}", opts.runs);
+    println!();
+    print!("{}", render_table(x_label, series));
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> std::vec::IntoIter<String> {
+        s.iter().map(|x| x.to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse_options(args(&[]));
+        assert_eq!(o.runs, 100_000);
+        assert!(!o.csv);
+    }
+
+    #[test]
+    fn parses_runs_and_csv() {
+        let o = parse_options(args(&["--runs", "5000", "--csv"]));
+        assert_eq!(o.runs, 5000);
+        assert!(o.csv);
+    }
+
+    #[test]
+    fn ignores_unknown_and_bad_values() {
+        let o = parse_options(args(&["--weird", "--runs", "abc"]));
+        assert_eq!(o.runs, 100_000);
+    }
+}

@@ -1,0 +1,362 @@
+//! The resource broker.
+//!
+//! The engine identifies target resources "either as specified in the
+//! workflow specification or by consulting with the directory services"
+//! (paper §7).  The first path needs no broker; this module is the second —
+//! the one the prototype left unimplemented (footnote 4).  Given a logical
+//! program, the broker intersects the software catalog (where is it
+//! installed?) with the resource catalog (which of those hosts are online
+//! and adequate?) and ranks the survivors by a selection policy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::DataCatalog;
+use crate::resource::ResourceCatalog;
+use crate::software::SoftwareCatalog;
+
+/// Ranking policy for candidate resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum BrokerPolicy {
+    /// Highest estimated availability first — for the "retry on another
+    /// available Grid resource when downtime is long" strategy of §2.1.
+    #[default]
+    Reliability,
+    /// Fastest first — for performance-goal strategies.
+    Speed,
+    /// Highest availability × speed product: expected useful work rate.
+    WorkRate,
+}
+
+/// A ranked placement candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Host to submit to.
+    pub hostname: String,
+    /// Job-manager service.
+    pub service: String,
+    /// Executable directory from the software catalog.
+    pub executable_dir: String,
+    /// Executable name from the software catalog.
+    pub executable: String,
+    /// The score the ranking used (higher is better).
+    pub score: f64,
+}
+
+/// Why brokering produced no candidates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The logical program is not in the software catalog.
+    UnknownProgram(String),
+    /// Installed somewhere, but no host passed the filters.
+    NoEligibleResource {
+        /// The program that could not be placed.
+        program: String,
+        /// Why each installed host was rejected.
+        rejections: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrokerError::UnknownProgram(p) => write!(f, "program '{p}' not in software catalog"),
+            BrokerError::NoEligibleResource { program, rejections } => write!(
+                f,
+                "no eligible resource for '{program}': {}",
+                rejections.join("; ")
+            ),
+        }
+    }
+}
+impl std::error::Error for BrokerError {}
+
+/// Broker over the two catalogs.
+#[derive(Debug, Clone, Default)]
+pub struct Broker {
+    /// Software inventory.
+    pub software: SoftwareCatalog,
+    /// Host inventory.
+    pub resources: ResourceCatalog,
+}
+
+impl Broker {
+    /// Builds a broker from catalogs.
+    pub fn new(software: SoftwareCatalog, resources: ResourceCatalog) -> Self {
+        Broker { software, resources }
+    }
+
+    /// Ranks every eligible placement of `program`, best first.  A host is
+    /// eligible when it is online, appears in the resource catalog, and
+    /// satisfies the implementation's disk requirement.
+    pub fn candidates(
+        &self,
+        program: &str,
+        policy: BrokerPolicy,
+    ) -> Result<Vec<Candidate>, BrokerError> {
+        let entry = self
+            .software
+            .get(program)
+            .ok_or_else(|| BrokerError::UnknownProgram(program.to_string()))?;
+        let mut out = Vec::new();
+        let mut rejections = Vec::new();
+        for imp in &entry.implementations {
+            let Some(res) = self.resources.get(&imp.hostname) else {
+                rejections.push(format!("{}: not in resource catalog", imp.hostname));
+                continue;
+            };
+            if !res.is_schedulable() {
+                rejections.push(format!("{}: not online ({:?})", res.hostname, res.status));
+                continue;
+            }
+            if res.disk < imp.min_disk {
+                rejections.push(format!(
+                    "{}: insufficient disk ({} < {})",
+                    res.hostname, res.disk, imp.min_disk
+                ));
+                continue;
+            }
+            let score = match policy {
+                BrokerPolicy::Reliability => res.availability(),
+                BrokerPolicy::Speed => res.speed,
+                BrokerPolicy::WorkRate => res.availability() * res.speed,
+            };
+            out.push(Candidate {
+                hostname: res.hostname.clone(),
+                service: res.service.clone(),
+                executable_dir: imp.executable_dir.clone(),
+                executable: imp.executable.clone(),
+                score,
+            });
+        }
+        if out.is_empty() {
+            return Err(BrokerError::NoEligibleResource {
+                program: program.to_string(),
+                rejections,
+            });
+        }
+        // Stable sort: ties keep software-catalog order (deterministic).
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        Ok(out)
+    }
+
+    /// Best single placement.
+    pub fn select(&self, program: &str, policy: BrokerPolicy) -> Result<Candidate, BrokerError> {
+        Ok(self
+            .candidates(program, policy)?
+            .into_iter()
+            .next()
+            .expect("candidates() never returns an empty Ok"))
+    }
+
+    /// Ranks candidates with **data locality**: hosts already holding a
+    /// complete replica of every listed logical input get their score
+    /// multiplied by `locality_boost` (the data-catalog integration the
+    /// Figure 7 architecture implies: staging a large input can dwarf the
+    /// computation).  A boost of 1.0 degenerates to [`Broker::candidates`].
+    pub fn candidates_with_locality(
+        &self,
+        program: &str,
+        policy: BrokerPolicy,
+        data: &DataCatalog,
+        inputs: &[String],
+        locality_boost: f64,
+    ) -> Result<Vec<Candidate>, BrokerError> {
+        assert!(locality_boost >= 1.0, "a boost below 1 would punish locality");
+        let mut out = self.candidates(program, policy)?;
+        for c in &mut out {
+            let has_all = inputs.iter().all(|l| data.host_has(l, &c.hostname));
+            if has_all && !inputs.is_empty() {
+                c.score *= locality_boost;
+            }
+        }
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        Ok(out)
+    }
+
+    /// Up to `n` *distinct hosts* for task-level replication (§4.2 wants
+    /// replicas on different machines).
+    pub fn select_replicas(
+        &self,
+        program: &str,
+        policy: BrokerPolicy,
+        n: usize,
+    ) -> Result<Vec<Candidate>, BrokerError> {
+        let mut seen = std::collections::HashSet::new();
+        Ok(self
+            .candidates(program, policy)?
+            .into_iter()
+            .filter(|c| seen.insert(c.hostname.clone()))
+            .take(n)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::{ResourceEntry, ResourceStatus};
+    use crate::software::Implementation;
+
+    fn broker() -> Broker {
+        let mut sw = SoftwareCatalog::new();
+        sw.add_implementation("sum", Implementation::new("fast.example", "/b/", "sum"));
+        sw.add_implementation("sum", Implementation::new("steady.example", "/b/", "sum"));
+        sw.add_implementation("sum", Implementation::new("flaky.example", "/b/", "sum"));
+        sw.add_implementation("sum", Implementation::new("retired.example", "/b/", "sum"));
+        sw.add_implementation("sum", Implementation::new("unknown.example", "/b/", "sum"));
+        sw.add_implementation(
+            "bigjob",
+            Implementation::new("steady.example", "/b/", "bigjob").requires(500.0, 0.0),
+        );
+        let mut rc = ResourceCatalog::new();
+        rc.upsert(ResourceEntry::new("fast.example").speed(4.0).reliability(50.0, 50.0)); // avail 0.5
+        rc.upsert(ResourceEntry::new("steady.example").speed(1.0).reliability(900.0, 100.0)); // avail 0.9
+        rc.upsert(ResourceEntry::new("flaky.example").speed(2.0).reliability(10.0, 90.0)); // avail 0.1
+        rc.upsert(ResourceEntry::new("retired.example").status(ResourceStatus::Retired));
+        // steady has only 100 disk.
+        let steady = rc.get("steady.example").unwrap().clone().disk(100.0);
+        rc.upsert(steady);
+        Broker::new(sw, rc)
+    }
+
+    #[test]
+    fn reliability_policy_ranks_by_availability() {
+        let b = broker();
+        let c = b.candidates("sum", BrokerPolicy::Reliability).unwrap();
+        let hosts: Vec<&str> = c.iter().map(|c| c.hostname.as_str()).collect();
+        assert_eq!(hosts, vec!["steady.example", "fast.example", "flaky.example"]);
+    }
+
+    #[test]
+    fn speed_policy_ranks_by_speed() {
+        let b = broker();
+        let c = b.select("sum", BrokerPolicy::Speed).unwrap();
+        assert_eq!(c.hostname, "fast.example");
+        assert_eq!(c.score, 4.0);
+    }
+
+    #[test]
+    fn work_rate_balances_both() {
+        // fast: 0.5*4 = 2.0; steady: 0.9*1 = 0.9; flaky: 0.1*2 = 0.2.
+        let b = broker();
+        let c = b.candidates("sum", BrokerPolicy::WorkRate).unwrap();
+        assert_eq!(c[0].hostname, "fast.example");
+        assert_eq!(c[1].hostname, "steady.example");
+    }
+
+    #[test]
+    fn retired_and_uncatalogued_hosts_excluded() {
+        let b = broker();
+        let c = b.candidates("sum", BrokerPolicy::Reliability).unwrap();
+        assert!(c.iter().all(|c| c.hostname != "retired.example"));
+        assert!(c.iter().all(|c| c.hostname != "unknown.example"));
+    }
+
+    #[test]
+    fn disk_requirement_filters() {
+        let b = broker();
+        let err = b.candidates("bigjob", BrokerPolicy::Reliability).unwrap_err();
+        match err {
+            BrokerError::NoEligibleResource { rejections, .. } => {
+                assert!(rejections.iter().any(|r| r.contains("insufficient disk")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_program_is_distinct_error() {
+        let b = broker();
+        assert_eq!(
+            b.candidates("nope", BrokerPolicy::Speed).unwrap_err(),
+            BrokerError::UnknownProgram("nope".into())
+        );
+    }
+
+    #[test]
+    fn replicas_are_distinct_hosts() {
+        let mut b = broker();
+        // Second implementation of sum on fast.example must not produce a
+        // duplicate replica host.
+        b.software
+            .add_implementation("sum", Implementation::new("fast.example", "/alt/", "sum2"));
+        let reps = b.select_replicas("sum", BrokerPolicy::Speed, 3).unwrap();
+        let hosts: Vec<&str> = reps.iter().map(|c| c.hostname.as_str()).collect();
+        assert_eq!(hosts.len(), 3);
+        let unique: std::collections::HashSet<&&str> = hosts.iter().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn replicas_truncate_to_available() {
+        let b = broker();
+        let reps = b.select_replicas("sum", BrokerPolicy::Reliability, 10).unwrap();
+        assert_eq!(reps.len(), 3, "only three eligible hosts exist");
+    }
+
+    #[test]
+    fn candidate_carries_install_info() {
+        let b = broker();
+        let c = b.select("sum", BrokerPolicy::Reliability).unwrap();
+        assert_eq!(c.executable, "sum");
+        assert_eq!(c.executable_dir, "/b/");
+        assert_eq!(c.service, "jobmanager");
+    }
+
+    #[test]
+    fn data_locality_boost_reorders() {
+        use crate::data::{DataCatalog, Replica};
+        let b = broker();
+        let mut data = DataCatalog::new();
+        // Only the least-reliable eligible host holds the input.
+        data.register("vector.dat", Replica::new("flaky.example", "/d/v", 10.0));
+        let inputs = vec!["vector.dat".to_string()];
+        let plain = b.candidates("sum", BrokerPolicy::Reliability).unwrap();
+        assert_eq!(plain[0].hostname, "steady.example");
+        let local = b
+            .candidates_with_locality("sum", BrokerPolicy::Reliability, &data, &inputs, 100.0)
+            .unwrap();
+        assert_eq!(local[0].hostname, "flaky.example", "locality dominates");
+        // A modest boost does not overcome a large reliability gap.
+        let modest = b
+            .candidates_with_locality("sum", BrokerPolicy::Reliability, &data, &inputs, 1.5)
+            .unwrap();
+        assert_eq!(modest[0].hostname, "steady.example");
+    }
+
+    #[test]
+    fn locality_requires_all_inputs_complete() {
+        use crate::data::{DataCatalog, Replica};
+        let b = broker();
+        let mut data = DataCatalog::new();
+        data.register("a.dat", Replica::new("flaky.example", "/a", 1.0));
+        data.register("b.dat", Replica::new("flaky.example", "/b", 1.0).partial());
+        let inputs = vec!["a.dat".to_string(), "b.dat".to_string()];
+        let ranked = b
+            .candidates_with_locality("sum", BrokerPolicy::Reliability, &data, &inputs, 100.0)
+            .unwrap();
+        assert_eq!(
+            ranked[0].hostname, "steady.example",
+            "partial replica does not count as locality"
+        );
+    }
+
+    #[test]
+    fn empty_inputs_never_boost() {
+        use crate::data::DataCatalog;
+        let b = broker();
+        let data = DataCatalog::new();
+        let ranked = b
+            .candidates_with_locality("sum", BrokerPolicy::Reliability, &data, &[], 100.0)
+            .unwrap();
+        let plain = b.candidates("sum", BrokerPolicy::Reliability).unwrap();
+        assert_eq!(ranked, plain);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BrokerError::UnknownProgram("x".into())
+            .to_string()
+            .contains("'x'"));
+    }
+}

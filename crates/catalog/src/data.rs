@@ -1,0 +1,157 @@
+//! The data catalog: logical files and their physical replicas.
+//!
+//! Workflow activities name logical inputs/outputs (`<Input>vector.dat`);
+//! the data catalog maps those names to physical replicas so the broker can
+//! prefer hosts that already hold a task's inputs (and so the alternative
+//! cleanup task of §5.1 — undoing a partial transfer — knows what exists
+//! where).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One physical copy of a logical file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Replica {
+    /// Host storing the copy.
+    pub hostname: String,
+    /// Path on that host.
+    pub path: String,
+    /// Size in abstract units.
+    pub size: f64,
+    /// Whether the copy is complete (a failed transfer leaves a partial
+    /// replica behind — the Figure 4 cleanup scenario).
+    pub complete: bool,
+}
+
+impl Replica {
+    /// A complete replica.
+    pub fn new(hostname: impl Into<String>, path: impl Into<String>, size: f64) -> Self {
+        Replica {
+            hostname: hostname.into(),
+            path: path.into(),
+            size,
+            complete: true,
+        }
+    }
+
+    /// Marks the replica as partial (interrupted transfer).
+    pub fn partial(mut self) -> Self {
+        self.complete = false;
+        self
+    }
+}
+
+/// The data catalog.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DataCatalog {
+    entries: BTreeMap<String, Vec<Replica>>,
+}
+
+impl DataCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a replica of a logical file.
+    pub fn register(&mut self, logical: &str, replica: Replica) {
+        self.entries.entry(logical.to_string()).or_default().push(replica);
+    }
+
+    /// All replicas of a logical file.
+    pub fn replicas(&self, logical: &str) -> &[Replica] {
+        self.entries.get(logical).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Complete replicas only.
+    pub fn complete_replicas<'a>(&'a self, logical: &str) -> impl Iterator<Item = &'a Replica> {
+        self.replicas(logical).iter().filter(|r| r.complete)
+    }
+
+    /// True if `hostname` holds a complete copy of `logical`.
+    pub fn host_has(&self, logical: &str, hostname: &str) -> bool {
+        self.complete_replicas(logical).any(|r| r.hostname == hostname)
+    }
+
+    /// Removes every partial replica of `logical`, returning what was
+    /// removed — the semantic-undo cleanup of §5.1.
+    pub fn purge_partial(&mut self, logical: &str) -> Vec<Replica> {
+        match self.entries.get_mut(logical) {
+            None => Vec::new(),
+            Some(reps) => {
+                let (partial, complete): (Vec<Replica>, Vec<Replica>) =
+                    reps.drain(..).partition(|r| !r.complete);
+                *reps = complete;
+                partial
+            }
+        }
+    }
+
+    /// Number of logical files known.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("catalog serialisation is infallible")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataCatalog {
+        let mut c = DataCatalog::new();
+        c.register("vector.dat", Replica::new("bolas.isi.edu", "/data/vector.dat", 100.0));
+        c.register("vector.dat", Replica::new("vanuatu.isi.edu", "/tmp/vector.dat", 100.0).partial());
+        c.register("model.bin", Replica::new("jupiter.isi.edu", "/m/model.bin", 5000.0));
+        c
+    }
+
+    #[test]
+    fn register_and_query() {
+        let c = sample();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.replicas("vector.dat").len(), 2);
+        assert_eq!(c.complete_replicas("vector.dat").count(), 1);
+        assert!(c.replicas("ghost").is_empty());
+    }
+
+    #[test]
+    fn host_has_requires_complete_copy() {
+        let c = sample();
+        assert!(c.host_has("vector.dat", "bolas.isi.edu"));
+        assert!(!c.host_has("vector.dat", "vanuatu.isi.edu"), "partial copy");
+        assert!(!c.host_has("vector.dat", "nowhere"));
+    }
+
+    #[test]
+    fn purge_partial_removes_only_partial() {
+        let mut c = sample();
+        let removed = c.purge_partial("vector.dat");
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].hostname, "vanuatu.isi.edu");
+        assert_eq!(c.replicas("vector.dat").len(), 1);
+        assert!(c.purge_partial("vector.dat").is_empty(), "idempotent");
+        assert!(c.purge_partial("ghost").is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = sample();
+        assert_eq!(DataCatalog::from_json(&c.to_json()).unwrap(), c);
+    }
+}

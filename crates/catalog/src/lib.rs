@@ -1,0 +1,24 @@
+//! # gridwfs-catalog — workflow runtime services
+//!
+//! The Grid-WFS architecture (paper Figure 7) places three directory
+//! services beside the workflow engine: a **software catalog**, a **data
+//! catalog**, and a **resource catalog**, consulted by the engine for
+//! resource brokering during workflow execution.  The paper's prototype
+//! only supported resources named explicitly in the workflow specification
+//! (footnote 4: catalog-driven selection was "not implemented yet") — this
+//! crate implements both paths, so the broker is clearly marked as an
+//! extension beyond the prototype.
+//!
+//! Catalogs serialise to JSON, the one place this workspace uses a
+//! non-XML format: catalog files are operator-maintained inventories, not
+//! workflow definitions, and JSON keeps them diffable and testable.
+
+pub mod broker;
+pub mod data;
+pub mod resource;
+pub mod software;
+
+pub use broker::{Broker, BrokerPolicy, Candidate};
+pub use data::{DataCatalog, Replica};
+pub use resource::{ResourceCatalog, ResourceEntry, ResourceStatus};
+pub use software::{Implementation, SoftwareCatalog, SoftwareEntry};

@@ -1,0 +1,240 @@
+//! The resource catalog: what machines exist and what shape they are in.
+//!
+//! Entries describe Grid hosts along the two axes the paper's heterogeneity
+//! argument turns on — speed and reliability — plus the bookkeeping a broker
+//! needs (status, disk, service name).  The reliability figures are
+//! *estimates* (MTTF observed or advertised), which is exactly how the
+//! paper imagines strategy selection: "an estimated reliability of the
+//! underlying execution environment" (§2.1).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Administrative status of a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ResourceStatus {
+    /// Accepting jobs.
+    #[default]
+    Online,
+    /// Administratively withdrawn (the "old resources retire" case of §2.2).
+    Retired,
+    /// Temporarily out (maintenance, owner reclaimed it).
+    Offline,
+}
+
+/// One host in the catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceEntry {
+    /// Hostname (catalog key).
+    pub hostname: String,
+    /// Job-manager service.
+    pub service: String,
+    /// Relative speed (1.0 = baseline).
+    pub speed: f64,
+    /// Estimated mean time to failure; `f64::INFINITY` for "never observed
+    /// to fail" (serialised as absent).
+    #[serde(default = "inf", skip_serializing_if = "is_inf")]
+    pub mttf_estimate: f64,
+    /// Estimated mean downtime after a failure.
+    pub downtime_estimate: f64,
+    /// Free scratch disk in abstract units.
+    pub disk: f64,
+    /// Administrative status.
+    pub status: ResourceStatus,
+}
+
+fn inf() -> f64 {
+    f64::INFINITY
+}
+fn is_inf(v: &f64) -> bool {
+    v.is_infinite()
+}
+
+impl ResourceEntry {
+    /// A baseline online host.
+    pub fn new(hostname: impl Into<String>) -> Self {
+        ResourceEntry {
+            hostname: hostname.into(),
+            service: "jobmanager".into(),
+            speed: 1.0,
+            mttf_estimate: f64::INFINITY,
+            downtime_estimate: 0.0,
+            disk: 1000.0,
+            status: ResourceStatus::Online,
+        }
+    }
+
+    /// Builder-style speed.
+    pub fn speed(mut self, speed: f64) -> Self {
+        self.speed = speed;
+        self
+    }
+
+    /// Builder-style reliability estimates.
+    pub fn reliability(mut self, mttf: f64, downtime: f64) -> Self {
+        self.mttf_estimate = mttf;
+        self.downtime_estimate = downtime;
+        self
+    }
+
+    /// Builder-style disk capacity.
+    pub fn disk(mut self, disk: f64) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// Builder-style status.
+    pub fn status(mut self, status: ResourceStatus) -> Self {
+        self.status = status;
+        self
+    }
+
+    /// Long-run fraction of time this host is up: MTTF / (MTTF + MTTR).
+    pub fn availability(&self) -> f64 {
+        if self.mttf_estimate.is_infinite() {
+            1.0
+        } else {
+            self.mttf_estimate / (self.mttf_estimate + self.downtime_estimate)
+        }
+    }
+
+    /// True if the broker may schedule onto this host.
+    pub fn is_schedulable(&self) -> bool {
+        self.status == ResourceStatus::Online
+    }
+}
+
+/// The resource catalog (ordered by hostname for deterministic iteration).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceCatalog {
+    entries: BTreeMap<String, ResourceEntry>,
+}
+
+impl ResourceCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces an entry (hosts re-register as the Grid changes).
+    pub fn upsert(&mut self, entry: ResourceEntry) {
+        self.entries.insert(entry.hostname.clone(), entry);
+    }
+
+    /// Removes a host, returning its entry.
+    pub fn remove(&mut self, hostname: &str) -> Option<ResourceEntry> {
+        self.entries.remove(hostname)
+    }
+
+    /// Looks up a host.
+    pub fn get(&self, hostname: &str) -> Option<&ResourceEntry> {
+        self.entries.get(hostname)
+    }
+
+    /// All entries in hostname order.
+    pub fn iter(&self) -> impl Iterator<Item = &ResourceEntry> {
+        self.entries.values()
+    }
+
+    /// Online entries in hostname order.
+    pub fn schedulable(&self) -> impl Iterator<Item = &ResourceEntry> {
+        self.iter().filter(|e| e.is_schedulable())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("catalog serialisation is infallible")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResourceCatalog {
+        let mut c = ResourceCatalog::new();
+        c.upsert(ResourceEntry::new("condor.example").speed(1.0).reliability(500.0, 5.0));
+        c.upsert(ResourceEntry::new("desktop.example").speed(2.0).reliability(20.0, 30.0));
+        c.upsert(
+            ResourceEntry::new("old.example")
+                .status(ResourceStatus::Retired)
+                .speed(0.5),
+        );
+        c
+    }
+
+    #[test]
+    fn upsert_get_remove() {
+        let mut c = sample();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get("condor.example").unwrap().speed, 1.0);
+        c.upsert(ResourceEntry::new("condor.example").speed(3.0));
+        assert_eq!(c.get("condor.example").unwrap().speed, 3.0, "upsert replaces");
+        assert!(c.remove("condor.example").is_some());
+        assert!(c.get("condor.example").is_none());
+        assert!(c.remove("condor.example").is_none());
+    }
+
+    #[test]
+    fn schedulable_excludes_retired() {
+        let c = sample();
+        let hosts: Vec<&str> = c.schedulable().map(|e| e.hostname.as_str()).collect();
+        assert_eq!(hosts, vec!["condor.example", "desktop.example"]);
+    }
+
+    #[test]
+    fn availability_formula() {
+        let e = ResourceEntry::new("h").reliability(90.0, 10.0);
+        assert!((e.availability() - 0.9).abs() < 1e-12);
+        let never = ResourceEntry::new("h2");
+        assert_eq!(never.availability(), 1.0);
+    }
+
+    #[test]
+    fn iteration_is_hostname_ordered() {
+        let c = sample();
+        let hosts: Vec<&str> = c.iter().map(|e| e.hostname.as_str()).collect();
+        let mut sorted = hosts.clone();
+        sorted.sort_unstable();
+        assert_eq!(hosts, sorted);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = sample();
+        let json = c.to_json();
+        let back = ResourceCatalog::from_json(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn infinite_mttf_serialises_as_absent() {
+        let mut c = ResourceCatalog::new();
+        c.upsert(ResourceEntry::new("h"));
+        let json = c.to_json();
+        assert!(!json.contains("mttf_estimate"), "{json}");
+        let back = ResourceCatalog::from_json(&json).unwrap();
+        assert!(back.get("h").unwrap().mttf_estimate.is_infinite());
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(ResourceCatalog::from_json("{").is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! The software catalog: which programs exist and where they are installed.
+//!
+//! §2.2's motivation — "software resources with a new novel algorithm are
+//! added" — is served by registering new [`Implementation`]s under an
+//! existing logical entry; workflows referencing the logical name pick them
+//! up without modification.  Implementations carry resource requirements
+//! (the out-of-memory example of §2.3 is two implementations of one
+//! computation with different memory/disk demands).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One installed implementation of a logical program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Implementation {
+    /// Host the binary is installed on.
+    pub hostname: String,
+    /// Path to the executable directory.
+    pub executable_dir: String,
+    /// Executable name.
+    pub executable: String,
+    /// Minimum free disk required (abstract units; 0 = no requirement).
+    pub min_disk: f64,
+    /// Minimum memory required (abstract units; 0 = no requirement).
+    pub min_memory: f64,
+}
+
+impl Implementation {
+    /// An implementation with no resource requirements.
+    pub fn new(
+        hostname: impl Into<String>,
+        executable_dir: impl Into<String>,
+        executable: impl Into<String>,
+    ) -> Self {
+        Implementation {
+            hostname: hostname.into(),
+            executable_dir: executable_dir.into(),
+            executable: executable.into(),
+            min_disk: 0.0,
+            min_memory: 0.0,
+        }
+    }
+
+    /// Builder-style requirements.
+    pub fn requires(mut self, min_disk: f64, min_memory: f64) -> Self {
+        self.min_disk = min_disk;
+        self.min_memory = min_memory;
+        self
+    }
+}
+
+/// A logical program with its installed implementations.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SoftwareEntry {
+    /// Logical program name (referenced by WPDL `<Implement>`).
+    pub name: String,
+    /// Version string (informational).
+    pub version: String,
+    /// Installed implementations.
+    pub implementations: Vec<Implementation>,
+}
+
+/// The software catalog.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SoftwareCatalog {
+    entries: BTreeMap<String, SoftwareEntry>,
+}
+
+impl SoftwareCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a logical program (replacing any previous entry).
+    pub fn upsert(&mut self, entry: SoftwareEntry) {
+        self.entries.insert(entry.name.clone(), entry);
+    }
+
+    /// Adds an implementation under a logical name, creating the entry if
+    /// needed — the "new algorithm added to the Grid" path.
+    pub fn add_implementation(&mut self, name: &str, imp: Implementation) {
+        self.entries
+            .entry(name.to_string())
+            .or_insert_with(|| SoftwareEntry {
+                name: name.to_string(),
+                version: String::new(),
+                implementations: Vec::new(),
+            })
+            .implementations
+            .push(imp);
+    }
+
+    /// Looks up a logical program.
+    pub fn get(&self, name: &str) -> Option<&SoftwareEntry> {
+        self.entries.get(name)
+    }
+
+    /// Implementations of `name` installed on `hostname`.
+    pub fn on_host<'a>(&'a self, name: &str, hostname: &'a str) -> impl Iterator<Item = &'a Implementation> {
+        self.entries
+            .get(name)
+            .map(|e| e.implementations.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .filter(move |i| i.hostname == hostname)
+    }
+
+    /// Hosts (sorted, deduplicated) where `name` is installed.
+    pub fn hosts_with(&self, name: &str) -> Vec<&str> {
+        let mut hosts: Vec<&str> = self
+            .entries
+            .get(name)
+            .map(|e| e.implementations.iter().map(|i| i.hostname.as_str()).collect())
+            .unwrap_or_default();
+        hosts.sort_unstable();
+        hosts.dedup();
+        hosts
+    }
+
+    /// Number of logical entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("catalog serialisation is infallible")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SoftwareCatalog {
+        let mut c = SoftwareCatalog::new();
+        c.add_implementation("sum", Implementation::new("bolas.isi.edu", "/XML/EXAMPLE/", "sum"));
+        c.add_implementation("sum", Implementation::new("vanuatu.isi.edu", "/opt/", "sum"));
+        c.add_implementation(
+            "solver",
+            Implementation::new("big.example", "/bin/", "solver-fast").requires(0.0, 64.0),
+        );
+        c.add_implementation(
+            "solver",
+            Implementation::new("small.example", "/bin/", "solver-disk").requires(10.0, 4.0),
+        );
+        c
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let c = sample();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("sum").unwrap().implementations.len(), 2);
+        assert!(c.get("ghost").is_none());
+    }
+
+    #[test]
+    fn hosts_with_sorted_dedup() {
+        let mut c = sample();
+        c.add_implementation("sum", Implementation::new("bolas.isi.edu", "/alt/", "sum2"));
+        assert_eq!(c.hosts_with("sum"), vec!["bolas.isi.edu", "vanuatu.isi.edu"]);
+        assert!(c.hosts_with("ghost").is_empty());
+    }
+
+    #[test]
+    fn on_host_filters() {
+        let c = sample();
+        assert_eq!(c.on_host("sum", "bolas.isi.edu").count(), 1);
+        assert_eq!(c.on_host("sum", "nowhere").count(), 0);
+        assert_eq!(c.on_host("ghost", "bolas.isi.edu").count(), 0);
+    }
+
+    #[test]
+    fn section_2_3_two_algorithms_scenario() {
+        // Fast-but-memory-hungry vs slow-but-disk-based implementations.
+        let c = sample();
+        let solver = c.get("solver").unwrap();
+        let fast = &solver.implementations[0];
+        let frugal = &solver.implementations[1];
+        assert!(fast.min_memory > frugal.min_memory);
+        assert!(frugal.min_disk > fast.min_disk);
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut c = sample();
+        c.upsert(SoftwareEntry {
+            name: "sum".into(),
+            version: "2.0".into(),
+            implementations: vec![],
+        });
+        assert_eq!(c.get("sum").unwrap().version, "2.0");
+        assert!(c.get("sum").unwrap().implementations.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let c = sample();
+        assert_eq!(SoftwareCatalog::from_json(&c.to_json()).unwrap(), c);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the catalogs and broker.
+
+use gridwfs_catalog::broker::{Broker, BrokerPolicy};
+use gridwfs_catalog::data::{DataCatalog, Replica};
+use gridwfs_catalog::resource::{ResourceCatalog, ResourceEntry, ResourceStatus};
+use gridwfs_catalog::software::{Implementation, SoftwareCatalog};
+use proptest::prelude::*;
+
+fn arb_resource_entry() -> impl Strategy<Value = ResourceEntry> {
+    (
+        "[a-z]{1,10}\\.example",
+        0.1f64..10.0,
+        proptest::option::of(0.1f64..1e4),
+        0.0f64..100.0,
+        0.0f64..1e4,
+        prop_oneof![
+            Just(ResourceStatus::Online),
+            Just(ResourceStatus::Offline),
+            Just(ResourceStatus::Retired)
+        ],
+    )
+        .prop_map(|(host, speed, mttf, down, disk, status)| {
+            let mut e = ResourceEntry::new(host).speed(speed).disk(disk).status(status);
+            if let Some(m) = mttf {
+                e = e.reliability(m, down);
+            }
+            e
+        })
+}
+
+proptest! {
+    /// Resource catalogs round-trip through JSON.
+    #[test]
+    fn resource_catalog_json_roundtrip(entries in proptest::collection::vec(arb_resource_entry(), 0..10)) {
+        let mut c = ResourceCatalog::new();
+        for e in entries {
+            c.upsert(e);
+        }
+        let back = ResourceCatalog::from_json(&c.to_json()).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    /// Availability is always in (0, 1].
+    #[test]
+    fn availability_bounded(e in arb_resource_entry()) {
+        let a = e.availability();
+        prop_assert!(a > 0.0 && a <= 1.0, "availability {a}");
+    }
+
+    /// Broker candidate lists are sorted by score descending, contain only
+    /// schedulable catalogued hosts, and `select` returns the head.
+    #[test]
+    fn broker_ranking_invariants(
+        entries in proptest::collection::vec(arb_resource_entry(), 1..10),
+        policy in prop_oneof![
+            Just(BrokerPolicy::Reliability),
+            Just(BrokerPolicy::Speed),
+            Just(BrokerPolicy::WorkRate)
+        ],
+    ) {
+        let mut sw = SoftwareCatalog::new();
+        let mut rc = ResourceCatalog::new();
+        for e in &entries {
+            sw.add_implementation("prog", Implementation::new(&e.hostname, "/bin/", "prog"));
+            rc.upsert(e.clone());
+        }
+        let broker = Broker::new(sw, rc);
+        match broker.candidates("prog", policy) {
+            Ok(cands) => {
+                prop_assert!(!cands.is_empty());
+                for w in cands.windows(2) {
+                    prop_assert!(w[0].score >= w[1].score, "sorted descending");
+                }
+                for c in &cands {
+                    let e = broker.resources.get(&c.hostname).expect("catalogued");
+                    prop_assert!(e.is_schedulable());
+                }
+                let best = broker.select("prog", policy).unwrap();
+                prop_assert_eq!(best.hostname, cands[0].hostname.clone());
+            }
+            Err(_) => {
+                // Legal only when no host is schedulable.
+                prop_assert!(
+                    broker.resources.schedulable().next().is_none()
+                        || entries.iter().all(|e| !e.is_schedulable()
+                            || broker.resources.get(&e.hostname).map(|r| !r.is_schedulable()).unwrap_or(true))
+                );
+            }
+        }
+    }
+
+    /// select_replicas never repeats a host and never exceeds the ask.
+    #[test]
+    fn replica_selection_distinct(
+        entries in proptest::collection::vec(arb_resource_entry(), 1..10),
+        n in 1usize..6,
+    ) {
+        let mut sw = SoftwareCatalog::new();
+        let mut rc = ResourceCatalog::new();
+        for e in &entries {
+            sw.add_implementation("prog", Implementation::new(&e.hostname, "/b/", "prog"));
+            rc.upsert(e.clone());
+        }
+        let broker = Broker::new(sw, rc);
+        if let Ok(reps) = broker.select_replicas("prog", BrokerPolicy::Speed, n) {
+            prop_assert!(reps.len() <= n);
+            let hosts: std::collections::HashSet<&str> =
+                reps.iter().map(|c| c.hostname.as_str()).collect();
+            prop_assert_eq!(hosts.len(), reps.len(), "distinct hosts");
+        }
+    }
+
+    /// Data catalog: purge_partial removes exactly the partial replicas.
+    #[test]
+    fn purge_partial_exact(
+        complete in 0usize..5,
+        partial in 0usize..5,
+    ) {
+        let mut d = DataCatalog::new();
+        for i in 0..complete {
+            d.register("f", Replica::new(format!("c{i}"), "/x", 1.0));
+        }
+        for i in 0..partial {
+            d.register("f", Replica::new(format!("p{i}"), "/x", 1.0).partial());
+        }
+        let removed = d.purge_partial("f");
+        prop_assert_eq!(removed.len(), partial);
+        prop_assert_eq!(d.replicas("f").len(), complete);
+        prop_assert!(d.replicas("f").iter().all(|r| r.complete));
+    }
+}

@@ -1,0 +1,319 @@
+//! Engine checkpointing: fault tolerance *of the engine itself*.
+//!
+//! From the paper (§7): "every time a task termination state is recognized,
+//! the engine saves the current XML parse tree onto a persistent storage in
+//! a XML file form.  So, when being restarted, the engine creates a parse
+//! tree from the saved XML file rather than from the original XML file and
+//! begins navigation from where it left off."
+//!
+//! The saved document embeds the workflow definition (so the checkpoint is
+//! self-contained even if the original file changed) plus the runtime
+//! annotations: per-node status and completion counts, and workflow
+//! variables.  Attempts that were *in flight* at save time are recorded as
+//! `pending` — on restart they are simply resubmitted, which is safe because
+//! task-level recovery is idempotent from the workflow's point of view.
+
+use std::path::Path;
+
+use gridwfs_wpdl::expr::Value;
+use gridwfs_wpdl::validate::validate;
+use gridwfs_wpdl::xml::{self, Element};
+use gridwfs_wpdl::{parse as wpdl_parse, writer};
+
+use crate::instance::{Instance, NodeStatus};
+
+/// Errors from saving/loading engine checkpoints.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not a valid checkpoint document.
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
+        }
+    }
+}
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn status_str(s: &NodeStatus) -> String {
+    match s {
+        NodeStatus::Exception(e) => format!("exception:{e}"),
+        // In-flight attempts are lost across a restart; record as pending
+        // so the restarted engine resubmits them.
+        NodeStatus::Running => "pending".to_string(),
+        other => other.as_expr_str().to_string(),
+    }
+}
+
+fn parse_status(s: &str) -> Result<NodeStatus, CheckpointError> {
+    Ok(match s {
+        "pending" => NodeStatus::Pending,
+        "done" => NodeStatus::Done,
+        "failed" => NodeStatus::Failed,
+        "skipped" => NodeStatus::Skipped,
+        _ => match s.strip_prefix("exception:") {
+            Some(name) if !name.is_empty() => NodeStatus::Exception(name.to_string()),
+            _ => {
+                return Err(CheckpointError::Format(format!(
+                    "unknown node status '{s}'"
+                )))
+            }
+        },
+    })
+}
+
+/// Serialises an instance to the checkpoint document.
+pub fn to_xml(instance: &Instance) -> String {
+    let mut runtime = Element::new("Runtime");
+    for (name, status) in instance.statuses() {
+        runtime = runtime.child(
+            Element::new("Node")
+                .attr("name", name)
+                .attr("status", status_str(status))
+                .attr("runs", instance.runs(name).to_string()),
+        );
+    }
+    for (name, value) in instance.vars_iter() {
+        let (ty, raw) = match value {
+            Value::Num(n) => ("num", n.to_string()),
+            Value::Str(s) => ("str", s.clone()),
+            Value::Bool(b) => ("bool", b.to_string()),
+        };
+        runtime = runtime.child(
+            Element::new("Var")
+                .attr("name", name)
+                .attr("type", ty)
+                .attr("value", raw),
+        );
+    }
+    let doc = Element::new("EngineCheckpoint")
+        .child(writer::to_element(instance.workflow()))
+        .child(runtime);
+    xml::write(&doc)
+}
+
+/// Writes the checkpoint atomically (temp file + rename).
+pub fn save(instance: &Instance, path: &Path) -> Result<(), CheckpointError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, to_xml(instance))?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reconstructs an instance from checkpoint text.
+pub fn from_xml(text: &str) -> Result<Instance, CheckpointError> {
+    let root = xml::parse(text).map_err(|e| CheckpointError::Format(e.to_string()))?;
+    if root.name != "EngineCheckpoint" {
+        return Err(CheckpointError::Format(format!(
+            "expected <EngineCheckpoint>, found <{}>",
+            root.name
+        )));
+    }
+    let wf_el = root
+        .first_child("Workflow")
+        .ok_or_else(|| CheckpointError::Format("missing <Workflow>".into()))?;
+    let workflow = wpdl_parse::from_element(wf_el)
+        .map_err(|e| CheckpointError::Format(e.to_string()))?;
+    let validated = validate(workflow).map_err(|issues| {
+        CheckpointError::Format(format!(
+            "embedded workflow invalid: {}",
+            issues
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ))
+    })?;
+    let mut instance = Instance::new(validated);
+    let runtime = root
+        .first_child("Runtime")
+        .ok_or_else(|| CheckpointError::Format("missing <Runtime>".into()))?;
+    // Restore variables first: edge guards may read them.
+    for var in runtime.children_named("Var") {
+        let name = var
+            .get_attr("name")
+            .ok_or_else(|| CheckpointError::Format("<Var> missing name".into()))?;
+        let raw = var
+            .get_attr("value")
+            .ok_or_else(|| CheckpointError::Format("<Var> missing value".into()))?;
+        let value = match var.get_attr("type") {
+            Some("num") => Value::Num(raw.parse().map_err(|_| {
+                CheckpointError::Format(format!("bad num value '{raw}' for ${name}"))
+            })?),
+            Some("bool") => Value::Bool(raw == "true"),
+            _ => Value::Str(raw.to_string()),
+        };
+        instance.set_var(name, value);
+    }
+    for node in runtime.children_named("Node") {
+        let name = node
+            .get_attr("name")
+            .ok_or_else(|| CheckpointError::Format("<Node> missing name".into()))?;
+        if instance.workflow().activity(name).is_none() {
+            return Err(CheckpointError::Format(format!(
+                "runtime mentions unknown activity '{name}'"
+            )));
+        }
+        let status = parse_status(
+            node.get_attr("status")
+                .ok_or_else(|| CheckpointError::Format("<Node> missing status".into()))?,
+        )?;
+        let runs: u32 = node
+            .get_attr("runs")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| CheckpointError::Format(format!("bad runs count on '{name}'")))?;
+        instance.force_runs(name, runs);
+        if status != NodeStatus::Pending {
+            instance.force_status(name, status);
+        }
+    }
+    instance.recompute_edges();
+    Ok(instance)
+}
+
+/// Reads and reconstructs an instance from a checkpoint file.
+pub fn load(path: &Path) -> Result<Instance, CheckpointError> {
+    let text = std::fs::read_to_string(path)?;
+    from_xml(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwfs_wpdl::builder::figure4;
+    use gridwfs_wpdl::validate::validate;
+
+    fn fresh() -> Instance {
+        Instance::new(validate(figure4(30.0, 150.0)).unwrap())
+    }
+
+    #[test]
+    fn roundtrip_fresh_instance() {
+        let inst = fresh();
+        let text = to_xml(&inst);
+        let back = from_xml(&text).unwrap();
+        assert_eq!(back.workflow(), inst.workflow());
+        for (name, status) in inst.statuses() {
+            assert_eq!(back.status(name), status);
+        }
+        assert_eq!(back.ready_nodes(), inst.ready_nodes());
+    }
+
+    #[test]
+    fn mid_run_state_resumes_where_it_left_off() {
+        let mut inst = fresh();
+        inst.mark_running("fast_task");
+        inst.settle("fast_task", NodeStatus::Failed);
+        // slow_task is now the ready alternative.
+        assert_eq!(inst.ready_nodes(), vec!["slow_task"]);
+        let back = from_xml(&to_xml(&inst)).unwrap();
+        assert_eq!(back.status("fast_task"), &NodeStatus::Failed);
+        assert_eq!(
+            back.ready_nodes(),
+            vec!["slow_task"],
+            "edges recomputed: alternative still ready"
+        );
+    }
+
+    #[test]
+    fn running_nodes_revert_to_pending() {
+        let mut inst = fresh();
+        inst.mark_running("fast_task");
+        let back = from_xml(&to_xml(&inst)).unwrap();
+        assert_eq!(back.status("fast_task"), &NodeStatus::Pending);
+        assert_eq!(back.ready_nodes(), vec!["fast_task"], "will be resubmitted");
+    }
+
+    #[test]
+    fn completed_workflow_stays_completed() {
+        let mut inst = fresh();
+        inst.mark_running("fast_task");
+        inst.settle("fast_task", NodeStatus::Done);
+        inst.mark_running("join_task");
+        inst.settle("join_task", NodeStatus::Done);
+        assert!(inst.is_finished());
+        let back = from_xml(&to_xml(&inst)).unwrap();
+        assert!(back.is_finished());
+        assert_eq!(back.outcome(), inst.outcome());
+        assert_eq!(back.status("slow_task"), &NodeStatus::Skipped);
+    }
+
+    #[test]
+    fn runs_and_vars_roundtrip() {
+        let mut inst = fresh();
+        inst.set_var("x", Value::Num(2.5));
+        inst.set_var("s", Value::Str("hello".into()));
+        inst.set_var("b", Value::Bool(true));
+        inst.mark_running("fast_task");
+        inst.settle("fast_task", NodeStatus::Done);
+        let back = from_xml(&to_xml(&inst)).unwrap();
+        assert_eq!(back.runs("fast_task"), 1);
+        assert_eq!(back.var("x"), Some(&Value::Num(2.5)));
+        assert_eq!(back.var("s"), Some(&Value::Str("hello".into())));
+        assert_eq!(back.var("b"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn exception_status_roundtrips_with_name() {
+        let mut inst = fresh();
+        inst.mark_running("fast_task");
+        inst.settle("fast_task", NodeStatus::Exception("disk_full".into()));
+        let back = from_xml(&to_xml(&inst)).unwrap();
+        assert_eq!(
+            back.status("fast_task"),
+            &NodeStatus::Exception("disk_full".into())
+        );
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("gridwfs-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.ckpt.xml");
+        let mut inst = fresh();
+        inst.mark_running("fast_task");
+        inst.settle("fast_task", NodeStatus::Failed);
+        save(&inst, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.status("fast_task"), &NodeStatus::Failed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_checkpoints_rejected() {
+        assert!(from_xml("<nope/>").is_err());
+        assert!(from_xml("<EngineCheckpoint/>").is_err());
+        assert!(from_xml("<EngineCheckpoint><Workflow/></EngineCheckpoint>").is_err());
+        let err = from_xml(
+            "<EngineCheckpoint><Workflow><Activity name='a'/></Workflow>\
+             <Runtime><Node name='ghost' status='done'/></Runtime></EngineCheckpoint>",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown activity 'ghost'"), "{err}");
+        let err = from_xml(
+            "<EngineCheckpoint><Workflow><Activity name='a'/></Workflow>\
+             <Runtime><Node name='a' status='levitating'/></Runtime></EngineCheckpoint>",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown node status"), "{err}");
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load(Path::new("/nonexistent/nowhere.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

@@ -1,0 +1,883 @@
+//! The workflow engine: navigation + two-level failure recovery.
+//!
+//! The engine is the paper's §7 component: it walks the validated parse
+//! tree, submits ready tasks through an [`Executor`], classifies their fate
+//! with the generic failure [`Detector`], and applies the recovery policy
+//! the workflow structure encodes:
+//!
+//! * **task level** (masking, §4) — retrying with `max_tries`/`interval`
+//!   (cycling through the program's resource options), replication across
+//!   all options with first-success-wins and cancellation of the losers,
+//!   and checkpoint-flag round-tripping so retries resume rather than
+//!   restart;
+//! * **workflow level** (non-masking, §5) — what the [`Instance`] edge
+//!   semantics do once a failure the task level could not mask settles the
+//!   node: alternative-task edges, OR-join redundancy, user-defined
+//!   exception handlers.
+//!
+//! The engine itself is fault tolerant: after every task termination it can
+//! persist the annotated parse tree to an XML file ([`crate::checkpoint`])
+//! and a restarted engine resumes navigation from where it left off.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::path::PathBuf;
+
+use gridwfs_detect::detector::{CrashReason, Detection, Detector};
+use gridwfs_detect::transport::ReorderBuffer;
+use gridwfs_detect::exception::{ExceptionDef, ExceptionRegistry, Severity};
+use gridwfs_detect::notify::TaskId;
+use gridwfs_wpdl::ast::Policy;
+use gridwfs_wpdl::validate::Validated;
+
+use crate::executor::{Executor, SubmitRequest};
+use crate::instance::{CompleteResult, Instance, NodeStatus, Outcome};
+use crate::timeline::{Span, SpanOutcome};
+
+/// What a log entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogKind {
+    /// An attempt was submitted.
+    Submit,
+    /// A detection arrived from the failure detection service.
+    Detect,
+    /// An activity settled (or looped).
+    Settle,
+    /// A task-level recovery action was scheduled.
+    Recovery,
+    /// Live attempts were cancelled (replica lost the race, node settled).
+    Cancel,
+    /// A checkpoint flag was recorded.
+    Checkpoint,
+    /// The engine declared a stall (nothing can ever make progress).
+    Stall,
+    /// A do-while loop re-queued its activity.
+    Loop,
+}
+
+/// One entry in the engine's event log.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// Executor time of the event.
+    pub at: f64,
+    /// Category.
+    pub kind: LogKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Result of a completed engine run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Success/failure with diagnostics.
+    pub outcome: Outcome,
+    /// Executor time when navigation finished.
+    pub finished_at: f64,
+    /// Wall (executor) time from start to finish.
+    pub makespan: f64,
+    /// Final status of every activity, in topological order.
+    pub node_status: Vec<(String, String)>,
+    /// Full event log.
+    pub log: Vec<LogEntry>,
+    /// One span per task attempt (for timeline rendering and accounting).
+    pub spans: Vec<Span>,
+    /// Guard-evaluation problems (empty in healthy runs).
+    pub eval_errors: Vec<String>,
+}
+
+impl Report {
+    /// Convenience: did the workflow succeed?
+    pub fn is_success(&self) -> bool {
+        self.outcome == Outcome::Success
+    }
+
+    /// Final status string of one activity.
+    pub fn status_of(&self, name: &str) -> Option<&str> {
+        self.node_status
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.as_str())
+    }
+
+    /// Number of `Submit` log entries for an activity (attempt count).
+    pub fn submissions_of(&self, name: &str) -> usize {
+        self.log
+            .iter()
+            .filter(|e| e.kind == LogKind::Submit && e.message.starts_with(&format!("{name} ")))
+            .count()
+    }
+
+    /// Attempts the engine cancelled (losing replicas etc.).
+    pub fn cancellations(&self) -> usize {
+        self.spans
+            .iter()
+            .filter(|s| s.outcome == SpanOutcome::Cancelled)
+            .count()
+    }
+
+    /// Renders the execution as an ASCII timeline (see [`crate::timeline`]).
+    pub fn timeline(&self, width: usize) -> String {
+        crate::timeline::render(self, width)
+    }
+
+    /// Busy time per host, derived from the attempt spans (sorted by
+    /// hostname).  Redundancy strategies buy latency with exactly this
+    /// extra CPU consumption — the §5.2 trade-off, quantified.
+    pub fn host_utilization(&self) -> Vec<(String, f64)> {
+        let mut busy: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
+        for s in &self.spans {
+            *busy.entry(s.host.as_str()).or_default() += s.end - s.start;
+        }
+        busy.into_iter().map(|(h, t)| (h.to_string(), t)).collect()
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Write an engine checkpoint here after every task termination
+    /// (paper §7's engine fault tolerance).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Safety cap on do-while iterations per activity.
+    pub max_loop_iterations: u32,
+    /// Hold notifications this long and deliver them in send order —
+    /// protects the `Done`-without-`Task End` crash rule from transport
+    /// reordering (see [`gridwfs_detect::transport`]).  `None` = deliver
+    /// immediately (the prototype's behaviour).
+    pub reorder_settle: Option<f64>,
+    /// Extension: when an OR-join becomes ready, cancel still-running
+    /// sibling branches whose only remaining consumer is that join — the
+    /// Figure 5 redundancy then stops paying for the slow branch the
+    /// moment the fast one wins.  The paper's prototype (and the default)
+    /// lets redundant branches run to completion.
+    pub cancel_redundant: bool,
+    /// Abort navigation after this many activity settlements (testing
+    /// hook: simulates the engine host dying mid-run, so the §7 restart
+    /// path can be exercised at arbitrary cut points).  In-flight attempts
+    /// are abandoned exactly as a crashed engine would abandon them.
+    pub max_settlements: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            checkpoint_path: None,
+            max_loop_iterations: 10_000,
+            reorder_settle: None,
+            cancel_redundant: false,
+            max_settlements: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    tries_used: u32,
+    live: Option<TaskId>,
+    exhausted: bool,
+    ckpt_flag: Option<String>,
+}
+
+#[derive(Debug)]
+struct NodeRt {
+    slots: Vec<Slot>,
+    loop_iterations: u32,
+}
+
+/// Timer heap key: earliest time first, FIFO within a time.
+#[derive(Debug, PartialEq)]
+struct TimerKey(f64, u64);
+
+impl Eq for TimerKey {}
+impl PartialOrd for TimerKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for the max-heap: smallest time pops first.
+        other
+            .0
+            .total_cmp(&self.0)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+#[derive(Debug)]
+struct Timer {
+    key: TimerKey,
+    activity: String,
+    slot: usize,
+}
+
+impl PartialEq for Timer {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Timer {}
+impl PartialOrd for Timer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// The Grid-WFS workflow engine.
+pub struct Engine<X: Executor> {
+    executor: X,
+    detector: Detector,
+    instance: Instance,
+    nodes: HashMap<String, NodeRt>,
+    attempts: HashMap<TaskId, (String, usize)>,
+    timers: BinaryHeap<Timer>,
+    timer_seq: u64,
+    next_task: u64,
+    log: Vec<LogEntry>,
+    spans: Vec<Span>,
+    attempt_starts: HashMap<TaskId, (f64, String)>,
+    settlements: u64,
+    config: EngineConfig,
+}
+
+impl<X: Executor> Engine<X> {
+    /// Builds an engine for a validated workflow.
+    pub fn new(validated: Validated, executor: X) -> Self {
+        Self::from_instance(Instance::new(validated), executor)
+    }
+
+    /// Builds an engine around an existing instance — the restart path:
+    /// [`crate::checkpoint::load`] reconstructs the instance from the saved
+    /// parse tree and navigation resumes from where it left off.
+    pub fn from_instance(instance: Instance, executor: X) -> Self {
+        let mut registry = ExceptionRegistry::new();
+        for e in &instance.workflow().exceptions {
+            let def = if e.fatal {
+                ExceptionDef::fatal(e.name.clone(), e.description.clone())
+            } else {
+                ExceptionDef::recoverable(e.name.clone(), e.description.clone())
+            };
+            registry.register(def).expect("validated: unique names");
+        }
+        Engine {
+            executor,
+            detector: Detector::with_registry(registry),
+            instance,
+            nodes: HashMap::new(),
+            attempts: HashMap::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            next_task: 1,
+            log: Vec::new(),
+            spans: Vec::new(),
+            attempt_starts: HashMap::new(),
+            settlements: 0,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Sets the configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Enables engine checkpointing to `path`.
+    pub fn with_checkpointing(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.checkpoint_path = Some(path.into());
+        self
+    }
+
+    fn log(&mut self, kind: LogKind, message: String) {
+        self.log.push(LogEntry {
+            at: self.executor.now(),
+            kind,
+            message,
+        });
+    }
+
+    fn fresh_task(&mut self) -> TaskId {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        id
+    }
+
+    // ------------------------------------------------------- submission ---
+
+    /// Launches every ready activity; dummies complete instantly, which can
+    /// ready further activities, so this loops to a fixpoint.
+    fn launch_ready(&mut self) {
+        loop {
+            let ready = self.instance.ready_nodes();
+            if ready.is_empty() {
+                return;
+            }
+            let mut launched_real = false;
+            for name in ready {
+                let act = self
+                    .instance
+                    .workflow()
+                    .activity(&name)
+                    .expect("ready node exists")
+                    .clone();
+                if act.is_dummy() {
+                    self.instance.mark_running(&name);
+                    self.settle_node(&name, NodeStatus::Done);
+                } else {
+                    self.start_activity(&name);
+                    launched_real = true;
+                }
+            }
+            if launched_real {
+                // Real launches do not change readiness synchronously; only
+                // dummy completion does, and that path re-enters the loop.
+                if self.instance.ready_nodes().is_empty() {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn start_activity(&mut self, name: &str) {
+        let act = self
+            .instance
+            .workflow()
+            .activity(name)
+            .expect("known activity")
+            .clone();
+        let program = self
+            .instance
+            .workflow()
+            .program(act.implement.as_deref().expect("non-dummy"))
+            .expect("validated reference")
+            .clone();
+        let n_slots = match act.policy {
+            Policy::Simple => 1,
+            Policy::Replica => program.options.len(),
+        };
+        self.nodes.insert(
+            name.to_string(),
+            NodeRt {
+                slots: (0..n_slots)
+                    .map(|_| Slot {
+                        tries_used: 0,
+                        live: None,
+                        exhausted: false,
+                        ckpt_flag: None,
+                    })
+                    .collect(),
+                loop_iterations: self
+                    .nodes
+                    .get(name)
+                    .map(|n| n.loop_iterations)
+                    .unwrap_or(0),
+            },
+        );
+        self.instance.mark_running(name);
+        for slot in 0..n_slots {
+            self.submit_slot(name, slot);
+        }
+    }
+
+    fn submit_slot(&mut self, name: &str, slot: usize) {
+        let act = self
+            .instance
+            .workflow()
+            .activity(name)
+            .expect("known activity")
+            .clone();
+        let program = self
+            .instance
+            .workflow()
+            .program(act.implement.as_deref().expect("non-dummy"))
+            .expect("validated reference")
+            .clone();
+        let task = self.fresh_task();
+        let rt = self.nodes.get_mut(name).expect("runtime exists");
+        let s = &mut rt.slots[slot];
+        // Simple policy cycles through the options on retry ("retrying on
+        // different resources by simply defining multiple Grid resources",
+        // Figure 2 caption); replicas are pinned to their own option.
+        let option_index = match act.policy {
+            Policy::Simple => (s.tries_used as usize) % program.options.len(),
+            Policy::Replica => slot,
+        };
+        let option = &program.options[option_index];
+        s.live = Some(task);
+        let flag = s.ckpt_flag.clone();
+        self.attempts.insert(task, (name.to_string(), slot));
+        self.detector.register_task(
+            task,
+            act.heartbeat_interval,
+            act.heartbeat_tolerance,
+            self.executor.now(),
+        );
+        let req = SubmitRequest {
+            task,
+            activity: name.to_string(),
+            program: program.name.clone(),
+            hostname: option.hostname.clone(),
+            service: option.service.clone(),
+            nominal_duration: program.nominal_duration,
+            checkpoint_flag: flag.clone(),
+            heartbeat_interval: act.heartbeat_interval,
+        };
+        let host = option.hostname.clone();
+        self.attempt_starts
+            .insert(task, (self.executor.now(), host.clone()));
+        self.executor.submit(req);
+        self.log(
+            LogKind::Submit,
+            format!(
+                "{name} slot={slot} try={} task={task} host={host}{}",
+                self.nodes[name].slots[slot].tries_used + 1,
+                flag.map(|f| format!(" resume={f}")).unwrap_or_default()
+            ),
+        );
+    }
+
+    // -------------------------------------------------------- settlement ---
+
+    fn close_span(&mut self, name: &str, task: TaskId, outcome: SpanOutcome) {
+        if let Some((start, host)) = self.attempt_starts.remove(&task) {
+            self.spans.push(Span {
+                activity: name.to_string(),
+                task: task.0,
+                host,
+                start,
+                end: self.executor.now(),
+                outcome,
+            });
+        }
+    }
+
+    fn cancel_live(&mut self, name: &str) {
+        if let Some(rt) = self.nodes.get_mut(name) {
+            let live: Vec<TaskId> = rt.slots.iter_mut().filter_map(|s| s.live.take()).collect();
+            for task in live {
+                self.attempts.remove(&task);
+                self.executor.cancel(task);
+                self.close_span(name, task, SpanOutcome::Cancelled);
+                self.log(LogKind::Cancel, format!("{name} cancelled {task}"));
+            }
+        }
+    }
+
+    fn settle_node(&mut self, name: &str, status: NodeStatus) {
+        self.settlements += 1;
+        self.cancel_live(name);
+        let status_str = status.as_expr_str().to_string();
+        let exc_detail = match &status {
+            NodeStatus::Exception(n) => format!(" ({n})"),
+            _ => String::new(),
+        };
+        let (result, skipped) = self.instance.settle(name, status);
+        match result {
+            CompleteResult::LoopAgain => {
+                let rt = self.nodes.get_mut(name).expect("looped node ran");
+                rt.loop_iterations += 1;
+                let iterations = rt.loop_iterations;
+                if iterations >= self.config.max_loop_iterations {
+                    self.log(
+                        LogKind::Stall,
+                        format!("{name} exceeded max_loop_iterations; failing"),
+                    );
+                    // The node is Pending again; settle it as failed so the
+                    // workflow terminates deterministically.
+                    let (_, skipped) = self.instance.settle(name, NodeStatus::Failed);
+                    for s in skipped {
+                        self.log(LogKind::Settle, format!("{s} skipped"));
+                    }
+                } else {
+                    self.log(
+                        LogKind::Loop,
+                        format!("{name} loops (iteration {})", iterations + 1),
+                    );
+                }
+            }
+            CompleteResult::Settled => {
+                self.log(LogKind::Settle, format!("{name} {status_str}{exc_detail}"));
+                for s in skipped {
+                    self.log(LogKind::Settle, format!("{s} skipped"));
+                }
+                if self.config.cancel_redundant {
+                    self.prune_redundant_branches();
+                }
+            }
+        }
+        self.write_checkpoint();
+    }
+
+    /// Extension (`cancel_redundant`): running activities whose every
+    /// outgoing edge leads into an OR-join that is already satisfied (or a
+    /// node already settled) contribute nothing further — cancel them and
+    /// settle them as skipped.
+    fn prune_redundant_branches(&mut self) {
+        loop {
+            let victim: Option<String> = self
+                .instance
+                .workflow()
+                .activities
+                .iter()
+                .filter(|a| self.instance.status(&a.name) == &NodeStatus::Running)
+                .find(|a| {
+                    let mut outgoing = self
+                        .instance
+                        .workflow()
+                        .outgoing(&a.name)
+                        .peekable();
+                    if outgoing.peek().is_none() {
+                        return false; // sinks always matter
+                    }
+                    outgoing.all(|t| {
+                        let target = self
+                            .instance
+                            .workflow()
+                            .activity(&t.to)
+                            .expect("validated");
+                        let target_status = self.instance.status(&t.to);
+                        // The edge is pointless if its target already fired
+                        // past Pending (an OR-join that went ready/settled
+                        // without this branch).
+                        target.join == gridwfs_wpdl::ast::JoinMode::Or
+                            && *target_status != NodeStatus::Pending
+                    })
+                })
+                .map(|a| a.name.clone());
+            match victim {
+                Some(name) => {
+                    self.log(
+                        LogKind::Cancel,
+                        format!("{name} redundant (its OR-joins are satisfied); cancelling"),
+                    );
+                    self.settle_node(&name, NodeStatus::Skipped);
+                }
+                None => return,
+            }
+        }
+    }
+
+    fn write_checkpoint(&mut self) {
+        if let Some(path) = self.config.checkpoint_path.clone() {
+            if let Err(e) = crate::checkpoint::save(&self.instance, &path) {
+                self.log(LogKind::Checkpoint, format!("checkpoint write failed: {e}"));
+            } else {
+                self.log(LogKind::Checkpoint, format!("saved to {}", path.display()));
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- recovery ---
+
+    /// Task-level recovery for a crashed (or retryably-excepted) attempt.
+    fn recover_or_fail(&mut self, name: &str, slot: usize, final_status: NodeStatus) {
+        let act = self
+            .instance
+            .workflow()
+            .activity(name)
+            .expect("known activity")
+            .clone();
+        let rt = self.nodes.get_mut(name).expect("runtime exists");
+        let s = &mut rt.slots[slot];
+        s.live = None;
+        s.tries_used += 1;
+        if s.tries_used < act.max_tries {
+            // Retry n waits interval * backoff^(n-1) (backoff 1.0 = paper).
+            let delay = act.retry_interval * act.retry_backoff.powi(s.tries_used as i32 - 1);
+            let at = self.executor.now() + delay;
+            let seq = self.timer_seq;
+            self.timer_seq += 1;
+            self.timers.push(Timer {
+                key: TimerKey(at, seq),
+                activity: name.to_string(),
+                slot,
+            });
+            self.log(
+                LogKind::Recovery,
+                format!(
+                    "{name} slot={slot} retry {}/{} in {delay}",
+                    self.nodes[name].slots[slot].tries_used + 1,
+                    act.max_tries
+                ),
+            );
+        } else {
+            let rt = self.nodes.get_mut(name).expect("runtime exists");
+            rt.slots[slot].exhausted = true;
+            let all_exhausted = rt.slots.iter().all(|s| s.exhausted);
+            if all_exhausted {
+                self.log(
+                    LogKind::Recovery,
+                    format!("{name} task-level recovery exhausted"),
+                );
+                self.settle_node(name, final_status);
+            } else {
+                self.log(
+                    LogKind::Recovery,
+                    format!("{name} slot={slot} exhausted; other replicas still racing"),
+                );
+            }
+        }
+    }
+
+    fn handle(&mut self, detection: Detection) {
+        let task = detection.task();
+        let Some(&(ref name, slot)) = self.attempts.get(&task) else {
+            return; // stale: attempt was cancelled or node already settled
+        };
+        let name = name.clone();
+        match detection {
+            Detection::Completed { .. } => {
+                self.log(LogKind::Detect, format!("{name} {task} completed"));
+                // The winner is no longer live; cancel_live must only touch
+                // the losing replicas.
+                self.attempts.remove(&task);
+                if let Some(rt) = self.nodes.get_mut(&name) {
+                    rt.slots[slot].live = None;
+                }
+                self.close_span(&name, task, SpanOutcome::Completed);
+                self.settle_node(&name, NodeStatus::Done);
+            }
+            Detection::Crashed { reason, .. } => {
+                let why = match reason {
+                    CrashReason::DoneWithoutTaskEnd => "crash (Done without Task End)",
+                    CrashReason::HeartbeatLoss => "presumed crash (heartbeat loss)",
+                };
+                self.log(LogKind::Detect, format!("{name} {task} {why}"));
+                self.attempts.remove(&task);
+                self.close_span(&name, task, SpanOutcome::Crashed);
+                self.recover_or_fail(&name, slot, NodeStatus::Failed);
+            }
+            Detection::ExceptionRaised { name: exc, known, .. } => {
+                self.log(
+                    LogKind::Detect,
+                    format!(
+                        "{name} {task} exception '{exc}'{}",
+                        if known { "" } else { " (undeclared)" }
+                    ),
+                );
+                self.attempts.remove(&task);
+                self.close_span(&name, task, SpanOutcome::Exception);
+                let severity = self
+                    .detector
+                    .registry()
+                    .get(&exc)
+                    .map(|d| d.severity)
+                    .unwrap_or(Severity::Fatal);
+                match severity {
+                    // Recoverable exceptions are maskable: retrying may
+                    // encounter a different environment (§2.1's transient
+                    // failures).  Exhaustion still surfaces the exception so
+                    // on='exception:<name>' handlers can catch it.
+                    Severity::Recoverable => {
+                        self.recover_or_fail(&name, slot, NodeStatus::Exception(exc))
+                    }
+                    // Fatal (and undeclared) exceptions cannot be masked by
+                    // retrying — straight to the workflow level (§5.3).
+                    Severity::Fatal => self.settle_node(&name, NodeStatus::Exception(exc)),
+                }
+            }
+            Detection::CheckpointRecorded { flag, .. } => {
+                if let Some(rt) = self.nodes.get_mut(&name) {
+                    rt.slots[slot].ckpt_flag = Some(flag.clone());
+                }
+                self.log(LogKind::Checkpoint, format!("{name} {task} flag={flag}"));
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- loop ---
+
+    fn next_deadline(&self, reorder: Option<&ReorderBuffer>) -> Option<f64> {
+        [
+            self.timers.peek().map(|t| t.key.0),
+            self.detector.next_deadline(),
+            reorder.and_then(|b| b.next_due()),
+        ]
+        .into_iter()
+        .flatten()
+        .min_by(f64::total_cmp)
+    }
+
+    fn observe(&mut self, env: &gridwfs_detect::notify::Envelope, at: f64) {
+        let detections = self.detector.observe(env, at);
+        for d in detections {
+            self.handle(d);
+        }
+    }
+
+    /// Fires all timers due at or before `now`.  Returns how many fired.
+    fn fire_timers(&mut self, now: f64) -> usize {
+        let mut fired = 0;
+        while self
+            .timers
+            .peek()
+            .map(|t| t.key.0 <= now)
+            .unwrap_or(false)
+        {
+            let t = self.timers.pop().expect("peeked");
+            // The node may have settled since the retry was scheduled
+            // (e.g. a sibling replica won): skip stale timers.
+            if self.instance.status(&t.activity) == &NodeStatus::Running {
+                self.submit_slot(&t.activity, t.slot);
+                fired += 1;
+            }
+        }
+        fired
+    }
+
+    fn fail_stalled(&mut self) {
+        let running: Vec<String> = self
+            .instance
+            .statuses()
+            .filter(|(_, s)| **s == NodeStatus::Running)
+            .map(|(n, _)| n.to_string())
+            .collect();
+        for name in running {
+            self.log(
+                LogKind::Stall,
+                format!("{name} cannot make progress (no notifications, no timers); failing"),
+            );
+            self.settle_node(&name, NodeStatus::Failed);
+        }
+    }
+
+    /// Runs the workflow to completion and returns the report.
+    pub fn run(mut self) -> Report {
+        let started_at = self.executor.now();
+        let mut reorder = self.config.reorder_settle.map(ReorderBuffer::new);
+        loop {
+            if let Some(limit) = self.config.max_settlements {
+                if self.settlements >= limit {
+                    self.log(
+                        LogKind::Stall,
+                        format!("aborting after {limit} settlements (simulated engine crash)"),
+                    );
+                    break;
+                }
+            }
+            self.launch_ready();
+            if self.instance.is_finished() {
+                break;
+            }
+            let deadline = self.next_deadline(reorder.as_ref());
+            match self.executor.next_notification(deadline) {
+                Some((t, env)) => match &mut reorder {
+                    Some(buf) => {
+                        buf.accept(env, t);
+                        for e in buf.release(t) {
+                            self.observe(&e, t);
+                        }
+                    }
+                    None => self.observe(&env, t),
+                },
+                None => {
+                    let now = self.executor.now();
+                    let mut released = 0;
+                    if let Some(buf) = &mut reorder {
+                        for e in buf.release(now) {
+                            released += 1;
+                            self.observe(&e, now);
+                        }
+                    }
+                    let fired = self.fire_timers(now);
+                    let swept = self.detector.sweep(now);
+                    let any_swept = !swept.is_empty();
+                    for d in swept {
+                        self.handle(d);
+                    }
+                    if fired == 0
+                        && !any_swept
+                        && released == 0
+                        && deadline.is_none()
+                        && self.executor.is_idle()
+                    {
+                        self.fail_stalled();
+                    }
+                }
+            }
+        }
+        let finished_at = self.executor.now();
+        Report {
+            outcome: self.instance.outcome(),
+            finished_at,
+            makespan: finished_at - started_at,
+            spans: self.spans,
+            node_status: self
+                .instance
+                .statuses()
+                .map(|(n, s)| {
+                    let s = match s {
+                        NodeStatus::Exception(e) => format!("exception:{e}"),
+                        other => other.as_expr_str().to_string(),
+                    };
+                    (n.to_string(), s)
+                })
+                .collect(),
+            log: self.log,
+            eval_errors: self.instance.eval_errors().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_key_orders_earliest_first_fifo_ties() {
+        let mut heap = BinaryHeap::new();
+        for (i, t) in [(0u64, 5.0), (1, 1.0), (2, 5.0), (3, 3.0)] {
+            heap.push(Timer {
+                key: TimerKey(t, i),
+                activity: format!("a{i}"),
+                slot: 0,
+            });
+        }
+        let order: Vec<String> = std::iter::from_fn(|| heap.pop().map(|t| t.activity)).collect();
+        assert_eq!(order, vec!["a1", "a3", "a0", "a2"], "time asc, FIFO at ties");
+    }
+
+    #[test]
+    fn config_defaults_match_paper_behaviour() {
+        let c = EngineConfig::default();
+        assert!(c.checkpoint_path.is_none());
+        assert!(c.reorder_settle.is_none(), "prototype delivered immediately");
+        assert!(!c.cancel_redundant, "prototype let redundant branches finish");
+        assert!(c.max_loop_iterations >= 1000);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let report = Report {
+            outcome: Outcome::Success,
+            finished_at: 10.0,
+            makespan: 10.0,
+            node_status: vec![("a".into(), "done".into())],
+            log: vec![
+                LogEntry { at: 0.0, kind: LogKind::Submit, message: "a slot=0".into() },
+                LogEntry { at: 1.0, kind: LogKind::Submit, message: "ab slot=0".into() },
+            ],
+            spans: vec![crate::timeline::Span {
+                activity: "a".into(),
+                task: 1,
+                host: "h".into(),
+                start: 0.0,
+                end: 10.0,
+                outcome: crate::timeline::SpanOutcome::Completed,
+            }],
+            eval_errors: vec![],
+        };
+        assert!(report.is_success());
+        assert_eq!(report.status_of("a"), Some("done"));
+        assert_eq!(report.status_of("zz"), None);
+        assert_eq!(report.submissions_of("a"), 1, "prefix match must not catch 'ab'");
+        assert_eq!(report.submissions_of("ab"), 1);
+        assert_eq!(report.cancellations(), 0);
+        assert_eq!(report.host_utilization(), vec![("h".to_string(), 10.0)]);
+    }
+}
+

@@ -1,0 +1,64 @@
+//! The task-submission abstraction.
+//!
+//! The original engine submitted tasks through the Globus GRAM protocol and
+//! learned their fate through the failure-detection service.  This crate
+//! talks to a Grid through the [`Executor`] trait instead: `submit` plays
+//! GRAM, `cancel` plays job cancellation, and `next_notification` is the
+//! delivery side of the notification transport.  Two implementations ship:
+//!
+//! * [`crate::sim_executor::SimGrid`] — a deterministic simulated Grid
+//!   (failure injection, heartbeat loss, exceptions) built on `gridwfs-sim`;
+//! * [`crate::thread_executor::ThreadExecutor`] — real OS threads running
+//!   Rust closures, for using the engine as an actual local workflow runner.
+//!
+//! The engine is written against the trait only, which is what makes its
+//! recovery logic testable to the last branch.
+
+use gridwfs_detect::notify::{Envelope, TaskId};
+
+/// A request to run one task attempt on one resource.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    /// Fresh attempt id (engine-assigned; retries and replicas differ).
+    pub task: TaskId,
+    /// Activity this attempt executes.
+    pub activity: String,
+    /// Logical program name.
+    pub program: String,
+    /// Target host.
+    pub hostname: String,
+    /// Job-manager service on the host.
+    pub service: String,
+    /// Nominal (unit-speed) duration of the program.
+    pub nominal_duration: f64,
+    /// Checkpoint flag from a previous attempt; the task resumes from this
+    /// state instead of starting over (paper §4.3).
+    pub checkpoint_flag: Option<String>,
+    /// Expected heartbeat period (0 = no heartbeats).
+    pub heartbeat_interval: f64,
+}
+
+/// A notification transport + job submission endpoint.
+pub trait Executor {
+    /// Current time on the executor's clock (simulated or wall-clock
+    /// seconds since start).
+    fn now(&self) -> f64;
+
+    /// Submits one task attempt.  Must not block.
+    fn submit(&mut self, req: SubmitRequest);
+
+    /// Cancels an attempt: best effort; no further notifications for it are
+    /// required to arrive, but stale ones may.
+    fn cancel(&mut self, task: TaskId);
+
+    /// Delivers the next notification at or before `deadline`.
+    ///
+    /// * `Some((t, env))` — a notification delivered at time `t` (the clock
+    ///   advances to `t`).
+    /// * `None` — no notification arrives by `deadline`; the clock advances
+    ///   to the deadline (or, with no deadline, to idleness).
+    fn next_notification(&mut self, deadline: Option<f64>) -> Option<(f64, Envelope)>;
+
+    /// True if no notification can ever arrive again (nothing in flight).
+    fn is_idle(&self) -> bool;
+}

@@ -1,0 +1,876 @@
+//! Runtime state of one workflow execution.
+//!
+//! [`Instance`] is the annotated parse tree of the paper's §7: the static
+//! [`Workflow`] plus, per activity, a runtime status, and per transition, an
+//! edge state.  The engine's navigator asks the instance two questions —
+//! *which activities are ready?* and *is the workflow finished, and how did
+//! it end?* — and informs it of one kind of fact: *this activity settled
+//! with this terminal status*.
+//!
+//! ## Edge-firing semantics
+//!
+//! Every transition starts `Pending`.  When its source activity settles,
+//! the edge either **fires** (trigger matches the outcome and the guard
+//! condition, if any, evaluates true) or **dies**.  A skipped source kills
+//! all its outgoing edges.  An activity with incoming edges becomes:
+//!
+//! * **ready** when its join is satisfied — AND: every incoming edge fired;
+//!   OR: at least one fired (Figure 5's OR relationship) — and it is still
+//!   `Pending`;
+//! * **skipped** when its join can no longer be satisfied — AND: any edge
+//!   died; OR: every edge died.  Skipping cascades.
+//!
+//! This is exactly the semantics the paper's figures rely on: in Figure 4
+//! the `on='failed'` edge to the alternative task dies when the fast task
+//! succeeds (so the alternative is skipped), and fires when it fails
+//! terminally (so the alternative runs and the OR-join still completes).
+//!
+//! ## Workflow outcome
+//!
+//! The workflow **succeeds** when every sink activity is `Done` or
+//! `Skipped` and at least one sink is `Done`.  It **fails** when all
+//! activities are settled (or unreachable) and that condition does not
+//! hold — the diagnostic lists every unhandled terminal failure.
+
+use std::collections::HashMap;
+
+use gridwfs_wpdl::ast::{JoinMode, Trigger, Workflow};
+use gridwfs_wpdl::expr::{Env, EvalError, Value};
+use gridwfs_wpdl::validate::Validated;
+
+/// Runtime status of an activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Not yet ready or not yet submitted.
+    Pending,
+    /// Submitted; attempts are in flight.
+    Running,
+    /// Completed successfully.
+    Done,
+    /// Crashed terminally (task-level masking exhausted).
+    Failed,
+    /// Raised the named user-defined exception (terminally).
+    Exception(String),
+    /// Never ran because its triggers died (e.g. an alternative task whose
+    /// primary succeeded).
+    Skipped,
+}
+
+impl NodeStatus {
+    /// True for statuses that admit no further change.
+    pub fn is_settled(&self) -> bool {
+        !matches!(self, NodeStatus::Pending | NodeStatus::Running)
+    }
+
+    /// The `status('name')` string exposed to condition expressions.
+    pub fn as_expr_str(&self) -> &'static str {
+        match self {
+            NodeStatus::Pending => "pending",
+            NodeStatus::Running => "running",
+            NodeStatus::Done => "done",
+            NodeStatus::Failed => "failed",
+            NodeStatus::Exception(_) => "exception",
+            NodeStatus::Skipped => "skipped",
+        }
+    }
+}
+
+/// State of one transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeState {
+    /// Source not settled yet.
+    Pending,
+    /// Trigger matched; the dependency is satisfied.
+    Fired,
+    /// Trigger can never match (or guard was false).
+    Dead,
+}
+
+/// How an activity's completion interacted with its loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompleteResult {
+    /// The do-while condition held: the activity was reset and must run again.
+    LoopAgain,
+    /// The activity settled as `Done` and its outgoing edges were resolved.
+    Settled,
+}
+
+/// Final outcome of a workflow execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every sink finished or was legitimately bypassed, and at least one
+    /// sink produced a result.
+    Success,
+    /// The workflow cannot complete; diagnostics list terminal failures
+    /// that no workflow-level handler consumed.
+    Failure {
+        /// `(activity, status-string)` of each unhandled terminal failure.
+        unhandled: Vec<(String, String)>,
+    },
+}
+
+/// Runtime instance: static workflow + runtime annotations.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    workflow: Workflow,
+    topo: Vec<String>,
+    status: HashMap<String, NodeStatus>,
+    edges: Vec<EdgeState>,
+    runs: HashMap<String, u32>,
+    vars: HashMap<String, Value>,
+    /// Expression-evaluation problems encountered while resolving guards
+    /// (logged, and the offending edge dies).
+    eval_errors: Vec<String>,
+}
+
+impl Instance {
+    /// Builds a fresh instance from a validated workflow.
+    pub fn new(validated: Validated) -> Self {
+        let topo = validated.topological_order().to_vec();
+        let workflow = validated.into_workflow();
+        let status = workflow
+            .activities
+            .iter()
+            .map(|a| (a.name.clone(), NodeStatus::Pending))
+            .collect();
+        let runs = workflow
+            .activities
+            .iter()
+            .map(|a| (a.name.clone(), 0u32))
+            .collect();
+        let vars = workflow
+            .variables
+            .iter()
+            .map(|v| (v.name.clone(), v.value.clone()))
+            .collect();
+        let edges = vec![EdgeState::Pending; workflow.transitions.len()];
+        Instance {
+            workflow,
+            topo,
+            status,
+            edges,
+            runs,
+            vars,
+            eval_errors: Vec::new(),
+        }
+    }
+
+    /// The underlying definition.
+    pub fn workflow(&self) -> &Workflow {
+        &self.workflow
+    }
+
+    /// Topological order of activities.
+    pub fn topological_order(&self) -> &[String] {
+        &self.topo
+    }
+
+    /// Current status of an activity.
+    ///
+    /// # Panics
+    /// Panics on an unknown activity name (engine-internal misuse).
+    pub fn status(&self, name: &str) -> &NodeStatus {
+        self.status
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown activity '{name}'"))
+    }
+
+    /// Completion count of an activity (drives `runs('name')` and loops).
+    pub fn runs(&self, name: &str) -> u32 {
+        self.runs.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a workflow variable.
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    /// Sets a workflow variable (engine extension: tasks may export values).
+    pub fn set_var(&mut self, name: impl Into<String>, value: Value) {
+        self.vars.insert(name.into(), value);
+    }
+
+    /// Guard-evaluation problems encountered so far.
+    pub fn eval_errors(&self) -> &[String] {
+        &self.eval_errors
+    }
+
+    /// State of edge `i` (index into `workflow().transitions`).
+    pub fn edge_state(&self, i: usize) -> EdgeState {
+        self.edges[i]
+    }
+
+    fn join_satisfied(&self, name: &str) -> bool {
+        let act = self.workflow.activity(name).expect("known activity");
+        let mut any_incoming = false;
+        let mut all_fired = true;
+        let mut any_fired = false;
+        for (i, t) in self.workflow.transitions.iter().enumerate() {
+            if t.to == name {
+                any_incoming = true;
+                match self.edges[i] {
+                    EdgeState::Fired => any_fired = true,
+                    _ => all_fired = false,
+                }
+            }
+        }
+        if !any_incoming {
+            return true; // roots are immediately ready
+        }
+        match act.join {
+            JoinMode::And => all_fired,
+            JoinMode::Or => any_fired,
+        }
+    }
+
+    fn join_impossible(&self, name: &str) -> bool {
+        let act = self.workflow.activity(name).expect("known activity");
+        let mut any_incoming = false;
+        let mut any_dead = false;
+        let mut all_dead = true;
+        for (i, t) in self.workflow.transitions.iter().enumerate() {
+            if t.to == name {
+                any_incoming = true;
+                match self.edges[i] {
+                    EdgeState::Dead => any_dead = true,
+                    _ => all_dead = false,
+                }
+            }
+        }
+        if !any_incoming {
+            return false;
+        }
+        match act.join {
+            JoinMode::And => any_dead,
+            JoinMode::Or => all_dead,
+        }
+    }
+
+    /// Activities that are `Pending` with a satisfied join, in topological
+    /// order.  The engine submits these (or completes them instantly if
+    /// they are dummies).
+    pub fn ready_nodes(&self) -> Vec<String> {
+        self.topo
+            .iter()
+            .filter(|n| {
+                self.status[n.as_str()] == NodeStatus::Pending && self.join_satisfied(n)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Marks an activity as submitted.
+    ///
+    /// # Panics
+    /// Panics unless the activity is `Pending`.
+    pub fn mark_running(&mut self, name: &str) {
+        let s = self.status.get_mut(name).expect("known activity");
+        assert_eq!(*s, NodeStatus::Pending, "mark_running on non-pending '{name}'");
+        *s = NodeStatus::Running;
+    }
+
+    /// Settles an activity with a terminal status, resolving its outgoing
+    /// edges and cascading skips.  Returns the names of activities newly
+    /// `Skipped` as a consequence (callers log them).
+    ///
+    /// For `Done` with an attached do-while loop whose condition holds, the
+    /// activity is *reset* instead (status back to `Pending`, `runs`
+    /// incremented, outgoing edges untouched) and `CompleteResult::LoopAgain`
+    /// is returned with no skips.
+    pub fn settle(&mut self, name: &str, status: NodeStatus) -> (CompleteResult, Vec<String>) {
+        assert!(status.is_settled(), "settle() requires a terminal status");
+        {
+            let s = self.status.get_mut(name).expect("known activity");
+            assert!(
+                !s.is_settled(),
+                "activity '{name}' is already settled as {s:?}"
+            );
+            *s = status.clone();
+        }
+        if status == NodeStatus::Done {
+            *self.runs.get_mut(name).expect("known activity") += 1;
+            if let Some(l) = self.workflow.loop_for(name) {
+                let cond = l.condition.clone();
+                match cond.eval_bool(&EnvView { instance: self }) {
+                    Ok(true) => {
+                        *self.status.get_mut(name).expect("known") = NodeStatus::Pending;
+                        return (CompleteResult::LoopAgain, Vec::new());
+                    }
+                    Ok(false) => {}
+                    Err(e) => {
+                        // A broken loop condition stops iteration (logged);
+                        // the completion still settles normally.
+                        self.eval_errors
+                            .push(format!("loop condition on '{name}': {e}"));
+                    }
+                }
+            }
+        }
+        // Resolve outgoing edges.
+        let outcome = status;
+        let mut to_eval: Vec<(usize, bool)> = Vec::new();
+        for (i, t) in self.workflow.transitions.iter().enumerate() {
+            if t.from != name {
+                continue;
+            }
+            debug_assert_eq!(self.edges[i], EdgeState::Pending, "edge resolved twice");
+            let trigger_matches = match (&t.trigger, &outcome) {
+                (_, NodeStatus::Skipped) => false,
+                (Trigger::Done, NodeStatus::Done) => true,
+                (Trigger::Failed, NodeStatus::Failed) => true,
+                (Trigger::Exception(want), NodeStatus::Exception(got)) => want == got,
+                (Trigger::Always, _) => true,
+                _ => false,
+            };
+            to_eval.push((i, trigger_matches));
+        }
+        for (i, trigger_matches) in to_eval {
+            let fired = if !trigger_matches {
+                false
+            } else if let Some(cond) = self.workflow.transitions[i].condition.clone() {
+                match cond.eval_bool(&EnvView { instance: self }) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        let t = &self.workflow.transitions[i];
+                        self.eval_errors.push(format!(
+                            "condition on transition {} -> {}: {e}",
+                            t.from, t.to
+                        ));
+                        false
+                    }
+                }
+            } else {
+                true
+            };
+            self.edges[i] = if fired { EdgeState::Fired } else { EdgeState::Dead };
+        }
+        // Cascade skips until a fixpoint (one pass per wave is enough
+        // because we re-scan from the start after each settle).
+        let mut skipped = Vec::new();
+        loop {
+            let next: Option<String> = self
+                .topo
+                .iter()
+                .find(|n| {
+                    self.status[n.as_str()] == NodeStatus::Pending && self.join_impossible(n)
+                })
+                .cloned();
+            match next {
+                Some(n) => {
+                    let (_, mut more) = self.settle(&n, NodeStatus::Skipped);
+                    skipped.push(n);
+                    skipped.append(&mut more);
+                }
+                None => break,
+            }
+        }
+        (CompleteResult::Settled, skipped)
+    }
+
+    /// True when no activity is `Pending`-and-reachable or `Running` —
+    /// i.e. navigation has nothing left to do.
+    pub fn is_finished(&self) -> bool {
+        self.status.values().all(|s| s.is_settled())
+    }
+
+    /// Whether anything is currently running.
+    pub fn has_running(&self) -> bool {
+        self.status.values().any(|s| *s == NodeStatus::Running)
+    }
+
+    /// Final outcome.  Meaningful once [`Instance::is_finished`] is true.
+    pub fn outcome(&self) -> Outcome {
+        let sinks = self.workflow.sinks();
+        let any_done = sinks
+            .iter()
+            .any(|a| self.status[&a.name] == NodeStatus::Done);
+        let all_ok = sinks.iter().all(|a| {
+            matches!(
+                self.status[&a.name],
+                NodeStatus::Done | NodeStatus::Skipped
+            )
+        });
+        if any_done && all_ok {
+            Outcome::Success
+        } else {
+            // An unhandled failure is a terminal failure/exception none of
+            // whose outgoing edges fired.
+            let mut unhandled = Vec::new();
+            for a in &self.workflow.activities {
+                let st = &self.status[&a.name];
+                let is_failure = matches!(st, NodeStatus::Failed | NodeStatus::Exception(_));
+                if is_failure {
+                    let handled = self
+                        .workflow
+                        .transitions
+                        .iter()
+                        .enumerate()
+                        .any(|(i, t)| t.from == a.name && self.edges[i] == EdgeState::Fired);
+                    if !handled {
+                        unhandled.push((a.name.clone(), st.as_expr_str().to_string()));
+                    }
+                }
+            }
+            Outcome::Failure { unhandled }
+        }
+    }
+
+    /// Snapshot of all node statuses (for reports and checkpointing).
+    pub fn statuses(&self) -> impl Iterator<Item = (&str, &NodeStatus)> {
+        self.topo
+            .iter()
+            .map(move |n| (n.as_str(), &self.status[n.as_str()]))
+    }
+
+    /// Restores a node's status directly (engine-checkpoint restart path).
+    /// Unlike [`Instance::settle`] this does not touch edges — the caller
+    /// replays edge resolution by re-settling in topological order.
+    pub(crate) fn force_status(&mut self, name: &str, status: NodeStatus) {
+        *self.status.get_mut(name).expect("known activity") = status;
+    }
+
+    /// Restores a run counter (engine-checkpoint restart path).
+    pub(crate) fn force_runs(&mut self, name: &str, runs: u32) {
+        *self.runs.get_mut(name).expect("known activity") = runs;
+    }
+
+    /// Workflow variables in sorted-name order (for checkpointing).
+    pub fn vars_iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        let mut pairs: Vec<(&str, &Value)> =
+            self.vars.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        pairs.sort_by_key(|(k, _)| *k);
+        pairs.into_iter()
+    }
+
+    /// Recomputes every edge state from the current node statuses — the
+    /// engine-checkpoint restart path, after statuses were force-restored.
+    /// Edges from unsettled sources stay `Pending`; edges from settled
+    /// sources fire or die exactly as [`Instance::settle`] would have
+    /// resolved them (guards are re-evaluated against the restored
+    /// variables and run counts).
+    pub(crate) fn recompute_edges(&mut self) {
+        for i in 0..self.workflow.transitions.len() {
+            let t = self.workflow.transitions[i].clone();
+            let source_status = self.status[&t.from].clone();
+            if !source_status.is_settled() {
+                self.edges[i] = EdgeState::Pending;
+                continue;
+            }
+            let trigger_matches = match (&t.trigger, &source_status) {
+                (_, NodeStatus::Skipped) => false,
+                (Trigger::Done, NodeStatus::Done) => true,
+                (Trigger::Failed, NodeStatus::Failed) => true,
+                (Trigger::Exception(want), NodeStatus::Exception(got)) => want == got,
+                (Trigger::Always, _) => true,
+                _ => false,
+            };
+            let fired = if !trigger_matches {
+                false
+            } else if let Some(cond) = &t.condition {
+                match cond.eval_bool(&EnvView { instance: self }) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        self.eval_errors.push(format!(
+                            "condition on transition {} -> {} (restore): {e}",
+                            t.from, t.to
+                        ));
+                        false
+                    }
+                }
+            } else {
+                true
+            };
+            self.edges[i] = if fired { EdgeState::Fired } else { EdgeState::Dead };
+        }
+    }
+}
+
+/// `Env` view for condition evaluation.
+struct EnvView<'a> {
+    instance: &'a Instance,
+}
+
+impl Env for EnvView<'_> {
+    fn var(&self, name: &str) -> Option<Value> {
+        self.instance.vars.get(name).cloned()
+    }
+
+    fn call(&self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+        let activity_arg = |args: &[Value]| -> Result<String, EvalError> {
+            match args {
+                [Value::Str(s)] => Ok(s.clone()),
+                _ => Err(EvalError::Type(format!(
+                    "{name}() takes one activity-name string"
+                ))),
+            }
+        };
+        match name {
+            "status" => {
+                let a = activity_arg(args)?;
+                match self.instance.status.get(&a) {
+                    Some(s) => Ok(Value::Str(s.as_expr_str().to_string())),
+                    None => Err(EvalError::Type(format!("status(): unknown activity '{a}'"))),
+                }
+            }
+            "runs" => {
+                let a = activity_arg(args)?;
+                if self.instance.status.contains_key(&a) {
+                    Ok(Value::Num(self.instance.runs(&a) as f64))
+                } else {
+                    Err(EvalError::Type(format!("runs(): unknown activity '{a}'")))
+                }
+            }
+            other => Err(EvalError::UnknownFn(other.to_string())),
+        }
+    }
+}
+
+/// Evaluates an expression against an instance (used by the engine for
+/// loop conditions and by tests).
+pub fn eval_in(instance: &Instance, expr: &gridwfs_wpdl::expr::Expr) -> Result<Value, EvalError> {
+    expr.eval(&EnvView { instance })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridwfs_wpdl::builder::{figure4, figure5, figure6, WorkflowBuilder};
+    use gridwfs_wpdl::validate::validate;
+
+    fn instance(w: Workflow) -> Instance {
+        Instance::new(validate(w).expect("test workflows validate"))
+    }
+
+    fn fig4() -> Instance {
+        instance(figure4(30.0, 150.0))
+    }
+
+    #[test]
+    fn roots_are_ready_initially() {
+        let inst = fig4();
+        assert_eq!(inst.ready_nodes(), vec!["fast_task"]);
+        assert_eq!(*inst.status("fast_task"), NodeStatus::Pending);
+    }
+
+    #[test]
+    fn figure4_success_path_skips_alternative() {
+        let mut inst = fig4();
+        inst.mark_running("fast_task");
+        let (r, skipped) = inst.settle("fast_task", NodeStatus::Done);
+        assert_eq!(r, CompleteResult::Settled);
+        assert_eq!(skipped, vec!["slow_task"], "alternative is bypassed");
+        assert_eq!(inst.ready_nodes(), vec!["join_task"], "OR-join ready");
+        inst.mark_running("join_task");
+        inst.settle("join_task", NodeStatus::Done);
+        assert!(inst.is_finished());
+        assert_eq!(inst.outcome(), Outcome::Success);
+    }
+
+    #[test]
+    fn figure4_failure_path_activates_alternative() {
+        let mut inst = fig4();
+        inst.mark_running("fast_task");
+        let (_, skipped) = inst.settle("fast_task", NodeStatus::Failed);
+        assert!(skipped.is_empty(), "nothing skipped: alternative takes over");
+        assert_eq!(inst.ready_nodes(), vec!["slow_task"]);
+        inst.mark_running("slow_task");
+        inst.settle("slow_task", NodeStatus::Done);
+        assert_eq!(inst.ready_nodes(), vec!["join_task"]);
+        inst.mark_running("join_task");
+        inst.settle("join_task", NodeStatus::Done);
+        assert_eq!(inst.outcome(), Outcome::Success, "failure was handled");
+    }
+
+    #[test]
+    fn figure4_double_failure_is_unhandled() {
+        let mut inst = fig4();
+        inst.mark_running("fast_task");
+        inst.settle("fast_task", NodeStatus::Failed);
+        inst.mark_running("slow_task");
+        let (_, skipped) = inst.settle("slow_task", NodeStatus::Failed);
+        assert_eq!(skipped, vec!["join_task"], "join unreachable");
+        assert!(inst.is_finished());
+        match inst.outcome() {
+            Outcome::Failure { unhandled } => {
+                assert_eq!(unhandled, vec![("slow_task".to_string(), "failed".to_string())]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure5_redundancy_first_success_wins() {
+        let mut inst = instance(figure5(30.0, 150.0));
+        assert_eq!(inst.ready_nodes(), vec!["split_task"]);
+        inst.mark_running("split_task");
+        inst.settle("split_task", NodeStatus::Done);
+        assert_eq!(inst.ready_nodes(), vec!["fast_task", "slow_task"]);
+        inst.mark_running("fast_task");
+        inst.mark_running("slow_task");
+        inst.settle("fast_task", NodeStatus::Done);
+        // OR-join is ready even though slow_task is still running.
+        assert_eq!(inst.ready_nodes(), vec!["join_task"]);
+        inst.mark_running("join_task");
+        inst.settle("join_task", NodeStatus::Done);
+        inst.settle("slow_task", NodeStatus::Done);
+        assert_eq!(inst.outcome(), Outcome::Success);
+    }
+
+    #[test]
+    fn figure5_one_branch_may_fail() {
+        let mut inst = instance(figure5(30.0, 150.0));
+        inst.mark_running("split_task");
+        inst.settle("split_task", NodeStatus::Done);
+        inst.mark_running("fast_task");
+        inst.mark_running("slow_task");
+        inst.settle("fast_task", NodeStatus::Failed);
+        assert!(inst.ready_nodes().is_empty(), "join waits for slow branch");
+        inst.settle("slow_task", NodeStatus::Done);
+        assert_eq!(inst.ready_nodes(), vec!["join_task"]);
+        inst.mark_running("join_task");
+        inst.settle("join_task", NodeStatus::Done);
+        assert_eq!(inst.outcome(), Outcome::Success);
+    }
+
+    #[test]
+    fn figure6_exception_routes_to_handler() {
+        let mut inst = instance(figure6(30.0, 150.0));
+        inst.mark_running("fast_task");
+        inst.settle("fast_task", NodeStatus::Exception("disk_full".into()));
+        assert_eq!(inst.ready_nodes(), vec!["slow_task"]);
+        inst.mark_running("slow_task");
+        inst.settle("slow_task", NodeStatus::Done);
+        inst.mark_running("join_task");
+        inst.settle("join_task", NodeStatus::Done);
+        assert_eq!(inst.outcome(), Outcome::Success);
+    }
+
+    #[test]
+    fn figure6_wrong_exception_name_is_unhandled() {
+        let mut inst = instance(figure6(30.0, 150.0));
+        inst.mark_running("fast_task");
+        let (_, skipped) = inst.settle("fast_task", NodeStatus::Exception("oom".into()));
+        // Handler edge requires disk_full; everything downstream dies.
+        assert_eq!(skipped.len(), 2);
+        match inst.outcome() {
+            Outcome::Failure { unhandled } => {
+                assert_eq!(unhandled[0].0, "fast_task");
+                assert_eq!(unhandled[0].1, "exception");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_join_waits_for_all() {
+        let mut b = WorkflowBuilder::new("and");
+        b.activity("a", "p");
+        b.activity("b", "p");
+        b.dummy("j");
+        let w = b
+            .edge("a", "j")
+            .edge("b", "j")
+            .build_unchecked();
+        let mut w2 = w;
+        w2.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        let mut inst = instance(w2);
+        inst.mark_running("a");
+        inst.mark_running("b");
+        inst.settle("a", NodeStatus::Done);
+        assert!(inst.ready_nodes().is_empty());
+        inst.settle("b", NodeStatus::Done);
+        assert_eq!(inst.ready_nodes(), vec!["j"]);
+    }
+
+    #[test]
+    fn and_join_dies_on_any_failure() {
+        let mut b = WorkflowBuilder::new("and");
+        b.activity("a", "p");
+        b.activity("b", "p");
+        b.dummy("j");
+        let mut w = b.edge("a", "j").edge("b", "j").build_unchecked();
+        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        let mut inst = instance(w);
+        inst.mark_running("a");
+        inst.mark_running("b");
+        let (_, skipped) = inst.settle("a", NodeStatus::Failed);
+        assert_eq!(skipped, vec!["j"]);
+        inst.settle("b", NodeStatus::Done);
+        assert!(matches!(inst.outcome(), Outcome::Failure { .. }));
+    }
+
+    #[test]
+    fn conditional_edge_routes_if_then_else() {
+        let mut b = WorkflowBuilder::new("cond").variable("big", Value::Bool(true));
+        b.activity("a", "p");
+        b.activity("yes", "p");
+        b.activity("no", "p");
+        let mut w = b
+            .edge_if("a", "yes", "$big")
+            .edge_if("a", "no", "!$big")
+            .build_unchecked();
+        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        let mut inst = instance(w);
+        inst.mark_running("a");
+        let (_, skipped) = inst.settle("a", NodeStatus::Done);
+        assert_eq!(skipped, vec!["no"]);
+        assert_eq!(inst.ready_nodes(), vec!["yes"]);
+    }
+
+    #[test]
+    fn broken_condition_kills_edge_and_is_logged() {
+        let mut b = WorkflowBuilder::new("bad");
+        b.activity("a", "p");
+        b.activity("b", "p");
+        let mut w = b.edge_if("a", "b", "$undefined_var").build_unchecked();
+        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        let mut inst = instance(w);
+        inst.mark_running("a");
+        let (_, skipped) = inst.settle("a", NodeStatus::Done);
+        assert_eq!(skipped, vec!["b"]);
+        assert_eq!(inst.eval_errors().len(), 1);
+        assert!(inst.eval_errors()[0].contains("undefined_var"));
+    }
+
+    #[test]
+    fn do_while_loops_until_condition_false() {
+        let mut b = WorkflowBuilder::new("loop");
+        b.activity("a", "p");
+        b.activity("b", "p");
+        let mut w = b
+            .edge("a", "b")
+            .do_while("a", "runs('a') < 3")
+            .build_unchecked();
+        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        let mut inst = instance(w);
+        for expected_runs in 1..=2 {
+            inst.mark_running("a");
+            let (r, _) = inst.settle("a", NodeStatus::Done);
+            assert_eq!(r, CompleteResult::LoopAgain);
+            assert_eq!(inst.runs("a"), expected_runs);
+            assert_eq!(inst.ready_nodes(), vec!["a"], "a re-queued");
+        }
+        inst.mark_running("a");
+        let (r, _) = inst.settle("a", NodeStatus::Done);
+        assert_eq!(r, CompleteResult::Settled);
+        assert_eq!(inst.runs("a"), 3);
+        assert_eq!(inst.ready_nodes(), vec!["b"], "downstream released");
+    }
+
+    #[test]
+    fn loop_does_not_rerun_on_failure() {
+        let mut b = WorkflowBuilder::new("loop");
+        b.activity("a", "p");
+        let mut w = b.do_while("a", "true").build_unchecked();
+        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        let mut inst = instance(w);
+        inst.mark_running("a");
+        let (r, _) = inst.settle("a", NodeStatus::Failed);
+        assert_eq!(r, CompleteResult::Settled, "failures are not looped");
+        assert!(inst.is_finished());
+    }
+
+    #[test]
+    fn always_edge_fires_on_any_terminal() {
+        for terminal in [
+            NodeStatus::Done,
+            NodeStatus::Failed,
+            NodeStatus::Exception("e".into()),
+        ] {
+            let mut b = WorkflowBuilder::new("w").exception("e", false);
+            b.activity("a", "p");
+            b.activity("cleanup", "p");
+            let mut w = b.always("a", "cleanup").build_unchecked();
+            w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+            let mut inst = instance(w);
+            inst.mark_running("a");
+            inst.settle("a", terminal.clone());
+            assert_eq!(
+                inst.ready_nodes(),
+                vec!["cleanup"],
+                "cleanup must follow {terminal:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn skip_cascades_through_chains() {
+        let mut b = WorkflowBuilder::new("chain");
+        for n in ["a", "b", "c", "d"] {
+            b.activity(n, "p");
+        }
+        let mut w = b.edge("a", "b").edge("b", "c").edge("c", "d").build_unchecked();
+        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        let mut inst = instance(w);
+        inst.mark_running("a");
+        let (_, skipped) = inst.settle("a", NodeStatus::Failed);
+        assert_eq!(skipped, vec!["b", "c", "d"]);
+        assert!(inst.is_finished());
+    }
+
+    #[test]
+    fn status_function_visible_to_conditions() {
+        let mut b = WorkflowBuilder::new("w");
+        b.activity("a", "p");
+        b.activity("b", "p");
+        b.activity("c", "p");
+        let mut w = b
+            .edge("a", "b")
+            .edge_if("b", "c", "status('a') == 'done'")
+            .build_unchecked();
+        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        let mut inst = instance(w);
+        inst.mark_running("a");
+        inst.settle("a", NodeStatus::Done);
+        inst.mark_running("b");
+        inst.settle("b", NodeStatus::Done);
+        assert_eq!(inst.ready_nodes(), vec!["c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already settled")]
+    fn double_settle_panics() {
+        let mut inst = fig4();
+        inst.mark_running("fast_task");
+        inst.settle("fast_task", NodeStatus::Done);
+        inst.settle("fast_task", NodeStatus::Done);
+    }
+
+    #[test]
+    #[should_panic(expected = "mark_running on non-pending")]
+    fn mark_running_twice_panics() {
+        let mut inst = fig4();
+        inst.mark_running("fast_task");
+        inst.mark_running("fast_task");
+    }
+
+    #[test]
+    fn settling_from_pending_is_allowed() {
+        // A submission that fails before the node was ever marked running
+        // (e.g. unknown host) settles straight from Pending.
+        let mut inst = fig4();
+        let (_, _) = inst.settle("fast_task", NodeStatus::Failed);
+        assert_eq!(*inst.status("fast_task"), NodeStatus::Failed);
+    }
+
+    #[test]
+    fn outcome_requires_at_least_one_done_sink() {
+        // Single activity that fails: no sink done -> failure.
+        let mut b = WorkflowBuilder::new("w");
+        b.activity("only", "p");
+        let mut w = b.build_unchecked();
+        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        let mut inst = instance(w);
+        inst.mark_running("only");
+        inst.settle("only", NodeStatus::Failed);
+        assert!(matches!(inst.outcome(), Outcome::Failure { .. }));
+    }
+
+    #[test]
+    fn variables_readable_and_writable() {
+        let mut inst = fig4();
+        assert!(inst.var("x").is_none());
+        inst.set_var("x", Value::Num(5.0));
+        assert_eq!(inst.var("x"), Some(&Value::Num(5.0)));
+    }
+}

@@ -1,0 +1,412 @@
+//! A real executor: tasks as Rust closures on OS threads.
+//!
+//! The simulated Grid proves the engine's recovery logic; [`ThreadExecutor`]
+//! proves the engine is a real workflow runner.  Each submitted attempt
+//! spawns a thread running the closure registered for its program.  The
+//! closure receives a [`TaskContext`] — the Rust face of the paper's
+//! task-side notification API — through which it heartbeats, records
+//! checkpoints, and raises user-defined exceptions; its return value
+//! becomes `Task End` + `Done`, a crash, or an exception.
+//!
+//! Time is wall-clock seconds since executor construction, so the same
+//! engine code drives simulated and real runs unchanged.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gridwfs_detect::notify::{Envelope, Notification, TaskId};
+
+use crate::executor::{Executor, SubmitRequest};
+
+/// How a task closure finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskResult {
+    /// Application-level success: `Task End` then `Done`.
+    Success,
+    /// Simulated process death: `Done` without `Task End`.
+    Crash,
+    /// User-defined exception.
+    Exception {
+        /// Registered exception name.
+        name: String,
+        /// Free-form detail.
+        detail: String,
+    },
+}
+
+/// The task-side API handed to closures (the `globus_FDS_task_*` analogue).
+pub struct TaskContext {
+    task: TaskId,
+    host: String,
+    start: Instant,
+    epoch: Instant,
+    tx: Sender<Envelope>,
+    cancelled: Arc<AtomicBool>,
+    hb_seq: u64,
+    /// Checkpoint flag from the previous attempt, if the engine is asking
+    /// this task to resume.
+    pub resume_flag: Option<String>,
+}
+
+impl TaskContext {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn send(&self, body: Notification) {
+        // A send failure means the engine is gone; the task just runs out.
+        let _ = self
+            .tx
+            .send(Envelope::new(self.task, self.host.clone(), self.now(), body));
+    }
+
+    /// Emits one heartbeat.
+    pub fn heartbeat(&mut self) {
+        let seq = self.hb_seq;
+        self.hb_seq += 1;
+        self.send(Notification::Heartbeat { seq });
+    }
+
+    /// Records a checkpoint with an opaque flag.
+    pub fn checkpoint(&mut self, flag: impl Into<String>) {
+        self.send(Notification::Checkpoint { flag: flag.into() });
+    }
+
+    /// True once the engine cancelled this attempt (losing replica); a
+    /// polite task checks this and returns early.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Elapsed seconds since this attempt started.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Sleeps for `secs`, heartbeating every `hb_every` seconds, returning
+    /// early (false) if cancelled.
+    pub fn work_for(&mut self, secs: f64, hb_every: f64) -> bool {
+        let target = self.start.elapsed().as_secs_f64() + secs;
+        let mut next_hb = self.start.elapsed().as_secs_f64() + hb_every;
+        loop {
+            if self.is_cancelled() {
+                return false;
+            }
+            let now = self.start.elapsed().as_secs_f64();
+            if now >= target {
+                return true;
+            }
+            let until_hb = (next_hb - now).max(0.0);
+            let until_end = target - now;
+            std::thread::sleep(Duration::from_secs_f64(until_hb.min(until_end).min(0.05)));
+            if self.start.elapsed().as_secs_f64() >= next_hb {
+                self.heartbeat();
+                next_hb += hb_every;
+            }
+        }
+    }
+}
+
+/// A program body.
+pub type TaskFn = dyn Fn(&mut TaskContext) -> TaskResult + Send + Sync;
+
+/// Executor running program closures on OS threads.
+pub struct ThreadExecutor {
+    programs: HashMap<String, Arc<TaskFn>>,
+    tx: Sender<Envelope>,
+    rx: Receiver<Envelope>,
+    epoch: Instant,
+    cancel_flags: HashMap<TaskId, Arc<AtomicBool>>,
+    outstanding: HashMap<TaskId, std::thread::JoinHandle<()>>,
+}
+
+impl Default for ThreadExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadExecutor {
+    /// An executor with no registered programs.
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        ThreadExecutor {
+            programs: HashMap::new(),
+            tx,
+            rx,
+            epoch: Instant::now(),
+            cancel_flags: HashMap::new(),
+            outstanding: HashMap::new(),
+        }
+    }
+
+    /// Registers the closure implementing a program.
+    pub fn register(
+        &mut self,
+        program: impl Into<String>,
+        body: impl Fn(&mut TaskContext) -> TaskResult + Send + Sync + 'static,
+    ) {
+        self.programs.insert(program.into(), Arc::new(body));
+    }
+
+    fn reap_finished(&mut self) {
+        let done: Vec<TaskId> = self
+            .outstanding
+            .iter()
+            .filter(|(_, h)| h.is_finished())
+            .map(|(&t, _)| t)
+            .collect();
+        for t in done {
+            if let Some(h) = self.outstanding.remove(&t) {
+                let _ = h.join();
+            }
+            self.cancel_flags.remove(&t);
+        }
+    }
+}
+
+impl Executor for ThreadExecutor {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    fn submit(&mut self, req: SubmitRequest) {
+        self.reap_finished();
+        let Some(body) = self.programs.get(&req.program).cloned() else {
+            // Unregistered program behaves like an unknown host: the job
+            // bounces as a crash.
+            let _ = self.tx.send(Envelope::new(
+                req.task,
+                req.hostname.clone(),
+                self.now(),
+                Notification::Done,
+            ));
+            return;
+        };
+        let cancelled = Arc::new(AtomicBool::new(false));
+        self.cancel_flags.insert(req.task, cancelled.clone());
+        let tx = self.tx.clone();
+        let epoch = self.epoch;
+        let handle = std::thread::spawn(move || {
+            let mut ctx = TaskContext {
+                task: req.task,
+                host: req.hostname.clone(),
+                start: Instant::now(),
+                epoch,
+                tx,
+                cancelled,
+                hb_seq: 0,
+                resume_flag: req.checkpoint_flag.clone(),
+            };
+            ctx.send(Notification::TaskStart);
+            let result = body(&mut ctx);
+            if ctx.is_cancelled() {
+                // The engine no longer cares; stay silent like a killed job.
+                return;
+            }
+            match result {
+                TaskResult::Success => {
+                    ctx.send(Notification::TaskEnd);
+                    ctx.send(Notification::Done);
+                }
+                TaskResult::Crash => {
+                    ctx.send(Notification::Done);
+                }
+                TaskResult::Exception { name, detail } => {
+                    ctx.send(Notification::Exception { name, detail });
+                    ctx.send(Notification::Done);
+                }
+            }
+        });
+        self.outstanding.insert(req.task, handle);
+    }
+
+    fn cancel(&mut self, task: TaskId) {
+        if let Some(flag) = self.cancel_flags.get(&task) {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn next_notification(&mut self, deadline: Option<f64>) -> Option<(f64, Envelope)> {
+        self.reap_finished();
+        let env = match deadline {
+            Some(d) => {
+                let wait = (d - self.now()).max(0.0);
+                match self.rx.recv_timeout(Duration::from_secs_f64(wait)) {
+                    Ok(env) => env,
+                    Err(RecvTimeoutError::Timeout) => return None,
+                    Err(RecvTimeoutError::Disconnected) => return None,
+                }
+            }
+            None => {
+                if self.outstanding.is_empty()
+                    || self.outstanding.values().all(|h| h.is_finished())
+                {
+                    // Only drain what is already queued; nothing new will come.
+                    match self.rx.try_recv() {
+                        Ok(env) => env,
+                        Err(_) => return None,
+                    }
+                } else {
+                    match self.rx.recv() {
+                        Ok(env) => env,
+                        Err(_) => return None,
+                    }
+                }
+            }
+        };
+        Some((self.now(), env))
+    }
+
+    fn is_idle(&self) -> bool {
+        self.outstanding.values().all(|h| h.is_finished()) && self.rx.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(task: u64, program: &str) -> SubmitRequest {
+        SubmitRequest {
+            task: TaskId(task),
+            activity: "a".into(),
+            program: program.into(),
+            hostname: "localhost".into(),
+            service: "thread".into(),
+            nominal_duration: 0.1,
+            checkpoint_flag: None,
+            heartbeat_interval: 0.02,
+        }
+    }
+
+    fn drain(x: &mut ThreadExecutor, timeout: f64) -> Vec<Notification> {
+        let mut out = Vec::new();
+        let deadline = x.now() + timeout;
+        while let Some((_, env)) = x.next_notification(Some(deadline)) {
+            let done = matches!(env.body, Notification::Done);
+            out.push(env.body);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn successful_closure_produces_canonical_stream() {
+        let mut x = ThreadExecutor::new();
+        x.register("ok", |ctx| {
+            ctx.heartbeat();
+            TaskResult::Success
+        });
+        x.submit(req(1, "ok"));
+        let bodies = drain(&mut x, 2.0);
+        assert!(matches!(bodies.first(), Some(Notification::TaskStart)));
+        assert!(bodies.iter().any(|b| matches!(b, Notification::Heartbeat { .. })));
+        let n = bodies.len();
+        assert!(matches!(bodies[n - 2], Notification::TaskEnd));
+        assert!(matches!(bodies[n - 1], Notification::Done));
+    }
+
+    #[test]
+    fn crash_result_omits_task_end() {
+        let mut x = ThreadExecutor::new();
+        x.register("boom", |_| TaskResult::Crash);
+        x.submit(req(1, "boom"));
+        let bodies = drain(&mut x, 2.0);
+        assert!(!bodies.iter().any(|b| matches!(b, Notification::TaskEnd)));
+        assert!(matches!(bodies.last(), Some(Notification::Done)));
+    }
+
+    #[test]
+    fn exception_result_is_reported() {
+        let mut x = ThreadExecutor::new();
+        x.register("exc", |_| TaskResult::Exception {
+            name: "disk_full".into(),
+            detail: "test".into(),
+        });
+        x.submit(req(1, "exc"));
+        let bodies = drain(&mut x, 2.0);
+        assert!(bodies.iter().any(
+            |b| matches!(b, Notification::Exception { name, .. } if name == "disk_full")
+        ));
+    }
+
+    #[test]
+    fn unregistered_program_bounces() {
+        let mut x = ThreadExecutor::new();
+        x.submit(req(1, "ghost"));
+        let bodies = drain(&mut x, 2.0);
+        assert_eq!(bodies.len(), 1);
+        assert!(matches!(bodies[0], Notification::Done));
+    }
+
+    #[test]
+    fn checkpoint_flag_round_trips() {
+        let mut x = ThreadExecutor::new();
+        x.register("ck", |ctx| {
+            assert_eq!(ctx.resume_flag.as_deref(), Some("ckpt:5"));
+            ctx.checkpoint("ckpt:7");
+            TaskResult::Success
+        });
+        let mut r = req(1, "ck");
+        r.checkpoint_flag = Some("ckpt:5".into());
+        x.submit(r);
+        let bodies = drain(&mut x, 2.0);
+        assert!(bodies
+            .iter()
+            .any(|b| matches!(b, Notification::Checkpoint { flag } if flag == "ckpt:7")));
+    }
+
+    #[test]
+    fn cancel_silences_a_cooperative_task() {
+        let mut x = ThreadExecutor::new();
+        x.register("slow", |ctx| {
+            if ctx.work_for(5.0, 0.05) {
+                TaskResult::Success
+            } else {
+                TaskResult::Crash // unreachable: cancelled tasks stay silent
+            }
+        });
+        x.submit(req(1, "slow"));
+        // Let it start, then cancel.
+        let _ = x.next_notification(Some(x.now() + 1.0));
+        x.cancel(TaskId(1));
+        // No Done should ever arrive.
+        let mut saw_done = false;
+        while let Some((_, env)) = x.next_notification(Some(x.now() + 0.3)) {
+            if matches!(env.body, Notification::Done) {
+                saw_done = true;
+            }
+        }
+        assert!(!saw_done, "cancelled task must not report Done");
+    }
+
+    #[test]
+    fn work_for_heartbeats_and_completes() {
+        let mut x = ThreadExecutor::new();
+        x.register("w", |ctx| {
+            assert!(ctx.work_for(0.15, 0.03));
+            TaskResult::Success
+        });
+        x.submit(req(1, "w"));
+        let bodies = drain(&mut x, 3.0);
+        let beats = bodies
+            .iter()
+            .filter(|b| matches!(b, Notification::Heartbeat { .. }))
+            .count();
+        assert!(beats >= 2, "expected several heartbeats, got {beats}");
+        assert!(matches!(bodies.last(), Some(Notification::Done)));
+    }
+
+    #[test]
+    fn deadline_expiry_returns_none() {
+        let mut x = ThreadExecutor::new();
+        assert!(x.next_notification(Some(x.now() + 0.05)).is_none());
+        assert!(x.is_idle());
+    }
+}

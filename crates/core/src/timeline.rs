@@ -1,0 +1,213 @@
+//! ASCII timeline rendering of a workflow execution.
+//!
+//! The engine records one [`Span`] per task attempt (submission →
+//! settlement/cancellation).  [`render`] draws them as a Gantt-style chart,
+//! one lane per attempt grouped by activity — which makes recovery
+//! behaviour visible at a glance: retries appear as successive bars,
+//! replicas as parallel bars with all but one cut short, and alternative
+//! tasks as late bars on other activities.
+//!
+//! ```text
+//! fast_task   #1 |=====x                                  | crashed
+//! slow_task   #2 |      ===============================✓  | done
+//! ```
+
+use crate::engine::Report;
+
+/// How one attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Completed successfully.
+    Completed,
+    /// Crashed (including presumed crashes).
+    Crashed,
+    /// Raised an exception.
+    Exception,
+    /// Cancelled by the engine (losing replica / node settled elsewhere).
+    Cancelled,
+}
+
+impl SpanOutcome {
+    fn glyph(self) -> char {
+        match self {
+            SpanOutcome::Completed => '+',
+            SpanOutcome::Crashed => 'x',
+            SpanOutcome::Exception => '!',
+            SpanOutcome::Cancelled => '/',
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            SpanOutcome::Completed => "completed",
+            SpanOutcome::Crashed => "crashed",
+            SpanOutcome::Exception => "exception",
+            SpanOutcome::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One task attempt's lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Owning activity.
+    pub activity: String,
+    /// Attempt id (engine task number).
+    pub task: u64,
+    /// Host the attempt ran on.
+    pub host: String,
+    /// Submission time.
+    pub start: f64,
+    /// Settlement/cancellation time.
+    pub end: f64,
+    /// How it ended.
+    pub outcome: SpanOutcome,
+}
+
+/// Renders the report's spans as an ASCII chart `width` characters wide.
+/// Spans are grouped by activity in first-submission order.
+pub fn render(report: &Report, width: usize) -> String {
+    let spans = &report.spans;
+    if spans.is_empty() {
+        return "(no task attempts were made)\n".to_string();
+    }
+    let t_end = report.finished_at.max(
+        spans
+            .iter()
+            .map(|s| s.end)
+            .fold(0.0f64, f64::max),
+    );
+    let scale = if t_end > 0.0 {
+        (width.max(10) - 1) as f64 / t_end
+    } else {
+        1.0
+    };
+    let name_w = spans
+        .iter()
+        .map(|s| s.activity.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline 0 .. {t_end:.2} ({} attempts, '=' running, '+'/ 'x'/'!'/'/' = done/crash/exception/cancel)\n",
+        spans.len()
+    ));
+    // Group by activity in first-appearance order.
+    let mut order: Vec<&str> = Vec::new();
+    for s in spans {
+        if !order.contains(&s.activity.as_str()) {
+            order.push(&s.activity);
+        }
+    }
+    for activity in order {
+        for s in spans.iter().filter(|s| s.activity == activity) {
+            let from = (s.start * scale).round() as usize;
+            let to = ((s.end * scale).round() as usize).max(from);
+            let mut lane = vec![' '; width.max(to + 1)];
+            for slot in lane.iter_mut().take(to).skip(from) {
+                *slot = '=';
+            }
+            lane[to] = s.outcome.glyph();
+            let lane: String = lane.into_iter().collect();
+            out.push_str(&format!(
+                "{:<name_w$} #{:<3} |{}| {}\n",
+                s.activity,
+                s.task,
+                &lane[..width.max(to + 1)],
+                s.outcome.label(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::sim_executor::{SimGrid, TaskProfile};
+    use gridwfs_sim::dist::Dist;
+    use gridwfs_sim::resource::ResourceSpec;
+    use gridwfs_wpdl::builder::{figure4, WorkflowBuilder};
+    use gridwfs_wpdl::validate::validate;
+
+    #[test]
+    fn spans_cover_all_attempts() {
+        let mut b = WorkflowBuilder::new("t").program("p", 10.0, &["h"]);
+        b.activity("a", "p").retry(3, 1.0);
+        let mut grid = SimGrid::new(1);
+        grid.add_host(ResourceSpec::reliable("h"));
+        grid.set_profile("p", TaskProfile::reliable().with_soft_crash(Dist::constant(2.0)));
+        let report = Engine::new(b.build().unwrap(), grid).run();
+        assert_eq!(report.spans.len(), 3, "one span per attempt");
+        assert!(report
+            .spans
+            .iter()
+            .all(|s| s.outcome == SpanOutcome::Crashed));
+        assert!(report.spans.windows(2).all(|w| w[0].start <= w[1].start));
+        for s in &report.spans {
+            assert!(s.end >= s.start);
+        }
+    }
+
+    #[test]
+    fn replica_spans_mark_winner_and_cancelled() {
+        let mut b = WorkflowBuilder::new("r").program("p", 10.0, &["fast", "slow"]);
+        b.activity("a", "p").replicate();
+        let mut grid = SimGrid::new(2);
+        grid.add_host(ResourceSpec::reliable("fast").with_speed(2.0));
+        grid.add_host(ResourceSpec::reliable("slow"));
+        let report = Engine::new(b.build().unwrap(), grid).run();
+        let outcomes: Vec<SpanOutcome> = report.spans.iter().map(|s| s.outcome).collect();
+        assert!(outcomes.contains(&SpanOutcome::Completed));
+        assert!(outcomes.contains(&SpanOutcome::Cancelled));
+        let cancelled = report
+            .spans
+            .iter()
+            .find(|s| s.outcome == SpanOutcome::Cancelled)
+            .unwrap();
+        assert_eq!(cancelled.end, 5.0, "loser cut at the winner's finish");
+    }
+
+    #[test]
+    fn render_shows_recovery_structure() {
+        let mut grid = SimGrid::new(3);
+        grid.add_host(ResourceSpec::reliable("volunteer.example.org"));
+        grid.add_host(ResourceSpec::reliable("condor.example.org"));
+        grid.set_profile(
+            "fast_impl",
+            TaskProfile::reliable().with_soft_crash(Dist::constant(3.0)),
+        );
+        let report = Engine::new(validate(figure4(30.0, 150.0)).unwrap(), grid).run();
+        let chart = render(&report, 60);
+        assert!(chart.contains("fast_task"), "{chart}");
+        assert!(chart.contains("slow_task"));
+        assert!(chart.contains('x'), "crash glyph present:\n{chart}");
+        assert!(chart.contains('+'), "completion glyph present:\n{chart}");
+        // One line per attempt plus the header.
+        assert_eq!(chart.lines().count(), 1 + report.spans.len());
+    }
+
+    #[test]
+    fn render_empty_report() {
+        // A workflow of only dummies has no attempts.
+        let mut b = WorkflowBuilder::new("d");
+        b.dummy("only");
+        let report = Engine::new(b.build().unwrap(), SimGrid::new(4)).run();
+        assert!(report.is_success());
+        assert!(render(&report, 40).contains("no task attempts"));
+    }
+
+    #[test]
+    fn exception_glyph() {
+        let mut b = WorkflowBuilder::new("e").program("p", 10.0, &["h"]);
+        b.activity("a", "p");
+        let mut grid = SimGrid::new(5);
+        grid.add_host(ResourceSpec::reliable("h"));
+        grid.set_profile("p", TaskProfile::reliable().with_exception("oom", 2, 1.0));
+        let report = Engine::new(b.build().unwrap(), grid).run();
+        assert_eq!(report.spans[0].outcome, SpanOutcome::Exception);
+        assert!(render(&report, 40).contains('!'));
+    }
+}

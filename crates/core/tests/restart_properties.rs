@@ -1,0 +1,137 @@
+//! Property tests for the §7 engine-restart story: abort the engine after
+//! an arbitrary number of settlements (the simulated engine-host crash),
+//! restore from its checkpoint file, and finish on a fresh Grid.  Work
+//! recorded as done is never redone; the resumed run always terminates
+//! coherently.
+
+use grid_wfs::checkpoint;
+use grid_wfs::engine::{Engine, EngineConfig};
+use grid_wfs::sim_executor::{SimGrid, TaskProfile};
+use gridwfs_sim::dist::Dist;
+use gridwfs_sim::resource::ResourceSpec;
+use gridwfs_wpdl::ast::{Activity, Policy, Program, Transition, Trigger, Workflow};
+use gridwfs_wpdl::validate::validate;
+use proptest::prelude::*;
+
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    (3usize..8, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as usize
+        };
+        let mut w = Workflow::new("restartable");
+        w.programs
+            .push(Program::new("p", 3.0 + (next() % 10) as f64, "h1").option("h2"));
+        for i in 0..n {
+            let mut a = if next() % 4 == 0 {
+                Activity::dummy(format!("t{i}"))
+            } else {
+                Activity::new(format!("t{i}"), "p")
+            };
+            if !a.is_dummy() {
+                a.max_tries = 1 + (next() % 2) as u32;
+                a.heartbeat_interval = 0.5;
+                if next() % 5 == 0 {
+                    a.policy = Policy::Replica;
+                }
+            }
+            w.activities.push(a);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..(n + next() % n) {
+            let from = next() % (n - 1);
+            let to = from + 1 + next() % (n - from - 1);
+            let trig = if next() % 4 == 0 {
+                Trigger::Failed
+            } else {
+                Trigger::Done
+            };
+            if seen.insert((from, to, trig.clone())) {
+                w.transitions
+                    .push(Transition::new(format!("t{from}"), format!("t{to}")).on(trig));
+            }
+        }
+        w
+    })
+}
+
+fn grid(seed: u64) -> SimGrid {
+    let mut g = SimGrid::new(seed);
+    g.add_host(ResourceSpec::reliable("h1"));
+    g.add_host(ResourceSpec::unreliable("h2", 20.0, 1.0));
+    g.set_profile(
+        "p",
+        TaskProfile::reliable().with_soft_crash(Dist::exponential_mean(30.0)),
+    );
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Crash-restart at an arbitrary settlement count: completed work
+    /// survives, the resumed run terminates, and nothing recorded done is
+    /// resubmitted.
+    #[test]
+    fn restart_at_any_cut_point_preserves_done_work(
+        w in arb_workflow(),
+        seed in any::<u64>(),
+        cut in 1u64..6,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "gridwfs-restartprop-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("state.xml");
+
+        let validated = validate(w).expect("generated workflows validate");
+        let config = EngineConfig {
+            checkpoint_path: Some(ckpt.clone()),
+            max_settlements: Some(cut),
+            ..EngineConfig::default()
+        };
+        let phase1 = Engine::new(validated, grid(seed))
+            .with_config(config)
+            .run();
+        // The aborted run must have checkpointed whatever it settled.
+        if !ckpt.exists() {
+            // Nothing settled before the cut (e.g. everything still
+            // running): nothing to verify.
+            std::fs::remove_dir_all(&dir).ok();
+            return Ok(());
+        }
+        let done_in_phase1: Vec<String> = phase1
+            .node_status
+            .iter()
+            .filter(|(_, s)| s == "done")
+            .map(|(n, _)| n.clone())
+            .collect();
+
+        let restored = checkpoint::load(&ckpt).expect("checkpoint loads");
+        // Every activity the checkpoint recorded done is done after restore.
+        let phase2 = Engine::from_instance(restored, grid(seed ^ 0xDEAD))
+            .run();
+        // Terminates coherently.
+        for (_, status) in &phase2.node_status {
+            prop_assert!(status != "pending" && status != "running");
+        }
+        // Done work was not redone.  (Checkpoints are written at every
+        // settlement, so phase 1's report may include one settlement past
+        // the last write only when the abort raced the final write; the
+        // file always reflects a prefix of phase 1's settlements.)
+        for name in &done_in_phase1 {
+            if phase2.status_of(name) == Some("done") {
+                prop_assert_eq!(
+                    phase2.submissions_of(name),
+                    0,
+                    "{} was already done in the checkpoint",
+                    name
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

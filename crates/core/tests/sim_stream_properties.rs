@@ -1,0 +1,176 @@
+//! Property tests on the simulated Grid's notification streams: whatever
+//! the failure injection, every attempt's stream must be *well-formed* —
+//! the classifier's correctness depends on it.
+
+use grid_wfs::executor::{Executor, SubmitRequest};
+use grid_wfs::sim_executor::{SimGrid, TaskProfile};
+use gridwfs_detect::notify::{Notification, TaskId};
+use gridwfs_sim::dist::Dist;
+use gridwfs_sim::resource::ResourceSpec;
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = TaskProfile> {
+    (
+        proptest::option::of(0.5f64..5.0),
+        proptest::option::of(0.5f64..50.0),
+        proptest::option::of((1u32..6, 0.0f64..1.0)),
+    )
+        .prop_map(|(ckpt, crash, exc)| {
+            let mut p = TaskProfile::reliable();
+            if let Some(period) = ckpt {
+                p = p.with_checkpoints(period);
+            }
+            if let Some(mean) = crash {
+                p = p.with_soft_crash(Dist::exponential_mean(mean));
+            }
+            if let Some((checks, prob)) = exc {
+                p = p.with_exception("exc", checks, prob);
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Stream well-formedness under arbitrary profiles and host models:
+    /// TaskStart first; timestamps non-decreasing; at most one of
+    /// {TaskEnd, Exception}; TaskEnd (if any) immediately precedes Done;
+    /// Done (if any) is last; heartbeat sequence numbers increase;
+    /// checkpoint progress strictly increases and stays below the work.
+    #[test]
+    fn streams_are_well_formed(
+        seed in any::<u64>(),
+        profile in arb_profile(),
+        mttf in 0.5f64..100.0,
+        duration in 1.0f64..50.0,
+        hb in prop_oneof![Just(0.0), 0.2f64..3.0],
+        resume in proptest::option::of(0.0f64..40.0),
+    ) {
+        let mut grid = SimGrid::new(seed);
+        grid.add_host(ResourceSpec::unreliable("h", mttf, 2.0));
+        grid.set_profile("p", profile);
+        grid.submit(SubmitRequest {
+            task: TaskId(1),
+            activity: "a".into(),
+            program: "p".into(),
+            hostname: "h".into(),
+            service: "jobmanager".into(),
+            nominal_duration: duration,
+            checkpoint_flag: resume.map(|r| format!("ckpt:{r}")),
+            heartbeat_interval: hb,
+        });
+        let mut events = Vec::new();
+        while let Some(ev) = grid.next_notification(None) {
+            events.push(ev);
+        }
+        // Timestamps non-decreasing.
+        for w in events.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "timestamps must not go backwards");
+        }
+        let bodies: Vec<&Notification> = events.iter().map(|(_, e)| &e.body).collect();
+        if let Some(first) = bodies.first() {
+            prop_assert!(matches!(first, Notification::TaskStart), "TaskStart first, got {first:?}");
+        }
+        let ends = bodies.iter().filter(|b| matches!(b, Notification::TaskEnd)).count();
+        let excs = bodies.iter().filter(|b| matches!(b, Notification::Exception { .. })).count();
+        let dones = bodies.iter().filter(|b| matches!(b, Notification::Done)).count();
+        prop_assert!(ends + excs <= 1, "at most one terminal app event");
+        prop_assert!(dones <= 1, "at most one Done");
+        if let Some(pos) = bodies.iter().position(|b| matches!(b, Notification::Done)) {
+            prop_assert_eq!(pos, bodies.len() - 1, "Done is last when present");
+        }
+        if let Some(pos) = bodies.iter().position(|b| matches!(b, Notification::TaskEnd)) {
+            prop_assert!(
+                matches!(bodies.get(pos + 1), Some(Notification::Done)),
+                "TaskEnd immediately precedes Done"
+            );
+        }
+        // Heartbeat sequence numbers strictly increase.
+        let mut last_seq = None;
+        for b in &bodies {
+            if let Notification::Heartbeat { seq } = b {
+                if let Some(prev) = last_seq {
+                    prop_assert!(*seq > prev);
+                }
+                last_seq = Some(*seq);
+            }
+        }
+        // Checkpoint progress strictly increases within (resume, duration).
+        let mut last_progress = resume.map(|r| r.min(duration)).unwrap_or(0.0);
+        for b in &bodies {
+            if let Notification::Checkpoint { flag } = b {
+                let p: f64 = flag.strip_prefix("ckpt:").unwrap().parse().unwrap();
+                prop_assert!(p > last_progress, "checkpoint progress {p} after {last_progress}");
+                prop_assert!(p < duration + 1e-9);
+                last_progress = p;
+            }
+        }
+    }
+
+    /// Cancellation is total: after cancel, no further events for that task.
+    #[test]
+    fn cancel_is_total(seed in any::<u64>(), after in 0usize..10) {
+        let mut grid = SimGrid::new(seed);
+        grid.add_host(ResourceSpec::reliable("h"));
+        grid.submit(SubmitRequest {
+            task: TaskId(1),
+            activity: "a".into(),
+            program: "p".into(),
+            hostname: "h".into(),
+            service: "jobmanager".into(),
+            nominal_duration: 20.0,
+            checkpoint_flag: None,
+            heartbeat_interval: 1.0,
+        });
+        for _ in 0..after {
+            if grid.next_notification(None).is_none() {
+                break;
+            }
+        }
+        grid.cancel(TaskId(1));
+        prop_assert!(grid.next_notification(None).is_none(), "silence after cancel");
+        prop_assert!(grid.is_idle());
+    }
+
+    /// The detector classifies every well-formed stream to exactly one
+    /// terminal detection (given heartbeat sweeping), never more.
+    #[test]
+    fn detector_yields_at_most_one_terminal(
+        seed in any::<u64>(),
+        profile in arb_profile(),
+        mttf in 0.5f64..50.0,
+    ) {
+        use gridwfs_detect::detector::Detector;
+        let mut grid = SimGrid::new(seed);
+        grid.add_host(ResourceSpec::unreliable("h", mttf, 1.0));
+        grid.set_profile("p", profile);
+        grid.submit(SubmitRequest {
+            task: TaskId(1),
+            activity: "a".into(),
+            program: "p".into(),
+            hostname: "h".into(),
+            service: "jobmanager".into(),
+            nominal_duration: 10.0,
+            checkpoint_flag: None,
+            heartbeat_interval: 1.0,
+        });
+        let mut det = Detector::new();
+        det.register_task(TaskId(1), 1.0, 3.0, 0.0);
+        let mut terminals = 0;
+        while let Some((t, env)) = grid.next_notification(None) {
+            for d in det.observe(&env, t) {
+                if d.is_terminal() {
+                    terminals += 1;
+                }
+            }
+        }
+        // Sweep far in the future to flush heartbeat-loss presumption.
+        for d in det.sweep(1e12) {
+            if d.is_terminal() {
+                terminals += 1;
+            }
+        }
+        prop_assert_eq!(terminals, 1, "exactly one classification per attempt");
+    }
+}

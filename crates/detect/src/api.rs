@@ -1,0 +1,208 @@
+//! Task-side event notification API.
+//!
+//! In the original system a task links the failure-detection client library
+//! and calls `globus_FDS_task_*` functions (`task_end`, `task_exception`,
+//! `task_checkpoint`, …) to push event notifications back to the workflow
+//! engine.  [`TaskNotifier`] is that API: one instance per task attempt,
+//! producing [`Envelope`]s into any sink.  The simulated Grid executor uses
+//! it to fabricate exactly the message sequences a real task would emit, and
+//! the threaded executor hands it to user closures so *application code*
+//! can raise user-defined exceptions just like the paper's tasks do.
+
+use crate::notify::{Envelope, Notification, TaskId};
+
+/// Sink that receives the notifications a task emits.
+pub trait NotificationSink {
+    /// Accepts one message.  Delivery semantics (delay, loss) belong to the
+    /// transport, not to the task.
+    fn send(&mut self, env: Envelope);
+}
+
+/// Any `FnMut(Envelope)` is a sink.
+impl<F: FnMut(Envelope)> NotificationSink for F {
+    fn send(&mut self, env: Envelope) {
+        self(env)
+    }
+}
+
+/// A growable buffer of envelopes — the simplest sink, handy in tests.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct VecSink(pub Vec<Envelope>);
+
+impl NotificationSink for VecSink {
+    fn send(&mut self, env: Envelope) {
+        self.0.push(env);
+    }
+}
+
+/// The task-side notification API for one task attempt.
+///
+/// Mirrors the call set described in §3/§4.3 of the paper: heartbeats are
+/// emitted periodically while the task runs; `task_end` marks successful
+/// application-level completion; `task_exception` raises a user-defined
+/// exception; `task_checkpoint` announces a checkpoint and carries the
+/// opaque recovery flag.
+#[derive(Debug)]
+pub struct TaskNotifier<S> {
+    task: TaskId,
+    host: String,
+    sink: S,
+    next_seq: u64,
+    ended: bool,
+}
+
+impl<S: NotificationSink> TaskNotifier<S> {
+    /// Binds the API to a task attempt running on `host`.
+    pub fn new(task: TaskId, host: impl Into<String>, sink: S) -> Self {
+        TaskNotifier {
+            task,
+            host: host.into(),
+            sink,
+            next_seq: 0,
+            ended: false,
+        }
+    }
+
+    fn emit(&mut self, at: f64, body: Notification) {
+        let env = Envelope::new(self.task, self.host.clone(), at, body);
+        self.sink.send(env);
+    }
+
+    /// Announces the task process has started (`Task Start`).
+    pub fn task_start(&mut self, at: f64) {
+        self.emit(at, Notification::TaskStart);
+    }
+
+    /// Emits one heartbeat; sequence numbers increase automatically.
+    pub fn heartbeat(&mut self, at: f64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.emit(at, Notification::Heartbeat { seq });
+    }
+
+    /// Announces a checkpoint with an opaque recovery `flag`
+    /// (`globus_FDS_task_checkpoint` in the original).
+    pub fn task_checkpoint(&mut self, at: f64, flag: impl Into<String>) {
+        self.emit(at, Notification::Checkpoint { flag: flag.into() });
+    }
+
+    /// Raises a user-defined exception.
+    pub fn task_exception(&mut self, at: f64, name: impl Into<String>, detail: impl Into<String>) {
+        self.emit(
+            at,
+            Notification::Exception {
+                name: name.into(),
+                detail: detail.into(),
+            },
+        );
+    }
+
+    /// Marks successful application-level completion (`Task End`).  May be
+    /// called at most once.
+    ///
+    /// # Panics
+    /// Panics on a second call — a task ending twice is a bug in the task.
+    pub fn task_end(&mut self, at: f64) {
+        assert!(!self.ended, "task_end called twice for {}", self.task);
+        self.ended = true;
+        self.emit(at, Notification::TaskEnd);
+    }
+
+    /// The job-manager-side `Done` event (process exit).  Exposed here so
+    /// simulated executors can produce complete streams from one object.
+    pub fn job_manager_done(&mut self, at: f64) {
+        self.emit(at, Notification::Done);
+    }
+
+    /// Consumes the notifier, returning the sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successful_task_emits_canonical_sequence() {
+        let mut n = TaskNotifier::new(TaskId(1), "bolas.isi.edu", VecSink::default());
+        n.task_start(0.0);
+        n.heartbeat(1.0);
+        n.heartbeat(2.0);
+        n.task_end(3.0);
+        n.job_manager_done(3.1);
+        let msgs = n.into_sink().0;
+        assert_eq!(msgs.len(), 5);
+        assert_eq!(msgs[0].body, Notification::TaskStart);
+        assert_eq!(msgs[1].body, Notification::Heartbeat { seq: 0 });
+        assert_eq!(msgs[2].body, Notification::Heartbeat { seq: 1 });
+        assert_eq!(msgs[3].body, Notification::TaskEnd);
+        assert_eq!(msgs[4].body, Notification::Done);
+        assert!(msgs.iter().all(|m| m.task == TaskId(1)));
+        assert!(msgs.iter().all(|m| m.host == "bolas.isi.edu"));
+    }
+
+    #[test]
+    fn heartbeat_sequence_numbers_increase() {
+        let mut n = TaskNotifier::new(TaskId(2), "h", VecSink::default());
+        for t in 0..5 {
+            n.heartbeat(t as f64);
+        }
+        let seqs: Vec<u64> = n
+            .into_sink()
+            .0
+            .iter()
+            .filter_map(|e| match e.body {
+                Notification::Heartbeat { seq } => Some(seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn exception_carries_name_and_detail() {
+        let mut n = TaskNotifier::new(TaskId(3), "h", VecSink::default());
+        n.task_exception(5.0, "disk_full", "3MB left");
+        let msgs = n.into_sink().0;
+        assert_eq!(
+            msgs[0].body,
+            Notification::Exception {
+                name: "disk_full".into(),
+                detail: "3MB left".into()
+            }
+        );
+        assert_eq!(msgs[0].sent_at, 5.0);
+    }
+
+    #[test]
+    fn checkpoint_flag_roundtrips() {
+        let mut n = TaskNotifier::new(TaskId(4), "h", VecSink::default());
+        n.task_checkpoint(1.0, "ckpt-17");
+        match &n.into_sink().0[0].body {
+            Notification::Checkpoint { flag } => assert_eq!(flag, "ckpt-17"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "task_end called twice")]
+    fn double_task_end_panics() {
+        let mut n = TaskNotifier::new(TaskId(5), "h", VecSink::default());
+        n.task_end(1.0);
+        n.task_end(2.0);
+    }
+
+    #[test]
+    fn closure_sink_works() {
+        let mut seen = 0usize;
+        {
+            let sink = |_env: Envelope| seen += 1;
+            let mut n = TaskNotifier::new(TaskId(6), "h", sink);
+            n.task_start(0.0);
+            n.task_end(1.0);
+        }
+        assert_eq!(seen, 2);
+    }
+}

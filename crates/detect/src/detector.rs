@@ -1,0 +1,505 @@
+//! The failure classifier.
+//!
+//! [`Detector`] consumes the notification stream for a set of task attempts
+//! and produces [`Detection`]s — the classified outcomes the workflow engine
+//! acts on.  The classification rules come straight from the paper:
+//!
+//! * `Done` **with** a preceding `Task End` ⇒ the attempt **completed**;
+//! * `Done` **without** `Task End` ⇒ **task crash** (§4.1: "by receiving
+//!   Done without Task End notification");
+//! * `Exception{name}` ⇒ **user-defined exception**;
+//! * heartbeat silence past the tolerance ⇒ **presumed crash** (host crash,
+//!   network partition, reboot — indistinguishable and treated alike);
+//! * `Checkpoint{flag}` ⇒ the attempt is checkpoint-enabled; the flag is
+//!   retained so the engine can hand it back on restart (§4.3).
+
+use std::collections::HashMap;
+
+use crate::exception::ExceptionRegistry;
+use crate::heartbeat::HeartbeatMonitor;
+use crate::notify::{Envelope, Notification, TaskId};
+use crate::state::{TaskState, TaskStateMachine};
+
+/// Why a crash was declared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashReason {
+    /// The job manager reported process exit but the task never emitted
+    /// `Task End` — it died mid-computation.
+    DoneWithoutTaskEnd,
+    /// Heartbeats stopped arriving (host crash / partition / reboot).
+    HeartbeatLoss,
+}
+
+/// A classified task outcome delivered to the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Detection {
+    /// The attempt finished its work successfully.
+    Completed {
+        /// Which attempt.
+        task: TaskId,
+        /// Detection time.
+        at: f64,
+    },
+    /// The attempt crashed.
+    Crashed {
+        /// Which attempt.
+        task: TaskId,
+        /// Detection time.
+        at: f64,
+        /// How the crash was inferred.
+        reason: CrashReason,
+    },
+    /// The attempt raised a user-defined exception.
+    ExceptionRaised {
+        /// Which attempt.
+        task: TaskId,
+        /// Detection time.
+        at: f64,
+        /// Exception name.
+        name: String,
+        /// Free-form detail from the task.
+        detail: String,
+        /// Whether the name was registered in the workflow's registry.
+        known: bool,
+    },
+    /// The attempt recorded a checkpoint (informational; the engine stores
+    /// the flag for restart).
+    CheckpointRecorded {
+        /// Which attempt.
+        task: TaskId,
+        /// Detection time.
+        at: f64,
+        /// Opaque recovery cookie.
+        flag: String,
+    },
+}
+
+impl Detection {
+    /// The attempt this detection concerns.
+    pub fn task(&self) -> TaskId {
+        match self {
+            Detection::Completed { task, .. }
+            | Detection::Crashed { task, .. }
+            | Detection::ExceptionRaised { task, .. }
+            | Detection::CheckpointRecorded { task, .. } => *task,
+        }
+    }
+
+    /// True for detections that settle the attempt (no further events
+    /// expected).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, Detection::CheckpointRecorded { .. })
+    }
+}
+
+#[derive(Debug)]
+struct TaskRecord {
+    machine: TaskStateMachine,
+    saw_task_end: bool,
+    checkpoint_flag: Option<String>,
+    checkpoint_enabled: bool,
+}
+
+impl TaskRecord {
+    fn new() -> Self {
+        TaskRecord {
+            machine: TaskStateMachine::new(),
+            saw_task_end: false,
+            checkpoint_flag: None,
+            checkpoint_enabled: false,
+        }
+    }
+}
+
+/// Failure detection service instance (one per workflow engine).
+#[derive(Debug, Default)]
+pub struct Detector {
+    records: HashMap<TaskId, TaskRecord>,
+    monitor: HeartbeatMonitor,
+    registry: ExceptionRegistry,
+}
+
+impl Detector {
+    /// A detector with no registered exceptions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A detector using the workflow's exception registry.
+    pub fn with_registry(registry: ExceptionRegistry) -> Self {
+        Detector {
+            records: HashMap::new(),
+            monitor: HeartbeatMonitor::new(),
+            registry,
+        }
+    }
+
+    /// The exception registry in use.
+    pub fn registry(&self) -> &ExceptionRegistry {
+        &self.registry
+    }
+
+    /// Registers a task attempt before submission.  `hb_interval` /
+    /// `hb_tolerance` configure crash presumption; pass `hb_interval = 0`
+    /// to disable heartbeat watching for this attempt.
+    pub fn register_task(&mut self, task: TaskId, hb_interval: f64, hb_tolerance: f64, now: f64) {
+        self.records.insert(task, TaskRecord::new());
+        if hb_interval > 0.0 {
+            self.monitor.watch(task, hb_interval, hb_tolerance, now);
+        }
+    }
+
+    /// Current observed state of an attempt (`None` if unregistered).
+    pub fn state(&self, task: TaskId) -> Option<TaskState> {
+        self.records.get(&task).map(|r| r.machine.current())
+    }
+
+    /// Latest checkpoint flag recorded for an attempt, if any.  Survives the
+    /// attempt's failure — that is the point: the engine reads it when
+    /// building the retry submission.
+    pub fn checkpoint_flag(&self, task: TaskId) -> Option<&str> {
+        self.records
+            .get(&task)
+            .and_then(|r| r.checkpoint_flag.as_deref())
+    }
+
+    /// True once the attempt has announced it is checkpoint-enabled.
+    pub fn is_checkpoint_enabled(&self, task: TaskId) -> bool {
+        self.records
+            .get(&task)
+            .map(|r| r.checkpoint_enabled)
+            .unwrap_or(false)
+    }
+
+    /// Earliest heartbeat deadline across live attempts — the next time the
+    /// caller should invoke [`Detector::sweep`].  `None` when nothing is
+    /// being watched.
+    pub fn next_deadline(&self) -> Option<f64> {
+        self.records
+            .keys()
+            .filter_map(|&t| self.monitor.deadline(t))
+            .min_by(|a, b| a.partial_cmp(b).expect("deadlines are finite"))
+    }
+
+    fn mark_active(record: &mut TaskRecord) {
+        if record.machine.current() == TaskState::Inactive {
+            record
+                .machine
+                .transition(TaskState::Active)
+                .expect("Inactive -> Active is legal");
+        }
+    }
+
+    /// Processes one delivered notification.  `now` is the delivery time
+    /// (send time plus transport delay).  Returns the detections (0 or 1;
+    /// a `Vec` for uniformity with [`Detector::sweep`]).
+    pub fn observe(&mut self, env: &Envelope, now: f64) -> Vec<Detection> {
+        let Some(record) = self.records.get_mut(&env.task) else {
+            return Vec::new(); // unknown attempt: stale or misrouted
+        };
+        if record.machine.is_settled() {
+            return Vec::new(); // late message after terminal classification
+        }
+        match &env.body {
+            Notification::Heartbeat { seq } => {
+                Self::mark_active(record);
+                self.monitor.beat(env.task, *seq, now);
+                Vec::new()
+            }
+            Notification::TaskStart => {
+                Self::mark_active(record);
+                Vec::new()
+            }
+            Notification::TaskEnd => {
+                Self::mark_active(record);
+                record.saw_task_end = true;
+                Vec::new()
+            }
+            Notification::Checkpoint { flag } => {
+                Self::mark_active(record);
+                record.checkpoint_enabled = true;
+                record.checkpoint_flag = Some(flag.clone());
+                vec![Detection::CheckpointRecorded {
+                    task: env.task,
+                    at: now,
+                    flag: flag.clone(),
+                }]
+            }
+            Notification::Exception { name, detail } => {
+                record
+                    .machine
+                    .transition(TaskState::Exception)
+                    .expect("non-terminal -> Exception is legal");
+                self.monitor.unwatch(env.task);
+                vec![Detection::ExceptionRaised {
+                    task: env.task,
+                    at: now,
+                    name: name.clone(),
+                    detail: detail.clone(),
+                    known: self.registry.is_known(name),
+                }]
+            }
+            Notification::Done => {
+                let det = if record.saw_task_end {
+                    record
+                        .machine
+                        .transition(TaskState::Done)
+                        .expect("non-terminal -> Done is legal");
+                    Detection::Completed {
+                        task: env.task,
+                        at: now,
+                    }
+                } else {
+                    record
+                        .machine
+                        .transition(TaskState::Failed)
+                        .expect("non-terminal -> Failed is legal");
+                    Detection::Crashed {
+                        task: env.task,
+                        at: now,
+                        reason: CrashReason::DoneWithoutTaskEnd,
+                    }
+                };
+                self.monitor.unwatch(env.task);
+                vec![det]
+            }
+        }
+    }
+
+    /// Checks heartbeat deadlines at time `now`, declaring presumed crashes.
+    pub fn sweep(&mut self, now: f64) -> Vec<Detection> {
+        let expired = self.monitor.expired(now);
+        let mut out = Vec::with_capacity(expired.len());
+        for task in expired {
+            let record = self
+                .records
+                .get_mut(&task)
+                .expect("watched tasks are registered");
+            if record.machine.is_settled() {
+                continue;
+            }
+            record
+                .machine
+                .transition(TaskState::Failed)
+                .expect("non-terminal -> Failed is legal");
+            out.push(Detection::Crashed {
+                task,
+                at: now,
+                reason: CrashReason::HeartbeatLoss,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exception::ExceptionDef;
+
+    const T: TaskId = TaskId(1);
+
+    fn env(body: Notification, at: f64) -> Envelope {
+        Envelope::new(T, "host", at, body)
+    }
+
+    fn detector() -> Detector {
+        let mut d = Detector::new();
+        d.register_task(T, 1.0, 3.0, 0.0);
+        d
+    }
+
+    #[test]
+    fn task_end_then_done_is_completed() {
+        let mut d = detector();
+        assert!(d.observe(&env(Notification::TaskStart, 0.1), 0.1).is_empty());
+        assert!(d.observe(&env(Notification::TaskEnd, 5.0), 5.0).is_empty());
+        let dets = d.observe(&env(Notification::Done, 5.1), 5.1);
+        assert_eq!(dets, vec![Detection::Completed { task: T, at: 5.1 }]);
+        assert_eq!(d.state(T), Some(TaskState::Done));
+    }
+
+    #[test]
+    fn done_without_task_end_is_crash() {
+        let mut d = detector();
+        d.observe(&env(Notification::TaskStart, 0.1), 0.1);
+        let dets = d.observe(&env(Notification::Done, 3.0), 3.0);
+        assert_eq!(
+            dets,
+            vec![Detection::Crashed {
+                task: T,
+                at: 3.0,
+                reason: CrashReason::DoneWithoutTaskEnd
+            }]
+        );
+        assert_eq!(d.state(T), Some(TaskState::Failed));
+    }
+
+    #[test]
+    fn heartbeat_loss_presumes_crash() {
+        let mut d = detector();
+        d.observe(&env(Notification::Heartbeat { seq: 0 }, 1.0), 1.0);
+        assert!(d.sweep(3.9).is_empty());
+        let dets = d.sweep(4.0);
+        assert_eq!(
+            dets,
+            vec![Detection::Crashed {
+                task: T,
+                at: 4.0,
+                reason: CrashReason::HeartbeatLoss
+            }]
+        );
+        assert_eq!(d.state(T), Some(TaskState::Failed));
+    }
+
+    #[test]
+    fn heartbeats_defer_presumption() {
+        let mut d = detector();
+        for i in 0..10 {
+            d.observe(&env(Notification::Heartbeat { seq: i }, i as f64), i as f64);
+            assert!(d.sweep(i as f64 + 0.5).is_empty());
+        }
+        assert!(d.sweep(11.9).is_empty());
+        assert_eq!(d.sweep(12.0).len(), 1);
+    }
+
+    #[test]
+    fn exception_classified_with_registry_knowledge() {
+        let mut reg = ExceptionRegistry::new();
+        reg.register(ExceptionDef::fatal("disk_full", "")).unwrap();
+        let mut d = Detector::with_registry(reg);
+        d.register_task(T, 1.0, 3.0, 0.0);
+        let dets = d.observe(
+            &env(
+                Notification::Exception {
+                    name: "disk_full".into(),
+                    detail: "x".into(),
+                },
+                2.0,
+            ),
+            2.0,
+        );
+        match &dets[0] {
+            Detection::ExceptionRaised { name, known, .. } => {
+                assert_eq!(name, "disk_full");
+                assert!(known);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(d.state(T), Some(TaskState::Exception));
+    }
+
+    #[test]
+    fn unknown_exception_flagged() {
+        let mut d = detector();
+        let dets = d.observe(
+            &env(
+                Notification::Exception {
+                    name: "tyop".into(),
+                    detail: String::new(),
+                },
+                1.0,
+            ),
+            1.0,
+        );
+        match &dets[0] {
+            Detection::ExceptionRaised { known, .. } => assert!(!known),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_flag_survives_crash() {
+        let mut d = detector();
+        let dets = d.observe(
+            &env(
+                Notification::Checkpoint {
+                    flag: "ckpt-3".into(),
+                },
+                2.0,
+            ),
+            2.0,
+        );
+        assert_eq!(
+            dets,
+            vec![Detection::CheckpointRecorded {
+                task: T,
+                at: 2.0,
+                flag: "ckpt-3".into()
+            }]
+        );
+        assert!(d.is_checkpoint_enabled(T));
+        d.observe(&env(Notification::Done, 3.0), 3.0); // crash
+        assert_eq!(d.state(T), Some(TaskState::Failed));
+        assert_eq!(d.checkpoint_flag(T), Some("ckpt-3"));
+    }
+
+    #[test]
+    fn later_checkpoint_replaces_earlier() {
+        let mut d = detector();
+        d.observe(&env(Notification::Checkpoint { flag: "c1".into() }, 1.0), 1.0);
+        d.observe(&env(Notification::Checkpoint { flag: "c2".into() }, 2.0), 2.0);
+        assert_eq!(d.checkpoint_flag(T), Some("c2"));
+    }
+
+    #[test]
+    fn late_messages_after_terminal_ignored() {
+        let mut d = detector();
+        d.observe(&env(Notification::Done, 1.0), 1.0); // crash classification
+        let dets = d.observe(&env(Notification::TaskEnd, 1.1), 1.1);
+        assert!(dets.is_empty());
+        let dets = d.observe(&env(Notification::Done, 1.2), 1.2);
+        assert!(dets.is_empty(), "duplicate Done ignored");
+        assert_eq!(d.state(T), Some(TaskState::Failed), "classification is sticky");
+    }
+
+    #[test]
+    fn unknown_task_messages_ignored() {
+        let mut d = Detector::new();
+        let dets = d.observe(&env(Notification::Done, 1.0), 1.0);
+        assert!(dets.is_empty());
+        assert_eq!(d.state(T), None);
+    }
+
+    #[test]
+    fn sweep_after_done_reports_nothing() {
+        let mut d = detector();
+        d.observe(&env(Notification::TaskEnd, 0.5), 0.5);
+        d.observe(&env(Notification::Done, 0.6), 0.6);
+        assert!(d.sweep(100.0).is_empty(), "completed task not presumed dead");
+    }
+
+    #[test]
+    fn tasks_without_heartbeat_watching() {
+        let mut d = Detector::new();
+        d.register_task(T, 0.0, 1.0, 0.0); // no watching
+        assert!(d.sweep(1e9).is_empty());
+        assert_eq!(d.next_deadline(), None);
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest() {
+        let mut d = Detector::new();
+        d.register_task(TaskId(1), 1.0, 3.0, 0.0);
+        d.register_task(TaskId(2), 5.0, 2.0, 0.0);
+        assert_eq!(d.next_deadline(), Some(3.0));
+        d.observe(
+            &Envelope::new(TaskId(1), "h", 2.0, Notification::Heartbeat { seq: 0 }),
+            2.0,
+        );
+        assert_eq!(d.next_deadline(), Some(5.0), "task 1 deferred past task 2");
+    }
+
+    #[test]
+    fn detection_accessors() {
+        let c = Detection::Completed { task: T, at: 1.0 };
+        assert_eq!(c.task(), T);
+        assert!(c.is_terminal());
+        let k = Detection::CheckpointRecorded {
+            task: T,
+            at: 1.0,
+            flag: "f".into(),
+        };
+        assert!(!k.is_terminal());
+    }
+}

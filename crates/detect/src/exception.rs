@@ -1,0 +1,165 @@
+//! User-defined exceptions (§2.3).
+//!
+//! Grid-WFS lets users *define* failures in terms of the task context — the
+//! linear solver that fails to converge in 30 minutes, the simulation that
+//! runs out of scratch disk.  An [`ExceptionDef`] names such a failure and
+//! records how it should be treated; the [`ExceptionRegistry`] is consulted
+//! by the detector when a task raises an exception so that unknown names are
+//! flagged (typo in the WPDL vs. the task code is a classic integration bug)
+//! and known ones carry their metadata to the engine.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// How an exception propagates when no workflow-level handler catches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Severity {
+    /// Treat like a task crash: task-level masking (retry/replica) may
+    /// still apply.  E.g. a transient `network_congestion`.
+    Recoverable,
+    /// The task can never succeed by retrying (e.g. `out_of_memory` with
+    /// the same algorithm); only a workflow-level handler helps.
+    Fatal,
+}
+
+/// A named, task-specific failure definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExceptionDef {
+    /// Name used by both the WPDL handler clause and the task-side API.
+    pub name: String,
+    /// Human description, carried into logs.
+    pub description: String,
+    /// Propagation behaviour without a handler.
+    pub severity: Severity,
+}
+
+impl ExceptionDef {
+    /// A recoverable exception.
+    pub fn recoverable(name: impl Into<String>, description: impl Into<String>) -> Self {
+        ExceptionDef {
+            name: name.into(),
+            description: description.into(),
+            severity: Severity::Recoverable,
+        }
+    }
+
+    /// A fatal exception.
+    pub fn fatal(name: impl Into<String>, description: impl Into<String>) -> Self {
+        ExceptionDef {
+            name: name.into(),
+            description: description.into(),
+            severity: Severity::Fatal,
+        }
+    }
+}
+
+/// Registry of user-defined exceptions for one workflow.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExceptionRegistry {
+    defs: HashMap<String, ExceptionDef>,
+}
+
+/// Error registering a duplicate exception name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateException(pub String);
+
+impl std::fmt::Display for DuplicateException {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exception '{}' is already registered", self.0)
+    }
+}
+impl std::error::Error for DuplicateException {}
+
+impl ExceptionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a definition; names are unique.
+    pub fn register(&mut self, def: ExceptionDef) -> Result<(), DuplicateException> {
+        if self.defs.contains_key(&def.name) {
+            return Err(DuplicateException(def.name));
+        }
+        self.defs.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Looks a definition up by name.
+    pub fn get(&self, name: &str) -> Option<&ExceptionDef> {
+        self.defs.get(name)
+    }
+
+    /// True if `name` was registered.
+    pub fn is_known(&self, name: &str) -> bool {
+        self.defs.contains_key(name)
+    }
+
+    /// Number of registered exceptions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// All names in sorted order (deterministic iteration for tests/logs).
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.defs.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = ExceptionRegistry::new();
+        reg.register(ExceptionDef::fatal("disk_full", "scratch disk exhausted"))
+            .unwrap();
+        reg.register(ExceptionDef::recoverable("net_congestion", "slow link"))
+            .unwrap();
+        assert_eq!(reg.len(), 2);
+        assert!(reg.is_known("disk_full"));
+        assert_eq!(reg.get("disk_full").unwrap().severity, Severity::Fatal);
+        assert_eq!(
+            reg.get("net_congestion").unwrap().severity,
+            Severity::Recoverable
+        );
+        assert!(!reg.is_known("oom"));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut reg = ExceptionRegistry::new();
+        reg.register(ExceptionDef::fatal("disk_full", "a")).unwrap();
+        let err = reg
+            .register(ExceptionDef::recoverable("disk_full", "b"))
+            .unwrap_err();
+        assert_eq!(err.to_string(), "exception 'disk_full' is already registered");
+        // Original definition untouched.
+        assert_eq!(reg.get("disk_full").unwrap().description, "a");
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut reg = ExceptionRegistry::new();
+        for n in ["zeta", "alpha", "mid"] {
+            reg.register(ExceptionDef::fatal(n, "")).unwrap();
+        }
+        assert_eq!(reg.names(), vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn empty_registry() {
+        let reg = ExceptionRegistry::new();
+        assert!(reg.is_empty());
+        assert_eq!(reg.names(), Vec::<&str>::new());
+    }
+}

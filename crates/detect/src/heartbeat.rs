@@ -1,0 +1,222 @@
+//! Heartbeat-based crash presumption.
+//!
+//! A host crash, a network partition, and a machine rebooted by its owner
+//! all look the same from the engine's desk: heartbeats stop.  The monitor
+//! declares an attempt *presumed crashed* once no heartbeat has arrived for
+//! `tolerance` × `interval` time units.  Late heartbeats after presumption
+//! are ignored (the engine has already started recovery; the original
+//! system relied on the job manager to reap orphans).
+
+use std::collections::HashMap;
+
+use crate::notify::TaskId;
+
+/// Per-task heartbeat bookkeeping.
+#[derive(Debug, Clone)]
+struct Watch {
+    interval: f64,
+    tolerance: f64,
+    last_seen: f64,
+    last_seq: Option<u64>,
+    presumed_dead: bool,
+}
+
+/// Watches heartbeat streams and reports tasks whose stream went silent.
+#[derive(Debug, Clone, Default)]
+pub struct HeartbeatMonitor {
+    watches: HashMap<TaskId, Watch>,
+}
+
+impl HeartbeatMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts watching a task.  `interval` is the expected heartbeat period;
+    /// the task is presumed crashed after `tolerance * interval` of silence
+    /// (measured from `now` or from the last heartbeat).
+    ///
+    /// # Panics
+    /// Panics unless `interval > 0` and `tolerance >= 1`.
+    pub fn watch(&mut self, task: TaskId, interval: f64, tolerance: f64, now: f64) {
+        assert!(interval > 0.0, "heartbeat interval must be positive");
+        assert!(tolerance >= 1.0, "tolerance below one interval is nonsense");
+        self.watches.insert(
+            task,
+            Watch {
+                interval,
+                tolerance,
+                last_seen: now,
+                last_seq: None,
+                presumed_dead: false,
+            },
+        );
+    }
+
+    /// Stops watching (attempt reached a terminal state through other means).
+    pub fn unwatch(&mut self, task: TaskId) {
+        self.watches.remove(&task);
+    }
+
+    /// Records a heartbeat.  Returns `false` if the task is unwatched or
+    /// already presumed dead (the beat is ignored), `true` otherwise.
+    /// Out-of-order sequence numbers are tolerated but do not move
+    /// `last_seen` backwards.
+    pub fn beat(&mut self, task: TaskId, seq: u64, now: f64) -> bool {
+        match self.watches.get_mut(&task) {
+            Some(w) if !w.presumed_dead => {
+                if w.last_seq.is_none_or(|s| seq >= s) {
+                    w.last_seq = Some(seq);
+                }
+                if now > w.last_seen {
+                    w.last_seen = now;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Deadline at which this task will be presumed crashed if no further
+    /// heartbeat arrives.  `None` if unwatched or already presumed dead.
+    pub fn deadline(&self, task: TaskId) -> Option<f64> {
+        self.watches
+            .get(&task)
+            .filter(|w| !w.presumed_dead)
+            .map(|w| w.last_seen + w.interval * w.tolerance)
+    }
+
+    /// Sweeps all watches at time `now`, returning the tasks newly presumed
+    /// crashed (each is reported exactly once).
+    pub fn expired(&mut self, now: f64) -> Vec<TaskId> {
+        let mut out: Vec<TaskId> = self
+            .watches
+            .iter_mut()
+            .filter_map(|(task, w)| {
+                if !w.presumed_dead && now >= w.last_seen + w.interval * w.tolerance {
+                    w.presumed_dead = true;
+                    Some(*task)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable(); // deterministic report order
+        out
+    }
+
+    /// True if the task is currently watched and not presumed dead.
+    pub fn is_live(&self, task: TaskId) -> bool {
+        self.watches
+            .get(&task)
+            .map(|w| !w.presumed_dead)
+            .unwrap_or(false)
+    }
+
+    /// Highest sequence number seen for a task.
+    pub fn last_seq(&self, task: TaskId) -> Option<u64> {
+        self.watches.get(&task).and_then(|w| w.last_seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: TaskId = TaskId(1);
+    const T2: TaskId = TaskId(2);
+
+    #[test]
+    fn silence_triggers_presumption() {
+        let mut m = HeartbeatMonitor::new();
+        m.watch(T1, 1.0, 3.0, 0.0);
+        assert!(m.expired(2.9).is_empty());
+        assert_eq!(m.expired(3.0), vec![T1]);
+    }
+
+    #[test]
+    fn heartbeats_push_deadline_forward() {
+        let mut m = HeartbeatMonitor::new();
+        m.watch(T1, 1.0, 3.0, 0.0);
+        assert!(m.beat(T1, 0, 1.0));
+        assert!(m.beat(T1, 1, 2.0));
+        assert_eq!(m.deadline(T1), Some(5.0));
+        assert!(m.expired(4.9).is_empty());
+        assert_eq!(m.expired(5.0), vec![T1]);
+    }
+
+    #[test]
+    fn presumption_reported_once() {
+        let mut m = HeartbeatMonitor::new();
+        m.watch(T1, 1.0, 2.0, 0.0);
+        assert_eq!(m.expired(10.0), vec![T1]);
+        assert!(m.expired(20.0).is_empty(), "no duplicate reports");
+        assert!(!m.is_live(T1));
+    }
+
+    #[test]
+    fn late_heartbeat_after_presumption_is_ignored() {
+        let mut m = HeartbeatMonitor::new();
+        m.watch(T1, 1.0, 2.0, 0.0);
+        m.expired(10.0);
+        assert!(!m.beat(T1, 5, 10.5), "beat after presumption rejected");
+    }
+
+    #[test]
+    fn unwatch_stops_reports() {
+        let mut m = HeartbeatMonitor::new();
+        m.watch(T1, 1.0, 2.0, 0.0);
+        m.unwatch(T1);
+        assert!(m.expired(100.0).is_empty());
+        assert!(!m.is_live(T1));
+    }
+
+    #[test]
+    fn multiple_tasks_tracked_independently() {
+        let mut m = HeartbeatMonitor::new();
+        m.watch(T1, 1.0, 2.0, 0.0);
+        m.watch(T2, 5.0, 2.0, 0.0);
+        m.beat(T2, 0, 1.0);
+        assert_eq!(m.expired(3.0), vec![T1], "only the silent short-interval task");
+        assert!(m.is_live(T2));
+        assert_eq!(m.expired(11.0), vec![T2]);
+    }
+
+    #[test]
+    fn expired_reports_in_task_order() {
+        let mut m = HeartbeatMonitor::new();
+        m.watch(TaskId(9), 1.0, 1.0, 0.0);
+        m.watch(TaskId(3), 1.0, 1.0, 0.0);
+        m.watch(TaskId(5), 1.0, 1.0, 0.0);
+        assert_eq!(m.expired(2.0), vec![TaskId(3), TaskId(5), TaskId(9)]);
+    }
+
+    #[test]
+    fn seq_tracking_tolerates_reordering() {
+        let mut m = HeartbeatMonitor::new();
+        m.watch(T1, 1.0, 3.0, 0.0);
+        m.beat(T1, 2, 1.0);
+        m.beat(T1, 1, 1.5); // late, lower seq
+        assert_eq!(m.last_seq(T1), Some(2));
+        assert_eq!(m.deadline(T1), Some(4.5), "time still advanced");
+    }
+
+    #[test]
+    fn beat_for_unwatched_task_rejected() {
+        let mut m = HeartbeatMonitor::new();
+        assert!(!m.beat(T1, 0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        HeartbeatMonitor::new().watch(T1, 0.0, 2.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance below one interval")]
+    fn sub_one_tolerance_rejected() {
+        HeartbeatMonitor::new().watch(T1, 1.0, 0.5, 0.0);
+    }
+}

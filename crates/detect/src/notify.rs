@@ -1,0 +1,168 @@
+//! Notification messages.
+//!
+//! Grid nodes report task progress to the workflow engine through two
+//! channels (report \[18\]): periodic **heartbeats**, and **event
+//! notifications** raised either by the job manager (`Done` — the process
+//! exited) or by the task itself through the task-side API (`Task Start`,
+//! `Task End`, `Exception`, `Checkpoint`).  The crucial protocol detail the
+//! engine's crash detection hangs on (paper §4.1): *`Done` without a
+//! preceding `Task End` means the task crashed.*
+//!
+//! Messages are serialisable (serde/JSON) so tests can inspect the exact
+//! wire form and the engine checkpoint can persist in-flight state.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one task *attempt* as known to the detection service.
+///
+/// Retries and replicas are distinct attempts with distinct `TaskId`s — each
+/// attempt has its own heartbeat stream and its own crash/exception fate,
+/// which is what lets the engine cancel losing replicas individually.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TaskId(pub u64);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// The body of a notification message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Notification {
+    /// Periodic liveness signal carrying a monotonically increasing sequence
+    /// number (gaps are tolerated; only silence is significant).
+    Heartbeat {
+        /// Sequence number within this task attempt's heartbeat stream.
+        seq: u64,
+    },
+    /// The task process started executing on the Grid node.
+    TaskStart,
+    /// The task finished its application-level work successfully.  Must
+    /// precede `Done` for the attempt to count as completed.
+    TaskEnd,
+    /// The task raised a user-defined exception (task-specific failure).
+    Exception {
+        /// Exception name as registered in the workflow (e.g. `disk_full`).
+        name: String,
+        /// Free-form detail for diagnostics.
+        detail: String,
+    },
+    /// The task announced it is checkpoint-enabled and produced a checkpoint.
+    /// The opaque `flag` is what the engine hands back on restart so the
+    /// task resumes from this state (the Libckpt integration of §4.3).
+    Checkpoint {
+        /// Opaque recovery cookie round-tripped by the engine.
+        flag: String,
+    },
+    /// The job manager observed the process exit.  Terminal from the node's
+    /// point of view; classification depends on what preceded it.
+    Done,
+}
+
+impl Notification {
+    /// True for messages only the job manager can emit.
+    pub fn is_job_manager_event(&self) -> bool {
+        matches!(self, Notification::Done)
+    }
+
+    /// True for messages emitted through the task-side API.
+    pub fn is_task_event(&self) -> bool {
+        !self.is_job_manager_event() && !matches!(self, Notification::Heartbeat { .. })
+    }
+}
+
+/// A notification together with its delivery metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// The task attempt this message concerns.
+    pub task: TaskId,
+    /// Hostname of the Grid node that produced it.
+    pub host: String,
+    /// Simulation time the message was *sent* (delivery may add delay).
+    pub sent_at: f64,
+    /// Message body.
+    pub body: Notification,
+}
+
+impl Envelope {
+    /// Convenience constructor.
+    pub fn new(task: TaskId, host: impl Into<String>, sent_at: f64, body: Notification) -> Self {
+        Envelope {
+            task,
+            host: host.into(),
+            sent_at,
+            body,
+        }
+    }
+
+    /// Serialises to the JSON wire format.
+    pub fn to_wire(&self) -> String {
+        serde_json::to_string(self).expect("envelope serialisation is infallible")
+    }
+
+    /// Parses the JSON wire format.
+    pub fn from_wire(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip_all_variants() {
+        let bodies = vec![
+            Notification::Heartbeat { seq: 42 },
+            Notification::TaskStart,
+            Notification::TaskEnd,
+            Notification::Exception {
+                name: "disk_full".into(),
+                detail: "only 3MB left".into(),
+            },
+            Notification::Checkpoint {
+                flag: "ckpt-0007".into(),
+            },
+            Notification::Done,
+        ];
+        for body in bodies {
+            let env = Envelope::new(TaskId(7), "bolas.isi.edu", 12.5, body.clone());
+            let wire = env.to_wire();
+            let back = Envelope::from_wire(&wire).unwrap();
+            assert_eq!(back, env);
+            assert_eq!(back.body, body);
+        }
+    }
+
+    #[test]
+    fn wire_format_is_json() {
+        let env = Envelope::new(TaskId(1), "h", 0.0, Notification::TaskEnd);
+        let v: serde_json::Value = serde_json::from_str(&env.to_wire()).unwrap();
+        assert_eq!(v["task"], 1);
+        assert_eq!(v["host"], "h");
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(Envelope::from_wire("{not json").is_err());
+        assert!(Envelope::from_wire("{}").is_err());
+    }
+
+    #[test]
+    fn event_source_classification() {
+        assert!(Notification::Done.is_job_manager_event());
+        assert!(!Notification::TaskEnd.is_job_manager_event());
+        assert!(Notification::TaskEnd.is_task_event());
+        assert!(Notification::Checkpoint { flag: "f".into() }.is_task_event());
+        assert!(!Notification::Heartbeat { seq: 0 }.is_task_event());
+        assert!(!Notification::Heartbeat { seq: 0 }.is_job_manager_event());
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId(3).to_string(), "task#3");
+    }
+}

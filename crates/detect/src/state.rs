@@ -1,0 +1,220 @@
+//! The task state machine.
+//!
+//! §3 of the paper lists the states the engine derives from the notification
+//! stream: *inactive, active, done, failed, exception*.  The machine is
+//! deliberately strict — illegal transitions are programming errors in the
+//! executor or classifier, so [`TaskStateMachine::transition`] returns a
+//! typed error rather than silently re-ordering history.
+
+use serde::{Deserialize, Serialize};
+
+/// Observable state of a task attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Submitted (or not yet submitted) but not observed running.
+    Inactive,
+    /// Heartbeats / `TaskStart` observed; the task is executing.
+    Active,
+    /// Completed successfully (`Task End` then `Done`).
+    Done,
+    /// Crashed (`Done` without `Task End`, or heartbeat loss).
+    Failed,
+    /// Raised a user-defined exception.
+    Exception,
+}
+
+impl TaskState {
+    /// Terminal states admit no further transitions.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, TaskState::Done | TaskState::Failed | TaskState::Exception)
+    }
+}
+
+impl std::fmt::Display for TaskState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TaskState::Inactive => "inactive",
+            TaskState::Active => "active",
+            TaskState::Done => "done",
+            TaskState::Failed => "failed",
+            TaskState::Exception => "exception",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned on an illegal transition attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// State the machine was in.
+    pub from: TaskState,
+    /// State the caller tried to move to.
+    pub to: TaskState,
+}
+
+impl std::fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "illegal task state transition {} -> {}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+/// A task attempt's state with transition validation and history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskStateMachine {
+    current: TaskState,
+    history: Vec<TaskState>,
+}
+
+impl Default for TaskStateMachine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaskStateMachine {
+    /// A fresh machine in `Inactive`.
+    pub fn new() -> Self {
+        TaskStateMachine {
+            current: TaskState::Inactive,
+            history: vec![TaskState::Inactive],
+        }
+    }
+
+    /// Current state.
+    pub fn current(&self) -> TaskState {
+        self.current
+    }
+
+    /// Every state visited, in order (starts with `Inactive`).
+    pub fn history(&self) -> &[TaskState] {
+        &self.history
+    }
+
+    /// Whether moving `from → to` is legal.
+    ///
+    /// Legal moves: `Inactive → Active`; `Inactive/Active →` any terminal
+    /// (a task can crash before ever being observed active); self-loops are
+    /// illegal; terminals admit nothing.
+    pub fn is_legal(from: TaskState, to: TaskState) -> bool {
+        use TaskState::*;
+        matches!(
+            (from, to),
+            (Inactive, Active) | (Inactive | Active, Done | Failed | Exception)
+        )
+    }
+
+    /// Attempts a transition.
+    pub fn transition(&mut self, to: TaskState) -> Result<(), IllegalTransition> {
+        if Self::is_legal(self.current, to) {
+            self.current = to;
+            self.history.push(to);
+            Ok(())
+        } else {
+            Err(IllegalTransition {
+                from: self.current,
+                to,
+            })
+        }
+    }
+
+    /// True once the attempt has reached a terminal state.
+    pub fn is_settled(&self) -> bool {
+        self.current.is_terminal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TaskState::*;
+
+    #[test]
+    fn happy_path() {
+        let mut m = TaskStateMachine::new();
+        assert_eq!(m.current(), Inactive);
+        m.transition(Active).unwrap();
+        m.transition(Done).unwrap();
+        assert!(m.is_settled());
+        assert_eq!(m.history(), &[Inactive, Active, Done]);
+    }
+
+    #[test]
+    fn crash_before_active_is_legal() {
+        // A task can fail at submission time, before any heartbeat arrives.
+        let mut m = TaskStateMachine::new();
+        m.transition(Failed).unwrap();
+        assert!(m.is_settled());
+    }
+
+    #[test]
+    fn exception_from_active() {
+        let mut m = TaskStateMachine::new();
+        m.transition(Active).unwrap();
+        m.transition(Exception).unwrap();
+        assert_eq!(m.current(), Exception);
+    }
+
+    #[test]
+    fn terminal_states_are_absorbing() {
+        for terminal in [Done, Failed, Exception] {
+            let mut m = TaskStateMachine::new();
+            m.transition(Active).unwrap();
+            m.transition(terminal).unwrap();
+            for next in [Inactive, Active, Done, Failed, Exception] {
+                let err = m.transition(next).unwrap_err();
+                assert_eq!(err.from, terminal);
+                assert_eq!(err.to, next);
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_illegal() {
+        let mut m = TaskStateMachine::new();
+        assert!(m.transition(Inactive).is_err());
+        m.transition(Active).unwrap();
+        assert!(m.transition(Active).is_err());
+    }
+
+    #[test]
+    fn backward_moves_illegal() {
+        let mut m = TaskStateMachine::new();
+        m.transition(Active).unwrap();
+        assert!(m.transition(Inactive).is_err());
+    }
+
+    #[test]
+    fn legality_table_is_exhaustive() {
+        use TaskState::*;
+        let all = [Inactive, Active, Done, Failed, Exception];
+        let mut legal_count = 0;
+        for &from in &all {
+            for &to in &all {
+                if TaskStateMachine::is_legal(from, to) {
+                    legal_count += 1;
+                    assert!(!from.is_terminal(), "terminals admit nothing");
+                    assert_ne!(from, to, "no self loops");
+                }
+            }
+        }
+        // Inactive→Active, Inactive→{D,F,E}, Active→{D,F,E} = 7 legal edges.
+        assert_eq!(legal_count, 7);
+    }
+
+    #[test]
+    fn display_strings_match_paper() {
+        assert_eq!(Inactive.to_string(), "inactive");
+        assert_eq!(Active.to_string(), "active");
+        assert_eq!(Done.to_string(), "done");
+        assert_eq!(Failed.to_string(), "failed");
+        assert_eq!(Exception.to_string(), "exception");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = IllegalTransition { from: Done, to: Active };
+        assert_eq!(e.to_string(), "illegal task state transition done -> active");
+    }
+}

@@ -1,0 +1,255 @@
+//! Reorder-tolerant notification delivery.
+//!
+//! The wide-area transport under the detection service can reorder
+//! messages (two UDP notifications racing different paths).  Most
+//! reorderings are harmless — heartbeat sequence gaps are tolerated — but
+//! one is not: if the job manager's `Done` overtakes the task's
+//! `Task End`, the classifier sees "Done without Task End" and declares a
+//! **crash for a task that succeeded** (§4.1's rule read against a
+//! reordered stream).  The cost is a spurious retry of a finished task.
+//!
+//! [`ReorderBuffer`] restores per-task send order.  `settle_delay` is the
+//! transport's **maximum delivery delay bound B**: a message sent at `s`
+//! is held until `s + B`, by which point every message sent at or before
+//! `s` must have arrived — so releasing in send order is safe.  Messages
+//! sent at the same instant are ordered causally (application events such
+//! as `Task End` before the job manager's `Done`: the process exits
+//! *after* its last application event) and then by arrival.  The price is
+//! up to `B` of added detection latency.  Exact duplicates
+//! (retransmissions) are suppressed while the original is still buffered.
+
+use std::collections::VecDeque;
+
+use crate::notify::Envelope;
+
+/// Buffers notifications briefly and releases them in send order per task.
+#[derive(Debug, Default)]
+pub struct ReorderBuffer {
+    settle_delay: f64,
+    /// Held messages: `(release_at, arrival_seq, envelope)`.
+    held: VecDeque<(f64, u64, Envelope)>,
+    arrivals: u64,
+}
+
+impl ReorderBuffer {
+    /// A buffer holding each message for `settle_delay` time units.
+    ///
+    /// # Panics
+    /// Panics on a negative delay.
+    pub fn new(settle_delay: f64) -> Self {
+        assert!(
+            settle_delay >= 0.0 && settle_delay.is_finite(),
+            "settle_delay must be finite and non-negative"
+        );
+        ReorderBuffer {
+            settle_delay,
+            held: VecDeque::new(),
+            arrivals: 0,
+        }
+    }
+
+    /// Accepts one received message at time `now`.  Returns `false` if the
+    /// message was suppressed as a duplicate of one still buffered.
+    ///
+    /// The message becomes due at `sent_at + settle_delay` (never before
+    /// receipt — a late message whose due time already passed releases at
+    /// the next [`ReorderBuffer::release`], with ordering then only
+    /// best-effort, which is all an underestimated bound can give).
+    pub fn accept(&mut self, env: Envelope, now: f64) -> bool {
+        if self
+            .held
+            .iter()
+            .any(|(_, _, held)| *held == env)
+        {
+            return false; // retransmission of a buffered message
+        }
+        let seq = self.arrivals;
+        self.arrivals += 1;
+        let due = (env.sent_at + self.settle_delay).max(now);
+        self.held.push_back((due, seq, env));
+        true
+    }
+
+    /// Releases every message due by `now`, sorted by
+    /// `(sent_at, causal rank, arrival order)` where the causal rank puts
+    /// task-side events (`Task End`, `Exception`, …) before the job
+    /// manager's `Done` at equal send times — the process exits *after*
+    /// its final application event, even if both were stamped in the same
+    /// instant.
+    pub fn release(&mut self, now: f64) -> Vec<Envelope> {
+        fn causal_rank(env: &Envelope) -> u8 {
+            match env.body {
+                crate::notify::Notification::Done => 1,
+                _ => 0,
+            }
+        }
+        let mut due: Vec<(f64, u64, Envelope)> = Vec::new();
+        let mut keep: VecDeque<(f64, u64, Envelope)> = VecDeque::new();
+        for item in self.held.drain(..) {
+            if item.0 <= now {
+                due.push(item);
+            } else {
+                keep.push_back(item);
+            }
+        }
+        self.held = keep;
+        due.sort_by(|a, b| {
+            a.2.sent_at
+                .total_cmp(&b.2.sent_at)
+                .then_with(|| causal_rank(&a.2).cmp(&causal_rank(&b.2)))
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        due.into_iter().map(|(_, _, env)| env).collect()
+    }
+
+    /// The earliest time a buffered message becomes due (`None` if empty).
+    pub fn next_due(&self) -> Option<f64> {
+        self.held
+            .iter()
+            .map(|(at, _, _)| *at)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Number of messages currently held.
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{Detection, Detector};
+    use crate::notify::{Notification, TaskId};
+
+    const T: TaskId = TaskId(1);
+
+    fn env(body: Notification, sent_at: f64) -> Envelope {
+        Envelope::new(T, "host", sent_at, body)
+    }
+
+    #[test]
+    fn in_order_messages_pass_through_after_delay() {
+        let mut buf = ReorderBuffer::new(0.5);
+        assert!(buf.accept(env(Notification::TaskStart, 1.0), 1.0));
+        assert!(buf.release(1.4).is_empty(), "still settling");
+        let out = buf.release(1.5);
+        assert_eq!(out.len(), 1);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn due_time_is_anchored_to_send_time() {
+        // B = 2: a message sent at 5 and received at 5.1 is held until 7,
+        // because a slower sibling sent at 5 could arrive as late as 7.
+        let mut buf = ReorderBuffer::new(2.0);
+        buf.accept(env(Notification::Done, 5.0), 5.1);
+        assert_eq!(buf.next_due(), Some(7.0));
+        assert!(buf.release(6.9).is_empty());
+        // The sibling arrives at 6.8; both release together, app event first.
+        buf.accept(env(Notification::TaskEnd, 5.0), 6.8);
+        let out = buf.release(7.0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].body, Notification::TaskEnd);
+        assert_eq!(out[1].body, Notification::Done);
+    }
+
+    #[test]
+    fn late_message_past_its_due_releases_immediately() {
+        // Underestimated bound: a message older than B on arrival is due
+        // at once (best effort).
+        let mut buf = ReorderBuffer::new(1.0);
+        buf.accept(env(Notification::TaskStart, 0.0), 10.0);
+        assert_eq!(buf.next_due(), Some(10.0));
+        assert_eq!(buf.release(10.0).len(), 1);
+    }
+
+    #[test]
+    fn reordered_done_and_task_end_are_restored() {
+        // Sent: TaskEnd at 5.0, Done at 5.1.  Received swapped.
+        let mut buf = ReorderBuffer::new(0.5);
+        buf.accept(env(Notification::Done, 5.1), 5.2); // arrived first!
+        buf.accept(env(Notification::TaskEnd, 5.0), 5.3);
+        let out = buf.release(6.0);
+        assert_eq!(out[0].body, Notification::TaskEnd, "send order restored");
+        assert_eq!(out[1].body, Notification::Done);
+    }
+
+    #[test]
+    fn restoration_prevents_misclassification() {
+        // Without the buffer, Done-before-TaskEnd classifies as a crash.
+        let mut plain = Detector::new();
+        plain.register_task(T, 0.0, 1.0, 0.0);
+        let d1 = plain.observe(&env(Notification::Done, 5.1), 5.2);
+        assert!(matches!(d1[0], Detection::Crashed { .. }), "the §4.1 trap");
+
+        // With the buffer, the same arrivals classify as completion.
+        let mut buffered = Detector::new();
+        buffered.register_task(T, 0.0, 1.0, 0.0);
+        let mut buf = ReorderBuffer::new(0.5);
+        buf.accept(env(Notification::Done, 5.1), 5.2);
+        buf.accept(env(Notification::TaskEnd, 5.0), 5.3);
+        let mut detections = Vec::new();
+        for e in buf.release(6.0) {
+            detections.extend(buffered.observe(&e, 6.0));
+        }
+        assert!(matches!(detections[0], Detection::Completed { .. }));
+    }
+
+    #[test]
+    fn duplicates_suppressed_while_buffered() {
+        let mut buf = ReorderBuffer::new(1.0);
+        let e = env(Notification::Heartbeat { seq: 3 }, 2.0);
+        assert!(buf.accept(e.clone(), 2.1));
+        assert!(!buf.accept(e.clone(), 2.2), "retransmission dropped");
+        assert_eq!(buf.len(), 1);
+        buf.release(3.2);
+        // After release the same message is accepted again (late duplicate
+        // detection is the Detector's job — it ignores settled tasks).
+        assert!(buf.accept(e, 4.0));
+    }
+
+    #[test]
+    fn partial_release_respects_deadlines() {
+        let mut buf = ReorderBuffer::new(1.0);
+        buf.accept(env(Notification::Heartbeat { seq: 0 }, 0.0), 0.0);
+        buf.accept(env(Notification::Heartbeat { seq: 1 }, 1.0), 1.0);
+        assert_eq!(buf.next_due(), Some(1.0));
+        let first = buf.release(1.0);
+        assert_eq!(first.len(), 1);
+        assert_eq!(buf.next_due(), Some(2.0));
+        assert_eq!(buf.release(2.0).len(), 1);
+        assert_eq!(buf.next_due(), None);
+    }
+
+    #[test]
+    fn zero_delay_degenerates_to_sorting_the_batch() {
+        let mut buf = ReorderBuffer::new(0.0);
+        buf.accept(env(Notification::Done, 3.0), 5.0);
+        buf.accept(env(Notification::TaskEnd, 2.0), 5.0);
+        let out = buf.release(5.0);
+        assert_eq!(out[0].sent_at, 2.0);
+        assert_eq!(out[1].sent_at, 3.0);
+    }
+
+    #[test]
+    fn same_instant_done_sorts_after_app_events_regardless_of_arrival() {
+        let mut buf = ReorderBuffer::new(0.0);
+        buf.accept(env(Notification::Done, 7.0), 7.1); // Done arrives first
+        buf.accept(env(Notification::TaskEnd, 7.0), 7.2);
+        let out = buf.release(8.0);
+        assert_eq!(out[0].body, Notification::TaskEnd, "causal rank wins");
+        assert_eq!(out[1].body, Notification::Done);
+    }
+
+    #[test]
+    #[should_panic(expected = "settle_delay must be finite")]
+    fn negative_delay_rejected() {
+        let _ = ReorderBuffer::new(-1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the failure detection service.
+
+use gridwfs_detect::detector::{Detection, Detector};
+use gridwfs_detect::heartbeat::HeartbeatMonitor;
+use gridwfs_detect::notify::{Envelope, Notification, TaskId};
+use gridwfs_detect::state::{TaskState, TaskStateMachine};
+use gridwfs_detect::transport::ReorderBuffer;
+use proptest::prelude::*;
+
+fn arb_state() -> impl Strategy<Value = TaskState> {
+    prop_oneof![
+        Just(TaskState::Inactive),
+        Just(TaskState::Active),
+        Just(TaskState::Done),
+        Just(TaskState::Failed),
+        Just(TaskState::Exception),
+    ]
+}
+
+fn arb_notification() -> impl Strategy<Value = Notification> {
+    prop_oneof![
+        (any::<u64>()).prop_map(|seq| Notification::Heartbeat { seq }),
+        Just(Notification::TaskStart),
+        Just(Notification::TaskEnd),
+        "[a-z]{1,8}".prop_map(|name| Notification::Exception {
+            name,
+            detail: String::new()
+        }),
+        "[a-z0-9:]{1,12}".prop_map(|flag| Notification::Checkpoint { flag }),
+        Just(Notification::Done),
+    ]
+}
+
+proptest! {
+    /// Random transition walks: the machine never enters an illegal state,
+    /// history always starts Inactive and replaying it is legal.
+    #[test]
+    fn state_machine_history_is_always_legal(walk in proptest::collection::vec(arb_state(), 0..20)) {
+        let mut m = TaskStateMachine::new();
+        for target in walk {
+            let before = m.current();
+            match m.transition(target) {
+                Ok(()) => prop_assert!(TaskStateMachine::is_legal(before, target)),
+                Err(e) => {
+                    prop_assert_eq!(e.from, before);
+                    prop_assert_eq!(m.current(), before, "failed transition is a no-op");
+                }
+            }
+        }
+        // Replay the recorded history through a fresh machine.
+        let mut replay = TaskStateMachine::new();
+        for &s in m.history().iter().skip(1) {
+            replay.transition(s).expect("recorded history is legal");
+        }
+        prop_assert_eq!(replay.current(), m.current());
+    }
+
+    /// Arbitrary notification sequences produce at most one terminal
+    /// detection, and the final state is consistent with it.
+    #[test]
+    fn detector_classification_is_single_and_consistent(
+        bodies in proptest::collection::vec(arb_notification(), 0..30),
+    ) {
+        let mut det = Detector::new();
+        det.register_task(TaskId(1), 0.0, 1.0, 0.0);
+        let mut terminal: Option<Detection> = None;
+        for (i, body) in bodies.into_iter().enumerate() {
+            let t = i as f64;
+            for d in det.observe(&Envelope::new(TaskId(1), "h", t, body.clone()), t) {
+                if d.is_terminal() {
+                    prop_assert!(terminal.is_none(), "second terminal {d:?}");
+                    terminal = Some(d);
+                }
+            }
+        }
+        let state = det.state(TaskId(1)).unwrap();
+        match &terminal {
+            Some(Detection::Completed { .. }) => prop_assert_eq!(state, TaskState::Done),
+            Some(Detection::Crashed { .. }) => prop_assert_eq!(state, TaskState::Failed),
+            Some(Detection::ExceptionRaised { .. }) => prop_assert_eq!(state, TaskState::Exception),
+            Some(Detection::CheckpointRecorded { .. }) => unreachable!("not terminal"),
+            None => prop_assert!(!state.is_terminal()),
+        }
+    }
+
+    /// Heartbeat monitor: a task that beats at least every
+    /// `interval * tolerance` is never presumed dead; one that stops is
+    /// presumed dead exactly once.
+    #[test]
+    fn heartbeat_presumption_boundary(
+        interval in 0.1f64..5.0,
+        tolerance in 1.0f64..5.0,
+        beats in 1usize..30,
+        stop_after in 0usize..30,
+    ) {
+        let mut m = HeartbeatMonitor::new();
+        m.watch(TaskId(1), interval, tolerance, 0.0);
+        let window = interval * tolerance;
+        let mut now = 0.0;
+        let mut dead_reports = 0;
+        for i in 0..beats {
+            now = (i + 1) as f64 * window * 0.9; // always inside the window
+            if i < stop_after {
+                m.beat(TaskId(1), i as u64, now);
+            }
+            dead_reports += m.expired(now).len();
+        }
+        if stop_after >= beats {
+            prop_assert_eq!(dead_reports, 0, "never silent long enough");
+        }
+        // Silence forever: exactly one report, ever.
+        dead_reports += m.expired(now + window * 10.0).len();
+        dead_reports += m.expired(now + window * 20.0).len();
+        prop_assert!(dead_reports <= 1);
+        if stop_after < beats || beats > 0 {
+            prop_assert_eq!(dead_reports, 1, "eventual silence is always detected");
+        }
+    }
+
+    /// Reorder buffer: releases exactly the accepted messages (no loss, no
+    /// duplication) in send order, whatever the arrival order.
+    #[test]
+    fn reorder_buffer_is_a_permutation_sorter(
+        sent_times in proptest::collection::vec(0.0f64..100.0, 1..30),
+        delay in 0.0f64..5.0,
+    ) {
+        let mut buf = ReorderBuffer::new(delay);
+        // Arrive in shuffled order: reverse is the worst case.
+        let mut arrival = 100.0;
+        for (i, &sent) in sent_times.iter().enumerate().rev() {
+            arrival += 0.1;
+            let accepted = buf.accept(
+                Envelope::new(TaskId(1), "h", sent, Notification::Heartbeat { seq: i as u64 }),
+                arrival,
+            );
+            prop_assert!(accepted, "distinct messages are never suppressed");
+        }
+        let out = buf.release(arrival + delay + 1.0);
+        prop_assert_eq!(out.len(), sent_times.len());
+        for w in out.windows(2) {
+            prop_assert!(w[0].sent_at <= w[1].sent_at, "send order restored");
+        }
+        prop_assert!(buf.is_empty());
+    }
+
+    /// Wire format: every envelope round-trips through JSON.
+    #[test]
+    fn envelope_wire_roundtrip(
+        body in arb_notification(),
+        task in any::<u64>(),
+        host in "[a-z.]{1,20}",
+        at in 0.0f64..1e6,
+    ) {
+        let env = Envelope::new(TaskId(task), host, at, body);
+        let back = Envelope::from_wire(&env.to_wire()).unwrap();
+        prop_assert_eq!(back, env);
+    }
+}

@@ -1,0 +1,419 @@
+//! Ablation studies — extensions beyond the paper, each probing a design
+//! choice the paper makes without exploring:
+//!
+//! 1. **Checkpoint interval** (`K = 20` is fixed in §8.2): sweep K and
+//!    compare the simulated optimum against Young's classical
+//!    approximation `a* ≈ sqrt(2C/λ)`.
+//! 2. **Replica count** (`N = 3` is fixed): sweep N to expose the
+//!    diminishing returns that justify small N.
+//! 3. **Failure model** (exponential TTF is assumed): Weibull TTF with
+//!    shape k < 1 — the decreasing-hazard behaviour Plank & Elwasif
+//!    measured on real workstations (paper ref \[23\]) — at equal MTTF.
+//! 4. **Figure 5 vs Figure 3**: workflow-level redundancy over *diverse*
+//!    implementations vs task-level replication of one implementation —
+//!    the comparison §5.2 motivates ("many task implementations with
+//!    different execution behavior") but never quantifies.  Replication
+//!    cannot survive a *common-mode* failure of the replicated
+//!    implementation; diverse redundancy can.
+
+use gridwfs_sim::rng::Rng;
+
+use crate::params::Params;
+use crate::stats::estimate;
+use crate::sweep::Series;
+use crate::techniques;
+
+// ------------------------------------------------- 1. checkpoint interval ---
+
+/// Young's approximation of the optimal inter-checkpoint interval:
+/// `a* = sqrt(2·C/λ)`.
+pub fn youngs_interval(c: f64, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "Young's formula needs a positive failure rate");
+    (2.0 * c / lambda).sqrt()
+}
+
+/// Young's optimal checkpoint *count* for work F: `K* = F / a*` (≥ 1).
+pub fn youngs_k(f: f64, c: f64, lambda: f64) -> f64 {
+    (f / youngs_interval(c, lambda)).max(1.0)
+}
+
+/// Expected completion time under checkpointing as a function of K.
+/// Returns the series plus the simulated-optimal K.
+pub fn checkpoint_interval_sweep(
+    base: Params,
+    ks: &[u32],
+    runs: usize,
+    seed: u64,
+) -> (Series, u32) {
+    let parent = Rng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(ks.len());
+    let mut best = (f64::INFINITY, base.k);
+    for (i, &k) in ks.iter().enumerate() {
+        let mut p = base;
+        p.k = k;
+        let mut rng = parent.split(i as u64);
+        let e = estimate(runs, || techniques::checkpoint(&p, &mut rng));
+        if e.mean < best.0 {
+            best = (e.mean, k);
+        }
+        points.push((k as f64, e.mean));
+    }
+    (
+        Series {
+            label: format!("E[T] vs K (MTTF={}, C={})", base.mttf, base.c),
+            points,
+        },
+        best.1,
+    )
+}
+
+// ------------------------------------------------------ 2. replica count ---
+
+/// Expected completion time vs replica count N, for plain replication and
+/// replication-with-checkpointing.
+pub fn replica_sweep(base: Params, ns: &[u32], runs: usize, seed: u64) -> Vec<Series> {
+    let parent = Rng::seed_from_u64(seed);
+    let mut rp = Vec::new();
+    let mut rpck = Vec::new();
+    for (i, &n) in ns.iter().enumerate() {
+        let p = base.with_replicas(n);
+        let mut rng = parent.split(i as u64);
+        let e1 = estimate(runs, || techniques::Technique::Replication.sample(&p, &mut rng));
+        let e2 = estimate(runs, || {
+            techniques::Technique::ReplicationCkpt.sample(&p, &mut rng)
+        });
+        rp.push((n as f64, e1.mean));
+        rpck.push((n as f64, e2.mean));
+    }
+    vec![
+        Series {
+            label: "Replication".into(),
+            points: rp,
+        },
+        Series {
+            label: "Replication w/ checkpointing".into(),
+            points: rpck,
+        },
+    ]
+}
+
+// ------------------------------------------------------ 3. Weibull model ---
+
+/// One retry-recovered execution with Weibull(shape, scale) TTF.  Each
+/// restart rejuvenates the machine (TTF is re-drawn from age zero), which
+/// is the natural reading of "restart on a rebooted or different host".
+pub fn weibull_retry(f: f64, shape: f64, scale: f64, downtime: f64, rng: &mut Rng) -> f64 {
+    let mut t = 0.0;
+    loop {
+        let ttf = scale * (-rng.next_f64_open0().ln()).powf(1.0 / shape);
+        if ttf >= f {
+            return t + f;
+        }
+        t += ttf;
+        if downtime > 0.0 {
+            t += -rng.next_f64_open0().ln() * downtime;
+        }
+    }
+}
+
+/// Gamma via the simulation crate's Weibull mean: scale for a target MTTF.
+fn weibull_scale_for_mean(shape: f64, mean: f64) -> f64 {
+    // mean = scale * Γ(1 + 1/shape)  ⇒  scale = mean / Γ(1 + 1/shape).
+    let gamma_factor = gridwfs_sim::dist::Dist::weibull(shape, 1.0).mean();
+    mean / gamma_factor
+}
+
+/// Retry expected-time curves vs MTTF for several Weibull shapes at equal
+/// mean (shape 1.0 reproduces the exponential baseline).
+pub fn weibull_shape_sweep(
+    f: f64,
+    shapes: &[f64],
+    mttfs: &[f64],
+    runs: usize,
+    seed: u64,
+) -> Vec<Series> {
+    let parent = Rng::seed_from_u64(seed);
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(si, &shape)| {
+            let points = mttfs
+                .iter()
+                .enumerate()
+                .map(|(mi, &mttf)| {
+                    let scale = weibull_scale_for_mean(shape, mttf);
+                    let mut rng = parent.split(((si as u64) << 32) | mi as u64);
+                    let e = estimate(runs, || weibull_retry(f, shape, scale, 0.0, &mut rng));
+                    (mttf, e.mean)
+                })
+                .collect();
+            Series {
+                label: format!("Weibull k={shape} "),
+                points,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------- 4. redundancy vs replication (§5.2) ---
+
+/// Fixed parameters of the diverse-redundancy study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedundancySetup {
+    /// Fast implementation's duration.
+    pub fast: f64,
+    /// Slow (reliable) implementation's duration.
+    pub slow: f64,
+    /// Per-attempt environmental crash probability of the fast impl.
+    pub p_env: f64,
+    /// Replica count for the Figure 3 configuration.
+    pub n_replicas: u32,
+    /// Retry budget per fast replica.
+    pub tries: u32,
+}
+
+/// One data point of the diverse-redundancy study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedundancyPoint {
+    /// Probability that the workload triggers a common-mode failure of the
+    /// fast implementation (a bug every replica of it shares).
+    pub q: f64,
+    /// Success rate of task-level replication of the fast implementation.
+    pub replication_success: f64,
+    /// Mean completion time of replication *given success*.
+    pub replication_time: f64,
+    /// Success rate of Figure 5 redundancy (fast ∥ slow, OR-join).
+    pub redundancy_success: f64,
+    /// Mean completion time of redundancy given success.
+    pub redundancy_time: f64,
+}
+
+/// Compares Figure 3 (replicate the fast implementation N times, each
+/// replica retried) against Figure 5 (fast ∥ slow diverse redundancy).
+///
+/// Model: the fast implementation (duration `fast`) crashes per attempt
+/// with probability `p_env` (independent environmental failures, costing a
+/// uniformly-distributed fraction of its duration), and with probability
+/// `q` per *workload* it can never succeed (common-mode defect).  The slow
+/// implementation (duration `slow`) never fails.  Each fast replica gets
+/// `tries` attempts.
+pub fn redundancy_vs_replication(
+    setup: &RedundancySetup,
+    qs: &[f64],
+    runs: usize,
+    seed: u64,
+) -> Vec<RedundancyPoint> {
+    let &RedundancySetup {
+        fast,
+        slow,
+        p_env,
+        n_replicas,
+        tries,
+    } = setup;
+    assert!((0.0..=1.0).contains(&p_env));
+    let parent = Rng::seed_from_u64(seed);
+    qs.iter()
+        .enumerate()
+        .map(|(i, &q)| {
+            let mut rng = parent.split(i as u64);
+            let mut rep_succ = 0usize;
+            let mut rep_time = 0.0;
+            let mut red_succ = 0usize;
+            let mut red_time = 0.0;
+            for _ in 0..runs {
+                let common_mode = rng.bernoulli(q);
+                // One fast replica: returns Some(completion time).
+                let fast_run = |rng: &mut Rng| -> Option<f64> {
+                    let mut t = 0.0;
+                    for _ in 0..tries {
+                        if common_mode || rng.bernoulli(p_env) {
+                            t += fast * rng.next_f64(); // wasted partial work
+                        } else {
+                            return Some(t + fast);
+                        }
+                    }
+                    None
+                };
+                // Figure 3: N replicas of fast, first success wins.
+                let rep = (0..n_replicas)
+                    .filter_map(|_| fast_run(&mut rng))
+                    .fold(f64::INFINITY, f64::min);
+                if rep.is_finite() {
+                    rep_succ += 1;
+                    rep_time += rep;
+                }
+                // Figure 5: one fast replica in parallel with slow.
+                let red = match fast_run(&mut rng) {
+                    Some(t) => t.min(slow),
+                    None => slow,
+                };
+                red_succ += 1;
+                red_time += red;
+            }
+            RedundancyPoint {
+                q,
+                replication_success: rep_succ as f64 / runs as f64,
+                replication_time: if rep_succ > 0 {
+                    rep_time / rep_succ as f64
+                } else {
+                    f64::NAN
+                },
+                redundancy_success: red_succ as f64 / runs as f64,
+                redundancy_time: red_time / runs as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the redundancy study as an aligned table.
+pub fn render_redundancy_table(points: &[RedundancyPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("     q   Rp success   Rp E[T|ok]   Fig5 success   Fig5 E[T]\n");
+    out.push_str("------------------------------------------------------------\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:>6.2}   {:>9.1}%   {:>10.2}   {:>11.1}%   {:>9.2}\n",
+            p.q,
+            100.0 * p.replication_success,
+            p.replication_time,
+            100.0 * p.redundancy_success,
+            p.redundancy_time,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn youngs_formula_values() {
+        // C=0.5, λ=0.1 ⇒ a* = sqrt(10) ≈ 3.162.
+        assert!((youngs_interval(0.5, 0.1) - 10f64.sqrt()).abs() < 1e-12);
+        // F=30 ⇒ K* ≈ 9.49.
+        assert!((youngs_k(30.0, 0.5, 0.1) - 30.0 / 10f64.sqrt()).abs() < 1e-12);
+        // K* is floored at 1 for tiny failure rates.
+        assert_eq!(youngs_k(30.0, 0.5, 1e-9), 1.0);
+    }
+
+    #[test]
+    fn checkpoint_sweep_optimum_tracks_youngs() {
+        // MTTF = 10 (λ=0.1), C=0.5 ⇒ Young a* ≈ 3.16 ⇒ K* ≈ 9.5.
+        let base = Params::paper_baseline(10.0);
+        let ks: Vec<u32> = (1..=40).collect();
+        let (series, best_k) = checkpoint_interval_sweep(base, &ks, 20_000, 0xAB1);
+        assert_eq!(series.points.len(), 40);
+        let youngs = youngs_k(base.f, base.c, base.lambda());
+        // The simulated optimum should be within a factor ~2 of Young's
+        // (the approximation ignores recovery time and second-order terms).
+        assert!(
+            (best_k as f64) > youngs / 2.0 && (best_k as f64) < youngs * 2.0,
+            "simulated K*={best_k} vs Young {youngs:.1}"
+        );
+        // And K=20 (the paper's choice) must be near-optimal: within 5%.
+        let at_20 = series.y_at(20.0).unwrap();
+        let at_best = series.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+        assert!(at_20 < at_best * 1.05, "paper's K=20 is near-optimal");
+    }
+
+    #[test]
+    fn replica_sweep_diminishing_returns() {
+        let base = Params::paper_baseline(15.0);
+        let ns: Vec<u32> = (1..=8).collect();
+        let series = replica_sweep(base, &ns, 20_000, 0xAB2);
+        let rp = &series[0];
+        // Strictly decreasing in N...
+        for w in rp.points.windows(2) {
+            assert!(w[1].1 < w[0].1, "{w:?}");
+        }
+        // ...but the N=1→3 gain dwarfs the N=3→8 gain (diminishing returns).
+        let gain_1_3 = rp.y_at(1.0).unwrap() - rp.y_at(3.0).unwrap();
+        let gain_3_8 = rp.y_at(3.0).unwrap() - rp.y_at(8.0).unwrap();
+        assert!(gain_1_3 > 3.0 * gain_3_8, "{gain_1_3} vs {gain_3_8}");
+    }
+
+    #[test]
+    fn weibull_shape_one_matches_exponential_baseline() {
+        let series = weibull_shape_sweep(30.0, &[1.0], &[20.0, 50.0], 50_000, 0xAB3);
+        let analytic = |mttf: f64| {
+            crate::analytic::retry_expected(&Params::paper_baseline(mttf))
+        };
+        for &(mttf, y) in &series[0].points {
+            let expect = analytic(mttf);
+            assert!(
+                (y - expect).abs() / expect < 0.05,
+                "k=1 at MTTF {mttf}: {y} vs exponential {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_shape_effect_flips_with_failure_regime() {
+        // The shape effect depends on the F/MTTF ratio, and the direction
+        // flips — which is exactly why assuming exponentials (as the paper
+        // does) is an ablation worth running:
+        //
+        // * F >> MTTF (MTTF=10 vs F=30): completing needs surviving 3×
+        //   the mean.  Increasing hazard (k=1.5) makes long survival far
+        //   rarer than exponential — retrying explodes; the heavy tail of
+        //   k=0.7 makes lucky long-lived attempts *more* common — cheaper.
+        // * F << MTTF (MTTF=100): failures are rare, and k<1 front-loads
+        //   the few that happen into the attempt window — more expensive;
+        //   k>1 pushes them past F — cheaper.
+        let at = |series: &[Series], label: &str| {
+            series
+                .iter()
+                .find(|s| s.label.contains(label))
+                .unwrap()
+                .points[0]
+                .1
+        };
+        let hostile = weibull_shape_sweep(30.0, &[0.7, 1.0, 1.5], &[10.0], 50_000, 0xAB4);
+        assert!(at(&hostile, "0.7") < at(&hostile, "k=1 "), "heavy tail helps when F >> MTTF");
+        assert!(at(&hostile, "1.5") > 2.0 * at(&hostile, "k=1 "), "increasing hazard explodes");
+        let benign = weibull_shape_sweep(30.0, &[0.7, 1.0, 1.5], &[100.0], 50_000, 0xAB6);
+        assert!(at(&benign, "0.7") > at(&benign, "k=1 "), "heavy tail hurts when F << MTTF");
+        assert!(at(&benign, "1.5") < at(&benign, "k=1 "));
+    }
+
+    #[test]
+    fn redundancy_survives_common_mode_replication_does_not() {
+        let setup = RedundancySetup {
+            fast: 30.0,
+            slow: 150.0,
+            p_env: 0.3,
+            n_replicas: 3,
+            tries: 3,
+        };
+        let points = redundancy_vs_replication(&setup, &[0.0, 0.5, 1.0], 20_000, 0xAB5);
+        // q=0: replication nearly always succeeds, and faster than 150.
+        let p0 = points[0];
+        assert!(p0.replication_success > 0.99);
+        assert!(p0.replication_time < p0.redundancy_time + 1.0);
+        // q=1: replication of the broken implementation never succeeds;
+        // diverse redundancy always does (slow path).
+        let p1 = points[2];
+        assert!(p1.replication_success < 1e-9);
+        assert_eq!(p1.redundancy_success, 1.0);
+        assert!(p1.redundancy_time >= 150.0);
+        // Monotone: replication success falls with q.
+        assert!(points[1].replication_success < p0.replication_success);
+        assert!(points[1].replication_success > p1.replication_success);
+    }
+
+    #[test]
+    fn redundancy_table_renders() {
+        let setup = RedundancySetup {
+            fast: 30.0,
+            slow: 150.0,
+            p_env: 0.2,
+            n_replicas: 2,
+            tries: 2,
+        };
+        let points = redundancy_vs_replication(&setup, &[0.0, 1.0], 2_000, 1);
+        let table = render_redundancy_table(&points);
+        assert!(table.contains("Fig5"));
+        assert_eq!(table.lines().count(), 4);
+    }
+}

@@ -1,0 +1,337 @@
+//! The Figure 13 experiment: masking vs. exception handling.
+//!
+//! The DAG is the paper's Figure 6: a Fast_Unreliable_Task (FU, duration
+//! 30) whose disk-full exception can be handled by an alternative
+//! Slow_Reliable_Task (SR, duration 150), meeting at a zero-duration
+//! OR-join (DJ).  The FU "checks five times during its execution (i.e.,
+//! every 6)" whether disk_full occurs, modelled "as a Bernoulli process
+//! with a probability p of disk_full exception occurrence"; SR never
+//! fails; no other failures occur.
+//!
+//! Three strategies for the FU's exception are compared:
+//!
+//! * **Retrying** — restart FU from scratch on each exception.  Expected
+//!   time diverges as p → 1 and at p = 1 the execution *never* finishes.
+//! * **Checkpointing** — FU checkpoints at every check boundary, so an
+//!   exception only loses the current 6-unit segment.  Still diverges as
+//!   p → 1 (the same check is re-drawn forever).
+//! * **Exception handling w/ alternative task** — the first exception
+//!   routes to SR; bounded for all p and the only strategy that terminates
+//!   at p = 1.
+
+use gridwfs_sim::rng::Rng;
+
+/// Parameters of the Figure 13 DAG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagParams {
+    /// Fast task duration (paper: 30).
+    pub fu: f64,
+    /// Slow alternative duration (paper: 150).
+    pub sr: f64,
+    /// Join task duration (paper: 0).
+    pub dj: f64,
+    /// Number of disk-full checks during FU (paper: 5, i.e. every 6).
+    pub checks: u32,
+    /// Per-check probability of the exception.
+    pub p: f64,
+    /// Checkpoint overhead per segment for the checkpointing strategy.
+    pub c: f64,
+    /// Recovery time after an exception for the checkpointing strategy.
+    pub r: f64,
+}
+
+impl DagParams {
+    /// The paper's Figure 13 parameters at exception probability `p`.
+    pub fn paper(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        DagParams {
+            fu: 30.0,
+            sr: 150.0,
+            dj: 0.0,
+            checks: 5,
+            p,
+            c: 0.5,
+            r: 0.5,
+        }
+    }
+
+    /// Interval between checks.
+    pub fn step(&self) -> f64 {
+        self.fu / self.checks as f64
+    }
+}
+
+/// The strategies compared in Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Restart FU from scratch on exception.
+    Retrying,
+    /// Resume FU from the last check boundary on exception.
+    Checkpointing,
+    /// Switch to SR on the first exception (the Figure 6 DAG).
+    AlternativeTask,
+}
+
+impl Strategy {
+    /// All three, in the paper's legend order.
+    pub const ALL: [Strategy; 3] = [
+        Strategy::Retrying,
+        Strategy::Checkpointing,
+        Strategy::AlternativeTask,
+    ];
+
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Retrying => "Retrying",
+            Strategy::Checkpointing => "Checkpointing",
+            Strategy::AlternativeTask => "Exception handling w/ alternative task",
+        }
+    }
+}
+
+/// Outcome of one DAG sample: the completion time, or `Diverged` when the
+/// cap was hit (only possible for the masking strategies as p → 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DagSample {
+    /// Completed in the given time.
+    Finished(f64),
+    /// Exceeded the cap; the run would (almost) never finish.
+    Diverged,
+}
+
+impl DagSample {
+    /// The time, treating divergence as the cap (for plotting against a
+    /// clipped y-axis as the paper does).
+    pub fn clipped(self, cap: f64) -> f64 {
+        match self {
+            DagSample::Finished(t) => t.min(cap),
+            DagSample::Diverged => cap,
+        }
+    }
+}
+
+/// Draws one FU attempt under retrying: returns `Ok(fu)` on success or
+/// `Err(time_wasted)` with the time of the first failing check.
+fn fu_attempt(d: &DagParams, rng: &mut Rng) -> Result<f64, f64> {
+    let step = d.step();
+    for i in 1..=d.checks {
+        if rng.bernoulli(d.p) {
+            return Err(i as f64 * step);
+        }
+    }
+    Ok(d.fu)
+}
+
+/// Samples the DAG completion time under a strategy, capping total time at
+/// `cap` (the masking strategies diverge as p → 1).
+pub fn sample(strategy: Strategy, d: &DagParams, rng: &mut Rng, cap: f64) -> DagSample {
+    let mut t = 0.0;
+    match strategy {
+        Strategy::Retrying => loop {
+            match fu_attempt(d, rng) {
+                Ok(done) => return DagSample::Finished(t + done + d.dj),
+                Err(wasted) => {
+                    t += wasted;
+                    if t >= cap {
+                        return DagSample::Diverged;
+                    }
+                }
+            }
+        },
+        Strategy::Checkpointing => {
+            let step = d.step();
+            for _ in 0..d.checks {
+                loop {
+                    if !rng.bernoulli(d.p) {
+                        t += step + d.c;
+                        break;
+                    }
+                    t += step + d.r;
+                    if t >= cap {
+                        return DagSample::Diverged;
+                    }
+                }
+            }
+            DagSample::Finished(t + d.dj)
+        }
+        Strategy::AlternativeTask => match fu_attempt(d, rng) {
+            Ok(done) => DagSample::Finished(done + d.dj),
+            Err(at) => DagSample::Finished(at + d.sr + d.dj),
+        },
+    }
+}
+
+/// Analytic expectation for the retrying strategy (diverges at p = 1).
+///
+/// Per attempt: success probability q = (1−p)^checks; a failed attempt
+/// wastes E[W | fail] where the failing check index is geometric truncated
+/// to `checks`.  `E[T] = E[#failures]·E[W|fail] + FU`.
+pub fn retry_expected(d: &DagParams) -> f64 {
+    if d.p == 0.0 {
+        return d.fu + d.dj;
+    }
+    if d.p >= 1.0 {
+        return f64::INFINITY;
+    }
+    let q = (1.0 - d.p).powi(d.checks as i32);
+    let step = d.step();
+    // E[failing index | fail] for truncated geometric over 1..=checks.
+    let mut e_idx = 0.0;
+    let mut fail_mass = 0.0;
+    for i in 1..=d.checks {
+        let prob = (1.0 - d.p).powi(i as i32 - 1) * d.p;
+        e_idx += i as f64 * prob;
+        fail_mass += prob;
+    }
+    let e_waste = step * e_idx / fail_mass;
+    let e_failures = (1.0 - q) / q;
+    e_failures * e_waste + d.fu + d.dj
+}
+
+/// Analytic expectation for the checkpointing strategy (diverges at p = 1):
+/// each of the `checks` segments is geometric with success 1−p, failed
+/// trials cost step+R, success costs step+C.
+pub fn checkpoint_expected(d: &DagParams) -> f64 {
+    if d.p >= 1.0 {
+        return f64::INFINITY;
+    }
+    let step = d.step();
+    let e_failures_per_seg = d.p / (1.0 - d.p);
+    d.checks as f64 * (step + d.c + e_failures_per_seg * (step + d.r)) + d.dj
+}
+
+/// Analytic expectation for the alternative-task strategy (bounded ∀ p):
+/// `E[T] = q·FU + Σᵢ P(first failure at check i)·(i·step + SR)`.
+pub fn alternative_expected(d: &DagParams) -> f64 {
+    let q = (1.0 - d.p).powi(d.checks as i32);
+    let step = d.step();
+    let mut e = q * d.fu;
+    for i in 1..=d.checks {
+        let prob = (1.0 - d.p).powi(i as i32 - 1) * d.p;
+        e += prob * (i as f64 * step + d.sr);
+    }
+    e + d.dj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OnlineStats;
+
+    fn mc(strategy: Strategy, p: f64, runs: usize) -> (f64, usize) {
+        let d = DagParams::paper(p);
+        let mut rng = Rng::seed_from_u64(0x00F1_6130 ^ (p * 1000.0) as u64);
+        let mut stats = OnlineStats::new();
+        let mut diverged = 0;
+        for _ in 0..runs {
+            match sample(strategy, &d, &mut rng, 1e7) {
+                DagSample::Finished(t) => stats.push(t),
+                DagSample::Diverged => diverged += 1,
+            }
+        }
+        (stats.mean(), diverged)
+    }
+
+    #[test]
+    fn p_zero_everything_finishes_at_fu() {
+        assert_eq!(mc(Strategy::Retrying, 0.0, 100).0, 30.0);
+        assert_eq!(mc(Strategy::AlternativeTask, 0.0, 100).0, 30.0);
+        // Checkpointing pays its overhead even with no exceptions.
+        assert_eq!(mc(Strategy::Checkpointing, 0.0, 100).0, 32.5);
+    }
+
+    #[test]
+    fn p_one_only_alternative_terminates() {
+        let d = DagParams::paper(1.0);
+        let mut rng = Rng::seed_from_u64(1);
+        assert_eq!(
+            sample(Strategy::AlternativeTask, &d, &mut rng, 1e7),
+            DagSample::Finished(156.0),
+            "first check at 6 + SR 150"
+        );
+        assert_eq!(sample(Strategy::Retrying, &d, &mut rng, 1e4), DagSample::Diverged);
+        assert_eq!(
+            sample(Strategy::Checkpointing, &d, &mut rng, 1e4),
+            DagSample::Diverged
+        );
+        assert_eq!(retry_expected(&d), f64::INFINITY);
+        assert_eq!(checkpoint_expected(&d), f64::INFINITY);
+        assert_eq!(alternative_expected(&d), 156.0);
+    }
+
+    #[test]
+    fn masking_strategies_diverge_as_p_grows() {
+        let (r_low, _) = mc(Strategy::Retrying, 0.2, 50_000);
+        let (r_high, _) = mc(Strategy::Retrying, 0.8, 50_000);
+        assert!(r_high > 4.0 * r_low, "retry blows up: {r_low} -> {r_high}");
+        let (a_low, _) = mc(Strategy::AlternativeTask, 0.2, 50_000);
+        let (a_high, _) = mc(Strategy::AlternativeTask, 0.8, 50_000);
+        assert!(a_high < 160.0 && a_low < 160.0, "alternative stays bounded");
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic_retry() {
+        for p in [0.1, 0.3, 0.5, 0.7] {
+            let d = DagParams::paper(p);
+            let (mean, diverged) = mc(Strategy::Retrying, p, 100_000);
+            assert_eq!(diverged, 0);
+            let expect = retry_expected(&d);
+            assert!(
+                (mean - expect).abs() / expect < 0.03,
+                "p={p}: {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic_checkpoint() {
+        for p in [0.1, 0.4, 0.7] {
+            let d = DagParams::paper(p);
+            let (mean, diverged) = mc(Strategy::Checkpointing, p, 100_000);
+            assert_eq!(diverged, 0);
+            let expect = checkpoint_expected(&d);
+            assert!(
+                (mean - expect).abs() / expect < 0.03,
+                "p={p}: {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic_alternative() {
+        for p in [0.0, 0.2, 0.5, 0.9, 1.0] {
+            let d = DagParams::paper(p);
+            let (mean, diverged) = mc(Strategy::AlternativeTask, p, 100_000);
+            assert_eq!(diverged, 0);
+            let expect = alternative_expected(&d);
+            assert!(
+                (mean - expect).abs() < expect * 0.02 + 0.01,
+                "p={p}: {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn exception_handling_wins_beyond_a_crossover() {
+        // At small p masking is cheaper (SR costs 150); by p = 0.9 the
+        // alternative task must win — the figure's message.
+        let d_small = DagParams::paper(0.1);
+        assert!(alternative_expected(&d_small) > retry_expected(&d_small));
+        let d_large = DagParams::paper(0.9);
+        assert!(alternative_expected(&d_large) < retry_expected(&d_large));
+        assert!(alternative_expected(&d_large) < checkpoint_expected(&d_large));
+    }
+
+    #[test]
+    fn clipped_sampling() {
+        assert_eq!(DagSample::Finished(10.0).clipped(500.0), 10.0);
+        assert_eq!(DagSample::Finished(900.0).clipped(500.0), 500.0);
+        assert_eq!(DagSample::Diverged.clipped(500.0), 500.0);
+    }
+
+    #[test]
+    fn step_is_six_for_paper_params() {
+        assert_eq!(DagParams::paper(0.5).step(), 6.0);
+    }
+}

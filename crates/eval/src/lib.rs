@@ -1,0 +1,42 @@
+//! # gridwfs-eval — the paper's evaluation, reproduced
+//!
+//! §8 of the HPDC'03 paper evaluates Grid-WFS by Monte-Carlo simulation of
+//! the expected completion time of a task under four failure-recovery
+//! techniques (retrying, checkpointing, replication, replication with
+//! checkpointing), validated against analytical models from the fault
+//! tolerance literature (Duda; Plank), plus an exception-handling DAG
+//! experiment.  This crate is that simulator:
+//!
+//! * [`params`] — the §8.1 parameter set (F, λ=1/MTTF, D, C, R, K, N);
+//! * [`techniques`] — per-technique completion-time samplers;
+//! * [`analytic`] — the closed-form expectations used for validation
+//!   (Figures 8 and 9);
+//! * [`exception_dag`] — the Figure 13 model (Bernoulli disk-full checks,
+//!   alternative-task handling);
+//! * [`stats`] — online mean/variance/confidence statistics;
+//! * [`sweep`] — series construction and table/CSV rendering;
+//! * [`experiments`] — one function per paper figure, with the paper's
+//!   exact parameters, shared by the `gridwfs-bench` figure binaries and
+//!   the statistical tests;
+//! * [`capability`] — Table 1 (the related-work capability matrix) as data;
+//! * [`ablation`] — extensions beyond the paper: Young's checkpoint
+//!   interval, replica-count sweep, Weibull failure models, and the §5.2
+//!   redundancy-vs-replication comparison.
+//!
+//! The samplers run at ~10⁷ draws/second, so the paper's 100 000-run
+//! estimates regenerate in milliseconds per point.
+
+pub mod ablation;
+pub mod analytic;
+pub mod capability;
+pub mod exception_dag;
+pub mod experiments;
+pub mod params;
+pub mod stats;
+pub mod sweep;
+pub mod techniques;
+
+pub use params::Params;
+pub use stats::{Estimate, OnlineStats};
+pub use sweep::Series;
+pub use techniques::Technique;

@@ -1,0 +1,122 @@
+//! The §8.1 simulation parameters.
+//!
+//! Quoting the paper's parameter list: failure-free execution time **F**;
+//! failure rate **λ** (Poisson arrivals, so TTF ~ Exp(λ), MTTF = 1/λ);
+//! downtime **D** (exponential with the given mean); average checkpoint
+//! overhead **C** (constant); uninterrupted execution between checkpoints
+//! **a = F/K** for K checkpoints; recovery time **R**; number of replicas
+//! **N**.  Checkpoint latency L is deliberately not modelled — the paper
+//! assumes the task halts during checkpointing, and so do we.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameter set for one completion-time experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Failure-free execution time F.
+    pub f: f64,
+    /// Mean time to failure (λ = 1/MTTF); `f64::INFINITY` disables failures.
+    pub mttf: f64,
+    /// Mean downtime D following a failure (exponential; 0 = instant repair).
+    pub downtime: f64,
+    /// Checkpoint overhead C (constant per checkpoint).
+    pub c: f64,
+    /// Recovery time R (restoring checkpointed state after a failure).
+    pub r: f64,
+    /// Number of checkpoints K during F (a = F/K).
+    pub k: u32,
+    /// Number of replicas N.
+    pub n: u32,
+}
+
+impl Params {
+    /// The paper's Figure 10 baseline: F=30, K=20, D=0, C=R=0.5, N=3.
+    pub fn paper_baseline(mttf: f64) -> Params {
+        Params {
+            f: 30.0,
+            mttf,
+            downtime: 0.0,
+            c: 0.5,
+            r: 0.5,
+            k: 20,
+            n: 3,
+        }
+    }
+
+    /// Failure rate λ = 1/MTTF (0 when failures are disabled).
+    pub fn lambda(&self) -> f64 {
+        if self.mttf.is_finite() && self.mttf > 0.0 {
+            1.0 / self.mttf
+        } else {
+            0.0
+        }
+    }
+
+    /// Inter-checkpoint interval a = F/K.
+    pub fn a(&self) -> f64 {
+        self.f / self.k as f64
+    }
+
+    /// Builder-style downtime override.
+    pub fn with_downtime(mut self, d: f64) -> Params {
+        self.downtime = d;
+        self
+    }
+
+    /// Builder-style replica-count override.
+    pub fn with_replicas(mut self, n: u32) -> Params {
+        self.n = n;
+        self
+    }
+
+    /// Panics unless the parameters are physically meaningful.
+    pub fn validate(&self) {
+        assert!(self.f > 0.0 && self.f.is_finite(), "F must be positive");
+        assert!(self.mttf > 0.0, "MTTF must be positive (may be +inf)");
+        assert!(self.downtime >= 0.0 && self.downtime.is_finite());
+        assert!(self.c >= 0.0 && self.r >= 0.0);
+        assert!(self.k >= 1, "need at least one checkpoint segment");
+        assert!(self.n >= 1, "need at least one replica");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_matches_section_8_2() {
+        let p = Params::paper_baseline(20.0);
+        assert_eq!(p.f, 30.0);
+        assert_eq!(p.k, 20);
+        assert_eq!(p.c, 0.5);
+        assert_eq!(p.r, 0.5);
+        assert_eq!(p.n, 3);
+        assert_eq!(p.downtime, 0.0);
+        assert_eq!(p.lambda(), 0.05);
+        assert_eq!(p.a(), 1.5);
+        p.validate();
+    }
+
+    #[test]
+    fn infinite_mttf_means_zero_rate() {
+        let p = Params::paper_baseline(f64::INFINITY);
+        assert_eq!(p.lambda(), 0.0);
+        p.validate();
+    }
+
+    #[test]
+    fn builders() {
+        let p = Params::paper_baseline(10.0).with_downtime(300.0).with_replicas(5);
+        assert_eq!(p.downtime, 300.0);
+        assert_eq!(p.n, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "F must be positive")]
+    fn bad_f_rejected() {
+        let mut p = Params::paper_baseline(10.0);
+        p.f = 0.0;
+        p.validate();
+    }
+}

@@ -1,0 +1,345 @@
+//! Online statistics for Monte-Carlo estimation.
+//!
+//! Welford's algorithm: numerically stable single-pass mean/variance, no
+//! per-sample allocation — the figure sweeps push hundreds of millions of
+//! samples through this.
+
+/// Single-pass mean/variance accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A Monte-Carlo estimate with its standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub stderr: f64,
+    /// Number of samples.
+    pub n: u64,
+}
+
+impl Estimate {
+    /// Half-width of the ~95% confidence interval (1.96 σ/√n).
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.stderr
+    }
+
+    /// True if `value` lies within `z` standard errors of the mean.
+    pub fn contains(&self, value: f64, z: f64) -> bool {
+        (value - self.mean).abs() <= z * self.stderr
+    }
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "statistics require finite samples");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample seen.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Freezes into an [`Estimate`].
+    pub fn estimate(&self) -> Estimate {
+        Estimate {
+            mean: self.mean(),
+            stderr: self.stderr(),
+            n: self.n,
+        }
+    }
+
+    /// Merges another accumulator (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A retained sample set for quantile analysis.  The paper reports only
+/// *expected* completion times; tail quantiles (p90/p99) are where the
+/// techniques differ most dramatically, so the tail study keeps samples.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        SampleSet::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(f64::total_cmp);
+            self.sorted = true;
+        }
+    }
+
+    /// Quantile by linear interpolation between order statistics.
+    ///
+    /// # Panics
+    /// Panics if the set is empty or `q` outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile needs q in [0,1]");
+        assert!(!self.samples.is_empty(), "quantile of an empty set");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        if n == 1 {
+            return self.samples[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+    }
+
+    /// Largest sample.
+    pub fn max(&mut self) -> f64 {
+        self.ensure_sorted();
+        *self.samples.last().expect("non-empty")
+    }
+}
+
+/// Runs `sampler` `runs` times and returns the estimate.
+pub fn estimate(runs: usize, mut sampler: impl FnMut() -> f64) -> Estimate {
+    let mut s = OnlineStats::new();
+    for _ in 0..runs {
+        s.push(sampler());
+    }
+    s.estimate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_sequence() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.n(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Population var is 4, sample var is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.stderr(), 0.0);
+        let mut s1 = OnlineStats::new();
+        s1.push(3.0);
+        assert_eq!(s1.mean(), 3.0);
+        assert_eq!(s1.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 101) as f64 / 3.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..300] {
+            a.push(x);
+        }
+        for &x in &xs[300..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.n(), all.n());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before.mean());
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.mean(), before.mean());
+        assert_eq!(empty.n(), before.n());
+    }
+
+    #[test]
+    fn quantiles_on_known_data() {
+        let mut s = SampleSet::new();
+        for x in 1..=100 {
+            s.push(x as f64);
+        }
+        assert_eq!(s.len(), 100);
+        assert!((s.mean() - 50.5).abs() < 1e-12);
+        assert!((s.quantile(0.0) - 1.0).abs() < 1e-12);
+        assert!((s.quantile(1.0) - 100.0).abs() < 1e-12);
+        assert!((s.quantile(0.5) - 50.5).abs() < 1e-12, "median interpolates");
+        assert!((s.quantile(0.99) - 99.01).abs() < 1e-9);
+        assert_eq!(s.max(), 100.0);
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        let mut s = SampleSet::new();
+        s.push(7.0);
+        assert_eq!(s.quantile(0.5), 7.0);
+        assert_eq!(s.quantile(0.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        SampleSet::new().quantile(0.5);
+    }
+
+    #[test]
+    fn quantiles_stay_correct_after_more_pushes() {
+        let mut s = SampleSet::new();
+        s.push(10.0);
+        assert_eq!(s.quantile(0.5), 10.0);
+        s.push(0.0); // must re-sort
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn estimate_and_ci() {
+        let e = estimate(10_000, {
+            let mut i = 0u64;
+            move || {
+                i += 1;
+                (i % 2) as f64 // alternating 0/1: mean 0.5, var ~0.25
+            }
+        });
+        assert!((e.mean - 0.5).abs() < 1e-9);
+        assert!((e.stderr - 0.005).abs() < 0.001);
+        assert!(e.contains(0.5, 1.0));
+        assert!(!e.contains(0.6, 2.0));
+        assert!(e.ci95() > 0.0);
+    }
+}

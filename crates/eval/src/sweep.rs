@@ -1,0 +1,205 @@
+//! Series construction and rendering for the figure regenerators.
+//!
+//! Each paper figure is a set of `(x, y)` series.  The bench binaries print
+//! them as aligned text tables (the "same rows the paper reports") and as
+//! CSV for plotting.
+
+use gridwfs_sim::rng::Rng;
+
+use crate::stats::{estimate, Estimate};
+
+/// One plotted curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Builds a series by Monte-Carlo estimation at each x.
+    pub fn by_simulation(
+        label: impl Into<String>,
+        xs: &[f64],
+        runs: usize,
+        seed: u64,
+        mut sampler: impl FnMut(f64, &mut Rng) -> f64,
+    ) -> Series {
+        let parent = Rng::seed_from_u64(seed);
+        let points = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let mut rng = parent.split(i as u64);
+                let e: Estimate = estimate(runs, || sampler(x, &mut rng));
+                (x, e.mean)
+            })
+            .collect();
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Builds a series from a closed-form function.
+    pub fn by_formula(
+        label: impl Into<String>,
+        xs: &[f64],
+        f: impl Fn(f64) -> f64,
+    ) -> Series {
+        Series {
+            label: label.into(),
+            points: xs.iter().map(|&x| (x, f(x))).collect(),
+        }
+    }
+
+    /// The y value at a given x (exact match).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| *px == x)
+            .map(|&(_, y)| y)
+    }
+
+    /// The x of the first point where this series drops below `other`
+    /// (a crossover detector for the Figure 10/12 claims).
+    pub fn crossover_below(&self, other: &Series) -> Option<f64> {
+        for ((x, y1), (x2, y2)) in self.points.iter().zip(&other.points) {
+            debug_assert_eq!(x, x2, "series must share x grids");
+            if y1 < y2 {
+                return Some(*x);
+            }
+        }
+        None
+    }
+}
+
+/// Renders series as an aligned text table with an x column.
+pub fn render_table(x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    let widths: Vec<usize> = std::iter::once(x_label.len().max(8))
+        .chain(series.iter().map(|s| s.label.len().max(12)))
+        .collect();
+    // Header.
+    out.push_str(&format!("{:>w$}", x_label, w = widths[0]));
+    for (i, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {:>w$}", s.label, w = widths[i + 1]));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * series.len()));
+    out.push('\n');
+    // Rows.
+    let rows = series.first().map(|s| s.points.len()).unwrap_or(0);
+    for r in 0..rows {
+        let x = series[0].points[r].0;
+        out.push_str(&format!("{:>w$.3}", x, w = widths[0]));
+        for (i, s) in series.iter().enumerate() {
+            let y = s.points[r].1;
+            if y.is_finite() {
+                out.push_str(&format!("  {:>w$.3}", y, w = widths[i + 1]));
+            } else {
+                out.push_str(&format!("  {:>w$}", "inf", w = widths[i + 1]));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders series as CSV (`x,label1,label2,...`).
+pub fn render_csv(x_label: &str, series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push_str(x_label);
+    for s in series {
+        out.push(',');
+        // Quote labels containing commas.
+        if s.label.contains(',') {
+            out.push('"');
+            out.push_str(&s.label);
+            out.push('"');
+        } else {
+            out.push_str(&s.label);
+        }
+    }
+    out.push('\n');
+    let rows = series.first().map(|s| s.points.len()).unwrap_or(0);
+    for r in 0..rows {
+        out.push_str(&format!("{}", series[0].points[r].0));
+        for s in series {
+            out.push_str(&format!(",{}", s.points[r].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(label: &str, ys: &[f64]) -> Series {
+        Series {
+            label: label.into(),
+            points: ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect(),
+        }
+    }
+
+    #[test]
+    fn by_formula_evaluates_grid() {
+        let xs = [1.0, 2.0, 3.0];
+        let sq = Series::by_formula("sq", &xs, |x| x * x);
+        assert_eq!(sq.points, vec![(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]);
+        assert_eq!(sq.y_at(2.0), Some(4.0));
+        assert_eq!(sq.y_at(5.0), None);
+    }
+
+    #[test]
+    fn by_simulation_is_deterministic_per_seed() {
+        let xs = [10.0, 20.0];
+        let mk = |seed| {
+            Series::by_simulation("s", &xs, 1000, seed, |x, rng| x + rng.next_f64())
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+        // Mean of x + U[0,1) is about x + 0.5.
+        let s = mk(3);
+        assert!((s.points[0].1 - 10.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn crossover_detection() {
+        let a = s("a", &[10.0, 8.0, 5.0, 2.0]);
+        let b = s("b", &[6.0, 6.0, 6.0, 6.0]);
+        assert_eq!(a.crossover_below(&b), Some(2.0));
+        assert_eq!(b.crossover_below(&a), Some(0.0));
+        let c = s("c", &[20.0, 20.0, 20.0, 20.0]);
+        assert_eq!(c.crossover_below(&b), None);
+    }
+
+    #[test]
+    fn table_renders_all_rows_and_headers() {
+        let t = render_table("MTTF", &[s("Retrying", &[1.5, 2.5]), s("Ck", &[3.0, 4.0])]);
+        assert!(t.contains("MTTF"));
+        assert!(t.contains("Retrying"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4, "header + rule + 2 rows");
+        assert!(lines[2].contains("1.500"));
+        assert!(lines[3].contains("4.000"));
+    }
+
+    #[test]
+    fn table_handles_infinity() {
+        let t = render_table("x", &[s("div", &[f64::INFINITY])]);
+        assert!(t.contains("inf"));
+    }
+
+    #[test]
+    fn csv_roundtrips_structure() {
+        let c = render_csv("x", &[s("a", &[1.0, 2.0]), s("b,c", &[3.0, 4.0])]);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines[0], "x,a,\"b,c\"");
+        assert_eq!(lines[1], "0,1,3");
+        assert_eq!(lines[2], "1,2,4");
+    }
+}

@@ -1,0 +1,314 @@
+//! Completion-time samplers for the four §8.1 recovery techniques.
+//!
+//! The stochastic model follows Duda's analysis (the paper's \[7\]):
+//! failures arrive Poisson(λ); an attempt over work `w` succeeds iff the
+//! next TTF exceeds `w`; a failure costs the elapsed TTF plus downtime plus
+//! (for checkpointing) recovery overhead.  Each sampler draws one complete
+//! task execution and returns its completion time.
+//!
+//! * **Retrying** — work lost on failure, restart from scratch.
+//! * **Checkpointing** — K segments of a = F/K; a failed segment attempt
+//!   costs ttf + C + R (+ downtime), a successful one a + C.  This matches
+//!   the paper's per-segment expectation C + (C+R+1/λ)(e^{λa}−1) exactly
+//!   (see `analytic`).
+//! * **Replication(N)** — N independent retry-recovered runs race;
+//!   the earliest completion wins (§8.1: "choosing the smallest completion
+//!   time among those obtained from the N simulation runs").
+//! * **Replication w/ checkpointing(N)** — the same race with
+//!   checkpoint-recovered runs.
+
+use gridwfs_sim::rng::Rng;
+
+use crate::params::Params;
+
+/// The four §8 techniques (display order matches Figure 10's legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Restart from scratch on failure (legend `Rt`).
+    Retrying,
+    /// Restart from the last checkpoint (legend `Ck`).
+    Checkpointing,
+    /// N racing replicas, each retry-recovered (legend `Rp`).
+    Replication,
+    /// N racing replicas, each checkpoint-recovered (legend `RpCk`).
+    ReplicationCkpt,
+}
+
+impl Technique {
+    /// All four, in the paper's legend order.
+    pub const ALL: [Technique; 4] = [
+        Technique::Retrying,
+        Technique::Checkpointing,
+        Technique::Replication,
+        Technique::ReplicationCkpt,
+    ];
+
+    /// The paper's legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::Retrying => "Retrying",
+            Technique::Checkpointing => "Checkpointing",
+            Technique::Replication => "Replication",
+            Technique::ReplicationCkpt => "Replication w/ checkpointing",
+        }
+    }
+
+    /// The paper's short legend code (Figure 11).
+    pub fn code(self) -> &'static str {
+        match self {
+            Technique::Retrying => "Rt",
+            Technique::Checkpointing => "Ck",
+            Technique::Replication => "Rp",
+            Technique::ReplicationCkpt => "RpCk",
+        }
+    }
+
+    /// Draws one completion time under this technique.
+    pub fn sample(self, p: &Params, rng: &mut Rng) -> f64 {
+        match self {
+            Technique::Retrying => retry(p, rng),
+            Technique::Checkpointing => checkpoint(p, rng),
+            Technique::Replication => replication(p, rng, retry),
+            Technique::ReplicationCkpt => replication(p, rng, checkpoint),
+        }
+    }
+}
+
+#[inline]
+fn sample_ttf(lambda: f64, rng: &mut Rng) -> f64 {
+    if lambda == 0.0 {
+        f64::INFINITY
+    } else {
+        -rng.next_f64_open0().ln() / lambda
+    }
+}
+
+#[inline]
+fn sample_downtime(mean: f64, rng: &mut Rng) -> f64 {
+    if mean == 0.0 {
+        0.0
+    } else {
+        -rng.next_f64_open0().ln() * mean
+    }
+}
+
+/// One retry-recovered execution.
+pub fn retry(p: &Params, rng: &mut Rng) -> f64 {
+    let lambda = p.lambda();
+    let mut t = 0.0;
+    loop {
+        let ttf = sample_ttf(lambda, rng);
+        if ttf >= p.f {
+            return t + p.f;
+        }
+        t += ttf + sample_downtime(p.downtime, rng);
+    }
+}
+
+/// One checkpoint-recovered execution.
+pub fn checkpoint(p: &Params, rng: &mut Rng) -> f64 {
+    let lambda = p.lambda();
+    let a = p.a();
+    let mut t = 0.0;
+    for _ in 0..p.k {
+        loop {
+            let ttf = sample_ttf(lambda, rng);
+            if ttf >= a {
+                t += a + p.c;
+                break;
+            }
+            t += ttf + p.c + p.r + sample_downtime(p.downtime, rng);
+        }
+    }
+    t
+}
+
+/// One N-replica race, each replica recovered by `base`.
+fn replication(p: &Params, rng: &mut Rng, base: fn(&Params, &mut Rng) -> f64) -> f64 {
+    (0..p.n)
+        .map(|_| base(p, rng))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::estimate;
+
+    fn rng() -> Rng {
+        Rng::seed_from_u64(0xE7A1)
+    }
+
+    #[test]
+    fn failure_free_runs_take_exactly_f_plus_overheads() {
+        let p = Params::paper_baseline(f64::INFINITY);
+        let mut r = rng();
+        assert_eq!(retry(&p, &mut r), 30.0);
+        // 20 checkpoints at 0.5 each on top of F.
+        assert_eq!(checkpoint(&p, &mut r), 40.0);
+        assert_eq!(Technique::Replication.sample(&p, &mut r), 30.0);
+        assert_eq!(Technique::ReplicationCkpt.sample(&p, &mut r), 40.0);
+    }
+
+    #[test]
+    fn retry_matches_duda_expectation() {
+        // E[T] = (e^{λF} − 1)/λ with D = 0 (paper Figure 8's model).
+        let p = Params::paper_baseline(20.0);
+        let lambda = p.lambda();
+        let expect = ((lambda * p.f).exp() - 1.0) / lambda;
+        let mut r = rng();
+        let e = estimate(200_000, || retry(&p, &mut r));
+        assert!(
+            e.contains(expect, 4.0),
+            "mean {} vs analytic {expect} (stderr {})",
+            e.mean,
+            e.stderr
+        );
+    }
+
+    #[test]
+    fn retry_with_downtime_matches_extended_model() {
+        // E[T] = (e^{λF} − 1)(1/λ + D).
+        let p = Params::paper_baseline(20.0).with_downtime(30.0);
+        let lambda = p.lambda();
+        let expect = ((lambda * p.f).exp() - 1.0) * (1.0 / lambda + 30.0);
+        let mut r = rng();
+        let e = estimate(200_000, || retry(&p, &mut r));
+        assert!(e.contains(expect, 4.0), "mean {} vs {expect}", e.mean);
+    }
+
+    #[test]
+    fn checkpoint_matches_paper_formula() {
+        // E[T] = (F/a)·(C + (C + R + 1/λ)(e^{λa} − 1)) — Figure 9's model.
+        let p = Params::paper_baseline(10.0);
+        let lambda = p.lambda();
+        let a = p.a();
+        let per_seg = p.c + (p.c + p.r + 1.0 / lambda) * ((lambda * a).exp() - 1.0);
+        let expect = (p.f / a) * per_seg;
+        let mut r = rng();
+        let e = estimate(200_000, || checkpoint(&p, &mut r));
+        assert!(
+            e.contains(expect, 4.0),
+            "mean {} vs analytic {expect} (stderr {})",
+            e.mean,
+            e.stderr
+        );
+    }
+
+    #[test]
+    fn checkpoint_with_downtime_matches_extended_model() {
+        // E[T] = (F/a)·(C + (C + R + D + 1/λ)(e^{λa} − 1)) — the downtime
+        // extension used for the Figure 11/12 sweeps.
+        let p = Params::paper_baseline(10.0).with_downtime(30.0);
+        let expect = crate::analytic::checkpoint_expected(&p);
+        let mut r = rng();
+        let e = estimate(200_000, || checkpoint(&p, &mut r));
+        assert!(
+            e.contains(expect, 4.0),
+            "mean {} vs analytic {expect} (stderr {})",
+            e.mean,
+            e.stderr
+        );
+    }
+
+    #[test]
+    fn replication_is_min_of_iid_runs() {
+        // With N replicas the mean must not exceed a single run's mean, and
+        // must decrease monotonically in N (statistically).
+        let mut r = rng();
+        let p1 = Params::paper_baseline(15.0).with_replicas(1);
+        let p3 = Params::paper_baseline(15.0).with_replicas(3);
+        let p9 = Params::paper_baseline(15.0).with_replicas(9);
+        let e1 = estimate(50_000, || Technique::Replication.sample(&p1, &mut r));
+        let e3 = estimate(50_000, || Technique::Replication.sample(&p3, &mut r));
+        let e9 = estimate(50_000, || Technique::Replication.sample(&p9, &mut r));
+        assert!(e3.mean < e1.mean, "{} < {}", e3.mean, e1.mean);
+        assert!(e9.mean < e3.mean, "{} < {}", e9.mean, e3.mean);
+        // Replication can never beat the failure-free time.
+        assert!(e9.mean >= 30.0);
+    }
+
+    #[test]
+    fn replication_with_one_replica_equals_base() {
+        let p = Params::paper_baseline(15.0).with_replicas(1);
+        let mut r1 = Rng::seed_from_u64(99);
+        let mut r2 = Rng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(
+                Technique::Replication.sample(&p, &mut r1),
+                retry(&p, &mut r2)
+            );
+        }
+    }
+
+    #[test]
+    fn samples_are_always_at_least_f() {
+        let p = Params::paper_baseline(5.0);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(retry(&p, &mut r) >= p.f);
+            assert!(checkpoint(&p, &mut r) >= p.f + p.k as f64 * p.c);
+        }
+    }
+
+    #[test]
+    fn figure10_crossover_shape() {
+        // The headline result: at MTTF = 10 (high failure rate)
+        // checkpointing beats retrying and replication; at MTTF = 100
+        // replication wins (the paper finds the crossover near MTTF ≈ 18).
+        let mut r = rng();
+        let runs = 50_000;
+        let mut at = |mttf: f64, t: Technique| {
+            let p = Params::paper_baseline(mttf);
+            estimate(runs, || t.sample(&p, &mut r)).mean
+        };
+        assert!(
+            at(10.0, Technique::Checkpointing) < at(10.0, Technique::Retrying),
+            "high λ: checkpointing must beat retrying"
+        );
+        assert!(
+            at(10.0, Technique::Checkpointing) < at(10.0, Technique::Replication),
+            "high λ: checkpointing must beat replication"
+        );
+        assert!(
+            at(100.0, Technique::Replication) < at(100.0, Technique::Checkpointing),
+            "low λ: replication must beat checkpointing (checkpoint overhead)"
+        );
+        assert!(
+            at(100.0, Technique::Replication) < at(100.0, Technique::Retrying),
+            "low λ: replication must beat retrying"
+        );
+    }
+
+    #[test]
+    fn replication_collapses_the_tail() {
+        // The tail study's headline: at MTTF=20 replication's p99 is a
+        // fraction of retrying's, and RpCk's p99 is the tightest of all.
+        use crate::stats::SampleSet;
+        let p = Params::paper_baseline(20.0);
+        let mut sets: Vec<SampleSet> = Technique::ALL
+            .iter()
+            .map(|t| {
+                let mut rng = Rng::seed_from_u64(0x7A11 ^ t.code().len() as u64);
+                let mut s = SampleSet::new();
+                for _ in 0..50_000 {
+                    s.push(t.sample(&p, &mut rng));
+                }
+                s
+            })
+            .collect();
+        let p99: Vec<f64> = sets.iter_mut().map(|s| s.quantile(0.99)).collect();
+        let (rt, ck, rp, rpck) = (p99[0], p99[1], p99[2], p99[3]);
+        assert!(rp < rt / 2.0, "replication p99 {rp} under half of retry {rt}");
+        assert!(rpck < ck, "RpCk p99 {rpck} under Ck {ck}");
+        assert!(rpck < rp, "RpCk has the tightest tail");
+    }
+
+    #[test]
+    fn labels_and_codes() {
+        assert_eq!(Technique::ALL.len(), 4);
+        assert_eq!(Technique::Retrying.code(), "Rt");
+        assert_eq!(Technique::ReplicationCkpt.code(), "RpCk");
+        assert_eq!(Technique::Checkpointing.label(), "Checkpointing");
+    }
+}

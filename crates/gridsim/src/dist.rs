@@ -1,0 +1,392 @@
+//! Probability distributions for the paper's stochastic model.
+//!
+//! The evaluation (§8.1) models failures as a Poisson process (exponential
+//! time-to-failure with rate λ = 1/MTTF), downtime as exponential with a
+//! given mean, checkpoint overhead as a constant, and the disk-full exception
+//! of Figure 13 as a Bernoulli process.  We implement these — plus uniform
+//! and Weibull (the ablation model motivated by Plank & Elwasif's workstation
+//! failure measurements, which the paper cites) — from scratch so the whole
+//! stochastic model is visible and tested inside this repository.
+//!
+//! All distributions sample via inverse-CDF transforms from the
+//! deterministic [`rng::Rng`](crate::rng::Rng), so every draw is reproducible.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::Rng;
+use crate::time::SimDuration;
+
+/// A non-negative continuous distribution over durations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Point mass at `value` (used for checkpoint overhead C, recovery R).
+    Constant { value: f64 },
+    /// Uniform on `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Exponential with rate `rate` (mean `1/rate`).  Rate 0 means "never":
+    /// sampling returns `f64::INFINITY`, modelling a failure-free resource.
+    Exponential { rate: f64 },
+    /// Weibull with shape `k` and scale `lambda` (mean `lambda·Γ(1+1/k)`).
+    Weibull { shape: f64, scale: f64 },
+}
+
+impl Dist {
+    /// Point mass at `value`.
+    ///
+    /// # Panics
+    /// Panics if `value` is negative or non-finite.
+    pub fn constant(value: f64) -> Dist {
+        assert!(value.is_finite() && value >= 0.0, "constant needs finite value >= 0");
+        Dist::Constant { value }
+    }
+
+    /// Uniform on `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= lo <= hi` and both are finite.
+    pub fn uniform(lo: f64, hi: f64) -> Dist {
+        assert!(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi);
+        Dist::Uniform { lo, hi }
+    }
+
+    /// Exponential with rate λ.  `rate == 0` is the "never happens"
+    /// distribution (samples +∞), used for failure-free resources.
+    ///
+    /// # Panics
+    /// Panics if `rate` is negative or non-finite.
+    pub fn exponential(rate: f64) -> Dist {
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be >= 0");
+        Dist::Exponential { rate }
+    }
+
+    /// Exponential parameterised by its mean (MTTF).  A non-finite or zero
+    /// mean yields the "never happens" distribution.
+    pub fn exponential_mean(mean: f64) -> Dist {
+        if !mean.is_finite() || mean <= 0.0 {
+            Dist::Exponential { rate: 0.0 }
+        } else {
+            Dist::Exponential { rate: 1.0 / mean }
+        }
+    }
+
+    /// Weibull(shape k, scale λ).
+    ///
+    /// # Panics
+    /// Panics unless both parameters are finite and positive.
+    pub fn weibull(shape: f64, scale: f64) -> Dist {
+        assert!(shape.is_finite() && shape > 0.0, "shape must be > 0");
+        assert!(scale.is_finite() && scale > 0.0, "scale must be > 0");
+        Dist::Weibull { shape, scale }
+    }
+
+    /// Draws one sample.  May return `f64::INFINITY` only for
+    /// `Exponential { rate: 0 }`.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        match *self {
+            Dist::Constant { value } => value,
+            Dist::Uniform { lo, hi } => rng.range_f64(lo, hi),
+            Dist::Exponential { rate } => {
+                if rate == 0.0 {
+                    f64::INFINITY
+                } else {
+                    // Inverse CDF on u ∈ (0,1] avoids ln(0).
+                    -rng.next_f64_open0().ln() / rate
+                }
+            }
+            Dist::Weibull { shape, scale } => {
+                scale * (-rng.next_f64_open0().ln()).powf(1.0 / shape)
+            }
+        }
+    }
+
+    /// Draws one sample as a [`SimDuration`].
+    ///
+    /// # Panics
+    /// Panics if the sample is infinite (`Exponential { rate: 0 }`); callers
+    /// that allow "never" must use [`Dist::sample`] and test for infinity.
+    pub fn sample_duration(&self, rng: &mut Rng) -> SimDuration {
+        SimDuration::new(self.sample(rng))
+    }
+
+    /// Analytical mean (`+∞` for the never-happens exponential).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Constant { value } => value,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exponential { rate } => {
+                if rate == 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0 / rate
+                }
+            }
+            Dist::Weibull { shape, scale } => scale * gamma(1.0 + 1.0 / shape),
+        }
+    }
+
+    /// Cumulative distribution function `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        match *self {
+            Dist::Constant { value } => {
+                if x >= value {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Dist::Uniform { lo, hi } => {
+                if x < lo {
+                    0.0
+                } else if x >= hi {
+                    1.0
+                } else {
+                    (x - lo) / (hi - lo)
+                }
+            }
+            Dist::Exponential { rate } => 1.0 - (-rate * x).exp(),
+            Dist::Weibull { shape, scale } => 1.0 - (-(x / scale).powf(shape)).exp(),
+        }
+    }
+
+    /// True if this distribution never produces a sample (failure-free).
+    pub fn is_never(&self) -> bool {
+        matches!(self, Dist::Exponential { rate } if *rate == 0.0)
+    }
+}
+
+/// Lanczos approximation of the Gamma function for positive arguments
+/// (only needed for the Weibull mean; accurate to ~1e-10 on (0, 30]).
+fn gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "gamma only implemented for x > 0");
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// A homogeneous Poisson arrival process: an iterator of strictly increasing
+/// arrival times with exponential(λ) inter-arrival gaps.
+///
+/// This is the failure-arrival model of §8.1.  A `rate` of 0 produces an
+/// empty process (no failures ever).
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate: f64,
+    now: f64,
+    rng: Rng,
+}
+
+impl PoissonProcess {
+    /// Starts a process at time 0 with the given arrival rate.
+    ///
+    /// # Panics
+    /// Panics if `rate` is negative or non-finite.
+    pub fn new(rate: f64, rng: Rng) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0);
+        PoissonProcess { rate, now: 0.0, rng }
+    }
+
+    /// Number of arrivals in `[0, horizon)`, consuming the iterator.
+    pub fn count_until(self, horizon: f64) -> usize {
+        let mut n = 0;
+        for t in self {
+            if t >= horizon {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+}
+
+impl Iterator for PoissonProcess {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.rate == 0.0 {
+            return None;
+        }
+        let gap = -self.rng.next_f64_open0().ln() / self.rate;
+        self.now += gap;
+        Some(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean(d: &Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_samples_exactly() {
+        let d = Dist::constant(0.5);
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 0.5);
+        }
+        assert_eq!(d.mean(), 0.5);
+    }
+
+    #[test]
+    fn exponential_mean_matches_analytic() {
+        let d = Dist::exponential_mean(25.0);
+        let m = sample_mean(&d, 200_000, 2);
+        assert!((m - 25.0).abs() < 0.3, "mean {m}");
+        assert_eq!(d.mean(), 25.0);
+    }
+
+    #[test]
+    fn exponential_variance_matches_analytic() {
+        let d = Dist::exponential(0.5); // mean 2, var 4
+        let mut rng = Rng::seed_from_u64(3);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_memoryless_cdf() {
+        let d = Dist::exponential(2.0);
+        assert!((d.cdf(0.5) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(d.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn never_distribution() {
+        let d = Dist::exponential_mean(0.0);
+        assert!(d.is_never());
+        let mut rng = Rng::seed_from_u64(4);
+        assert!(d.sample(&mut rng).is_infinite());
+        assert!(d.mean().is_infinite());
+        let infinite_mean = Dist::exponential_mean(f64::INFINITY);
+        assert!(infinite_mean.is_never());
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::uniform(2.0, 6.0);
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..6.0).contains(&x));
+        }
+        let m = sample_mean(&d, 100_000, 6);
+        assert!((m - 4.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        // Weibull(k=1, λ) == Exponential(1/λ).
+        let w = Dist::weibull(1.0, 3.0);
+        let m = sample_mean(&w, 200_000, 7);
+        assert!((m - 3.0).abs() < 0.2, "mean {m}");
+        assert!((w.mean() - 3.0).abs() < 1e-9);
+        assert!((w.cdf(3.0) - Dist::exponential(1.0 / 3.0).cdf(3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weibull_mean_uses_gamma() {
+        // Weibull(k=2, λ=1): mean = Γ(1.5) = sqrt(pi)/2.
+        let w = Dist::weibull(2.0, 1.0);
+        let expect = std::f64::consts::PI.sqrt() / 2.0;
+        assert!((w.mean() - expect).abs() < 1e-9);
+        let m = sample_mean(&w, 200_000, 8);
+        assert!((m - expect).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-9);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-9);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-6);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        for d in [
+            Dist::constant(1.0),
+            Dist::uniform(0.0, 2.0),
+            Dist::exponential(0.7),
+            Dist::weibull(1.5, 2.0),
+        ] {
+            let mut prev = -0.1;
+            let mut prev_cdf = 0.0;
+            for i in 0..100 {
+                let x = i as f64 * 0.1;
+                let c = d.cdf(x);
+                assert!(c >= prev_cdf - 1e-12, "{d:?} cdf not monotone at {x} (prev {prev})");
+                assert!((0.0..=1.0).contains(&c));
+                prev = x;
+                prev_cdf = c;
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_process_is_increasing() {
+        let p = PoissonProcess::new(0.5, Rng::seed_from_u64(9));
+        let arrivals: Vec<f64> = p.take(100).collect();
+        for w in arrivals.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn poisson_process_count_matches_rate() {
+        // E[N(0,T)] = λT = 0.2 * 1000 = 200; average over streams.
+        let parent = Rng::seed_from_u64(10);
+        let runs = 200;
+        let total: usize = (0..runs)
+            .map(|i| PoissonProcess::new(0.2, parent.split(i)).count_until(1000.0))
+            .sum();
+        let mean = total as f64 / runs as f64;
+        assert!((mean - 200.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_rate_process_is_empty() {
+        let mut p = PoissonProcess::new(0.0, Rng::seed_from_u64(11));
+        assert_eq!(p.next(), None);
+    }
+
+    #[test]
+    fn weibull_ablation_shape_below_one_has_heavier_tail() {
+        // Plank & Elwasif observed decreasing hazard rates on workstations;
+        // Weibull with k < 1 models that.  Its CDF at small x should exceed
+        // the exponential of equal mean (more early failures).
+        let w = Dist::weibull(0.7, 1.0);
+        let e = Dist::exponential_mean(w.mean());
+        assert!(w.cdf(0.1) > e.cdf(0.1));
+    }
+}

@@ -1,0 +1,234 @@
+//! The discrete-event queue.
+//!
+//! A classic pending-event set: events are `(time, payload)` pairs popped in
+//! time order, with **FIFO tie-breaking** (two events scheduled for the same
+//! instant pop in scheduling order) so simulations are deterministic.
+//! Cancellation — needed when the engine cancels outstanding replicas after
+//! the first one finishes (§4.2) — is implemented by lazy deletion: a
+//! cancelled id stays in the heap but is skipped on pop, which keeps both
+//! `schedule` and `cancel` O(log n) amortised with no rebalancing.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Slot<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+/// A pending-event set ordered by simulation time.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    slots: std::collections::HashMap<u64, Slot<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+/// An event popped from the queue.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Fired<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The handle it was scheduled under.
+    pub id: EventId,
+    /// The scheduled payload.
+    pub payload: E,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slots: std::collections::HashMap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.  Returns a handle for
+    /// cancellation.  Events at equal times fire in scheduling order.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots.insert(seq, Slot { time, seq, payload });
+        self.heap.push(Reverse((time, seq)));
+        EventId(seq)
+    }
+
+    /// Cancels a scheduled event.  Returns `true` if the event was still
+    /// pending (and is now guaranteed never to fire), `false` if it already
+    /// fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.slots.remove(&id.0).is_some() {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the earliest pending event, skipping cancelled ones.
+    pub fn pop(&mut self) -> Option<Fired<E>> {
+        while let Some(Reverse((_, seq))) = self.heap.pop() {
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            if let Some(slot) = self.slots.remove(&seq) {
+                return Some(Fired {
+                    time: slot.time,
+                    id: EventId(slot.seq),
+                    payload: slot.payload,
+                });
+            }
+        }
+        None
+    }
+
+    /// Time of the earliest pending event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, seq))) = self.heap.peek() {
+            if self.slots.contains_key(&seq) {
+                return Some(t);
+            }
+            // Drop stale cancelled entry and keep looking.
+            self.heap.pop();
+            self.cancelled.remove(&seq);
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: f64) -> SimTime {
+        SimTime::new(x)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), "c");
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|f| f.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_fire_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|f| f.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_reports_status() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "second cancel reports not-pending");
+        let b = q.schedule(t(1.0), ());
+        assert_eq!(q.pop().unwrap().id, b);
+        assert!(!q.cancel(b), "cancelling a fired event reports not-pending");
+    }
+
+    #[test]
+    fn len_tracks_pending_only() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(t(1.0), ());
+        let _b = q.schedule(t(2.0), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), ());
+        q.schedule(t(2.0), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(2.0)));
+        assert_eq!(q.pop().unwrap().time, t(2.0));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..100).map(|i| q.schedule(t(i as f64), i)).collect();
+        let set: HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10.0), "late");
+        q.schedule(t(1.0), "early");
+        assert_eq!(q.pop().unwrap().payload, "early");
+        q.schedule(t(5.0), "mid");
+        assert_eq!(q.pop().unwrap().payload, "mid");
+        assert_eq!(q.pop().unwrap().payload, "late");
+    }
+
+    #[test]
+    fn large_volume_stays_sorted() {
+        let mut rng = crate::rng::Rng::seed_from_u64(13);
+        let mut q = EventQueue::new();
+        for _ in 0..10_000 {
+            let tt = rng.next_f64() * 1000.0;
+            q.schedule(t(tt), ());
+        }
+        let mut prev = t(0.0);
+        while let Some(f) = q.pop() {
+            assert!(f.time >= prev);
+            prev = f.time;
+        }
+    }
+}

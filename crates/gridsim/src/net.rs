@@ -1,0 +1,134 @@
+//! Network link model for notification transport.
+//!
+//! The generic failure detection service (§3, report \[18\]) rides on
+//! heartbeats and event-notification messages delivered over the wide-area
+//! network.  A crash and a network partition look identical to the receiver
+//! — heartbeats stop arriving — which is exactly why the detector presumes a
+//! crash after a timeout.  [`LinkModel`] gives the simulated Grid a way to
+//! delay or drop messages so engine tests can exercise that ambiguity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::Dist;
+use crate::rng::Rng;
+
+/// Delivery model for one logical link (Grid node → workflow engine).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Per-message propagation delay.
+    pub delay: Dist,
+    /// Probability an individual message is silently dropped.
+    pub drop_p: f64,
+}
+
+/// Outcome of offering one message to a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Delivery {
+    /// Message arrives after the given delay.
+    After(f64),
+    /// Message is lost.
+    Dropped,
+}
+
+impl LinkModel {
+    /// A perfect link: zero delay, no loss.
+    pub fn perfect() -> Self {
+        LinkModel {
+            delay: Dist::constant(0.0),
+            drop_p: 0.0,
+        }
+    }
+
+    /// A lossy link with constant delay.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= drop_p <= 1` and `delay >= 0` finite.
+    pub fn lossy(delay: f64, drop_p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_p), "drop_p must be in [0,1]");
+        LinkModel {
+            delay: Dist::constant(delay),
+            drop_p,
+        }
+    }
+
+    /// A fully partitioned link: everything is dropped.  Heartbeats cease,
+    /// which the detector must classify as a presumed crash.
+    pub fn partitioned() -> Self {
+        LinkModel {
+            delay: Dist::constant(0.0),
+            drop_p: 1.0,
+        }
+    }
+
+    /// Offers one message to the link.
+    pub fn offer(&self, rng: &mut Rng) -> Delivery {
+        if self.drop_p > 0.0 && rng.bernoulli(self.drop_p) {
+            Delivery::Dropped
+        } else {
+            Delivery::After(self.delay.sample(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_link_always_delivers_instantly() {
+        let link = LinkModel::perfect();
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(link.offer(&mut rng), Delivery::After(0.0));
+        }
+    }
+
+    #[test]
+    fn partitioned_link_drops_everything() {
+        let link = LinkModel::partitioned();
+        let mut rng = Rng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(link.offer(&mut rng), Delivery::Dropped);
+        }
+    }
+
+    #[test]
+    fn lossy_link_drop_rate_matches() {
+        let link = LinkModel::lossy(0.5, 0.25);
+        let mut rng = Rng::seed_from_u64(3);
+        let n = 100_000;
+        let dropped = (0..n)
+            .filter(|_| matches!(link.offer(&mut rng), Delivery::Dropped))
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn delivered_messages_carry_delay() {
+        let link = LinkModel::lossy(0.5, 0.0);
+        let mut rng = Rng::seed_from_u64(4);
+        assert_eq!(link.offer(&mut rng), Delivery::After(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_p must be in [0,1]")]
+    fn bad_drop_probability_rejected() {
+        let _ = LinkModel::lossy(0.0, 1.5);
+    }
+
+    #[test]
+    fn stochastic_delay_link() {
+        let link = LinkModel {
+            delay: Dist::uniform(0.1, 0.3),
+            drop_p: 0.0,
+        };
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..1000 {
+            match link.offer(&mut rng) {
+                Delivery::After(d) => assert!((0.1..0.3).contains(&d)),
+                Delivery::Dropped => panic!("no drops configured"),
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The simulation driver: a clock plus an event queue.
+//!
+//! [`Sim`] is intentionally minimal — it owns the virtual clock and the
+//! pending-event set, and hands events back to the caller one at a time.
+//! Higher layers (the simulated Grid executor in the `grid-wfs` crate, the
+//! Monte-Carlo samplers in `gridwfs-eval`) supply the event semantics.  This
+//! inversion keeps the substrate free of any workflow knowledge and makes the
+//! event loop trivially testable.
+
+use crate::event::{EventId, EventQueue, Fired};
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulation: virtual clock + pending-event set.
+#[derive(Debug)]
+pub struct Sim<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Default for Sim<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Sim<E> {
+    /// A fresh simulation at time zero with no pending events.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.  Advances only when events are popped.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Count of events processed so far (useful for run-length caps).
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at}, now={}",
+            self.now
+        );
+        self.queue.schedule(at, payload)
+    }
+
+    /// Schedules an event `delay` units from now.
+    pub fn schedule_in(&mut self, delay: impl Into<SimDuration>, payload: E) -> EventId {
+        let at = self.now + delay.into();
+        self.queue.schedule(at, payload)
+    }
+
+    /// Cancels a pending event.  Returns `false` if it already fired or was
+    /// already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Fired<E>> {
+        let fired = self.queue.pop()?;
+        debug_assert!(fired.time >= self.now, "event queue returned stale time");
+        self.now = fired.time;
+        self.processed += 1;
+        Some(fired)
+    }
+
+    /// Pops the next event only if it fires at or before `horizon`;
+    /// otherwise advances the clock to `horizon` and returns `None`.
+    pub fn next_until(&mut self, horizon: SimTime) -> Option<Fired<E>> {
+        match self.queue.peek_time() {
+            Some(t) if t <= horizon => self.next(),
+            _ => {
+                self.now = self.now.max(horizon);
+                None
+            }
+        }
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim: Sim<u32> = Sim::new();
+        sim.schedule_in(2.0, 1);
+        sim.schedule_in(5.0, 2);
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(sim.next().unwrap().payload, 1);
+        assert_eq!(sim.now(), SimTime::new(2.0));
+        assert_eq!(sim.next().unwrap().payload, 2);
+        assert_eq!(sim.now(), SimTime::new(5.0));
+        assert!(sim.next().is_none());
+        assert_eq!(sim.processed(), 2);
+    }
+
+    #[test]
+    fn schedule_relative_stacks_on_current_time() {
+        let mut sim: Sim<&str> = Sim::new();
+        sim.schedule_in(1.0, "a");
+        sim.next();
+        sim.schedule_in(1.0, "b");
+        let b = sim.next().unwrap();
+        assert_eq!(b.time, SimTime::new(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.schedule_in(5.0, ());
+        sim.next();
+        sim.schedule_at(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    fn cancel_through_sim() {
+        let mut sim: Sim<&str> = Sim::new();
+        let a = sim.schedule_in(1.0, "a");
+        sim.schedule_in(2.0, "b");
+        assert!(sim.cancel(a));
+        assert_eq!(sim.next().unwrap().payload, "b");
+    }
+
+    #[test]
+    fn next_until_respects_horizon() {
+        let mut sim: Sim<&str> = Sim::new();
+        sim.schedule_in(10.0, "late");
+        assert!(sim.next_until(SimTime::new(5.0)).is_none());
+        assert_eq!(sim.now(), SimTime::new(5.0), "clock advanced to horizon");
+        let ev = sim.next_until(SimTime::new(20.0)).unwrap();
+        assert_eq!(ev.payload, "late");
+        assert_eq!(sim.now(), SimTime::new(10.0));
+    }
+
+    #[test]
+    fn next_until_with_empty_queue_advances_clock() {
+        let mut sim: Sim<()> = Sim::new();
+        assert!(sim.next_until(SimTime::new(3.0)).is_none());
+        assert_eq!(sim.now(), SimTime::new(3.0));
+        // Horizon earlier than now: clock must not move backwards.
+        assert!(sim.next_until(SimTime::new(1.0)).is_none());
+        assert_eq!(sim.now(), SimTime::new(3.0));
+    }
+
+    #[test]
+    fn pending_and_idle() {
+        let mut sim: Sim<()> = Sim::new();
+        assert!(sim.is_idle());
+        sim.schedule_in(1.0, ());
+        assert_eq!(sim.pending(), 1);
+        sim.next();
+        assert!(sim.is_idle());
+    }
+}

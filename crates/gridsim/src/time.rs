@@ -1,0 +1,297 @@
+//! Simulation time.
+//!
+//! Simulated time is a non-negative, finite `f64` measured in abstract time
+//! units (the paper's evaluation uses unit-free durations such as `F = 30`).
+//! [`SimTime`] is a point on the simulation clock; [`SimDuration`] is a span
+//! between two points.  Both types reject NaN on construction so they can
+//! implement `Ord` safely.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time.
+///
+/// Construction panics on NaN; the simulator never manufactures NaN times, so
+/// hitting that panic always indicates a bug in caller arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimTime(f64);
+
+/// A span of simulated time (always finite, may be zero, never negative).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimDuration(f64);
+
+impl SimTime {
+    /// Time zero — the instant every simulation starts at.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point from raw units.
+    ///
+    /// # Panics
+    /// Panics if `t` is NaN, infinite, or negative.
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite(), "SimTime must be finite, got {t}");
+        assert!(t >= 0.0, "SimTime must be non-negative, got {t}");
+        SimTime(t)
+    }
+
+    /// Raw value in simulation units.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier.0 <= self.0,
+            "since() requires earlier ({}) <= self ({})",
+            earlier.0,
+            self.0
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// The later of two time points.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Creates a duration from raw units.
+    ///
+    /// # Panics
+    /// Panics if `d` is NaN, infinite, or negative.
+    pub fn new(d: f64) -> Self {
+        assert!(d.is_finite(), "SimDuration must be finite, got {d}");
+        assert!(d >= 0.0, "SimDuration must be non-negative, got {d}");
+        SimDuration(d)
+    }
+
+    /// Raw value in simulation units.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// True if this duration is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+// SimTime/SimDuration are finite non-NaN by construction, so a total order
+// is safe; PartialOrd delegates to Ord to keep the two consistent.
+impl Eq for SimTime {}
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl Eq for SimDuration {}
+impl PartialOrd for SimDuration {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SimDuration {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration::new(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.4}", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+impl From<f64> for SimDuration {
+    fn from(d: f64) -> Self {
+        SimDuration::new(d)
+    }
+}
+
+impl From<f64> for SimTime {
+    fn from(t: f64) -> Self {
+        SimTime::new(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_constants() {
+        assert_eq!(SimTime::ZERO.as_f64(), 0.0);
+        assert_eq!(SimDuration::ZERO.as_f64(), 0.0);
+        assert!(SimDuration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn time_plus_duration() {
+        let t = SimTime::new(10.0) + SimDuration::new(5.5);
+        assert_eq!(t, SimTime::new(15.5));
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = SimTime::new(1.0);
+        t += SimDuration::new(2.0);
+        assert_eq!(t.as_f64(), 3.0);
+        let mut d = SimDuration::new(1.0);
+        d += SimDuration::new(0.5);
+        assert_eq!(d.as_f64(), 1.5);
+    }
+
+    #[test]
+    fn since_and_sub() {
+        let a = SimTime::new(3.0);
+        let b = SimTime::new(7.5);
+        assert_eq!(b.since(a), SimDuration::new(4.5));
+        assert_eq!(b - a, SimDuration::new(4.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "since() requires")]
+    fn since_rejects_future() {
+        let _ = SimTime::new(1.0).since(SimTime::new(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_time_rejected() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_duration_rejected() {
+        let _ = SimDuration::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![SimTime::new(3.0), SimTime::new(1.0), SimTime::new(2.0)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![SimTime::new(1.0), SimTime::new(2.0), SimTime::new(3.0)]
+        );
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!((SimDuration::new(3.0) * 2.0).as_f64(), 6.0);
+        assert_eq!((SimDuration::new(3.0) / 2.0).as_f64(), 1.5);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        assert_eq!(
+            SimTime::new(2.0).max(SimTime::new(5.0)),
+            SimTime::new(5.0)
+        );
+        assert_eq!(
+            SimTime::new(5.0).max(SimTime::new(2.0)),
+            SimTime::new(5.0)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::new(1.5)), "t=1.5000");
+        assert_eq!(format!("{}", SimDuration::new(0.25)), "0.2500");
+    }
+
+    #[test]
+    fn from_f64_conversions() {
+        let t: SimTime = 4.0.into();
+        let d: SimDuration = 2.0.into();
+        assert_eq!((t + d).as_f64(), 6.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the simulation substrate.
+
+use gridwfs_sim::dist::Dist;
+use gridwfs_sim::event::EventQueue;
+use gridwfs_sim::rng::Rng;
+use gridwfs_sim::sim::Sim;
+use gridwfs_sim::time::SimTime;
+use gridwfs_sim::trace::{FailureTrace, TraceEntry};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of the
+    /// order they were scheduled in.
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::new(t), i);
+        }
+        let mut prev = SimTime::ZERO;
+        let mut count = 0;
+        while let Some(f) = q.pop() {
+            prop_assert!(f.time >= prev);
+            prev = f.time;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Equal-time events preserve FIFO order (determinism invariant).
+    #[test]
+    fn event_queue_fifo_at_equal_times(n in 1usize..100, t in 0.0f64..100.0) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::new(t), i);
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| q.pop().map(|f| f.payload)).collect();
+        prop_assert_eq!(popped, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn event_queue_cancellation_subset(
+        times in proptest::collection::vec(0.0f64..1e3, 1..100),
+        mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times.iter().enumerate()
+            .map(|(i, &t)| (i, q.schedule(SimTime::new(t), i)))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in &ids {
+            if *mask.get(*i % mask.len()).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+            } else {
+                kept.push(*i);
+            }
+        }
+        let mut popped: Vec<usize> = std::iter::from_fn(|| q.pop().map(|f| f.payload)).collect();
+        popped.sort_unstable();
+        kept.sort_unstable();
+        prop_assert_eq!(popped, kept);
+    }
+
+    /// The sim clock never runs backwards.
+    #[test]
+    fn sim_clock_monotone(delays in proptest::collection::vec(0.0f64..100.0, 1..100)) {
+        let mut sim: Sim<usize> = Sim::new();
+        for (i, &d) in delays.iter().enumerate() {
+            sim.schedule_in(d, i);
+        }
+        let mut prev = SimTime::ZERO;
+        while let Some(f) = sim.next() {
+            prop_assert!(f.time >= prev);
+            prop_assert_eq!(sim.now(), f.time);
+            prev = f.time;
+        }
+    }
+
+    /// All distribution samples are non-negative and finite (except the
+    /// explicit "never" exponential, which is excluded by construction).
+    #[test]
+    fn samples_are_nonnegative(seed in any::<u64>(), mean in 0.001f64..1e4) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for d in [
+            Dist::constant(mean),
+            Dist::uniform(0.0, mean),
+            Dist::exponential_mean(mean),
+            Dist::weibull(1.3, mean),
+        ] {
+            let x = d.sample(&mut rng);
+            prop_assert!(x.is_finite() && x >= 0.0, "{:?} sampled {}", d, x);
+        }
+    }
+
+    /// CDF is monotone non-decreasing and bounded in [0,1] for all models.
+    #[test]
+    fn cdf_monotone(mean in 0.01f64..100.0, xs in proptest::collection::vec(0.0f64..500.0, 2..50)) {
+        let mut xs = xs;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for d in [
+            Dist::constant(mean),
+            Dist::uniform(0.0, mean),
+            Dist::exponential_mean(mean),
+            Dist::weibull(0.8, mean),
+        ] {
+            let mut prev = 0.0;
+            for &x in &xs {
+                let c = d.cdf(x);
+                prop_assert!((0.0..=1.0).contains(&c));
+                prop_assert!(c >= prev - 1e-12);
+                prev = c;
+            }
+        }
+    }
+
+    /// RNG split is a pure function: same (parent, id) -> same stream, and
+    /// the parent is never advanced by splitting.
+    #[test]
+    fn rng_split_pure(seed in any::<u64>(), id in any::<u64>()) {
+        let parent = Rng::seed_from_u64(seed);
+        let mut c1 = parent.split(id);
+        let mut c2 = parent.split(id);
+        for _ in 0..8 {
+            prop_assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    /// Recorded failure traces always satisfy the trace invariants.
+    #[test]
+    fn recorded_traces_are_valid(seed in any::<u64>(), mttf in 0.5f64..50.0, down in 0.0f64..20.0) {
+        use gridwfs_sim::resource::{GridResource, ResourceId, ResourceSpec};
+        let mut res = GridResource::new(
+            ResourceId(1),
+            ResourceSpec::unreliable("h", mttf, down),
+            &Rng::seed_from_u64(seed),
+        );
+        let t = FailureTrace::record(&mut res, 200.0);
+        // from_entries re-validates all invariants; panics fail the test.
+        let rebuilt = FailureTrace::from_entries(t.entries().to_vec());
+        prop_assert_eq!(rebuilt.len(), t.len());
+        // Downtime within the horizon is bounded by the horizon.
+        prop_assert!(t.downtime_before(200.0) <= 200.0 + 1e-9);
+    }
+
+    /// A trace is down exactly inside its (at, at+down) windows.
+    #[test]
+    fn trace_up_down_consistency(
+        gaps in proptest::collection::vec((0.1f64..10.0, 0.0f64..5.0), 0..20),
+        probe in 0.0f64..500.0,
+    ) {
+        let mut tt = 0.0;
+        let mut entries = Vec::new();
+        for (up, down) in gaps {
+            tt += up;
+            entries.push(TraceEntry { at: tt, down });
+            tt += down;
+        }
+        let trace = FailureTrace::from_entries(entries.clone());
+        let expect_up = !entries.iter().any(|e| probe > e.at && probe < e.at + e.down);
+        prop_assert_eq!(trace.is_up_at(probe), expect_up);
+    }
+}

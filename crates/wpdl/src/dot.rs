@@ -1,0 +1,132 @@
+//! Graphviz DOT export.
+//!
+//! The paper communicates failure-handling strategies as DAG *pictures*
+//! (Figures 4–6); this module renders any workflow back into that visual
+//! language.  Activities become nodes (dummies as small diamonds, OR-joins
+//! annotated), ordinary `done` transitions become solid edges, alternative
+//! `failed` edges become dashed red, exception handlers dashed orange with
+//! the exception name as label, and `always` cleanup edges dotted.
+
+use crate::ast::{JoinMode, Policy, Trigger, Workflow};
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the workflow as a Graphviz `digraph`.
+pub fn to_dot(w: &Workflow) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", escape(&w.name)));
+    out.push_str("  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n");
+    for a in &w.activities {
+        let mut attrs: Vec<String> = Vec::new();
+        if a.is_dummy() {
+            attrs.push("shape=diamond".into());
+            attrs.push("width=0.3".into());
+            attrs.push("height=0.3".into());
+        } else {
+            attrs.push("shape=box".into());
+            attrs.push("style=rounded".into());
+        }
+        let mut label = a.name.clone();
+        let mut notes: Vec<String> = Vec::new();
+        if a.max_tries > 1 {
+            notes.push(format!("retry x{}", a.max_tries));
+        }
+        if a.policy == Policy::Replica {
+            notes.push("replica".into());
+        }
+        if a.join == JoinMode::Or {
+            notes.push("OR-join".into());
+        }
+        if !notes.is_empty() {
+            label.push_str("\\n[");
+            label.push_str(&notes.join(", "));
+            label.push(']');
+        }
+        attrs.push(format!("label=\"{}\"", escape(&label).replace("\\\\n", "\\n")));
+        out.push_str(&format!(
+            "  \"{}\" [{}];\n",
+            escape(&a.name),
+            attrs.join(", ")
+        ));
+    }
+    for t in &w.transitions {
+        let style = match &t.trigger {
+            Trigger::Done => "".to_string(),
+            Trigger::Failed => " [style=dashed, color=red, label=\"failed\"]".to_string(),
+            Trigger::Exception(name) => format!(
+                " [style=dashed, color=orange, label=\"exception:{}\"]",
+                escape(name)
+            ),
+            Trigger::Always => " [style=dotted, label=\"always\"]".to_string(),
+        };
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\"{};\n",
+            escape(&t.from),
+            escape(&t.to),
+            style
+        ));
+    }
+    for l in &w.loops {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [style=dashed, color=blue, label=\"while {}\"];\n",
+            escape(&l.activity),
+            escape(&l.activity),
+            escape(&l.condition.print())
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{figure4, figure6};
+
+    #[test]
+    fn figure4_renders_its_strategy() {
+        let dot = to_dot(&figure4(30.0, 150.0));
+        assert!(dot.starts_with("digraph \"figure4-alternative-task\""));
+        assert!(dot.contains("\"fast_task\" -> \"slow_task\" [style=dashed, color=red"));
+        assert!(dot.contains("OR-join"), "{dot}");
+        assert!(dot.contains("shape=diamond"), "dummy join is a diamond");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn figure6_labels_the_exception_edge() {
+        let dot = to_dot(&figure6(30.0, 150.0));
+        assert!(dot.contains("exception:disk_full"), "{dot}");
+        assert!(dot.contains("color=orange"));
+    }
+
+    #[test]
+    fn policies_annotated_on_nodes() {
+        let mut b = crate::builder::WorkflowBuilder::new("p").program("p", 1.0, &["a", "b"]);
+        b.activity("r", "p").retry(3, 1.0).replicate();
+        let dot = to_dot(&b.build_unchecked());
+        assert!(dot.contains("retry x3"), "{dot}");
+        assert!(dot.contains("replica"));
+    }
+
+    #[test]
+    fn loops_render_as_self_edges() {
+        let mut b = crate::builder::WorkflowBuilder::new("l").program("p", 1.0, &["h"]);
+        b.activity("a", "p");
+        let w = b.do_while("a", "runs('a') < 3").build_unchecked();
+        let dot = to_dot(&w);
+        assert!(dot.contains("\"a\" -> \"a\""), "{dot}");
+        assert!(dot.contains("while"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut w = Workflow::new("quo\"ted");
+        w.activities.push(crate::ast::Activity::dummy("a\"b"));
+        let dot = to_dot(&w);
+        assert!(dot.contains("digraph \"quo\\\"ted\""));
+        assert!(dot.contains("\"a\\\"b\""));
+    }
+}

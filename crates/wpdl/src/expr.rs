@@ -1,0 +1,852 @@
+//! Condition expressions for transitions and loops.
+//!
+//! WPDL supports conditional transitions (if-then-else) and do-while loops
+//! (§7).  Conditions are written in a small expression language evaluated by
+//! the engine against the live workflow state:
+//!
+//! ```text
+//! status('solver') == 'done' && runs('solver') < 3
+//! $tolerance >= 0.01 || !$converged
+//! ```
+//!
+//! * `status('A')` — terminal status string of activity `A`
+//!   (`'done'`, `'failed'`, `'exception'`, `'skipped'`, `'pending'`);
+//! * `runs('A')` — how many times `A` has completed (for loop bounds);
+//! * `$name` — workflow variables (numbers, strings, booleans);
+//! * literals: numbers, single-quoted strings, `true`, `false`;
+//! * operators: `! && || == != < <= > >= + - * /` and parentheses.
+//!
+//! The grammar is parsed with a Pratt parser; precedence (loosest first):
+//! `||`, `&&`, equality, comparison, additive, multiplicative, unary.
+
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Floating-point number (WPDL has a single numeric type).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "boolean",
+        }
+    }
+
+    /// Coerces to boolean (only booleans coerce; conditions must be boolean).
+    pub fn as_bool(&self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(EvalError::Type(format!(
+                "expected boolean, got {} ({other:?})",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "||",
+            BinOp::And => "&&",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+
+    /// Binding power: higher binds tighter.
+    fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne => 3,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div => 6,
+        }
+    }
+}
+
+/// Expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `$name` variable reference.
+    Var(String),
+    /// `name(args...)` function call.
+    Call(String, Vec<Expr>),
+    /// `!e`
+    Not(Box<Expr>),
+    /// `-e`
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the source.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression error at offset {}: {}", self.offset, self.message)
+    }
+}
+impl std::error::Error for ParseError {}
+
+/// Evaluation error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A referenced variable is undefined.
+    UndefinedVar(String),
+    /// An unknown function was called.
+    UnknownFn(String),
+    /// Operand type mismatch.
+    Type(String),
+    /// Division by zero.
+    DivByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UndefinedVar(v) => write!(f, "undefined variable ${v}"),
+            EvalError::UnknownFn(n) => write!(f, "unknown function {n}()"),
+            EvalError::Type(m) => write!(f, "type error: {m}"),
+            EvalError::DivByZero => write!(f, "division by zero"),
+        }
+    }
+}
+impl std::error::Error for EvalError {}
+
+/// Environment an expression is evaluated against — implemented by the
+/// engine's workflow instance.
+pub trait Env {
+    /// Resolves `$name`.
+    fn var(&self, name: &str) -> Option<Value>;
+    /// Resolves `name(args)` — e.g. `status`, `runs`.
+    fn call(&self, name: &str, args: &[Value]) -> Result<Value, EvalError>;
+}
+
+/// An `Env` with no variables and no functions (for constant expressions).
+pub struct EmptyEnv;
+
+impl Env for EmptyEnv {
+    fn var(&self, _name: &str) -> Option<Value> {
+        None
+    }
+    fn call(&self, name: &str, _args: &[Value]) -> Result<Value, EvalError> {
+        Err(EvalError::UnknownFn(name.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------- lexer ---
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Str(String),
+    Ident(String),
+    Var(String),
+    Op(BinOp),
+    Bang,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    let err = |msg: &str, at: usize| ParseError {
+        message: msg.to_string(),
+        offset: at,
+    };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            b')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            b',' => {
+                out.push((Tok::Comma, i));
+                i += 1;
+            }
+            b'+' => {
+                out.push((Tok::Op(BinOp::Add), i));
+                i += 1;
+            }
+            b'-' => {
+                out.push((Tok::Op(BinOp::Sub), i));
+                i += 1;
+            }
+            b'*' => {
+                out.push((Tok::Op(BinOp::Mul), i));
+                i += 1;
+            }
+            b'/' => {
+                out.push((Tok::Op(BinOp::Div), i));
+                i += 1;
+            }
+            b'|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    out.push((Tok::Op(BinOp::Or), i));
+                    i += 2;
+                } else {
+                    return Err(err("expected '||'", i));
+                }
+            }
+            b'&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    out.push((Tok::Op(BinOp::And), i));
+                    i += 2;
+                } else {
+                    return Err(err("expected '&&'", i));
+                }
+            }
+            b'=' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Op(BinOp::Eq), i));
+                    i += 2;
+                } else {
+                    return Err(err("expected '=='", i));
+                }
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Op(BinOp::Ne), i));
+                    i += 2;
+                } else {
+                    out.push((Tok::Bang, i));
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Op(BinOp::Le), i));
+                    i += 2;
+                } else {
+                    out.push((Tok::Op(BinOp::Lt), i));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Op(BinOp::Ge), i));
+                    i += 2;
+                } else {
+                    out.push((Tok::Op(BinOp::Gt), i));
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => return Err(err("unterminated string literal", start)),
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), start));
+            }
+            b'$' => {
+                let start = i;
+                i += 1;
+                let ns = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.') {
+                    i += 1;
+                }
+                if i == ns {
+                    return Err(err("expected variable name after '$'", start));
+                }
+                out.push((Tok::Var(src[ns..i].to_string()), start));
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let n: f64 = src[start..i]
+                    .parse()
+                    .map_err(|_| err("malformed number", start))?;
+                out.push((Tok::Num(n), start));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push((Tok::Ident(src[start..i].to_string()), start));
+            }
+            _ => return Err(err(&format!("unexpected character '{}'", c as char), i)),
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser ---
+
+struct P {
+    toks: Vec<(Tok, usize)>,
+    i: usize,
+    len: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.i).map(|&(_, o)| o).unwrap_or(self.len)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(t, _)| t.clone());
+        self.i += 1;
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}"))
+        }
+    }
+
+    fn parse_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        while let Some(&Tok::Op(op)) = self.peek() {
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_expr(prec + 1)?; // left-associative
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::Op(BinOp::Sub)) => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_atom(),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Tok::Num(n)) => Ok(Expr::Num(n)),
+            Some(Tok::Str(s)) => Ok(Expr::Str(s)),
+            Some(Tok::Var(v)) => Ok(Expr::Var(v)),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr(1)?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "true" => Ok(Expr::Bool(true)),
+                "false" => Ok(Expr::Bool(false)),
+                _ => {
+                    if self.peek() == Some(&Tok::LParen) {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if self.peek() != Some(&Tok::RParen) {
+                            loop {
+                                args.push(self.parse_expr(1)?);
+                                if self.peek() == Some(&Tok::Comma) {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(&Tok::RParen, "')' after arguments")?;
+                        Ok(Expr::Call(id, args))
+                    } else {
+                        self.err(format!("bare identifier '{id}' (did you mean ${id} or {id}(...)?)"))
+                    }
+                }
+            },
+            _ => self.err("expected an expression"),
+        }
+    }
+}
+
+/// Parses an expression from source text.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    if toks.is_empty() {
+        return Err(ParseError {
+            message: "empty expression".into(),
+            offset: 0,
+        });
+    }
+    let mut p = P {
+        toks,
+        i: 0,
+        len: src.len(),
+    };
+    let e = p.parse_expr(1)?;
+    if p.peek().is_some() {
+        return p.err("trailing tokens after expression");
+    }
+    Ok(e)
+}
+
+impl Expr {
+    /// Evaluates against an environment.
+    pub fn eval(&self, env: &dyn Env) -> Result<Value, EvalError> {
+        match self {
+            Expr::Num(n) => Ok(Value::Num(*n)),
+            Expr::Str(s) => Ok(Value::Str(s.clone())),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Var(v) => env
+                .var(v)
+                .ok_or_else(|| EvalError::UndefinedVar(v.clone())),
+            Expr::Call(name, args) => {
+                let vals = args
+                    .iter()
+                    .map(|a| a.eval(env))
+                    .collect::<Result<Vec<_>, _>>()?;
+                env.call(name, &vals)
+            }
+            Expr::Not(e) => Ok(Value::Bool(!e.eval(env)?.as_bool()?)),
+            Expr::Neg(e) => match e.eval(env)? {
+                Value::Num(n) => Ok(Value::Num(-n)),
+                other => Err(EvalError::Type(format!(
+                    "cannot negate {}",
+                    other.type_name()
+                ))),
+            },
+            Expr::Bin(op, l, r) => {
+                // Short-circuit the logical operators.
+                match op {
+                    BinOp::And => {
+                        return Ok(Value::Bool(
+                            l.eval(env)?.as_bool()? && r.eval(env)?.as_bool()?,
+                        ))
+                    }
+                    BinOp::Or => {
+                        return Ok(Value::Bool(
+                            l.eval(env)?.as_bool()? || r.eval(env)?.as_bool()?,
+                        ))
+                    }
+                    _ => {}
+                }
+                let lv = l.eval(env)?;
+                let rv = r.eval(env)?;
+                match op {
+                    BinOp::Eq => Ok(Value::Bool(lv == rv)),
+                    BinOp::Ne => Ok(Value::Bool(lv != rv)),
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        let (a, b) = match (&lv, &rv) {
+                            (Value::Num(a), Value::Num(b)) => (*a, *b),
+                            _ => {
+                                return Err(EvalError::Type(format!(
+                                    "comparison {} needs numbers, got {} and {}",
+                                    op.symbol(),
+                                    lv.type_name(),
+                                    rv.type_name()
+                                )))
+                            }
+                        };
+                        Ok(Value::Bool(match op {
+                            BinOp::Lt => a < b,
+                            BinOp::Le => a <= b,
+                            BinOp::Gt => a > b,
+                            BinOp::Ge => a >= b,
+                            _ => unreachable!(),
+                        }))
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                        let (a, b) = match (&lv, &rv) {
+                            (Value::Num(a), Value::Num(b)) => (*a, *b),
+                            (Value::Str(a), Value::Str(b)) if *op == BinOp::Add => {
+                                return Ok(Value::Str(format!("{a}{b}")))
+                            }
+                            _ => {
+                                return Err(EvalError::Type(format!(
+                                    "arithmetic {} needs numbers, got {} and {}",
+                                    op.symbol(),
+                                    lv.type_name(),
+                                    rv.type_name()
+                                )))
+                            }
+                        };
+                        match op {
+                            BinOp::Add => Ok(Value::Num(a + b)),
+                            BinOp::Sub => Ok(Value::Num(a - b)),
+                            BinOp::Mul => Ok(Value::Num(a * b)),
+                            BinOp::Div => {
+                                if b == 0.0 {
+                                    Err(EvalError::DivByZero)
+                                } else {
+                                    Ok(Value::Num(a / b))
+                                }
+                            }
+                            _ => unreachable!(),
+                        }
+                    }
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+
+    /// Evaluates as a condition (must yield a boolean).
+    pub fn eval_bool(&self, env: &dyn Env) -> Result<bool, EvalError> {
+        self.eval(env)?.as_bool()
+    }
+
+    /// Pretty-prints the expression (parse ∘ print is identity on the AST).
+    pub fn print(&self) -> String {
+        fn go(e: &Expr, out: &mut String) {
+            match e {
+                Expr::Num(n) => out.push_str(&format!("{n}")),
+                Expr::Str(s) => {
+                    out.push('\'');
+                    out.push_str(s);
+                    out.push('\'');
+                }
+                Expr::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Expr::Var(v) => {
+                    out.push('$');
+                    out.push_str(v);
+                }
+                Expr::Call(name, args) => {
+                    out.push_str(name);
+                    out.push('(');
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        go(a, out);
+                    }
+                    out.push(')');
+                }
+                Expr::Not(inner) => {
+                    out.push_str("!(");
+                    go(inner, out);
+                    out.push(')');
+                }
+                Expr::Neg(inner) => {
+                    out.push_str("-(");
+                    go(inner, out);
+                    out.push(')');
+                }
+                Expr::Bin(op, l, r) => {
+                    out.push('(');
+                    go(l, out);
+                    out.push(' ');
+                    out.push_str(op.symbol());
+                    out.push(' ');
+                    go(r, out);
+                    out.push(')');
+                }
+            }
+        }
+        let mut s = String::new();
+        go(self, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct TestEnv {
+        vars: HashMap<String, Value>,
+    }
+
+    impl TestEnv {
+        fn new() -> Self {
+            let mut vars = HashMap::new();
+            vars.insert("x".to_string(), Value::Num(3.0));
+            vars.insert("name".to_string(), Value::Str("solver".into()));
+            vars.insert("ok".to_string(), Value::Bool(true));
+            TestEnv { vars }
+        }
+    }
+
+    impl Env for TestEnv {
+        fn var(&self, name: &str) -> Option<Value> {
+            self.vars.get(name).cloned()
+        }
+        fn call(&self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+            match name {
+                "status" => Ok(Value::Str("done".into())),
+                "runs" => Ok(Value::Num(2.0)),
+                "len" => match &args[0] {
+                    Value::Str(s) => Ok(Value::Num(s.len() as f64)),
+                    _ => Err(EvalError::Type("len wants a string".into())),
+                },
+                _ => Err(EvalError::UnknownFn(name.to_string())),
+            }
+        }
+    }
+
+    fn eval(src: &str) -> Value {
+        parse(src).unwrap().eval(&TestEnv::new()).unwrap()
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(eval("42"), Value::Num(42.0));
+        assert_eq!(eval("3.5"), Value::Num(3.5));
+        assert_eq!(eval("'done'"), Value::Str("done".into()));
+        assert_eq!(eval("true"), Value::Bool(true));
+        assert_eq!(eval("false"), Value::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(eval("1 + 2 * 3"), Value::Num(7.0));
+        assert_eq!(eval("(1 + 2) * 3"), Value::Num(9.0));
+        assert_eq!(eval("10 - 4 - 3"), Value::Num(3.0), "left associative");
+        assert_eq!(eval("8 / 2 / 2"), Value::Num(2.0));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(eval("1 < 2 && 2 <= 2"), Value::Bool(true));
+        assert_eq!(eval("3 > 4 || 4 >= 4"), Value::Bool(true));
+        assert_eq!(eval("1 == 1.0"), Value::Bool(true));
+        assert_eq!(eval("'a' != 'b'"), Value::Bool(true));
+        assert_eq!(eval("!(1 < 2)"), Value::Bool(false));
+        assert_eq!(eval("!false && true"), Value::Bool(true));
+    }
+
+    #[test]
+    fn logic_precedence_or_loosest() {
+        // a || b && c parses as a || (b && c)
+        assert_eq!(eval("true || false && false"), Value::Bool(true));
+    }
+
+    #[test]
+    fn variables_and_calls() {
+        assert_eq!(eval("$x + 1"), Value::Num(4.0));
+        assert_eq!(eval("$name == 'solver'"), Value::Bool(true));
+        assert_eq!(eval("$ok"), Value::Bool(true));
+        assert_eq!(eval("status('anything') == 'done'"), Value::Bool(true));
+        assert_eq!(eval("runs('t') < 3"), Value::Bool(true));
+        assert_eq!(eval("len('abc')"), Value::Num(3.0));
+    }
+
+    #[test]
+    fn paper_style_conditions() {
+        // The kinds of conditions §7's conditional transitions need.
+        assert_eq!(
+            eval("status('summation') == 'done' && runs('summation') < 5"),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(eval("-3 + 5"), Value::Num(2.0));
+        assert_eq!(eval("- $x"), Value::Num(-3.0));
+        assert_eq!(eval("--3"), Value::Num(3.0));
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(eval("'a' + 'b'"), Value::Str("ab".into()));
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_errors() {
+        // $undefined would error, but && short-circuits.
+        assert_eq!(eval("false && $undefined"), Value::Bool(false));
+        assert_eq!(eval("true || $undefined"), Value::Bool(true));
+    }
+
+    #[test]
+    fn eval_errors() {
+        let env = TestEnv::new();
+        assert_eq!(
+            parse("$missing").unwrap().eval(&env),
+            Err(EvalError::UndefinedVar("missing".into()))
+        );
+        assert_eq!(
+            parse("nope()").unwrap().eval(&env),
+            Err(EvalError::UnknownFn("nope".into()))
+        );
+        assert_eq!(parse("1 / 0").unwrap().eval(&env), Err(EvalError::DivByZero));
+        assert!(matches!(
+            parse("'a' < 'b'").unwrap().eval(&env),
+            Err(EvalError::Type(_))
+        ));
+        assert!(matches!(
+            parse("!3").unwrap().eval(&env),
+            Err(EvalError::Type(_))
+        ));
+        assert!(matches!(
+            parse("1 + 'a'").unwrap().eval(&env),
+            Err(EvalError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn eval_bool_requires_boolean() {
+        let env = TestEnv::new();
+        assert!(parse("3").unwrap().eval_bool(&env).is_err());
+        assert!(parse("1 < 2").unwrap().eval_bool(&env).unwrap());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("1 +").is_err());
+        assert!(parse("(1").is_err());
+        assert!(parse("1 = 2").is_err());
+        assert!(parse("a | b").is_err());
+        assert!(parse("'unterminated").is_err());
+        assert!(parse("$").is_err());
+        assert!(parse("1 2").is_err(), "trailing tokens");
+        assert!(parse("status 'x'").is_err(), "bare identifier");
+        assert!(parse("1..2").is_err(), "malformed number");
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = parse("1 + @").unwrap_err();
+        assert_eq!(err.offset, 4);
+        let err = parse("12 & 3").unwrap_err();
+        assert_eq!(err.offset, 3);
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        for src in [
+            "1 + 2 * 3",
+            "status('a') == 'done' && runs('a') < 3",
+            "!($x >= 4) || $ok",
+            "-(3 - 1)",
+            "'s' + 'x' == 'sx'",
+            "f(1, 'two', $three)",
+        ] {
+            let e1 = parse(src).unwrap();
+            let printed = e1.print();
+            let e2 = parse(&printed).unwrap();
+            assert_eq!(e1, e2, "roundtrip failed for {src} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn call_with_no_args() {
+        let e = parse("now()").unwrap();
+        assert_eq!(e, Expr::Call("now".into(), vec![]));
+    }
+
+    #[test]
+    fn dotted_variable_names() {
+        let e = parse("$solver.tolerance < 0.1").unwrap();
+        match e {
+            Expr::Bin(BinOp::Lt, l, _) => assert_eq!(*l, Expr::Var("solver.tolerance".into())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # gridwfs-wpdl — the XML Workflow Process Definition Language
+//!
+//! Grid-WFS expresses failure-handling policy as *workflow structure*
+//! written in an XML process-definition language (paper §7).  This crate is
+//! the language: a from-scratch XML parser/writer ([`xml`]), the workflow
+//! AST ([`ast`]), the condition-expression language for conditional
+//! transitions and loops ([`expr`]), XML↔AST conversion ([`parse`],
+//! [`writer`]), static validation with topological ordering ([`validate`](mod@validate)),
+//! and a fluent Rust builder ([`builder`]).
+//!
+//! The original DTD lived in the author's thesis and is lost; the schema
+//! here is reconstructed from every fragment the paper prints (Figures 2
+//! and 3) plus the §7 feature list.  The concrete grammar:
+//!
+//! ```text
+//! <Workflow name>
+//!   <Variable name type=num|str|bool value/>*
+//!   <Exception name fatal? description?/>*
+//!   <Activity name max_tries? interval? policy=simple|replica
+//!             join=and|or heartbeat_interval? heartbeat_tolerance?>
+//!     <Input>..</Input>* <Output>..</Output>* <Implement>prog</Implement>?
+//!   </Activity>+
+//!   <Program name duration?> <Option hostname service? executableDir? executable?/>+ </Program>*
+//!   <Transition from to on=done|failed|always|exception:NAME condition?/>*
+//!   <Loop activity condition/>*
+//! </Workflow>
+//! ```
+//!
+//! ## Example: the paper's Figure 2 (retrying)
+//!
+//! ```
+//! let w = gridwfs_wpdl::parse::from_str(r#"
+//! <Workflow name='example'>
+//!   <Activity name='summation' max_tries='3' interval='10'>
+//!     <Implement>sum</Implement>
+//!   </Activity>
+//!   <Program name='sum' duration='30'>
+//!     <Option hostname='bolas.isi.edu' service='jobmanager'
+//!             executableDir='/XML/EXAMPLE/' executable='sum'/>
+//!   </Program>
+//! </Workflow>"#).unwrap();
+//! assert_eq!(w.activity("summation").unwrap().max_tries, 3);
+//! let validated = gridwfs_wpdl::validate::validate(w).unwrap();
+//! assert_eq!(validated.topological_order(), ["summation"]);
+//! ```
+
+pub mod ast;
+pub mod builder;
+pub mod dot;
+pub mod expr;
+pub mod parse;
+pub mod validate;
+pub mod writer;
+pub mod xml;
+
+pub use ast::{
+    Activity, ExceptionDecl, JoinMode, LoopSpec, Policy, Program, ProgramOption, Transition,
+    Trigger, VarDecl, Workflow,
+};
+pub use builder::WorkflowBuilder;
+pub use expr::{Env, EvalError, Expr, Value};
+pub use parse::{from_str, WpdlError};
+pub use validate::{validate, Issue, IssueKind, Validated};
+pub use dot::to_dot;
+pub use writer::to_string as to_xml_string;

@@ -1,0 +1,476 @@
+//! XML → AST: parsing WPDL documents.
+//!
+//! The concrete schema (element/attribute names) follows the fragments
+//! printed in the paper — `<Activity name=.. max_tries=.. interval=..>`,
+//! `<Implement>`, `<Program>`/`<Option hostname=..>`, `policy='replica'` —
+//! extended with the constructs §7 enumerates but does not print
+//! (transitions with conditions, loops, join modes, exception
+//! declarations).  See `schema` for the full grammar reference.
+
+use crate::ast::*;
+use crate::expr::{self, Value};
+use crate::xml::{self, Element, Pos, XmlNode};
+
+/// A WPDL parsing error (either malformed XML or a schema violation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WpdlError {
+    /// What went wrong.
+    pub message: String,
+    /// Source position (0:0 for errors without one).
+    pub pos: Pos,
+}
+
+impl std::fmt::Display for WpdlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WPDL error at {}: {}", self.pos, self.message)
+    }
+}
+impl std::error::Error for WpdlError {}
+
+impl From<xml::XmlError> for WpdlError {
+    fn from(e: xml::XmlError) -> Self {
+        WpdlError {
+            message: e.message,
+            pos: e.pos,
+        }
+    }
+}
+
+fn err<T>(el: &Element, msg: impl Into<String>) -> Result<T, WpdlError> {
+    Err(WpdlError {
+        message: msg.into(),
+        pos: el.pos,
+    })
+}
+
+fn req_attr<'a>(el: &'a Element, name: &str) -> Result<&'a str, WpdlError> {
+    el.get_attr(name)
+        .ok_or_else(|| WpdlError {
+            message: format!("<{}> requires a '{}' attribute", el.name, name),
+            pos: el.pos,
+        })
+}
+
+fn parse_f64(el: &Element, name: &str, value: &str) -> Result<f64, WpdlError> {
+    value.parse::<f64>().map_err(|_| WpdlError {
+        message: format!("attribute '{name}'='{value}' is not a number"),
+        pos: el.pos,
+    })
+}
+
+fn parse_u32(el: &Element, name: &str, value: &str) -> Result<u32, WpdlError> {
+    value.parse::<u32>().map_err(|_| WpdlError {
+        message: format!("attribute '{name}'='{value}' is not a non-negative integer"),
+        pos: el.pos,
+    })
+}
+
+fn parse_expr_attr(el: &Element, name: &str, src: &str) -> Result<expr::Expr, WpdlError> {
+    expr::parse(src).map_err(|e| WpdlError {
+        message: format!("attribute '{name}': {e}"),
+        pos: el.pos,
+    })
+}
+
+fn parse_activity(el: &Element) -> Result<Activity, WpdlError> {
+    let name = req_attr(el, "name")?.to_string();
+    let mut act = Activity::dummy(name);
+
+    if let Some(impl_el) = el.first_child("Implement") {
+        let prog = impl_el.text_content();
+        if prog.is_empty() {
+            return err(impl_el, "<Implement> must name a program");
+        }
+        act.implement = Some(prog);
+        // Implemented activities get the default heartbeat watch.
+        act.heartbeat_interval = 1.0;
+    }
+
+    if let Some(v) = el.get_attr("max_tries") {
+        act.max_tries = parse_u32(el, "max_tries", v)?;
+        if act.max_tries == 0 {
+            return err(el, "max_tries must be at least 1");
+        }
+    }
+    if let Some(v) = el.get_attr("interval") {
+        act.retry_interval = parse_f64(el, "interval", v)?;
+        if act.retry_interval < 0.0 {
+            return err(el, "interval must be non-negative");
+        }
+    }
+    if let Some(v) = el.get_attr("backoff") {
+        act.retry_backoff = parse_f64(el, "backoff", v)?;
+        if act.retry_backoff < 1.0 {
+            return err(el, "backoff must be at least 1");
+        }
+    }
+    if let Some(v) = el.get_attr("policy") {
+        act.policy = match v {
+            "simple" => Policy::Simple,
+            "replica" => Policy::Replica,
+            other => return err(el, format!("unknown policy '{other}' (simple|replica)")),
+        };
+    }
+    if let Some(v) = el.get_attr("join") {
+        act.join = match v {
+            "and" => JoinMode::And,
+            "or" => JoinMode::Or,
+            other => return err(el, format!("unknown join mode '{other}' (and|or)")),
+        };
+    }
+    if let Some(v) = el.get_attr("heartbeat_interval") {
+        act.heartbeat_interval = parse_f64(el, "heartbeat_interval", v)?;
+        if act.heartbeat_interval < 0.0 {
+            return err(el, "heartbeat_interval must be non-negative");
+        }
+    }
+    if let Some(v) = el.get_attr("heartbeat_tolerance") {
+        act.heartbeat_tolerance = parse_f64(el, "heartbeat_tolerance", v)?;
+        if act.heartbeat_tolerance < 1.0 {
+            return err(el, "heartbeat_tolerance must be at least 1");
+        }
+    }
+    for input in el.children_named("Input") {
+        act.inputs.push(input.text_content());
+    }
+    for output in el.children_named("Output") {
+        act.outputs.push(output.text_content());
+    }
+    // Reject unknown children early — silent typos in policy elements are
+    // exactly the failure mode a policy language must not have.
+    for child in el.child_elements() {
+        if !matches!(child.name.as_str(), "Implement" | "Input" | "Output") {
+            return err(
+                child,
+                format!("unknown element <{}> inside <Activity>", child.name),
+            );
+        }
+    }
+    Ok(act)
+}
+
+fn parse_program(el: &Element) -> Result<Program, WpdlError> {
+    let name = req_attr(el, "name")?.to_string();
+    let nominal_duration = match el.get_attr("duration") {
+        Some(v) => {
+            let d = parse_f64(el, "duration", v)?;
+            if d < 0.0 {
+                return err(el, "duration must be non-negative");
+            }
+            d
+        }
+        None => 1.0,
+    };
+    let mut options = Vec::new();
+    for opt in el.children_named("Option") {
+        options.push(ProgramOption {
+            hostname: req_attr(opt, "hostname")?.to_string(),
+            service: opt.get_attr("service").unwrap_or("jobmanager").to_string(),
+            executable_dir: opt.get_attr("executableDir").unwrap_or("").to_string(),
+            executable: opt.get_attr("executable").unwrap_or("").to_string(),
+        });
+    }
+    if options.is_empty() {
+        return err(el, format!("program '{name}' has no <Option> resources"));
+    }
+    Ok(Program {
+        name,
+        nominal_duration,
+        options,
+    })
+}
+
+fn parse_transition(el: &Element) -> Result<Transition, WpdlError> {
+    let from = req_attr(el, "from")?.to_string();
+    let to = req_attr(el, "to")?.to_string();
+    let trigger = match el.get_attr("on") {
+        None => Trigger::Done,
+        Some(s) => Trigger::parse(s).ok_or_else(|| WpdlError {
+            message: format!("bad trigger on='{s}' (done|failed|always|exception:<name>)"),
+            pos: el.pos,
+        })?,
+    };
+    let condition = match el.get_attr("condition") {
+        Some(src) => Some(parse_expr_attr(el, "condition", src)?),
+        None => None,
+    };
+    Ok(Transition {
+        from,
+        to,
+        trigger,
+        condition,
+    })
+}
+
+fn parse_variable(el: &Element) -> Result<VarDecl, WpdlError> {
+    let name = req_attr(el, "name")?.to_string();
+    let raw = req_attr(el, "value")?;
+    let ty = el.get_attr("type").unwrap_or("str");
+    let value = match ty {
+        "num" => Value::Num(parse_f64(el, "value", raw)?),
+        "bool" => match raw {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => return err(el, format!("bool variable '{name}' must be true|false")),
+        },
+        "str" => Value::Str(raw.to_string()),
+        other => return err(el, format!("unknown variable type '{other}' (num|str|bool)")),
+    };
+    Ok(VarDecl { name, value })
+}
+
+/// Parses a workflow from a parsed XML root element.
+pub fn from_element(root: &Element) -> Result<Workflow, WpdlError> {
+    if root.name != "Workflow" {
+        return err(root, format!("expected <Workflow> root, found <{}>", root.name));
+    }
+    let mut w = Workflow::new(root.get_attr("name").unwrap_or("unnamed"));
+    for child in root.child_elements() {
+        match child.name.as_str() {
+            "Activity" => w.activities.push(parse_activity(child)?),
+            "Program" => w.programs.push(parse_program(child)?),
+            "Transition" => w.transitions.push(parse_transition(child)?),
+            "Variable" => w.variables.push(parse_variable(child)?),
+            "Exception" => w.exceptions.push(ExceptionDecl {
+                name: req_attr(child, "name")?.to_string(),
+                fatal: child.get_attr("fatal") == Some("true"),
+                description: child.get_attr("description").unwrap_or("").to_string(),
+            }),
+            "Loop" => w.loops.push(LoopSpec {
+                activity: req_attr(child, "activity")?.to_string(),
+                condition: parse_expr_attr(child, "condition", req_attr(child, "condition")?)?,
+            }),
+            other => return err(child, format!("unknown element <{other}> inside <Workflow>")),
+        }
+    }
+    // Significant stray text is almost always a markup mistake.
+    for node in &root.children {
+        if let XmlNode::Text(t) = node {
+            if !t.trim().is_empty() {
+                return err(root, format!("stray text inside <Workflow>: '{}'", t.trim()));
+            }
+        }
+    }
+    Ok(w)
+}
+
+/// Parses a workflow from WPDL source text.
+pub fn from_str(src: &str) -> Result<Workflow, WpdlError> {
+    let root = xml::parse(src)?;
+    from_element(&root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG2: &str = r#"
+<Workflow name='retry-example'>
+  <Activity name='summation' max_tries='3' interval='10'>
+    <Input>vector.dat</Input>
+    <Output>sum.out</Output>
+    <Implement>sum</Implement>
+  </Activity>
+  <Program name='sum' duration='30'>
+    <Option hostname='bolas.isi.edu' service='jobmanager'
+            executableDir='/XML/EXAMPLE/' executable='sum'/>
+  </Program>
+</Workflow>"#;
+
+    #[test]
+    fn figure2_retrying_example() {
+        let w = from_str(FIG2).unwrap();
+        assert_eq!(w.name, "retry-example");
+        let a = w.activity("summation").unwrap();
+        assert_eq!(a.max_tries, 3);
+        assert_eq!(a.retry_interval, 10.0);
+        assert_eq!(a.policy, Policy::Simple);
+        assert_eq!(a.implement.as_deref(), Some("sum"));
+        assert_eq!(a.inputs, vec!["vector.dat"]);
+        assert_eq!(a.outputs, vec!["sum.out"]);
+        let p = w.program("sum").unwrap();
+        assert_eq!(p.nominal_duration, 30.0);
+        assert_eq!(p.options[0].executable_dir, "/XML/EXAMPLE/");
+    }
+
+    #[test]
+    fn figure3_replication_example() {
+        let src = r#"
+<Workflow name='replica-example'>
+  <Activity name='summation' policy='replica'>
+    <Implement>sum</Implement>
+  </Activity>
+  <Program name='sum'>
+    <Option hostname='bolas.isi.edu'/>
+    <Option hostname='vanuatu.isi.edu'/>
+    <Option hostname='jupiter.isi.edu'/>
+  </Program>
+</Workflow>"#;
+        let w = from_str(src).unwrap();
+        assert_eq!(w.activity("summation").unwrap().policy, Policy::Replica);
+        assert_eq!(w.program("sum").unwrap().options.len(), 3);
+    }
+
+    #[test]
+    fn figure6_exception_handling_dag() {
+        let src = r#"
+<Workflow name='exception-example'>
+  <Exception name='disk_full' fatal='true' description='scratch exhausted'/>
+  <Activity name='fast'><Implement>fast_impl</Implement></Activity>
+  <Activity name='slow'><Implement>slow_impl</Implement></Activity>
+  <Activity name='join' join='or'/>
+  <Program name='fast_impl' duration='30'><Option hostname='a'/></Program>
+  <Program name='slow_impl' duration='150'><Option hostname='b'/></Program>
+  <Transition from='fast' to='join'/>
+  <Transition from='fast' to='slow' on='exception:disk_full'/>
+  <Transition from='slow' to='join'/>
+</Workflow>"#;
+        let w = from_str(src).unwrap();
+        assert_eq!(w.exceptions.len(), 1);
+        assert!(w.exceptions[0].fatal);
+        assert_eq!(w.activity("join").unwrap().join, JoinMode::Or);
+        assert!(w.activity("join").unwrap().is_dummy());
+        let exc_edges: Vec<_> = w
+            .outgoing("fast")
+            .filter(|t| matches!(t.trigger, Trigger::Exception(_)))
+            .collect();
+        assert_eq!(exc_edges.len(), 1);
+        assert_eq!(exc_edges[0].to, "slow");
+    }
+
+    #[test]
+    fn conditions_loops_and_variables() {
+        let src = r#"
+<Workflow name='loopy'>
+  <Variable name='limit' type='num' value='5'/>
+  <Variable name='label' value='run'/>
+  <Variable name='flag' type='bool' value='true'/>
+  <Activity name='a'><Implement>p</Implement></Activity>
+  <Activity name='b'><Implement>p</Implement></Activity>
+  <Program name='p'><Option hostname='h'/></Program>
+  <Transition from='a' to='b' condition="runs('a') &lt; $limit"/>
+  <Loop activity='a' condition="runs('a') &lt; $limit"/>
+</Workflow>"#;
+        let w = from_str(src).unwrap();
+        assert_eq!(w.variables.len(), 3);
+        assert_eq!(w.variables[0].value, Value::Num(5.0));
+        assert_eq!(w.variables[1].value, Value::Str("run".into()));
+        assert_eq!(w.variables[2].value, Value::Bool(true));
+        assert!(w.transitions[0].condition.is_some());
+        assert_eq!(w.loops.len(), 1);
+        assert_eq!(w.loops[0].activity, "a");
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let w = from_str(
+            "<Workflow><Activity name='a'><Implement>p</Implement></Activity>\
+             <Program name='p'><Option hostname='h'/></Program></Workflow>",
+        )
+        .unwrap();
+        assert_eq!(w.name, "unnamed");
+        let a = w.activity("a").unwrap();
+        assert_eq!(a.max_tries, 1);
+        assert_eq!(a.retry_interval, 0.0);
+        assert_eq!(a.join, JoinMode::And);
+        assert_eq!(a.heartbeat_interval, 1.0);
+        assert_eq!(a.heartbeat_tolerance, 3.0);
+        let p = w.program("p").unwrap();
+        assert_eq!(p.nominal_duration, 1.0);
+        assert_eq!(p.options[0].service, "jobmanager");
+    }
+
+    #[test]
+    fn backoff_attribute_parses_and_validates() {
+        let w = from_str(
+            "<Workflow><Activity name='a' max_tries='4' interval='2' backoff='1.5'>\
+             <Implement>p</Implement></Activity>\
+             <Program name='p'><Option hostname='h'/></Program></Workflow>",
+        )
+        .unwrap();
+        assert_eq!(w.activity("a").unwrap().retry_backoff, 1.5);
+        expect_err(
+            "<Workflow><Activity name='a' backoff='0.5'/></Workflow>",
+            "backoff must be at least 1",
+        );
+    }
+
+    #[test]
+    fn dummy_activity_has_no_heartbeat() {
+        let w = from_str("<Workflow><Activity name='join'/></Workflow>").unwrap();
+        assert!(w.activity("join").unwrap().is_dummy());
+        assert_eq!(w.activity("join").unwrap().heartbeat_interval, 0.0);
+    }
+
+    fn expect_err(src: &str, needle: &str) {
+        let e = from_str(src).unwrap_err();
+        assert!(
+            e.message.contains(needle),
+            "expected '{needle}' in '{}'",
+            e.message
+        );
+    }
+
+    #[test]
+    fn schema_violations_are_diagnosed() {
+        expect_err("<NotWorkflow/>", "expected <Workflow> root");
+        expect_err("<Workflow><Activity/></Workflow>", "requires a 'name'");
+        expect_err(
+            "<Workflow><Activity name='a' max_tries='0'/></Workflow>",
+            "max_tries must be at least 1",
+        );
+        expect_err(
+            "<Workflow><Activity name='a' max_tries='x'/></Workflow>",
+            "not a non-negative integer",
+        );
+        expect_err(
+            "<Workflow><Activity name='a' policy='quantum'/></Workflow>",
+            "unknown policy",
+        );
+        expect_err(
+            "<Workflow><Activity name='a' join='xor'/></Workflow>",
+            "unknown join mode",
+        );
+        expect_err(
+            "<Workflow><Program name='p'/></Workflow>",
+            "no <Option> resources",
+        );
+        expect_err(
+            "<Workflow><Transition from='a' to='b' on='sometimes'/></Workflow>",
+            "bad trigger",
+        );
+        expect_err(
+            "<Workflow><Transition from='a' to='b' condition='1 +'/></Workflow>",
+            "condition",
+        );
+        expect_err("<Workflow><Banana/></Workflow>", "unknown element <Banana>");
+        expect_err(
+            "<Workflow><Activity name='a'><Peel/></Activity></Workflow>",
+            "unknown element <Peel> inside <Activity>",
+        );
+        expect_err("<Workflow>loose text</Workflow>", "stray text");
+        expect_err(
+            "<Workflow><Variable name='v' type='bool' value='yes'/></Workflow>",
+            "must be true|false",
+        );
+        expect_err(
+            "<Workflow><Variable name='v' type='list' value='1'/></Workflow>",
+            "unknown variable type",
+        );
+        expect_err(
+            "<Workflow><Activity name='a' heartbeat_tolerance='0.5'/></Workflow>",
+            "heartbeat_tolerance must be at least 1",
+        );
+        expect_err(
+            "<Workflow><Activity name='a'><Implement></Implement></Activity></Workflow>",
+            "must name a program",
+        );
+    }
+
+    #[test]
+    fn error_positions_propagate_from_xml() {
+        let e = from_str("<Workflow>\n  <Activity name='a' name='b'/>\n</Workflow>").unwrap_err();
+        assert_eq!(e.pos.line, 2);
+        assert!(e.message.contains("duplicate attribute"));
+    }
+}

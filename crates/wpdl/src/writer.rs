@@ -1,0 +1,277 @@
+//! AST → XML: serialising workflows back to WPDL.
+//!
+//! Round-tripping matters beyond aesthetics: the engine's own fault
+//! tolerance (paper §7) checkpoints the annotated parse tree to an XML file
+//! after every task termination and reloads it on restart.  This module
+//! produces the structural half of that file; the engine adds its runtime
+//! annotations as a sibling section.
+
+use crate::ast::*;
+use crate::expr::Value;
+use crate::xml::{self, Element};
+
+fn fmt_num(v: f64) -> String {
+    // Integral values print without a trailing ".0" so output matches the
+    // attribute style of the paper's fragments (max_tries='3').
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn activity_to_element(a: &Activity) -> Element {
+    let mut el = Element::new("Activity").attr("name", &a.name);
+    if a.max_tries != 1 {
+        el = el.attr("max_tries", a.max_tries.to_string());
+    }
+    if a.retry_interval != 0.0 {
+        el = el.attr("interval", fmt_num(a.retry_interval));
+    }
+    if a.retry_backoff != 1.0 {
+        el = el.attr("backoff", fmt_num(a.retry_backoff));
+    }
+    if a.policy == Policy::Replica {
+        el = el.attr("policy", "replica");
+    }
+    if a.join == JoinMode::Or {
+        el = el.attr("join", "or");
+    }
+    let default_hb = if a.is_dummy() { 0.0 } else { 1.0 };
+    if a.heartbeat_interval != default_hb {
+        el = el.attr("heartbeat_interval", fmt_num(a.heartbeat_interval));
+    }
+    if a.heartbeat_tolerance != 3.0 {
+        el = el.attr("heartbeat_tolerance", fmt_num(a.heartbeat_tolerance));
+    }
+    for i in &a.inputs {
+        el = el.child(Element::new("Input").text(i.clone()));
+    }
+    for o in &a.outputs {
+        el = el.child(Element::new("Output").text(o.clone()));
+    }
+    if let Some(p) = &a.implement {
+        el = el.child(Element::new("Implement").text(p.clone()));
+    }
+    el
+}
+
+fn program_to_element(p: &Program) -> Element {
+    let mut el = Element::new("Program").attr("name", &p.name);
+    if p.nominal_duration != 1.0 {
+        el = el.attr("duration", fmt_num(p.nominal_duration));
+    }
+    for o in &p.options {
+        let mut opt = Element::new("Option").attr("hostname", &o.hostname);
+        if o.service != "jobmanager" {
+            opt = opt.attr("service", &o.service);
+        }
+        if !o.executable_dir.is_empty() {
+            opt = opt.attr("executableDir", &o.executable_dir);
+        }
+        if !o.executable.is_empty() {
+            opt = opt.attr("executable", &o.executable);
+        }
+        el = el.child(opt);
+    }
+    el
+}
+
+/// Converts a workflow to its XML element tree.
+pub fn to_element(w: &Workflow) -> Element {
+    let mut root = Element::new("Workflow").attr("name", &w.name);
+    for v in &w.variables {
+        let (ty, raw) = match &v.value {
+            Value::Num(n) => ("num", fmt_num(*n)),
+            Value::Str(s) => ("str", s.clone()),
+            Value::Bool(b) => ("bool", b.to_string()),
+        };
+        root = root.child(
+            Element::new("Variable")
+                .attr("name", &v.name)
+                .attr("type", ty)
+                .attr("value", raw),
+        );
+    }
+    for e in &w.exceptions {
+        let mut el = Element::new("Exception").attr("name", &e.name);
+        if e.fatal {
+            el = el.attr("fatal", "true");
+        }
+        if !e.description.is_empty() {
+            el = el.attr("description", &e.description);
+        }
+        root = root.child(el);
+    }
+    for a in &w.activities {
+        root = root.child(activity_to_element(a));
+    }
+    for p in &w.programs {
+        root = root.child(program_to_element(p));
+    }
+    for t in &w.transitions {
+        let mut el = Element::new("Transition")
+            .attr("from", &t.from)
+            .attr("to", &t.to);
+        if t.trigger != Trigger::Done {
+            el = el.attr("on", t.trigger.render());
+        }
+        if let Some(c) = &t.condition {
+            el = el.attr("condition", c.print());
+        }
+        root = root.child(el);
+    }
+    for l in &w.loops {
+        root = root.child(
+            Element::new("Loop")
+                .attr("activity", &l.activity)
+                .attr("condition", l.condition.print()),
+        );
+    }
+    root
+}
+
+/// Serialises a workflow to WPDL source text.
+pub fn to_string(w: &Workflow) -> String {
+    xml::write(&to_element(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr;
+    use crate::parse;
+
+    fn rich_workflow() -> Workflow {
+        let mut w = Workflow::new("rich");
+        w.variables.push(VarDecl {
+            name: "limit".into(),
+            value: Value::Num(5.0),
+        });
+        w.variables.push(VarDecl {
+            name: "tag".into(),
+            value: Value::Str("x".into()),
+        });
+        w.variables.push(VarDecl {
+            name: "flag".into(),
+            value: Value::Bool(false),
+        });
+        w.exceptions.push(ExceptionDecl {
+            name: "disk_full".into(),
+            fatal: true,
+            description: "scratch exhausted".into(),
+        });
+        let mut fast = Activity::new("fast", "fast_impl");
+        fast.max_tries = 3;
+        fast.retry_interval = 10.0;
+        fast.retry_backoff = 2.0;
+        fast.inputs.push("in.dat".into());
+        fast.outputs.push("out.dat".into());
+        w.activities.push(fast);
+        let mut rep = Activity::new("rep", "fast_impl");
+        rep.policy = Policy::Replica;
+        rep.heartbeat_interval = 2.0;
+        rep.heartbeat_tolerance = 5.0;
+        w.activities.push(rep);
+        let mut join = Activity::dummy("join");
+        join.join = JoinMode::Or;
+        w.activities.push(join);
+        let mut p = Program::new("fast_impl", 30.0, "a.example");
+        p = p.option("b.example");
+        p.options[1].executable = "sum".into();
+        p.options[1].executable_dir = "/bin/".into();
+        p.options[1].service = "fork".into();
+        w.programs.push(p);
+        w.transitions.push(Transition::new("fast", "join"));
+        w.transitions
+            .push(Transition::new("fast", "rep").on(Trigger::Exception("disk_full".into())));
+        w.transitions.push(
+            Transition::new("rep", "join")
+                .on(Trigger::Always)
+                .when(expr::parse("runs('rep') < $limit").unwrap()),
+        );
+        w.loops.push(LoopSpec {
+            activity: "fast".into(),
+            condition: expr::parse("runs('fast') < 3").unwrap(),
+        });
+        w
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let w = rich_workflow();
+        let text = to_string(&w);
+        let back = parse::from_str(&text).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn double_roundtrip_is_stable() {
+        let w = rich_workflow();
+        let t1 = to_string(&w);
+        let t2 = to_string(&parse::from_str(&t1).unwrap());
+        assert_eq!(t1, t2, "serialisation is a fixpoint");
+    }
+
+    #[test]
+    fn defaults_are_omitted() {
+        let mut w = Workflow::new("min");
+        w.activities.push(Activity::new("a", "p"));
+        w.programs.push(Program::new("p", 1.0, "h"));
+        let text = to_string(&w);
+        assert!(!text.contains("max_tries"), "{text}");
+        assert!(!text.contains("backoff"), "{text}");
+        assert!(!text.contains("policy"), "{text}");
+        assert!(!text.contains("join"), "{text}");
+        assert!(!text.contains("duration"), "{text}");
+        assert!(!text.contains("service"), "{text}");
+        assert!(!text.contains("heartbeat"), "{text}");
+    }
+
+    #[test]
+    fn integral_numbers_render_clean() {
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(0.5), "0.5");
+        assert_eq!(fmt_num(150.0), "150");
+    }
+
+    #[test]
+    fn attribute_style_matches_paper() {
+        let mut w = Workflow::new("fig2");
+        let mut a = Activity::new("summation", "sum");
+        a.max_tries = 3;
+        a.retry_interval = 10.0;
+        w.activities.push(a);
+        w.programs.push(Program::new("sum", 30.0, "bolas.isi.edu"));
+        let text = to_string(&w);
+        assert!(text.contains("max_tries='3'"), "{text}");
+        assert!(text.contains("interval='10'"), "{text}");
+        assert!(text.contains("hostname='bolas.isi.edu'"), "{text}");
+        assert!(text.contains("<Implement>sum</Implement>"), "{text}");
+    }
+
+    #[test]
+    fn escaping_survives_roundtrip() {
+        let mut w = Workflow::new("esc & <odd> 'name'");
+        let mut a = Activity::new("a", "p");
+        a.inputs.push("file with <angle> & amp".into());
+        w.activities.push(a);
+        w.programs.push(Program::new("p", 1.0, "h"));
+        let back = parse::from_str(&to_string(&w)).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn condition_expressions_roundtrip_through_attribute() {
+        let mut w = Workflow::new("cond");
+        w.activities.push(Activity::new("a", "p"));
+        w.activities.push(Activity::new("b", "p"));
+        w.programs.push(Program::new("p", 1.0, "h"));
+        w.transitions.push(
+            Transition::new("a", "b")
+                .when(expr::parse("status('a') == 'done' && runs('a') <= 2").unwrap()),
+        );
+        let back = parse::from_str(&to_string(&w)).unwrap();
+        assert_eq!(back.transitions[0].condition, w.transitions[0].condition);
+    }
+}

@@ -1,0 +1,288 @@
+//! Property-based tests: XML round-trips, workflow round-trips, expression
+//! round-trips, and validation invariants on generated DAGs.
+
+use gridwfs_wpdl::ast::*;
+use gridwfs_wpdl::expr::{self, Value};
+use gridwfs_wpdl::xml::{self, Element};
+use gridwfs_wpdl::{parse, validate, writer};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------- generators ---
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,12}"
+}
+
+/// Text safe for XML content once escaped (the writer must handle the
+/// specials; we exclude only control characters XML 1.0 forbids).
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[ -~]{0,20}".prop_map(|s| s)
+}
+
+fn arb_element(depth: u32) -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), text_strategy()), 0..4))
+        .prop_map(|(name, attrs)| {
+            let mut el = Element::new(name);
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                if seen.insert(k.clone()) {
+                    el = el.attr(k, v);
+                }
+            }
+            el
+        });
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+            text_strategy(),
+        )
+            .prop_map(|(name, attrs, children, text)| {
+                let mut el = Element::new(name);
+                let mut seen = std::collections::HashSet::new();
+                for (k, v) in attrs {
+                    if seen.insert(k.clone()) {
+                        el = el.attr(k, v);
+                    }
+                }
+                // Either pure text content or element content; the pretty
+                // writer does not guarantee round-tripping *mixed* content
+                // whitespace, which WPDL never uses.
+                if children.is_empty() {
+                    let t = text.trim().to_string();
+                    if !t.is_empty() {
+                        el = el.text(t);
+                    }
+                } else {
+                    for c in children {
+                        el = el.child(c);
+                    }
+                }
+                el
+            })
+    })
+}
+
+fn arb_trigger() -> impl Strategy<Value = Trigger> {
+    prop_oneof![
+        Just(Trigger::Done),
+        Just(Trigger::Failed),
+        Just(Trigger::Always),
+        name_strategy().prop_map(Trigger::Exception),
+    ]
+}
+
+/// Generates a random *valid* workflow: unique names, edges respecting an
+/// index order (hence acyclic), references that exist.
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    (2usize..8, proptest::collection::vec(arb_trigger(), 1..12), any::<u64>()).prop_map(
+        |(n, triggers, seed)| {
+            let mut w = Workflow::new(format!("gen{seed}"));
+            w.programs
+                .push(Program::new("prog", 10.0, "h1").option("h2").option("h3"));
+            for e in ["exc_a", "exc_b"] {
+                w.exceptions.push(ExceptionDecl {
+                    name: e.into(),
+                    fatal: seed % 2 == 0,
+                    description: "gen".into(),
+                });
+            }
+            for i in 0..n {
+                let mut a = if i % 3 == 2 {
+                    Activity::dummy(format!("act{i}"))
+                } else {
+                    Activity::new(format!("act{i}"), "prog")
+                };
+                if i % 3 == 1 {
+                    a.max_tries = 3;
+                    a.retry_interval = 1.5;
+                }
+                if i % 4 == 1 && !a.is_dummy() {
+                    a.policy = Policy::Replica;
+                }
+                if i % 2 == 1 {
+                    a.join = JoinMode::Or;
+                }
+                w.activities.push(a);
+            }
+            // Edges strictly increasing in index => acyclic; dedupe.
+            let mut seen = std::collections::HashSet::new();
+            let mut s = seed;
+            for trig in triggers {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let from = (s >> 8) as usize % (n - 1);
+                let to = from + 1 + ((s >> 24) as usize % (n - from - 1));
+                let trig = match trig {
+                    Trigger::Exception(_) => {
+                        Trigger::Exception(if s.is_multiple_of(2) { "exc_a" } else { "exc_b" }.into())
+                    }
+                    t => t,
+                };
+                if seen.insert((from, to, trig.clone())) {
+                    w.transitions.push(
+                        Transition::new(format!("act{from}"), format!("act{to}")).on(trig),
+                    );
+                }
+            }
+            w.variables.push(VarDecl {
+                name: "limit".into(),
+                value: Value::Num((seed % 10) as f64),
+            });
+            w
+        },
+    )
+}
+
+// ------------------------------------------------------------ properties ---
+
+proptest! {
+    /// Arbitrary element trees survive write → parse.
+    #[test]
+    fn xml_write_parse_roundtrip(el in arb_element(3)) {
+        let text = xml::write(&el);
+        let back = xml::parse(&text).unwrap();
+        // Positions differ; compare structure via a position-insensitive view.
+        type Stripped = (String, Vec<(String, String)>, Vec<StripNode>);
+        fn strip(e: &Element) -> Stripped {
+            (
+                e.name.clone(),
+                e.attrs.iter().map(|a| (a.name.clone(), a.value.clone())).collect(),
+                e.children.iter().filter_map(|c| match c {
+                    xml::XmlNode::Element(el) => Some(StripNode::El(Box::new(strip(el)))),
+                    xml::XmlNode::Text(t) => {
+                        let t = t.trim().to_string();
+                        if t.is_empty() { None } else { Some(StripNode::Text(t)) }
+                    }
+                }).collect(),
+            )
+        }
+        #[derive(PartialEq, Debug)]
+        enum StripNode {
+            El(Box<Stripped>),
+            Text(String),
+        }
+        prop_assert_eq!(strip(&el), strip(&back));
+    }
+
+    /// Generated workflows validate and round-trip through XML unchanged.
+    #[test]
+    fn workflow_xml_roundtrip(w in arb_workflow()) {
+        let text = writer::to_string(&w);
+        let back = parse::from_str(&text).unwrap();
+        prop_assert_eq!(&back, &w);
+        // Valid by construction.
+        let v = validate::validate(back);
+        prop_assert!(v.is_ok(), "{:?}", v.err());
+    }
+
+    /// The topological order contains every activity exactly once and
+    /// respects every edge.
+    #[test]
+    fn topo_order_is_consistent(w in arb_workflow()) {
+        let v = validate::validate(w.clone()).unwrap();
+        let topo = v.topological_order();
+        prop_assert_eq!(topo.len(), w.activities.len());
+        let index: std::collections::HashMap<&str, usize> =
+            topo.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+        for t in &w.transitions {
+            prop_assert!(index[t.from.as_str()] < index[t.to.as_str()],
+                "edge {} -> {} violated", t.from, t.to);
+        }
+    }
+
+    /// Validation is deterministic: same workflow, same result.
+    #[test]
+    fn validation_deterministic(w in arb_workflow()) {
+        let a = validate::validate(w.clone()).unwrap();
+        let b = validate::validate(w).unwrap();
+        prop_assert_eq!(a.topological_order(), b.topological_order());
+    }
+
+    /// Reversing an edge in a linear chain always produces a cycle error.
+    #[test]
+    fn reversed_edge_makes_cycle(n in 3usize..8) {
+        let mut w = Workflow::new("chain");
+        w.programs.push(Program::new("p", 1.0, "h"));
+        for i in 0..n {
+            w.activities.push(Activity::new(format!("a{i}"), "p"));
+        }
+        for i in 0..n - 1 {
+            w.transitions.push(Transition::new(format!("a{i}"), format!("a{}", i + 1)));
+        }
+        w.transitions.push(Transition::new(format!("a{}", n - 1), "a0"));
+        let issues = validate::validate(w).unwrap_err();
+        prop_assert!(issues.iter().any(|i| i.kind == validate::IssueKind::Cycle));
+    }
+
+    /// Expression print/parse is an AST fixpoint on generated expressions.
+    #[test]
+    fn expr_print_parse_roundtrip(seed in any::<u64>(), depth in 0u32..4) {
+        fn gen(s: &mut u64, depth: u32) -> expr::Expr {
+            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (*s >> 33) % if depth == 0 { 4 } else { 8 };
+            match pick {
+                0 => expr::Expr::Num(((*s >> 16) % 1000) as f64 / 8.0),
+                1 => expr::Expr::Str(format!("s{}", *s % 100)),
+                2 => expr::Expr::Bool(s.is_multiple_of(2)),
+                3 => expr::Expr::Var(format!("v{}", *s % 10)),
+                4 => expr::Expr::Not(Box::new(gen(s, depth - 1))),
+                5 => expr::Expr::Neg(Box::new(gen(s, depth - 1))),
+                6 => expr::Expr::Call(
+                    format!("f{}", *s % 5),
+                    (0..(*s % 3) as usize).map(|_| gen(s, depth - 1)).collect(),
+                ),
+                _ => {
+                    let ops = [
+                        expr::BinOp::Or, expr::BinOp::And, expr::BinOp::Eq, expr::BinOp::Ne,
+                        expr::BinOp::Lt, expr::BinOp::Le, expr::BinOp::Gt, expr::BinOp::Ge,
+                        expr::BinOp::Add, expr::BinOp::Sub, expr::BinOp::Mul, expr::BinOp::Div,
+                    ];
+                    expr::Expr::Bin(
+                        ops[(*s >> 7) as usize % ops.len()],
+                        Box::new(gen(s, depth - 1)),
+                        Box::new(gen(s, depth - 1)),
+                    )
+                }
+            }
+        }
+        let mut s = seed;
+        let e = gen(&mut s, depth);
+        let printed = e.print();
+        let back = expr::parse(&printed).unwrap();
+        prop_assert_eq!(back, e, "printed: {}", printed);
+    }
+}
+
+proptest! {
+    /// The XML parser never panics: arbitrary input yields Ok or a
+    /// positioned error, never a crash.
+    #[test]
+    fn xml_parser_never_panics(input in "\\PC{0,200}") {
+        let _ = xml::parse(&input);
+    }
+
+    /// Mutating a valid document (byte deletion) never panics either —
+    /// the classic truncation/corruption cases.
+    #[test]
+    fn xml_parser_survives_mutations(cut in 0usize..400) {
+        let valid = writer::to_string(&gridwfs_wpdl::builder::figure6(30.0, 150.0));
+        let bytes = valid.as_bytes();
+        if cut >= bytes.len() {
+            return Ok(());
+        }
+        let mut mutated = Vec::with_capacity(bytes.len() - 1);
+        mutated.extend_from_slice(&bytes[..cut]);
+        mutated.extend_from_slice(&bytes[cut + 1..]);
+        if let Ok(text) = std::str::from_utf8(&mutated) {
+            let _ = xml::parse(text);
+            let _ = parse::from_str(text);
+        }
+    }
+
+    /// The expression parser never panics on arbitrary input.
+    #[test]
+    fn expr_parser_never_panics(input in "\\PC{0,80}") {
+        let _ = expr::parse(&input);
+    }
+}

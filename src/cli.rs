@@ -1,0 +1,632 @@
+//! The `gridwfs` command-line tool.
+//!
+//! What a downstream user actually touches: validate a WPDL file, render
+//! it as Graphviz, or execute it on a configured simulated Grid —
+//! optionally with engine checkpointing and resume, exactly the §7
+//! deployment story.
+//!
+//! ```text
+//! gridwfs validate workflow.xml
+//! gridwfs dot      workflow.xml > wf.dot
+//! gridwfs run      workflow.xml --grid grid.json [--seed N]
+//!                  [--checkpoint state.xml] [--resume state.xml]
+//!                  [--timeline] [--verbose]
+//! ```
+//!
+//! The Grid configuration is a JSON inventory of hosts (speed, MTTF, mean
+//! downtime), an optional link model, and per-program behaviour profiles
+//! (checkpoint emission, software-crash MTTF, exception injection) — the
+//! knobs of [`grid_wfs::sim_executor`].
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use grid_wfs::checkpoint;
+use grid_wfs::engine::{Engine, EngineConfig, Report};
+use grid_wfs::sim_executor::{SimGrid, TaskProfile};
+use gridwfs_sim::dist::Dist;
+use gridwfs_sim::net::LinkModel;
+use gridwfs_sim::resource::ResourceSpec;
+use gridwfs_wpdl::validate::validate;
+use gridwfs_wpdl::{dot, parse};
+use serde::Deserialize;
+
+/// Errors surfaced to the CLI user (message-only; the binary prints them).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+// ------------------------------------------------------- grid config ---
+
+/// One host in the Grid config.
+#[derive(Debug, Clone, Deserialize)]
+pub struct HostConfig {
+    /// Hostname matched against WPDL `<Option hostname=..>`.
+    pub hostname: String,
+    /// Relative speed (default 1.0).
+    #[serde(default = "one")]
+    pub speed: f64,
+    /// Mean time to failure; omit for a failure-free host.
+    pub mttf: Option<f64>,
+    /// Mean downtime after a crash (default 0).
+    #[serde(default)]
+    pub downtime: f64,
+}
+
+/// Exception-injection profile for a program.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ExceptionConfig {
+    /// Exception name raised.
+    pub name: String,
+    /// Evenly spaced checks across the task.
+    pub checks: u32,
+    /// Per-check probability.
+    pub prob: f64,
+}
+
+/// Behaviour profile of one program's tasks.
+#[derive(Debug, Clone, Default, Deserialize)]
+pub struct ProfileConfig {
+    /// Emit a checkpoint every this many nominal time units.
+    pub checkpoint_period: Option<f64>,
+    /// Software-crash MTTF (exponential).
+    pub soft_crash_mttf: Option<f64>,
+    /// Exception injection.
+    pub exception: Option<ExceptionConfig>,
+}
+
+/// Notification link model.
+#[derive(Debug, Clone, Deserialize)]
+pub struct LinkConfig {
+    /// Constant delivery delay.
+    #[serde(default)]
+    pub delay: f64,
+    /// Per-message drop probability.
+    #[serde(default)]
+    pub drop_p: f64,
+}
+
+/// The full Grid configuration file.
+#[derive(Debug, Clone, Deserialize)]
+pub struct GridConfig {
+    /// RNG seed (overridable with `--seed`).
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Hosts available to the workflow.
+    pub hosts: Vec<HostConfig>,
+    /// Link model (default: perfect).
+    pub link: Option<LinkConfig>,
+    /// Per-program behaviour profiles, keyed by program name.
+    #[serde(default)]
+    pub profiles: std::collections::BTreeMap<String, ProfileConfig>,
+}
+
+fn one() -> f64 {
+    1.0
+}
+fn default_seed() -> u64 {
+    2003 // the paper's year; any fixed default keeps runs reproducible
+}
+
+impl GridConfig {
+    /// Parses a JSON Grid configuration.
+    pub fn from_json(text: &str) -> Result<GridConfig, CliError> {
+        serde_json::from_str(text).map_err(|e| CliError(format!("grid config: {e}")))
+    }
+
+    /// Instantiates the simulated Grid.
+    pub fn build(&self, seed_override: Option<u64>) -> Result<SimGrid, CliError> {
+        if self.hosts.is_empty() {
+            return err("grid config declares no hosts");
+        }
+        let mut grid = SimGrid::new(seed_override.unwrap_or(self.seed));
+        if let Some(link) = &self.link {
+            if !(0.0..=1.0).contains(&link.drop_p) {
+                return err(format!("link drop_p {} outside [0,1]", link.drop_p));
+            }
+            grid = grid.with_link(LinkModel::lossy(link.delay, link.drop_p));
+        }
+        for h in &self.hosts {
+            if h.speed <= 0.0 {
+                return err(format!("host {}: speed must be positive", h.hostname));
+            }
+            let spec = match h.mttf {
+                Some(mttf) if mttf > 0.0 => {
+                    ResourceSpec::unreliable(&h.hostname, mttf, h.downtime)
+                }
+                Some(bad) => return err(format!("host {}: mttf {bad} must be positive", h.hostname)),
+                None => ResourceSpec::reliable(&h.hostname),
+            }
+            .with_speed(h.speed);
+            grid.add_host(spec);
+        }
+        for (program, p) in &self.profiles {
+            let mut profile = TaskProfile::reliable();
+            if let Some(period) = p.checkpoint_period {
+                profile = profile.with_checkpoints(period);
+            }
+            if let Some(mttf) = p.soft_crash_mttf {
+                profile = profile.with_soft_crash(Dist::exponential_mean(mttf));
+            }
+            if let Some(e) = &p.exception {
+                profile = profile.with_exception(&e.name, e.checks, e.prob);
+            }
+            grid.set_profile(program, profile);
+        }
+        Ok(grid)
+    }
+}
+
+// --------------------------------------------------------- commands ---
+
+fn read(path: &Path) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError(format!("{}: {e}", path.display())))
+}
+
+/// `gridwfs validate <workflow.xml>`: parse + static validation; returns a
+/// human report, errors if the document is invalid.
+pub fn cmd_validate(workflow_path: &Path) -> Result<String, CliError> {
+    let workflow =
+        parse::from_str(&read(workflow_path)?).map_err(|e| CliError(e.to_string()))?;
+    let name = workflow.name.clone();
+    match validate(workflow) {
+        Ok(v) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "workflow '{name}' is valid");
+            let _ = writeln!(
+                out,
+                "  activities: {} ({} dummies)",
+                v.workflow().activities.len(),
+                v.workflow().activities.iter().filter(|a| a.is_dummy()).count()
+            );
+            let _ = writeln!(out, "  transitions: {}", v.workflow().transitions.len());
+            let _ = writeln!(out, "  execution order: {:?}", v.topological_order());
+            Ok(out)
+        }
+        Err(issues) => {
+            let mut msg = format!("workflow '{name}' has {} issue(s):\n", issues.len());
+            for i in &issues {
+                let _ = writeln!(msg, "  - {i}");
+            }
+            err(msg)
+        }
+    }
+}
+
+/// `gridwfs dot <workflow.xml>`: Graphviz DOT on stdout.
+pub fn cmd_dot(workflow_path: &Path) -> Result<String, CliError> {
+    let workflow =
+        parse::from_str(&read(workflow_path)?).map_err(|e| CliError(e.to_string()))?;
+    Ok(dot::to_dot(&workflow))
+}
+
+/// Options for `gridwfs run`.
+#[derive(Debug, Default)]
+pub struct RunOptions {
+    /// WPDL file to execute (ignored when resuming).
+    pub workflow: Option<PathBuf>,
+    /// Grid config JSON.
+    pub grid: Option<PathBuf>,
+    /// Seed override.
+    pub seed: Option<u64>,
+    /// Engine-checkpoint output path.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from a previously saved engine checkpoint.
+    pub resume: Option<PathBuf>,
+    /// Render the ASCII timeline.
+    pub timeline: bool,
+    /// Include the full engine log.
+    pub verbose: bool,
+    /// Reorder-buffer settle delay.
+    pub reorder_settle: Option<f64>,
+    /// Run the workflow this many times over consecutive seeds and report
+    /// success rate + makespan statistics (a mini Monte-Carlo evaluator).
+    pub repeat: Option<u32>,
+}
+
+/// `gridwfs run --repeat N`: Monte-Carlo over consecutive seeds.
+pub fn cmd_run_repeat(opts: &RunOptions, n: u32) -> Result<String, CliError> {
+    if n == 0 {
+        return err("--repeat requires at least 1 run");
+    }
+    let base_seed = opts.seed.unwrap_or(0);
+    let mut successes = 0u32;
+    let mut makespans: Vec<f64> = Vec::new();
+    for i in 0..n {
+        let mut one = RunOptions {
+            workflow: opts.workflow.clone(),
+            grid: opts.grid.clone(),
+            seed: Some(base_seed + i as u64),
+            ..RunOptions::default()
+        };
+        one.reorder_settle = opts.reorder_settle;
+        let (report, _) = cmd_run(&one)?;
+        if report.is_success() {
+            successes += 1;
+            makespans.push(report.makespan);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "runs:         {n} (seeds {base_seed}..{})", base_seed + n as u64 - 1);
+    let _ = writeln!(
+        out,
+        "success rate: {:.1}% ({successes}/{n})",
+        100.0 * successes as f64 / n as f64
+    );
+    if !makespans.is_empty() {
+        makespans.sort_by(f64::total_cmp);
+        let mean = makespans.iter().sum::<f64>() / makespans.len() as f64;
+        let _ = writeln!(
+            out,
+            "makespan (successful runs): mean {:.2}, min {:.2}, median {:.2}, max {:.2}",
+            mean,
+            makespans[0],
+            makespans[makespans.len() / 2],
+            makespans[makespans.len() - 1],
+        );
+    }
+    Ok(out)
+}
+
+/// `gridwfs run`: execute a workflow on the configured Grid.  Returns the
+/// rendered report; `Err` only for setup problems — an unsuccessful
+/// *workflow* is still an `Ok` report (the binary maps it to exit code 1).
+pub fn cmd_run(opts: &RunOptions) -> Result<(Report, String), CliError> {
+    let grid_path = opts
+        .grid
+        .as_ref()
+        .ok_or_else(|| CliError("run requires --grid <config.json>".into()))?;
+    let grid = GridConfig::from_json(&read(grid_path)?)?.build(opts.seed)?;
+
+    let engine = match (&opts.resume, &opts.workflow) {
+        (Some(resume), _) => {
+            let instance =
+                checkpoint::load(resume).map_err(|e| CliError(e.to_string()))?;
+            Engine::from_instance(instance, grid)
+        }
+        (None, Some(wf_path)) => {
+            let workflow =
+                parse::from_str(&read(wf_path)?).map_err(|e| CliError(e.to_string()))?;
+            let validated = validate(workflow).map_err(|issues| {
+                CliError(
+                    issues
+                        .iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                )
+            })?;
+            Engine::new(validated, grid)
+        }
+        (None, None) => return err("run requires a workflow file (or --resume)"),
+    };
+    let mut config = EngineConfig {
+        reorder_settle: opts.reorder_settle,
+        ..EngineConfig::default()
+    };
+    config.checkpoint_path = opts.checkpoint.clone();
+    let report = engine.with_config(config).run();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "outcome:  {:?}", report.outcome);
+    let _ = writeln!(out, "makespan: {:.3}", report.makespan);
+    let _ = writeln!(out, "final states:");
+    for (name, status) in &report.node_status {
+        let _ = writeln!(out, "  {name:<24} {status}");
+    }
+    if opts.timeline {
+        let _ = writeln!(out, "\n{}", report.timeline(72));
+    }
+    if opts.verbose {
+        let _ = writeln!(out, "engine log:");
+        for e in &report.log {
+            let _ = writeln!(out, "  [{:>10.3}] {:?}: {}", e.at, e.kind, e.message);
+        }
+    }
+    for e in &report.eval_errors {
+        let _ = writeln!(out, "warning: {e}");
+    }
+    Ok((report, out))
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+gridwfs — Grid-WFS workflow engine (HPDC'03 reproduction)
+
+USAGE:
+  gridwfs validate <workflow.xml>
+  gridwfs dot      <workflow.xml>
+  gridwfs run      <workflow.xml> --grid <grid.json> [options]
+  gridwfs run      --resume <state.xml> --grid <grid.json> [options]
+
+RUN OPTIONS:
+  --grid <file>        Grid configuration (JSON: hosts, link, profiles)
+  --seed <n>           override the config's RNG seed
+  --checkpoint <file>  save the engine checkpoint after every task event
+  --resume <file>      resume navigation from a saved checkpoint
+  --reorder <delay>    buffer notifications against transport reordering
+  --repeat <n>         Monte-Carlo over n consecutive seeds; print statistics
+  --timeline           render an ASCII Gantt of all attempts
+  --verbose            include the full engine log
+";
+
+/// Parses argv (without the program name) and executes.  Returns
+/// `(exit_code, output)`.
+pub fn main_with_args(args: &[String]) -> (i32, String) {
+    let mut it = args.iter();
+    let cmd = match it.next() {
+        Some(c) => c.as_str(),
+        None => return (2, USAGE.to_string()),
+    };
+    let result: Result<(i32, String), CliError> = match cmd {
+        "validate" => match it.next() {
+            Some(p) => cmd_validate(Path::new(p)).map(|s| (0, s)),
+            None => err("validate requires a workflow file"),
+        },
+        "dot" => match it.next() {
+            Some(p) => cmd_dot(Path::new(p)).map(|s| (0, s)),
+            None => err("dot requires a workflow file"),
+        },
+        "run" => (|| {
+            let mut opts = RunOptions::default();
+            let mut rest = it.clone().peekable();
+            while let Some(a) = rest.next() {
+                match a.as_str() {
+                    "--grid" => opts.grid = rest.next().map(PathBuf::from),
+                    "--seed" => {
+                        opts.seed = match rest.next().map(|v| v.parse()) {
+                            Some(Ok(n)) => Some(n),
+                            _ => return err("--seed requires an integer"),
+                        }
+                    }
+                    "--checkpoint" => opts.checkpoint = rest.next().map(PathBuf::from),
+                    "--resume" => opts.resume = rest.next().map(PathBuf::from),
+                    "--reorder" => {
+                        opts.reorder_settle = match rest.next().map(|v| v.parse()) {
+                            Some(Ok(d)) => Some(d),
+                            _ => return err("--reorder requires a number"),
+                        }
+                    }
+                    "--repeat" => {
+                        opts.repeat = match rest.next().map(|v| v.parse()) {
+                            Some(Ok(n)) => Some(n),
+                            _ => return err("--repeat requires an integer"),
+                        }
+                    }
+                    "--timeline" => opts.timeline = true,
+                    "--verbose" => opts.verbose = true,
+                    other if !other.starts_with("--") && opts.workflow.is_none() => {
+                        opts.workflow = Some(PathBuf::from(other))
+                    }
+                    other => return err(format!("unknown argument '{other}'\n\n{USAGE}")),
+                }
+            }
+            if let Some(n) = opts.repeat {
+                let out = cmd_run_repeat(&opts, n)?;
+                Ok((0, out))
+            } else {
+                let (report, out) = cmd_run(&opts)?;
+                Ok((if report.is_success() { 0 } else { 1 }, out))
+            }
+        })(),
+        "help" | "--help" | "-h" => Ok((0, USAGE.to_string())),
+        other => err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok((code, out)) => (code, out),
+        Err(e) => (2, format!("error: {e}\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gridwfs-cli-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    const WF: &str = r#"
+<Workflow name='cli-test'>
+  <Activity name='a' max_tries='3' interval='1'><Implement>p</Implement></Activity>
+  <Activity name='b'><Implement>p</Implement></Activity>
+  <Program name='p' duration='5'><Option hostname='h1'/><Option hostname='h2'/></Program>
+  <Transition from='a' to='b'/>
+</Workflow>"#;
+
+    const GRID: &str = r#"{
+  "seed": 7,
+  "hosts": [
+    {"hostname": "h1", "speed": 1.0},
+    {"hostname": "h2", "speed": 2.0, "mttf": 50.0, "downtime": 3.0}
+  ],
+  "profiles": {"p": {"checkpoint_period": 1.0}}
+}"#;
+
+    #[test]
+    fn validate_command_reports_structure() {
+        let dir = tmpdir();
+        let wf = dir.join("wf.xml");
+        std::fs::write(&wf, WF).unwrap();
+        let out = cmd_validate(&wf).unwrap();
+        assert!(out.contains("'cli-test' is valid"));
+        assert!(out.contains("activities: 2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_command_rejects_bad_workflows() {
+        let dir = tmpdir();
+        let wf = dir.join("bad.xml");
+        std::fs::write(&wf, "<Workflow><Activity name='a'><Implement>ghost</Implement></Activity></Workflow>").unwrap();
+        let e = cmd_validate(&wf).unwrap_err();
+        assert!(e.to_string().contains("ghost"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dot_command_emits_graphviz() {
+        let dir = tmpdir();
+        let wf = dir.join("wf.xml");
+        std::fs::write(&wf, WF).unwrap();
+        let out = cmd_dot(&wf).unwrap();
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("\"a\" -> \"b\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grid_config_builds() {
+        let cfg = GridConfig::from_json(GRID).unwrap();
+        assert_eq!(cfg.seed, 7);
+        let grid = cfg.build(None).unwrap();
+        assert!(grid.has_host("h1"));
+        assert!(grid.has_host("h2"));
+        assert!(!grid.has_host("h3"));
+    }
+
+    #[test]
+    fn grid_config_errors() {
+        assert!(GridConfig::from_json("{").is_err());
+        assert!(GridConfig::from_json(r#"{"hosts": []}"#)
+            .unwrap()
+            .build(None)
+            .is_err());
+        let bad_speed = r#"{"hosts": [{"hostname": "h", "speed": 0.0}]}"#;
+        assert!(GridConfig::from_json(bad_speed).unwrap().build(None).is_err());
+        let bad_drop = r#"{"hosts": [{"hostname": "h"}], "link": {"drop_p": 2.0}}"#;
+        assert!(GridConfig::from_json(bad_drop).unwrap().build(None).is_err());
+    }
+
+    #[test]
+    fn run_command_end_to_end() {
+        let dir = tmpdir();
+        let wf = dir.join("wf.xml");
+        let grid = dir.join("grid.json");
+        std::fs::write(&wf, WF).unwrap();
+        std::fs::write(&grid, GRID).unwrap();
+        let args: Vec<String> = [
+            "run",
+            wf.to_str().unwrap(),
+            "--grid",
+            grid.to_str().unwrap(),
+            "--timeline",
+            "--verbose",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (code, out) = main_with_args(&args);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("outcome:  Success"), "{out}");
+        assert!(out.contains("timeline"), "{out}");
+        assert!(out.contains("engine log"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_checkpoint_then_resume() {
+        let dir = tmpdir();
+        let wf = dir.join("wf.xml");
+        let grid_ok = dir.join("grid.json");
+        let grid_broken = dir.join("broken.json");
+        let state = dir.join("state.xml");
+        std::fs::write(&wf, WF).unwrap();
+        std::fs::write(&grid_ok, GRID).unwrap();
+        // A grid missing both hosts: every submission bounces, run fails.
+        std::fs::write(
+            &grid_broken,
+            r#"{"hosts": [{"hostname": "unrelated"}]}"#,
+        )
+        .unwrap();
+        let run = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            main_with_args(&v)
+        };
+        let (code, out) = run(&[
+            "run",
+            wf.to_str().unwrap(),
+            "--grid",
+            grid_broken.to_str().unwrap(),
+            "--checkpoint",
+            state.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 1, "workflow failure exit code: {out}");
+        assert!(state.exists(), "checkpoint written");
+        // Repair the state (operator resets failures) and resume on the
+        // healthy grid.
+        let text = std::fs::read_to_string(&state)
+            .unwrap()
+            .replace("status='failed'", "status='pending'")
+            .replace("status='skipped'", "status='pending'");
+        std::fs::write(&state, text).unwrap();
+        let (code, out) = run(&[
+            "run",
+            "--resume",
+            state.to_str().unwrap(),
+            "--grid",
+            grid_ok.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Success"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_repeat_reports_statistics() {
+        let dir = tmpdir();
+        let wf = dir.join("wf.xml");
+        let grid = dir.join("grid.json");
+        std::fs::write(&wf, WF).unwrap();
+        std::fs::write(&grid, GRID).unwrap();
+        let args: Vec<String> = [
+            "run",
+            wf.to_str().unwrap(),
+            "--grid",
+            grid.to_str().unwrap(),
+            "--repeat",
+            "5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (code, out) = main_with_args(&args);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("success rate"), "{out}");
+        assert!(out.contains("runs:         5"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cli_error_paths() {
+        let (code, out) = main_with_args(&[]);
+        assert_eq!(code, 2);
+        assert!(out.contains("USAGE"));
+        let (code, _) = main_with_args(&["frobnicate".into()]);
+        assert_eq!(code, 2);
+        let (code, out) = main_with_args(&["run".into(), "nope.xml".into()]);
+        assert_eq!(code, 2);
+        assert!(out.contains("--grid"), "{out}");
+        let (code, _) = main_with_args(&["validate".into()]);
+        assert_eq!(code, 2);
+        let (code, out) = main_with_args(&["help".into()]);
+        assert_eq!(code, 0);
+        assert!(out.contains("gridwfs"));
+    }
+}

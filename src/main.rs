@@ -1,0 +1,13 @@
+//! The `gridwfs` binary: validate, visualise, and run WPDL workflows.
+//! All logic lives in `gridwfs::cli` so it is unit-tested in the library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (code, output) = gridwfs::cli::main_with_args(&args);
+    if code == 0 {
+        print!("{output}");
+    } else {
+        eprint!("{output}");
+    }
+    std::process::exit(code);
+}

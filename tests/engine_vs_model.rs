@@ -1,0 +1,114 @@
+//! Cross-validation between the two halves of the reproduction: the
+//! *system* (engine + simulated Grid executing real WPDL workflows) and the
+//! *evaluation model* (the closed-form / Monte-Carlo samplers behind the
+//! paper's figures).  Where the models and the system describe the same
+//! scenario they must agree — this is the strongest internal consistency
+//! check the reproduction has.
+
+use gridwfs::core::{Engine, SimGrid, TaskProfile};
+use gridwfs::eval::exception_dag::{alternative_expected, DagParams};
+use gridwfs::eval::stats::OnlineStats;
+use gridwfs::sim::resource::ResourceSpec;
+use gridwfs::wpdl::builder::figure6;
+use gridwfs::wpdl::validate::validate;
+
+/// Engine on the real Figure 6 DAG vs the Figure 13 alternative-task
+/// expectation, across the p axis.
+#[test]
+fn engine_matches_fig13_alternative_task_model() {
+    for &p in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+        let runs = 300;
+        let mut stats = OnlineStats::new();
+        for i in 0..runs {
+            let mut grid = SimGrid::new(0xF1613 + i * 7919 + (p * 1e4) as u64);
+            grid.add_host(ResourceSpec::reliable("volunteer.example.org"));
+            grid.add_host(ResourceSpec::reliable("condor.example.org"));
+            grid.set_profile(
+                "fast_impl",
+                TaskProfile::reliable().with_exception("disk_full", 5, p),
+            );
+            let report = Engine::new(validate(figure6(30.0, 150.0)).unwrap(), grid).run();
+            assert!(report.is_success(), "the fig6 DAG always completes");
+            stats.push(report.makespan);
+        }
+        let model = alternative_expected(&DagParams::paper(p));
+        let e = stats.estimate();
+        // 5 standard errors, plus a tiny epsilon for the p=0/1 degenerate
+        // cases where stderr is 0 and times are exact.
+        let tolerance = 5.0 * e.stderr + 1e-9;
+        assert!(
+            (e.mean - model).abs() <= tolerance,
+            "p={p}: engine mean {} vs model {model} (stderr {})",
+            e.mean,
+            e.stderr
+        );
+    }
+}
+
+/// Engine retry-to-exhaustion time against the retry sampler's model:
+/// a single-activity workflow on a host with exponential failures, retried
+/// until success, must land on the Duda expectation.
+#[test]
+fn engine_retry_times_match_duda_model() {
+    use gridwfs::eval::analytic::retry_expected;
+    use gridwfs::eval::params::Params;
+    use gridwfs::wpdl::WorkflowBuilder;
+
+    let f = 10.0;
+    let mttf = 12.0;
+    let runs = 400;
+    let mut stats = OnlineStats::new();
+    for i in 0..runs {
+        let mut b = WorkflowBuilder::new("retry-model").program("p", f, &["h"]);
+        // Effectively unbounded retries; no pause between tries; heartbeat
+        // detection is instantaneous relative to the sim (interval 0 is
+        // disabled, so rely on the simulated host-crash silence + a very
+        // tight heartbeat).
+        b.activity("a", "p").retry(10_000, 0.0).heartbeat(0.01, 1.0);
+        let mut grid = SimGrid::new(0xD0DA + i);
+        grid.add_host(ResourceSpec::unreliable("h", mttf, 0.0));
+        let report = Engine::new(b.build().unwrap(), grid).run();
+        assert!(report.is_success());
+        stats.push(report.makespan);
+    }
+    let model = retry_expected(&Params {
+        f,
+        mttf,
+        downtime: 0.0,
+        c: 0.0,
+        r: 0.0,
+        k: 1,
+        n: 1,
+    });
+    let e = stats.estimate();
+    // The engine adds heartbeat-detection latency (~0.01 per failure), so
+    // allow the model plus a small detection overhead margin.
+    assert!(
+        e.mean >= model - 5.0 * e.stderr,
+        "engine cannot beat the model: {} vs {model}",
+        e.mean
+    );
+    assert!(
+        e.mean <= model * 1.10 + 5.0 * e.stderr,
+        "engine within detection overhead of the model: {} vs {model} (stderr {})",
+        e.mean,
+        e.stderr
+    );
+}
+
+/// Replication in the engine: with N reliable replicas of different
+/// speeds, the engine's makespan equals the min — the same "smallest
+/// completion time" semantics the eval sampler uses.
+#[test]
+fn engine_replication_equals_min_semantics() {
+    use gridwfs::wpdl::WorkflowBuilder;
+    let mut b = WorkflowBuilder::new("rep").program("p", 12.0, &["s1", "s2", "s3"]);
+    b.activity("a", "p").replicate();
+    let mut grid = SimGrid::new(3);
+    grid.add_host(ResourceSpec::reliable("s1").with_speed(1.0)); // 12.0
+    grid.add_host(ResourceSpec::reliable("s2").with_speed(3.0)); // 4.0
+    grid.add_host(ResourceSpec::reliable("s3").with_speed(2.0)); // 6.0
+    let report = Engine::new(b.build().unwrap(), grid).run();
+    assert!(report.is_success());
+    assert_eq!(report.makespan, 4.0, "min of {{12, 4, 6}}");
+}

@@ -1,0 +1,149 @@
+//! The §6 flexibility claims, tested across the whole stack: the same two
+//! task implementations restructured into the Figure 4 / 5 / 6 strategies,
+//! plus technique combination and incremental strategy change — all by
+//! editing workflow structure, never the "application".
+
+use gridwfs::core::{Engine, SimGrid, TaskProfile};
+use gridwfs::sim::dist::Dist;
+use gridwfs::sim::resource::ResourceSpec;
+use gridwfs::wpdl::builder::{figure4, figure5, figure6};
+use gridwfs::wpdl::validate::validate;
+use gridwfs::wpdl::{parse, writer};
+
+fn grid_with_crashing_fast(seed: u64) -> SimGrid {
+    let mut g = SimGrid::new(seed);
+    g.add_host(ResourceSpec::reliable("volunteer.example.org"));
+    g.add_host(ResourceSpec::reliable("condor.example.org"));
+    g.set_profile(
+        "fast_impl",
+        TaskProfile::reliable().with_soft_crash(Dist::constant(3.0)),
+    );
+    g
+}
+
+#[test]
+fn programs_are_identical_across_all_three_strategies() {
+    let (f4, f5, f6) = (figure4(30.0, 150.0), figure5(30.0, 150.0), figure6(30.0, 150.0));
+    assert_eq!(f4.program("fast_impl"), f5.program("fast_impl"));
+    assert_eq!(f5.program("fast_impl"), f6.program("fast_impl"));
+    assert_eq!(f4.program("slow_impl"), f5.program("slow_impl"));
+    assert_eq!(f5.program("slow_impl"), f6.program("slow_impl"));
+    // Strategies differ in structure only.
+    assert_ne!(f4.transitions, f5.transitions);
+    assert_ne!(f5.transitions, f6.transitions);
+}
+
+#[test]
+fn same_failure_three_strategies_three_behaviours() {
+    // Deterministic crash of the fast task at t=3.
+    let r4 = Engine::new(validate(figure4(30.0, 150.0)).unwrap(), grid_with_crashing_fast(1)).run();
+    let r5 = Engine::new(validate(figure5(30.0, 150.0)).unwrap(), grid_with_crashing_fast(2)).run();
+    let r6 = Engine::new(validate(figure6(30.0, 150.0)).unwrap(), grid_with_crashing_fast(3)).run();
+
+    // Figure 4: alternative task = serial fallback; failure cost visible.
+    assert!(r4.is_success());
+    assert_eq!(r4.makespan, 153.0);
+    // Figure 5: redundancy = parallel; failure fully hidden.
+    assert!(r5.is_success());
+    assert_eq!(r5.makespan, 150.0);
+    // Figure 6: the handler matches disk_full only; a *crash* is unhandled.
+    assert!(!r6.is_success(), "fig6 handles the exception, not crashes");
+}
+
+#[test]
+fn incremental_change_xml_edit_only() {
+    // "users can ... easily change them by simply modifying the
+    // encompassing workflow structure, while the application code remains
+    // intact."  Simulate the user's editor: take Figure 4's XML, change the
+    // alternative edge's trigger from failed to exception:disk_full and add
+    // the declaration — textual edits producing Figure 6's strategy.
+    let f4_xml = writer::to_string(&figure4(30.0, 150.0));
+    let edited = f4_xml
+        .replace(
+            "<Transition from='fast_task' to='slow_task' on='failed'/>",
+            "<Transition from='fast_task' to='slow_task' on='exception:disk_full'/>",
+        )
+        .replace(
+            "<Workflow name='figure4-alternative-task'>",
+            "<Workflow name='edited'>\n  <Exception name='disk_full' fatal='true'/>",
+        );
+    let edited_wf = parse::from_str(&edited).expect("edited XML parses");
+    let validated = validate(edited_wf).expect("edited workflow validates");
+
+    // Behaviour now matches Figure 6: exceptions handled, crashes not.
+    let mut g = SimGrid::new(4);
+    g.add_host(ResourceSpec::reliable("volunteer.example.org"));
+    g.add_host(ResourceSpec::reliable("condor.example.org"));
+    g.set_profile(
+        "fast_impl",
+        TaskProfile::reliable().with_exception("disk_full", 5, 1.0),
+    );
+    let report = Engine::new(validated, g).run();
+    assert!(report.is_success());
+    assert_eq!(report.status_of("slow_task"), Some("done"));
+}
+
+#[test]
+fn combining_task_level_with_workflow_level() {
+    // Figure 4 + per-replica retries on the fast task: the crash is masked
+    // at the task level when a healthy second option exists, so the
+    // workflow-level alternative is never needed.
+    let mut w = figure4(30.0, 150.0);
+    w.activities
+        .iter_mut()
+        .find(|a| a.name == "fast_task")
+        .unwrap()
+        .max_tries = 2;
+    w.programs
+        .iter_mut()
+        .find(|p| p.name == "fast_impl")
+        .unwrap()
+        .options
+        .push(gridwfs::wpdl::ProgramOption::host("backup.example.org"));
+
+    let mut g = SimGrid::new(5);
+    // The volunteer host crashes instantly; the backup is healthy.
+    g.add_host(ResourceSpec::unreliable("volunteer.example.org", 0.001, 1e9));
+    g.add_host(ResourceSpec::reliable("condor.example.org"));
+    g.add_host(ResourceSpec::reliable("backup.example.org"));
+    let report = Engine::new(validate(w).unwrap(), g).run();
+    assert!(report.is_success());
+    assert_eq!(report.status_of("fast_task"), Some("done"));
+    assert_eq!(
+        report.status_of("slow_task"),
+        Some("skipped"),
+        "workflow-level fallback never engaged"
+    );
+}
+
+#[test]
+fn replication_policy_is_one_attribute() {
+    // Figure 3's claim: "users can easily choose to use this technique
+    // simply by specifying the policy='replica'".  One textual attribute
+    // turns a retry strategy into a replication strategy.
+    let single = r#"
+<Workflow name='attr'>
+  <Activity name='summation'><Implement>sum</Implement></Activity>
+  <Program name='sum' duration='30'>
+    <Option hostname='h1'/><Option hostname='h2'/><Option hostname='h3'/>
+  </Program>
+</Workflow>"#;
+    let replicated = single.replace(
+        "<Activity name='summation'>",
+        "<Activity name='summation' policy='replica'>",
+    );
+
+    let run = |xml: &str, seed| {
+        let v = validate(parse::from_str(xml).unwrap()).unwrap();
+        let mut g = SimGrid::new(seed);
+        for h in ["h1", "h2", "h3"] {
+            g.add_host(ResourceSpec::reliable(h));
+        }
+        Engine::new(v, g).run()
+    };
+    let r1 = run(single, 1);
+    let r2 = run(&replicated, 1);
+    assert_eq!(r1.submissions_of("summation"), 1);
+    assert_eq!(r2.submissions_of("summation"), 3, "one attribute → replication");
+    assert!(r1.is_success() && r2.is_success());
+}

@@ -1,0 +1,179 @@
+//! Cross-crate property tests: the engine must terminate with a coherent
+//! report on *arbitrary* valid workflows over *arbitrary* simulated Grids,
+//! and engine checkpoints must round-trip mid-run state faithfully.
+
+use gridwfs::core::{checkpoint, Engine, Instance, NodeStatus, SimGrid, TaskProfile};
+use gridwfs::sim::dist::Dist;
+use gridwfs::sim::resource::ResourceSpec;
+use gridwfs::wpdl::ast::*;
+use gridwfs::wpdl::validate::validate;
+use proptest::prelude::*;
+
+/// Generates a random valid workflow over a fixed host pool, with random
+/// policies (retry counts, replication, OR-joins, failure edges).
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    (2usize..7, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        let mut w = Workflow::new("gen");
+        w.programs.push(
+            Program::new("p", 5.0 + (next() % 20) as f64, "h1")
+                .option("h2")
+                .option("h3"),
+        );
+        for i in 0..n {
+            let mut a = if next() % 4 == 0 {
+                Activity::dummy(format!("t{i}"))
+            } else {
+                Activity::new(format!("t{i}"), "p")
+            };
+            if !a.is_dummy() {
+                if next() % 3 == 0 {
+                    a.max_tries = 1 + (next() % 3) as u32;
+                    a.retry_interval = (next() % 3) as f64;
+                }
+                if next() % 4 == 0 {
+                    a.policy = Policy::Replica;
+                }
+                // Fast heartbeats so host-crash detection is quick.
+                a.heartbeat_interval = 0.5;
+            }
+            if next() % 2 == 0 {
+                a.join = JoinMode::Or;
+            }
+            w.activities.push(a);
+        }
+        // Forward edges only (acyclic); dedupe by (from,to,trigger).
+        let mut seen = std::collections::HashSet::new();
+        let edge_count = 1 + next() % (2 * n);
+        for _ in 0..edge_count {
+            let from = next() % (n - 1);
+            let to = from + 1 + next() % (n - from - 1);
+            let trigger = match next() % 4 {
+                0 => Trigger::Failed,
+                1 => Trigger::Always,
+                _ => Trigger::Done,
+            };
+            if seen.insert((from, to, trigger.clone())) {
+                w.transitions
+                    .push(Transition::new(format!("t{from}"), format!("t{to}")).on(trigger));
+            }
+        }
+        w
+    })
+}
+
+fn grid(seed: u64, crashy: bool) -> SimGrid {
+    let mut g = SimGrid::new(seed);
+    // One solid host, one flaky host, one very flaky host.
+    g.add_host(ResourceSpec::reliable("h1"));
+    g.add_host(ResourceSpec::unreliable("h2", 30.0, 2.0));
+    g.add_host(ResourceSpec::unreliable("h3", 8.0, 5.0));
+    if crashy {
+        g.set_profile(
+            "p",
+            TaskProfile::reliable().with_soft_crash(Dist::exponential_mean(15.0)),
+        );
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The engine always terminates, settles every node, and the outcome
+    /// agrees with the node states.
+    #[test]
+    fn engine_always_terminates_coherently(w in arb_workflow(), seed in any::<u64>(), crashy in any::<bool>()) {
+        let validated = validate(w).expect("generated workflows are valid");
+        let report = Engine::new(validated, grid(seed, crashy)).run();
+        // Every node settled.
+        for (_, status) in &report.node_status {
+            prop_assert!(status != "pending" && status != "running", "unsettled node: {status}");
+        }
+        // Outcome consistency: success iff some sink done and all sinks ok.
+        let success = report.is_success();
+        prop_assert!(report.makespan >= 0.0);
+        if success {
+            prop_assert!(report.node_status.iter().any(|(_, s)| s == "done"));
+        }
+    }
+
+    /// Determinism: identical seeds produce identical reports.
+    #[test]
+    fn engine_is_deterministic(w in arb_workflow(), seed in any::<u64>()) {
+        let v1 = validate(w.clone()).unwrap();
+        let v2 = validate(w).unwrap();
+        let r1 = Engine::new(v1, grid(seed, true)).run();
+        let r2 = Engine::new(v2, grid(seed, true)).run();
+        prop_assert_eq!(r1.outcome, r2.outcome);
+        prop_assert_eq!(r1.makespan, r2.makespan);
+        prop_assert_eq!(r1.node_status, r2.node_status);
+    }
+
+    /// Checkpoint round-trip of arbitrary mid-run states: statuses, runs,
+    /// and the ready frontier survive serialisation.
+    #[test]
+    fn checkpoint_roundtrips_arbitrary_progress(w in arb_workflow(), seed in any::<u64>()) {
+        let validated = validate(w).unwrap();
+        let mut inst = Instance::new(validated);
+        // Drive the instance through a pseudo-random partial execution.
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(99991);
+            (s >> 33) as usize
+        };
+        for _ in 0..next() % 6 {
+            let ready = inst.ready_nodes();
+            if ready.is_empty() {
+                break;
+            }
+            let pick = ready[next() % ready.len()].clone();
+            let status = match next() % 3 {
+                0 => NodeStatus::Done,
+                1 => NodeStatus::Failed,
+                _ => NodeStatus::Done,
+            };
+            inst.mark_running(&pick);
+            inst.settle(&pick, status);
+        }
+        let text = checkpoint::to_xml(&inst);
+        let back = checkpoint::from_xml(&text).expect("checkpoint parses");
+        // Statuses and run counters survive.
+        for (name, status) in inst.statuses() {
+            prop_assert_eq!(back.status(name), status, "status of {}", name);
+            prop_assert_eq!(back.runs(name), inst.runs(name));
+        }
+        // The ready frontier is reconstructed identically.
+        prop_assert_eq!(back.ready_nodes(), inst.ready_nodes());
+        // And the outcome assessment agrees once finished.
+        if inst.is_finished() {
+            prop_assert!(back.is_finished());
+            prop_assert_eq!(back.outcome(), inst.outcome());
+        }
+    }
+
+    /// Stronger restart property: finishing a run from a mid-run checkpoint
+    /// yields a coherent terminal state (the engine accepts any restored
+    /// frontier).
+    #[test]
+    fn restored_instances_run_to_completion(w in arb_workflow(), seed in any::<u64>()) {
+        let validated = validate(w).unwrap();
+        let mut inst = Instance::new(validated);
+        // Settle roughly half the frontier as Done.
+        for _ in 0..2 {
+            let ready = inst.ready_nodes();
+            if ready.is_empty() { break; }
+            inst.mark_running(&ready[0]);
+            inst.settle(&ready[0], NodeStatus::Done);
+        }
+        let back = checkpoint::from_xml(&checkpoint::to_xml(&inst)).unwrap();
+        let report = Engine::from_instance(back, grid(seed, false)).run();
+        for (_, status) in &report.node_status {
+            prop_assert!(status != "pending" && status != "running");
+        }
+    }
+}

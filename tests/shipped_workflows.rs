@@ -1,0 +1,130 @@
+//! The shipped `workflows/` directory must stay runnable: every document
+//! validates, every figure workflow executes to the documented outcome on
+//! the example Grid, and the CLI drives all of it.
+
+use gridwfs::cli::{cmd_dot, cmd_run, cmd_validate, GridConfig, RunOptions};
+use std::path::{Path, PathBuf};
+
+fn workflows_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("workflows")
+}
+
+fn all_xml() -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(workflows_dir())
+        .expect("workflows dir ships with the repo")
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().and_then(|e| e.to_str()) == Some("xml")).then_some(p)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn every_shipped_workflow_validates() {
+    let files = all_xml();
+    assert_eq!(files.len(), 6, "figure2-6 plus the pipeline");
+    for f in files {
+        let out = cmd_validate(&f).unwrap_or_else(|e| panic!("{}: {e}", f.display()));
+        assert!(out.contains("is valid"), "{}: {out}", f.display());
+    }
+}
+
+#[test]
+fn every_shipped_workflow_exports_dot() {
+    for f in all_xml() {
+        let dot = cmd_dot(&f).unwrap();
+        assert!(dot.starts_with("digraph"), "{}", f.display());
+    }
+}
+
+#[test]
+fn example_grid_config_parses_and_builds() {
+    let text = std::fs::read_to_string(workflows_dir().join("grid.example.json")).unwrap();
+    let cfg = GridConfig::from_json(&text).unwrap();
+    let grid = cfg.build(None).unwrap();
+    for host in ["bolas.isi.edu", "condor.example.org", "vol3.example.org"] {
+        assert!(grid.has_host(host), "missing {host}");
+    }
+}
+
+fn run_shipped(workflow: &str, seed: u64) -> gridwfs::core::Report {
+    let opts = RunOptions {
+        workflow: Some(workflows_dir().join(workflow)),
+        grid: Some(workflows_dir().join("grid.example.json")),
+        seed: Some(seed),
+        ..RunOptions::default()
+    };
+    cmd_run(&opts).expect("setup succeeds").0
+}
+
+#[test]
+fn figure2_retry_runs_on_the_example_grid() {
+    // bolas.isi.edu has MTTF 40 against a 30-unit task: most seeds need at
+    // least one run; the retry budget makes the workflow robust.
+    let successes = (0..10).filter(|&s| run_shipped("figure2_retry.xml", s).is_success()).count();
+    assert!(successes >= 6, "retry x3 succeeds usually, got {successes}/10");
+}
+
+#[test]
+fn figure3_replication_submits_three() {
+    let report = run_shipped("figure3_replica.xml", 1);
+    assert_eq!(report.submissions_of("summation"), 3);
+    assert!(report.is_success());
+}
+
+#[test]
+fn figure4_and_figure5_complete_despite_crashy_fast_host() {
+    // volunteer.example.org (MTTF 20) hosts a 30-unit fast task backed by
+    // a reliable slow alternative: both strategies must always complete
+    // when the fast task's failure mode is a *host* crash.
+    for wf in ["figure4_alternative.xml", "figure5_redundancy.xml"] {
+        for seed in 0..5 {
+            let report = run_shipped(wf, seed);
+            assert!(report.is_success(), "{wf} seed {seed}: {:?}", report.outcome);
+        }
+    }
+}
+
+#[test]
+fn figure6_handles_injected_disk_full() {
+    // The example grid subjects fast_impl to soft crashes AND host crashes
+    // (neither is disk_full), which figure 6 deliberately does NOT handle —
+    // most seeds fail, demonstrating the strategy's selectivity; the seeds
+    // where the fast task survives to completion succeed (seed 10 is one,
+    // verified by sweep; everything is seed-deterministic).
+    let outcomes: Vec<bool> = (0..20)
+        .map(|s| run_shipped("figure6_exception.xml", s).is_success())
+        .collect();
+    assert!(outcomes[10], "seed 10 completes");
+    assert!(!outcomes.iter().all(|&b| b), "crash seeds are unhandled by design");
+}
+
+#[test]
+fn pipeline_exercises_every_construct() {
+    // The pipeline must be able to succeed, and when it does the loop ran
+    // refine exactly 3 times and the cleanup stage always ran.
+    let mut succeeded = false;
+    for seed in 0..20 {
+        let report = run_shipped("pipeline.xml", seed);
+        // The always-edge means cleanup runs whenever render settled at all.
+        if let Some(render_status) = report.status_of("render") {
+            if render_status != "skipped" && render_status != "pending" {
+                assert_eq!(report.status_of("cleanup"), Some("done"), "seed {seed}");
+            }
+        }
+        if report.is_success() {
+            succeeded = true;
+            assert_eq!(report.submissions_of("refine"), 3, "do-while ran thrice");
+            // The solver path went through exactly one of the two solvers.
+            let fast = report.status_of("solve_fast").unwrap();
+            assert!(
+                fast == "done" || fast.starts_with("exception:out_of_memory"),
+                "seed {seed}: {fast}"
+            );
+            break;
+        }
+    }
+    assert!(succeeded, "no seed in 0..20 completed the pipeline");
+}
