@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridwfs_eval::exception_dag::{self, DagParams, Strategy};
+use gridwfs_eval::parallel::{self, McPlan};
 use gridwfs_eval::params::Params;
 use gridwfs_eval::stats::estimate;
 use gridwfs_eval::techniques::Technique;
@@ -64,10 +65,49 @@ fn bench_figure_point(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_parallel_estimate(c: &mut Criterion) {
+    // The chunked fan-out vs the plain serial accumulator, on the same
+    // Figure 10 data point.  `chunked/1thread` measures the overhead of
+    // chunking itself (should be ~free); `chunked/Nthread` is the speedup
+    // the figure binaries get from `--threads N`.
+    let mut g = c.benchmark_group("parallel_estimate");
+    g.sample_size(10);
+    let p = Params::paper_baseline(20.0);
+    let xs = [20.0];
+    let sample = |&_x: &f64, rng: &mut Rng| Technique::Checkpointing.sample(&p, rng);
+    g.bench_function("serial_baseline_100k", |b| {
+        let mut rng = Rng::seed_from_u64(46);
+        b.iter(|| {
+            black_box(estimate(100_000, || {
+                Technique::Checkpointing.sample(&p, &mut rng)
+            }))
+        });
+    });
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for threads in [1, 2, cores] {
+        g.bench_with_input(
+            BenchmarkId::new("chunked_100k", format!("{threads}threads")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    black_box(parallel::stats_grid(
+                        &xs,
+                        McPlan::threaded(100_000, threads),
+                        46,
+                        sample,
+                    ))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_technique_samplers,
     bench_exception_dag,
-    bench_figure_point
+    bench_figure_point,
+    bench_parallel_estimate
 );
 criterion_main!(benches);

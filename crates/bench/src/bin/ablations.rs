@@ -3,40 +3,46 @@
 //! failure models, and the §5.2 diverse-redundancy vs replication study.
 
 use gridwfs_eval::ablation;
+use gridwfs_eval::parallel::McPlan;
 use gridwfs_eval::params::Params;
 use gridwfs_eval::sweep::render_table;
 
 fn main() {
     let opts = gridwfs_bench::options();
+    let mut report = gridwfs_bench::Report::new("ablations", &opts);
     let runs = opts.runs.min(50_000); // ablation sweeps are dense; cap cost
+    let plan = McPlan::threaded(runs, opts.threads);
 
     println!("== Ablation 1: checkpoint interval (paper fixes K=20)");
     let base = Params::paper_baseline(10.0);
     let ks: Vec<u32> = (1..=40).collect();
-    let (series, best_k) = ablation::checkpoint_interval_sweep(base, &ks, runs, 0xA1);
-    print!("{}", render_table("K", &[series]));
+    let (series, best_k) = ablation::checkpoint_interval_sweep(base, &ks, plan, 0xA1);
+    print!("{}", render_table("K", std::slice::from_ref(&series)));
     println!(
         "simulated optimum K = {best_k}; Young's approximation K* = {:.1} (a* = sqrt(2C/lambda))\n",
         ablation::youngs_k(base.f, base.c, base.lambda())
     );
+    report.add_figure("ablation_checkpoint_interval", "K", &[series], 1);
 
     println!("== Ablation 2: replica count (paper fixes N=3)");
     let ns: Vec<u32> = (1..=8).collect();
-    let series = ablation::replica_sweep(Params::paper_baseline(15.0), &ns, runs, 0xA2);
+    let series = ablation::replica_sweep(Params::paper_baseline(15.0), &ns, plan, 0xA2);
     print!("{}", render_table("N", &series));
     println!();
+    report.add_figure("ablation_replica_count", "N", &series, 2);
 
     println!("== Ablation 3: Weibull failure model (paper assumes exponential)");
     let series = ablation::weibull_shape_sweep(
         30.0,
         &[0.7, 1.0, 1.5],
         &[10.0, 20.0, 30.0, 50.0, 100.0],
-        runs,
+        plan,
         0xA3,
     );
     print!("{}", render_table("MTTF", &series));
     println!("(k=1 is the exponential baseline; k<1 is the decreasing-hazard");
     println!(" behaviour Plank & Elwasif measured on real workstations)\n");
+    report.add_figure("ablation_weibull_shape", "MTTF", &series, 3);
 
     println!("== Ablation 4: Figure 5 redundancy vs Figure 3 replication");
     println!("   fast=30 (3 replicas, 3 tries each, p_env=0.3), slow=150;");
@@ -48,13 +54,13 @@ fn main() {
         n_replicas: 3,
         tries: 3,
     };
-    let points = ablation::redundancy_vs_replication(
-        &setup,
-        &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0],
-        runs,
-        0xA4,
-    );
-    print!("{}", ablation::render_redundancy_table(&points));
+    let points =
+        ablation::redundancy_vs_replication(&setup, &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0], plan, 0xA4);
+    let rendered = ablation::render_redundancy_table(&points);
+    print!("{rendered}");
     println!("\nreplication of one implementation cannot survive its common-mode");
     println!("failures; diverse redundancy always completes (at the slow rate).");
+    report.add_samples((2 * 6 * runs) as u64);
+    report.add_note("redundancy_vs_replication", &rendered);
+    report.save(&opts);
 }

@@ -2,6 +2,11 @@
 //! and prints an EXPERIMENTS.md-ready record.  Also runs the end-to-end
 //! cross-check: the engine executing the *actual Figure 6 WPDL workflow* on
 //! the simulated Grid must agree with the closed-form Figure 13 model.
+//!
+//! `--threads N` fans the Monte-Carlo sweeps out over N workers; the
+//! chunked-substream design makes the tables byte-identical for any N.
+//! `--json BENCH_eval.json` records the perf trajectory (wall time,
+//! samples/sec, per-figure point values).
 
 use grid_wfs::engine::Engine;
 use grid_wfs::sim_executor::{SimGrid, TaskProfile};
@@ -32,45 +37,58 @@ fn engine_cross_check(p: f64, runs: usize) -> (f64, f64) {
 
 fn main() {
     let opts = gridwfs_bench::options();
+    let plan = opts.plan();
+    let mut report = gridwfs_bench::Report::new("all_figures", &opts);
+    report.add_note(
+        "host_parallelism",
+        &std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .to_string(),
+    );
     println!("# Grid-WFS evaluation — all figures and tables");
-    println!("# runs per data point: {}\n", opts.runs);
+    println!(
+        "# runs per data point: {}, threads: {}\n",
+        opts.runs, opts.threads
+    );
 
-    let (a8, s8) = experiments::fig08(opts.runs, 0x08);
+    let (a8, s8) = experiments::fig08(plan, 0x08);
     gridwfs_bench::print_figure(
         "Figure 8",
         "Retry: analytical vs simulation",
         "F=30, D=0",
         "MTTF",
         &[a8.clone(), s8.clone()],
-        opts,
+        &opts,
     );
     println!(
         "  deviation: {:.4}\n",
         experiments::max_relative_deviation(&s8, &a8)
     );
+    report.add_figure("fig08", "MTTF", &[a8, s8], 1);
 
-    let (a9, s9) = experiments::fig09(opts.runs, 0x09);
+    let (a9, s9) = experiments::fig09(plan, 0x09);
     gridwfs_bench::print_figure(
         "Figure 9",
         "Checkpointing: analytical vs simulation",
         "F=30, K=20, C=R=0.5, D=0",
         "MTTF",
         &[a9.clone(), s9.clone()],
-        opts,
+        &opts,
     );
     println!(
         "  deviation: {:.4}\n",
         experiments::max_relative_deviation(&s9, &a9)
     );
+    report.add_figure("fig09", "MTTF", &[a9, s9], 1);
 
-    let f10 = experiments::fig10(opts.runs, 0x10);
+    let f10 = experiments::fig10(plan, 0x10);
     gridwfs_bench::print_figure(
         "Figure 10",
         "Techniques vs MTTF",
         "F=30, K=20, D=0, C=R=0.5, N=3",
         "MTTF",
         &f10,
-        opts,
+        &opts,
     );
     let rp = f10.iter().find(|s| s.label == "Replication").unwrap();
     let ck = f10.iter().find(|s| s.label == "Checkpointing").unwrap();
@@ -78,26 +96,28 @@ fn main() {
         "  replication first beats checkpointing at MTTF = {:?} (paper ~18)\n",
         rp.crossover_below(ck)
     );
+    report.add_figure("fig10", "MTTF", &f10, 4);
 
-    for (name, series) in experiments::fig11(opts.runs, 0x11) {
+    for (i, (name, series)) in experiments::fig11(plan, 0x11).into_iter().enumerate() {
         gridwfs_bench::print_figure(
             "Figure 11",
             &name,
             "F=30, K=20, C=R=0.5, N=3",
             "MTTF",
             &series,
-            opts,
+            &opts,
         );
+        report.add_figure(&format!("fig11_panel{i}"), "MTTF", &series, 4);
     }
 
-    let f12 = experiments::fig12(opts.runs, 0x12);
+    let f12 = experiments::fig12(plan, 0x12);
     gridwfs_bench::print_figure(
         "Figure 12",
         "Downtime = 10F, full view",
         "F=30, K=20, D=300, C=R=0.5, N=3",
         "MTTF",
         &f12,
-        opts,
+        &opts,
     );
     let rp12 = f12.iter().find(|s| s.label == "Replication").unwrap();
     let ck12 = f12.iter().find(|s| s.label == "Checkpointing").unwrap();
@@ -105,16 +125,18 @@ fn main() {
         "  replication takes over from checkpointing at MTTF = {:?} (paper ~12)\n",
         rp12.crossover_below(ck12)
     );
+    report.add_figure("fig12", "MTTF", &f12, 4);
 
-    let f13 = experiments::fig13(opts.runs, 0x13);
+    let f13 = experiments::fig13(plan, 0x13);
     gridwfs_bench::print_figure(
         "Figure 13",
         "Exception handling vs masking",
         "FU=30 (5 checks), SR=150, DJ=0",
         "p",
         &f13,
-        opts,
+        &opts,
     );
+    report.add_figure("fig13", "p", &f13, 1);
 
     println!("== Table 1: capability matrix");
     print!("{}", gridwfs_eval::capability::render_matrix());
@@ -128,5 +150,8 @@ fn main() {
             "  p={p}: engine makespan mean = {engine_mean:.2}, model = {model:.2} ({} runs)",
             engine_runs
         );
+        report.add_samples(engine_runs as u64);
     }
+
+    report.save(&opts);
 }

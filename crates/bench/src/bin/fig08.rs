@@ -2,18 +2,21 @@
 
 fn main() {
     let opts = gridwfs_bench::options();
-    let (analytic, sim) = gridwfs_eval::experiments::fig08(opts.runs, 0x08);
+    let mut report = gridwfs_bench::Report::new("fig08", &opts);
+    let (analytic, sim) = gridwfs_eval::experiments::fig08(opts.plan(), 0x08);
     gridwfs_bench::print_figure(
         "Figure 8",
         "Expected execution time using retry recovery strategy",
         "F=30, D=0, lambda=1/MTTF",
         "MTTF",
         &[analytic.clone(), sim.clone()],
-        opts,
+        &opts,
     );
     if !opts.csv {
         let dev = gridwfs_eval::experiments::max_relative_deviation(&sim, &analytic);
         println!("max relative deviation simulation vs analytic: {:.4}", dev);
         println!("(the paper's validation criterion: simulation == analytic)");
     }
+    report.add_figure("fig08", "MTTF", &[analytic, sim], 1);
+    report.save(&opts);
 }

@@ -3,17 +3,20 @@
 
 fn main() {
     let opts = gridwfs_bench::options();
-    let (analytic, sim) = gridwfs_eval::experiments::fig09(opts.runs, 0x09);
+    let mut report = gridwfs_bench::Report::new("fig09", &opts);
+    let (analytic, sim) = gridwfs_eval::experiments::fig09(opts.plan(), 0x09);
     gridwfs_bench::print_figure(
         "Figure 9",
         "Expected execution time using checkpointing recovery strategy",
         "F=30, K=20 (a=1.5), C=R=0.5, D=0",
         "MTTF",
         &[analytic.clone(), sim.clone()],
-        opts,
+        &opts,
     );
     if !opts.csv {
         let dev = gridwfs_eval::experiments::max_relative_deviation(&sim, &analytic);
         println!("max relative deviation simulation vs analytic: {:.4}", dev);
     }
+    report.add_figure("fig09", "MTTF", &[analytic, sim], 1);
+    report.save(&opts);
 }

@@ -3,14 +3,15 @@
 
 fn main() {
     let opts = gridwfs_bench::options();
-    let series = gridwfs_eval::experiments::fig10(opts.runs, 0x10);
+    let mut report = gridwfs_bench::Report::new("fig10", &opts);
+    let series = gridwfs_eval::experiments::fig10(opts.plan(), 0x10);
     gridwfs_bench::print_figure(
         "Figure 10",
         "Comparison between fault tolerance techniques as MTTF increases",
         "F=30, K=20, D=0, C=R=0.5, N=3",
         "MTTF",
         &series,
-        opts,
+        &opts,
     );
     if !opts.csv {
         let rp = series.iter().find(|s| s.label == "Replication").unwrap();
@@ -22,4 +23,6 @@ fn main() {
             None => println!("no crossover observed on this grid"),
         }
     }
+    report.add_figure("fig10", "MTTF", &series, 4);
+    report.save(&opts);
 }

@@ -3,15 +3,18 @@
 
 fn main() {
     let opts = gridwfs_bench::options();
-    let panels = gridwfs_eval::experiments::fig11(opts.runs, 0x11);
-    for (name, series) in panels {
+    let mut report = gridwfs_bench::Report::new("fig11", &opts);
+    let panels = gridwfs_eval::experiments::fig11(opts.plan(), 0x11);
+    for (i, (name, series)) in panels.into_iter().enumerate() {
         gridwfs_bench::print_figure(
             "Figure 11",
             &format!("Comparison as downtime increases — {name}"),
             "F=30, K=20, C=R=0.5, N=3 (Rt/Ck/Rp/RpCk legend as in the paper)",
             "MTTF",
             &series,
-            opts,
+            &opts,
         );
+        report.add_figure(&format!("fig11_panel{i}"), "MTTF", &series, 4);
     }
+    report.save(&opts);
 }

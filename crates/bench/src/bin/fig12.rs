@@ -3,14 +3,15 @@
 
 fn main() {
     let opts = gridwfs_bench::options();
-    let series = gridwfs_eval::experiments::fig12(opts.runs, 0x12);
+    let mut report = gridwfs_bench::Report::new("fig12", &opts);
+    let series = gridwfs_eval::experiments::fig12(opts.plan(), 0x12);
     gridwfs_bench::print_figure(
         "Figure 12",
         "Expected completion time, downtime = 10F (300)",
         "F=30, K=20, D=300, C=R=0.5, N=3",
         "MTTF",
         &series,
-        opts,
+        &opts,
     );
     if !opts.csv {
         let rp = series.iter().find(|s| s.label == "Replication").unwrap();
@@ -27,4 +28,6 @@ fn main() {
             None => println!("checkpointing never beats replication on this grid"),
         }
     }
+    report.add_figure("fig12", "MTTF", &series, 4);
+    report.save(&opts);
 }

@@ -3,17 +3,20 @@
 
 fn main() {
     let opts = gridwfs_bench::options();
-    let series = gridwfs_eval::experiments::fig13(opts.runs, 0x13);
+    let mut report = gridwfs_bench::Report::new("fig13", &opts);
+    let series = gridwfs_eval::experiments::fig13(opts.plan(), 0x13);
     gridwfs_bench::print_figure(
         "Figure 13",
         "Retrying vs checkpointing vs exception handling w/ alternative task",
         "FU=30 (5 checks, every 6), SR=150, DJ=0; Bernoulli(p) per check",
         "p",
         &series,
-        opts,
+        &opts,
     );
     if !opts.csv {
         println!("masking strategies diverge as p -> 1 (inf at p = 1);");
         println!("only exception handling terminates at p = 1 (expected 156).");
     }
+    report.add_figure("fig13", "p", &series, 1);
+    report.save(&opts);
 }

@@ -2,13 +2,22 @@
 //! parallel, and Grid systems — the related-work capability matrix.
 
 fn main() {
+    let opts = gridwfs_bench::options();
     let full = std::env::args().any(|a| a == "--full");
-    if full {
-        print!("{}", gridwfs_eval::capability::render_full());
+    let rendered = if full {
+        gridwfs_eval::capability::render_full()
     } else {
-        print!("{}", gridwfs_eval::capability::render_matrix());
+        gridwfs_eval::capability::render_matrix()
+    };
+    print!("{rendered}");
+    if !full {
         println!();
         println!("(--full prints every Table 1 column and the Grid-WFS policy");
         println!(" configuration expressing each system's single mechanism)");
+    }
+    if opts.json.is_some() {
+        let mut report = gridwfs_bench::Report::new("table1", &opts);
+        report.add_note("capability_matrix", &rendered);
+        report.save(&opts);
     }
 }

@@ -2,16 +2,21 @@
 //! the tails tell a sharper story.  Replication buys little mean at
 //! moderate failure rates but collapses the p99 — exactly why one would
 //! pay 3× the CPU.
+//!
+//! The per-cell sample streams come from `parallel::samples_grid`, so the
+//! quantiles are bit-identical for any `--threads` value.
 
+use gridwfs_eval::parallel;
 use gridwfs_eval::params::Params;
 use gridwfs_eval::stats::SampleSet;
+use gridwfs_eval::sweep::Series;
 use gridwfs_eval::techniques::Technique;
-use gridwfs_sim::rng::Rng;
 
 fn main() {
     let opts = gridwfs_bench::options();
+    let mut report = gridwfs_bench::Report::new("tails", &opts);
     println!("== completion-time tails (F=30, K=20, C=R=0.5, N=3, D=0)");
-    println!("   runs/cell: {}\n", opts.runs);
+    println!("   runs/cell: {}, threads: {}\n", opts.runs, opts.threads);
     for mttf in [10.0, 20.0, 50.0] {
         let p = Params::paper_baseline(mttf);
         println!("MTTF = {mttf}");
@@ -19,11 +24,16 @@ fn main() {
             "  {:<30} {:>9} {:>9} {:>9} {:>9} {:>10}",
             "technique", "mean", "p50", "p90", "p99", "max"
         );
-        for (i, t) in Technique::ALL.into_iter().enumerate() {
-            let mut rng = Rng::seed_from_u64(0x7A11 ^ ((mttf as u64) << 8) ^ i as u64);
+        let seed = 0x7A11 ^ ((mttf as u64) << 8);
+        let cells = parallel::samples_grid(&Technique::ALL, opts.plan(), seed, |t, rng| {
+            t.sample(&p, rng)
+        });
+        let mut quantile_series = Vec::new();
+        for (t, samples) in Technique::ALL.into_iter().zip(cells) {
+            report.add_samples(samples.len() as u64);
             let mut set = SampleSet::new();
-            for _ in 0..opts.runs {
-                set.push(t.sample(&p, &mut rng));
+            for x in samples {
+                set.push(x);
             }
             println!(
                 "  {:<30} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>10.2}",
@@ -34,7 +44,17 @@ fn main() {
                 set.quantile(0.99),
                 set.max(),
             );
+            quantile_series.push(Series {
+                label: t.label().into(),
+                points: vec![
+                    (0.5, set.quantile(0.5)),
+                    (0.9, set.quantile(0.9)),
+                    (0.99, set.quantile(0.99)),
+                ],
+            });
         }
+        report.add_figure(&format!("tails_mttf{mttf}"), "q", &quantile_series, 0);
         println!();
     }
+    report.save(&opts);
 }

@@ -60,7 +60,10 @@ impl std::fmt::Display for BrokerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BrokerError::UnknownProgram(p) => write!(f, "program '{p}' not in software catalog"),
-            BrokerError::NoEligibleResource { program, rejections } => write!(
+            BrokerError::NoEligibleResource {
+                program,
+                rejections,
+            } => write!(
                 f,
                 "no eligible resource for '{program}': {}",
                 rejections.join("; ")
@@ -82,7 +85,10 @@ pub struct Broker {
 impl Broker {
     /// Builds a broker from catalogs.
     pub fn new(software: SoftwareCatalog, resources: ResourceCatalog) -> Self {
-        Broker { software, resources }
+        Broker {
+            software,
+            resources,
+        }
     }
 
     /// Ranks every eligible placement of `program`, best first.  A host is
@@ -161,7 +167,10 @@ impl Broker {
         inputs: &[String],
         locality_boost: f64,
     ) -> Result<Vec<Candidate>, BrokerError> {
-        assert!(locality_boost >= 1.0, "a boost below 1 would punish locality");
+        assert!(
+            locality_boost >= 1.0,
+            "a boost below 1 would punish locality"
+        );
         let mut out = self.candidates(program, policy)?;
         for c in &mut out {
             let has_all = inputs.iter().all(|l| data.host_has(l, &c.hostname));
@@ -209,9 +218,21 @@ mod tests {
             Implementation::new("steady.example", "/b/", "bigjob").requires(500.0, 0.0),
         );
         let mut rc = ResourceCatalog::new();
-        rc.upsert(ResourceEntry::new("fast.example").speed(4.0).reliability(50.0, 50.0)); // avail 0.5
-        rc.upsert(ResourceEntry::new("steady.example").speed(1.0).reliability(900.0, 100.0)); // avail 0.9
-        rc.upsert(ResourceEntry::new("flaky.example").speed(2.0).reliability(10.0, 90.0)); // avail 0.1
+        rc.upsert(
+            ResourceEntry::new("fast.example")
+                .speed(4.0)
+                .reliability(50.0, 50.0),
+        ); // avail 0.5
+        rc.upsert(
+            ResourceEntry::new("steady.example")
+                .speed(1.0)
+                .reliability(900.0, 100.0),
+        ); // avail 0.9
+        rc.upsert(
+            ResourceEntry::new("flaky.example")
+                .speed(2.0)
+                .reliability(10.0, 90.0),
+        ); // avail 0.1
         rc.upsert(ResourceEntry::new("retired.example").status(ResourceStatus::Retired));
         // steady has only 100 disk.
         let steady = rc.get("steady.example").unwrap().clone().disk(100.0);
@@ -224,7 +245,10 @@ mod tests {
         let b = broker();
         let c = b.candidates("sum", BrokerPolicy::Reliability).unwrap();
         let hosts: Vec<&str> = c.iter().map(|c| c.hostname.as_str()).collect();
-        assert_eq!(hosts, vec!["steady.example", "fast.example", "flaky.example"]);
+        assert_eq!(
+            hosts,
+            vec!["steady.example", "fast.example", "flaky.example"]
+        );
     }
 
     #[test]
@@ -255,7 +279,9 @@ mod tests {
     #[test]
     fn disk_requirement_filters() {
         let b = broker();
-        let err = b.candidates("bigjob", BrokerPolicy::Reliability).unwrap_err();
+        let err = b
+            .candidates("bigjob", BrokerPolicy::Reliability)
+            .unwrap_err();
         match err {
             BrokerError::NoEligibleResource { rejections, .. } => {
                 assert!(rejections.iter().any(|r| r.contains("insufficient disk")));
@@ -290,7 +316,9 @@ mod tests {
     #[test]
     fn replicas_truncate_to_available() {
         let b = broker();
-        let reps = b.select_replicas("sum", BrokerPolicy::Reliability, 10).unwrap();
+        let reps = b
+            .select_replicas("sum", BrokerPolicy::Reliability, 10)
+            .unwrap();
         assert_eq!(reps.len(), 3, "only three eligible hosts exist");
     }
 

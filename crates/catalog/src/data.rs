@@ -56,7 +56,10 @@ impl DataCatalog {
 
     /// Registers a replica of a logical file.
     pub fn register(&mut self, logical: &str, replica: Replica) {
-        self.entries.entry(logical.to_string()).or_default().push(replica);
+        self.entries
+            .entry(logical.to_string())
+            .or_default()
+            .push(replica);
     }
 
     /// All replicas of a logical file.
@@ -71,7 +74,8 @@ impl DataCatalog {
 
     /// True if `hostname` holds a complete copy of `logical`.
     pub fn host_has(&self, logical: &str, hostname: &str) -> bool {
-        self.complete_replicas(logical).any(|r| r.hostname == hostname)
+        self.complete_replicas(logical)
+            .any(|r| r.hostname == hostname)
     }
 
     /// Removes every partial replica of `logical`, returning what was
@@ -115,9 +119,18 @@ mod tests {
 
     fn sample() -> DataCatalog {
         let mut c = DataCatalog::new();
-        c.register("vector.dat", Replica::new("bolas.isi.edu", "/data/vector.dat", 100.0));
-        c.register("vector.dat", Replica::new("vanuatu.isi.edu", "/tmp/vector.dat", 100.0).partial());
-        c.register("model.bin", Replica::new("jupiter.isi.edu", "/m/model.bin", 5000.0));
+        c.register(
+            "vector.dat",
+            Replica::new("bolas.isi.edu", "/data/vector.dat", 100.0),
+        );
+        c.register(
+            "vector.dat",
+            Replica::new("vanuatu.isi.edu", "/tmp/vector.dat", 100.0).partial(),
+        );
+        c.register(
+            "model.bin",
+            Replica::new("jupiter.isi.edu", "/m/model.bin", 5000.0),
+        );
         c
     }
 

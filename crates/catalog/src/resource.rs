@@ -169,8 +169,16 @@ mod tests {
 
     fn sample() -> ResourceCatalog {
         let mut c = ResourceCatalog::new();
-        c.upsert(ResourceEntry::new("condor.example").speed(1.0).reliability(500.0, 5.0));
-        c.upsert(ResourceEntry::new("desktop.example").speed(2.0).reliability(20.0, 30.0));
+        c.upsert(
+            ResourceEntry::new("condor.example")
+                .speed(1.0)
+                .reliability(500.0, 5.0),
+        );
+        c.upsert(
+            ResourceEntry::new("desktop.example")
+                .speed(2.0)
+                .reliability(20.0, 30.0),
+        );
         c.upsert(
             ResourceEntry::new("old.example")
                 .status(ResourceStatus::Retired)
@@ -185,7 +193,11 @@ mod tests {
         assert_eq!(c.len(), 3);
         assert_eq!(c.get("condor.example").unwrap().speed, 1.0);
         c.upsert(ResourceEntry::new("condor.example").speed(3.0));
-        assert_eq!(c.get("condor.example").unwrap().speed, 3.0, "upsert replaces");
+        assert_eq!(
+            c.get("condor.example").unwrap().speed,
+            3.0,
+            "upsert replaces"
+        );
         assert!(c.remove("condor.example").is_some());
         assert!(c.get("condor.example").is_none());
         assert!(c.remove("condor.example").is_none());

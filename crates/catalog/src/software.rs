@@ -98,7 +98,11 @@ impl SoftwareCatalog {
     }
 
     /// Implementations of `name` installed on `hostname`.
-    pub fn on_host<'a>(&'a self, name: &str, hostname: &'a str) -> impl Iterator<Item = &'a Implementation> {
+    pub fn on_host<'a>(
+        &'a self,
+        name: &str,
+        hostname: &'a str,
+    ) -> impl Iterator<Item = &'a Implementation> {
         self.entries
             .get(name)
             .map(|e| e.implementations.as_slice())
@@ -112,7 +116,12 @@ impl SoftwareCatalog {
         let mut hosts: Vec<&str> = self
             .entries
             .get(name)
-            .map(|e| e.implementations.iter().map(|i| i.hostname.as_str()).collect())
+            .map(|e| {
+                e.implementations
+                    .iter()
+                    .map(|i| i.hostname.as_str())
+                    .collect()
+            })
             .unwrap_or_default();
         hosts.sort_unstable();
         hosts.dedup();
@@ -146,8 +155,14 @@ mod tests {
 
     fn sample() -> SoftwareCatalog {
         let mut c = SoftwareCatalog::new();
-        c.add_implementation("sum", Implementation::new("bolas.isi.edu", "/XML/EXAMPLE/", "sum"));
-        c.add_implementation("sum", Implementation::new("vanuatu.isi.edu", "/opt/", "sum"));
+        c.add_implementation(
+            "sum",
+            Implementation::new("bolas.isi.edu", "/XML/EXAMPLE/", "sum"),
+        );
+        c.add_implementation(
+            "sum",
+            Implementation::new("vanuatu.isi.edu", "/opt/", "sum"),
+        );
         c.add_implementation(
             "solver",
             Implementation::new("big.example", "/bin/", "solver-fast").requires(0.0, 64.0),
@@ -171,7 +186,10 @@ mod tests {
     fn hosts_with_sorted_dedup() {
         let mut c = sample();
         c.add_implementation("sum", Implementation::new("bolas.isi.edu", "/alt/", "sum2"));
-        assert_eq!(c.hosts_with("sum"), vec!["bolas.isi.edu", "vanuatu.isi.edu"]);
+        assert_eq!(
+            c.hosts_with("sum"),
+            vec!["bolas.isi.edu", "vanuatu.isi.edu"]
+        );
         assert!(c.hosts_with("ghost").is_empty());
     }
 

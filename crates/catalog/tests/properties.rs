@@ -20,7 +20,10 @@ fn arb_resource_entry() -> impl Strategy<Value = ResourceEntry> {
         ],
     )
         .prop_map(|(host, speed, mttf, down, disk, status)| {
-            let mut e = ResourceEntry::new(host).speed(speed).disk(disk).status(status);
+            let mut e = ResourceEntry::new(host)
+                .speed(speed)
+                .disk(disk)
+                .status(status);
             if let Some(m) = mttf {
                 e = e.reliability(m, down);
             }

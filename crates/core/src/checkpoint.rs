@@ -124,8 +124,8 @@ pub fn from_xml(text: &str) -> Result<Instance, CheckpointError> {
     let wf_el = root
         .first_child("Workflow")
         .ok_or_else(|| CheckpointError::Format("missing <Workflow>".into()))?;
-    let workflow = wpdl_parse::from_element(wf_el)
-        .map_err(|e| CheckpointError::Format(e.to_string()))?;
+    let workflow =
+        wpdl_parse::from_element(wf_el).map_err(|e| CheckpointError::Format(e.to_string()))?;
     let validated = validate(workflow).map_err(|issues| {
         CheckpointError::Format(format!(
             "embedded workflow invalid: {}",
@@ -302,7 +302,10 @@ mod tests {
              <Runtime><Node name='ghost' status='done'/></Runtime></EngineCheckpoint>",
         )
         .unwrap_err();
-        assert!(err.to_string().contains("unknown activity 'ghost'"), "{err}");
+        assert!(
+            err.to_string().contains("unknown activity 'ghost'"),
+            "{err}"
+        );
         let err = from_xml(
             "<EngineCheckpoint><Workflow><Activity name='a'/></Workflow>\
              <Runtime><Node name='a' status='levitating'/></Runtime></EngineCheckpoint>",

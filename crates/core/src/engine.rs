@@ -23,9 +23,9 @@ use std::collections::{BinaryHeap, HashMap};
 use std::path::PathBuf;
 
 use gridwfs_detect::detector::{CrashReason, Detection, Detector};
-use gridwfs_detect::transport::ReorderBuffer;
 use gridwfs_detect::exception::{ExceptionDef, ExceptionRegistry, Severity};
 use gridwfs_detect::notify::TaskId;
+use gridwfs_detect::transport::ReorderBuffer;
 use gridwfs_wpdl::ast::Policy;
 use gridwfs_wpdl::validate::Validated;
 
@@ -370,11 +370,7 @@ impl<X: Executor> Engine<X> {
                         ckpt_flag: None,
                     })
                     .collect(),
-                loop_iterations: self
-                    .nodes
-                    .get(name)
-                    .map(|n| n.loop_iterations)
-                    .unwrap_or(0),
+                loop_iterations: self.nodes.get(name).map(|n| n.loop_iterations).unwrap_or(0),
             },
         );
         self.instance.mark_running(name);
@@ -525,20 +521,12 @@ impl<X: Executor> Engine<X> {
                 .iter()
                 .filter(|a| self.instance.status(&a.name) == &NodeStatus::Running)
                 .find(|a| {
-                    let mut outgoing = self
-                        .instance
-                        .workflow()
-                        .outgoing(&a.name)
-                        .peekable();
+                    let mut outgoing = self.instance.workflow().outgoing(&a.name).peekable();
                     if outgoing.peek().is_none() {
                         return false; // sinks always matter
                     }
                     outgoing.all(|t| {
-                        let target = self
-                            .instance
-                            .workflow()
-                            .activity(&t.to)
-                            .expect("validated");
+                        let target = self.instance.workflow().activity(&t.to).expect("validated");
                         let target_status = self.instance.status(&t.to);
                         // The edge is pointless if its target already fired
                         // past Pending (an OR-join that went ready/settled
@@ -651,7 +639,9 @@ impl<X: Executor> Engine<X> {
                 self.close_span(&name, task, SpanOutcome::Crashed);
                 self.recover_or_fail(&name, slot, NodeStatus::Failed);
             }
-            Detection::ExceptionRaised { name: exc, known, .. } => {
+            Detection::ExceptionRaised {
+                name: exc, known, ..
+            } => {
                 self.log(
                     LogKind::Detect,
                     format!(
@@ -712,12 +702,7 @@ impl<X: Executor> Engine<X> {
     /// Fires all timers due at or before `now`.  Returns how many fired.
     fn fire_timers(&mut self, now: f64) -> usize {
         let mut fired = 0;
-        while self
-            .timers
-            .peek()
-            .map(|t| t.key.0 <= now)
-            .unwrap_or(false)
-        {
+        while self.timers.peek().map(|t| t.key.0 <= now).unwrap_or(false) {
             let t = self.timers.pop().expect("peeked");
             // The node may have settled since the retry was scheduled
             // (e.g. a sibling replica won): skip stale timers.
@@ -838,15 +823,25 @@ mod tests {
             });
         }
         let order: Vec<String> = std::iter::from_fn(|| heap.pop().map(|t| t.activity)).collect();
-        assert_eq!(order, vec!["a1", "a3", "a0", "a2"], "time asc, FIFO at ties");
+        assert_eq!(
+            order,
+            vec!["a1", "a3", "a0", "a2"],
+            "time asc, FIFO at ties"
+        );
     }
 
     #[test]
     fn config_defaults_match_paper_behaviour() {
         let c = EngineConfig::default();
         assert!(c.checkpoint_path.is_none());
-        assert!(c.reorder_settle.is_none(), "prototype delivered immediately");
-        assert!(!c.cancel_redundant, "prototype let redundant branches finish");
+        assert!(
+            c.reorder_settle.is_none(),
+            "prototype delivered immediately"
+        );
+        assert!(
+            !c.cancel_redundant,
+            "prototype let redundant branches finish"
+        );
         assert!(c.max_loop_iterations >= 1000);
     }
 
@@ -858,8 +853,16 @@ mod tests {
             makespan: 10.0,
             node_status: vec![("a".into(), "done".into())],
             log: vec![
-                LogEntry { at: 0.0, kind: LogKind::Submit, message: "a slot=0".into() },
-                LogEntry { at: 1.0, kind: LogKind::Submit, message: "ab slot=0".into() },
+                LogEntry {
+                    at: 0.0,
+                    kind: LogKind::Submit,
+                    message: "a slot=0".into(),
+                },
+                LogEntry {
+                    at: 1.0,
+                    kind: LogKind::Submit,
+                    message: "ab slot=0".into(),
+                },
             ],
             spans: vec![crate::timeline::Span {
                 activity: "a".into(),
@@ -874,10 +877,13 @@ mod tests {
         assert!(report.is_success());
         assert_eq!(report.status_of("a"), Some("done"));
         assert_eq!(report.status_of("zz"), None);
-        assert_eq!(report.submissions_of("a"), 1, "prefix match must not catch 'ab'");
+        assert_eq!(
+            report.submissions_of("a"),
+            1,
+            "prefix match must not catch 'ab'"
+        );
         assert_eq!(report.submissions_of("ab"), 1);
         assert_eq!(report.cancellations(), 0);
         assert_eq!(report.host_utilization(), vec![("h".to_string(), 10.0)]);
     }
 }
-

@@ -252,9 +252,7 @@ impl Instance {
     pub fn ready_nodes(&self) -> Vec<String> {
         self.topo
             .iter()
-            .filter(|n| {
-                self.status[n.as_str()] == NodeStatus::Pending && self.join_satisfied(n)
-            })
+            .filter(|n| self.status[n.as_str()] == NodeStatus::Pending && self.join_satisfied(n))
             .cloned()
             .collect()
     }
@@ -265,7 +263,11 @@ impl Instance {
     /// Panics unless the activity is `Pending`.
     pub fn mark_running(&mut self, name: &str) {
         let s = self.status.get_mut(name).expect("known activity");
-        assert_eq!(*s, NodeStatus::Pending, "mark_running on non-pending '{name}'");
+        assert_eq!(
+            *s,
+            NodeStatus::Pending,
+            "mark_running on non-pending '{name}'"
+        );
         *s = NodeStatus::Running;
     }
 
@@ -342,7 +344,11 @@ impl Instance {
             } else {
                 true
             };
-            self.edges[i] = if fired { EdgeState::Fired } else { EdgeState::Dead };
+            self.edges[i] = if fired {
+                EdgeState::Fired
+            } else {
+                EdgeState::Dead
+            };
         }
         // Cascade skips until a fixpoint (one pass per wave is enough
         // because we re-scan from the start after each settle).
@@ -351,9 +357,7 @@ impl Instance {
             let next: Option<String> = self
                 .topo
                 .iter()
-                .find(|n| {
-                    self.status[n.as_str()] == NodeStatus::Pending && self.join_impossible(n)
-                })
+                .find(|n| self.status[n.as_str()] == NodeStatus::Pending && self.join_impossible(n))
                 .cloned();
             match next {
                 Some(n) => {
@@ -384,12 +388,9 @@ impl Instance {
         let any_done = sinks
             .iter()
             .any(|a| self.status[&a.name] == NodeStatus::Done);
-        let all_ok = sinks.iter().all(|a| {
-            matches!(
-                self.status[&a.name],
-                NodeStatus::Done | NodeStatus::Skipped
-            )
-        });
+        let all_ok = sinks
+            .iter()
+            .all(|a| matches!(self.status[&a.name], NodeStatus::Done | NodeStatus::Skipped));
         if any_done && all_ok {
             Outcome::Success
         } else {
@@ -480,7 +481,11 @@ impl Instance {
             } else {
                 true
             };
-            self.edges[i] = if fired { EdgeState::Fired } else { EdgeState::Dead };
+            self.edges[i] = if fired {
+                EdgeState::Fired
+            } else {
+                EdgeState::Dead
+            };
         }
     }
 }
@@ -571,7 +576,10 @@ mod tests {
         let mut inst = fig4();
         inst.mark_running("fast_task");
         let (_, skipped) = inst.settle("fast_task", NodeStatus::Failed);
-        assert!(skipped.is_empty(), "nothing skipped: alternative takes over");
+        assert!(
+            skipped.is_empty(),
+            "nothing skipped: alternative takes over"
+        );
         assert_eq!(inst.ready_nodes(), vec!["slow_task"]);
         inst.mark_running("slow_task");
         inst.settle("slow_task", NodeStatus::Done);
@@ -592,7 +600,10 @@ mod tests {
         assert!(inst.is_finished());
         match inst.outcome() {
             Outcome::Failure { unhandled } => {
-                assert_eq!(unhandled, vec![("slow_task".to_string(), "failed".to_string())]);
+                assert_eq!(
+                    unhandled,
+                    vec![("slow_task".to_string(), "failed".to_string())]
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -667,12 +678,10 @@ mod tests {
         b.activity("a", "p");
         b.activity("b", "p");
         b.dummy("j");
-        let w = b
-            .edge("a", "j")
-            .edge("b", "j")
-            .build_unchecked();
+        let w = b.edge("a", "j").edge("b", "j").build_unchecked();
         let mut w2 = w;
-        w2.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        w2.programs
+            .push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
         let mut inst = instance(w2);
         inst.mark_running("a");
         inst.mark_running("b");
@@ -689,7 +698,8 @@ mod tests {
         b.activity("b", "p");
         b.dummy("j");
         let mut w = b.edge("a", "j").edge("b", "j").build_unchecked();
-        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        w.programs
+            .push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
         let mut inst = instance(w);
         inst.mark_running("a");
         inst.mark_running("b");
@@ -709,7 +719,8 @@ mod tests {
             .edge_if("a", "yes", "$big")
             .edge_if("a", "no", "!$big")
             .build_unchecked();
-        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        w.programs
+            .push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
         let mut inst = instance(w);
         inst.mark_running("a");
         let (_, skipped) = inst.settle("a", NodeStatus::Done);
@@ -723,7 +734,8 @@ mod tests {
         b.activity("a", "p");
         b.activity("b", "p");
         let mut w = b.edge_if("a", "b", "$undefined_var").build_unchecked();
-        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        w.programs
+            .push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
         let mut inst = instance(w);
         inst.mark_running("a");
         let (_, skipped) = inst.settle("a", NodeStatus::Done);
@@ -741,7 +753,8 @@ mod tests {
             .edge("a", "b")
             .do_while("a", "runs('a') < 3")
             .build_unchecked();
-        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        w.programs
+            .push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
         let mut inst = instance(w);
         for expected_runs in 1..=2 {
             inst.mark_running("a");
@@ -762,7 +775,8 @@ mod tests {
         let mut b = WorkflowBuilder::new("loop");
         b.activity("a", "p");
         let mut w = b.do_while("a", "true").build_unchecked();
-        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        w.programs
+            .push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
         let mut inst = instance(w);
         inst.mark_running("a");
         let (r, _) = inst.settle("a", NodeStatus::Failed);
@@ -781,7 +795,8 @@ mod tests {
             b.activity("a", "p");
             b.activity("cleanup", "p");
             let mut w = b.always("a", "cleanup").build_unchecked();
-            w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+            w.programs
+                .push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
             let mut inst = instance(w);
             inst.mark_running("a");
             inst.settle("a", terminal.clone());
@@ -799,8 +814,13 @@ mod tests {
         for n in ["a", "b", "c", "d"] {
             b.activity(n, "p");
         }
-        let mut w = b.edge("a", "b").edge("b", "c").edge("c", "d").build_unchecked();
-        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        let mut w = b
+            .edge("a", "b")
+            .edge("b", "c")
+            .edge("c", "d")
+            .build_unchecked();
+        w.programs
+            .push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
         let mut inst = instance(w);
         inst.mark_running("a");
         let (_, skipped) = inst.settle("a", NodeStatus::Failed);
@@ -818,7 +838,8 @@ mod tests {
             .edge("a", "b")
             .edge_if("b", "c", "status('a') == 'done'")
             .build_unchecked();
-        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        w.programs
+            .push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
         let mut inst = instance(w);
         inst.mark_running("a");
         inst.settle("a", NodeStatus::Done);
@@ -859,7 +880,8 @@ mod tests {
         let mut b = WorkflowBuilder::new("w");
         b.activity("only", "p");
         let mut w = b.build_unchecked();
-        w.programs.push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
+        w.programs
+            .push(gridwfs_wpdl::ast::Program::new("p", 1.0, "h"));
         let mut inst = instance(w);
         inst.mark_running("only");
         inst.settle("only", NodeStatus::Failed);

@@ -48,8 +48,8 @@ pub mod engine;
 pub mod executor;
 pub mod instance;
 pub mod sim_executor;
-pub mod timeline;
 pub mod thread_executor;
+pub mod timeline;
 
 pub use engine::{Engine, EngineConfig, LogEntry, LogKind, Report};
 pub use executor::{Executor, SubmitRequest};

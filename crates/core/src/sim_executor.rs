@@ -158,9 +158,7 @@ impl SimGrid {
             Delivery::Dropped => {}
             Delivery::After(delay) => {
                 let env = Envelope::new(task, host, send_at, body);
-                let id = self
-                    .sim
-                    .schedule_at(SimTime::new(send_at + delay), env);
+                let id = self.sim.schedule_at(SimTime::new(send_at + delay), env);
                 self.pending.entry(task).or_default().push(id);
             }
         }
@@ -219,11 +217,7 @@ impl Executor for SimGrid {
         };
 
         // Application behaviour.
-        let profile = self
-            .profiles
-            .get(&req.program)
-            .cloned()
-            .unwrap_or_default();
+        let profile = self.profiles.get(&req.program).cloned().unwrap_or_default();
         let soft_crash = profile
             .soft_crash
             .as_ref()
@@ -408,7 +402,10 @@ mod tests {
         assert!(matches!(bodies.first(), Some(N::TaskStart)));
         assert!(matches!(bodies[bodies.len() - 2], N::TaskEnd));
         assert!(matches!(bodies[bodies.len() - 1], N::Done));
-        let heartbeats = bodies.iter().filter(|b| matches!(b, N::Heartbeat { .. })).count();
+        let heartbeats = bodies
+            .iter()
+            .filter(|b| matches!(b, N::Heartbeat { .. }))
+            .count();
         assert_eq!(heartbeats, 4, "hb at 1,2,3,4 (5.0 is the end)");
         let (t_end, _) = events.last().unwrap();
         assert_eq!(*t_end, 5.0);
@@ -439,7 +436,9 @@ mod tests {
         g.submit(req(1, "bad.host", 1000.0));
         let events = drain(&mut g);
         assert!(
-            !events.iter().any(|(_, e)| matches!(e.body, N::Done | N::TaskEnd)),
+            !events
+                .iter()
+                .any(|(_, e)| matches!(e.body, N::Done | N::TaskEnd)),
             "host crash produces neither TaskEnd nor Done"
         );
         assert!(
@@ -466,7 +465,10 @@ mod tests {
     #[test]
     fn exception_profile_raises_at_check_point() {
         let mut g = grid();
-        g.set_profile("p", TaskProfile::reliable().with_exception("disk_full", 5, 1.0));
+        g.set_profile(
+            "p",
+            TaskProfile::reliable().with_exception("disk_full", 5, 1.0),
+        );
         g.submit(req(1, "good.host", 30.0));
         let events = drain(&mut g);
         let exc = events
@@ -485,10 +487,15 @@ mod tests {
     #[test]
     fn zero_prob_exception_never_raises() {
         let mut g = grid();
-        g.set_profile("p", TaskProfile::reliable().with_exception("disk_full", 5, 0.0));
+        g.set_profile(
+            "p",
+            TaskProfile::reliable().with_exception("disk_full", 5, 0.0),
+        );
         g.submit(req(1, "good.host", 30.0));
         let events = drain(&mut g);
-        assert!(!events.iter().any(|(_, e)| matches!(e.body, N::Exception { .. })));
+        assert!(!events
+            .iter()
+            .any(|(_, e)| matches!(e.body, N::Exception { .. })));
         assert!(events.iter().any(|(_, e)| matches!(e.body, N::TaskEnd)));
     }
 
@@ -582,7 +589,10 @@ mod tests {
         let run = |seed| {
             let mut g = SimGrid::new(seed);
             g.add_host(ResourceSpec::unreliable("h", 10.0, 2.0));
-            g.set_profile("p", TaskProfile::reliable().with_soft_crash(Dist::exponential_mean(8.0)));
+            g.set_profile(
+                "p",
+                TaskProfile::reliable().with_soft_crash(Dist::exponential_mean(8.0)),
+            );
             for i in 0..5 {
                 g.submit(req(i, "h", 20.0));
             }

@@ -58,9 +58,12 @@ impl TaskContext {
 
     fn send(&self, body: Notification) {
         // A send failure means the engine is gone; the task just runs out.
-        let _ = self
-            .tx
-            .send(Envelope::new(self.task, self.host.clone(), self.now(), body));
+        let _ = self.tx.send(Envelope::new(
+            self.task,
+            self.host.clone(),
+            self.now(),
+            body,
+        ));
     }
 
     /// Emits one heartbeat.
@@ -242,8 +245,7 @@ impl Executor for ThreadExecutor {
                 }
             }
             None => {
-                if self.outstanding.is_empty()
-                    || self.outstanding.values().all(|h| h.is_finished())
+                if self.outstanding.is_empty() || self.outstanding.values().all(|h| h.is_finished())
                 {
                     // Only drain what is already queued; nothing new will come.
                     match self.rx.try_recv() {
@@ -306,7 +308,9 @@ mod tests {
         x.submit(req(1, "ok"));
         let bodies = drain(&mut x, 2.0);
         assert!(matches!(bodies.first(), Some(Notification::TaskStart)));
-        assert!(bodies.iter().any(|b| matches!(b, Notification::Heartbeat { .. })));
+        assert!(bodies
+            .iter()
+            .any(|b| matches!(b, Notification::Heartbeat { .. })));
         let n = bodies.len();
         assert!(matches!(bodies[n - 2], Notification::TaskEnd));
         assert!(matches!(bodies[n - 1], Notification::Done));
@@ -331,9 +335,9 @@ mod tests {
         });
         x.submit(req(1, "exc"));
         let bodies = drain(&mut x, 2.0);
-        assert!(bodies.iter().any(
-            |b| matches!(b, Notification::Exception { name, .. } if name == "disk_full")
-        ));
+        assert!(bodies
+            .iter()
+            .any(|b| matches!(b, Notification::Exception { name, .. } if name == "disk_full")));
     }
 
     #[test]

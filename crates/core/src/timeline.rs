@@ -71,12 +71,9 @@ pub fn render(report: &Report, width: usize) -> String {
     if spans.is_empty() {
         return "(no task attempts were made)\n".to_string();
     }
-    let t_end = report.finished_at.max(
-        spans
-            .iter()
-            .map(|s| s.end)
-            .fold(0.0f64, f64::max),
-    );
+    let t_end = report
+        .finished_at
+        .max(spans.iter().map(|s| s.end).fold(0.0f64, f64::max));
     let scale = if t_end > 0.0 {
         (width.max(10) - 1) as f64 / t_end
     } else {
@@ -138,7 +135,10 @@ mod tests {
         b.activity("a", "p").retry(3, 1.0);
         let mut grid = SimGrid::new(1);
         grid.add_host(ResourceSpec::reliable("h"));
-        grid.set_profile("p", TaskProfile::reliable().with_soft_crash(Dist::constant(2.0)));
+        grid.set_profile(
+            "p",
+            TaskProfile::reliable().with_soft_crash(Dist::constant(2.0)),
+        );
         let report = Engine::new(b.build().unwrap(), grid).run();
         assert_eq!(report.spans.len(), 3, "one span per attempt");
         assert!(report

@@ -85,9 +85,15 @@ fn retry_masks_transient_crashes() {
     b.activity("a", "p").retry(3, 2.0);
     let mut grid = SimGrid::new(4);
     grid.add_host(ResourceSpec::reliable("h"));
-    grid.set_profile("p", TaskProfile::reliable().with_soft_crash(Dist::constant(2.5)));
+    grid.set_profile(
+        "p",
+        TaskProfile::reliable().with_soft_crash(Dist::constant(2.5)),
+    );
     let report = Engine::new(build(b), grid).run();
-    assert!(!report.is_success(), "crash is deterministic; retries exhaust");
+    assert!(
+        !report.is_success(),
+        "crash is deterministic; retries exhaust"
+    );
     assert_eq!(report.submissions_of("a"), 3, "exactly max_tries attempts");
     // Makespan: 2.5 + 2 + 2.5 + 2 + 2.5 = 11.5 (two retry intervals).
     assert_eq!(report.makespan, 11.5);
@@ -224,7 +230,10 @@ fn without_checkpoints_the_same_crash_never_completes() {
     b.activity("a", "p").retry(5, 0.0);
     let mut grid = SimGrid::new(12);
     grid.add_host(ResourceSpec::reliable("h"));
-    grid.set_profile("p", TaskProfile::reliable().with_soft_crash(Dist::constant(5.0)));
+    grid.set_profile(
+        "p",
+        TaskProfile::reliable().with_soft_crash(Dist::constant(5.0)),
+    );
     let report = Engine::new(build(b), grid).run();
     assert!(!report.is_success());
     assert_eq!(report.submissions_of("a"), 5);
@@ -249,7 +258,11 @@ fn host_crash_detected_by_heartbeat_loss_and_retried_elsewhere() {
         .iter()
         .any(|e| e.kind == LogKind::Detect && e.message.contains("heartbeat loss")));
     // Crash at ~0, presumed at ~3 (tolerance), then 10 units of work.
-    assert!((report.makespan - 13.0).abs() < 0.1, "makespan {}", report.makespan);
+    assert!(
+        (report.makespan - 13.0).abs() < 0.1,
+        "makespan {}",
+        report.makespan
+    );
 }
 
 #[test]
@@ -362,7 +375,10 @@ fn undeclared_exception_is_fatal_and_unhandled() {
     b.activity("a", "p").retry(3, 0.0);
     let mut grid = SimGrid::new(21);
     grid.add_host(ResourceSpec::reliable("h"));
-    grid.set_profile("p", TaskProfile::reliable().with_exception("mystery", 2, 1.0));
+    grid.set_profile(
+        "p",
+        TaskProfile::reliable().with_exception("mystery", 2, 1.0),
+    );
     let report = Engine::new(build(b), grid).run();
     assert!(!report.is_success());
     assert_eq!(report.submissions_of("a"), 1, "fatal: no retry attempted");
@@ -377,9 +393,15 @@ fn recoverable_exception_is_retried_at_task_level() {
     b.activity("a", "p").retry(3, 1.0);
     let mut grid = SimGrid::new(22);
     grid.add_host(ResourceSpec::reliable("h"));
-    grid.set_profile("p", TaskProfile::reliable().with_exception("net_congestion", 2, 1.0));
+    grid.set_profile(
+        "p",
+        TaskProfile::reliable().with_exception("net_congestion", 2, 1.0),
+    );
     let report = Engine::new(build(b), grid).run();
-    assert!(!report.is_success(), "deterministic exception exhausts retries");
+    assert!(
+        !report.is_success(),
+        "deterministic exception exhausts retries"
+    );
     assert_eq!(report.submissions_of("a"), 3, "recoverable: retried");
     assert_eq!(report.status_of("a"), Some("exception:net_congestion"));
 }
@@ -402,7 +424,10 @@ fn recoverable_exception_exhaustion_still_reaches_handler() {
         .edge("fallback", "done");
     let mut grid = SimGrid::new(23);
     grid.add_host(ResourceSpec::reliable("h"));
-    grid.set_profile("p", TaskProfile::reliable().with_exception("net_congestion", 2, 1.0));
+    grid.set_profile(
+        "p",
+        TaskProfile::reliable().with_exception("net_congestion", 2, 1.0),
+    );
     let report = Engine::new(build(b), grid).run();
     assert!(report.is_success());
     assert_eq!(report.submissions_of("a"), 2, "masking tried first");
@@ -484,14 +509,15 @@ fn engine_checkpoint_restart_resumes_navigation() {
         let mut grid = SimGrid::new(seed);
         grid.add_host(ResourceSpec::reliable("h"));
         if crash {
-            grid.set_profile("pb", TaskProfile::reliable().with_soft_crash(Dist::constant(1.0)));
+            grid.set_profile(
+                "pb",
+                TaskProfile::reliable().with_soft_crash(Dist::constant(1.0)),
+            );
         }
         (b, grid)
     };
     let (b, grid) = mk(true, 27);
-    let report = Engine::new(build(b), grid)
-        .with_checkpointing(&path)
-        .run();
+    let report = Engine::new(build(b), grid).with_checkpointing(&path).run();
     assert!(!report.is_success());
 
     // Phase 2: "the engine creates a parse tree from the saved XML file...
@@ -537,7 +563,10 @@ fn strategy_swap_changes_behaviour_without_touching_programs() {
     let r5 = Engine::new(validate_wf(figure5(30.0, 150.0)), g5).run();
 
     assert!(r4.is_success() && r5.is_success());
-    assert_eq!(r4.makespan, 153.0, "alternative task pays the failure first");
+    assert_eq!(
+        r4.makespan, 153.0,
+        "alternative task pays the failure first"
+    );
     assert_eq!(r5.makespan, 150.0, "redundancy hides the failure entirely");
 }
 
@@ -554,13 +583,18 @@ fn task_level_and_workflow_level_techniques_combine() {
         a.retry_interval = 1.0;
     }
     if let Some(p) = w.programs.iter_mut().find(|p| p.name == "fast_impl") {
-        p.options.push(gridwfs_wpdl::ast::ProgramOption::host("backup.example.org"));
+        p.options
+            .push(gridwfs_wpdl::ast::ProgramOption::host("backup.example.org"));
     }
     let mut grid = two_host_grid(31);
     grid.add_host(ResourceSpec::reliable("backup.example.org"));
     // volunteer.example.org dies instantly; backup is fine.
     let mut grid2 = SimGrid::new(32);
-    grid2.add_host(ResourceSpec::unreliable("volunteer.example.org", 0.001, 1e6));
+    grid2.add_host(ResourceSpec::unreliable(
+        "volunteer.example.org",
+        0.001,
+        1e6,
+    ));
     grid2.add_host(ResourceSpec::reliable("condor.example.org"));
     grid2.add_host(ResourceSpec::reliable("backup.example.org"));
     let report = Engine::new(validate_wf(w), grid2).run();
@@ -667,7 +701,10 @@ fn engine_retry_strategy_reproduces_fig13_retry_model() {
         b.activity("fu", "fu").retry(100_000, 0.0);
         let mut grid = SimGrid::new(0xF13 + i);
         grid.add_host(ResourceSpec::reliable("h"));
-        grid.set_profile("fu", TaskProfile::reliable().with_exception("disk_full", 5, p));
+        grid.set_profile(
+            "fu",
+            TaskProfile::reliable().with_exception("disk_full", 5, p),
+        );
         let report = Engine::new(b.build().unwrap(), grid).run();
         assert!(report.is_success());
         stats.push(report.makespan);
@@ -753,7 +790,10 @@ fn cancel_redundant_stops_the_losing_branch_of_figure5() {
         g
     };
     let default_run = Engine::new(validate_wf(figure5(30.0, 150.0)), grid()).run();
-    assert_eq!(default_run.makespan, 150.0, "paper default: both branches finish");
+    assert_eq!(
+        default_run.makespan, 150.0,
+        "paper default: both branches finish"
+    );
 
     let config = EngineConfig {
         cancel_redundant: true,
@@ -768,7 +808,10 @@ fn cancel_redundant_stops_the_losing_branch_of_figure5() {
     assert_eq!(pruned.cancellations(), 1);
     // CPU accounting shows the saving: condor burned 30 instead of 150.
     let util = pruned.host_utilization();
-    let condor = util.iter().find(|(h, _)| h == "condor.example.org").unwrap();
+    let condor = util
+        .iter()
+        .find(|(h, _)| h == "condor.example.org")
+        .unwrap();
     assert_eq!(condor.1, 30.0);
 }
 
@@ -794,7 +837,11 @@ fn cancel_redundant_never_kills_branches_that_feed_pending_and_joins() {
     };
     let report = Engine::new(build(b), grid).with_config(config).run();
     assert!(report.is_success());
-    assert_eq!(report.status_of("slow"), Some("done"), "needed by the AND-join");
+    assert_eq!(
+        report.status_of("slow"),
+        Some("done"),
+        "needed by the AND-join"
+    );
     assert_eq!(report.status_of("and"), Some("done"));
     assert_eq!(report.cancellations(), 0);
 }
@@ -879,13 +926,20 @@ fn replica_slots_keep_their_own_checkpoint_flags() {
     assert!(report.is_success(), "{:?}", report.outcome);
     // fast.h attempt 2: resumes at nominal 12, remaining 8 -> wall 4,
     // finishing at 7 + 4 = 11 before its next crash (wall 14).
-    assert_eq!(report.makespan, 11.0, "fast replica resumed from its own flag");
+    assert_eq!(
+        report.makespan, 11.0,
+        "fast replica resumed from its own flag"
+    );
     let resumes: Vec<&str> = report
         .log
         .iter()
         .filter_map(|e| e.message.split("resume=").nth(1))
         .collect();
-    assert_eq!(resumes, vec!["ckpt:12"], "only the fast slot retried, from ITS flag");
+    assert_eq!(
+        resumes,
+        vec!["ckpt:12"],
+        "only the fast slot retried, from ITS flag"
+    );
     // The slow slot meanwhile recorded different (unused) flags of its own
     // — per-slot isolation, not a shared activity-level flag.
     assert!(
@@ -936,13 +990,19 @@ fn exception_handler_chain_cascades() {
     let mut grid = SimGrid::new(79);
     grid.add_host(ResourceSpec::reliable("h"));
     grid.set_profile("pa", TaskProfile::reliable().with_exception("oom", 1, 1.0));
-    grid.set_profile("pb", TaskProfile::reliable().with_exception("disk_full", 1, 1.0));
+    grid.set_profile(
+        "pb",
+        TaskProfile::reliable().with_exception("disk_full", 1, 1.0),
+    );
     let report = Engine::new(build(b), grid).run();
     assert!(report.is_success());
     assert_eq!(report.status_of("a"), Some("exception:oom"));
     assert_eq!(report.status_of("b"), Some("exception:disk_full"));
     assert_eq!(report.status_of("c"), Some("done"));
-    assert_eq!(report.makespan, 15.0, "exceptions at 5 and 10, c finishes at 15");
+    assert_eq!(
+        report.makespan, 15.0,
+        "exceptions at 5 and 10, c finishes at 15"
+    );
 }
 
 #[test]
@@ -953,8 +1013,7 @@ fn abort_via_max_settlements_leaves_resumable_state() {
     std::fs::create_dir_all(&dir).unwrap();
     let ckpt = dir.join("s.xml");
     let mk = || {
-        let mut b = WorkflowBuilder::new("abortable")
-            .program("p", 5.0, &["h"]);
+        let mut b = WorkflowBuilder::new("abortable").program("p", 5.0, &["h"]);
         b.activity("a", "p");
         b.activity("b", "p");
         b.activity("c", "p");

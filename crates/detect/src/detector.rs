@@ -312,7 +312,9 @@ mod tests {
     #[test]
     fn task_end_then_done_is_completed() {
         let mut d = detector();
-        assert!(d.observe(&env(Notification::TaskStart, 0.1), 0.1).is_empty());
+        assert!(d
+            .observe(&env(Notification::TaskStart, 0.1), 0.1)
+            .is_empty());
         assert!(d.observe(&env(Notification::TaskEnd, 5.0), 5.0).is_empty());
         let dets = d.observe(&env(Notification::Done, 5.1), 5.1);
         assert_eq!(dets, vec![Detection::Completed { task: T, at: 5.1 }]);
@@ -437,8 +439,14 @@ mod tests {
     #[test]
     fn later_checkpoint_replaces_earlier() {
         let mut d = detector();
-        d.observe(&env(Notification::Checkpoint { flag: "c1".into() }, 1.0), 1.0);
-        d.observe(&env(Notification::Checkpoint { flag: "c2".into() }, 2.0), 2.0);
+        d.observe(
+            &env(Notification::Checkpoint { flag: "c1".into() }, 1.0),
+            1.0,
+        );
+        d.observe(
+            &env(Notification::Checkpoint { flag: "c2".into() }, 2.0),
+            2.0,
+        );
         assert_eq!(d.checkpoint_flag(T), Some("c2"));
     }
 
@@ -450,7 +458,11 @@ mod tests {
         assert!(dets.is_empty());
         let dets = d.observe(&env(Notification::Done, 1.2), 1.2);
         assert!(dets.is_empty(), "duplicate Done ignored");
-        assert_eq!(d.state(T), Some(TaskState::Failed), "classification is sticky");
+        assert_eq!(
+            d.state(T),
+            Some(TaskState::Failed),
+            "classification is sticky"
+        );
     }
 
     #[test]
@@ -466,7 +478,10 @@ mod tests {
         let mut d = detector();
         d.observe(&env(Notification::TaskEnd, 0.5), 0.5);
         d.observe(&env(Notification::Done, 0.6), 0.6);
-        assert!(d.sweep(100.0).is_empty(), "completed task not presumed dead");
+        assert!(
+            d.sweep(100.0).is_empty(),
+            "completed task not presumed dead"
+        );
     }
 
     #[test]

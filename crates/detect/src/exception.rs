@@ -142,7 +142,10 @@ mod tests {
         let err = reg
             .register(ExceptionDef::recoverable("disk_full", "b"))
             .unwrap_err();
-        assert_eq!(err.to_string(), "exception 'disk_full' is already registered");
+        assert_eq!(
+            err.to_string(),
+            "exception 'disk_full' is already registered"
+        );
         // Original definition untouched.
         assert_eq!(reg.get("disk_full").unwrap().description, "a");
     }

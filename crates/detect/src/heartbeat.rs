@@ -178,7 +178,11 @@ mod tests {
         m.watch(T1, 1.0, 2.0, 0.0);
         m.watch(T2, 5.0, 2.0, 0.0);
         m.beat(T2, 0, 1.0);
-        assert_eq!(m.expired(3.0), vec![T1], "only the silent short-interval task");
+        assert_eq!(
+            m.expired(3.0),
+            vec![T1],
+            "only the silent short-interval task"
+        );
         assert!(m.is_live(T2));
         assert_eq!(m.expired(11.0), vec![T2]);
     }

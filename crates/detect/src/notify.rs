@@ -18,9 +18,7 @@ use serde::{Deserialize, Serialize};
 /// Retries and replicas are distinct attempts with distinct `TaskId`s — each
 /// attempt has its own heartbeat stream and its own crash/exception fate,
 /// which is what lets the engine cancel losing replicas individually.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TaskId(pub u64);
 
 impl std::fmt::Display for TaskId {

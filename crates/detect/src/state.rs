@@ -26,7 +26,10 @@ pub enum TaskState {
 impl TaskState {
     /// Terminal states admit no further transitions.
     pub fn is_terminal(self) -> bool {
-        matches!(self, TaskState::Done | TaskState::Failed | TaskState::Exception)
+        matches!(
+            self,
+            TaskState::Done | TaskState::Failed | TaskState::Exception
+        )
     }
 }
 
@@ -54,7 +57,11 @@ pub struct IllegalTransition {
 
 impl std::fmt::Display for IllegalTransition {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "illegal task state transition {} -> {}", self.from, self.to)
+        write!(
+            f,
+            "illegal task state transition {} -> {}",
+            self.from, self.to
+        )
     }
 }
 
@@ -214,7 +221,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = IllegalTransition { from: Done, to: Active };
-        assert_eq!(e.to_string(), "illegal task state transition done -> active");
+        let e = IllegalTransition {
+            from: Done,
+            to: Active,
+        };
+        assert_eq!(
+            e.to_string(),
+            "illegal task state transition done -> active"
+        );
     }
 }

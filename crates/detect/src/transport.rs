@@ -56,11 +56,7 @@ impl ReorderBuffer {
     /// the next [`ReorderBuffer::release`], with ordering then only
     /// best-effort, which is all an underestimated bound can give).
     pub fn accept(&mut self, env: Envelope, now: f64) -> bool {
-        if self
-            .held
-            .iter()
-            .any(|(_, _, held)| *held == env)
-        {
+        if self.held.iter().any(|(_, _, held)| *held == env) {
             return false; // retransmission of a buffered message
         }
         let seq = self.arrivals;

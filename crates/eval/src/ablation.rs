@@ -18,8 +18,8 @@
 
 use gridwfs_sim::rng::Rng;
 
+use crate::parallel::{self, McPlan};
 use crate::params::Params;
-use crate::stats::estimate;
 use crate::sweep::Series;
 use crate::techniques;
 
@@ -28,7 +28,10 @@ use crate::techniques;
 /// Young's approximation of the optimal inter-checkpoint interval:
 /// `a* = sqrt(2·C/λ)`.
 pub fn youngs_interval(c: f64, lambda: f64) -> f64 {
-    assert!(lambda > 0.0, "Young's formula needs a positive failure rate");
+    assert!(
+        lambda > 0.0,
+        "Young's formula needs a positive failure rate"
+    );
     (2.0 * c / lambda).sqrt()
 }
 
@@ -42,21 +45,21 @@ pub fn youngs_k(f: f64, c: f64, lambda: f64) -> f64 {
 pub fn checkpoint_interval_sweep(
     base: Params,
     ks: &[u32],
-    runs: usize,
+    plan: McPlan,
     seed: u64,
 ) -> (Series, u32) {
-    let parent = Rng::seed_from_u64(seed);
-    let mut points = Vec::with_capacity(ks.len());
-    let mut best = (f64::INFINITY, base.k);
-    for (i, &k) in ks.iter().enumerate() {
+    let stats = parallel::stats_grid(ks, plan, seed, |&k, rng| {
         let mut p = base;
         p.k = k;
-        let mut rng = parent.split(i as u64);
-        let e = estimate(runs, || techniques::checkpoint(&p, &mut rng));
-        if e.mean < best.0 {
-            best = (e.mean, k);
+        techniques::checkpoint(&p, rng)
+    });
+    let mut points = Vec::with_capacity(ks.len());
+    let mut best = (f64::INFINITY, base.k);
+    for (&k, s) in ks.iter().zip(&stats) {
+        if s.mean() < best.0 {
+            best = (s.mean(), k);
         }
-        points.push((k as f64, e.mean));
+        points.push((k as f64, s.mean()));
     }
     (
         Series {
@@ -71,20 +74,26 @@ pub fn checkpoint_interval_sweep(
 
 /// Expected completion time vs replica count N, for plain replication and
 /// replication-with-checkpointing.
-pub fn replica_sweep(base: Params, ns: &[u32], runs: usize, seed: u64) -> Vec<Series> {
-    let parent = Rng::seed_from_u64(seed);
-    let mut rp = Vec::new();
-    let mut rpck = Vec::new();
-    for (i, &n) in ns.iter().enumerate() {
-        let p = base.with_replicas(n);
-        let mut rng = parent.split(i as u64);
-        let e1 = estimate(runs, || techniques::Technique::Replication.sample(&p, &mut rng));
-        let e2 = estimate(runs, || {
-            techniques::Technique::ReplicationCkpt.sample(&p, &mut rng)
-        });
-        rp.push((n as f64, e1.mean));
-        rpck.push((n as f64, e2.mean));
-    }
+pub fn replica_sweep(base: Params, ns: &[u32], plan: McPlan, seed: u64) -> Vec<Series> {
+    let sweep = |t: techniques::Technique, seed: u64| {
+        parallel::stats_grid(ns, plan, seed, move |&n, rng| {
+            t.sample(&base.with_replicas(n), rng)
+        })
+    };
+    let point = |(&n, s): (&u32, &crate::stats::OnlineStats)| (n as f64, s.mean());
+    let rp: Vec<(f64, f64)> = ns
+        .iter()
+        .zip(&sweep(techniques::Technique::Replication, seed))
+        .map(point)
+        .collect();
+    let rpck: Vec<(f64, f64)> = ns
+        .iter()
+        .zip(&sweep(
+            techniques::Technique::ReplicationCkpt,
+            seed ^ 0x5EED,
+        ))
+        .map(point)
+        .collect();
     vec![
         Series {
             label: "Replication".into(),
@@ -129,28 +138,31 @@ pub fn weibull_shape_sweep(
     f: f64,
     shapes: &[f64],
     mttfs: &[f64],
-    runs: usize,
+    plan: McPlan,
     seed: u64,
 ) -> Vec<Series> {
-    let parent = Rng::seed_from_u64(seed);
+    // One flat (shape, scale, mttf) grid so every cell parallelizes.
+    let cells: Vec<(f64, f64, f64)> = shapes
+        .iter()
+        .flat_map(|&shape| {
+            mttfs
+                .iter()
+                .map(move |&mttf| (shape, weibull_scale_for_mean(shape, mttf), mttf))
+        })
+        .collect();
+    let stats = parallel::stats_grid(&cells, plan, seed, |&(shape, scale, _), rng| {
+        weibull_retry(f, shape, scale, 0.0, rng)
+    });
     shapes
         .iter()
         .enumerate()
-        .map(|(si, &shape)| {
-            let points = mttfs
+        .map(|(si, &shape)| Series {
+            label: format!("Weibull k={shape} "),
+            points: mttfs
                 .iter()
                 .enumerate()
-                .map(|(mi, &mttf)| {
-                    let scale = weibull_scale_for_mean(shape, mttf);
-                    let mut rng = parent.split(((si as u64) << 32) | mi as u64);
-                    let e = estimate(runs, || weibull_retry(f, shape, scale, 0.0, &mut rng));
-                    (mttf, e.mean)
-                })
-                .collect();
-            Series {
-                label: format!("Weibull k={shape} "),
-                points,
-            }
+                .map(|(mi, &mttf)| (mttf, stats[si * mttfs.len() + mi].mean()))
+                .collect(),
         })
         .collect()
 }
@@ -200,7 +212,7 @@ pub struct RedundancyPoint {
 pub fn redundancy_vs_replication(
     setup: &RedundancySetup,
     qs: &[f64],
-    runs: usize,
+    plan: McPlan,
     seed: u64,
 ) -> Vec<RedundancyPoint> {
     let &RedundancySetup {
@@ -211,56 +223,70 @@ pub fn redundancy_vs_replication(
         tries,
     } = setup;
     assert!((0.0..=1.0).contains(&p_env));
-    let parent = Rng::seed_from_u64(seed);
-    qs.iter()
-        .enumerate()
-        .map(|(i, &q)| {
-            let mut rng = parent.split(i as u64);
-            let mut rep_succ = 0usize;
-            let mut rep_time = 0.0;
-            let mut red_succ = 0usize;
-            let mut red_time = 0.0;
-            for _ in 0..runs {
-                let common_mode = rng.bernoulli(q);
-                // One fast replica: returns Some(completion time).
-                let fast_run = |rng: &mut Rng| -> Option<f64> {
-                    let mut t = 0.0;
-                    for _ in 0..tries {
-                        if common_mode || rng.bernoulli(p_env) {
-                            t += fast * rng.next_f64(); // wasted partial work
-                        } else {
-                            return Some(t + fast);
-                        }
+    // Per-chunk tallies, merged in chunk order (deterministic in the
+    // thread count, like every other sweep).
+    #[derive(Default)]
+    struct Tally {
+        rep_succ: u64,
+        rep_time: f64,
+        red_succ: u64,
+        red_time: f64,
+    }
+    let tallies = parallel::fold_chunks(
+        qs,
+        plan,
+        seed,
+        Tally::default,
+        |acc, &q, rng| {
+            let common_mode = rng.bernoulli(q);
+            // One fast replica: returns Some(completion time).
+            let fast_run = |rng: &mut Rng| -> Option<f64> {
+                let mut t = 0.0;
+                for _ in 0..tries {
+                    if common_mode || rng.bernoulli(p_env) {
+                        t += fast * rng.next_f64(); // wasted partial work
+                    } else {
+                        return Some(t + fast);
                     }
-                    None
-                };
-                // Figure 3: N replicas of fast, first success wins.
-                let rep = (0..n_replicas)
-                    .filter_map(|_| fast_run(&mut rng))
-                    .fold(f64::INFINITY, f64::min);
-                if rep.is_finite() {
-                    rep_succ += 1;
-                    rep_time += rep;
                 }
-                // Figure 5: one fast replica in parallel with slow.
-                let red = match fast_run(&mut rng) {
-                    Some(t) => t.min(slow),
-                    None => slow,
-                };
-                red_succ += 1;
-                red_time += red;
+                None
+            };
+            // Figure 3: N replicas of fast, first success wins.
+            let rep = (0..n_replicas)
+                .filter_map(|_| fast_run(rng))
+                .fold(f64::INFINITY, f64::min);
+            if rep.is_finite() {
+                acc.rep_succ += 1;
+                acc.rep_time += rep;
             }
-            RedundancyPoint {
-                q,
-                replication_success: rep_succ as f64 / runs as f64,
-                replication_time: if rep_succ > 0 {
-                    rep_time / rep_succ as f64
-                } else {
-                    f64::NAN
-                },
-                redundancy_success: red_succ as f64 / runs as f64,
-                redundancy_time: red_time / runs as f64,
-            }
+            // Figure 5: one fast replica in parallel with slow.
+            let red = match fast_run(rng) {
+                Some(t) => t.min(slow),
+                None => slow,
+            };
+            acc.red_succ += 1;
+            acc.red_time += red;
+        },
+        |acc, chunk| {
+            acc.rep_succ += chunk.rep_succ;
+            acc.rep_time += chunk.rep_time;
+            acc.red_succ += chunk.red_succ;
+            acc.red_time += chunk.red_time;
+        },
+    );
+    let runs = plan.runs;
+    qs.iter()
+        .zip(tallies)
+        .map(|(&q, t)| RedundancyPoint {
+            q,
+            replication_success: t.rep_succ as f64 / runs as f64,
+            replication_time: if t.rep_succ > 0 {
+                t.rep_time / t.rep_succ as f64
+            } else {
+                f64::NAN
+            },
+            redundancy_success: t.red_succ as f64 / runs as f64,
+            redundancy_time: t.red_time / runs as f64,
         })
         .collect()
 }
@@ -302,7 +328,7 @@ mod tests {
         // MTTF = 10 (λ=0.1), C=0.5 ⇒ Young a* ≈ 3.16 ⇒ K* ≈ 9.5.
         let base = Params::paper_baseline(10.0);
         let ks: Vec<u32> = (1..=40).collect();
-        let (series, best_k) = checkpoint_interval_sweep(base, &ks, 20_000, 0xAB1);
+        let (series, best_k) = checkpoint_interval_sweep(base, &ks, McPlan::serial(20_000), 0xAB1);
         assert_eq!(series.points.len(), 40);
         let youngs = youngs_k(base.f, base.c, base.lambda());
         // The simulated optimum should be within a factor ~2 of Young's
@@ -313,7 +339,11 @@ mod tests {
         );
         // And K=20 (the paper's choice) must be near-optimal: within 5%.
         let at_20 = series.y_at(20.0).unwrap();
-        let at_best = series.points.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+        let at_best = series
+            .points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::INFINITY, f64::min);
         assert!(at_20 < at_best * 1.05, "paper's K=20 is near-optimal");
     }
 
@@ -321,7 +351,7 @@ mod tests {
     fn replica_sweep_diminishing_returns() {
         let base = Params::paper_baseline(15.0);
         let ns: Vec<u32> = (1..=8).collect();
-        let series = replica_sweep(base, &ns, 20_000, 0xAB2);
+        let series = replica_sweep(base, &ns, McPlan::serial(20_000), 0xAB2);
         let rp = &series[0];
         // Strictly decreasing in N...
         for w in rp.points.windows(2) {
@@ -335,10 +365,9 @@ mod tests {
 
     #[test]
     fn weibull_shape_one_matches_exponential_baseline() {
-        let series = weibull_shape_sweep(30.0, &[1.0], &[20.0, 50.0], 50_000, 0xAB3);
-        let analytic = |mttf: f64| {
-            crate::analytic::retry_expected(&Params::paper_baseline(mttf))
-        };
+        let series =
+            weibull_shape_sweep(30.0, &[1.0], &[20.0, 50.0], McPlan::serial(50_000), 0xAB3);
+        let analytic = |mttf: f64| crate::analytic::retry_expected(&Params::paper_baseline(mttf));
         for &(mttf, y) in &series[0].points {
             let expect = analytic(mttf);
             assert!(
@@ -369,11 +398,32 @@ mod tests {
                 .points[0]
                 .1
         };
-        let hostile = weibull_shape_sweep(30.0, &[0.7, 1.0, 1.5], &[10.0], 50_000, 0xAB4);
-        assert!(at(&hostile, "0.7") < at(&hostile, "k=1 "), "heavy tail helps when F >> MTTF");
-        assert!(at(&hostile, "1.5") > 2.0 * at(&hostile, "k=1 "), "increasing hazard explodes");
-        let benign = weibull_shape_sweep(30.0, &[0.7, 1.0, 1.5], &[100.0], 50_000, 0xAB6);
-        assert!(at(&benign, "0.7") > at(&benign, "k=1 "), "heavy tail hurts when F << MTTF");
+        let hostile = weibull_shape_sweep(
+            30.0,
+            &[0.7, 1.0, 1.5],
+            &[10.0],
+            McPlan::serial(50_000),
+            0xAB4,
+        );
+        assert!(
+            at(&hostile, "0.7") < at(&hostile, "k=1 "),
+            "heavy tail helps when F >> MTTF"
+        );
+        assert!(
+            at(&hostile, "1.5") > 2.0 * at(&hostile, "k=1 "),
+            "increasing hazard explodes"
+        );
+        let benign = weibull_shape_sweep(
+            30.0,
+            &[0.7, 1.0, 1.5],
+            &[100.0],
+            McPlan::serial(50_000),
+            0xAB6,
+        );
+        assert!(
+            at(&benign, "0.7") > at(&benign, "k=1 "),
+            "heavy tail hurts when F << MTTF"
+        );
         assert!(at(&benign, "1.5") < at(&benign, "k=1 "));
     }
 
@@ -386,7 +436,8 @@ mod tests {
             n_replicas: 3,
             tries: 3,
         };
-        let points = redundancy_vs_replication(&setup, &[0.0, 0.5, 1.0], 20_000, 0xAB5);
+        let points =
+            redundancy_vs_replication(&setup, &[0.0, 0.5, 1.0], McPlan::serial(20_000), 0xAB5);
         // q=0: replication nearly always succeeds, and faster than 150.
         let p0 = points[0];
         assert!(p0.replication_success > 0.99);
@@ -411,7 +462,7 @@ mod tests {
             n_replicas: 2,
             tries: 2,
         };
-        let points = redundancy_vs_replication(&setup, &[0.0, 1.0], 2_000, 1);
+        let points = redundancy_vs_replication(&setup, &[0.0, 1.0], McPlan::serial(2_000), 1);
         let table = render_redundancy_table(&points);
         assert!(table.contains("Fig5"));
         assert_eq!(table.lines().count(), 4);

@@ -210,7 +210,10 @@ mod tests {
                 "{} should not meet all three",
                 r.system
             );
-            assert!(!r.user_exceptions, "no related system supports user exceptions");
+            assert!(
+                !r.user_exceptions,
+                "no related system supports user exceptions"
+            );
         }
     }
 

@@ -250,7 +250,10 @@ mod tests {
             DagSample::Finished(156.0),
             "first check at 6 + SR 150"
         );
-        assert_eq!(sample(Strategy::Retrying, &d, &mut rng, 1e4), DagSample::Diverged);
+        assert_eq!(
+            sample(Strategy::Retrying, &d, &mut rng, 1e4),
+            DagSample::Diverged
+        );
         assert_eq!(
             sample(Strategy::Checkpointing, &d, &mut rng, 1e4),
             DagSample::Diverged

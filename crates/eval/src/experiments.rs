@@ -5,9 +5,9 @@
 //! tests can run at 10⁴ while the binaries reproduce the paper's 10⁵
 //! (§8.1: "100,000 runs are enough for our simulation").
 
-
 use crate::analytic;
 use crate::exception_dag::{self, DagParams, Strategy};
+use crate::parallel::McPlan;
 use crate::params::Params;
 use crate::sweep::Series;
 use crate::techniques::Technique;
@@ -22,12 +22,12 @@ pub fn mttf_grid() -> Vec<f64> {
 }
 
 /// Figure 8: retrying — analytical `(e^{λF}−1)/λ` vs simulation, F=30, D=0.
-pub fn fig08(runs: usize, seed: u64) -> (Series, Series) {
+pub fn fig08(plan: McPlan, seed: u64) -> (Series, Series) {
     let xs = mttf_grid();
     let analytic = Series::by_formula("Analytical (e^{λF}-1)/λ", &xs, |mttf| {
         analytic::retry_expected(&Params::paper_baseline(mttf))
     });
-    let sim = Series::by_simulation("Simulation", &xs, runs, seed, |mttf, rng| {
+    let sim = Series::by_simulation_plan("Simulation", &xs, plan, seed, |mttf, rng| {
         Technique::Retrying.sample(&Params::paper_baseline(mttf), rng)
     });
     (analytic, sim)
@@ -35,29 +35,29 @@ pub fn fig08(runs: usize, seed: u64) -> (Series, Series) {
 
 /// Figure 9: checkpointing — analytical `F/a·(C+(C+R+1/λ)(e^{λa}−1))` vs
 /// simulation, F=30, K=20, C=R=0.5, D=0.
-pub fn fig09(runs: usize, seed: u64) -> (Series, Series) {
+pub fn fig09(plan: McPlan, seed: u64) -> (Series, Series) {
     let xs = mttf_grid();
     let analytic = Series::by_formula("Analytical F/a(C+(C+R+1/λ)(e^{λa}-1))", &xs, |mttf| {
         analytic::checkpoint_expected(&Params::paper_baseline(mttf))
     });
-    let sim = Series::by_simulation("Simulation", &xs, runs, seed, |mttf, rng| {
+    let sim = Series::by_simulation_plan("Simulation", &xs, plan, seed, |mttf, rng| {
         Technique::Checkpointing.sample(&Params::paper_baseline(mttf), rng)
     });
     (analytic, sim)
 }
 
 /// Figure 10: the four techniques vs MTTF at D=0 (F=30, K=20, C=R=0.5, N=3).
-pub fn fig10(runs: usize, seed: u64) -> Vec<Series> {
-    fig_technique_sweep(0.0, runs, seed)
+pub fn fig10(plan: McPlan, seed: u64) -> Vec<Series> {
+    fig_technique_sweep(0.0, plan, seed)
 }
 
 /// One panel of Figure 11: the four techniques vs MTTF at downtime `d`.
-pub fn fig11_panel(d: f64, runs: usize, seed: u64) -> Vec<Series> {
-    fig_technique_sweep(d, runs, seed)
+pub fn fig11_panel(d: f64, plan: McPlan, seed: u64) -> Vec<Series> {
+    fig_technique_sweep(d, plan, seed)
 }
 
 /// Figure 11: all four panels, D ∈ {0, F, 5F, 10F}.
-pub fn fig11(runs: usize, seed: u64) -> Vec<(String, Vec<Series>)> {
+pub fn fig11(plan: McPlan, seed: u64) -> Vec<(String, Vec<Series>)> {
     [0.0, 30.0, 150.0, 300.0]
         .iter()
         .map(|&d| {
@@ -67,26 +67,32 @@ pub fn fig11(runs: usize, seed: u64) -> Vec<(String, Vec<Series>)> {
                 150 => "Downtime = 5F".to_string(),
                 _ => "Downtime = 10F".to_string(),
             };
-            (name, fig11_panel(d, runs, seed ^ d.to_bits()))
+            (name, fig11_panel(d, plan, seed ^ d.to_bits()))
         })
         .collect()
 }
 
 /// Figure 12: the D=10F panel in full (the paper zooms it out to show the
 /// checkpointing-vs-replication crossover near MTTF ≈ 12).
-pub fn fig12(runs: usize, seed: u64) -> Vec<Series> {
-    fig_technique_sweep(300.0, runs, seed)
+pub fn fig12(plan: McPlan, seed: u64) -> Vec<Series> {
+    fig_technique_sweep(300.0, plan, seed)
 }
 
-fn fig_technique_sweep(downtime: f64, runs: usize, seed: u64) -> Vec<Series> {
+fn fig_technique_sweep(downtime: f64, plan: McPlan, seed: u64) -> Vec<Series> {
     let xs = mttf_grid();
     Technique::ALL
         .iter()
         .enumerate()
         .map(|(i, &t)| {
-            Series::by_simulation(t.label(), &xs, runs, seed ^ (i as u64) << 32, move |mttf, rng| {
-                t.sample(&Params::paper_baseline(mttf).with_downtime(downtime), rng)
-            })
+            Series::by_simulation_plan(
+                t.label(),
+                &xs,
+                plan,
+                seed ^ (i as u64) << 32,
+                move |mttf, rng| {
+                    t.sample(&Params::paper_baseline(mttf).with_downtime(downtime), rng)
+                },
+            )
         })
         .collect()
 }
@@ -101,7 +107,7 @@ pub fn p_grid() -> Vec<f64> {
 /// of the exception probability p, under the three strategies.  Masking
 /// strategies use the analytic expectation (exact, and finite only for
 /// p < 1); the alternative-task strategy is also simulated to `runs`.
-pub fn fig13(runs: usize, seed: u64) -> Vec<Series> {
+pub fn fig13(plan: McPlan, seed: u64) -> Vec<Series> {
     let xs = p_grid();
     let retry = Series::by_formula(Strategy::Retrying.label(), &xs, |p| {
         exception_dag::retry_expected(&DagParams::paper(p))
@@ -109,10 +115,10 @@ pub fn fig13(runs: usize, seed: u64) -> Vec<Series> {
     let ckpt = Series::by_formula(Strategy::Checkpointing.label(), &xs, |p| {
         exception_dag::checkpoint_expected(&DagParams::paper(p))
     });
-    let alt = Series::by_simulation(
+    let alt = Series::by_simulation_plan(
         Strategy::AlternativeTask.label(),
         &xs,
-        runs,
+        plan,
         seed,
         |p, rng| match exception_dag::sample(
             Strategy::AlternativeTask,
@@ -141,29 +147,36 @@ pub fn max_relative_deviation(sim: &Series, analytic: &Series) -> f64 {
 mod tests {
     use super::*;
 
-    const RUNS: usize = 20_000; // test-speed; binaries use 100_000
+    // Test-speed plan; binaries use 100_000 runs.  Two workers exercise
+    // the parallel path — by construction it cannot change the results.
+    const PLAN: McPlan = McPlan {
+        runs: 20_000,
+        threads: 2,
+    };
 
     #[test]
     fn fig08_simulation_matches_analytic() {
-        let (analytic, sim) = fig08(RUNS, 0x08);
+        let (analytic, sim) = fig08(PLAN, 0x08);
         let dev = max_relative_deviation(&sim, &analytic);
         assert!(dev < 0.05, "max deviation {dev}");
     }
 
     #[test]
     fn fig09_simulation_matches_analytic() {
-        let (analytic, sim) = fig09(RUNS, 0x09);
+        let (analytic, sim) = fig09(PLAN, 0x09);
         let dev = max_relative_deviation(&sim, &analytic);
         assert!(dev < 0.03, "max deviation {dev}");
     }
 
     #[test]
     fn fig10_crossover_replication_wins_beyond_about_18() {
-        let series = fig10(RUNS, 0x10);
+        let series = fig10(PLAN, 0x10);
         let ck = series.iter().find(|s| s.label == "Checkpointing").unwrap();
         let rp = series.iter().find(|s| s.label == "Replication").unwrap();
         // The paper: replication better than all others for MTTF > ~18.
-        let crossover = rp.crossover_below(ck).expect("replication must win eventually");
+        let crossover = rp
+            .crossover_below(ck)
+            .expect("replication must win eventually");
         assert!(
             (10.0..=30.0).contains(&crossover),
             "crossover at {crossover}, paper says ≈18"
@@ -190,7 +203,7 @@ mod tests {
     fn fig11_downtime_favours_replication() {
         // "in case of longer downtime, replication and replication w/
         // checkpointing perform better than the other two techniques".
-        let panel = fig11_panel(150.0, RUNS, 0x11);
+        let panel = fig11_panel(150.0, PLAN, 0x11);
         let at = |label: &str, x: f64| {
             panel
                 .iter()
@@ -213,7 +226,7 @@ mod tests {
     fn fig12_checkpointing_beats_replication_at_high_rate_long_downtime() {
         // "when failure rate is relatively high (MTTF < 12), checkpointing
         // performs better than replication" at D = 10F; and RpCk is best.
-        let series = fig12(RUNS, 0x12);
+        let series = fig12(PLAN, 0x12);
         let at = |label: &str, x: f64| {
             series
                 .iter()
@@ -249,7 +262,7 @@ mod tests {
 
     #[test]
     fn fig13_shape() {
-        let series = fig13(RUNS, 0x13);
+        let series = fig13(PLAN, 0x13);
         let retry = &series[0];
         let alt = &series[2];
         // Masking curves are infinite at p = 1.
@@ -279,11 +292,16 @@ mod tests {
 
     #[test]
     fn fig11_has_four_panels_in_paper_order() {
-        let panels = fig11(500, 0x1111);
+        let panels = fig11(McPlan::serial(500), 0x1111);
         let names: Vec<&str> = panels.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(
             names,
-            vec!["Downtime = 0", "Downtime = F", "Downtime = 5F", "Downtime = 10F"]
+            vec![
+                "Downtime = 0",
+                "Downtime = F",
+                "Downtime = 5F",
+                "Downtime = 10F"
+            ]
         );
         for (_, series) in &panels {
             assert_eq!(series.len(), 4);

@@ -14,6 +14,9 @@
 //! * [`exception_dag`] — the Figure 13 model (Bernoulli disk-full checks,
 //!   alternative-task handling);
 //! * [`stats`] — online mean/variance/confidence statistics;
+//! * [`parallel`] — the deterministic chunked fan-out: every sweep
+//!   partitions its runs into fixed-size RNG-substream chunks merged in
+//!   chunk order, so results are bit-identical for any worker count;
 //! * [`sweep`] — series construction and table/CSV rendering;
 //! * [`experiments`] — one function per paper figure, with the paper's
 //!   exact parameters, shared by the `gridwfs-bench` figure binaries and
@@ -31,11 +34,13 @@ pub mod analytic;
 pub mod capability;
 pub mod exception_dag;
 pub mod experiments;
+pub mod parallel;
 pub mod params;
 pub mod stats;
 pub mod sweep;
 pub mod techniques;
 
+pub use parallel::McPlan;
 pub use params::Params;
 pub use stats::{Estimate, OnlineStats};
 pub use sweep::Series;

@@ -1,0 +1,257 @@
+//! Deterministic chunked fan-out for the Monte-Carlo sweeps.
+//!
+//! The paper's evaluation is embarrassingly parallel — 100 000 independent
+//! runs per data point — but naive parallelism (one accumulator per worker,
+//! merged in completion order) makes the estimate depend on the thread
+//! count and the scheduler, which would break EXPERIMENTS.md's
+//! paper-vs-measured tables.  This module parallelizes *without* losing
+//! bit-for-bit reproducibility:
+//!
+//! 1. The `runs` samples of each grid point are partitioned into fixed
+//!    [`CHUNK`]-sized chunks.  Chunk `c` of point `i` draws from the
+//!    substream `Rng::seed_from_u64(seed).split(i).split(c)` — a pure
+//!    function of `(seed, i, c)`, independent of which worker runs it.
+//! 2. Each chunk folds into its own private accumulator.
+//! 3. Chunk accumulators merge **in chunk order** (for statistics, via
+//!    [`OnlineStats::merge`], the Chan et al. pairwise combination).
+//!
+//! The result is therefore identical — down to the last floating-point
+//! bit — for 1, 2, or 64 threads; the thread count only changes wall time.
+//! Workers are scoped `std` threads claiming chunks off a shared atomic
+//! cursor, so the fan-out needs no external dependencies and no unsafe.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use gridwfs_sim::rng::Rng;
+
+use crate::stats::OnlineStats;
+
+/// Samples per chunk.  Large enough that the per-chunk overhead (an `Rng`
+/// split, a merge, one lock) is noise; small enough that a 100 000-run
+/// point splits into ~100 units of work and load-balances well.
+pub const CHUNK: usize = 1024;
+
+/// Execution plan for a Monte-Carlo sweep: how many samples per grid point
+/// and how many worker threads to fan out over.  The thread count never
+/// affects results, only wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McPlan {
+    /// Monte-Carlo runs per grid point.
+    pub runs: usize,
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+}
+
+impl McPlan {
+    /// A single-threaded plan (the default for tests and library callers).
+    pub fn serial(runs: usize) -> Self {
+        McPlan { runs, threads: 1 }
+    }
+
+    /// A plan with an explicit thread count.
+    pub fn threaded(runs: usize, threads: usize) -> Self {
+        McPlan {
+            runs,
+            threads: threads.max(1),
+        }
+    }
+
+    /// A plan sized to the machine (`std::thread::available_parallelism`).
+    pub fn auto(runs: usize) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::threaded(runs, threads)
+    }
+
+    /// Number of chunks each grid point splits into.
+    pub fn chunks(&self) -> usize {
+        self.runs.div_ceil(CHUNK)
+    }
+
+    /// Length of chunk `c` (the last chunk may be short).
+    fn chunk_len(&self, c: usize) -> usize {
+        let start = c * CHUNK;
+        CHUNK.min(self.runs - start)
+    }
+}
+
+/// Runs `plan.runs` draws of `sample` for every item, fanned out over
+/// `plan.threads` workers, folding each chunk with `fold` into a fresh
+/// `init()` accumulator and combining chunk accumulators in chunk order
+/// with `merge`.  Returns one merged accumulator per item, in item order.
+///
+/// The output is a pure function of `(items, plan.runs, seed)` — the
+/// thread count cannot change it (see the module docs).
+pub fn fold_chunks<T, R>(
+    items: &[T],
+    plan: McPlan,
+    seed: u64,
+    init: impl Fn() -> R + Sync,
+    fold: impl Fn(&mut R, &T, &mut Rng) + Sync,
+    merge: impl Fn(&mut R, R),
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let parent = Rng::seed_from_u64(seed);
+    let chunks = plan.chunks();
+    let total = items.len() * chunks;
+    let run_chunk = |k: usize| -> R {
+        let (i, c) = (k / chunks, k % chunks);
+        let mut rng = parent.split(i as u64).split(c as u64);
+        let mut acc = init();
+        for _ in 0..plan.chunk_len(c) {
+            fold(&mut acc, &items[i], &mut rng);
+        }
+        acc
+    };
+
+    let threads = plan.threads.max(1).min(total.max(1));
+    let mut flat: Vec<Option<R>> = if threads == 1 {
+        (0..total).map(|k| Some(run_chunk(k))).collect()
+    } else {
+        let out = Mutex::new((0..total).map(|_| None).collect::<Vec<Option<R>>>());
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= total {
+                        break;
+                    }
+                    let r = run_chunk(k);
+                    out.lock().expect("worker panicked holding results")[k] = Some(r);
+                });
+            }
+        });
+        out.into_inner().expect("worker panicked holding results")
+    };
+
+    // Merge each item's chunks in chunk order — fixed order, fixed result.
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let mut acc = init();
+            for c in 0..chunks {
+                let r = flat[i * chunks + c].take().expect("chunk not computed");
+                merge(&mut acc, r);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Per-item [`OnlineStats`] over `plan.runs` draws of `sample`, merged in
+/// chunk order via [`OnlineStats::merge`].  This is the workhorse behind
+/// every figure sweep.
+pub fn stats_grid<T: Sync>(
+    items: &[T],
+    plan: McPlan,
+    seed: u64,
+    sample: impl Fn(&T, &mut Rng) -> f64 + Sync,
+) -> Vec<OnlineStats> {
+    fold_chunks(
+        items,
+        plan,
+        seed,
+        OnlineStats::new,
+        |acc, item, rng| acc.push(sample(item, rng)),
+        |acc, chunk| acc.merge(&chunk),
+    )
+}
+
+/// Per-item retained samples (for quantile studies), concatenated in chunk
+/// order so the sample *sequence* — not just its statistics — is
+/// independent of the thread count.
+pub fn samples_grid<T: Sync>(
+    items: &[T],
+    plan: McPlan,
+    seed: u64,
+    sample: impl Fn(&T, &mut Rng) -> f64 + Sync,
+) -> Vec<Vec<f64>> {
+    fold_chunks(
+        items,
+        plan,
+        seed,
+        Vec::new,
+        |acc, item, rng| acc.push(sample(item, rng)),
+        |acc, mut chunk| acc.append(&mut chunk),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(x: &f64, rng: &mut Rng) -> f64 {
+        x + rng.next_f64() * rng.next_f64() - rng.next_f64_open0().ln() * 0.01
+    }
+
+    #[test]
+    fn thread_count_does_not_change_stats() {
+        let xs = [1.0, 2.0, 30.0];
+        let base = stats_grid(&xs, McPlan::threaded(10_000, 1), 0xFEED, noisy);
+        for threads in [2, 3, 8, 64] {
+            let other = stats_grid(&xs, McPlan::threaded(10_000, threads), 0xFEED, noisy);
+            for (a, b) in base.iter().zip(&other) {
+                assert_eq!(a.n(), b.n());
+                assert_eq!(a.mean().to_bits(), b.mean().to_bits(), "{threads} threads");
+                assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+                assert_eq!(a.min().to_bits(), b.min().to_bits());
+                assert_eq!(a.max().to_bits(), b.max().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_sample_sequence() {
+        let xs = [5.0, 7.0];
+        let one = samples_grid(&xs, McPlan::threaded(3000, 1), 7, noisy);
+        let eight = samples_grid(&xs, McPlan::threaded(3000, 8), 7, noisy);
+        assert_eq!(one, eight);
+        assert_eq!(one[0].len(), 3000);
+    }
+
+    #[test]
+    fn chunking_covers_exactly_runs_samples() {
+        // Run counts around the chunk boundary, including a partial chunk,
+        // an exact multiple, and zero.
+        for runs in [0, 1, CHUNK - 1, CHUNK, CHUNK + 1, 3 * CHUNK, 100_000] {
+            let stats = stats_grid(&[0.0], McPlan::serial(runs), 1, |_, rng| rng.next_f64());
+            assert_eq!(stats[0].n(), runs as u64, "runs={runs}");
+        }
+    }
+
+    #[test]
+    fn seed_and_items_determine_results() {
+        let a = stats_grid(&[1.0, 2.0], McPlan::serial(5000), 42, noisy);
+        let b = stats_grid(&[1.0, 2.0], McPlan::auto(5000), 42, noisy);
+        let c = stats_grid(&[1.0, 2.0], McPlan::serial(5000), 43, noisy);
+        assert_eq!(a[0].mean().to_bits(), b[0].mean().to_bits());
+        assert_ne!(a[0].mean().to_bits(), c[0].mean().to_bits());
+    }
+
+    #[test]
+    fn plan_chunk_arithmetic() {
+        assert_eq!(McPlan::serial(0).chunks(), 0);
+        assert_eq!(McPlan::serial(1).chunks(), 1);
+        assert_eq!(McPlan::serial(CHUNK).chunks(), 1);
+        assert_eq!(McPlan::serial(CHUNK + 1).chunks(), 2);
+        let p = McPlan::serial(CHUNK + 7);
+        assert_eq!(p.chunk_len(0), CHUNK);
+        assert_eq!(p.chunk_len(1), 7);
+        assert_eq!(McPlan::threaded(10, 0).threads, 1, "threads clamp to 1");
+    }
+
+    #[test]
+    fn empty_grid_and_zero_runs_are_fine() {
+        let none: Vec<OnlineStats> = stats_grid(&[] as &[f64], McPlan::serial(100), 1, noisy);
+        assert!(none.is_empty());
+        let zero = stats_grid(&[1.0], McPlan::threaded(0, 4), 1, noisy);
+        assert_eq!(zero[0].n(), 0);
+    }
+}

@@ -107,7 +107,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let p = Params::paper_baseline(10.0).with_downtime(300.0).with_replicas(5);
+        let p = Params::paper_baseline(10.0)
+            .with_downtime(300.0)
+            .with_replicas(5);
         assert_eq!(p.downtime, 300.0);
         assert_eq!(p.n, 5);
     }

@@ -275,6 +275,56 @@ mod tests {
     }
 
     #[test]
+    fn merge_agrees_with_single_pass_for_random_partitions() {
+        // Property: any partition of a sample stream, accumulated per part
+        // and merged in part order, agrees with the single-pass
+        // accumulator — n/min/max exactly, the moments to float tolerance.
+        use gridwfs_sim::rng::Rng;
+        let mut rng = Rng::seed_from_u64(0x9A87);
+        for case in 0..200 {
+            let len = 1 + rng.index(2000);
+            let xs: Vec<f64> = (0..len)
+                .map(|_| (rng.next_f64() - 0.5) * 10f64.powi(rng.index(7) as i32 - 3))
+                .collect();
+            let mut single = OnlineStats::new();
+            for &x in &xs {
+                single.push(x);
+            }
+            // Random cut points (possibly empty parts at either end).
+            let parts = 1 + rng.index(9);
+            let mut cuts: Vec<usize> = (0..parts - 1).map(|_| rng.index(len + 1)).collect();
+            cuts.sort_unstable();
+            cuts.insert(0, 0);
+            cuts.push(len);
+            let mut merged = OnlineStats::new();
+            for w in cuts.windows(2) {
+                let mut part = OnlineStats::new();
+                for &x in &xs[w[0]..w[1]] {
+                    part.push(x);
+                }
+                merged.merge(&part);
+            }
+            assert_eq!(merged.n(), single.n(), "case {case}");
+            assert_eq!(merged.min(), single.min(), "case {case}");
+            assert_eq!(merged.max(), single.max(), "case {case}");
+            let scale = single.mean().abs().max(1e-12);
+            assert!(
+                (merged.mean() - single.mean()).abs() <= 1e-9 * scale,
+                "case {case}: mean {} vs {}",
+                merged.mean(),
+                single.mean()
+            );
+            let vscale = single.variance().abs().max(1e-12);
+            assert!(
+                (merged.variance() - single.variance()).abs() <= 1e-6 * vscale,
+                "case {case}: var {} vs {}",
+                merged.variance(),
+                single.variance()
+            );
+        }
+    }
+
+    #[test]
     fn merge_with_empty_is_identity() {
         let mut a = OnlineStats::new();
         a.push(1.0);
@@ -298,7 +348,10 @@ mod tests {
         assert!((s.mean() - 50.5).abs() < 1e-12);
         assert!((s.quantile(0.0) - 1.0).abs() < 1e-12);
         assert!((s.quantile(1.0) - 100.0).abs() < 1e-12);
-        assert!((s.quantile(0.5) - 50.5).abs() < 1e-12, "median interpolates");
+        assert!(
+            (s.quantile(0.5) - 50.5).abs() < 1e-12,
+            "median interpolates"
+        );
         assert!((s.quantile(0.99) - 99.01).abs() < 1e-9);
         assert_eq!(s.max(), 100.0);
     }

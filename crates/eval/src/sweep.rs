@@ -6,7 +6,7 @@
 
 use gridwfs_sim::rng::Rng;
 
-use crate::stats::{estimate, Estimate};
+use crate::parallel::{self, McPlan};
 
 /// One plotted curve.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,36 +18,39 @@ pub struct Series {
 }
 
 impl Series {
-    /// Builds a series by Monte-Carlo estimation at each x.
+    /// Builds a series by Monte-Carlo estimation at each x
+    /// (single-threaded; see [`Series::by_simulation_plan`]).
     pub fn by_simulation(
         label: impl Into<String>,
         xs: &[f64],
         runs: usize,
         seed: u64,
-        mut sampler: impl FnMut(f64, &mut Rng) -> f64,
+        sampler: impl Fn(f64, &mut Rng) -> f64 + Sync,
     ) -> Series {
-        let parent = Rng::seed_from_u64(seed);
-        let points = xs
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| {
-                let mut rng = parent.split(i as u64);
-                let e: Estimate = estimate(runs, || sampler(x, &mut rng));
-                (x, e.mean)
-            })
-            .collect();
+        Self::by_simulation_plan(label, xs, McPlan::serial(runs), seed, sampler)
+    }
+
+    /// Builds a series by Monte-Carlo estimation at each x, fanned out over
+    /// `plan.threads` workers.  Samples are drawn in fixed
+    /// [`parallel::CHUNK`]-sized substream chunks and merged in chunk
+    /// order, so the series is bit-for-bit identical for any thread count
+    /// (including [`Series::by_simulation`], which is the 1-thread plan).
+    pub fn by_simulation_plan(
+        label: impl Into<String>,
+        xs: &[f64],
+        plan: McPlan,
+        seed: u64,
+        sampler: impl Fn(f64, &mut Rng) -> f64 + Sync,
+    ) -> Series {
+        let stats = parallel::stats_grid(xs, plan, seed, |&x, rng| sampler(x, rng));
         Series {
             label: label.into(),
-            points,
+            points: xs.iter().zip(&stats).map(|(&x, s)| (x, s.mean())).collect(),
         }
     }
 
     /// Builds a series from a closed-form function.
-    pub fn by_formula(
-        label: impl Into<String>,
-        xs: &[f64],
-        f: impl Fn(f64) -> f64,
-    ) -> Series {
+    pub fn by_formula(label: impl Into<String>, xs: &[f64], f: impl Fn(f64) -> f64) -> Series {
         Series {
             label: label.into(),
             points: xs.iter().map(|&x| (x, f(x))).collect(),
@@ -56,10 +59,7 @@ impl Series {
 
     /// The y value at a given x (exact match).
     pub fn y_at(&self, x: f64) -> Option<f64> {
-        self.points
-            .iter()
-            .find(|(px, _)| *px == x)
-            .map(|&(_, y)| y)
+        self.points.iter().find(|(px, _)| *px == x).map(|&(_, y)| y)
     }
 
     /// The x of the first point where this series drops below `other`
@@ -157,14 +157,29 @@ mod tests {
     #[test]
     fn by_simulation_is_deterministic_per_seed() {
         let xs = [10.0, 20.0];
-        let mk = |seed| {
-            Series::by_simulation("s", &xs, 1000, seed, |x, rng| x + rng.next_f64())
-        };
+        let mk = |seed| Series::by_simulation("s", &xs, 1000, seed, |x, rng| x + rng.next_f64());
         assert_eq!(mk(1), mk(1));
         assert_ne!(mk(1), mk(2));
         // Mean of x + U[0,1) is about x + 0.5.
         let s = mk(3);
         assert!((s.points[0].1 - 10.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn by_simulation_identical_at_1_2_and_8_threads() {
+        let xs = [10.0, 20.0, 50.0];
+        let sampler = |x: f64, rng: &mut Rng| x * rng.next_f64() + rng.next_f64();
+        let serial = Series::by_simulation("s", &xs, 4321, 0xD1CE, sampler);
+        for threads in [1, 2, 8] {
+            let par = Series::by_simulation_plan(
+                "s",
+                &xs,
+                McPlan::threaded(4321, threads),
+                0xD1CE,
+                sampler,
+            );
+            assert_eq!(serial, par, "{threads} threads must be bit-identical");
+        }
     }
 
     #[test]

@@ -125,9 +125,7 @@ pub fn checkpoint(p: &Params, rng: &mut Rng) -> f64 {
 
 /// One N-replica race, each replica recovered by `base`.
 fn replication(p: &Params, rng: &mut Rng, base: fn(&Params, &mut Rng) -> f64) -> f64 {
-    (0..p.n)
-        .map(|_| base(p, rng))
-        .fold(f64::INFINITY, f64::min)
+    (0..p.n).map(|_| base(p, rng)).fold(f64::INFINITY, f64::min)
 }
 
 #[cfg(test)]
@@ -299,7 +297,10 @@ mod tests {
             .collect();
         let p99: Vec<f64> = sets.iter_mut().map(|s| s.quantile(0.99)).collect();
         let (rt, ck, rp, rpck) = (p99[0], p99[1], p99[2], p99[3]);
-        assert!(rp < rt / 2.0, "replication p99 {rp} under half of retry {rt}");
+        assert!(
+            rp < rt / 2.0,
+            "replication p99 {rp} under half of retry {rt}"
+        );
         assert!(rpck < ck, "RpCk p99 {rpck} under Ck {ck}");
         assert!(rpck < rp, "RpCk has the tightest tail");
     }

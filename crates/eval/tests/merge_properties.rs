@@ -1,0 +1,61 @@
+//! Property tests for the parallel-reduction contract: merging *any*
+//! partition of a sample stream through `OnlineStats::merge` must agree
+//! with the single-pass accumulator, and the chunked fan-out in
+//! `gridwfs_eval::parallel` must be invariant in the thread count.
+
+use gridwfs_eval::parallel::{self, McPlan};
+use gridwfs_eval::stats::OnlineStats;
+use proptest::prelude::*;
+
+fn single_pass(xs: &[f64]) -> OnlineStats {
+    let mut s = OnlineStats::new();
+    for &x in xs {
+        s.push(x);
+    }
+    s
+}
+
+proptest! {
+    /// Merging any partition (given as part lengths) equals one pass.
+    #[test]
+    fn any_partition_merges_to_single_pass(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..500),
+        cuts in proptest::collection::vec(0usize..500, 0..6),
+    ) {
+        let single = single_pass(&xs);
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (xs.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(xs.len());
+        bounds.sort_unstable();
+        let mut merged = OnlineStats::new();
+        for w in bounds.windows(2) {
+            merged.merge(&single_pass(&xs[w[0]..w[1]]));
+        }
+        prop_assert_eq!(merged.n(), single.n());
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+        let scale = single.mean().abs().max(1.0);
+        prop_assert!((merged.mean() - single.mean()).abs() <= 1e-9 * scale);
+        let vscale = single.variance().abs().max(1.0);
+        prop_assert!((merged.variance() - single.variance()).abs() <= 1e-6 * vscale);
+    }
+
+    /// The chunked fan-out returns bit-identical statistics for any
+    /// thread count — the determinism guarantee the figure tables rely on.
+    #[test]
+    fn stats_grid_is_thread_count_invariant(
+        seed in any::<u64>(),
+        runs in 0usize..5000,
+        threads in 1usize..9,
+    ) {
+        let xs = [3.0, 50.0];
+        let sample = |&x: &f64, rng: &mut gridwfs_sim::rng::Rng| x * rng.next_f64();
+        let serial = parallel::stats_grid(&xs, McPlan::serial(runs), seed, sample);
+        let par = parallel::stats_grid(&xs, McPlan::threaded(runs, threads), seed, sample);
+        for (a, b) in serial.iter().zip(&par) {
+            prop_assert_eq!(a.n(), b.n());
+            prop_assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+            prop_assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+        }
+    }
+}

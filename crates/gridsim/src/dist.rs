@@ -36,7 +36,10 @@ impl Dist {
     /// # Panics
     /// Panics if `value` is negative or non-finite.
     pub fn constant(value: f64) -> Dist {
-        assert!(value.is_finite() && value >= 0.0, "constant needs finite value >= 0");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "constant needs finite value >= 0"
+        );
         Dist::Constant { value }
     }
 
@@ -207,7 +210,11 @@ impl PoissonProcess {
     /// Panics if `rate` is negative or non-finite.
     pub fn new(rate: f64, rng: Rng) -> Self {
         assert!(rate.is_finite() && rate >= 0.0);
-        PoissonProcess { rate, now: 0.0, rng }
+        PoissonProcess {
+            rate,
+            now: 0.0,
+            rng,
+        }
     }
 
     /// Number of arrivals in `[0, horizon)`, consuming the iterator.
@@ -345,7 +352,10 @@ mod tests {
             for i in 0..100 {
                 let x = i as f64 * 0.1;
                 let c = d.cdf(x);
-                assert!(c >= prev_cdf - 1e-12, "{d:?} cdf not monotone at {x} (prev {prev})");
+                assert!(
+                    c >= prev_cdf - 1e-12,
+                    "{d:?} cdf not monotone at {x} (prev {prev})"
+                );
                 assert!((0.0..=1.0).contains(&c));
                 prev = x;
                 prev_cdf = c;

@@ -5,33 +5,55 @@
 //! instant pop in scheduling order) so simulations are deterministic.
 //! Cancellation — needed when the engine cancels outstanding replicas after
 //! the first one finishes (§4.2) — is implemented by lazy deletion: a
-//! cancelled id stays in the heap but is skipped on pop, which keeps both
-//! `schedule` and `cancel` O(log n) amortised with no rebalancing.
+//! cancelled event's heap entry stays in the heap but is skipped on pop.
+//!
+//! Storage is a **generational slab**: payloads live in a `Vec` indexed by a
+//! reusable slot, and every scheduling gets a fresh monotonically increasing
+//! sequence number that doubles as the slot's generation.  A heap entry is
+//! valid iff its slot still holds its sequence number, so `schedule`,
+//! `cancel` and `pop` are a couple of array accesses plus the heap work —
+//! the earlier `HashMap`/`HashSet` bookkeeping hashed on every engine event,
+//! which dominated the simulator hot path.  Memory stays bounded by the
+//! maximum number of *concurrently pending* events (freed slots are reused
+//! through a free list), not by the total scheduled over a run.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::time::SimTime;
 
 /// Opaque handle to a scheduled event, usable for cancellation.
+///
+/// Ordering follows scheduling order (earlier-scheduled handles compare
+/// smaller), as before the slab rewrite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
-
-#[derive(Debug)]
-struct Slot<E> {
-    time: SimTime,
+pub struct EventId {
     seq: u64,
-    payload: E,
+    slot: u32,
+}
+
+/// One slab cell: either a pending event or a link in the free list.
+#[derive(Debug)]
+enum Entry<E> {
+    /// Free cell; `next` chains the free list.
+    Vacant { next: Option<u32> },
+    /// Pending event; its time lives in the heap key.  `seq` is the
+    /// generation guard: a stale heap entry (cancelled, or popped and the
+    /// slot since reused) carries a sequence number that no longer matches
+    /// and is skipped.
+    Occupied { seq: u64, payload: E },
 }
 
 /// A pending-event set ordered by simulation time.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
-    slots: std::collections::HashMap<u64, Slot<E>>,
-    cancelled: HashSet<u64>,
+    /// Min-heap on `(time, seq)`; `slot` rides along to reach the slab cell
+    /// without hashing.  `seq` is unique, so ties never reach `slot`.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    slots: Vec<Entry<E>>,
+    free_head: Option<u32>,
     next_seq: u64,
+    pending: usize,
 }
 
 /// An event popped from the queue.
@@ -56,9 +78,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            slots: std::collections::HashMap::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free_head: None,
             next_seq: 0,
+            pending: 0,
         }
     }
 
@@ -67,17 +90,60 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.slots.insert(seq, Slot { time, seq, payload });
-        self.heap.push(Reverse((time, seq)));
-        EventId(seq)
+        let entry = Entry::Occupied { seq, payload };
+        let slot = match self.free_head {
+            Some(idx) => {
+                self.free_head = match self.slots[idx as usize] {
+                    Entry::Vacant { next } => next,
+                    Entry::Occupied { .. } => unreachable!("free list points at occupied slot"),
+                };
+                self.slots[idx as usize] = entry;
+                idx
+            }
+            None => {
+                let idx =
+                    u32::try_from(self.slots.len()).expect("more than u32::MAX pending events");
+                self.slots.push(entry);
+                idx
+            }
+        };
+        self.heap.push(Reverse((time, seq, slot)));
+        self.pending += 1;
+        EventId { seq, slot }
+    }
+
+    /// Frees `slot`, returning its payload.  The caller has already checked
+    /// the generation.
+    fn vacate(&mut self, slot: u32) -> E {
+        let entry = std::mem::replace(
+            &mut self.slots[slot as usize],
+            Entry::Vacant {
+                next: self.free_head,
+            },
+        );
+        self.free_head = Some(slot);
+        self.pending -= 1;
+        match entry {
+            Entry::Occupied { payload, .. } => payload,
+            Entry::Vacant { .. } => unreachable!("vacate() of a vacant slot"),
+        }
+    }
+
+    /// True if `slot` currently holds generation `seq`.
+    fn is_live(&self, slot: u32, seq: u64) -> bool {
+        matches!(
+            self.slots.get(slot as usize),
+            Some(Entry::Occupied { seq: s, .. }) if *s == seq
+        )
     }
 
     /// Cancels a scheduled event.  Returns `true` if the event was still
     /// pending (and is now guaranteed never to fire), `false` if it already
     /// fired or was already cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.slots.remove(&id.0).is_some() {
-            self.cancelled.insert(id.0);
+        if self.is_live(id.slot, id.seq) {
+            // The heap entry goes stale and is skipped on pop/peek.
+            self.vacate(id.slot);
             true
         } else {
             false
@@ -86,15 +152,13 @@ impl<E> EventQueue<E> {
 
     /// Pops the earliest pending event, skipping cancelled ones.
     pub fn pop(&mut self) -> Option<Fired<E>> {
-        while let Some(Reverse((_, seq))) = self.heap.pop() {
-            if self.cancelled.remove(&seq) {
-                continue;
-            }
-            if let Some(slot) = self.slots.remove(&seq) {
+        while let Some(Reverse((time, seq, slot))) = self.heap.pop() {
+            if self.is_live(slot, seq) {
+                let payload = self.vacate(slot);
                 return Some(Fired {
-                    time: slot.time,
-                    id: EventId(slot.seq),
-                    payload: slot.payload,
+                    time,
+                    id: EventId { seq, slot },
+                    payload,
                 });
             }
         }
@@ -103,31 +167,31 @@ impl<E> EventQueue<E> {
 
     /// Time of the earliest pending event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(&Reverse((t, seq))) = self.heap.peek() {
-            if self.slots.contains_key(&seq) {
+        while let Some(&Reverse((t, seq, slot))) = self.heap.peek() {
+            if self.is_live(slot, seq) {
                 return Some(t);
             }
-            // Drop stale cancelled entry and keep looking.
+            // Drop the stale cancelled entry and keep looking.
             self.heap.pop();
-            self.cancelled.remove(&seq);
         }
         None
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.pending
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.pending == 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     fn t(x: f64) -> SimTime {
         SimTime::new(x)
@@ -154,6 +218,20 @@ mod tests {
     }
 
     #[test]
+    fn equal_times_fire_fifo_across_slot_reuse() {
+        // Slot reuse must not disturb FIFO tie-breaking: after a cancel
+        // frees slot 0, the *later-scheduled* event that reuses the slot
+        // still fires after events scheduled before it.
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(5.0), "a");
+        q.schedule(t(5.0), "b");
+        assert!(q.cancel(a));
+        q.schedule(t(5.0), "c"); // reuses a's slot
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|f| f.payload)).collect();
+        assert_eq!(order, vec!["b", "c"]);
+    }
+
+    #[test]
     fn cancel_prevents_firing() {
         let mut q = EventQueue::new();
         let a = q.schedule(t(1.0), "a");
@@ -172,6 +250,17 @@ mod tests {
         let b = q.schedule(t(1.0), ());
         assert_eq!(q.pop().unwrap().id, b);
         assert!(!q.cancel(b), "cancelling a fired event reports not-pending");
+    }
+
+    #[test]
+    fn stale_handle_cannot_cancel_slot_reuser() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        assert!(q.cancel(a));
+        let b = q.schedule(t(2.0), "b"); // reuses a's slot, new generation
+        assert!(!q.cancel(a), "stale handle must not hit the reused slot");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().id, b);
     }
 
     #[test]
@@ -207,6 +296,17 @@ mod tests {
     }
 
     #[test]
+    fn ids_stay_unique_across_slot_reuse() {
+        let mut q = EventQueue::new();
+        let mut seen = HashSet::new();
+        for round in 0..50 {
+            let id = q.schedule(t(round as f64), round);
+            assert!(seen.insert(id), "handle reused: {id:?}");
+            q.pop();
+        }
+    }
+
+    #[test]
     fn interleaved_schedule_and_pop() {
         let mut q = EventQueue::new();
         q.schedule(t(10.0), "late");
@@ -215,6 +315,24 @@ mod tests {
         q.schedule(t(5.0), "mid");
         assert_eq!(q.pop().unwrap().payload, "mid");
         assert_eq!(q.pop().unwrap().payload, "late");
+    }
+
+    #[test]
+    fn slab_reuses_slots_instead_of_growing() {
+        let mut q = EventQueue::new();
+        for i in 0..10_000 {
+            let id = q.schedule(t(i as f64), i);
+            if i % 2 == 0 {
+                q.cancel(id);
+            } else {
+                q.pop();
+            }
+        }
+        assert!(
+            q.slots.len() <= 2,
+            "at most one pending event at a time, slab grew to {}",
+            q.slots.len()
+        );
     }
 
     #[test]
@@ -229,6 +347,63 @@ mod tests {
         while let Some(f) = q.pop() {
             assert!(f.time >= prev);
             prev = f.time;
+        }
+    }
+
+    #[test]
+    fn randomized_against_reference_model() {
+        // Drive the slab queue and a naive reference (sorted Vec with FIFO
+        // tie-break) with the same random operation stream; they must agree
+        // on every pop, cancel result, and length.
+        let mut rng = crate::rng::Rng::seed_from_u64(0x51AB);
+        let mut q = EventQueue::new();
+        // Reference: (time, schedule_order, payload), popped min-first.
+        let mut reference: Vec<(SimTime, u64, u32)> = Vec::new();
+        let mut ids: Vec<(EventId, u64)> = Vec::new(); // (handle, schedule order)
+        let mut order = 0u64;
+        for step in 0..20_000u32 {
+            match rng.index(4) {
+                // Schedule (twice as likely as each other op).
+                0 | 1 => {
+                    // Coarse grid so equal timestamps actually occur.
+                    let time = t((rng.index(32) as f64) * 0.5);
+                    let id = q.schedule(time, step);
+                    reference.push((time, order, step));
+                    ids.push((id, order));
+                    order += 1;
+                }
+                2 => {
+                    let expect = reference
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| a.cmp(b))
+                        .map(|(i, _)| i);
+                    match (q.pop(), expect) {
+                        (None, None) => {}
+                        (Some(f), Some(i)) => {
+                            let (rt, _, rp) = reference.remove(i);
+                            assert_eq!(f.time, rt, "pop time at step {step}");
+                            assert_eq!(f.payload, rp, "pop payload at step {step}");
+                        }
+                        (got, want) => panic!("pop mismatch at {step}: {got:?} vs {want:?}"),
+                    }
+                }
+                _ => {
+                    if !ids.is_empty() {
+                        let (id, ord) = ids[rng.index(ids.len())];
+                        let still = reference.iter().position(|&(_, o, _)| o == ord);
+                        assert_eq!(
+                            q.cancel(id),
+                            still.is_some(),
+                            "cancel status at step {step}"
+                        );
+                        if let Some(i) = still {
+                            reference.remove(i);
+                        }
+                    }
+                }
+            }
+            assert_eq!(q.len(), reference.len(), "len at step {step}");
         }
     }
 }

@@ -49,10 +49,7 @@ impl Rng {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -207,7 +204,10 @@ mod tests {
         }
         for &c in &counts {
             let expect = n as f64 / 5.0;
-            assert!((c as f64 - expect).abs() < expect * 0.1, "counts {counts:?}");
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.1,
+                "counts {counts:?}"
+            );
         }
     }
 
@@ -275,7 +275,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
     }
 
     #[test]

@@ -272,14 +272,8 @@ mod tests {
 
     #[test]
     fn max_picks_later() {
-        assert_eq!(
-            SimTime::new(2.0).max(SimTime::new(5.0)),
-            SimTime::new(5.0)
-        );
-        assert_eq!(
-            SimTime::new(5.0).max(SimTime::new(2.0)),
-            SimTime::new(5.0)
-        );
+        assert_eq!(SimTime::new(2.0).max(SimTime::new(5.0)), SimTime::new(5.0));
+        assert_eq!(SimTime::new(5.0).max(SimTime::new(2.0)), SimTime::new(5.0));
     }
 
     #[test]

@@ -41,7 +41,11 @@ impl FailureTrace {
         let mut end_of_prev_down = -1.0;
         for e in &entries {
             assert!(e.at.is_finite() && e.at >= 0.0, "bad crash time {}", e.at);
-            assert!(e.down.is_finite() && e.down >= 0.0, "bad downtime {}", e.down);
+            assert!(
+                e.down.is_finite() && e.down >= 0.0,
+                "bad downtime {}",
+                e.down
+            );
             assert!(
                 e.at > end_of_prev_down,
                 "crash at {} overlaps previous downtime ending at {}",

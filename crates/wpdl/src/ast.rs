@@ -356,8 +356,10 @@ mod tests {
         // Fast_Unreliable_Task --done--> Join
         //                      \--failed--> Slow_Reliable_Task --done--> Join (OR)
         let mut w = Workflow::new("figure4");
-        w.programs.push(Program::new("fast", 30.0, "volunteer.example"));
-        w.programs.push(Program::new("slow", 150.0, "condor.example"));
+        w.programs
+            .push(Program::new("fast", 30.0, "volunteer.example"));
+        w.programs
+            .push(Program::new("slow", 150.0, "condor.example"));
         w.activities.push(Activity::new("fast_task", "fast"));
         w.activities.push(Activity::new("slow_task", "slow"));
         let mut join = Activity::dummy("join");

@@ -133,8 +133,8 @@ impl WorkflowBuilder {
     /// Panics if `condition` does not parse — builder conditions are
     /// compile-time constants of the calling program.
     pub fn edge_if(mut self, from: &str, to: &str, condition: &str) -> Self {
-        let cond = expr::parse(condition)
-            .unwrap_or_else(|e| panic!("bad condition '{condition}': {e}"));
+        let cond =
+            expr::parse(condition).unwrap_or_else(|e| panic!("bad condition '{condition}': {e}"));
         self.workflow
             .transitions
             .push(Transition::new(from, to).when(cond));
@@ -146,8 +146,8 @@ impl WorkflowBuilder {
     /// # Panics
     /// Panics if `condition` does not parse.
     pub fn do_while(mut self, activity: &str, condition: &str) -> Self {
-        let cond = expr::parse(condition)
-            .unwrap_or_else(|e| panic!("bad condition '{condition}': {e}"));
+        let cond =
+            expr::parse(condition).unwrap_or_else(|e| panic!("bad condition '{condition}': {e}"));
         self.workflow.loops.push(LoopSpec {
             activity: activity.to_string(),
             condition: cond,
@@ -295,7 +295,11 @@ mod tests {
 
     #[test]
     fn builder_produces_valid_figure_workflows() {
-        for w in [figure4(30.0, 150.0), figure5(30.0, 150.0), figure6(30.0, 150.0)] {
+        for w in [
+            figure4(30.0, 150.0),
+            figure5(30.0, 150.0),
+            figure6(30.0, 150.0),
+        ] {
             let v = validate(w).expect("figure workflows validate");
             assert_eq!(v.workflow().sinks().len(), 1);
             assert_eq!(v.workflow().sinks()[0].name, "join_task");
@@ -313,7 +317,10 @@ mod tests {
             "application implementations untouched"
         );
         assert_eq!(f4.program("slow_impl"), f5.program("slow_impl"));
-        assert_ne!(f4.transitions, f5.transitions, "strategy lives in the edges");
+        assert_ne!(
+            f4.transitions, f5.transitions,
+            "strategy lives in the edges"
+        );
     }
 
     #[test]

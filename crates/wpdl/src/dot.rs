@@ -44,7 +44,10 @@ pub fn to_dot(w: &Workflow) -> String {
             label.push_str(&notes.join(", "));
             label.push(']');
         }
-        attrs.push(format!("label=\"{}\"", escape(&label).replace("\\\\n", "\\n")));
+        attrs.push(format!(
+            "label=\"{}\"",
+            escape(&label).replace("\\\\n", "\\n")
+        ));
         out.push_str(&format!(
             "  \"{}\" [{}];\n",
             escape(&a.name),

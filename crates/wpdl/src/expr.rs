@@ -156,7 +156,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "expression error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "expression error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 impl std::error::Error for ParseError {}
@@ -336,7 +340,8 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 let start = i;
                 i += 1;
                 let ns = i;
-                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.') {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
                     i += 1;
                 }
                 if i == ns {
@@ -464,7 +469,9 @@ impl P {
                         self.expect(&Tok::RParen, "')' after arguments")?;
                         Ok(Expr::Call(id, args))
                     } else {
-                        self.err(format!("bare identifier '{id}' (did you mean ${id} or {id}(...)?)"))
+                        self.err(format!(
+                            "bare identifier '{id}' (did you mean ${id} or {id}(...)?)"
+                        ))
                     }
                 }
             },
@@ -501,9 +508,7 @@ impl Expr {
             Expr::Num(n) => Ok(Value::Num(*n)),
             Expr::Str(s) => Ok(Value::Str(s.clone())),
             Expr::Bool(b) => Ok(Value::Bool(*b)),
-            Expr::Var(v) => env
-                .var(v)
-                .ok_or_else(|| EvalError::UndefinedVar(v.clone())),
+            Expr::Var(v) => env.var(v).ok_or_else(|| EvalError::UndefinedVar(v.clone())),
             Expr::Call(name, args) => {
                 let vals = args
                     .iter()
@@ -774,7 +779,10 @@ mod tests {
             parse("nope()").unwrap().eval(&env),
             Err(EvalError::UnknownFn("nope".into()))
         );
-        assert_eq!(parse("1 / 0").unwrap().eval(&env), Err(EvalError::DivByZero));
+        assert_eq!(
+            parse("1 / 0").unwrap().eval(&env),
+            Err(EvalError::DivByZero)
+        );
         assert!(matches!(
             parse("'a' < 'b'").unwrap().eval(&env),
             Err(EvalError::Type(_))

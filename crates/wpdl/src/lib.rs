@@ -58,8 +58,8 @@ pub use ast::{
     Trigger, VarDecl, Workflow,
 };
 pub use builder::WorkflowBuilder;
+pub use dot::to_dot;
 pub use expr::{Env, EvalError, Expr, Value};
 pub use parse::{from_str, WpdlError};
 pub use validate::{validate, Issue, IssueKind, Validated};
-pub use dot::to_dot;
 pub use writer::to_string as to_xml_string;

@@ -44,11 +44,10 @@ fn err<T>(el: &Element, msg: impl Into<String>) -> Result<T, WpdlError> {
 }
 
 fn req_attr<'a>(el: &'a Element, name: &str) -> Result<&'a str, WpdlError> {
-    el.get_attr(name)
-        .ok_or_else(|| WpdlError {
-            message: format!("<{}> requires a '{}' attribute", el.name, name),
-            pos: el.pos,
-        })
+    el.get_attr(name).ok_or_else(|| WpdlError {
+        message: format!("<{}> requires a '{}' attribute", el.name, name),
+        pos: el.pos,
+    })
 }
 
 fn parse_f64(el: &Element, name: &str, value: &str) -> Result<f64, WpdlError> {
@@ -214,7 +213,12 @@ fn parse_variable(el: &Element) -> Result<VarDecl, WpdlError> {
             _ => return err(el, format!("bool variable '{name}' must be true|false")),
         },
         "str" => Value::Str(raw.to_string()),
-        other => return err(el, format!("unknown variable type '{other}' (num|str|bool)")),
+        other => {
+            return err(
+                el,
+                format!("unknown variable type '{other}' (num|str|bool)"),
+            )
+        }
     };
     Ok(VarDecl { name, value })
 }
@@ -222,7 +226,10 @@ fn parse_variable(el: &Element) -> Result<VarDecl, WpdlError> {
 /// Parses a workflow from a parsed XML root element.
 pub fn from_element(root: &Element) -> Result<Workflow, WpdlError> {
     if root.name != "Workflow" {
-        return err(root, format!("expected <Workflow> root, found <{}>", root.name));
+        return err(
+            root,
+            format!("expected <Workflow> root, found <{}>", root.name),
+        );
     }
     let mut w = Workflow::new(root.get_attr("name").unwrap_or("unnamed"));
     for child in root.child_elements() {
@@ -240,14 +247,22 @@ pub fn from_element(root: &Element) -> Result<Workflow, WpdlError> {
                 activity: req_attr(child, "activity")?.to_string(),
                 condition: parse_expr_attr(child, "condition", req_attr(child, "condition")?)?,
             }),
-            other => return err(child, format!("unknown element <{other}> inside <Workflow>")),
+            other => {
+                return err(
+                    child,
+                    format!("unknown element <{other}> inside <Workflow>"),
+                )
+            }
         }
     }
     // Significant stray text is almost always a markup mistake.
     for node in &root.children {
         if let XmlNode::Text(t) = node {
             if !t.trim().is_empty() {
-                return err(root, format!("stray text inside <Workflow>: '{}'", t.trim()));
+                return err(
+                    root,
+                    format!("stray text inside <Workflow>: '{}'", t.trim()),
+                );
             }
         }
     }

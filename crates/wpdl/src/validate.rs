@@ -121,25 +121,23 @@ pub fn validate(workflow: Workflow) -> Result<Validated, Vec<Issue>> {
 
     for a in &w.activities {
         match &a.implement {
-            Some(prog) => {
-                match w.program(prog) {
-                    None => issues.push(Issue {
-                        kind: IssueKind::DanglingReference,
-                        message: format!("activity '{}' implements unknown program '{prog}'", a.name),
-                    }),
-                    Some(p) => {
-                        if a.policy == Policy::Replica && p.options.len() < 2 {
-                            issues.push(Issue {
+            Some(prog) => match w.program(prog) {
+                None => issues.push(Issue {
+                    kind: IssueKind::DanglingReference,
+                    message: format!("activity '{}' implements unknown program '{prog}'", a.name),
+                }),
+                Some(p) => {
+                    if a.policy == Policy::Replica && p.options.len() < 2 {
+                        issues.push(Issue {
                                 kind: IssueKind::BadPolicy,
                                 message: format!(
                                     "activity '{}' uses policy='replica' but program '{}' offers only {} resource(s)",
                                     a.name, prog, p.options.len()
                                 ),
                             });
-                        }
                     }
                 }
-            }
+            },
             None => {
                 if a.policy == Policy::Replica {
                     issues.push(Issue {
@@ -274,10 +272,7 @@ pub fn validate(workflow: Workflow) -> Result<Validated, Vec<Issue>> {
     }
 
     if issues.is_empty() {
-        Ok(Validated {
-            workflow,
-            topo,
-        })
+        Ok(Validated { workflow, topo })
     } else {
         Err(issues)
     }
@@ -429,7 +424,10 @@ mod tests {
         let mut w = base();
         w.transitions
             .push(Transition::new("a", "b").on(Trigger::Failed));
-        assert!(validate(w.clone()).is_ok(), "same endpoints, different trigger");
+        assert!(
+            validate(w.clone()).is_ok(),
+            "same endpoints, different trigger"
+        );
         w.transitions.push(Transition::new("a", "b"));
         let issues = validate(w).unwrap_err();
         assert!(issues
@@ -495,7 +493,8 @@ mod tests {
     fn figure5_or_join_redundancy_validates() {
         // Dummy split -> (fast, slow) -> OR join.
         let mut w = Workflow::new("fig5");
-        w.programs.push(Program::new("fastp", 30.0, "h1").option("h2"));
+        w.programs
+            .push(Program::new("fastp", 30.0, "h1").option("h2"));
         w.programs.push(Program::new("slowp", 150.0, "h3"));
         w.activities.push(Activity::dummy("split"));
         w.activities.push(Activity::new("fast", "fastp"));

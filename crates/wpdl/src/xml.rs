@@ -628,7 +628,10 @@ mod tests {
             .children_named("Option")
             .map(|o| o.get_attr("hostname").unwrap())
             .collect();
-        assert_eq!(hosts, vec!["bolas.isi.edu", "vanuatu.isi.edu", "jupiter.isi.edu"]);
+        assert_eq!(
+            hosts,
+            vec!["bolas.isi.edu", "vanuatu.isi.edu", "jupiter.isi.edu"]
+        );
     }
 
     #[test]
@@ -727,7 +730,10 @@ mod tests {
         assert_eq!(back.name, "Workflow");
         let act = back.first_child("Activity").unwrap();
         assert_eq!(act.get_attr("name"), Some("a & b"));
-        assert_eq!(act.first_child("Implement").unwrap().text_content(), "sum<1>");
+        assert_eq!(
+            act.first_child("Implement").unwrap().text_content(),
+            "sum<1>"
+        );
         assert!(back.first_child("Empty").unwrap().children.is_empty());
     }
 

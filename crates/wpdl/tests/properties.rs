@@ -20,7 +20,10 @@ fn text_strategy() -> impl Strategy<Value = String> {
 }
 
 fn arb_element(depth: u32) -> impl Strategy<Value = Element> {
-    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), text_strategy()), 0..4))
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), text_strategy()), 0..4),
+    )
         .prop_map(|(name, attrs)| {
             let mut el = Element::new(name);
             let mut seen = std::collections::HashSet::new();
@@ -76,8 +79,12 @@ fn arb_trigger() -> impl Strategy<Value = Trigger> {
 /// Generates a random *valid* workflow: unique names, edges respecting an
 /// index order (hence acyclic), references that exist.
 fn arb_workflow() -> impl Strategy<Value = Workflow> {
-    (2usize..8, proptest::collection::vec(arb_trigger(), 1..12), any::<u64>()).prop_map(
-        |(n, triggers, seed)| {
+    (
+        2usize..8,
+        proptest::collection::vec(arb_trigger(), 1..12),
+        any::<u64>(),
+    )
+        .prop_map(|(n, triggers, seed)| {
             let mut w = Workflow::new(format!("gen{seed}"));
             w.programs
                 .push(Program::new("prog", 10.0, "h1").option("h2").option("h3"));
@@ -114,15 +121,19 @@ fn arb_workflow() -> impl Strategy<Value = Workflow> {
                 let from = (s >> 8) as usize % (n - 1);
                 let to = from + 1 + ((s >> 24) as usize % (n - from - 1));
                 let trig = match trig {
-                    Trigger::Exception(_) => {
-                        Trigger::Exception(if s.is_multiple_of(2) { "exc_a" } else { "exc_b" }.into())
-                    }
+                    Trigger::Exception(_) => Trigger::Exception(
+                        if s.is_multiple_of(2) {
+                            "exc_a"
+                        } else {
+                            "exc_b"
+                        }
+                        .into(),
+                    ),
                     t => t,
                 };
                 if seen.insert((from, to, trig.clone())) {
-                    w.transitions.push(
-                        Transition::new(format!("act{from}"), format!("act{to}")).on(trig),
-                    );
+                    w.transitions
+                        .push(Transition::new(format!("act{from}"), format!("act{to}")).on(trig));
                 }
             }
             w.variables.push(VarDecl {
@@ -130,8 +141,7 @@ fn arb_workflow() -> impl Strategy<Value = Workflow> {
                 value: Value::Num((seed % 10) as f64),
             });
             w
-        },
-    )
+        })
 }
 
 // ------------------------------------------------------------ properties ---

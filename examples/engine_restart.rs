@@ -18,8 +18,8 @@
 use gridwfs::core::checkpoint;
 use gridwfs::core::{Engine, SimGrid};
 use gridwfs::sim::resource::ResourceSpec;
-use gridwfs::wpdl::WorkflowBuilder;
 use gridwfs::wpdl::validate::Validated;
+use gridwfs::wpdl::WorkflowBuilder;
 
 fn pipeline() -> Validated {
     let mut b = WorkflowBuilder::new("restartable-pipeline")
@@ -85,7 +85,11 @@ fn main() {
     println!("  outcome: {:?}", report2.outcome);
     println!(
         "  ingest resubmitted? {} (completion was reused from the checkpoint)",
-        if report2.submissions_of("ingest") == 0 { "no" } else { "yes" }
+        if report2.submissions_of("ingest") == 0 {
+            "no"
+        } else {
+            "yes"
+        }
     );
     println!(
         "  makespan of the resumed run: {:.1} (transform 40 + archive 10, no ingest 20)",

@@ -28,7 +28,10 @@ use gridwfs::wpdl::WorkflowBuilder;
 
 fn catalogs() -> Broker {
     let mut sw = SoftwareCatalog::new();
-    sw.add_implementation("mesh_gen", Implementation::new("cluster.isi.edu", "/bin/", "mesh"));
+    sw.add_implementation(
+        "mesh_gen",
+        Implementation::new("cluster.isi.edu", "/bin/", "mesh"),
+    );
     sw.add_implementation(
         "solver_fast",
         Implementation::new("bigmem.isi.edu", "/bin/", "solver-mem").requires(0.0, 64.0),
@@ -40,16 +43,39 @@ fn catalogs() -> Broker {
     for host in ["vol1.example.org", "vol2.example.org", "vol3.example.org"] {
         sw.add_implementation("render", Implementation::new(host, "/opt/", "render"));
     }
-    sw.add_implementation("publish", Implementation::new("archive.isi.edu", "/bin/", "publish"));
+    sw.add_implementation(
+        "publish",
+        Implementation::new("archive.isi.edu", "/bin/", "publish"),
+    );
 
     let mut rc = ResourceCatalog::new();
-    rc.upsert(ResourceEntry::new("cluster.isi.edu").speed(1.0).reliability(500.0, 5.0));
-    rc.upsert(ResourceEntry::new("bigmem.isi.edu").speed(2.0).reliability(200.0, 10.0));
+    rc.upsert(
+        ResourceEntry::new("cluster.isi.edu")
+            .speed(1.0)
+            .reliability(500.0, 5.0),
+    );
+    rc.upsert(
+        ResourceEntry::new("bigmem.isi.edu")
+            .speed(2.0)
+            .reliability(200.0, 10.0),
+    );
     rc.upsert(ResourceEntry::new("archive.isi.edu").reliability(1000.0, 1.0));
     // Donated desktops: fast-ish but unreliable, the §2.1 heterogeneity.
-    rc.upsert(ResourceEntry::new("vol1.example.org").speed(1.5).reliability(40.0, 60.0));
-    rc.upsert(ResourceEntry::new("vol2.example.org").speed(1.2).reliability(60.0, 30.0));
-    rc.upsert(ResourceEntry::new("vol3.example.org").speed(0.8).reliability(90.0, 20.0));
+    rc.upsert(
+        ResourceEntry::new("vol1.example.org")
+            .speed(1.5)
+            .reliability(40.0, 60.0),
+    );
+    rc.upsert(
+        ResourceEntry::new("vol2.example.org")
+            .speed(1.2)
+            .reliability(60.0, 30.0),
+    );
+    rc.upsert(
+        ResourceEntry::new("vol3.example.org")
+            .speed(0.8)
+            .reliability(90.0, 20.0),
+    );
     Broker::new(sw, rc)
 }
 
@@ -64,9 +90,12 @@ fn main() {
     let replica_hosts: Vec<&str> = replicas.iter().map(|c| c.hostname.as_str()).collect();
     println!("broker chose render replicas (by availability): {replica_hosts:?}");
     let solver_host = broker
-        .select("solver_fast", BrokerPolicy::Speed, )
+        .select("solver_fast", BrokerPolicy::Speed)
         .expect("solver placement");
-    println!("broker chose solver host (by speed): {}\n", solver_host.hostname);
+    println!(
+        "broker chose solver host (by speed): {}\n",
+        solver_host.hostname
+    );
 
     // Failure-handling policy, declared entirely in workflow structure.
     let mut b = WorkflowBuilder::new("linear-solver-pipeline")

@@ -96,7 +96,9 @@ fn main() {
     b.activity("stage", "stage").heartbeat(0.1, 5.0);
     b.activity("stage_alt", "stage_stream").heartbeat(0.1, 5.0);
     b.dummy("staged").or_join();
-    b.activity("pi", "estimate_pi").retry(3, 0.05).heartbeat(0.1, 10.0);
+    b.activity("pi", "estimate_pi")
+        .retry(3, 0.05)
+        .heartbeat(0.1, 10.0);
     b.activity("report", "report").heartbeat(0.1, 5.0);
     let workflow = b
         .edge("stage", "staged")

@@ -35,7 +35,9 @@ fn main() {
     // initial placement the way a broker would.
     let mut b = WorkflowBuilder::new("sweep-campaign");
     for i in 0..POINTS {
-        let rotated: Vec<&str> = (0..pool.len()).map(|k| pool[(i + k) % pool.len()]).collect();
+        let rotated: Vec<&str> = (0..pool.len())
+            .map(|k| pool[(i + k) % pool.len()])
+            .collect();
         b = b.program(format!("simulate{i:02}"), 25.0, &rotated);
     }
     b = b.program("aggregate", 10.0, &["node1.cluster.org"]);
@@ -92,5 +94,8 @@ fn main() {
         .filter(|(n, s)| n.starts_with("point") && s == "done")
         .count();
     println!("\npoints completed: {done}/{POINTS}");
-    assert!(report.is_success(), "the retry budget should carry the campaign");
+    assert!(
+        report.is_success(),
+        "the retry budget should carry the campaign"
+    );
 }

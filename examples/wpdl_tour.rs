@@ -23,7 +23,10 @@ fn main() {
 </Workflow>"#;
     let workflow = parse::from_str(broken).expect("well-formed XML");
     let issues = validate::validate(workflow).expect_err("but a broken policy");
-    println!("validation found {} issues in the broken document:", issues.len());
+    println!(
+        "validation found {} issues in the broken document:",
+        issues.len()
+    );
     for issue in &issues {
         println!("  - {issue}");
     }
@@ -38,7 +41,10 @@ fn main() {
 
     // ---- 3. Graphviz export --------------------------------------------
     let w = validated.into_workflow();
-    println!("\nGraphviz DOT (pipe into `dot -Tsvg`):\n{}", dot::to_dot(&w));
+    println!(
+        "\nGraphviz DOT (pipe into `dot -Tsvg`):\n{}",
+        dot::to_dot(&w)
+    );
 
     // ---- 4. XML round-trip ----------------------------------------------
     let xml = writer::to_string(&w);

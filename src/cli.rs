@@ -141,10 +141,10 @@ impl GridConfig {
                 return err(format!("host {}: speed must be positive", h.hostname));
             }
             let spec = match h.mttf {
-                Some(mttf) if mttf > 0.0 => {
-                    ResourceSpec::unreliable(&h.hostname, mttf, h.downtime)
+                Some(mttf) if mttf > 0.0 => ResourceSpec::unreliable(&h.hostname, mttf, h.downtime),
+                Some(bad) => {
+                    return err(format!("host {}: mttf {bad} must be positive", h.hostname))
                 }
-                Some(bad) => return err(format!("host {}: mttf {bad} must be positive", h.hostname)),
                 None => ResourceSpec::reliable(&h.hostname),
             }
             .with_speed(h.speed);
@@ -176,8 +176,7 @@ fn read(path: &Path) -> Result<String, CliError> {
 /// `gridwfs validate <workflow.xml>`: parse + static validation; returns a
 /// human report, errors if the document is invalid.
 pub fn cmd_validate(workflow_path: &Path) -> Result<String, CliError> {
-    let workflow =
-        parse::from_str(&read(workflow_path)?).map_err(|e| CliError(e.to_string()))?;
+    let workflow = parse::from_str(&read(workflow_path)?).map_err(|e| CliError(e.to_string()))?;
     let name = workflow.name.clone();
     match validate(workflow) {
         Ok(v) => {
@@ -187,7 +186,11 @@ pub fn cmd_validate(workflow_path: &Path) -> Result<String, CliError> {
                 out,
                 "  activities: {} ({} dummies)",
                 v.workflow().activities.len(),
-                v.workflow().activities.iter().filter(|a| a.is_dummy()).count()
+                v.workflow()
+                    .activities
+                    .iter()
+                    .filter(|a| a.is_dummy())
+                    .count()
             );
             let _ = writeln!(out, "  transitions: {}", v.workflow().transitions.len());
             let _ = writeln!(out, "  execution order: {:?}", v.topological_order());
@@ -205,8 +208,7 @@ pub fn cmd_validate(workflow_path: &Path) -> Result<String, CliError> {
 
 /// `gridwfs dot <workflow.xml>`: Graphviz DOT on stdout.
 pub fn cmd_dot(workflow_path: &Path) -> Result<String, CliError> {
-    let workflow =
-        parse::from_str(&read(workflow_path)?).map_err(|e| CliError(e.to_string()))?;
+    let workflow = parse::from_str(&read(workflow_path)?).map_err(|e| CliError(e.to_string()))?;
     Ok(dot::to_dot(&workflow))
 }
 
@@ -257,7 +259,11 @@ pub fn cmd_run_repeat(opts: &RunOptions, n: u32) -> Result<String, CliError> {
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "runs:         {n} (seeds {base_seed}..{})", base_seed + n as u64 - 1);
+    let _ = writeln!(
+        out,
+        "runs:         {n} (seeds {base_seed}..{})",
+        base_seed + n as u64 - 1
+    );
     let _ = writeln!(
         out,
         "success rate: {:.1}% ({successes}/{n})",
@@ -290,13 +296,11 @@ pub fn cmd_run(opts: &RunOptions) -> Result<(Report, String), CliError> {
 
     let engine = match (&opts.resume, &opts.workflow) {
         (Some(resume), _) => {
-            let instance =
-                checkpoint::load(resume).map_err(|e| CliError(e.to_string()))?;
+            let instance = checkpoint::load(resume).map_err(|e| CliError(e.to_string()))?;
             Engine::from_instance(instance, grid)
         }
         (None, Some(wf_path)) => {
-            let workflow =
-                parse::from_str(&read(wf_path)?).map_err(|e| CliError(e.to_string()))?;
+            let workflow = parse::from_str(&read(wf_path)?).map_err(|e| CliError(e.to_string()))?;
             let validated = validate(workflow).map_err(|issues| {
                 CliError(
                     issues
@@ -474,7 +478,11 @@ mod tests {
     fn validate_command_rejects_bad_workflows() {
         let dir = tmpdir();
         let wf = dir.join("bad.xml");
-        std::fs::write(&wf, "<Workflow><Activity name='a'><Implement>ghost</Implement></Activity></Workflow>").unwrap();
+        std::fs::write(
+            &wf,
+            "<Workflow><Activity name='a'><Implement>ghost</Implement></Activity></Workflow>",
+        )
+        .unwrap();
         let e = cmd_validate(&wf).unwrap_err();
         assert!(e.to_string().contains("ghost"), "{e}");
         std::fs::remove_dir_all(&dir).ok();
@@ -509,9 +517,15 @@ mod tests {
             .build(None)
             .is_err());
         let bad_speed = r#"{"hosts": [{"hostname": "h", "speed": 0.0}]}"#;
-        assert!(GridConfig::from_json(bad_speed).unwrap().build(None).is_err());
+        assert!(GridConfig::from_json(bad_speed)
+            .unwrap()
+            .build(None)
+            .is_err());
         let bad_drop = r#"{"hosts": [{"hostname": "h"}], "link": {"drop_p": 2.0}}"#;
-        assert!(GridConfig::from_json(bad_drop).unwrap().build(None).is_err());
+        assert!(GridConfig::from_json(bad_drop)
+            .unwrap()
+            .build(None)
+            .is_err());
     }
 
     #[test]
@@ -550,11 +564,7 @@ mod tests {
         std::fs::write(&wf, WF).unwrap();
         std::fs::write(&grid_ok, GRID).unwrap();
         // A grid missing both hosts: every submission bounces, run fails.
-        std::fs::write(
-            &grid_broken,
-            r#"{"hosts": [{"hostname": "unrelated"}]}"#,
-        )
-        .unwrap();
+        std::fs::write(&grid_broken, r#"{"hosts": [{"hostname": "unrelated"}]}"#).unwrap();
         let run = |args: &[&str]| {
             let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
             main_with_args(&v)

@@ -2,7 +2,9 @@
 //! simulated Grid → report, plus the broker-driven construction path and
 //! the real threaded executor.
 
-use gridwfs::catalog::{Broker, BrokerPolicy, Implementation, ResourceCatalog, ResourceEntry, SoftwareCatalog};
+use gridwfs::catalog::{
+    Broker, BrokerPolicy, Implementation, ResourceCatalog, ResourceEntry, SoftwareCatalog,
+};
 use gridwfs::core::{Engine, LogKind, SimGrid, TaskProfile, TaskResult, ThreadExecutor};
 use gridwfs::sim::resource::ResourceSpec;
 use gridwfs::wpdl::{parse, validate, WorkflowBuilder};
@@ -69,7 +71,11 @@ fn broker_driven_placement_runs() {
     }
     let report = Engine::new(b.build().unwrap(), grid).run();
     assert!(report.is_success());
-    assert_eq!(report.submissions_of("w"), 2, "one replica per brokered host");
+    assert_eq!(
+        report.submissions_of("w"),
+        2,
+        "one replica per brokered host"
+    );
 }
 
 /// The same engine drives real OS threads through the same API.
@@ -220,7 +226,12 @@ fn threaded_executor_parallel_fanout_stress() {
         bb = bb.edge("split", &name).edge(&name, "join");
     }
     let report = Engine::new(bb.build().unwrap(), exec).run();
-    assert!(report.is_success(), "{:?}\n{:?}", report.outcome, report.node_status);
+    assert!(
+        report.is_success(),
+        "{:?}\n{:?}",
+        report.outcome,
+        report.node_status
+    );
     // All 12 branches done.
     let done = report
         .node_status
@@ -229,5 +240,9 @@ fn threaded_executor_parallel_fanout_stress() {
         .count();
     assert_eq!(done, 12 + 1 /* split is 's'-prefixed */);
     // The flaky branches needed retries.
-    assert!(report.spans.len() > 14, "retries occurred: {}", report.spans.len());
+    assert!(
+        report.spans.len() > 14,
+        "retries occurred: {}",
+        report.spans.len()
+    );
 }

@@ -23,7 +23,11 @@ fn grid_with_crashing_fast(seed: u64) -> SimGrid {
 
 #[test]
 fn programs_are_identical_across_all_three_strategies() {
-    let (f4, f5, f6) = (figure4(30.0, 150.0), figure5(30.0, 150.0), figure6(30.0, 150.0));
+    let (f4, f5, f6) = (
+        figure4(30.0, 150.0),
+        figure5(30.0, 150.0),
+        figure6(30.0, 150.0),
+    );
     assert_eq!(f4.program("fast_impl"), f5.program("fast_impl"));
     assert_eq!(f5.program("fast_impl"), f6.program("fast_impl"));
     assert_eq!(f4.program("slow_impl"), f5.program("slow_impl"));
@@ -36,9 +40,21 @@ fn programs_are_identical_across_all_three_strategies() {
 #[test]
 fn same_failure_three_strategies_three_behaviours() {
     // Deterministic crash of the fast task at t=3.
-    let r4 = Engine::new(validate(figure4(30.0, 150.0)).unwrap(), grid_with_crashing_fast(1)).run();
-    let r5 = Engine::new(validate(figure5(30.0, 150.0)).unwrap(), grid_with_crashing_fast(2)).run();
-    let r6 = Engine::new(validate(figure6(30.0, 150.0)).unwrap(), grid_with_crashing_fast(3)).run();
+    let r4 = Engine::new(
+        validate(figure4(30.0, 150.0)).unwrap(),
+        grid_with_crashing_fast(1),
+    )
+    .run();
+    let r5 = Engine::new(
+        validate(figure5(30.0, 150.0)).unwrap(),
+        grid_with_crashing_fast(2),
+    )
+    .run();
+    let r6 = Engine::new(
+        validate(figure6(30.0, 150.0)).unwrap(),
+        grid_with_crashing_fast(3),
+    )
+    .run();
 
     // Figure 4: alternative task = serial fallback; failure cost visible.
     assert!(r4.is_success());
@@ -103,7 +119,11 @@ fn combining_task_level_with_workflow_level() {
 
     let mut g = SimGrid::new(5);
     // The volunteer host crashes instantly; the backup is healthy.
-    g.add_host(ResourceSpec::unreliable("volunteer.example.org", 0.001, 1e9));
+    g.add_host(ResourceSpec::unreliable(
+        "volunteer.example.org",
+        0.001,
+        1e9,
+    ));
     g.add_host(ResourceSpec::reliable("condor.example.org"));
     g.add_host(ResourceSpec::reliable("backup.example.org"));
     let report = Engine::new(validate(w).unwrap(), g).run();
@@ -144,6 +164,10 @@ fn replication_policy_is_one_attribute() {
     let r1 = run(single, 1);
     let r2 = run(&replicated, 1);
     assert_eq!(r1.submissions_of("summation"), 1);
-    assert_eq!(r2.submissions_of("summation"), 3, "one attribute → replication");
+    assert_eq!(
+        r2.submissions_of("summation"),
+        3,
+        "one attribute → replication"
+    );
     assert!(r1.is_success() && r2.is_success());
 }

@@ -15,7 +15,9 @@ fn arb_workflow() -> impl Strategy<Value = Workflow> {
     (2usize..7, any::<u64>()).prop_map(|(n, seed)| {
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 33) as usize
         };
         let mut w = Workflow::new("gen");

@@ -63,8 +63,13 @@ fn run_shipped(workflow: &str, seed: u64) -> gridwfs::core::Report {
 fn figure2_retry_runs_on_the_example_grid() {
     // bolas.isi.edu has MTTF 40 against a 30-unit task: most seeds need at
     // least one run; the retry budget makes the workflow robust.
-    let successes = (0..10).filter(|&s| run_shipped("figure2_retry.xml", s).is_success()).count();
-    assert!(successes >= 6, "retry x3 succeeds usually, got {successes}/10");
+    let successes = (0..10)
+        .filter(|&s| run_shipped("figure2_retry.xml", s).is_success())
+        .count();
+    assert!(
+        successes >= 6,
+        "retry x3 succeeds usually, got {successes}/10"
+    );
 }
 
 #[test]
@@ -82,7 +87,11 @@ fn figure4_and_figure5_complete_despite_crashy_fast_host() {
     for wf in ["figure4_alternative.xml", "figure5_redundancy.xml"] {
         for seed in 0..5 {
             let report = run_shipped(wf, seed);
-            assert!(report.is_success(), "{wf} seed {seed}: {:?}", report.outcome);
+            assert!(
+                report.is_success(),
+                "{wf} seed {seed}: {:?}",
+                report.outcome
+            );
         }
     }
 }
@@ -98,7 +107,10 @@ fn figure6_handles_injected_disk_full() {
         .map(|s| run_shipped("figure6_exception.xml", s).is_success())
         .collect();
     assert!(outcomes[10], "seed 10 completes");
-    assert!(!outcomes.iter().all(|&b| b), "crash seeds are unhandled by design");
+    assert!(
+        !outcomes.iter().all(|&b| b),
+        "crash seeds are unhandled by design"
+    );
 }
 
 #[test]
