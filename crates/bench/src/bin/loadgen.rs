@@ -1,0 +1,195 @@
+//! Load generator for the `gridwfs-serve` worker pool (`BENCH_serve.json`).
+//!
+//! Submits `--m` three-task paced workflows to a service with `--workers`
+//! concurrent engine instances and a `--queue`-deep admission queue, then
+//! reports throughput: total wall time vs the serial sum of per-job engine
+//! wall times (the speedup the pool delivers), submit-side backpressure
+//! (every `QueueFull` rejection is counted and retried, never dropped),
+//! and the admission-to-terminal latency distribution.
+//!
+//! ```text
+//! cargo run --release -p gridwfs-bench --bin loadgen -- \
+//!     --m 200 --workers 4 --queue 64 --scale 0.005 --json BENCH_serve.json
+//! ```
+//!
+//! Paced mode is what makes the concurrency observable: each task body
+//! *sleeps* its scaled nominal duration on a real thread, so overlapping
+//! jobs overlap in wall time even on a single-core host.
+
+use std::time::{Duration, Instant};
+
+use gridwfs_serve::json::{json_number, json_string};
+use gridwfs_serve::metrics::percentile;
+use gridwfs_serve::{GridSpec, JobState, Service, ServiceConfig, Submission, SubmitError};
+use gridwfs_wpdl::builder::WorkflowBuilder;
+
+#[derive(Debug, Clone)]
+struct LoadOptions {
+    m: usize,
+    workers: usize,
+    queue: usize,
+    scale: f64,
+    seed: u64,
+    json: Option<String>,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            m: 200,
+            workers: 4,
+            queue: 64,
+            scale: 0.005,
+            seed: 2003,
+            json: None,
+        }
+    }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> LoadOptions {
+    let mut opts = LoadOptions::default();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--m" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    opts.m = n;
+                }
+            }
+            "--workers" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    opts.workers = n;
+                }
+            }
+            "--queue" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    opts.queue = n;
+                }
+            }
+            "--scale" => {
+                if let Some(s) = args.next().and_then(|v| v.parse().ok()) {
+                    opts.scale = s;
+                }
+            }
+            "--seed" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    opts.seed = n;
+                }
+            }
+            "--json" => opts.json = args.next(),
+            _ => {}
+        }
+    }
+    opts
+}
+
+/// The canonical load unit: a three-task chain, one nominal unit each.
+fn chain_xml(i: usize) -> String {
+    let mut b = WorkflowBuilder::new(format!("load-{i}")).program("p", 1.0, &["local"]);
+    b.activity("stage_in", "p");
+    b.activity("compute", "p");
+    b.activity("stage_out", "p");
+    b.edge("stage_in", "compute")
+        .edge("compute", "stage_out")
+        .to_xml()
+        .expect("load workflow serialises")
+}
+
+fn main() {
+    let opts = parse_args(std::env::args().skip(1));
+    assert!(opts.m > 0 && opts.workers > 0 && opts.queue > 0 && opts.scale > 0.0);
+    let service = Service::start(ServiceConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let grid = GridSpec::paced_grid(opts.scale).with_host("local", 1.0);
+
+    let started = Instant::now();
+    let mut rejections = 0u64;
+    for i in 0..opts.m {
+        let sub = Submission {
+            name: format!("load-{i}"),
+            workflow_xml: chain_xml(i),
+            grid: grid.clone(),
+            seed: opts.seed + i as u64,
+            deadline: None,
+        };
+        loop {
+            match service.submit(sub.clone()) {
+                Ok(_) => break,
+                Err(SubmitError::QueueFull) => {
+                    rejections += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("submission {i}: {e}"),
+            }
+        }
+    }
+    assert!(
+        service.wait_all_terminal(Duration::from_secs(3600)),
+        "load did not finish"
+    );
+    let wall = started.elapsed().as_secs_f64();
+    let metrics_json = service.metrics_json();
+    let summary = service.metrics().latency_summary();
+    let records = service.drain();
+
+    let done = records.iter().filter(|r| r.state == JobState::Done).count();
+    let serial: f64 = records.iter().filter_map(|r| r.run_wall).sum();
+    let speedup = if wall > 0.0 { serial / wall } else { 0.0 };
+    let mut run_walls: Vec<f64> = records.iter().filter_map(|r| r.run_wall).collect();
+    run_walls.sort_by(f64::total_cmp);
+
+    println!("== loadgen: {} jobs on {} workers", opts.m, opts.workers);
+    println!(
+        "   queue capacity: {} (rejected-then-retried submits: {rejections})",
+        opts.queue
+    );
+    println!("   completed: {done}/{}", opts.m);
+    println!("   wall time:  {wall:.3}s");
+    println!("   serial sum: {serial:.3}s  (speedup {speedup:.2}x)");
+    println!(
+        "   latency: p50 {:.3}s  p90 {:.3}s  p99 {:.3}s  max {:.3}s",
+        summary.p50, summary.p90, summary.p99, summary.max
+    );
+
+    if let Some(path) = &opts.json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_string("loadgen")));
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"m\": {},\n", opts.m));
+        out.push_str(&format!("  \"workers\": {},\n", opts.workers));
+        out.push_str(&format!("  \"queue_capacity\": {},\n", opts.queue));
+        out.push_str(&format!("  \"scale\": {},\n", json_number(opts.scale)));
+        out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+        out.push_str(&format!("  \"completed\": {done},\n"));
+        out.push_str(&format!("  \"rejected_retried\": {rejections},\n"));
+        out.push_str(&format!("  \"wall_seconds\": {},\n", json_number(wall)));
+        out.push_str(&format!(
+            "  \"serial_sum_seconds\": {},\n",
+            json_number(serial)
+        ));
+        out.push_str(&format!("  \"speedup\": {},\n", json_number(speedup)));
+        out.push_str(&format!(
+            "  \"run_wall_seconds\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}},\n",
+            json_number(percentile(&run_walls, 0.50)),
+            json_number(percentile(&run_walls, 0.90)),
+            json_number(percentile(&run_walls, 0.99)),
+        ));
+        // The service's own registry snapshot, embedded verbatim.
+        out.push_str("  \"metrics\": ");
+        out.push_str(metrics_json.trim_end());
+        out.push_str("\n}\n");
+        match std::fs::write(path, out) {
+            Ok(()) => eprintln!("load summary written to {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+    assert_eq!(done, opts.m, "every admitted job must complete");
+    assert!(
+        wall < serial || opts.workers == 1,
+        "worker pool showed no concurrency: wall {wall:.3}s vs serial {serial:.3}s"
+    );
+}

@@ -21,6 +21,8 @@
 
 use std::collections::{BinaryHeap, HashMap};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use gridwfs_detect::detector::{CrashReason, Detection, Detector};
 use gridwfs_detect::exception::{ExceptionDef, ExceptionRegistry, Severity};
@@ -70,6 +72,12 @@ pub struct LogEntry {
 pub struct Report {
     /// Success/failure with diagnostics.
     pub outcome: Outcome,
+    /// `Some(reason)` when navigation was aborted before the workflow
+    /// reached a natural terminal state: `"stop"` (cooperative
+    /// cancellation), `"deadline"` (time budget exhausted) or
+    /// `"max_settlements"` (simulated engine crash).  `None` for runs that
+    /// terminated on their own.
+    pub aborted: Option<String>,
     /// Executor time when navigation finished.
     pub finished_at: f64,
     /// Wall (executor) time from start to finish.
@@ -155,6 +163,15 @@ pub struct EngineConfig {
     /// path can be exercised at arbitrary cut points).  In-flight attempts
     /// are abandoned exactly as a crashed engine would abandon them.
     pub max_settlements: Option<u64>,
+    /// Cooperative cancellation: a service hosting this engine sets the
+    /// flag and the run loop aborts at its next iteration, cancelling
+    /// live attempts.  Node statuses are left as-is, so a checkpointed
+    /// engine can be resumed later (the service shutdown/cancel path).
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Executor-clock budget from run start: once `now() - start` reaches
+    /// this, the run aborts with reason `"deadline"`.  Virtual seconds for
+    /// the simulated Grid, wall seconds for the thread executor.
+    pub deadline: Option<f64>,
 }
 
 impl Default for EngineConfig {
@@ -165,6 +182,8 @@ impl Default for EngineConfig {
             reorder_settle: None,
             cancel_redundant: false,
             max_settlements: None,
+            stop: None,
+            deadline: None,
         }
     }
 }
@@ -714,6 +733,26 @@ impl<X: Executor> Engine<X> {
         fired
     }
 
+    /// Abandons every live attempt (service-side abort): cancels them on
+    /// the executor so real threads stop, closes their spans, and writes a
+    /// final checkpoint so a later resume sees current state.  Node
+    /// statuses are untouched — running nodes checkpoint as `pending` and
+    /// are resubmitted on restart, exactly like a crashed engine.
+    fn abort_live(&mut self) {
+        let live: Vec<(TaskId, String)> = self
+            .attempts
+            .iter()
+            .map(|(t, (n, _))| (*t, n.clone()))
+            .collect();
+        for (task, name) in live {
+            self.executor.cancel(task);
+            self.close_span(&name, task, SpanOutcome::Cancelled);
+            self.log(LogKind::Cancel, format!("{name} cancelled {task} (abort)"));
+        }
+        self.attempts.clear();
+        self.write_checkpoint();
+    }
+
     fn fail_stalled(&mut self) {
         let running: Vec<String> = self
             .instance
@@ -733,6 +772,8 @@ impl<X: Executor> Engine<X> {
     /// Runs the workflow to completion and returns the report.
     pub fn run(mut self) -> Report {
         let started_at = self.executor.now();
+        let deadline_abs = self.config.deadline.map(|d| started_at + d);
+        let mut aborted: Option<String> = None;
         let mut reorder = self.config.reorder_settle.map(ReorderBuffer::new);
         loop {
             if let Some(limit) = self.config.max_settlements {
@@ -741,6 +782,26 @@ impl<X: Executor> Engine<X> {
                         LogKind::Stall,
                         format!("aborting after {limit} settlements (simulated engine crash)"),
                     );
+                    aborted = Some("max_settlements".to_string());
+                    break;
+                }
+            }
+            if self
+                .config
+                .stop
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+            {
+                self.log(LogKind::Stall, "stop requested; aborting".to_string());
+                self.abort_live();
+                aborted = Some("stop".to_string());
+                break;
+            }
+            if let Some(d) = deadline_abs {
+                if self.executor.now() >= d {
+                    self.log(LogKind::Stall, format!("deadline reached at {d}; aborting"));
+                    self.abort_live();
+                    aborted = Some("deadline".to_string());
                     break;
                 }
             }
@@ -748,7 +809,12 @@ impl<X: Executor> Engine<X> {
             if self.instance.is_finished() {
                 break;
             }
-            let deadline = self.next_deadline(reorder.as_ref());
+            // Clamp the wait so the engine wakes up (and aborts) at the
+            // deadline even if no notification ever arrives.
+            let deadline = match (self.next_deadline(reorder.as_ref()), deadline_abs) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
             match self.executor.next_notification(deadline) {
                 Some((t, env)) => match &mut reorder {
                     Some(buf) => {
@@ -788,6 +854,7 @@ impl<X: Executor> Engine<X> {
         let finished_at = self.executor.now();
         Report {
             outcome: self.instance.outcome(),
+            aborted,
             finished_at,
             makespan: finished_at - started_at,
             spans: self.spans,
@@ -849,6 +916,7 @@ mod tests {
     fn report_helpers() {
         let report = Report {
             outcome: Outcome::Success,
+            aborted: None,
             finished_at: 10.0,
             makespan: 10.0,
             node_status: vec![("a".into(), "done".into())],

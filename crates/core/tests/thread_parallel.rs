@@ -1,0 +1,85 @@
+//! Two ThreadExecutor-backed engines on separate OS threads must not
+//! interfere: each drives only its own tasks, and they genuinely overlap
+//! in wall-clock time.  This is the isolation property the multi-tenant
+//! service (`gridwfs-serve`) builds on.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use grid_wfs::engine::Engine;
+use grid_wfs::{TaskResult, ThreadExecutor};
+use gridwfs_wpdl::builder::WorkflowBuilder;
+use gridwfs_wpdl::validate::Validated;
+
+/// Seconds each task body sleeps (wall time).
+const TASK_SECS: f64 = 0.12;
+
+fn chain(tag: &str) -> Validated {
+    let mut b =
+        WorkflowBuilder::new(format!("chain-{tag}")).program(format!("p-{tag}"), 1.0, &["local"]);
+    b.activity(format!("{tag}-a"), format!("p-{tag}"));
+    b.activity(format!("{tag}-b"), format!("p-{tag}"));
+    b.activity(format!("{tag}-c"), format!("p-{tag}"));
+    b.edge(&format!("{tag}-a"), &format!("{tag}-b"))
+        .edge(&format!("{tag}-b"), &format!("{tag}-c"))
+        .build()
+        .expect("test workflow validates")
+}
+
+fn executor_for(tag: &'static str, trace: Arc<Mutex<Vec<&'static str>>>) -> ThreadExecutor {
+    let mut executor = ThreadExecutor::new();
+    executor.register(format!("p-{tag}"), move |ctx| {
+        trace.lock().unwrap().push(tag);
+        ctx.work_for(TASK_SECS, 0.03);
+        TaskResult::Success
+    });
+    executor
+}
+
+#[test]
+fn two_engines_on_separate_threads_do_not_interfere() {
+    // One shared trace across both engines: if an engine ever ran the
+    // other's program, the per-tag counts would be off.
+    let trace: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let spawn = |tag: &'static str, trace: Arc<Mutex<Vec<&'static str>>>| {
+        std::thread::spawn(move || {
+            let engine = Engine::new(chain(tag), executor_for(tag, trace));
+            let started = Instant::now();
+            let report = engine.run();
+            (report, started, Instant::now())
+        })
+    };
+    let wall_start = Instant::now();
+    let left = spawn("left", trace.clone());
+    let right = spawn("right", trace.clone());
+    let (left_report, left_start, left_end) = left.join().unwrap();
+    let (right_report, right_start, right_end) = right.join().unwrap();
+    let wall_total = wall_start.elapsed().as_secs_f64();
+
+    // Each engine completed its own workflow...
+    assert!(left_report.is_success(), "{:?}", left_report.outcome);
+    assert!(right_report.is_success(), "{:?}", right_report.outcome);
+    // ... touching exactly its own activities ...
+    for (report, tag) in [(&left_report, "left"), (&right_report, "right")] {
+        assert_eq!(report.node_status.len(), 3);
+        for (name, status) in &report.node_status {
+            assert!(name.starts_with(tag), "{tag} report lists {name}");
+            assert_eq!(status, "done", "{tag}: {name} is {status}");
+        }
+        assert_eq!(report.spans.len(), 3, "{tag}: one attempt per activity");
+    }
+    // ... and exactly its own task bodies (3 + 3, no cross-talk).
+    let trace = trace.lock().unwrap();
+    assert_eq!(trace.iter().filter(|t| **t == "left").count(), 3);
+    assert_eq!(trace.iter().filter(|t| **t == "right").count(), 3);
+
+    // They truly overlapped: each started before the other finished, and
+    // the pair finished in well under the 6-task serial sum.
+    assert!(left_start < right_end && right_start < left_end);
+    let serial = 6.0 * TASK_SECS;
+    assert!(
+        wall_total < serial * 0.9,
+        "no overlap: {wall_total:.3}s vs serial {serial:.3}s"
+    );
+}

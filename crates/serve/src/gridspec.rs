@@ -1,0 +1,361 @@
+//! A data description of the Grid a job runs on.
+//!
+//! The service must be able to rebuild a job's executor after a restart,
+//! so the Grid is described as plain data (hosts, link, behaviour
+//! profiles) rather than a live [`SimGrid`] value, and it round-trips
+//! through a line-based manifest format that needs no JSON machinery
+//! (`to_manifest` / `from_manifest`).
+//!
+//! Two execution modes:
+//!
+//! * [`ExecMode::Virtual`] — a discrete-event [`SimGrid`]: virtual time,
+//!   failure injection, runs as fast as the CPU allows.  One engine run is
+//!   nearly instant regardless of the workflow's simulated makespan.
+//! * [`ExecMode::Paced`] — a [`ThreadExecutor`] whose program bodies sleep
+//!   `nominal_duration × scale` wall seconds (heartbeating as they go).
+//!   This models Grid jobs with real latency, so worker-pool concurrency
+//!   is observable in wall-clock time — the mode the load generator uses
+//!   to demonstrate throughput.
+
+use grid_wfs::sim_executor::TaskProfile;
+use grid_wfs::{SimGrid, TaskResult, ThreadExecutor};
+use gridwfs_sim::dist::Dist;
+use gridwfs_sim::net::LinkModel;
+use gridwfs_sim::resource::ResourceSpec;
+use gridwfs_wpdl::ast::Workflow;
+
+/// How jobs on this Grid execute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecMode {
+    /// Discrete-event simulation in virtual time.
+    Virtual,
+    /// Real threads sleeping `nominal_duration × scale` wall seconds.
+    Paced {
+        /// Wall seconds per nominal time unit.
+        scale: f64,
+    },
+}
+
+/// One simulated host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSpec {
+    /// Hostname matched against WPDL `<Option hostname=..>`.
+    pub hostname: String,
+    /// Relative speed.
+    pub speed: f64,
+    /// Mean time to failure; `None` = failure-free.
+    pub mttf: Option<f64>,
+    /// Mean downtime after a crash.
+    pub downtime: f64,
+}
+
+/// Notification link behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Constant delivery delay.
+    pub delay: f64,
+    /// Per-message drop probability.
+    pub drop_p: f64,
+}
+
+/// Behaviour profile of one program's tasks (virtual mode only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSpec {
+    /// Program name the profile applies to.
+    pub program: String,
+    /// Emit a checkpoint every this many nominal time units.
+    pub checkpoint_period: Option<f64>,
+    /// Software-crash MTTF (exponential).
+    pub soft_crash_mttf: Option<f64>,
+    /// Exception injection: (name, checks, per-check probability).
+    pub exception: Option<(String, u32, f64)>,
+}
+
+/// The full Grid description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Hosts available to workflows.
+    pub hosts: Vec<HostSpec>,
+    /// Link model (default: perfect).
+    pub link: Option<LinkSpec>,
+    /// Per-program behaviour profiles.
+    pub profiles: Vec<ProfileSpec>,
+}
+
+impl GridSpec {
+    /// An empty virtual-time Grid.
+    pub fn virtual_grid() -> Self {
+        GridSpec {
+            mode: ExecMode::Virtual,
+            hosts: Vec::new(),
+            link: None,
+            profiles: Vec::new(),
+        }
+    }
+
+    /// An empty paced Grid (`scale` wall seconds per nominal unit).
+    pub fn paced_grid(scale: f64) -> Self {
+        assert!(scale > 0.0, "pacing scale must be positive");
+        GridSpec {
+            mode: ExecMode::Paced { scale },
+            ..GridSpec::virtual_grid()
+        }
+    }
+
+    /// Builder: add a failure-free host.
+    pub fn with_host(mut self, hostname: &str, speed: f64) -> Self {
+        self.hosts.push(HostSpec {
+            hostname: hostname.into(),
+            speed,
+            mttf: None,
+            downtime: 0.0,
+        });
+        self
+    }
+
+    /// Builder: add an unreliable host.
+    pub fn with_unreliable_host(
+        mut self,
+        hostname: &str,
+        speed: f64,
+        mttf: f64,
+        downtime: f64,
+    ) -> Self {
+        self.hosts.push(HostSpec {
+            hostname: hostname.into(),
+            speed,
+            mttf: Some(mttf),
+            downtime,
+        });
+        self
+    }
+
+    /// Builder: set the notification link model.
+    pub fn with_link(mut self, delay: f64, drop_p: f64) -> Self {
+        self.link = Some(LinkSpec { delay, drop_p });
+        self
+    }
+
+    /// Builder: attach a behaviour profile.
+    pub fn with_profile(mut self, profile: ProfileSpec) -> Self {
+        self.profiles.push(profile);
+        self
+    }
+
+    /// Instantiates the virtual-time simulated Grid.
+    pub fn build_sim(&self, seed: u64) -> SimGrid {
+        let mut grid = SimGrid::new(seed);
+        if let Some(link) = &self.link {
+            grid = grid.with_link(LinkModel::lossy(link.delay, link.drop_p));
+        }
+        for h in &self.hosts {
+            let spec = match h.mttf {
+                Some(mttf) => ResourceSpec::unreliable(&h.hostname, mttf, h.downtime),
+                None => ResourceSpec::reliable(&h.hostname),
+            }
+            .with_speed(h.speed);
+            grid.add_host(spec);
+        }
+        for p in &self.profiles {
+            let mut profile = TaskProfile::reliable();
+            if let Some(period) = p.checkpoint_period {
+                profile = profile.with_checkpoints(period);
+            }
+            if let Some(mttf) = p.soft_crash_mttf {
+                profile = profile.with_soft_crash(Dist::exponential_mean(mttf));
+            }
+            if let Some((name, checks, prob)) = &p.exception {
+                profile = profile.with_exception(name.clone(), *checks, *prob);
+            }
+            grid.set_profile(&p.program, profile);
+        }
+        grid
+    }
+
+    /// Instantiates the paced thread executor for `workflow`: every
+    /// program becomes a closure that sleeps its scaled nominal duration
+    /// (divided by the fastest declared host speed), heartbeating along
+    /// the way and returning early when cancelled.
+    pub fn build_paced(&self, workflow: &Workflow, scale: f64) -> ThreadExecutor {
+        let speedup = self
+            .hosts
+            .iter()
+            .map(|h| h.speed)
+            .fold(1.0_f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let mut executor = ThreadExecutor::new();
+        for program in &workflow.programs {
+            let wall = (program.nominal_duration / speedup * scale).max(0.001);
+            executor.register(program.name.clone(), move |ctx| {
+                let hb = (wall / 4.0).clamp(0.002, 0.05);
+                ctx.work_for(wall, hb);
+                TaskResult::Success
+            });
+        }
+        executor
+    }
+
+    // ------------------------------------------------------- manifest ---
+
+    /// Serialises the spec to the line-based manifest format.
+    pub fn to_manifest(&self) -> String {
+        let mut out = String::new();
+        match self.mode {
+            ExecMode::Virtual => out.push_str("mode virtual\n"),
+            ExecMode::Paced { scale } => out.push_str(&format!("mode paced {scale}\n")),
+        }
+        for h in &self.hosts {
+            let mttf = h.mttf.map(|m| m.to_string()).unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "host {} {} {} {}\n",
+                h.hostname, h.speed, mttf, h.downtime
+            ));
+        }
+        if let Some(l) = &self.link {
+            out.push_str(&format!("link {} {}\n", l.delay, l.drop_p));
+        }
+        for p in &self.profiles {
+            let ck = p
+                .checkpoint_period
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into());
+            let sc = p
+                .soft_crash_mttf
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&format!("profile {} {} {}", p.program, ck, sc));
+            if let Some((name, checks, prob)) = &p.exception {
+                out.push_str(&format!(" exception {name} {checks} {prob}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the manifest format back into a spec.
+    pub fn from_manifest(text: &str) -> Result<GridSpec, String> {
+        let mut spec = GridSpec::virtual_grid();
+        let opt = |s: &str, what: &str| -> Result<Option<f64>, String> {
+            if s == "-" {
+                Ok(None)
+            } else {
+                s.parse().map(Some).map_err(|_| format!("bad {what} '{s}'"))
+            }
+        };
+        for line in text.lines() {
+            let mut f = line.split_whitespace();
+            match f.next() {
+                None => continue,
+                Some("mode") => match f.next() {
+                    Some("virtual") => spec.mode = ExecMode::Virtual,
+                    Some("paced") => {
+                        let scale = f
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| "paced mode needs a scale".to_string())?;
+                        spec.mode = ExecMode::Paced { scale };
+                    }
+                    other => return Err(format!("unknown mode {other:?}")),
+                },
+                Some("host") => {
+                    let fields: Vec<&str> = f.collect();
+                    let [hostname, speed, mttf, downtime] = fields.as_slice() else {
+                        return Err(format!("malformed host line '{line}'"));
+                    };
+                    spec.hosts.push(HostSpec {
+                        hostname: hostname.to_string(),
+                        speed: speed.parse().map_err(|_| format!("bad speed '{speed}'"))?,
+                        mttf: opt(mttf, "mttf")?,
+                        downtime: downtime
+                            .parse()
+                            .map_err(|_| format!("bad downtime '{downtime}'"))?,
+                    });
+                }
+                Some("link") => {
+                    let fields: Vec<&str> = f.collect();
+                    let [delay, drop_p] = fields.as_slice() else {
+                        return Err(format!("malformed link line '{line}'"));
+                    };
+                    spec.link = Some(LinkSpec {
+                        delay: delay.parse().map_err(|_| format!("bad delay '{delay}'"))?,
+                        drop_p: drop_p
+                            .parse()
+                            .map_err(|_| format!("bad drop_p '{drop_p}'"))?,
+                    });
+                }
+                Some("profile") => {
+                    let fields: Vec<&str> = f.collect();
+                    if fields.len() != 3 && fields.len() != 7 {
+                        return Err(format!("malformed profile line '{line}'"));
+                    }
+                    let exception = if fields.len() == 7 {
+                        if fields[3] != "exception" {
+                            return Err(format!("malformed profile line '{line}'"));
+                        }
+                        Some((
+                            fields[4].to_string(),
+                            fields[5]
+                                .parse()
+                                .map_err(|_| format!("bad checks '{}'", fields[5]))?,
+                            fields[6]
+                                .parse()
+                                .map_err(|_| format!("bad prob '{}'", fields[6]))?,
+                        ))
+                    } else {
+                        None
+                    };
+                    spec.profiles.push(ProfileSpec {
+                        program: fields[0].to_string(),
+                        checkpoint_period: opt(fields[1], "checkpoint period")?,
+                        soft_crash_mttf: opt(fields[2], "soft-crash mttf")?,
+                        exception,
+                    });
+                }
+                Some(other) => return Err(format!("unknown manifest directive '{other}'")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GridSpec {
+        GridSpec::paced_grid(0.01)
+            .with_host("fast.example.org", 2.0)
+            .with_unreliable_host("flaky.example.org", 1.0, 80.0, 4.0)
+            .with_link(0.5, 0.01)
+            .with_profile(ProfileSpec {
+                program: "solver".into(),
+                checkpoint_period: Some(10.0),
+                soft_crash_mttf: None,
+                exception: Some(("disk_full".into(), 4, 0.05)),
+            })
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let spec = sample();
+        let parsed = GridSpec::from_manifest(&spec.to_manifest()).unwrap();
+        assert_eq!(spec, parsed);
+    }
+
+    #[test]
+    fn manifest_rejects_garbage() {
+        assert!(GridSpec::from_manifest("frobnicate x").is_err());
+        assert!(GridSpec::from_manifest("host only-two 1.0").is_err());
+        assert!(GridSpec::from_manifest("mode paced").is_err());
+    }
+
+    #[test]
+    fn build_sim_has_declared_hosts() {
+        let grid = sample().build_sim(7);
+        assert!(grid.has_host("fast.example.org"));
+        assert!(grid.has_host("flaky.example.org"));
+        assert!(!grid.has_host("ghost"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Job identities, submissions, and per-job records.
+
+use crate::gridspec::GridSpec;
+
+/// Service-assigned submission identifier, unique across restarts of the
+/// same state directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Lifecycle of an admitted submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// An engine instance is navigating it.
+    Running,
+    /// Terminal: the workflow succeeded.
+    Done,
+    /// Terminal: the workflow failed (including deadline expiry).
+    Failed,
+    /// Terminal: cancelled by the client.
+    Cancelled,
+}
+
+impl JobState {
+    /// True for states a job never leaves.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Lower-case label (metrics, result files, CLI tables).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One workflow submission: everything a worker needs to run it, and
+/// everything recovery needs to re-admit it after a service restart.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Client-chosen label (shown in status output; need not be unique).
+    pub name: String,
+    /// The WPDL document to execute.
+    pub workflow_xml: String,
+    /// The Grid to execute it on.
+    pub grid: GridSpec,
+    /// RNG seed for the simulated Grid.
+    pub seed: u64,
+    /// Executor-clock budget; `None` falls back to the service default.
+    pub deadline: Option<f64>,
+}
+
+/// Everything the service knows about one job.  Timestamps are seconds on
+/// the service clock (wall time since service start).
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Assigned id.
+    pub id: JobId,
+    /// Client label.
+    pub name: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// True if this job was re-admitted from a state directory after a
+    /// service restart.
+    pub recovered: bool,
+    /// True once a client asked for cancellation.
+    pub cancel_requested: bool,
+    /// When the submission was admitted.
+    pub enqueued_at: f64,
+    /// When a worker picked it up.
+    pub started_at: Option<f64>,
+    /// When it reached a terminal state.
+    pub finished_at: Option<f64>,
+    /// Engine makespan (executor clock), once finished.
+    pub makespan: Option<f64>,
+    /// Wall seconds the worker spent running the engine.
+    pub run_wall: Option<f64>,
+    /// Final engine outcome / failure detail.
+    pub detail: Option<String>,
+    /// Task attempts the engine submitted.
+    pub task_submissions: u64,
+}
+
+impl JobRecord {
+    pub(crate) fn new(id: JobId, name: String, enqueued_at: f64, recovered: bool) -> Self {
+        JobRecord {
+            id,
+            name,
+            state: JobState::Queued,
+            recovered,
+            cancel_requested: false,
+            enqueued_at,
+            started_at: None,
+            finished_at: None,
+            makespan: None,
+            run_wall: None,
+            detail: None,
+            task_submissions: 0,
+        }
+    }
+
+    /// Admission-to-terminal latency in service-clock seconds, once
+    /// terminal.
+    pub fn latency(&self) -> Option<f64> {
+        self.finished_at.map(|f| f - self.enqueued_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_states() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+    }
+
+    #[test]
+    fn latency_needs_terminal() {
+        let mut r = JobRecord::new(JobId(1), "x".into(), 2.0, false);
+        assert_eq!(r.latency(), None);
+        r.finished_at = Some(5.0);
+        assert_eq!(r.latency(), Some(3.0));
+        assert_eq!(format!("{}", r.id), "job-1");
+    }
+}

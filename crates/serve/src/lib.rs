@@ -1,0 +1,79 @@
+//! # gridwfs-serve — the multi-tenant workflow service
+//!
+//! The paper's engine executes one workflow instance; a Grid workflow
+//! *platform* is a long-running service executing many, for many clients,
+//! with admission control and per-workflow fault isolation.  This crate is
+//! that layer:
+//!
+//! * [`queue`] — the bounded admission queue with explicit backpressure;
+//! * [`job`] — submission / job-record / lifecycle types;
+//! * [`gridspec`] — a data description of the Grid a job runs on
+//!   (virtual-time simulation or real paced threads), manifest
+//!   round-trippable for crash recovery;
+//! * [`service`] — the service itself: worker pool, submission API,
+//!   status queries, cancellation, deadlines, graceful and hard shutdown;
+//! * [`worker`] — one engine instance per popped job;
+//! * [`recover`] — state-directory persistence: a restarted service
+//!   re-admits unfinished jobs and resumes their engines from checkpoint;
+//! * [`metrics`] — counters / gauges / latency histogram, JSON snapshots.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gridwfs_serve::{GridSpec, Service, ServiceConfig, Submission};
+//! use std::time::Duration;
+//!
+//! let service = Service::start(ServiceConfig {
+//!     workers: 2,
+//!     queue_capacity: 16,
+//!     ..ServiceConfig::default()
+//! })
+//! .unwrap();
+//!
+//! let grid = GridSpec::virtual_grid().with_host("h1", 1.0);
+//! let id = service
+//!     .submit(Submission {
+//!         name: "demo".into(),
+//!         workflow_xml: "<Workflow name='w'>\
+//!            <Activity name='a'><Implement>p</Implement></Activity>\
+//!            <Program name='p' duration='5'><Option hostname='h1'/></Program>\
+//!          </Workflow>"
+//!             .into(),
+//!         grid,
+//!         seed: 1,
+//!         deadline: None,
+//!     })
+//!     .unwrap();
+//!
+//! assert!(service.wait_all_terminal(Duration::from_secs(10)));
+//! let record = service.status(id).unwrap();
+//! assert_eq!(record.state, gridwfs_serve::JobState::Done);
+//! ```
+
+pub mod gridspec;
+pub mod job;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod recover;
+pub mod service;
+mod worker;
+
+pub use gridspec::{ExecMode, GridSpec, HostSpec, LinkSpec, ProfileSpec};
+pub use job::{JobId, JobRecord, JobState, Submission};
+pub use metrics::{LatencySummary, Metrics};
+pub use queue::{BoundedQueue, Pop, PushError};
+pub use service::{Service, ServiceConfig, SubmitError};
+
+#[cfg(test)]
+mod send_bounds {
+    /// The whole point of the service is running engines on worker
+    /// threads; these bounds are load-bearing for the entire crate.
+    #[test]
+    fn engines_and_service_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<grid_wfs::Engine<grid_wfs::SimGrid>>();
+        assert_send::<grid_wfs::Engine<grid_wfs::ThreadExecutor>>();
+        assert_send::<crate::Service>();
+    }
+}

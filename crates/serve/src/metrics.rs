@@ -1,0 +1,208 @@
+//! The service metrics registry.
+//!
+//! Counters are monotonic over the service's lifetime; gauges are sampled
+//! at snapshot time; the latency histogram keeps the exact sample set (the
+//! service's job counts are nowhere near the scale where a sketch would be
+//! needed) and reports count/mean/min/percentiles/max.
+//!
+//! [`Metrics::snapshot_json`] renders the whole registry as a JSON
+//! document — the machine-readable face of the service (`gridwfs serve
+//! --metrics`, the load generator, the CI smoke job).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::{json_number, json_string};
+
+/// Monotonic event counters.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Submissions accepted into the queue (includes re-admissions).
+    pub submitted: AtomicU64,
+    /// Submissions rejected at the door (queue full / shutting down).
+    pub rejected: AtomicU64,
+    /// Jobs that reached `Done`.
+    pub completed: AtomicU64,
+    /// Jobs that reached `Failed` (including deadline expiry).
+    pub failed: AtomicU64,
+    /// Jobs that reached `Cancelled`.
+    pub cancelled: AtomicU64,
+    /// `Failed` jobs whose failure was deadline expiry.
+    pub deadline_exceeded: AtomicU64,
+    /// Jobs re-admitted from a state directory at service start.
+    pub recovered: AtomicU64,
+}
+
+/// The registry: counters + the running-jobs gauge + latency samples.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Event counters.
+    pub counters: Counters,
+    /// Jobs currently held by a worker (gauge).
+    pub running: AtomicU64,
+    latency: Mutex<Vec<f64>>,
+}
+
+/// Summary of the latency samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Medians and tails.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Bumps a counter by one.
+    pub(crate) fn incr(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one admission-to-terminal latency sample (seconds).
+    pub fn observe_latency(&self, seconds: f64) {
+        self.latency.lock().unwrap().push(seconds);
+    }
+
+    /// Summarises the latency samples so far.
+    pub fn latency_summary(&self) -> LatencySummary {
+        let mut samples = self.latency.lock().unwrap().clone();
+        samples.sort_by(f64::total_cmp);
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        LatencySummary {
+            count: samples.len(),
+            mean: samples.iter().sum::<f64>() / samples.len() as f64,
+            min: samples[0],
+            p50: percentile(&samples, 0.50),
+            p90: percentile(&samples, 0.90),
+            p99: percentile(&samples, 0.99),
+            max: samples[samples.len() - 1],
+        }
+    }
+
+    /// Renders the registry as JSON.  `queue_depth` is sampled by the
+    /// caller (the queue lives next to the registry, not inside it).
+    pub fn snapshot_json(&self, queue_depth: usize) -> String {
+        let c = &self.counters;
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let l = self.latency_summary();
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str("  \"counters\": {\n");
+        let counters = [
+            ("submitted", get(&c.submitted)),
+            ("rejected", get(&c.rejected)),
+            ("completed", get(&c.completed)),
+            ("failed", get(&c.failed)),
+            ("cancelled", get(&c.cancelled)),
+            ("deadline_exceeded", get(&c.deadline_exceeded)),
+            ("recovered", get(&c.recovered)),
+        ];
+        for (i, (name, v)) in counters.iter().enumerate() {
+            let comma = if i + 1 < counters.len() { "," } else { "" };
+            out.push_str(&format!("    {}: {v}{comma}\n", json_string(name)));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"gauges\": {\n");
+        out.push_str(&format!("    \"queue_depth\": {queue_depth},\n"));
+        out.push_str(&format!(
+            "    \"running\": {}\n",
+            self.running.load(Ordering::Relaxed)
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"latency_seconds\": {\n");
+        out.push_str(&format!("    \"count\": {},\n", l.count));
+        for (name, v) in [
+            ("mean", l.mean),
+            ("min", l.min),
+            ("p50", l.p50),
+            ("p90", l.p90),
+            ("p99", l.p99),
+        ] {
+            out.push_str(&format!("    {}: {},\n", json_string(name), json_number(v)));
+        }
+        out.push_str(&format!("    \"max\": {}\n", json_number(l.max)));
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 0.5), 51.0);
+        assert_eq!(percentile(&s, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_contains_all_sections() {
+        let m = Metrics::new();
+        Metrics::incr(&m.counters.submitted);
+        Metrics::incr(&m.counters.submitted);
+        Metrics::incr(&m.counters.completed);
+        m.observe_latency(0.5);
+        m.observe_latency(1.5);
+        let json = m.snapshot_json(3);
+        assert!(json.contains("\"submitted\": 2"), "{json}");
+        assert!(json.contains("\"completed\": 1"), "{json}");
+        assert!(json.contains("\"queue_depth\": 3"), "{json}");
+        assert!(json.contains("\"count\": 2"), "{json}");
+        assert!(json.contains("\"mean\": 1"), "{json}");
+        // Well-formedness without a JSON parser: balanced braces, no
+        // trailing comma before a closer.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert!(!json.contains(",\n  }"), "{json}");
+        assert!(!json.contains(",\n}"), "{json}");
+    }
+
+    #[test]
+    fn latency_summary_of_empty_registry_is_zero() {
+        let m = Metrics::new();
+        let l = m.latency_summary();
+        assert_eq!(l.count, 0);
+        assert_eq!(l.max, 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! The bounded admission queue.
+//!
+//! Backpressure is explicit: [`BoundedQueue::try_push`] rejects when the
+//! queue is at capacity instead of blocking or silently dropping, so the
+//! submission layer can report the rejection to the client (the service's
+//! contract: a submission is either admitted and eventually reaches a
+//! terminal state, or it is rejected at the door).
+//!
+//! Built on `Mutex` + `Condvar` rather than a channel because the consumer
+//! side is a multi-worker pool (any worker may pop) and the producer side
+//! needs a non-blocking capacity check — both awkward to express on the
+//! workspace's channel primitives, trivial on a guarded deque.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// At capacity — backpressure; the caller gets the item back.
+    Full(T),
+    /// The queue was closed (service shutting down).
+    Closed(T),
+}
+
+/// Result of a timed pop.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// Timed out with the queue open but empty.
+    Empty,
+    /// The queue is closed and fully drained — the consumer should exit.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A multi-producer multi-consumer FIFO with a hard capacity.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue admitting at most `capacity` items at a time.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `item`, or rejects it when at capacity ([`PushError::Full`])
+    /// or closed ([`PushError::Closed`]).  Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Pushes past the capacity limit.  Used only for crash-recovery
+    /// re-admission, where refusing previously-accepted work would break
+    /// the admission contract; still refuses on a closed queue.
+    pub fn force_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, waiting up to `timeout` for one to
+    /// appear.  A closed queue still drains its remaining items (graceful
+    /// shutdown); [`Pop::Closed`] only once it is closed *and* empty.
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Pop::Item(item);
+            }
+            if g.closed {
+                return Pop::Closed;
+            }
+            let (guard, result) = self.nonempty.wait_timeout(g, timeout).unwrap();
+            g = guard;
+            if result.timed_out() {
+                return match g.items.pop_front() {
+                    Some(item) => Pop::Item(item),
+                    None if g.closed => Pop::Closed,
+                    None => Pop::Empty,
+                };
+            }
+        }
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain what remains
+    /// and then observe [`Pop::Closed`].
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.nonempty.notify_all();
+    }
+
+    /// Current depth (the queue-depth gauge).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_then_admits_after_pop() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn force_push_ignores_capacity_but_not_close() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        q.force_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.force_push(3), Err(PushError::Closed(3)));
+    }
+
+    #[test]
+    fn closed_queue_drains_then_reports_closed() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        assert_eq!(q.try_push("b"), Err(PushError::Closed("b")));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Item("a"));
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), Pop::Closed);
+    }
+
+    #[test]
+    fn empty_open_queue_times_out() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Empty);
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                match q2.pop_timeout(Duration::from_millis(50)) {
+                    Pop::Item(v) => got.push(v),
+                    Pop::Empty => continue,
+                    Pop::Closed => break,
+                }
+            }
+            got
+        });
+        for i in 0..20 {
+            loop {
+                match q.try_push(i) {
+                    Ok(()) => break,
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => panic!("not closed"),
+                }
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..20).collect::<Vec<_>>(), "FIFO, nothing lost");
+    }
+}

@@ -1,0 +1,212 @@
+//! State-directory persistence and crash recovery.
+//!
+//! An admitted job leaves three kinds of files in the service's state
+//! directory:
+//!
+//! * `job-<id>.wf.xml`   — the submitted WPDL document;
+//! * `job-<id>.meta`     — label, seed, deadline, and the Grid manifest
+//!   ([`GridSpec::to_manifest`]);
+//! * `job-<id>.ckpt.xml` — the engine checkpoint, rewritten after every
+//!   task settlement while the job runs;
+//! * `job-<id>.result`   — the terminal marker, written exactly once.
+//!
+//! A restarted service re-admits every job that has a meta file but no
+//! result marker.  If a checkpoint exists the worker resumes the engine
+//! from it ([`grid_wfs::checkpoint::load`]) instead of starting the
+//! workflow from scratch — the paper's §7 engine fault tolerance, lifted
+//! to the service level.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::gridspec::GridSpec;
+use crate::job::{JobId, Submission};
+
+/// Path of the persisted workflow document.
+pub fn workflow_path(dir: &Path, id: JobId) -> PathBuf {
+    dir.join(format!("{id}.wf.xml"))
+}
+
+/// Path of the job metadata manifest.
+pub fn meta_path(dir: &Path, id: JobId) -> PathBuf {
+    dir.join(format!("{id}.meta"))
+}
+
+/// Path of the engine checkpoint.
+pub fn checkpoint_path(dir: &Path, id: JobId) -> PathBuf {
+    dir.join(format!("{id}.ckpt.xml"))
+}
+
+/// Path of the terminal marker.
+pub fn result_path(dir: &Path, id: JobId) -> PathBuf {
+    dir.join(format!("{id}.result"))
+}
+
+/// Persists an admitted submission (workflow + meta).
+pub fn write_submission(dir: &Path, id: JobId, sub: &Submission) -> std::io::Result<()> {
+    fs::write(workflow_path(dir, id), &sub.workflow_xml)?;
+    let mut meta = String::new();
+    meta.push_str(&format!("name {}\n", sub.name));
+    meta.push_str(&format!("seed {}\n", sub.seed));
+    meta.push_str(&format!(
+        "deadline {}\n",
+        sub.deadline
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".into())
+    ));
+    meta.push_str(&sub.grid.to_manifest());
+    fs::write(meta_path(dir, id), meta)
+}
+
+/// Removes the persisted submission (rejected push rollback).
+pub fn remove_submission(dir: &Path, id: JobId) {
+    let _ = fs::remove_file(workflow_path(dir, id));
+    let _ = fs::remove_file(meta_path(dir, id));
+}
+
+/// Writes the terminal marker.
+pub fn write_result(dir: &Path, id: JobId, state: &str, detail: &str) -> std::io::Result<()> {
+    fs::write(
+        result_path(dir, id),
+        format!("state {state}\ndetail {detail}\n"),
+    )
+}
+
+fn parse_meta(text: &str, wf_xml: String) -> Result<Submission, String> {
+    let mut name = None;
+    let mut seed = 0u64;
+    let mut deadline = None;
+    let mut grid_lines = String::new();
+    for line in text.lines() {
+        let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match key {
+            "name" => name = Some(rest.to_string()),
+            "seed" => {
+                seed = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad seed '{rest}'"))?
+            }
+            "deadline" => {
+                deadline = if rest.trim() == "-" {
+                    None
+                } else {
+                    Some(
+                        rest.trim()
+                            .parse()
+                            .map_err(|_| format!("bad deadline '{rest}'"))?,
+                    )
+                }
+            }
+            _ => {
+                grid_lines.push_str(line);
+                grid_lines.push('\n');
+            }
+        }
+    }
+    Ok(Submission {
+        name: name.ok_or("meta file missing 'name'")?,
+        workflow_xml: wf_xml,
+        grid: GridSpec::from_manifest(&grid_lines)?,
+        seed,
+        deadline,
+    })
+}
+
+/// Scans a state directory for jobs to re-admit: every `job-<id>.meta`
+/// without a matching `job-<id>.result`, ascending by id.  Unreadable
+/// entries are reported, not silently skipped.
+pub fn scan(dir: &Path) -> Result<Vec<(JobId, Submission)>, String> {
+    let mut ids: Vec<u64> = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let file_name = entry.file_name();
+        let Some(name) = file_name.to_str() else {
+            continue;
+        };
+        if let Some(id) = name
+            .strip_prefix("job-")
+            .and_then(|r| r.strip_suffix(".meta"))
+        {
+            ids.push(id.parse().map_err(|_| format!("bad job id in '{name}'"))?);
+        }
+    }
+    ids.sort_unstable();
+    let mut out = Vec::new();
+    for raw in ids {
+        let id = JobId(raw);
+        if result_path(dir, id).exists() {
+            continue; // terminal before the restart
+        }
+        let meta = fs::read_to_string(meta_path(dir, id))
+            .map_err(|e| format!("{id}: meta unreadable: {e}"))?;
+        let wf = fs::read_to_string(workflow_path(dir, id))
+            .map_err(|e| format!("{id}: workflow unreadable: {e}"))?;
+        out.push((id, parse_meta(&meta, wf).map_err(|e| format!("{id}: {e}"))?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gridwfs-serve-recover-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sub(name: &str) -> Submission {
+        Submission {
+            name: name.into(),
+            workflow_xml: "<Workflow name='w'/>".into(),
+            grid: GridSpec::virtual_grid().with_host("h1", 1.0),
+            seed: 9,
+            deadline: Some(100.0),
+        }
+    }
+
+    #[test]
+    fn submission_round_trips_through_disk() {
+        let dir = tmpdir("roundtrip");
+        write_submission(&dir, JobId(3), &sub("alpha beta")).unwrap();
+        let scanned = scan(&dir).unwrap();
+        assert_eq!(scanned.len(), 1);
+        let (id, got) = &scanned[0];
+        assert_eq!(*id, JobId(3));
+        assert_eq!(got.name, "alpha beta", "labels keep their spaces");
+        assert_eq!(got.seed, 9);
+        assert_eq!(got.deadline, Some(100.0));
+        assert_eq!(got.grid, sub("x").grid);
+        assert_eq!(got.workflow_xml, sub("x").workflow_xml);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn terminal_jobs_are_not_rescanned() {
+        let dir = tmpdir("terminal");
+        write_submission(&dir, JobId(1), &sub("a")).unwrap();
+        write_submission(&dir, JobId(2), &sub("b")).unwrap();
+        write_result(&dir, JobId(1), "done", "Success").unwrap();
+        let scanned = scan(&dir).unwrap();
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].0, JobId(2));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn removed_submission_disappears() {
+        let dir = tmpdir("remove");
+        write_submission(&dir, JobId(7), &sub("a")).unwrap();
+        remove_submission(&dir, JobId(7));
+        assert!(scan(&dir).unwrap().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,316 @@
+//! The multi-tenant workflow service.
+//!
+//! [`Service::start`] spawns a pool of worker threads that drain a bounded
+//! admission queue and drive one [`grid_wfs::Engine`] instance per job.
+//! The service owns:
+//!
+//! * **admission** — [`Service::submit`] either admits a job (it will
+//!   reach a terminal state) or rejects it loudly (queue full / shutting
+//!   down); nothing is ever dropped silently;
+//! * **per-job fault isolation** — each job gets its own engine, executor
+//!   and RNG stream; a failing workflow is just a `Failed` record;
+//! * **deadlines & cancellation** — the engine's cooperative stop flag and
+//!   executor-clock deadline (`EngineConfig::{stop, deadline}`);
+//! * **crash recovery** — with a state directory, admitted jobs persist
+//!   their submission and engine checkpoints; a restarted service
+//!   re-admits unfinished jobs and their engines resume from checkpoint;
+//! * **metrics** — a [`Metrics`] registry snapshot-able as JSON.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::job::{JobId, JobRecord, JobState, Submission};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+use crate::recover;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (concurrent engine instances).
+    pub workers: usize,
+    /// Admission-queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Persistence root for crash recovery; `None` = in-memory only.
+    pub state_dir: Option<PathBuf>,
+    /// Deadline applied to submissions that do not carry their own.
+    pub default_deadline: Option<f64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            state_dir: None,
+            default_deadline: None,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Backpressure: the admission queue is at capacity.  Retry later.
+    QueueFull,
+    /// The service is draining or shut down.
+    ShuttingDown,
+    /// The submission could not be persisted to the state directory.
+    Io(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("admission queue full"),
+            SubmitError::ShuttingDown => f.write_str("service is shutting down"),
+            SubmitError::Io(e) => write!(f, "state directory: {e}"),
+        }
+    }
+}
+impl std::error::Error for SubmitError {}
+
+/// State shared between the service handle and its workers.
+pub(crate) struct Shared {
+    pub(crate) cfg: ServiceConfig,
+    pub(crate) queue: BoundedQueue<JobId>,
+    pub(crate) jobs: Mutex<HashMap<u64, JobRecord>>,
+    pub(crate) subs: Mutex<HashMap<u64, Submission>>,
+    pub(crate) stops: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+    pub(crate) metrics: Metrics,
+    pub(crate) accepting: AtomicBool,
+    /// Hard-shutdown latch: workers drop popped jobs back into `Queued`
+    /// (their manifests survive for the next incarnation) instead of
+    /// running them.
+    pub(crate) aborting: AtomicBool,
+    epoch: Instant,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    /// Seconds on the service clock.
+    pub(crate) fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// A running workflow service.  Dropping the handle aborts the workers
+/// (prefer [`Service::drain`] for a graceful stop).
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the service: recovers unfinished jobs from the state
+    /// directory (if configured), then spawns the worker pool.
+    pub fn start(cfg: ServiceConfig) -> Result<Service, String> {
+        assert!(cfg.workers > 0, "need at least one worker");
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            jobs: Mutex::new(HashMap::new()),
+            subs: Mutex::new(HashMap::new()),
+            stops: Mutex::new(HashMap::new()),
+            metrics: Metrics::new(),
+            accepting: AtomicBool::new(true),
+            aborting: AtomicBool::new(false),
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            cfg,
+        });
+        if let Some(dir) = shared.cfg.state_dir.clone() {
+            std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let recovered = recover::scan(&dir)?;
+            let mut max_id = 0;
+            for (id, sub) in recovered {
+                max_id = max_id.max(id.0);
+                let mut record = JobRecord::new(id, sub.name.clone(), shared.now(), true);
+                record.recovered = true;
+                shared.jobs.lock().unwrap().insert(id.0, record);
+                shared.subs.lock().unwrap().insert(id.0, sub);
+                // Refusing previously-admitted work would break the
+                // admission contract, so recovery bypasses the capacity
+                // check.
+                shared
+                    .queue
+                    .force_push(id)
+                    .map_err(|_| "queue closed during recovery".to_string())?;
+                Metrics::incr(&shared.metrics.counters.recovered);
+                Metrics::incr(&shared.metrics.counters.submitted);
+            }
+            shared.next_id.store(max_id + 1, Ordering::Relaxed);
+        }
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("gridwfs-serve-worker-{i}"))
+                    .spawn(move || crate::worker::worker_loop(shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Service { shared, workers })
+    }
+
+    /// Submits a workflow.  On `Ok` the job is admitted and will reach a
+    /// terminal state; on `Err` nothing of it remains in the service.
+    pub fn submit(&self, sub: Submission) -> Result<JobId, SubmitError> {
+        if !self.shared.accepting.load(Ordering::Relaxed) {
+            Metrics::incr(&self.shared.metrics.counters.rejected);
+            return Err(SubmitError::ShuttingDown);
+        }
+        let id = JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+        let record = JobRecord::new(id, sub.name.clone(), self.shared.now(), false);
+        self.shared.jobs.lock().unwrap().insert(id.0, record);
+        self.shared.subs.lock().unwrap().insert(id.0, sub.clone());
+        if let Some(dir) = &self.shared.cfg.state_dir {
+            if let Err(e) = recover::write_submission(dir, id, &sub) {
+                self.rollback(id);
+                Metrics::incr(&self.shared.metrics.counters.rejected);
+                return Err(SubmitError::Io(e.to_string()));
+            }
+        }
+        match self.shared.queue.try_push(id) {
+            Ok(()) => {
+                Metrics::incr(&self.shared.metrics.counters.submitted);
+                Ok(id)
+            }
+            Err(e) => {
+                self.rollback(id);
+                Metrics::incr(&self.shared.metrics.counters.rejected);
+                Err(match e {
+                    PushError::Full(_) => SubmitError::QueueFull,
+                    PushError::Closed(_) => SubmitError::ShuttingDown,
+                })
+            }
+        }
+    }
+
+    fn rollback(&self, id: JobId) {
+        self.shared.jobs.lock().unwrap().remove(&id.0);
+        self.shared.subs.lock().unwrap().remove(&id.0);
+        if let Some(dir) = &self.shared.cfg.state_dir {
+            recover::remove_submission(dir, id);
+        }
+    }
+
+    /// Snapshot of one job's record.
+    pub fn status(&self, id: JobId) -> Option<JobRecord> {
+        self.shared.jobs.lock().unwrap().get(&id.0).cloned()
+    }
+
+    /// Snapshot of every job, ascending by id.
+    pub fn jobs(&self) -> Vec<JobRecord> {
+        let mut all: Vec<JobRecord> = self.shared.jobs.lock().unwrap().values().cloned().collect();
+        all.sort_by_key(|r| r.id);
+        all
+    }
+
+    /// Requests cancellation.  Queued jobs become `Cancelled` immediately;
+    /// running jobs get their engine's stop flag set and settle as
+    /// `Cancelled` shortly after.  Returns false for unknown or already
+    /// terminal jobs.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut jobs = self.shared.jobs.lock().unwrap();
+        let Some(rec) = jobs.get_mut(&id.0) else {
+            return false;
+        };
+        match rec.state {
+            JobState::Queued => {
+                rec.cancel_requested = true;
+                rec.state = JobState::Cancelled;
+                rec.finished_at = Some(self.shared.now());
+                rec.detail = Some("cancelled while queued".into());
+                Metrics::incr(&self.shared.metrics.counters.cancelled);
+                if let Some(dir) = &self.shared.cfg.state_dir {
+                    let _ = recover::write_result(dir, id, "cancelled", "cancelled while queued");
+                }
+                true
+            }
+            JobState::Running => {
+                rec.cancel_requested = true;
+                drop(jobs);
+                if let Some(stop) = self.shared.stops.lock().unwrap().get(&id.0) {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// JSON snapshot of the metrics registry.
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics.snapshot_json(self.queue_depth())
+    }
+
+    /// Polls until every known job is terminal (true) or `timeout`
+    /// elapses (false).
+    pub fn wait_all_terminal(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let all_terminal = {
+                let jobs = self.shared.jobs.lock().unwrap();
+                jobs.values().all(|r| r.state.is_terminal())
+            };
+            if all_terminal {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    fn halt(&mut self, abort: bool) {
+        self.shared.accepting.store(false, Ordering::Relaxed);
+        if abort {
+            self.shared.aborting.store(true, Ordering::Relaxed);
+            for stop in self.shared.stops.lock().unwrap().values() {
+                stop.store(true, Ordering::Relaxed);
+            }
+        }
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain the queue, wait for every
+    /// worker to finish, return the final records.
+    pub fn drain(mut self) -> Vec<JobRecord> {
+        self.halt(false);
+        self.jobs()
+    }
+
+    /// Hard shutdown: stop accepting, abort running engines (their
+    /// checkpoints persist), leave queued jobs queued on disk, and return
+    /// the records as they stood.  With a state directory, a later
+    /// [`Service::start`] re-admits everything non-terminal.
+    pub fn shutdown_now(mut self) -> Vec<JobRecord> {
+        self.halt(true);
+        self.jobs()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.halt(true);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The worker loop: one popped job at a time, one engine instance each.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use grid_wfs::engine::{Engine, EngineConfig, LogKind, Report};
+use grid_wfs::{checkpoint, Executor, Instance};
+use gridwfs_wpdl::parse;
+use gridwfs_wpdl::validate::validate;
+
+use crate::gridspec::ExecMode;
+use crate::job::{JobId, JobState, Submission};
+use crate::metrics::Metrics;
+use crate::queue::Pop;
+use crate::recover;
+use crate::service::Shared;
+
+const POLL: Duration = Duration::from_millis(25);
+
+/// Drains the admission queue until it is closed and empty.
+pub(crate) fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        match shared.queue.pop_timeout(POLL) {
+            Pop::Closed => return,
+            Pop::Empty => continue,
+            Pop::Item(id) => {
+                if shared.aborting.load(Ordering::Relaxed) {
+                    // Hard shutdown: leave the job `Queued`; its manifest
+                    // survives for the next incarnation's recovery scan.
+                    continue;
+                }
+                run_job(&shared, id);
+            }
+        }
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, id: JobId) {
+    let Some(sub) = shared.subs.lock().unwrap().get(&id.0).cloned() else {
+        return;
+    };
+    {
+        let mut jobs = shared.jobs.lock().unwrap();
+        let Some(rec) = jobs.get_mut(&id.0) else {
+            return;
+        };
+        if rec.state != JobState::Queued {
+            return; // cancelled while queued
+        }
+        rec.state = JobState::Running;
+        rec.started_at = Some(shared.now());
+    }
+    shared.metrics.running.fetch_add(1, Ordering::Relaxed);
+    let stop = Arc::new(AtomicBool::new(false));
+    shared.stops.lock().unwrap().insert(id.0, stop.clone());
+    let wall_start = Instant::now();
+    let result = execute(shared, id, &sub, stop);
+    let run_wall = wall_start.elapsed().as_secs_f64();
+    shared.stops.lock().unwrap().remove(&id.0);
+    shared.metrics.running.fetch_sub(1, Ordering::Relaxed);
+    settle(shared, id, result, run_wall);
+}
+
+/// Builds the instance (fresh, or from the persisted engine checkpoint)
+/// and runs it on the submission's Grid.
+fn execute(
+    shared: &Arc<Shared>,
+    id: JobId,
+    sub: &Submission,
+    stop: Arc<AtomicBool>,
+) -> Result<Report, String> {
+    let ckpt_path = shared
+        .cfg
+        .state_dir
+        .as_ref()
+        .map(|dir| recover::checkpoint_path(dir, id));
+    let instance = match &ckpt_path {
+        Some(path) if path.exists() => checkpoint::load(path).map_err(|e| e.to_string())?,
+        _ => {
+            let workflow = parse::from_str(&sub.workflow_xml).map_err(|e| e.to_string())?;
+            let validated = validate(workflow).map_err(|issues| {
+                issues
+                    .iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            })?;
+            Instance::new(validated)
+        }
+    };
+    let config = EngineConfig {
+        checkpoint_path: ckpt_path,
+        stop: Some(stop),
+        deadline: sub.deadline.or(shared.cfg.default_deadline),
+        ..EngineConfig::default()
+    };
+    match sub.grid.mode {
+        ExecMode::Virtual => Ok(run_engine(instance, sub.grid.build_sim(sub.seed), config)),
+        ExecMode::Paced { scale } => {
+            let executor = sub.grid.build_paced(instance.workflow(), scale);
+            Ok(run_engine(instance, executor, config))
+        }
+    }
+}
+
+fn run_engine<X: Executor>(instance: Instance, executor: X, config: EngineConfig) -> Report {
+    Engine::from_instance(instance, executor)
+        .with_config(config)
+        .run()
+}
+
+/// Applies the run's outcome to the job record, the metrics registry, and
+/// the state directory.
+fn settle(shared: &Arc<Shared>, id: JobId, result: Result<Report, String>, run_wall: f64) {
+    let c = &shared.metrics.counters;
+    let (state, detail, report) = match result {
+        Err(msg) => (JobState::Failed, msg, None),
+        Ok(report) => match report.aborted.as_deref() {
+            Some("stop") => {
+                let cancel_requested = shared
+                    .jobs
+                    .lock()
+                    .unwrap()
+                    .get(&id.0)
+                    .is_some_and(|r| r.cancel_requested);
+                if cancel_requested {
+                    (JobState::Cancelled, "cancelled".to_string(), Some(report))
+                } else {
+                    // Service shutdown, not a client cancel: back to
+                    // `Queued` so the next incarnation resumes it from the
+                    // checkpoint the aborting engine just wrote.
+                    let mut jobs = shared.jobs.lock().unwrap();
+                    if let Some(rec) = jobs.get_mut(&id.0) {
+                        rec.state = JobState::Queued;
+                        rec.started_at = None;
+                    }
+                    return;
+                }
+            }
+            Some("deadline") => {
+                Metrics::incr(&c.deadline_exceeded);
+                (
+                    JobState::Failed,
+                    "deadline exceeded".to_string(),
+                    Some(report),
+                )
+            }
+            _ => {
+                let state = if report.is_success() {
+                    JobState::Done
+                } else {
+                    JobState::Failed
+                };
+                (state, format!("{:?}", report.outcome), Some(report))
+            }
+        },
+    };
+    match state {
+        JobState::Done => Metrics::incr(&c.completed),
+        JobState::Cancelled => Metrics::incr(&c.cancelled),
+        _ => Metrics::incr(&c.failed),
+    }
+    let latency = {
+        let mut jobs = shared.jobs.lock().unwrap();
+        let Some(rec) = jobs.get_mut(&id.0) else {
+            return;
+        };
+        rec.state = state;
+        rec.finished_at = Some(shared.now());
+        rec.run_wall = Some(run_wall);
+        rec.detail = Some(detail.clone());
+        if let Some(report) = &report {
+            rec.makespan = Some(report.makespan);
+            rec.task_submissions = report
+                .log
+                .iter()
+                .filter(|e| e.kind == LogKind::Submit)
+                .count() as u64;
+        }
+        rec.latency()
+    };
+    if state != JobState::Cancelled {
+        if let Some(latency) = latency {
+            shared.metrics.observe_latency(latency);
+        }
+    }
+    if let Some(dir) = &shared.cfg.state_dir {
+        if let Err(e) = recover::write_result(dir, id, state.as_str(), &detail) {
+            eprintln!("gridwfs-serve: {id}: cannot write result marker: {e}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The crash-recovery round trip: submit → checkpoint → hard kill →
+//! restart → the job resumes from its engine checkpoint and completes
+//! without redoing finished work.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use gridwfs_serve::{recover, GridSpec, JobId, JobState, Service, ServiceConfig, Submission};
+use gridwfs_wpdl::builder::WorkflowBuilder;
+
+fn tmpdir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gridwfs-recovery-{label}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn chain3_xml() -> String {
+    let mut b = WorkflowBuilder::new("recoverable").program("p", 1.0, &["local"]);
+    b.activity("a", "p");
+    b.activity("b", "p");
+    b.activity("c", "p");
+    b.edge("a", "b")
+        .edge("b", "c")
+        .to_xml()
+        .expect("test workflow serialises")
+}
+
+fn start(dir: &PathBuf) -> Service {
+    Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 8,
+        state_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn checkpoint_kill_restart_resumes_from_checkpoint() {
+    let dir = tmpdir("roundtrip");
+    let service = start(&dir);
+    // Paced 0.25: three ~250ms tasks, so the kill lands mid-workflow.
+    let id = service
+        .submit(Submission {
+            name: "recoverable".into(),
+            workflow_xml: chain3_xml(),
+            grid: GridSpec::paced_grid(0.25).with_host("local", 1.0),
+            seed: 7,
+            deadline: None,
+        })
+        .unwrap();
+
+    // Wait for the engine checkpoint to record activity `a` as done, then
+    // pull the plug while `b` is still in flight.
+    let ckpt = recover::checkpoint_path(&dir, id);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        assert!(Instant::now() < deadline, "first settlement never landed");
+        if std::fs::read_to_string(&ckpt)
+            .map(|t| t.contains("status='done'"))
+            .unwrap_or(false)
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let records = service.shutdown_now();
+    assert_eq!(records.len(), 1);
+    assert_eq!(
+        records[0].state,
+        JobState::Queued,
+        "aborted job is parked for the next incarnation, not failed"
+    );
+    assert!(ckpt.exists(), "checkpoint survives the kill");
+
+    // Restart over the same directory: the job is re-admitted and runs to
+    // completion from the checkpoint.
+    let service = start(&dir);
+    use std::sync::atomic::Ordering;
+    assert_eq!(
+        service.metrics().counters.recovered.load(Ordering::Relaxed),
+        1
+    );
+    assert!(service.wait_all_terminal(Duration::from_secs(30)));
+    let rec = service.status(id).unwrap();
+    assert_eq!(rec.state, JobState::Done, "{:?}", rec.detail);
+    assert!(rec.recovered);
+    // The fresh run of this chain submits 3 tasks; the resumed run must
+    // have skipped the checkpointed `a`.
+    assert!(
+        rec.task_submissions < 3,
+        "resumed run redid finished work ({} submissions)",
+        rec.task_submissions
+    );
+    drop(service);
+
+    // Third incarnation: the terminal result is on disk, nothing to do.
+    let service = start(&dir);
+    assert!(service.jobs().is_empty());
+    assert!(service.status(JobId(id.0)).is_none());
+    drop(service);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn queued_jobs_survive_a_kill_without_checkpoints() {
+    let dir = tmpdir("queued");
+    let service = start(&dir);
+    // Occupy the single worker, then queue a second job behind it.
+    let blocker = service
+        .submit(Submission {
+            name: "blocker".into(),
+            workflow_xml: chain3_xml(),
+            grid: GridSpec::paced_grid(0.25).with_host("local", 1.0),
+            seed: 1,
+            deadline: None,
+        })
+        .unwrap();
+    let parked = service
+        .submit(Submission {
+            name: "parked".into(),
+            workflow_xml: chain3_xml(),
+            grid: GridSpec::virtual_grid().with_host("local", 1.0),
+            seed: 2,
+            deadline: None,
+        })
+        .unwrap();
+    // Kill while `parked` has never run: no checkpoint, only manifests.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.status(blocker).unwrap().state == JobState::Queued {
+        assert!(Instant::now() < deadline, "blocker never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    service.shutdown_now();
+    assert!(!recover::checkpoint_path(&dir, parked).exists());
+
+    let service = start(&dir);
+    use std::sync::atomic::Ordering;
+    assert_eq!(
+        service.metrics().counters.recovered.load(Ordering::Relaxed),
+        2
+    );
+    assert!(service.wait_all_terminal(Duration::from_secs(30)));
+    assert_eq!(service.status(blocker).unwrap().state, JobState::Done);
+    assert_eq!(service.status(parked).unwrap().state, JobState::Done);
+    drop(service);
+    std::fs::remove_dir_all(&dir).ok();
+}

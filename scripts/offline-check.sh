@@ -1,0 +1,35 @@
+#!/bin/sh
+# Refresh the offline verification workspace at /tmp/check from the repo.
+#
+# The dev container has no network access, so crates.io dependencies
+# (serde, crossbeam, ...) cannot be fetched.  /tmp/check mirrors the repo
+# with those dependencies replaced by minimal API-compatible stubs
+# (/tmp/check/stubs, created in PR 1) and the proptest-based test files
+# removed (proptest cannot be stubbed usefully).  Run this, then
+# `cd /tmp/check && cargo build --release && cargo test -q`.
+set -eu
+
+REPO=/root/repo
+CHECK=/tmp/check
+
+mkdir -p "$CHECK"
+# Copy sources, preserving the stub crates and the incremental target dir.
+(cd "$REPO" && tar cf - --exclude=./target --exclude=./scripts .) | \
+    (cd "$CHECK" && tar xf -)
+
+# Point the workspace at the stubs and drop proptest (unstubbable).
+sed -i \
+    -e 's#^rand = .*#rand = { path = "stubs/rand" }#' \
+    -e 's#^proptest = .*##' \
+    -e 's#^criterion = .*#criterion = { path = "stubs/criterion" }#' \
+    -e 's#^crossbeam = .*#crossbeam = { path = "stubs/crossbeam" }#' \
+    -e 's#^parking_lot = .*#parking_lot = { path = "stubs/parking_lot" }#' \
+    -e 's#^bytes = .*#bytes = { path = "stubs/bytes" }#' \
+    -e 's#^serde = .*#serde = { path = "stubs/serde" }#' \
+    -e 's#^serde_json = .*#serde_json = { path = "stubs/serde_json" }#' \
+    "$CHECK/Cargo.toml"
+sed -i -e 's#^proptest\.workspace = true##' "$CHECK"/Cargo.toml "$CHECK"/crates/*/Cargo.toml
+rm -f "$CHECK"/tests/*properties*.rs "$CHECK"/crates/*/tests/*properties*.rs \
+    "$CHECK"/tests/*.proptest-regressions "$CHECK"/crates/*/tests/*.proptest-regressions
+
+echo "refreshed $CHECK"

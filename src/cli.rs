@@ -10,7 +10,11 @@
 //! gridwfs dot      workflow.xml > wf.dot
 //! gridwfs run      workflow.xml --grid grid.json [--seed N]
 //!                  [--checkpoint state.xml] [--resume state.xml]
-//!                  [--timeline] [--verbose]
+//!                  [--timeline] [--verbose] [--json report.json]
+//! gridwfs resume   state.xml --grid grid.json [run options]
+//! gridwfs serve    wf1.xml wf2.xml ... --grid grid.json [--workers N]
+//!                  [--queue N] [--state-dir DIR] [--deadline S]
+//!                  [--paced SCALE] [--metrics metrics.json]
 //! ```
 //!
 //! The Grid configuration is a JSON inventory of hosts (speed, MTTF, mean
@@ -20,10 +24,16 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use grid_wfs::checkpoint;
-use grid_wfs::engine::{Engine, EngineConfig, Report};
+use grid_wfs::engine::{Engine, EngineConfig, LogKind, Report};
 use grid_wfs::sim_executor::{SimGrid, TaskProfile};
+use gridwfs_serve::json::{json_number, json_string};
+use gridwfs_serve::{
+    ExecMode, GridSpec, HostSpec, JobState, LinkSpec, ProfileSpec, Service, ServiceConfig,
+    Submission, SubmitError,
+};
 use gridwfs_sim::dist::Dist;
 use gridwfs_sim::net::LinkModel;
 use gridwfs_sim::resource::ResourceSpec;
@@ -234,6 +244,65 @@ pub struct RunOptions {
     /// Run the workflow this many times over consecutive seeds and report
     /// success rate + makespan statistics (a mini Monte-Carlo evaluator).
     pub repeat: Option<u32>,
+    /// Write a machine-readable JSON report to this path.
+    pub json: Option<PathBuf>,
+}
+
+/// Renders a [`Report`] as machine-readable JSON (schema 1): outcome,
+/// makespan, per-activity final status, per-activity submission counts,
+/// cancellations, and evaluation warnings.
+pub fn report_to_json(report: &Report) -> String {
+    let mut submissions: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for span in &report.spans {
+        *submissions.entry(span.activity.as_str()).or_default() += 1;
+    }
+    let cancellations = report
+        .log
+        .iter()
+        .filter(|e| e.kind == LogKind::Cancel)
+        .count();
+    let mut s = String::from("{\n  \"schema\": 1,\n");
+    let _ = writeln!(
+        s,
+        "  \"outcome\": {},",
+        json_string(&format!("{:?}", report.outcome))
+    );
+    let _ = writeln!(s, "  \"success\": {},", report.is_success());
+    let _ = writeln!(
+        s,
+        "  \"aborted\": {},",
+        report
+            .aborted
+            .as_deref()
+            .map_or("null".to_string(), json_string)
+    );
+    let _ = writeln!(s, "  \"makespan\": {},", json_number(report.makespan));
+    let _ = writeln!(s, "  \"finished_at\": {},", json_number(report.finished_at));
+    let _ = writeln!(s, "  \"cancellations\": {cancellations},");
+    s.push_str("  \"activities\": [\n");
+    for (i, (name, status)) in report.node_status.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": {}, \"status\": {}, \"submissions\": {}}}",
+            json_string(name),
+            json_string(&status.to_string()),
+            submissions.get(name.as_str()).copied().unwrap_or(0)
+        );
+        s.push_str(if i + 1 < report.node_status.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ],\n  \"eval_errors\": [");
+    for (i, e) in report.eval_errors.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_string(e));
+    }
+    s.push_str("]\n}\n");
+    s
 }
 
 /// `gridwfs run --repeat N`: Monte-Carlo over consecutive seeds.
@@ -340,7 +409,204 @@ pub fn cmd_run(opts: &RunOptions) -> Result<(Report, String), CliError> {
     for e in &report.eval_errors {
         let _ = writeln!(out, "warning: {e}");
     }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, report_to_json(&report))
+            .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+        let _ = writeln!(out, "report JSON written to {}", path.display());
+    }
     Ok((report, out))
+}
+
+// ------------------------------------------------------------ serve ---
+
+/// Options for `gridwfs serve`.
+#[derive(Debug)]
+pub struct ServeOptions {
+    /// Workflow files to submit.
+    pub workflows: Vec<PathBuf>,
+    /// Grid config JSON.
+    pub grid: Option<PathBuf>,
+    /// Worker threads (concurrent engine instances).
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue: usize,
+    /// Crash-recovery state directory.
+    pub state_dir: Option<PathBuf>,
+    /// Per-job deadline (executor seconds).
+    pub deadline: Option<f64>,
+    /// Run paced (wall-clock) instead of virtual-time, with this
+    /// nominal-seconds → wall-seconds scale.
+    pub paced: Option<f64>,
+    /// Base seed override (per-job seeds are base + job index).
+    pub seed: Option<u64>,
+    /// Write the final metrics JSON snapshot to this path.
+    pub metrics: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workflows: Vec::new(),
+            grid: None,
+            workers: 4,
+            queue: 64,
+            state_dir: None,
+            deadline: None,
+            paced: None,
+            seed: None,
+            metrics: None,
+        }
+    }
+}
+
+/// Converts the CLI's Grid config into the service's [`GridSpec`].
+pub fn grid_config_to_spec(cfg: &GridConfig, mode: ExecMode) -> Result<GridSpec, CliError> {
+    if cfg.hosts.is_empty() {
+        return err("grid config declares no hosts");
+    }
+    let mut spec = GridSpec {
+        mode,
+        ..GridSpec::virtual_grid()
+    };
+    for h in &cfg.hosts {
+        if h.speed <= 0.0 {
+            return err(format!("host {}: speed must be positive", h.hostname));
+        }
+        spec.hosts.push(HostSpec {
+            hostname: h.hostname.clone(),
+            speed: h.speed,
+            mttf: match h.mttf {
+                Some(bad) if bad <= 0.0 => {
+                    return err(format!("host {}: mttf {bad} must be positive", h.hostname))
+                }
+                other => other,
+            },
+            downtime: h.downtime,
+        });
+    }
+    if let Some(link) = &cfg.link {
+        if !(0.0..=1.0).contains(&link.drop_p) {
+            return err(format!("link drop_p {} outside [0,1]", link.drop_p));
+        }
+        spec.link = Some(LinkSpec {
+            delay: link.delay,
+            drop_p: link.drop_p,
+        });
+    }
+    for (program, p) in &cfg.profiles {
+        spec.profiles.push(ProfileSpec {
+            program: program.clone(),
+            checkpoint_period: p.checkpoint_period,
+            soft_crash_mttf: p.soft_crash_mttf,
+            exception: p
+                .exception
+                .as_ref()
+                .map(|e| (e.name.clone(), e.checks, e.prob)),
+        });
+    }
+    Ok(spec)
+}
+
+/// `gridwfs serve`: run the workflow service over a batch of submissions
+/// and report per-job outcomes plus the metrics snapshot.  Exit code 0
+/// iff every job finished `Done`.
+pub fn cmd_serve(opts: &ServeOptions) -> Result<(i32, String), CliError> {
+    let grid_path = opts
+        .grid
+        .as_ref()
+        .ok_or_else(|| CliError("serve requires --grid <config.json>".into()))?;
+    let cfg = GridConfig::from_json(&read(grid_path)?)?;
+    serve_with_config(&cfg, opts)
+}
+
+/// [`cmd_serve`] with the Grid config already parsed (the testable core).
+pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, String), CliError> {
+    if opts.workflows.is_empty() && opts.state_dir.is_none() {
+        return err("serve requires workflow files (or --state-dir with unfinished jobs)");
+    }
+    if opts.workers == 0 || opts.queue == 0 {
+        return err("serve requires --workers and --queue >= 1");
+    }
+    let mode = match opts.paced {
+        Some(scale) if scale > 0.0 => ExecMode::Paced { scale },
+        Some(bad) => return err(format!("--paced scale {bad} must be positive")),
+        None => ExecMode::Virtual,
+    };
+    let spec = grid_config_to_spec(cfg, mode)?;
+    let service = Service::start(ServiceConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        state_dir: opts.state_dir.clone(),
+        default_deadline: opts.deadline,
+    })
+    .map_err(CliError)?;
+    let base_seed = opts.seed.unwrap_or(cfg.seed);
+    let mut backpressure_retries = 0u64;
+    for (i, wf) in opts.workflows.iter().enumerate() {
+        let sub = Submission {
+            name: wf
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| format!("job-{i}")),
+            workflow_xml: read(wf)?,
+            grid: spec.clone(),
+            seed: base_seed + i as u64,
+            deadline: None,
+        };
+        loop {
+            match service.submit(sub.clone()) {
+                Ok(_) => break,
+                Err(SubmitError::QueueFull) => {
+                    // Backpressure: hold the batch until a slot frees up.
+                    backpressure_retries += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return err(format!("{}: {e}", wf.display())),
+            }
+        }
+    }
+    if !service.wait_all_terminal(Duration::from_secs(3600)) {
+        return err("service did not reach quiescence within an hour");
+    }
+    let metrics_json = service.metrics_json();
+    let records = service.drain();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:<20} {:<10} {:>9} {:>9}  {}",
+        "job", "name", "state", "makespan", "latency", "detail"
+    );
+    for r in &records {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<20} {:<10} {:>9} {:>9}  {}",
+            r.id.to_string(),
+            r.name,
+            r.state.as_str(),
+            r.makespan.map_or("-".into(), |m| format!("{m:.2}")),
+            r.latency().map_or("-".into(), |l| format!("{l:.2}s")),
+            r.detail.as_deref().unwrap_or(""),
+        );
+    }
+    if backpressure_retries > 0 {
+        let _ = writeln!(
+            out,
+            "backpressure: {backpressure_retries} submit retries while the queue was full"
+        );
+    }
+    match &opts.metrics {
+        Some(path) => {
+            std::fs::write(path, &metrics_json)
+                .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+            let _ = writeln!(out, "metrics JSON written to {}", path.display());
+        }
+        None => {
+            let _ = writeln!(out, "metrics: {metrics_json}");
+        }
+    }
+    let all_done = !records.is_empty() && records.iter().all(|r| r.state == JobState::Done);
+    Ok((if all_done { 0 } else { 1 }, out))
 }
 
 /// Usage text.
@@ -352,6 +618,8 @@ USAGE:
   gridwfs dot      <workflow.xml>
   gridwfs run      <workflow.xml> --grid <grid.json> [options]
   gridwfs run      --resume <state.xml> --grid <grid.json> [options]
+  gridwfs resume   <state.xml> --grid <grid.json> [options]
+  gridwfs serve    <wf1.xml> [wf2.xml ...] --grid <grid.json> [serve options]
 
 RUN OPTIONS:
   --grid <file>        Grid configuration (JSON: hosts, link, profiles)
@@ -362,7 +630,78 @@ RUN OPTIONS:
   --repeat <n>         Monte-Carlo over n consecutive seeds; print statistics
   --timeline           render an ASCII Gantt of all attempts
   --verbose            include the full engine log
+  --json <file>        also write a machine-readable JSON report
+
+SERVE OPTIONS:
+  --grid <file>        Grid configuration (JSON: hosts, link, profiles)
+  --workers <n>        concurrent engine instances (default 4)
+  --queue <n>          admission-queue capacity (default 64)
+  --state-dir <dir>    persist jobs + checkpoints for crash recovery
+  --deadline <s>       per-job deadline in executor seconds
+  --paced <scale>      run on real threads, scale wall-seconds per unit
+  --seed <n>           base seed (job i runs with seed base+i)
+  --metrics <file>     write the final metrics JSON snapshot here
 ";
+
+/// Parses the shared `run`/`resume` option set.  With `resume_first` the
+/// leading positional argument is the checkpoint to resume (the `resume`
+/// subcommand); otherwise it is the workflow file.
+fn parse_run_opts<'a>(
+    rest: impl Iterator<Item = &'a String>,
+    resume_first: bool,
+) -> Result<RunOptions, CliError> {
+    let mut opts = RunOptions::default();
+    let mut rest = rest.peekable();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--grid" => opts.grid = rest.next().map(PathBuf::from),
+            "--seed" => {
+                opts.seed = match rest.next().map(|v| v.parse()) {
+                    Some(Ok(n)) => Some(n),
+                    _ => return err("--seed requires an integer"),
+                }
+            }
+            "--checkpoint" => opts.checkpoint = rest.next().map(PathBuf::from),
+            "--resume" => opts.resume = rest.next().map(PathBuf::from),
+            "--reorder" => {
+                opts.reorder_settle = match rest.next().map(|v| v.parse()) {
+                    Some(Ok(d)) => Some(d),
+                    _ => return err("--reorder requires a number"),
+                }
+            }
+            "--repeat" => {
+                opts.repeat = match rest.next().map(|v| v.parse()) {
+                    Some(Ok(n)) => Some(n),
+                    _ => return err("--repeat requires an integer"),
+                }
+            }
+            "--timeline" => opts.timeline = true,
+            "--verbose" => opts.verbose = true,
+            "--json" => opts.json = rest.next().map(PathBuf::from),
+            other if !other.starts_with("--") && resume_first && opts.resume.is_none() => {
+                opts.resume = Some(PathBuf::from(other))
+            }
+            other if !other.starts_with("--") && !resume_first && opts.workflow.is_none() => {
+                opts.workflow = Some(PathBuf::from(other))
+            }
+            other => return err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+    if resume_first && opts.resume.is_none() {
+        return err("resume requires a saved checkpoint file");
+    }
+    Ok(opts)
+}
+
+fn dispatch_run(opts: RunOptions) -> Result<(i32, String), CliError> {
+    if let Some(n) = opts.repeat {
+        let out = cmd_run_repeat(&opts, n)?;
+        Ok((0, out))
+    } else {
+        let (report, out) = cmd_run(&opts)?;
+        Ok((if report.is_success() { 0 } else { 1 }, out))
+    }
+}
 
 /// Parses argv (without the program name) and executes.  Returns
 /// `(exit_code, output)`.
@@ -381,47 +720,51 @@ pub fn main_with_args(args: &[String]) -> (i32, String) {
             Some(p) => cmd_dot(Path::new(p)).map(|s| (0, s)),
             None => err("dot requires a workflow file"),
         },
-        "run" => (|| {
-            let mut opts = RunOptions::default();
-            let mut rest = it.clone().peekable();
+        "run" => parse_run_opts(it.clone(), false).and_then(dispatch_run),
+        "resume" => parse_run_opts(it.clone(), true).and_then(dispatch_run),
+        "serve" => (|| {
+            let mut opts = ServeOptions::default();
+            let mut rest = it.clone();
             while let Some(a) = rest.next() {
                 match a.as_str() {
                     "--grid" => opts.grid = rest.next().map(PathBuf::from),
+                    "--workers" => {
+                        opts.workers = match rest.next().map(|v| v.parse()) {
+                            Some(Ok(n)) => n,
+                            _ => return err("--workers requires an integer"),
+                        }
+                    }
+                    "--queue" => {
+                        opts.queue = match rest.next().map(|v| v.parse()) {
+                            Some(Ok(n)) => n,
+                            _ => return err("--queue requires an integer"),
+                        }
+                    }
+                    "--state-dir" => opts.state_dir = rest.next().map(PathBuf::from),
+                    "--deadline" => {
+                        opts.deadline = match rest.next().map(|v| v.parse()) {
+                            Some(Ok(d)) => Some(d),
+                            _ => return err("--deadline requires a number"),
+                        }
+                    }
+                    "--paced" => {
+                        opts.paced = match rest.next().map(|v| v.parse()) {
+                            Some(Ok(s)) => Some(s),
+                            _ => return err("--paced requires a number"),
+                        }
+                    }
                     "--seed" => {
                         opts.seed = match rest.next().map(|v| v.parse()) {
                             Some(Ok(n)) => Some(n),
                             _ => return err("--seed requires an integer"),
                         }
                     }
-                    "--checkpoint" => opts.checkpoint = rest.next().map(PathBuf::from),
-                    "--resume" => opts.resume = rest.next().map(PathBuf::from),
-                    "--reorder" => {
-                        opts.reorder_settle = match rest.next().map(|v| v.parse()) {
-                            Some(Ok(d)) => Some(d),
-                            _ => return err("--reorder requires a number"),
-                        }
-                    }
-                    "--repeat" => {
-                        opts.repeat = match rest.next().map(|v| v.parse()) {
-                            Some(Ok(n)) => Some(n),
-                            _ => return err("--repeat requires an integer"),
-                        }
-                    }
-                    "--timeline" => opts.timeline = true,
-                    "--verbose" => opts.verbose = true,
-                    other if !other.starts_with("--") && opts.workflow.is_none() => {
-                        opts.workflow = Some(PathBuf::from(other))
-                    }
+                    "--metrics" => opts.metrics = rest.next().map(PathBuf::from),
+                    other if !other.starts_with("--") => opts.workflows.push(PathBuf::from(other)),
                     other => return err(format!("unknown argument '{other}'\n\n{USAGE}")),
                 }
             }
-            if let Some(n) = opts.repeat {
-                let out = cmd_run_repeat(&opts, n)?;
-                Ok((0, out))
-            } else {
-                let (report, out) = cmd_run(&opts)?;
-                Ok((if report.is_success() { 0 } else { 1 }, out))
-            }
+            cmd_serve(&opts)
         })(),
         "help" | "--help" | "-h" => Ok((0, USAGE.to_string())),
         other => err(format!("unknown command '{other}'\n\n{USAGE}")),
@@ -621,6 +964,151 @@ mod tests {
         assert!(out.contains("success rate"), "{out}");
         assert!(out.contains("runs:         5"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_json_report_written() {
+        let dir = tmpdir();
+        let wf = dir.join("wf.xml");
+        let grid = dir.join("grid.json");
+        let json = dir.join("report.json");
+        std::fs::write(&wf, WF).unwrap();
+        std::fs::write(&grid, GRID).unwrap();
+        let args: Vec<String> = [
+            "run",
+            wf.to_str().unwrap(),
+            "--grid",
+            grid.to_str().unwrap(),
+            "--json",
+            json.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (code, out) = main_with_args(&args);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("report JSON written"), "{out}");
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"schema\": 1"), "{text}");
+        assert!(text.contains("\"success\": true"), "{text}");
+        assert!(text.contains("\"aborted\": null"), "{text}");
+        assert!(text.contains("\"name\": \"a\""), "{text}");
+        assert!(text.contains("\"eval_errors\": []"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_subcommand_continues_a_run() {
+        let dir = tmpdir();
+        let wf = dir.join("wf.xml");
+        let grid_ok = dir.join("grid.json");
+        let grid_broken = dir.join("broken.json");
+        let state = dir.join("state.xml");
+        std::fs::write(&wf, WF).unwrap();
+        std::fs::write(&grid_ok, GRID).unwrap();
+        std::fs::write(&grid_broken, r#"{"hosts": [{"hostname": "unrelated"}]}"#).unwrap();
+        let run = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            main_with_args(&v)
+        };
+        let (code, _) = run(&[
+            "run",
+            wf.to_str().unwrap(),
+            "--grid",
+            grid_broken.to_str().unwrap(),
+            "--checkpoint",
+            state.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 1);
+        let text = std::fs::read_to_string(&state)
+            .unwrap()
+            .replace("status='failed'", "status='pending'")
+            .replace("status='skipped'", "status='pending'");
+        std::fs::write(&state, text).unwrap();
+        // The dedicated subcommand: positional checkpoint, no --resume flag.
+        let (code, out) = run(&[
+            "resume",
+            state.to_str().unwrap(),
+            "--grid",
+            grid_ok.to_str().unwrap(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("Success"), "{out}");
+        let (code, out) = run(&["resume", "--grid", grid_ok.to_str().unwrap()]);
+        assert_eq!(code, 2, "{out}");
+        assert!(out.contains("checkpoint"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_runs_a_batch() {
+        let dir = tmpdir();
+        let metrics = dir.join("metrics.json");
+        let mut workflows = Vec::new();
+        for i in 0..3 {
+            let path = dir.join(format!("wf{i}.xml"));
+            std::fs::write(&path, WF).unwrap();
+            workflows.push(path);
+        }
+        let cfg = GridConfig {
+            seed: 11,
+            hosts: vec![
+                HostConfig {
+                    hostname: "h1".into(),
+                    speed: 1.0,
+                    mttf: None,
+                    downtime: 0.0,
+                },
+                HostConfig {
+                    hostname: "h2".into(),
+                    speed: 2.0,
+                    mttf: None,
+                    downtime: 0.0,
+                },
+            ],
+            link: None,
+            profiles: Default::default(),
+        };
+        let opts = ServeOptions {
+            workflows,
+            workers: 2,
+            queue: 8,
+            metrics: Some(metrics.clone()),
+            ..ServeOptions::default()
+        };
+        let (code, out) = serve_with_config(&cfg, &opts).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert_eq!(out.matches(" done ").count(), 3, "{out}");
+        let snapshot = std::fs::read_to_string(&metrics).unwrap();
+        assert!(snapshot.contains("\"completed\": 3"), "{snapshot}");
+        assert!(snapshot.contains("\"rejected\": 0"), "{snapshot}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_option_validation() {
+        let cfg = GridConfig {
+            seed: 1,
+            hosts: vec![HostConfig {
+                hostname: "h1".into(),
+                speed: 1.0,
+                mttf: None,
+                downtime: 0.0,
+            }],
+            link: None,
+            profiles: Default::default(),
+        };
+        let no_work = ServeOptions::default();
+        assert!(serve_with_config(&cfg, &no_work).is_err());
+        let bad_scale = ServeOptions {
+            workflows: vec![PathBuf::from("x.xml")],
+            paced: Some(0.0),
+            ..ServeOptions::default()
+        };
+        assert!(serve_with_config(&cfg, &bad_scale).is_err());
+        let spec = grid_config_to_spec(&cfg, ExecMode::Virtual).unwrap();
+        assert_eq!(spec.hosts.len(), 1);
+        assert_eq!(spec.hosts[0].hostname, "h1");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`sim`] | `gridwfs-sim` | discrete-event Grid simulation substrate |
 //! | [`catalog`] | `gridwfs-catalog` | software/data/resource catalogs + broker |
 //! | [`eval`] | `gridwfs-eval` | the §8 Monte-Carlo evaluation |
+//! | [`serve`] | `gridwfs-serve` | multi-tenant workflow service (worker pool, queue, recovery) |
 //!
 //! ## Five-minute tour
 //!
@@ -50,6 +51,7 @@ pub use grid_wfs as core;
 pub use gridwfs_catalog as catalog;
 pub use gridwfs_detect as detect;
 pub use gridwfs_eval as eval;
+pub use gridwfs_serve as serve;
 pub use gridwfs_sim as sim;
 pub use gridwfs_wpdl as wpdl;
 
@@ -59,6 +61,7 @@ pub mod prelude {
         Engine, EngineConfig, Executor, Instance, NodeStatus, Outcome, Report, SimGrid,
         SubmitRequest, TaskContext, TaskProfile, TaskResult, ThreadExecutor,
     };
+    pub use gridwfs_serve::{GridSpec, JobId, JobState, Service, ServiceConfig, Submission};
     pub use gridwfs_sim::dist::Dist;
     pub use gridwfs_sim::resource::ResourceSpec;
     pub use gridwfs_sim::rng::Rng;
