@@ -15,6 +15,21 @@
 //! from it ([`grid_wfs::checkpoint::load`]) instead of starting the
 //! workflow from scratch — the paper's §7 engine fault tolerance, lifted
 //! to the service level.
+//!
+//! Two more files keep restarts honest:
+//!
+//! * `job-<id>.elapsed` — executor-clock seconds the job has already
+//!   consumed in earlier incarnations, so a resumed job's deadline is the
+//!   *remaining* budget, not a fresh one.  It is updated whenever an
+//!   aborted engine is requeued; time spent in an incarnation that died
+//!   without a clean abort (kill -9) is forfeited from the ledger.
+//! * id allocation scans **every** `job-<id>.*` file ([`max_job_id`]),
+//!   terminal or not, so a restarted service never reuses the id — and
+//!   thereby the checkpoint or result marker — of a finished job.
+//!
+//! Corrupt state-dir entries are quarantined (meta renamed to
+//! `job-<id>.meta.quarantined`, warning on stderr) rather than failing
+//! the whole startup: one bad job must not take the service down.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -42,11 +57,73 @@ pub fn result_path(dir: &Path, id: JobId) -> PathBuf {
     dir.join(format!("{id}.result"))
 }
 
-/// Persists an admitted submission (workflow + meta).
+/// Path of the consumed-deadline ledger.
+pub fn elapsed_path(dir: &Path, id: JobId) -> PathBuf {
+    dir.join(format!("{id}.elapsed"))
+}
+
+/// Executor-clock seconds this job consumed in earlier incarnations
+/// (0.0 when no ledger exists).
+pub fn read_elapsed(dir: &Path, id: JobId) -> f64 {
+    fs::read_to_string(elapsed_path(dir, id))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// Records the total executor-clock seconds consumed so far.
+pub fn write_elapsed(dir: &Path, id: JobId, secs: f64) -> std::io::Result<()> {
+    fs::write(elapsed_path(dir, id), format!("{secs}\n"))
+}
+
+/// The meta file is line-oriented, so the client-chosen label must not be
+/// able to inject lines: escape backslashes and CR/LF on write…
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// …and undo it on read.
+fn unescape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Persists an admitted submission (workflow + meta).  Any leftover
+/// checkpoint, result marker, or elapsed ledger at this id is cleared
+/// first: a freshly assigned id must never inherit another job's state.
 pub fn write_submission(dir: &Path, id: JobId, sub: &Submission) -> std::io::Result<()> {
+    let _ = fs::remove_file(checkpoint_path(dir, id));
+    let _ = fs::remove_file(result_path(dir, id));
+    let _ = fs::remove_file(elapsed_path(dir, id));
     fs::write(workflow_path(dir, id), &sub.workflow_xml)?;
     let mut meta = String::new();
-    meta.push_str(&format!("name {}\n", sub.name));
+    meta.push_str(&format!("name {}\n", escape_label(&sub.name)));
     meta.push_str(&format!("seed {}\n", sub.seed));
     meta.push_str(&format!(
         "deadline {}\n",
@@ -62,6 +139,9 @@ pub fn write_submission(dir: &Path, id: JobId, sub: &Submission) -> std::io::Res
 pub fn remove_submission(dir: &Path, id: JobId) {
     let _ = fs::remove_file(workflow_path(dir, id));
     let _ = fs::remove_file(meta_path(dir, id));
+    let _ = fs::remove_file(checkpoint_path(dir, id));
+    let _ = fs::remove_file(result_path(dir, id));
+    let _ = fs::remove_file(elapsed_path(dir, id));
 }
 
 /// Writes the terminal marker.
@@ -80,7 +160,7 @@ fn parse_meta(text: &str, wf_xml: String) -> Result<Submission, String> {
     for line in text.lines() {
         let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
         match key {
-            "name" => name = Some(rest.to_string()),
+            "name" => name = Some(unescape_label(rest)),
             "seed" => {
                 seed = rest
                     .trim()
@@ -113,9 +193,41 @@ fn parse_meta(text: &str, wf_xml: String) -> Result<Submission, String> {
     })
 }
 
+/// Largest job id any `job-<id>.*` file in the state directory mentions
+/// (0 when there is none).  Unlike [`scan`] this counts terminal and
+/// quarantined jobs too: id allocation must never hand out an id whose
+/// checkpoint or result marker is still on disk.
+pub fn max_job_id(dir: &Path) -> Result<u64, String> {
+    let mut max = 0u64;
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let file_name = entry.file_name();
+        let Some(name) = file_name.to_str() else {
+            continue;
+        };
+        if let Some(rest) = name.strip_prefix("job-") {
+            let digits: &str = &rest[..rest.find('.').unwrap_or(rest.len())];
+            if let Ok(id) = digits.parse::<u64>() {
+                max = max.max(id);
+            }
+        }
+    }
+    Ok(max)
+}
+
+/// Moves a job's meta file aside so later scans skip it, keeping the
+/// workflow/checkpoint files around for post-mortem.
+fn quarantine(dir: &Path, id: JobId, why: &str) {
+    let meta = meta_path(dir, id);
+    eprintln!("gridwfs-serve: quarantining {id}: {why}");
+    let _ = fs::rename(&meta, meta.with_extension("meta.quarantined"));
+}
+
 /// Scans a state directory for jobs to re-admit: every `job-<id>.meta`
-/// without a matching `job-<id>.result`, ascending by id.  Unreadable
-/// entries are reported, not silently skipped.
+/// without a matching `job-<id>.result`, ascending by id.  Entries that
+/// cannot be read or parsed are quarantined with a stderr warning — one
+/// corrupt job must not keep the whole service from starting.
 pub fn scan(dir: &Path) -> Result<Vec<(JobId, Submission)>, String> {
     let mut ids: Vec<u64> = Vec::new();
     let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
@@ -129,7 +241,10 @@ pub fn scan(dir: &Path) -> Result<Vec<(JobId, Submission)>, String> {
             .strip_prefix("job-")
             .and_then(|r| r.strip_suffix(".meta"))
         {
-            ids.push(id.parse().map_err(|_| format!("bad job id in '{name}'"))?);
+            match id.parse() {
+                Ok(id) => ids.push(id),
+                Err(_) => eprintln!("gridwfs-serve: ignoring bad job id in '{name}'"),
+            }
         }
     }
     ids.sort_unstable();
@@ -139,11 +254,24 @@ pub fn scan(dir: &Path) -> Result<Vec<(JobId, Submission)>, String> {
         if result_path(dir, id).exists() {
             continue; // terminal before the restart
         }
-        let meta = fs::read_to_string(meta_path(dir, id))
-            .map_err(|e| format!("{id}: meta unreadable: {e}"))?;
-        let wf = fs::read_to_string(workflow_path(dir, id))
-            .map_err(|e| format!("{id}: workflow unreadable: {e}"))?;
-        out.push((id, parse_meta(&meta, wf).map_err(|e| format!("{id}: {e}"))?));
+        let meta = match fs::read_to_string(meta_path(dir, id)) {
+            Ok(meta) => meta,
+            Err(e) => {
+                quarantine(dir, id, &format!("meta unreadable: {e}"));
+                continue;
+            }
+        };
+        let wf = match fs::read_to_string(workflow_path(dir, id)) {
+            Ok(wf) => wf,
+            Err(e) => {
+                quarantine(dir, id, &format!("workflow unreadable: {e}"));
+                continue;
+            }
+        };
+        match parse_meta(&meta, wf) {
+            Ok(sub) => out.push((id, sub)),
+            Err(e) => quarantine(dir, id, &e),
+        }
     }
     Ok(out)
 }
@@ -207,6 +335,81 @@ mod tests {
         write_submission(&dir, JobId(7), &sub("a")).unwrap();
         remove_submission(&dir, JobId(7));
         assert!(scan(&dir).unwrap().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn labels_with_newlines_cannot_inject_meta_lines() {
+        let dir = tmpdir("newline");
+        let label = "evil\nhost h9 1.0\r";
+        write_submission(&dir, JobId(1), &sub(label)).unwrap();
+        let scanned = scan(&dir).unwrap();
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].1.name, label, "label round-trips verbatim");
+        assert_eq!(scanned[0].1.grid, sub("x").grid, "no host injected");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn labels_with_backslashes_round_trip() {
+        let dir = tmpdir("backslash");
+        let label = "a\\nb \\ trailing\\";
+        write_submission(&dir, JobId(1), &sub(label)).unwrap();
+        assert_eq!(scan(&dir).unwrap()[0].1.name, label);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_meta_is_quarantined_not_fatal() {
+        let dir = tmpdir("quarantine");
+        write_submission(&dir, JobId(1), &sub("good")).unwrap();
+        fs::write(dir.join("job-2.meta"), "frobnicate\n").unwrap();
+        let scanned = scan(&dir).unwrap();
+        assert_eq!(scanned.len(), 1, "the good job still recovers");
+        assert_eq!(scanned[0].0, JobId(1));
+        assert!(!meta_path(&dir, JobId(2)).exists(), "bad meta moved aside");
+        assert!(dir.join("job-2.meta.quarantined").exists());
+        // Later scans stay clean and the id stays burned.
+        assert_eq!(scan(&dir).unwrap().len(), 1);
+        assert_eq!(max_job_id(&dir).unwrap(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_job_id_counts_terminal_jobs() {
+        let dir = tmpdir("maxid");
+        assert_eq!(max_job_id(&dir).unwrap(), 0);
+        write_submission(&dir, JobId(3), &sub("a")).unwrap();
+        write_result(&dir, JobId(3), "done", "Success").unwrap();
+        write_submission(&dir, JobId(2), &sub("b")).unwrap();
+        // Job 3 is terminal — scan skips it — but its id stays burned.
+        assert_eq!(scan(&dir).unwrap().len(), 1);
+        assert_eq!(max_job_id(&dir).unwrap(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reassigned_id_does_not_inherit_stale_state() {
+        let dir = tmpdir("stale");
+        write_result(&dir, JobId(4), "done", "Success").unwrap();
+        fs::write(checkpoint_path(&dir, JobId(4)), "<EngineCheckpoint/>").unwrap();
+        write_elapsed(&dir, JobId(4), 9.0).unwrap();
+        write_submission(&dir, JobId(4), &sub("fresh")).unwrap();
+        assert!(!result_path(&dir, JobId(4)).exists());
+        assert!(!checkpoint_path(&dir, JobId(4)).exists());
+        assert_eq!(read_elapsed(&dir, JobId(4)), 0.0);
+        assert_eq!(scan(&dir).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn elapsed_ledger_round_trips_and_clears() {
+        let dir = tmpdir("elapsed");
+        assert_eq!(read_elapsed(&dir, JobId(5)), 0.0);
+        write_elapsed(&dir, JobId(5), 12.5).unwrap();
+        assert_eq!(read_elapsed(&dir, JobId(5)), 12.5);
+        remove_submission(&dir, JobId(5));
+        assert_eq!(read_elapsed(&dir, JobId(5)), 0.0);
         fs::remove_dir_all(&dir).ok();
     }
 }

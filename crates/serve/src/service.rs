@@ -124,9 +124,11 @@ impl Service {
         if let Some(dir) = shared.cfg.state_dir.clone() {
             std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
             let recovered = recover::scan(&dir)?;
-            let mut max_id = 0;
+            // Seed id allocation from every job file on disk — terminal
+            // jobs included — so a reused id can never pick up a stale
+            // checkpoint or result marker.
+            let max_id = recover::max_job_id(&dir)?;
             for (id, sub) in recovered {
-                max_id = max_id.max(id.0);
                 let mut record = JobRecord::new(id, sub.name.clone(), shared.now(), true);
                 record.recovered = true;
                 shared.jobs.lock().unwrap().insert(id.0, record);

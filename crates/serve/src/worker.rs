@@ -40,6 +40,7 @@ fn run_job(shared: &Arc<Shared>, id: JobId) {
     let Some(sub) = shared.subs.lock().unwrap().get(&id.0).cloned() else {
         return;
     };
+    let stop = Arc::new(AtomicBool::new(false));
     {
         let mut jobs = shared.jobs.lock().unwrap();
         let Some(rec) = jobs.get_mut(&id.0) else {
@@ -50,10 +51,12 @@ fn run_job(shared: &Arc<Shared>, id: JobId) {
         }
         rec.state = JobState::Running;
         rec.started_at = Some(shared.now());
+        // Register the stop flag before the state change becomes visible:
+        // any cancel() that observes `Running` is then guaranteed to find
+        // the flag (it takes the jobs lock first).
+        shared.stops.lock().unwrap().insert(id.0, stop.clone());
     }
     shared.metrics.running.fetch_add(1, Ordering::Relaxed);
-    let stop = Arc::new(AtomicBool::new(false));
-    shared.stops.lock().unwrap().insert(id.0, stop.clone());
     let wall_start = Instant::now();
     let result = execute(shared, id, &sub, stop);
     let run_wall = wall_start.elapsed().as_secs_f64();
@@ -89,10 +92,24 @@ fn execute(
             Instance::new(validated)
         }
     };
+    // The engine's deadline is relative to each run start, so hand a
+    // resumed job its *remaining* budget: total minus the executor time
+    // already consumed in earlier incarnations (the `.elapsed` ledger).
+    // An exhausted budget still runs with deadline 0 — the engine aborts
+    // on its first loop turn and the job settles as a deadline failure.
+    let deadline = sub.deadline.or(shared.cfg.default_deadline).map(|total| {
+        let consumed = shared
+            .cfg
+            .state_dir
+            .as_ref()
+            .map(|dir| recover::read_elapsed(dir, id))
+            .unwrap_or(0.0);
+        (total - consumed).max(0.0)
+    });
     let config = EngineConfig {
         checkpoint_path: ckpt_path,
         stop: Some(stop),
-        deadline: sub.deadline.or(shared.cfg.default_deadline),
+        deadline,
         ..EngineConfig::default()
     };
     match sub.grid.mode {
@@ -129,7 +146,15 @@ fn settle(shared: &Arc<Shared>, id: JobId, result: Result<Report, String>, run_w
                 } else {
                     // Service shutdown, not a client cancel: back to
                     // `Queued` so the next incarnation resumes it from the
-                    // checkpoint the aborting engine just wrote.
+                    // checkpoint the aborting engine just wrote.  Bank the
+                    // executor time this incarnation consumed so the resume
+                    // gets the remaining deadline budget, not a fresh one.
+                    if let Some(dir) = &shared.cfg.state_dir {
+                        let consumed = recover::read_elapsed(dir, id) + report.makespan;
+                        if let Err(e) = recover::write_elapsed(dir, id, consumed) {
+                            eprintln!("gridwfs-serve: {id}: cannot write elapsed ledger: {e}");
+                        }
+                    }
                     let mut jobs = shared.jobs.lock().unwrap();
                     if let Some(rec) = jobs.get_mut(&id.0) {
                         rec.state = JobState::Queued;

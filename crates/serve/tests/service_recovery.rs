@@ -2,7 +2,7 @@
 //! restart → the job resumes from its engine checkpoint and completes
 //! without redoing finished work.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use gridwfs_serve::{recover, GridSpec, JobId, JobState, Service, ServiceConfig, Submission};
@@ -30,11 +30,11 @@ fn chain3_xml() -> String {
         .expect("test workflow serialises")
 }
 
-fn start(dir: &PathBuf) -> Service {
+fn start(dir: &Path) -> Service {
     Service::start(ServiceConfig {
         workers: 1,
         queue_capacity: 8,
-        state_dir: Some(dir.clone()),
+        state_dir: Some(dir.to_path_buf()),
         ..ServiceConfig::default()
     })
     .unwrap()
@@ -103,6 +103,122 @@ fn checkpoint_kill_restart_resumes_from_checkpoint() {
     let service = start(&dir);
     assert!(service.jobs().is_empty());
     assert!(service.status(JobId(id.0)).is_none());
+    drop(service);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restart_never_reuses_terminal_job_ids() {
+    let dir = tmpdir("idreuse");
+    let service = start(&dir);
+    let first = service
+        .submit(Submission {
+            name: "first".into(),
+            workflow_xml: chain3_xml(),
+            grid: GridSpec::virtual_grid().with_host("local", 1.0),
+            seed: 1,
+            deadline: None,
+        })
+        .unwrap();
+    assert!(service.wait_all_terminal(Duration::from_secs(30)));
+    assert_eq!(service.status(first).unwrap().state, JobState::Done);
+    service.drain();
+
+    // The terminal job left a result marker (and checkpoint) behind; a
+    // fresh submission in the next incarnation must get a fresh id, or it
+    // would resume the finished workflow and inherit its result.
+    let service = start(&dir);
+    assert!(service.jobs().is_empty(), "terminal job not re-admitted");
+    let second = service
+        .submit(Submission {
+            name: "second".into(),
+            workflow_xml: chain3_xml(),
+            grid: GridSpec::virtual_grid().with_host("local", 1.0),
+            seed: 2,
+            deadline: None,
+        })
+        .unwrap();
+    assert!(
+        second.0 > first.0,
+        "id {second:?} reused over terminal {first:?}"
+    );
+    assert!(service.wait_all_terminal(Duration::from_secs(30)));
+    let rec = service.status(second).unwrap();
+    assert_eq!(rec.state, JobState::Done, "{:?}", rec.detail);
+    assert_eq!(rec.name, "second");
+    assert_eq!(
+        rec.task_submissions, 3,
+        "ran from scratch, not a stale ckpt"
+    );
+    drop(service);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn control_characters_in_labels_do_not_poison_the_state_dir() {
+    let dir = tmpdir("evil-label");
+    let service = start(&dir);
+    let label = "evil\nhost h9 1.0";
+    let id = service
+        .submit(Submission {
+            name: label.into(),
+            workflow_xml: chain3_xml(),
+            grid: GridSpec::virtual_grid().with_host("local", 1.0),
+            seed: 3,
+            deadline: None,
+        })
+        .unwrap();
+    assert!(service.wait_all_terminal(Duration::from_secs(30)));
+    assert_eq!(service.status(id).unwrap().state, JobState::Done);
+    service.drain();
+    // The restart must not choke on the persisted label.
+    let service = start(&dir);
+    assert!(service.jobs().is_empty());
+    drop(service);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn deadline_budget_carries_across_restarts() {
+    let dir = tmpdir("deadline-budget");
+    let service = start(&dir);
+    let id = service
+        .submit(Submission {
+            name: "budgeted".into(),
+            workflow_xml: chain3_xml(),
+            grid: GridSpec::paced_grid(0.25).with_host("local", 1.0),
+            seed: 7,
+            deadline: Some(600.0),
+        })
+        .unwrap();
+    // Let the first task settle, then pull the plug mid-workflow.
+    let ckpt = recover::checkpoint_path(&dir, id);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        assert!(Instant::now() < deadline, "first settlement never landed");
+        if std::fs::read_to_string(&ckpt)
+            .map(|t| t.contains("status='done'"))
+            .unwrap_or(false)
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    service.shutdown_now();
+    assert!(
+        recover::read_elapsed(&dir, id) > 0.0,
+        "aborted incarnation banked its consumed executor time"
+    );
+
+    // Simulate a job that has already burned through its whole budget:
+    // the next incarnation must fail the deadline instead of granting a
+    // fresh one.
+    recover::write_elapsed(&dir, id, 1e6).unwrap();
+    let service = start(&dir);
+    assert!(service.wait_all_terminal(Duration::from_secs(30)));
+    let rec = service.status(id).unwrap();
+    assert_eq!(rec.state, JobState::Failed, "{:?}", rec.detail);
+    assert_eq!(rec.detail.as_deref(), Some("deadline exceeded"));
     drop(service);
     std::fs::remove_dir_all(&dir).ok();
 }

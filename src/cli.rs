@@ -574,8 +574,8 @@ pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<8} {:<20} {:<10} {:>9} {:>9}  {}",
-        "job", "name", "state", "makespan", "latency", "detail"
+        "{:<8} {:<20} {:<10} {:>9} {:>9}  detail",
+        "job", "name", "state", "makespan", "latency"
     );
     for r in &records {
         let _ = writeln!(
