@@ -12,6 +12,12 @@
 //!     --m 200 --workers 4 --queue 64 --scale 0.005 --json BENCH_serve.json
 //! ```
 //!
+//! `--trace-dir DIR` additionally journals every job's flight record to
+//! `DIR/job-<N>.trace.jsonl`.  Combined with `--virtual` (virtual-time
+//! simulation instead of paced threads) the journals are byte-identical
+//! across `--workers` settings; paced journals carry wall-clock engine
+//! times, so they are not comparable run to run.
+//!
 //! Paced mode is what makes the concurrency observable: each task body
 //! *sleeps* its scaled nominal duration on a real thread, so overlapping
 //! jobs overlap in wall time even on a single-core host.
@@ -31,6 +37,8 @@ struct LoadOptions {
     scale: f64,
     seed: u64,
     json: Option<String>,
+    trace_dir: Option<std::path::PathBuf>,
+    virtual_time: bool,
 }
 
 impl Default for LoadOptions {
@@ -42,6 +50,8 @@ impl Default for LoadOptions {
             scale: 0.005,
             seed: 2003,
             json: None,
+            trace_dir: None,
+            virtual_time: false,
         }
     }
 }
@@ -77,6 +87,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> LoadOptions {
                 }
             }
             "--json" => opts.json = args.next(),
+            "--trace-dir" => opts.trace_dir = args.next().map(std::path::PathBuf::from),
+            "--virtual" => opts.virtual_time = true,
             _ => {}
         }
     }
@@ -101,10 +113,15 @@ fn main() {
     let service = Service::start(ServiceConfig {
         workers: opts.workers,
         queue_capacity: opts.queue,
+        trace_dir: opts.trace_dir.clone(),
         ..ServiceConfig::default()
     })
     .expect("service starts");
-    let grid = GridSpec::paced_grid(opts.scale).with_host("local", 1.0);
+    let grid = if opts.virtual_time {
+        GridSpec::virtual_grid().with_host("local", 1.0)
+    } else {
+        GridSpec::paced_grid(opts.scale).with_host("local", 1.0)
+    };
 
     let started = Instant::now();
     let mut rejections = 0u64;
@@ -154,6 +171,9 @@ fn main() {
         "   latency: p50 {:.3}s  p90 {:.3}s  p99 {:.3}s  max {:.3}s",
         summary.p50, summary.p90, summary.p99, summary.max
     );
+    if let Some(dir) = &opts.trace_dir {
+        println!("   per-job trace journals in {}", dir.display());
+    }
 
     if let Some(path) = &opts.json {
         let mut out = String::from("{\n");
@@ -189,7 +209,7 @@ fn main() {
     }
     assert_eq!(done, opts.m, "every admitted job must complete");
     assert!(
-        wall < serial || opts.workers == 1,
+        wall < serial || opts.workers == 1 || opts.virtual_time,
         "worker pool showed no concurrency: wall {wall:.3}s vs serial {serial:.3}s"
     );
 }

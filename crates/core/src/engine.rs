@@ -26,13 +26,15 @@ use std::sync::Arc;
 
 use gridwfs_detect::detector::{CrashReason, Detection, Detector};
 use gridwfs_detect::exception::{ExceptionDef, ExceptionRegistry, Severity};
+use gridwfs_detect::heartbeat::Liveness;
 use gridwfs_detect::notify::TaskId;
 use gridwfs_detect::transport::ReorderBuffer;
-use gridwfs_wpdl::ast::Policy;
+use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind, TraceSink};
+use gridwfs_wpdl::ast::{Policy, Trigger};
 use gridwfs_wpdl::validate::Validated;
 
 use crate::executor::{Executor, SubmitRequest};
-use crate::instance::{CompleteResult, Instance, NodeStatus, Outcome};
+use crate::instance::{CompleteResult, EdgeState, Instance, NodeStatus, Outcome};
 use crate::timeline::{Span, SpanOutcome};
 
 /// What a log entry records.
@@ -87,7 +89,11 @@ pub struct Report {
     /// Full event log.
     pub log: Vec<LogEntry>,
     /// One span per task attempt (for timeline rendering and accounting).
+    /// Derived from `trace` — the flight journal is the single source of
+    /// truth for attempt lifetimes.
     pub spans: Vec<Span>,
+    /// The flight journal: every recovery-relevant decision, in order.
+    pub trace: Vec<TraceEvent>,
     /// Guard-evaluation problems (empty in healthy runs).
     pub eval_errors: Vec<String>,
 }
@@ -125,6 +131,13 @@ impl Report {
     /// Renders the execution as an ASCII timeline (see [`crate::timeline`]).
     pub fn timeline(&self, width: usize) -> String {
         crate::timeline::render(self, width)
+    }
+
+    /// The flight journal rendered as JSONL (one event per line).  For a
+    /// fixed workflow and seed this string is byte-identical across runs
+    /// and thread counts — the determinism oracle.
+    pub fn trace_jsonl(&self) -> String {
+        gridwfs_trace::to_jsonl(&self.trace)
     }
 
     /// Busy time per host, derived from the attempt spans (sorted by
@@ -257,8 +270,9 @@ pub struct Engine<X: Executor> {
     timer_seq: u64,
     next_task: u64,
     log: Vec<LogEntry>,
-    spans: Vec<Span>,
-    attempt_starts: HashMap<TaskId, (f64, String)>,
+    trace: Vec<TraceEvent>,
+    sink: Option<Arc<dyn TraceSink>>,
+    open_attempts: std::collections::HashSet<TaskId>,
     settlements: u64,
     config: EngineConfig,
 }
@@ -292,8 +306,9 @@ impl<X: Executor> Engine<X> {
             timer_seq: 0,
             next_task: 1,
             log: Vec::new(),
-            spans: Vec::new(),
-            attempt_starts: HashMap::new(),
+            trace: Vec::new(),
+            sink: None,
+            open_attempts: std::collections::HashSet::new(),
             settlements: 0,
             config: EngineConfig::default(),
         }
@@ -311,12 +326,33 @@ impl<X: Executor> Engine<X> {
         self
     }
 
+    /// Streams trace events into `sink` as they are recorded, in addition
+    /// to the journal returned in [`Report::trace`].  The sink sees events
+    /// live (a serve worker tees them into the job's JSONL file and the
+    /// metrics deriver); it is deliberately not part of [`EngineConfig`],
+    /// which stays `Clone + Debug`.
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     fn log(&mut self, kind: LogKind, message: String) {
         self.log.push(LogEntry {
             at: self.executor.now(),
             kind,
             message,
         });
+    }
+
+    fn trace(&mut self, kind: TraceKind) {
+        let event = TraceEvent {
+            at: self.executor.now(),
+            kind,
+        };
+        if let Some(sink) = &self.sink {
+            sink.record(&event);
+        }
+        self.trace.push(event);
     }
 
     fn fresh_task(&mut self) -> TaskId {
@@ -345,6 +381,7 @@ impl<X: Executor> Engine<X> {
                     .clone();
                 if act.is_dummy() {
                     self.instance.mark_running(&name);
+                    self.trace_launch(&name);
                     self.settle_node(&name, NodeStatus::Done);
                 } else {
                     self.start_activity(&name);
@@ -393,9 +430,43 @@ impl<X: Executor> Engine<X> {
             },
         );
         self.instance.mark_running(name);
+        self.trace_launch(name);
         for slot in 0..n_slots {
             self.submit_slot(name, slot);
         }
+    }
+
+    /// Records why an activity is starting: a plain `running` transition,
+    /// preceded by an `alternative_task` event for every incoming
+    /// `on="failed"` edge that fired (Figure 4's switchover) and a
+    /// `handler_fired` event for every fired `on="exception:<name>"` edge
+    /// (Figure 6's handler).
+    fn trace_launch(&mut self, name: &str) {
+        let mut switchovers: Vec<TraceKind> = Vec::new();
+        for (i, t) in self.instance.workflow().transitions.iter().enumerate() {
+            if t.to != name || self.instance.edge_state(i) != EdgeState::Fired {
+                continue;
+            }
+            match &t.trigger {
+                Trigger::Failed => switchovers.push(TraceKind::AlternativeTask {
+                    from: t.from.clone(),
+                    to: name.to_string(),
+                }),
+                Trigger::Exception(exc) => switchovers.push(TraceKind::HandlerFired {
+                    from: t.from.clone(),
+                    to: name.to_string(),
+                    exception: exc.clone(),
+                }),
+                _ => {}
+            }
+        }
+        for kind in switchovers {
+            self.trace(kind);
+        }
+        self.trace(TraceKind::NodeState {
+            activity: name.to_string(),
+            state: "running".to_string(),
+        });
     }
 
     fn submit_slot(&mut self, name: &str, slot: usize) {
@@ -423,9 +494,10 @@ impl<X: Executor> Engine<X> {
         };
         let option = &program.options[option_index];
         s.live = Some(task);
+        let attempt = s.tries_used + 1;
         let flag = s.ckpt_flag.clone();
         self.attempts.insert(task, (name.to_string(), slot));
-        self.detector.register_task(
+        let replaced = self.detector.register_task(
             task,
             act.heartbeat_interval,
             act.heartbeat_tolerance,
@@ -442,14 +514,30 @@ impl<X: Executor> Engine<X> {
             heartbeat_interval: act.heartbeat_interval,
         };
         let host = option.hostname.clone();
-        self.attempt_starts
-            .insert(task, (self.executor.now(), host.clone()));
+        self.open_attempts.insert(task);
         self.executor.submit(req);
+        if let Some(liveness) = replaced {
+            // Task ids are fresh per attempt, so this cannot fire in the
+            // engine's own flow — it journals the heartbeat monitor's
+            // re-registration disclosure (a silently revived presumed-dead
+            // attempt is exactly the bug the disclosure exists to catch).
+            self.trace(TraceKind::WatchReplaced {
+                task: task.0,
+                was_presumed_dead: liveness == Liveness::PresumedDead,
+            });
+        }
+        self.trace(TraceKind::TaskSubmitted {
+            activity: name.to_string(),
+            slot,
+            attempt,
+            task: task.0,
+            host: host.clone(),
+            resume: flag.clone(),
+        });
         self.log(
             LogKind::Submit,
             format!(
-                "{name} slot={slot} try={} task={task} host={host}{}",
-                self.nodes[name].slots[slot].tries_used + 1,
+                "{name} slot={slot} try={attempt} task={task} host={host}{}",
                 flag.map(|f| format!(" resume={f}")).unwrap_or_default()
             ),
         );
@@ -457,15 +545,17 @@ impl<X: Executor> Engine<X> {
 
     // -------------------------------------------------------- settlement ---
 
-    fn close_span(&mut self, name: &str, task: TaskId, outcome: SpanOutcome) {
-        if let Some((start, host)) = self.attempt_starts.remove(&task) {
-            self.spans.push(Span {
+    /// Journals an attempt's terminal classification exactly once (the
+    /// `open_attempts` guard absorbs duplicate settlement paths).  Spans
+    /// are no longer tracked separately — [`Report::spans`] derives from
+    /// these events.
+    fn settle_attempt(&mut self, name: &str, task: TaskId, outcome: TaskOutcome, reason: &str) {
+        if self.open_attempts.remove(&task) {
+            self.trace(TraceKind::TaskSettled {
                 activity: name.to_string(),
                 task: task.0,
-                host,
-                start,
-                end: self.executor.now(),
                 outcome,
+                reason: reason.to_string(),
             });
         }
     }
@@ -476,7 +566,7 @@ impl<X: Executor> Engine<X> {
             for task in live {
                 self.attempts.remove(&task);
                 self.executor.cancel(task);
-                self.close_span(name, task, SpanOutcome::Cancelled);
+                self.settle_attempt(name, task, TaskOutcome::Cancelled, "node-settled");
                 self.log(LogKind::Cancel, format!("{name} cancelled {task}"));
             }
         }
@@ -486,9 +576,9 @@ impl<X: Executor> Engine<X> {
         self.settlements += 1;
         self.cancel_live(name);
         let status_str = status.as_expr_str().to_string();
-        let exc_detail = match &status {
-            NodeStatus::Exception(n) => format!(" ({n})"),
-            _ => String::new(),
+        let (state_full, exc_detail) = match &status {
+            NodeStatus::Exception(n) => (format!("exception:{n}"), format!(" ({n})")),
+            other => (other.as_expr_str().to_string(), String::new()),
         };
         let (result, skipped) = self.instance.settle(name, status);
         match result {
@@ -501,23 +591,46 @@ impl<X: Executor> Engine<X> {
                         LogKind::Stall,
                         format!("{name} exceeded max_loop_iterations; failing"),
                     );
+                    self.trace(TraceKind::EngineStalled {
+                        activity: name.to_string(),
+                    });
                     // The node is Pending again; settle it as failed so the
                     // workflow terminates deterministically.
                     let (_, skipped) = self.instance.settle(name, NodeStatus::Failed);
+                    self.trace(TraceKind::NodeState {
+                        activity: name.to_string(),
+                        state: "failed".to_string(),
+                    });
                     for s in skipped {
                         self.log(LogKind::Settle, format!("{s} skipped"));
+                        self.trace(TraceKind::NodeState {
+                            activity: s,
+                            state: "skipped".to_string(),
+                        });
                     }
                 } else {
                     self.log(
                         LogKind::Loop,
                         format!("{name} loops (iteration {})", iterations + 1),
                     );
+                    self.trace(TraceKind::LoopIteration {
+                        activity: name.to_string(),
+                        iteration: iterations + 1,
+                    });
                 }
             }
             CompleteResult::Settled => {
                 self.log(LogKind::Settle, format!("{name} {status_str}{exc_detail}"));
+                self.trace(TraceKind::NodeState {
+                    activity: name.to_string(),
+                    state: state_full,
+                });
                 for s in skipped {
                     self.log(LogKind::Settle, format!("{s} skipped"));
+                    self.trace(TraceKind::NodeState {
+                        activity: s,
+                        state: "skipped".to_string(),
+                    });
                 }
                 if self.config.cancel_redundant {
                     self.prune_redundant_branches();
@@ -570,11 +683,17 @@ impl<X: Executor> Engine<X> {
 
     fn write_checkpoint(&mut self) {
         if let Some(path) = self.config.checkpoint_path.clone() {
-            if let Err(e) = crate::checkpoint::save(&self.instance, &path) {
-                self.log(LogKind::Checkpoint, format!("checkpoint write failed: {e}"));
-            } else {
-                self.log(LogKind::Checkpoint, format!("saved to {}", path.display()));
-            }
+            let ok = match crate::checkpoint::save(&self.instance, &path) {
+                Err(e) => {
+                    self.log(LogKind::Checkpoint, format!("checkpoint write failed: {e}"));
+                    false
+                }
+                Ok(()) => {
+                    self.log(LogKind::Checkpoint, format!("saved to {}", path.display()));
+                    true
+                }
+            };
+            self.trace(TraceKind::EngineCheckpoint { ok });
         }
     }
 
@@ -603,6 +722,12 @@ impl<X: Executor> Engine<X> {
                 activity: name.to_string(),
                 slot,
             });
+            self.trace(TraceKind::RetryScheduled {
+                activity: name.to_string(),
+                slot,
+                attempt: self.nodes[name].slots[slot].tries_used + 1,
+                fire_at: at,
+            });
             self.log(
                 LogKind::Recovery,
                 format!(
@@ -616,6 +741,9 @@ impl<X: Executor> Engine<X> {
             rt.slots[slot].exhausted = true;
             let all_exhausted = rt.slots.iter().all(|s| s.exhausted);
             if all_exhausted {
+                self.trace(TraceKind::RecoveryExhausted {
+                    activity: name.to_string(),
+                });
                 self.log(
                     LogKind::Recovery,
                     format!("{name} task-level recovery exhausted"),
@@ -645,17 +773,21 @@ impl<X: Executor> Engine<X> {
                 if let Some(rt) = self.nodes.get_mut(&name) {
                     rt.slots[slot].live = None;
                 }
-                self.close_span(&name, task, SpanOutcome::Completed);
+                self.settle_attempt(&name, task, TaskOutcome::Completed, "task-end");
                 self.settle_node(&name, NodeStatus::Done);
             }
             Detection::Crashed { reason, .. } => {
-                let why = match reason {
-                    CrashReason::DoneWithoutTaskEnd => "crash (Done without Task End)",
-                    CrashReason::HeartbeatLoss => "presumed crash (heartbeat loss)",
+                let (why, reason_str) = match reason {
+                    CrashReason::DoneWithoutTaskEnd => {
+                        ("crash (Done without Task End)", "done-without-task-end")
+                    }
+                    CrashReason::HeartbeatLoss => {
+                        ("presumed crash (heartbeat loss)", "heartbeat-loss")
+                    }
                 };
                 self.log(LogKind::Detect, format!("{name} {task} {why}"));
                 self.attempts.remove(&task);
-                self.close_span(&name, task, SpanOutcome::Crashed);
+                self.settle_attempt(&name, task, TaskOutcome::Crashed, reason_str);
                 self.recover_or_fail(&name, slot, NodeStatus::Failed);
             }
             Detection::ExceptionRaised {
@@ -669,7 +801,7 @@ impl<X: Executor> Engine<X> {
                     ),
                 );
                 self.attempts.remove(&task);
-                self.close_span(&name, task, SpanOutcome::Exception);
+                self.settle_attempt(&name, task, TaskOutcome::Exception, &exc);
                 let severity = self
                     .detector
                     .registry()
@@ -693,6 +825,11 @@ impl<X: Executor> Engine<X> {
                 if let Some(rt) = self.nodes.get_mut(&name) {
                     rt.slots[slot].ckpt_flag = Some(flag.clone());
                 }
+                self.trace(TraceKind::CheckpointFlag {
+                    activity: name.clone(),
+                    task: task.0,
+                    flag: flag.clone(),
+                });
                 self.log(LogKind::Checkpoint, format!("{name} {task} flag={flag}"));
             }
         }
@@ -746,7 +883,7 @@ impl<X: Executor> Engine<X> {
             .collect();
         for (task, name) in live {
             self.executor.cancel(task);
-            self.close_span(&name, task, SpanOutcome::Cancelled);
+            self.settle_attempt(&name, task, TaskOutcome::Cancelled, "abort");
             self.log(LogKind::Cancel, format!("{name} cancelled {task} (abort)"));
         }
         self.attempts.clear();
@@ -765,6 +902,9 @@ impl<X: Executor> Engine<X> {
                 LogKind::Stall,
                 format!("{name} cannot make progress (no notifications, no timers); failing"),
             );
+            self.trace(TraceKind::EngineStalled {
+                activity: name.clone(),
+            });
             self.settle_node(&name, NodeStatus::Failed);
         }
     }
@@ -782,6 +922,9 @@ impl<X: Executor> Engine<X> {
                         LogKind::Stall,
                         format!("aborting after {limit} settlements (simulated engine crash)"),
                     );
+                    self.trace(TraceKind::EngineAborted {
+                        reason: "max_settlements".to_string(),
+                    });
                     aborted = Some("max_settlements".to_string());
                     break;
                 }
@@ -793,6 +936,9 @@ impl<X: Executor> Engine<X> {
                 .is_some_and(|f| f.load(Ordering::Relaxed))
             {
                 self.log(LogKind::Stall, "stop requested; aborting".to_string());
+                self.trace(TraceKind::EngineAborted {
+                    reason: "stop".to_string(),
+                });
                 self.abort_live();
                 aborted = Some("stop".to_string());
                 break;
@@ -800,6 +946,9 @@ impl<X: Executor> Engine<X> {
             if let Some(d) = deadline_abs {
                 if self.executor.now() >= d {
                     self.log(LogKind::Stall, format!("deadline reached at {d}; aborting"));
+                    self.trace(TraceKind::EngineAborted {
+                        reason: "deadline".to_string(),
+                    });
                     self.abort_live();
                     aborted = Some("deadline".to_string());
                     break;
@@ -852,12 +1001,15 @@ impl<X: Executor> Engine<X> {
             }
         }
         let finished_at = self.executor.now();
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
         Report {
             outcome: self.instance.outcome(),
             aborted,
             finished_at,
             makespan: finished_at - started_at,
-            spans: self.spans,
+            spans: crate::timeline::spans_from_trace(&self.trace),
             node_status: self
                 .instance
                 .statuses()
@@ -870,6 +1022,7 @@ impl<X: Executor> Engine<X> {
                 })
                 .collect(),
             log: self.log,
+            trace: self.trace,
             eval_errors: self.instance.eval_errors().to_vec(),
         }
     }
@@ -940,6 +1093,7 @@ mod tests {
                 end: 10.0,
                 outcome: crate::timeline::SpanOutcome::Completed,
             }],
+            trace: vec![],
             eval_errors: vec![],
         };
         assert!(report.is_success());

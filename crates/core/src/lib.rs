@@ -53,7 +53,8 @@ pub mod timeline;
 
 pub use engine::{Engine, EngineConfig, LogEntry, LogKind, Report};
 pub use executor::{Executor, SubmitRequest};
+pub use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind, TraceSink};
 pub use instance::{CompleteResult, EdgeState, Instance, NodeStatus, Outcome};
 pub use sim_executor::{ExceptionProfile, SimGrid, TaskProfile};
 pub use thread_executor::{TaskContext, TaskFn, TaskResult, ThreadExecutor};
-pub use timeline::{Span, SpanOutcome};
+pub use timeline::{spans_from_trace, Span, SpanOutcome};

@@ -12,6 +12,8 @@
 //! slow_task   #2 |      ===============================✓  | done
 //! ```
 
+use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind};
+
 use crate::engine::Report;
 
 /// How one attempt ended.
@@ -64,6 +66,54 @@ pub struct Span {
     pub outcome: SpanOutcome,
 }
 
+impl From<TaskOutcome> for SpanOutcome {
+    fn from(o: TaskOutcome) -> Self {
+        match o {
+            TaskOutcome::Completed => SpanOutcome::Completed,
+            TaskOutcome::Crashed => SpanOutcome::Crashed,
+            TaskOutcome::Exception => SpanOutcome::Exception,
+            TaskOutcome::Cancelled => SpanOutcome::Cancelled,
+        }
+    }
+}
+
+/// Derives attempt spans from the flight journal — the single source of
+/// truth: a span opens at each `task_submit` event and closes at the
+/// matching `task_settle`.  Attempts that never settle (a simulated engine
+/// crash abandons its in-flight work) produce no span, exactly as a crashed
+/// engine records nothing.
+pub fn spans_from_trace(events: &[TraceEvent]) -> Vec<Span> {
+    let mut open: std::collections::HashMap<u64, (String, String, f64)> =
+        std::collections::HashMap::new();
+    let mut spans = Vec::new();
+    for e in events {
+        match &e.kind {
+            TraceKind::TaskSubmitted {
+                activity,
+                task,
+                host,
+                ..
+            } => {
+                open.insert(*task, (activity.clone(), host.clone(), e.at));
+            }
+            TraceKind::TaskSettled { task, outcome, .. } => {
+                if let Some((activity, host, start)) = open.remove(task) {
+                    spans.push(Span {
+                        activity,
+                        task: *task,
+                        host,
+                        start,
+                        end: e.at,
+                        outcome: (*outcome).into(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    spans
+}
+
 /// Renders the report's spans as an ASCII chart `width` characters wide.
 /// Spans are grouped by activity in first-submission order.
 pub fn render(report: &Report, width: usize) -> String {
@@ -71,13 +121,26 @@ pub fn render(report: &Report, width: usize) -> String {
     if spans.is_empty() {
         return "(no task attempts were made)\n".to_string();
     }
+    // Every bar field is exactly `cols` wide (a 10-column floor keeps
+    // degenerate widths legible), and span positions are clamped into it:
+    // a span ending after `finished_at` (aborted run) lands on the right
+    // edge instead of widening its own row.
+    let cols = width.max(10);
     let t_end = report
         .finished_at
         .max(spans.iter().map(|s| s.end).fold(0.0f64, f64::max));
     let scale = if t_end > 0.0 {
-        (width.max(10) - 1) as f64 / t_end
+        (cols - 1) as f64 / t_end
     } else {
         1.0
+    };
+    let position = |t: f64| -> usize {
+        let x = (t * scale).round();
+        if x.is_finite() {
+            (x as usize).min(cols - 1)
+        } else {
+            0
+        }
     };
     let name_w = spans
         .iter()
@@ -99,19 +162,18 @@ pub fn render(report: &Report, width: usize) -> String {
     }
     for activity in order {
         for s in spans.iter().filter(|s| s.activity == activity) {
-            let from = (s.start * scale).round() as usize;
-            let to = ((s.end * scale).round() as usize).max(from);
-            let mut lane = vec![' '; width.max(to + 1)];
+            let from = position(s.start);
+            let to = position(s.end).max(from);
+            let mut lane = vec![' '; cols];
             for slot in lane.iter_mut().take(to).skip(from) {
                 *slot = '=';
             }
             lane[to] = s.outcome.glyph();
             let lane: String = lane.into_iter().collect();
             out.push_str(&format!(
-                "{:<name_w$} #{:<3} |{}| {}\n",
+                "{:<name_w$} #{:<3} |{lane}| {}\n",
                 s.activity,
                 s.task,
-                &lane[..width.max(to + 1)],
                 s.outcome.label(),
             ));
         }
@@ -187,6 +249,100 @@ mod tests {
         assert!(chart.contains('+'), "completion glyph present:\n{chart}");
         // One line per attempt plus the header.
         assert_eq!(chart.lines().count(), 1 + report.spans.len());
+    }
+
+    fn report_with(spans: Vec<Span>, finished_at: f64) -> Report {
+        Report {
+            outcome: crate::instance::Outcome::Success,
+            aborted: None,
+            finished_at,
+            makespan: finished_at,
+            node_status: vec![],
+            log: vec![],
+            spans,
+            trace: vec![],
+            eval_errors: vec![],
+        }
+    }
+
+    fn span(activity: &str, task: u64, start: f64, end: f64, outcome: SpanOutcome) -> Span {
+        Span {
+            activity: activity.to_string(),
+            task,
+            host: "h".to_string(),
+            start,
+            end,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn narrow_width_rows_stay_aligned() {
+        // Bar fields must all be the same width even when `width` is below
+        // the 10-column floor: a long span must not widen its own row.
+        let report = report_with(
+            vec![
+                span("a", 1, 0.0, 10.0, SpanOutcome::Crashed),
+                span("b", 2, 0.0, 1.0, SpanOutcome::Crashed),
+            ],
+            10.0,
+        );
+        for width in [0, 1, 3, 9] {
+            let chart = render(&report, width);
+            let bars: Vec<usize> = chart
+                .lines()
+                .skip(1)
+                .map(|l| {
+                    let open = l.find('|').expect("bar field present");
+                    let close = l.rfind('|').expect("bar field closed");
+                    close - open - 1
+                })
+                .collect();
+            assert_eq!(
+                bars,
+                vec![10, 10],
+                "width={width}: every bar field is exactly the 10-col floor\n{chart}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_duration_spans_render_without_panic() {
+        // t_end == 0.0 exercises the scale fallback.
+        let report = report_with(
+            vec![
+                span("a", 1, 0.0, 0.0, SpanOutcome::Completed),
+                span("b", 2, 0.0, 0.0, SpanOutcome::Cancelled),
+            ],
+            0.0,
+        );
+        let chart = render(&report, 40);
+        assert!(chart.contains('+'), "{chart}");
+        assert!(chart.contains('/'), "{chart}");
+        let bars: Vec<usize> = chart
+            .lines()
+            .skip(1)
+            .map(|l| l.rfind('|').unwrap() - l.find('|').unwrap() - 1)
+            .collect();
+        assert_eq!(bars, vec![40, 40], "uniform rows at the requested width");
+    }
+
+    #[test]
+    fn span_ending_after_finished_at_stays_inside_the_chart() {
+        // An aborted engine can leave finished_at before the last span end;
+        // the chart must scale to the spans, not truncate or panic.
+        let report = report_with(
+            vec![span("late", 1, 0.0, 20.0, SpanOutcome::Cancelled)],
+            5.0,
+        );
+        let chart = render(&report, 30);
+        let row = chart.lines().nth(1).unwrap();
+        let bar = &row[row.find('|').unwrap() + 1..row.rfind('|').unwrap()];
+        assert_eq!(bar.len(), 30);
+        assert!(
+            bar.trim_end().ends_with('/'),
+            "glyph at the right edge: {chart}"
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Property tests for the flight recorder: across randomized workflows on
+//! a fault-injecting Grid, the journal stays internally consistent — time
+//! never runs backwards, every settlement closes a real attempt exactly
+//! once, retries fire in the future, and the derived spans agree with the
+//! raw event stream.  Identical seeds always reproduce identical journals.
+
+use grid_wfs::engine::Engine;
+use grid_wfs::sim_executor::{SimGrid, TaskProfile};
+use grid_wfs::timeline;
+use gridwfs_sim::dist::Dist;
+use gridwfs_sim::resource::ResourceSpec;
+use gridwfs_trace::TraceKind;
+use gridwfs_wpdl::ast::{Activity, Policy, Program, Transition, Trigger, Workflow};
+use gridwfs_wpdl::validate::validate;
+use proptest::prelude::*;
+
+fn arb_workflow() -> impl Strategy<Value = Workflow> {
+    (3usize..8, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (s >> 33) as usize
+        };
+        let mut w = Workflow::new("journalled");
+        w.programs
+            .push(Program::new("p", 3.0 + (next() % 10) as f64, "h1").option("h2"));
+        for i in 0..n {
+            let mut a = if next() % 4 == 0 {
+                Activity::dummy(format!("t{i}"))
+            } else {
+                Activity::new(format!("t{i}"), "p")
+            };
+            if !a.is_dummy() {
+                a.max_tries = 1 + (next() % 3) as u32;
+                if next() % 5 == 0 {
+                    a.policy = Policy::Replica;
+                }
+            }
+            w.activities.push(a);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..(n + next() % n) {
+            let from = next() % (n - 1);
+            let to = from + 1 + next() % (n - from - 1);
+            let trig = if next() % 4 == 0 {
+                Trigger::Failed
+            } else {
+                Trigger::Done
+            };
+            if seen.insert((from, to, trig.clone())) {
+                w.transitions
+                    .push(Transition::new(format!("t{from}"), format!("t{to}")).on(trig));
+            }
+        }
+        w
+    })
+}
+
+fn grid(seed: u64) -> SimGrid {
+    let mut g = SimGrid::new(seed);
+    g.add_host(ResourceSpec::reliable("h1"));
+    g.add_host(ResourceSpec::unreliable("h2", 20.0, 1.0));
+    g.set_profile(
+        "p",
+        TaskProfile::reliable().with_soft_crash(Dist::exponential_mean(30.0)),
+    );
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The journal is an internally consistent account of the run.
+    #[test]
+    fn journal_is_internally_consistent(w in arb_workflow(), seed in any::<u64>()) {
+        let validated = validate(w).expect("generated workflows validate");
+        let report = Engine::new(validated, grid(seed)).run();
+
+        // Time never runs backwards, and retry timers fire in the future.
+        let mut prev = 0.0f64;
+        for e in &report.trace {
+            prop_assert!(e.at >= prev, "time went backwards: {:?}", e);
+            prev = e.at;
+            if let TraceKind::RetryScheduled { fire_at, .. } = &e.kind {
+                prop_assert!(*fire_at >= e.at, "retry fires in the past: {:?}", e);
+            }
+        }
+
+        // Every settlement closes a previously submitted attempt, exactly
+        // once; the engine ran to a natural finish (no EngineAborted), so
+        // nothing stays open.
+        let mut open = std::collections::HashSet::new();
+        let mut submitted = 0usize;
+        for e in &report.trace {
+            match &e.kind {
+                TraceKind::TaskSubmitted { task, .. } => {
+                    prop_assert!(open.insert(*task), "task id {task} reused while open");
+                    submitted += 1;
+                }
+                TraceKind::TaskSettled { task, .. } => {
+                    prop_assert!(open.remove(task), "settled unknown task {task}");
+                }
+                TraceKind::EngineAborted { .. } => {
+                    prop_assert!(false, "nothing requested an abort: {:?}", e);
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(open.is_empty(), "attempts left open at finish: {open:?}");
+
+        // The derived spans are exactly the settled attempts, each a
+        // forward interval, and the report carries the same derivation.
+        let spans = timeline::spans_from_trace(&report.trace);
+        prop_assert_eq!(spans.len(), submitted);
+        for s in &spans {
+            prop_assert!(s.start <= s.end, "span runs backwards: {:?}", s);
+        }
+        prop_assert_eq!(&spans, &report.spans);
+
+        // Every terminal node state the trace announced matches the
+        // report's final word on that activity.
+        for e in &report.trace {
+            if let TraceKind::NodeState { activity, state } = &e.kind {
+                if ["done", "failed", "skipped"].contains(&state.as_str())
+                    || state.starts_with("exception:")
+                {
+                    // Later loop iterations may overwrite, so only the
+                    // last announcement must agree.
+                    let last = report
+                        .trace
+                        .iter()
+                        .rev()
+                        .find_map(|e2| match &e2.kind {
+                            TraceKind::NodeState { activity: a, state: s }
+                                if a == activity => Some(s.clone()),
+                            _ => None,
+                        })
+                        .unwrap();
+                    prop_assert_eq!(report.status_of(activity), Some(last.as_str()));
+                }
+            }
+        }
+    }
+
+    /// Identical seeds reproduce identical journals, byte for byte.
+    #[test]
+    fn journal_is_deterministic(w in arb_workflow(), seed in any::<u64>()) {
+        let first = Engine::new(validate(w.clone()).unwrap(), grid(seed)).run();
+        let second = Engine::new(validate(w).unwrap(), grid(seed)).run();
+        prop_assert_eq!(first.trace_jsonl(), second.trace_jsonl());
+    }
+}

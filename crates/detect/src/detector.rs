@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use crate::exception::ExceptionRegistry;
-use crate::heartbeat::HeartbeatMonitor;
+use crate::heartbeat::{HeartbeatMonitor, Liveness};
 use crate::notify::{Envelope, Notification, TaskId};
 use crate::state::{TaskState, TaskStateMachine};
 
@@ -142,10 +142,23 @@ impl Detector {
     /// Registers a task attempt before submission.  `hb_interval` /
     /// `hb_tolerance` configure crash presumption; pass `hb_interval = 0`
     /// to disable heartbeat watching for this attempt.
-    pub fn register_task(&mut self, task: TaskId, hb_interval: f64, hb_tolerance: f64, now: f64) {
+    ///
+    /// Returns the prior watch's [`Liveness`] when this registration
+    /// replaced an existing heartbeat watch for the same task id (see
+    /// [`HeartbeatMonitor::watch`]); the engine records that as a
+    /// `watch_replaced` trace event.
+    pub fn register_task(
+        &mut self,
+        task: TaskId,
+        hb_interval: f64,
+        hb_tolerance: f64,
+        now: f64,
+    ) -> Option<Liveness> {
         self.records.insert(task, TaskRecord::new());
         if hb_interval > 0.0 {
-            self.monitor.watch(task, hb_interval, hb_tolerance, now);
+            self.monitor.watch(task, hb_interval, hb_tolerance, now)
+        } else {
+            None
         }
     }
 

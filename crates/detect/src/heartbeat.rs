@@ -21,6 +21,18 @@ struct Watch {
     presumed_dead: bool,
 }
 
+/// Liveness of a watch at the moment it was replaced (see
+/// [`HeartbeatMonitor::watch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// The prior watch had not (yet) presumed the task crashed.
+    Live,
+    /// The prior watch had already presumed the task crashed — replacing
+    /// it revives the task, and the caller must decide whether that is
+    /// intended.
+    PresumedDead,
+}
+
 /// Watches heartbeat streams and reports tasks whose stream went silent.
 #[derive(Debug, Clone, Default)]
 pub struct HeartbeatMonitor {
@@ -37,21 +49,42 @@ impl HeartbeatMonitor {
     /// the task is presumed crashed after `tolerance * interval` of silence
     /// (measured from `now` or from the last heartbeat).
     ///
+    /// Re-registration is explicit: if the task was already watched, the
+    /// prior watch is replaced and its [`Liveness`] returned — in
+    /// particular [`Liveness::PresumedDead`] when the replaced watch had
+    /// already presumed the task crashed, so a re-watch can never *silently*
+    /// revive an attempt the engine believes is dead.  Returns `None` for a
+    /// fresh registration.
+    ///
     /// # Panics
     /// Panics unless `interval > 0` and `tolerance >= 1`.
-    pub fn watch(&mut self, task: TaskId, interval: f64, tolerance: f64, now: f64) {
+    pub fn watch(
+        &mut self,
+        task: TaskId,
+        interval: f64,
+        tolerance: f64,
+        now: f64,
+    ) -> Option<Liveness> {
         assert!(interval > 0.0, "heartbeat interval must be positive");
         assert!(tolerance >= 1.0, "tolerance below one interval is nonsense");
-        self.watches.insert(
-            task,
-            Watch {
-                interval,
-                tolerance,
-                last_seen: now,
-                last_seq: None,
-                presumed_dead: false,
-            },
-        );
+        self.watches
+            .insert(
+                task,
+                Watch {
+                    interval,
+                    tolerance,
+                    last_seen: now,
+                    last_seq: None,
+                    presumed_dead: false,
+                },
+            )
+            .map(|prior| {
+                if prior.presumed_dead {
+                    Liveness::PresumedDead
+                } else {
+                    Liveness::Live
+                }
+            })
     }
 
     /// Stops watching (attempt reached a terminal state through other means).
@@ -161,6 +194,30 @@ mod tests {
         m.watch(T1, 1.0, 2.0, 0.0);
         m.expired(10.0);
         assert!(!m.beat(T1, 5, 10.5), "beat after presumption rejected");
+    }
+
+    #[test]
+    fn rewatch_returns_prior_liveness_instead_of_silent_revival() {
+        let mut m = HeartbeatMonitor::new();
+        assert_eq!(m.watch(T1, 1.0, 3.0, 0.0), None, "fresh watch: no prior");
+        assert_eq!(
+            m.watch(T1, 1.0, 3.0, 1.0),
+            Some(Liveness::Live),
+            "re-watch of a live task discloses it was already watched"
+        );
+        assert_eq!(m.expired(10.0), vec![T1]);
+        assert_eq!(
+            m.watch(T1, 1.0, 3.0, 10.0),
+            Some(Liveness::PresumedDead),
+            "re-watch of a presumed-dead task must surface the prior \
+             presumption, not silently revive the attempt"
+        );
+        assert!(m.is_live(T1), "the replacement watch is live going forward");
+        assert_eq!(
+            m.expired(20.0),
+            vec![T1],
+            "the replacement watch expires on its own schedule"
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod transport;
 pub use api::TaskNotifier;
 pub use detector::{Detection, Detector};
 pub use exception::{ExceptionDef, ExceptionRegistry};
-pub use heartbeat::HeartbeatMonitor;
+pub use heartbeat::{HeartbeatMonitor, Liveness};
 pub use notify::{Envelope, Notification, TaskId};
 pub use state::{TaskState, TaskStateMachine};
 pub use transport::ReorderBuffer;

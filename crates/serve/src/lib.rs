@@ -60,8 +60,9 @@ pub mod service;
 mod worker;
 
 pub use gridspec::{ExecMode, GridSpec, HostSpec, LinkSpec, ProfileSpec};
+pub use gridwfs_trace::{TraceEvent, TraceKind, TraceSink};
 pub use job::{JobId, JobRecord, JobState, Submission};
-pub use metrics::{LatencySummary, Metrics};
+pub use metrics::{LatencySummary, Metrics, TraceMetricsSink};
 pub use queue::{BoundedQueue, Pop, PushError};
 pub use service::{Service, ServiceConfig, SubmitError};
 

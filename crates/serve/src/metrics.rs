@@ -10,7 +10,9 @@
 //! --metrics`, the load generator, the CI smoke job).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind, TraceSink};
 
 use crate::json::{json_number, json_string};
 
@@ -31,6 +33,12 @@ pub struct Counters {
     pub deadline_exceeded: AtomicU64,
     /// Jobs re-admitted from a state directory at service start.
     pub recovered: AtomicU64,
+    /// Task-level retries scheduled by any engine (derived from the
+    /// trace stream by [`TraceMetricsSink`]).
+    pub task_retries: AtomicU64,
+    /// Task attempts presumed dead by heartbeat loss (derived from the
+    /// trace stream by [`TraceMetricsSink`]).
+    pub tasks_presumed_dead: AtomicU64,
 }
 
 /// The registry: counters + the running-jobs gauge + latency samples.
@@ -130,6 +138,8 @@ impl Metrics {
             ("cancelled", get(&c.cancelled)),
             ("deadline_exceeded", get(&c.deadline_exceeded)),
             ("recovered", get(&c.recovered)),
+            ("task_retries", get(&c.task_retries)),
+            ("tasks_presumed_dead", get(&c.tasks_presumed_dead)),
         ];
         for (i, (name, v)) in counters.iter().enumerate() {
             let comma = if i + 1 < counters.len() { "," } else { "" };
@@ -157,6 +167,40 @@ impl Metrics {
         out.push_str(&format!("    \"max\": {}\n", json_number(l.max)));
         out.push_str("  }\n}\n");
         out
+    }
+}
+
+/// A [`TraceSink`] that turns the engines' flight-recorder stream into
+/// service counters: retries scheduled and heartbeat presumptions are
+/// recovery activity the per-job records do not surface, and counting
+/// them here keeps the registry consistent with the journals by
+/// construction — both are views of the same event stream.
+pub struct TraceMetricsSink {
+    metrics: Arc<Metrics>,
+}
+
+impl TraceMetricsSink {
+    /// A sink bumping counters in `metrics`.
+    pub fn new(metrics: Arc<Metrics>) -> Self {
+        TraceMetricsSink { metrics }
+    }
+}
+
+impl TraceSink for TraceMetricsSink {
+    fn record(&self, event: &TraceEvent) {
+        match &event.kind {
+            TraceKind::RetryScheduled { .. } => {
+                Metrics::incr(&self.metrics.counters.task_retries);
+            }
+            TraceKind::TaskSettled {
+                outcome: TaskOutcome::Crashed,
+                reason,
+                ..
+            } if reason == "heartbeat-loss" => {
+                Metrics::incr(&self.metrics.counters.tasks_presumed_dead);
+            }
+            _ => {}
+        }
     }
 }
 
@@ -196,6 +240,39 @@ mod tests {
         );
         assert!(!json.contains(",\n  }"), "{json}");
         assert!(!json.contains(",\n}"), "{json}");
+    }
+
+    #[test]
+    fn trace_sink_derives_recovery_counters() {
+        let metrics = Arc::new(Metrics::new());
+        let sink = TraceMetricsSink::new(metrics.clone());
+        let ev = |kind| TraceEvent { at: 1.0, kind };
+        sink.record(&ev(TraceKind::RetryScheduled {
+            activity: "a".into(),
+            slot: 0,
+            attempt: 2,
+            fire_at: 5.0,
+        }));
+        sink.record(&ev(TraceKind::TaskSettled {
+            activity: "a".into(),
+            task: 1,
+            outcome: TaskOutcome::Crashed,
+            reason: "heartbeat-loss".into(),
+        }));
+        // A crash that was *reported* (not presumed) must not count.
+        sink.record(&ev(TraceKind::TaskSettled {
+            activity: "a".into(),
+            task: 2,
+            outcome: TaskOutcome::Crashed,
+            reason: "done-without-task-end".into(),
+        }));
+        sink.record(&ev(TraceKind::EngineCheckpoint { ok: true }));
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        assert_eq!(get(&metrics.counters.task_retries), 1);
+        assert_eq!(get(&metrics.counters.tasks_presumed_dead), 1);
+        let json = metrics.snapshot_json(0);
+        assert!(json.contains("\"task_retries\": 1"), "{json}");
+        assert!(json.contains("\"tasks_presumed_dead\": 1"), "{json}");
     }
 
     #[test]

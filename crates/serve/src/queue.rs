@@ -94,7 +94,14 @@ impl<T> BoundedQueue<T> {
     /// Dequeues the oldest item, waiting up to `timeout` for one to
     /// appear.  A closed queue still drains its remaining items (graceful
     /// shutdown); [`Pop::Closed`] only once it is closed *and* empty.
+    ///
+    /// The wait tracks an absolute deadline: a wakeup that finds no item
+    /// (another consumer won the race, or the platform woke us spuriously)
+    /// sleeps again only for the *remaining* slice, so the total wait is
+    /// bounded by `timeout` plus scheduling slack no matter how many
+    /// itemless wakeups occur.
     pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let deadline = std::time::Instant::now().checked_add(timeout);
         let mut g = self.inner.lock().unwrap();
         loop {
             if let Some(item) = g.items.pop_front() {
@@ -103,15 +110,17 @@ impl<T> BoundedQueue<T> {
             if g.closed {
                 return Pop::Closed;
             }
-            let (guard, result) = self.nonempty.wait_timeout(g, timeout).unwrap();
-            g = guard;
-            if result.timed_out() {
-                return match g.items.pop_front() {
-                    Some(item) => Pop::Item(item),
-                    None if g.closed => Pop::Closed,
-                    None => Pop::Empty,
-                };
+            // `None` deadline means `timeout` overflowed the clock — wait
+            // in day-long slices, which is indistinguishable from forever.
+            let remaining = match deadline {
+                Some(d) => d.saturating_duration_since(std::time::Instant::now()),
+                None => Duration::from_secs(86_400),
+            };
+            if remaining.is_zero() {
+                return Pop::Empty;
             }
+            let (guard, _) = self.nonempty.wait_timeout(g, remaining).unwrap();
+            g = guard;
         }
     }
 
@@ -173,6 +182,53 @@ mod tests {
     fn empty_open_queue_times_out() {
         let q: BoundedQueue<u32> = BoundedQueue::new(1);
         assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Empty);
+    }
+
+    #[test]
+    fn pop_timeout_overshoot_is_bounded_when_losing_item_races() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::Instant;
+
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let done = Arc::new(AtomicBool::new(false));
+        let timeout = Duration::from_millis(300);
+
+        // Traffic thread: push an item and steal it back *inside one
+        // critical section*, notifying in between.  The victim is woken by
+        // every notify but can never win the item — the deterministic
+        // version of a pool mate always winning the race.  Each itemless
+        // wakeup must consume the victim's remaining budget, not re-arm
+        // the full timeout.
+        let q2 = q.clone();
+        let done2 = done.clone();
+        let traffic = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            while !done2.load(Ordering::Relaxed) && t0.elapsed() < Duration::from_secs(5) {
+                {
+                    let mut g = q2.inner.lock().unwrap();
+                    g.items.push_back(1);
+                    q2.nonempty.notify_one();
+                    g.items.pop_front();
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        let t0 = Instant::now();
+        let result = q.pop_timeout(timeout);
+        let elapsed = t0.elapsed();
+        done.store(true, Ordering::Relaxed);
+        traffic.join().unwrap();
+        assert_eq!(result, Pop::Empty, "itemless wakeups must still time out");
+        assert!(
+            elapsed < Duration::from_millis(700),
+            "pop_timeout({timeout:?}) overshot to {elapsed:?}: each wakeup \
+             must wait only the remaining slice, not re-arm the full timeout"
+        );
+        assert!(
+            elapsed >= Duration::from_millis(250),
+            "timed out implausibly early: {elapsed:?}"
+        );
     }
 
     #[test]

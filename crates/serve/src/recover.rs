@@ -62,6 +62,25 @@ pub fn elapsed_path(dir: &Path, id: JobId) -> PathBuf {
     dir.join(format!("{id}.elapsed"))
 }
 
+/// Path of the per-job flight-recorder journal (under the service's
+/// *trace* directory, which may differ from the state directory).
+pub fn trace_path(dir: &Path, id: JobId) -> PathBuf {
+    dir.join(format!("{id}.trace.jsonl"))
+}
+
+/// 0-based incarnation number the next `job_start` event in `path` gets:
+/// the count of `job_start` lines already in the journal.  A missing or
+/// unreadable journal counts as a fresh one.
+pub fn count_incarnations(path: &Path) -> u32 {
+    fs::read_to_string(path)
+        .map(|text| {
+            text.lines()
+                .filter(|line| line.contains("\"kind\":\"job_start\""))
+                .count() as u32
+        })
+        .unwrap_or(0)
+}
+
 /// Executor-clock seconds this job consumed in earlier incarnations
 /// (0.0 when no ledger exists).
 pub fn read_elapsed(dir: &Path, id: JobId) -> f64 {

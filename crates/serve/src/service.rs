@@ -22,10 +22,16 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use gridwfs_trace::{JsonlSink, RingSink, TraceEvent, TraceKind, TraceSink};
+
 use crate::job::{JobId, JobRecord, JobState, Submission};
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
 use crate::recover;
+
+/// Capacity of the service-level trace ring (admissions, rejections,
+/// recoveries — the events that happen outside any one job's journal).
+const SERVICE_RING: usize = 1024;
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -38,6 +44,10 @@ pub struct ServiceConfig {
     pub state_dir: Option<PathBuf>,
     /// Deadline applied to submissions that do not carry their own.
     pub default_deadline: Option<f64>,
+    /// Flight-recorder root: every job writes `job-<id>.trace.jsonl`
+    /// here; recovered incarnations append to the same journal.  `None`
+    /// keeps tracing in-memory only (the service ring).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -47,6 +57,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             state_dir: None,
             default_deadline: None,
+            trace_dir: None,
         }
     }
 }
@@ -80,7 +91,11 @@ pub(crate) struct Shared {
     pub(crate) jobs: Mutex<HashMap<u64, JobRecord>>,
     pub(crate) subs: Mutex<HashMap<u64, Submission>>,
     pub(crate) stops: Mutex<HashMap<u64, Arc<AtomicBool>>>,
-    pub(crate) metrics: Metrics,
+    pub(crate) metrics: Arc<Metrics>,
+    /// Service-level flight recorder: admissions, rejections, recoveries.
+    /// Wall-clock timestamps — the per-job journals carry the
+    /// deterministic ones.
+    pub(crate) trace_ring: RingSink,
     pub(crate) accepting: AtomicBool,
     /// Hard-shutdown latch: workers drop popped jobs back into `Queued`
     /// (their manifests survive for the next incarnation) instead of
@@ -94,6 +109,14 @@ impl Shared {
     /// Seconds on the service clock.
     pub(crate) fn now(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Records a service-level event in the trace ring at service time.
+    pub(crate) fn trace(&self, kind: TraceKind) {
+        self.trace_ring.record(&TraceEvent {
+            at: self.now(),
+            kind,
+        });
     }
 }
 
@@ -114,13 +137,17 @@ impl Service {
             jobs: Mutex::new(HashMap::new()),
             subs: Mutex::new(HashMap::new()),
             stops: Mutex::new(HashMap::new()),
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
+            trace_ring: RingSink::new(SERVICE_RING),
             accepting: AtomicBool::new(true),
             aborting: AtomicBool::new(false),
             epoch: Instant::now(),
             next_id: AtomicU64::new(1),
             cfg,
         });
+        if let Some(dir) = &shared.cfg.trace_dir {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
         if let Some(dir) = shared.cfg.state_dir.clone() {
             std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
             let recovered = recover::scan(&dir)?;
@@ -142,6 +169,7 @@ impl Service {
                     .map_err(|_| "queue closed during recovery".to_string())?;
                 Metrics::incr(&shared.metrics.counters.recovered);
                 Metrics::incr(&shared.metrics.counters.submitted);
+                shared.trace(TraceKind::JobRecovered { job: id.0 });
             }
             shared.next_id.store(max_id + 1, Ordering::Relaxed);
         }
@@ -161,7 +189,7 @@ impl Service {
     /// terminal state; on `Err` nothing of it remains in the service.
     pub fn submit(&self, sub: Submission) -> Result<JobId, SubmitError> {
         if !self.shared.accepting.load(Ordering::Relaxed) {
-            Metrics::incr(&self.shared.metrics.counters.rejected);
+            self.reject(&sub.name, "shutting-down");
             return Err(SubmitError::ShuttingDown);
         }
         let id = JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
@@ -171,24 +199,61 @@ impl Service {
         if let Some(dir) = &self.shared.cfg.state_dir {
             if let Err(e) = recover::write_submission(dir, id, &sub) {
                 self.rollback(id);
-                Metrics::incr(&self.shared.metrics.counters.rejected);
+                self.reject(&sub.name, "io");
                 return Err(SubmitError::Io(e.to_string()));
+            }
+        }
+        // Open the job's journal before it becomes poppable, so a worker's
+        // `append` can never race the truncating `create`.  The admission
+        // anchor is t=0.0: per-job journals carry the deterministic
+        // executor clock, not the service's wall clock.
+        if let Some(dir) = &self.shared.cfg.trace_dir {
+            let created = JsonlSink::create(recover::trace_path(dir, id))
+                .map_err(|e| e.to_string())
+                .and_then(|sink| {
+                    sink.record(&TraceEvent {
+                        at: 0.0,
+                        kind: TraceKind::JobAdmitted {
+                            job: id.0,
+                            name: sub.name.clone(),
+                        },
+                    });
+                    sink.flush();
+                    sink.error().map_or(Ok(()), Err)
+                });
+            if let Err(e) = created {
+                self.rollback(id);
+                self.reject(&sub.name, "io");
+                return Err(SubmitError::Io(e));
             }
         }
         match self.shared.queue.try_push(id) {
             Ok(()) => {
                 Metrics::incr(&self.shared.metrics.counters.submitted);
+                self.shared.trace(TraceKind::JobAdmitted {
+                    job: id.0,
+                    name: sub.name.clone(),
+                });
                 Ok(id)
             }
             Err(e) => {
                 self.rollback(id);
-                Metrics::incr(&self.shared.metrics.counters.rejected);
-                Err(match e {
-                    PushError::Full(_) => SubmitError::QueueFull,
-                    PushError::Closed(_) => SubmitError::ShuttingDown,
-                })
+                let (err, reason) = match e {
+                    PushError::Full(_) => (SubmitError::QueueFull, "queue-full"),
+                    PushError::Closed(_) => (SubmitError::ShuttingDown, "shutting-down"),
+                };
+                self.reject(&sub.name, reason);
+                Err(err)
             }
         }
+    }
+
+    fn reject(&self, name: &str, reason: &str) {
+        Metrics::incr(&self.shared.metrics.counters.rejected);
+        self.shared.trace(TraceKind::JobRejected {
+            name: name.to_string(),
+            reason: reason.to_string(),
+        });
     }
 
     fn rollback(&self, id: JobId) {
@@ -196,6 +261,9 @@ impl Service {
         self.shared.subs.lock().unwrap().remove(&id.0);
         if let Some(dir) = &self.shared.cfg.state_dir {
             recover::remove_submission(dir, id);
+        }
+        if let Some(dir) = &self.shared.cfg.trace_dir {
+            let _ = std::fs::remove_file(recover::trace_path(dir, id));
         }
     }
 
@@ -257,6 +325,14 @@ impl Service {
     /// JSON snapshot of the metrics registry.
     pub fn metrics_json(&self) -> String {
         self.shared.metrics.snapshot_json(self.queue_depth())
+    }
+
+    /// Snapshot of the service-level flight recorder: admissions,
+    /// rejections, and recoveries, oldest first, wall-clock timestamps.
+    /// (Per-job engine events go to the job's journal in the trace
+    /// directory, not here.)
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.shared.trace_ring.events()
     }
 
     /// Polls until every known job is terminal (true) or `timeout`

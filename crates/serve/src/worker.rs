@@ -6,12 +6,13 @@ use std::time::{Duration, Instant};
 
 use grid_wfs::engine::{Engine, EngineConfig, LogKind, Report};
 use grid_wfs::{checkpoint, Executor, Instance};
+use gridwfs_trace::{FanoutSink, JsonlSink, TraceEvent, TraceKind, TraceSink};
 use gridwfs_wpdl::parse;
 use gridwfs_wpdl::validate::validate;
 
 use crate::gridspec::ExecMode;
 use crate::job::{JobId, JobState, Submission};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, TraceMetricsSink};
 use crate::queue::Pop;
 use crate::recover;
 use crate::service::Shared;
@@ -57,12 +58,41 @@ fn run_job(shared: &Arc<Shared>, id: JobId) {
         shared.stops.lock().unwrap().insert(id.0, stop.clone());
     }
     shared.metrics.running.fetch_add(1, Ordering::Relaxed);
+    let journal = open_journal(shared, id, &sub);
     let wall_start = Instant::now();
-    let result = execute(shared, id, &sub, stop);
+    let result = execute(shared, id, &sub, stop, journal.clone());
     let run_wall = wall_start.elapsed().as_secs_f64();
     shared.stops.lock().unwrap().remove(&id.0);
     shared.metrics.running.fetch_sub(1, Ordering::Relaxed);
-    settle(shared, id, result, run_wall);
+    settle(shared, id, result, run_wall, journal);
+}
+
+/// Opens the job's flight-recorder journal (append: a recovered job's
+/// later incarnations extend the same file) and stamps the incarnation
+/// header.  Journal timestamps are the engine's executor clock, which
+/// restarts at 0 per incarnation — the `job_start` header is what keeps
+/// the segments apart.
+fn open_journal(shared: &Arc<Shared>, id: JobId, sub: &Submission) -> Option<Arc<JsonlSink>> {
+    let dir = shared.cfg.trace_dir.as_ref()?;
+    let path = recover::trace_path(dir, id);
+    let incarnation = recover::count_incarnations(&path);
+    match JsonlSink::append(&path) {
+        Ok(sink) => {
+            sink.record(&TraceEvent {
+                at: 0.0,
+                kind: TraceKind::JobStarted {
+                    job: id.0,
+                    incarnation,
+                    seed: sub.seed,
+                },
+            });
+            Some(Arc::new(sink))
+        }
+        Err(e) => {
+            eprintln!("gridwfs-serve: {id}: cannot open trace journal: {e}");
+            None
+        }
+    }
 }
 
 /// Builds the instance (fresh, or from the persisted engine checkpoint)
@@ -72,6 +102,7 @@ fn execute(
     id: JobId,
     sub: &Submission,
     stop: Arc<AtomicBool>,
+    journal: Option<Arc<JsonlSink>>,
 ) -> Result<Report, String> {
     let ckpt_path = shared
         .cfg
@@ -112,24 +143,48 @@ fn execute(
         deadline,
         ..EngineConfig::default()
     };
+    // The engine's trace stream always feeds the metrics registry; with a
+    // trace directory it also feeds the job's journal.
+    let metrics_sink: Arc<dyn TraceSink> = Arc::new(TraceMetricsSink::new(shared.metrics.clone()));
+    let sink: Arc<dyn TraceSink> = match journal {
+        Some(journal) => Arc::new(FanoutSink::new(vec![journal, metrics_sink])),
+        None => metrics_sink,
+    };
     match sub.grid.mode {
-        ExecMode::Virtual => Ok(run_engine(instance, sub.grid.build_sim(sub.seed), config)),
+        ExecMode::Virtual => Ok(run_engine(
+            instance,
+            sub.grid.build_sim(sub.seed),
+            config,
+            sink,
+        )),
         ExecMode::Paced { scale } => {
             let executor = sub.grid.build_paced(instance.workflow(), scale);
-            Ok(run_engine(instance, executor, config))
+            Ok(run_engine(instance, executor, config, sink))
         }
     }
 }
 
-fn run_engine<X: Executor>(instance: Instance, executor: X, config: EngineConfig) -> Report {
+fn run_engine<X: Executor>(
+    instance: Instance,
+    executor: X,
+    config: EngineConfig,
+    sink: Arc<dyn TraceSink>,
+) -> Report {
     Engine::from_instance(instance, executor)
         .with_config(config)
+        .with_trace_sink(sink)
         .run()
 }
 
 /// Applies the run's outcome to the job record, the metrics registry, and
 /// the state directory.
-fn settle(shared: &Arc<Shared>, id: JobId, result: Result<Report, String>, run_wall: f64) {
+fn settle(
+    shared: &Arc<Shared>,
+    id: JobId,
+    result: Result<Report, String>,
+    run_wall: f64,
+    journal: Option<Arc<JsonlSink>>,
+) {
     let c = &shared.metrics.counters;
     let (state, detail, report) = match result {
         Err(msg) => (JobState::Failed, msg, None),
@@ -154,6 +209,16 @@ fn settle(shared: &Arc<Shared>, id: JobId, result: Result<Report, String>, run_w
                         if let Err(e) = recover::write_elapsed(dir, id, consumed) {
                             eprintln!("gridwfs-serve: {id}: cannot write elapsed ledger: {e}");
                         }
+                    }
+                    if let Some(journal) = &journal {
+                        journal.record(&TraceEvent {
+                            at: report.finished_at,
+                            kind: TraceKind::JobAborted {
+                                job: id.0,
+                                reason: "service-shutdown".into(),
+                            },
+                        });
+                        journal.flush();
                     }
                     let mut jobs = shared.jobs.lock().unwrap();
                     if let Some(rec) = jobs.get_mut(&id.0) {
@@ -181,6 +246,22 @@ fn settle(shared: &Arc<Shared>, id: JobId, result: Result<Report, String>, run_w
             }
         },
     };
+    if let Some(journal) = &journal {
+        journal.record(&TraceEvent {
+            // Anchor on the engine clock (0.0 when the run died before
+            // producing a report) — journals stay wall-clock-free.
+            at: report.as_ref().map(|r| r.finished_at).unwrap_or(0.0),
+            kind: TraceKind::JobSettled {
+                job: id.0,
+                state: state.as_str().into(),
+                detail: detail.clone(),
+            },
+        });
+        journal.flush();
+        if let Some(e) = journal.error() {
+            eprintln!("gridwfs-serve: {id}: trace journal write failed: {e}");
+        }
+    }
     match state {
         JobState::Done => Metrics::incr(&c.completed),
         JobState::Cancelled => Metrics::incr(&c.cancelled),

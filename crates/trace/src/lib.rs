@@ -1,0 +1,805 @@
+//! The flight recorder: a structured journal of every recovery-relevant
+//! decision the system makes.
+//!
+//! The paper's thesis is that failure handling lives in the *workflow
+//! structure* — retries, replicas, alternative tasks, exception handlers.
+//! The flight recorder makes those decisions observable: the engine (and
+//! the serving layer above it) emit one [`TraceEvent`] per decision into a
+//! [`TraceSink`], and the JSONL rendering of that stream is both a
+//! debugging journal (WRATH-style execution recording) and a correctness
+//! oracle — the simulator is deterministic, so identical seeds must yield
+//! **byte-identical** journals regardless of worker/thread count.
+//!
+//! Determinism rules the encoders follow:
+//!
+//! * fields are written in a fixed order with no whitespace;
+//! * floats use Rust's shortest-round-trip `Display` (stable for equal
+//!   bits);
+//! * events carry no sequence numbers or wall-clock times — line order
+//!   *is* the order, and timestamps are executor-clock (virtual seconds
+//!   on the simulated Grid).
+//!
+//! The crate is dependency-free on purpose: it sits below `core` and
+//! `serve` in the crate DAG and must build in the offline stub workspace.
+
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// How a task attempt ended, as recorded in [`TraceKind::TaskSettled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// Finished its work successfully.
+    Completed,
+    /// Crashed (including heartbeat-presumed crashes).
+    Crashed,
+    /// Raised a user-defined exception.
+    Exception,
+    /// Cancelled by the engine (losing replica, node settled, abort).
+    Cancelled,
+}
+
+impl TaskOutcome {
+    /// Stable wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TaskOutcome::Completed => "completed",
+            TaskOutcome::Crashed => "crashed",
+            TaskOutcome::Exception => "exception",
+            TaskOutcome::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One recovery-relevant decision.  Engine-level kinds carry executor-clock
+/// context in the enclosing [`TraceEvent::at`]; serve-level job events use
+/// deterministic anchors (0.0 at admission, the report's `finished_at` at
+/// settlement) so per-job journals are reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceKind {
+    /// An activity changed navigation state (`running`, `done`, `failed`,
+    /// `exception:<name>`, `skipped`).
+    NodeState {
+        /// Activity name.
+        activity: String,
+        /// New state string.
+        state: String,
+    },
+    /// A do-while loop re-queued its activity for another iteration.
+    LoopIteration {
+        /// Activity name.
+        activity: String,
+        /// 1-based iteration about to run.
+        iteration: u32,
+    },
+    /// A task attempt was handed to the executor.
+    TaskSubmitted {
+        /// Owning activity.
+        activity: String,
+        /// Replica slot (0 for simple policy).
+        slot: usize,
+        /// 1-based attempt number within the slot.
+        attempt: u32,
+        /// Engine task id.
+        task: u64,
+        /// Target host.
+        host: String,
+        /// Checkpoint flag handed back to the task, when resuming.
+        resume: Option<String>,
+    },
+    /// A task attempt reached a terminal classification.
+    TaskSettled {
+        /// Owning activity.
+        activity: String,
+        /// Engine task id.
+        task: u64,
+        /// Terminal classification.
+        outcome: TaskOutcome,
+        /// Why (`task-end`, `done-without-task-end`, `heartbeat-loss`,
+        /// exception name, `sibling-settled`, `abort`, ...).
+        reason: String,
+    },
+    /// Task-level recovery scheduled a retry timer.
+    RetryScheduled {
+        /// Activity being retried.
+        activity: String,
+        /// Replica slot.
+        slot: usize,
+        /// 1-based attempt number the timer will launch.
+        attempt: u32,
+        /// Absolute executor time the retry fires.
+        fire_at: f64,
+    },
+    /// Task-level recovery gave up (all slots exhausted); the failure
+    /// surfaces to the workflow level.
+    RecoveryExhausted {
+        /// Activity whose masking failed.
+        activity: String,
+    },
+    /// An alternative task is starting because its predecessor failed
+    /// (an `on="failed"` edge fired — paper Figure 4).
+    AlternativeTask {
+        /// Failed predecessor.
+        from: String,
+        /// Alternative now starting.
+        to: String,
+    },
+    /// An exception handler is starting (`on="exception:<name>"` edge
+    /// fired — paper Figure 6).
+    HandlerFired {
+        /// Activity that raised.
+        from: String,
+        /// Handler now starting.
+        to: String,
+        /// Exception name the edge matched.
+        exception: String,
+    },
+    /// A task recorded a checkpoint flag; the engine stores it and hands
+    /// it back on the slot's next attempt (§4.3 round-trip).
+    CheckpointFlag {
+        /// Owning activity.
+        activity: String,
+        /// Engine task id.
+        task: u64,
+        /// Opaque recovery cookie.
+        flag: String,
+    },
+    /// The engine persisted (or failed to persist) its navigation
+    /// checkpoint after a settlement.
+    EngineCheckpoint {
+        /// Whether the write succeeded.
+        ok: bool,
+    },
+    /// A heartbeat watch was re-registered for a task the monitor already
+    /// knew — recorded because silently reviving a presumed-dead attempt
+    /// is exactly the bug this journal exists to catch.
+    WatchReplaced {
+        /// Engine task id.
+        task: u64,
+        /// Prior liveness: `true` if the replaced watch had already
+        /// presumed the task dead.
+        was_presumed_dead: bool,
+    },
+    /// Navigation aborted before a natural terminal state
+    /// (`stop` / `deadline` / `max_settlements`).
+    EngineAborted {
+        /// Abort reason.
+        reason: String,
+    },
+    /// The engine declared an activity stalled (no notifications, no
+    /// timers, nothing can make progress).
+    EngineStalled {
+        /// Stalled activity.
+        activity: String,
+    },
+    /// serve: a submission was admitted.
+    JobAdmitted {
+        /// Job id.
+        job: u64,
+        /// Client label.
+        name: String,
+    },
+    /// serve: a submission was rejected at the door.
+    JobRejected {
+        /// Client label.
+        name: String,
+        /// `queue-full` or `shutting-down`.
+        reason: String,
+    },
+    /// serve: a recovered job was re-admitted by a later service
+    /// incarnation's state-dir scan.
+    JobRecovered {
+        /// Job id.
+        job: u64,
+    },
+    /// serve: a worker started (an incarnation of) a job.
+    JobStarted {
+        /// Job id.
+        job: u64,
+        /// 0-based incarnation: how many `JobStarted` events precede this
+        /// one in the job's journal.
+        incarnation: u32,
+        /// Simulation seed the engine ran with.
+        seed: u64,
+    },
+    /// serve: a job run was interrupted and went back to the queue (the
+    /// resume path: service shutdown, not a client cancel).
+    JobAborted {
+        /// Job id.
+        job: u64,
+        /// Abort reason.
+        reason: String,
+    },
+    /// serve: a job reached a terminal state.
+    JobSettled {
+        /// Job id.
+        job: u64,
+        /// Terminal state (`done` / `failed` / `cancelled`).
+        state: String,
+        /// Human detail (outcome, error, `deadline exceeded`, ...).
+        detail: String,
+    },
+}
+
+impl TraceKind {
+    /// Stable wire tag for the `kind` JSON field.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceKind::NodeState { .. } => "node_state",
+            TraceKind::LoopIteration { .. } => "loop_iteration",
+            TraceKind::TaskSubmitted { .. } => "task_submit",
+            TraceKind::TaskSettled { .. } => "task_settle",
+            TraceKind::RetryScheduled { .. } => "retry_scheduled",
+            TraceKind::RecoveryExhausted { .. } => "recovery_exhausted",
+            TraceKind::AlternativeTask { .. } => "alternative_task",
+            TraceKind::HandlerFired { .. } => "handler_fired",
+            TraceKind::CheckpointFlag { .. } => "checkpoint_flag",
+            TraceKind::EngineCheckpoint { .. } => "engine_checkpoint",
+            TraceKind::WatchReplaced { .. } => "watch_replaced",
+            TraceKind::EngineAborted { .. } => "engine_aborted",
+            TraceKind::EngineStalled { .. } => "engine_stalled",
+            TraceKind::JobAdmitted { .. } => "job_admit",
+            TraceKind::JobRejected { .. } => "job_reject",
+            TraceKind::JobRecovered { .. } => "job_recovered",
+            TraceKind::JobStarted { .. } => "job_start",
+            TraceKind::JobAborted { .. } => "job_abort",
+            TraceKind::JobSettled { .. } => "job_settle",
+        }
+    }
+}
+
+/// One line of the flight journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event time.  Executor clock for engine events; deterministic
+    /// anchors for serve-level job events (see [`TraceKind`]).
+    pub at: f64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // Shortest round-trip `Display`; always containing a decimal point or
+    // exponent would be nice-to-have but plain `{}` is deterministic,
+    // which is the property the journal actually needs.
+    out.push_str(&format!("{v}"));
+}
+
+impl TraceEvent {
+    /// Renders the event as one deterministic JSON object (no trailing
+    /// newline).  Field order is fixed: `at`, `kind`, then kind-specific
+    /// fields in declaration order.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(96);
+        o.push_str("{\"at\":");
+        push_f64(&mut o, self.at);
+        o.push_str(",\"kind\":\"");
+        o.push_str(self.kind.tag());
+        o.push('"');
+        match &self.kind {
+            TraceKind::NodeState { activity, state } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(",\"state\":");
+                push_escaped(&mut o, state);
+            }
+            TraceKind::LoopIteration {
+                activity,
+                iteration,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(",\"iteration\":{iteration}"));
+            }
+            TraceKind::TaskSubmitted {
+                activity,
+                slot,
+                attempt,
+                task,
+                host,
+                resume,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(
+                    ",\"slot\":{slot},\"attempt\":{attempt},\"task\":{task},\"host\":"
+                ));
+                push_escaped(&mut o, host);
+                o.push_str(",\"resume\":");
+                match resume {
+                    Some(flag) => push_escaped(&mut o, flag),
+                    None => o.push_str("null"),
+                }
+            }
+            TraceKind::TaskSettled {
+                activity,
+                task,
+                outcome,
+                reason,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(
+                    ",\"task\":{task},\"outcome\":\"{}\"",
+                    outcome.as_str()
+                ));
+                o.push_str(",\"reason\":");
+                push_escaped(&mut o, reason);
+            }
+            TraceKind::RetryScheduled {
+                activity,
+                slot,
+                attempt,
+                fire_at,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(
+                    ",\"slot\":{slot},\"attempt\":{attempt},\"fire_at\":"
+                ));
+                push_f64(&mut o, *fire_at);
+            }
+            TraceKind::RecoveryExhausted { activity } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+            }
+            TraceKind::AlternativeTask { from, to } => {
+                o.push_str(",\"from\":");
+                push_escaped(&mut o, from);
+                o.push_str(",\"to\":");
+                push_escaped(&mut o, to);
+            }
+            TraceKind::HandlerFired {
+                from,
+                to,
+                exception,
+            } => {
+                o.push_str(",\"from\":");
+                push_escaped(&mut o, from);
+                o.push_str(",\"to\":");
+                push_escaped(&mut o, to);
+                o.push_str(",\"exception\":");
+                push_escaped(&mut o, exception);
+            }
+            TraceKind::CheckpointFlag {
+                activity,
+                task,
+                flag,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(",\"task\":{task},\"flag\":"));
+                push_escaped(&mut o, flag);
+            }
+            TraceKind::EngineCheckpoint { ok } => {
+                o.push_str(&format!(",\"ok\":{ok}"));
+            }
+            TraceKind::WatchReplaced {
+                task,
+                was_presumed_dead,
+            } => {
+                o.push_str(&format!(
+                    ",\"task\":{task},\"was_presumed_dead\":{was_presumed_dead}"
+                ));
+            }
+            TraceKind::EngineAborted { reason } => {
+                o.push_str(",\"reason\":");
+                push_escaped(&mut o, reason);
+            }
+            TraceKind::EngineStalled { activity } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+            }
+            TraceKind::JobAdmitted { job, name } => {
+                o.push_str(&format!(",\"job\":{job},\"name\":"));
+                push_escaped(&mut o, name);
+            }
+            TraceKind::JobRejected { name, reason } => {
+                o.push_str(",\"name\":");
+                push_escaped(&mut o, name);
+                o.push_str(",\"reason\":");
+                push_escaped(&mut o, reason);
+            }
+            TraceKind::JobRecovered { job } => {
+                o.push_str(&format!(",\"job\":{job}"));
+            }
+            TraceKind::JobStarted {
+                job,
+                incarnation,
+                seed,
+            } => {
+                o.push_str(&format!(
+                    ",\"job\":{job},\"incarnation\":{incarnation},\"seed\":{seed}"
+                ));
+            }
+            TraceKind::JobAborted { job, reason } => {
+                o.push_str(&format!(",\"job\":{job},\"reason\":"));
+                push_escaped(&mut o, reason);
+            }
+            TraceKind::JobSettled { job, state, detail } => {
+                o.push_str(&format!(",\"job\":{job},\"state\":"));
+                push_escaped(&mut o, state);
+                o.push_str(",\"detail\":");
+                push_escaped(&mut o, detail);
+            }
+        }
+        o.push('}');
+        o
+    }
+}
+
+/// Renders a slice of events as a JSONL document (one event per line,
+/// trailing newline included when non-empty).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// A destination for trace events.
+///
+/// Methods take `&self` (interior mutability) so an `Arc<dyn TraceSink>`
+/// can be shared between the serving layer and the engine it hosts.
+pub trait TraceSink: Send + Sync {
+    /// Records one event.  Must not panic; sinks swallow I/O errors and
+    /// surface them through [`TraceSink::error`].
+    fn record(&self, event: &TraceEvent);
+
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+
+    /// First I/O error encountered, if any.
+    fn error(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Keeps the last `capacity` events in memory — the service's always-on
+/// black box.
+pub struct RingSink {
+    buf: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingSink {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+        }
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Collects every event in memory — the engine's default recorder and the
+/// test suite's workhorse.
+#[derive(Default)]
+pub struct VecSink {
+    buf: Mutex<Vec<TraceEvent>>,
+}
+
+impl VecSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf.lock().unwrap().clone()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&self, event: &TraceEvent) {
+        self.buf.lock().unwrap().push(event.clone());
+    }
+}
+
+struct JsonlInner {
+    out: BufWriter<File>,
+    error: Option<String>,
+}
+
+/// Appends events to a JSONL file, one object per line.
+pub struct JsonlSink {
+    inner: Mutex<JsonlInner>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and streams events into it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::from_file(File::create(path)?))
+    }
+
+    /// Opens `path` for appending — the recovered-incarnation path: a
+    /// resumed job's journal continues where the previous incarnation's
+    /// stopped.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::from_file(
+            OpenOptions::new().create(true).append(true).open(path)?,
+        ))
+    }
+
+    fn from_file(file: File) -> Self {
+        JsonlSink {
+            inner: Mutex::new(JsonlInner {
+                out: BufWriter::new(file),
+                error: None,
+            }),
+        }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.error.is_some() {
+            return;
+        }
+        let line = event.to_json();
+        if let Err(e) = writeln!(inner.out, "{line}") {
+            inner.error = Some(e.to_string());
+        }
+    }
+
+    fn flush(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.error.is_some() {
+            return;
+        }
+        if let Err(e) = inner.out.flush() {
+            inner.error = Some(e.to_string());
+        }
+    }
+
+    fn error(&self) -> Option<String> {
+        self.inner.lock().unwrap().error.clone()
+    }
+}
+
+/// Duplicates every event to several sinks (e.g. a JSONL file plus the
+/// metrics deriver).
+pub struct FanoutSink {
+    sinks: Vec<std::sync::Arc<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// A sink writing to all of `sinks` in order.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn TraceSink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn record(&self, event: &TraceEvent) {
+        for s in &self.sinks {
+            s.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+
+    fn error(&self) -> Option<String> {
+        self.sinks.iter().find_map(|s| s.error())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ev(at: f64, kind: TraceKind) -> TraceEvent {
+        TraceEvent { at, kind }
+    }
+
+    #[test]
+    fn json_field_order_is_fixed() {
+        let e = ev(
+            1.5,
+            TraceKind::TaskSubmitted {
+                activity: "a".into(),
+                slot: 0,
+                attempt: 1,
+                task: 7,
+                host: "h1".into(),
+                resume: None,
+            },
+        );
+        assert_eq!(
+            e.to_json(),
+            r#"{"at":1.5,"kind":"task_submit","activity":"a","slot":0,"attempt":1,"task":7,"host":"h1","resume":null}"#
+        );
+    }
+
+    #[test]
+    fn resume_flag_rendered_when_present() {
+        let e = ev(
+            2.0,
+            TraceKind::TaskSubmitted {
+                activity: "a".into(),
+                slot: 1,
+                attempt: 3,
+                task: 9,
+                host: "h".into(),
+                resume: Some("ckpt-4".into()),
+            },
+        );
+        assert!(e.to_json().ends_with(r#""resume":"ckpt-4"}"#));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = ev(
+            0.0,
+            TraceKind::EngineAborted {
+                reason: "line\nbreak \"quoted\" \\slash\u{1}".into(),
+            },
+        );
+        assert_eq!(
+            e.to_json(),
+            r#"{"at":0,"kind":"engine_aborted","reason":"line\nbreak \"quoted\" \\slash\u0001"}"#
+        );
+    }
+
+    #[test]
+    fn settle_event_uses_outcome_wire_strings() {
+        for (outcome, s) in [
+            (TaskOutcome::Completed, "completed"),
+            (TaskOutcome::Crashed, "crashed"),
+            (TaskOutcome::Exception, "exception"),
+            (TaskOutcome::Cancelled, "cancelled"),
+        ] {
+            let e = ev(
+                3.25,
+                TraceKind::TaskSettled {
+                    activity: "x".into(),
+                    task: 2,
+                    outcome,
+                    reason: "r".into(),
+                },
+            );
+            assert!(e.to_json().contains(&format!("\"outcome\":\"{s}\"")));
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let events = vec![
+            ev(
+                0.0,
+                TraceKind::JobAdmitted {
+                    job: 1,
+                    name: "n".into(),
+                },
+            ),
+            ev(
+                5.0,
+                TraceKind::JobSettled {
+                    job: 1,
+                    state: "done".into(),
+                    detail: "Success".into(),
+                },
+            ),
+        ];
+        let doc = to_jsonl(&events);
+        assert_eq!(doc.lines().count(), 2);
+        assert!(doc.ends_with('\n'));
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest() {
+        let ring = RingSink::new(2);
+        for i in 0..5u64 {
+            ring.record(&ev(i as f64, TraceKind::JobRecovered { job: i }));
+        }
+        let kept: Vec<f64> = ring.events().iter().map(|e| e.at).collect();
+        assert_eq!(kept, vec![3.0, 4.0]);
+        assert_eq!(ring.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_roundtrip_and_append() {
+        let dir = std::env::temp_dir().join(format!("gridwfs-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let e1 = ev(1.0, TraceKind::JobRecovered { job: 1 });
+        let e2 = ev(2.0, TraceKind::JobRecovered { job: 2 });
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(&e1);
+            sink.flush();
+            assert!(sink.error().is_none());
+        }
+        {
+            let sink = JsonlSink::append(&path).unwrap();
+            sink.record(&e2);
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, to_jsonl(&[e1, e2]), "append continues the journal");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fanout_duplicates_and_propagates_errors() {
+        let a = Arc::new(VecSink::new());
+        let b = Arc::new(RingSink::new(8));
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fan.record(&ev(0.5, TraceKind::EngineCheckpoint { ok: true }));
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.len(), 1);
+        assert!(fan.error().is_none());
+    }
+
+    #[test]
+    fn sinks_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RingSink>();
+        assert_send_sync::<VecSink>();
+        assert_send_sync::<JsonlSink>();
+        assert_send_sync::<FanoutSink>();
+        let sink: Arc<dyn TraceSink> = Arc::new(VecSink::new());
+        let s2 = sink.clone();
+        std::thread::spawn(move || {
+            s2.record(&TraceEvent {
+                at: 0.0,
+                kind: TraceKind::EngineCheckpoint { ok: false },
+            });
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -7,6 +7,9 @@
 # (/tmp/check/stubs, created in PR 1) and the proptest-based test files
 # removed (proptest cannot be stubbed usefully).  Run this, then
 # `cd /tmp/check && cargo build --release && cargo test -q`.
+#
+# crates/trace (the flight recorder, PR 3) is dependency-free on purpose —
+# it needs no stubbing and its tests all run here.
 set -eu
 
 REPO=/root/repo

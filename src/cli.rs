@@ -11,10 +11,12 @@
 //! gridwfs run      workflow.xml --grid grid.json [--seed N]
 //!                  [--checkpoint state.xml] [--resume state.xml]
 //!                  [--timeline] [--verbose] [--json report.json]
+//!                  [--trace trace.jsonl]
 //! gridwfs resume   state.xml --grid grid.json [run options]
 //! gridwfs serve    wf1.xml wf2.xml ... --grid grid.json [--workers N]
 //!                  [--queue N] [--state-dir DIR] [--deadline S]
 //!                  [--paced SCALE] [--metrics metrics.json]
+//!                  [--trace-dir DIR]
 //! ```
 //!
 //! The Grid configuration is a JSON inventory of hosts (speed, MTTF, mean
@@ -24,11 +26,13 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 use grid_wfs::checkpoint;
 use grid_wfs::engine::{Engine, EngineConfig, LogKind, Report};
 use grid_wfs::sim_executor::{SimGrid, TaskProfile};
+use grid_wfs::TraceSink;
 use gridwfs_serve::json::{json_number, json_string};
 use gridwfs_serve::{
     ExecMode, GridSpec, HostSpec, JobState, LinkSpec, ProfileSpec, Service, ServiceConfig,
@@ -37,6 +41,7 @@ use gridwfs_serve::{
 use gridwfs_sim::dist::Dist;
 use gridwfs_sim::net::LinkModel;
 use gridwfs_sim::resource::ResourceSpec;
+use gridwfs_trace::JsonlSink;
 use gridwfs_wpdl::validate::validate;
 use gridwfs_wpdl::{dot, parse};
 use serde::Deserialize;
@@ -246,6 +251,9 @@ pub struct RunOptions {
     pub repeat: Option<u32>,
     /// Write a machine-readable JSON report to this path.
     pub json: Option<PathBuf>,
+    /// Write the flight-recorder journal (JSONL, one event per line) to
+    /// this path.  Byte-identical across re-runs with the same seed.
+    pub trace: Option<PathBuf>,
 }
 
 /// Renders a [`Report`] as machine-readable JSON (schema 1): outcome,
@@ -361,7 +369,13 @@ pub fn cmd_run(opts: &RunOptions) -> Result<(Report, String), CliError> {
         .grid
         .as_ref()
         .ok_or_else(|| CliError("run requires --grid <config.json>".into()))?;
-    let grid = GridConfig::from_json(&read(grid_path)?)?.build(opts.seed)?;
+    let cfg = GridConfig::from_json(&read(grid_path)?)?;
+    run_with_config(&cfg, opts)
+}
+
+/// [`cmd_run`] with the Grid config already parsed (the testable core).
+pub fn run_with_config(cfg: &GridConfig, opts: &RunOptions) -> Result<(Report, String), CliError> {
+    let grid = cfg.build(opts.seed)?;
 
     let engine = match (&opts.resume, &opts.workflow) {
         (Some(resume), _) => {
@@ -388,7 +402,19 @@ pub fn cmd_run(opts: &RunOptions) -> Result<(Report, String), CliError> {
         ..EngineConfig::default()
     };
     config.checkpoint_path = opts.checkpoint.clone();
-    let report = engine.with_config(config).run();
+    let mut engine = engine.with_config(config);
+    let trace_sink = match &opts.trace {
+        Some(path) => {
+            let sink = Arc::new(
+                JsonlSink::create(path)
+                    .map_err(|e| CliError(format!("{}: {e}", path.display())))?,
+            );
+            engine = engine.with_trace_sink(sink.clone() as Arc<dyn TraceSink>);
+            Some(sink)
+        }
+        None => None,
+    };
+    let report = engine.run();
 
     let mut out = String::new();
     let _ = writeln!(out, "outcome:  {:?}", report.outcome);
@@ -413,6 +439,14 @@ pub fn cmd_run(opts: &RunOptions) -> Result<(Report, String), CliError> {
         std::fs::write(path, report_to_json(&report))
             .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
         let _ = writeln!(out, "report JSON written to {}", path.display());
+    }
+    if let (Some(path), Some(sink)) = (&opts.trace, &trace_sink) {
+        // The engine flushed the sink at end of run; surface any latched
+        // I/O error instead of silently shipping a truncated journal.
+        if let Some(e) = sink.error() {
+            return Err(CliError(format!("{}: {e}", path.display())));
+        }
+        let _ = writeln!(out, "trace JSONL written to {}", path.display());
     }
     Ok((report, out))
 }
@@ -441,6 +475,8 @@ pub struct ServeOptions {
     pub seed: Option<u64>,
     /// Write the final metrics JSON snapshot to this path.
     pub metrics: Option<PathBuf>,
+    /// Flight-recorder directory: each job writes `job-<id>.trace.jsonl`.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -455,6 +491,7 @@ impl Default for ServeOptions {
             paced: None,
             seed: None,
             metrics: None,
+            trace_dir: None,
         }
     }
 }
@@ -538,6 +575,7 @@ pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, 
         queue_capacity: opts.queue,
         state_dir: opts.state_dir.clone(),
         default_deadline: opts.deadline,
+        trace_dir: opts.trace_dir.clone(),
     })
     .map_err(CliError)?;
     let base_seed = opts.seed.unwrap_or(cfg.seed);
@@ -631,6 +669,8 @@ RUN OPTIONS:
   --timeline           render an ASCII Gantt of all attempts
   --verbose            include the full engine log
   --json <file>        also write a machine-readable JSON report
+  --trace <file>       write the flight-recorder journal (JSONL); runs with
+                       the same seed produce byte-identical journals
 
 SERVE OPTIONS:
   --grid <file>        Grid configuration (JSON: hosts, link, profiles)
@@ -641,6 +681,8 @@ SERVE OPTIONS:
   --paced <scale>      run on real threads, scale wall-seconds per unit
   --seed <n>           base seed (job i runs with seed base+i)
   --metrics <file>     write the final metrics JSON snapshot here
+  --trace-dir <dir>    per-job flight-recorder journals (job-<id>.trace.jsonl);
+                       recovered incarnations append to the same journal
 ";
 
 /// Parses the shared `run`/`resume` option set.  With `resume_first` the
@@ -678,6 +720,7 @@ fn parse_run_opts<'a>(
             "--timeline" => opts.timeline = true,
             "--verbose" => opts.verbose = true,
             "--json" => opts.json = rest.next().map(PathBuf::from),
+            "--trace" => opts.trace = rest.next().map(PathBuf::from),
             other if !other.starts_with("--") && resume_first && opts.resume.is_none() => {
                 opts.resume = Some(PathBuf::from(other))
             }
@@ -760,6 +803,7 @@ pub fn main_with_args(args: &[String]) -> (i32, String) {
                         }
                     }
                     "--metrics" => opts.metrics = rest.next().map(PathBuf::from),
+                    "--trace-dir" => opts.trace_dir = rest.next().map(PathBuf::from),
                     other if !other.starts_with("--") => opts.workflows.push(PathBuf::from(other)),
                     other => return err(format!("unknown argument '{other}'\n\n{USAGE}")),
                 }
@@ -994,6 +1038,108 @@ mod tests {
         assert!(text.contains("\"aborted\": null"), "{text}");
         assert!(text.contains("\"name\": \"a\""), "{text}");
         assert!(text.contains("\"eval_errors\": []"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The GRID document as a literal — tests that must run in serde-less
+    /// environments build the config directly instead of parsing JSON.
+    fn grid_literal() -> GridConfig {
+        GridConfig {
+            seed: 7,
+            hosts: vec![
+                HostConfig {
+                    hostname: "h1".into(),
+                    speed: 1.0,
+                    mttf: None,
+                    downtime: 0.0,
+                },
+                HostConfig {
+                    hostname: "h2".into(),
+                    speed: 2.0,
+                    mttf: Some(50.0),
+                    downtime: 3.0,
+                },
+            ],
+            link: None,
+            profiles: std::iter::once((
+                "p".to_string(),
+                ProfileConfig {
+                    checkpoint_period: Some(1.0),
+                    soft_crash_mttf: None,
+                    exception: None,
+                },
+            ))
+            .collect(),
+        }
+    }
+
+    #[test]
+    fn run_trace_is_deterministic_and_structured() {
+        let dir = tmpdir();
+        let wf = dir.join("wf.xml");
+        std::fs::write(&wf, WF).unwrap();
+        let cfg = grid_literal();
+        let run_with_trace = |path: &Path| {
+            let opts = RunOptions {
+                workflow: Some(wf.clone()),
+                trace: Some(path.to_path_buf()),
+                ..RunOptions::default()
+            };
+            run_with_config(&cfg, &opts).unwrap()
+        };
+        let t1 = dir.join("t1.jsonl");
+        let t2 = dir.join("t2.jsonl");
+        let (report, out) = run_with_trace(&t1);
+        assert!(report.is_success(), "{out}");
+        assert!(out.contains("trace JSONL written"), "{out}");
+        run_with_trace(&t2);
+        let a = std::fs::read_to_string(&t1).unwrap();
+        let b = std::fs::read_to_string(&t2).unwrap();
+        assert_eq!(a, b, "same seed must give a byte-identical journal");
+        assert!(a.contains("\"kind\":\"task_submit\""), "{a}");
+        assert!(a.contains("\"kind\":\"node_state\""), "{a}");
+        assert!(
+            a.lines().all(|l| l.starts_with("{\"at\":")),
+            "every line is one JSON event: {a}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_trace_dir_writes_per_job_journals() {
+        let dir = tmpdir();
+        let trace_dir = dir.join("traces");
+        let mut workflows = Vec::new();
+        for i in 0..2 {
+            let path = dir.join(format!("wf{i}.xml"));
+            std::fs::write(&path, WF).unwrap();
+            workflows.push(path);
+        }
+        let cfg = grid_literal();
+        let opts = ServeOptions {
+            workflows,
+            workers: 2,
+            queue: 8,
+            trace_dir: Some(trace_dir.clone()),
+            ..ServeOptions::default()
+        };
+        let (code, out) = serve_with_config(&cfg, &opts).unwrap();
+        assert_eq!(code, 0, "{out}");
+        for id in 1..=2u64 {
+            let journal =
+                std::fs::read_to_string(trace_dir.join(format!("job-{id}.trace.jsonl"))).unwrap();
+            assert!(journal.contains("\"kind\":\"job_admit\""), "{journal}");
+            assert!(
+                journal.contains("\"kind\":\"job_start\"") && journal.contains("\"incarnation\":0"),
+                "{journal}"
+            );
+            assert!(journal.contains("\"kind\":\"task_submit\""), "{journal}");
+            assert!(
+                journal.contains("\"kind\":\"job_settle\"")
+                    && journal.contains("\"state\":\"done\""),
+                "{journal}"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
