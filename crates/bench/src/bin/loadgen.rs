@@ -21,12 +21,21 @@
 //! Paced mode is what makes the concurrency observable: each task body
 //! *sleeps* its scaled nominal duration on a real thread, so overlapping
 //! jobs overlap in wall time even on a single-core host.
+//!
+//! `--chaos SPEC` runs the whole load under a seeded fault-injection plan
+//! (see `gridwfs-chaos`), e.g. `--chaos seed=7,panic=0.05,torn=0.1`;
+//! `--state-dir DIR` gives the chaos somewhere to bite by persisting every
+//! submission.  Under chaos the final accounting relaxes from "all done"
+//! to "every admitted job terminal" — injected faults may fail jobs, but
+//! must never lose them.
 
 use std::time::{Duration, Instant};
 
 use gridwfs_serve::json::{json_number, json_string};
 use gridwfs_serve::metrics::percentile;
-use gridwfs_serve::{GridSpec, JobState, Service, ServiceConfig, Submission, SubmitError};
+use gridwfs_serve::{
+    FaultPlan, GridSpec, JobState, Service, ServiceConfig, Submission, SubmitError,
+};
 use gridwfs_wpdl::builder::WorkflowBuilder;
 
 #[derive(Debug, Clone)]
@@ -38,6 +47,8 @@ struct LoadOptions {
     seed: u64,
     json: Option<String>,
     trace_dir: Option<std::path::PathBuf>,
+    state_dir: Option<std::path::PathBuf>,
+    chaos: Option<String>,
     virtual_time: bool,
 }
 
@@ -51,6 +62,8 @@ impl Default for LoadOptions {
             seed: 2003,
             json: None,
             trace_dir: None,
+            state_dir: None,
+            chaos: None,
             virtual_time: false,
         }
     }
@@ -88,6 +101,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> LoadOptions {
             }
             "--json" => opts.json = args.next(),
             "--trace-dir" => opts.trace_dir = args.next().map(std::path::PathBuf::from),
+            "--state-dir" => opts.state_dir = args.next().map(std::path::PathBuf::from),
+            "--chaos" => opts.chaos = args.next(),
             "--virtual" => opts.virtual_time = true,
             _ => {}
         }
@@ -110,10 +125,16 @@ fn chain_xml(i: usize) -> String {
 fn main() {
     let opts = parse_args(std::env::args().skip(1));
     assert!(opts.m > 0 && opts.workers > 0 && opts.queue > 0 && opts.scale > 0.0);
+    let chaos = opts
+        .chaos
+        .as_deref()
+        .map(|spec| FaultPlan::parse(spec).unwrap_or_else(|e| panic!("--chaos {spec}: {e}")));
     let service = Service::start(ServiceConfig {
         workers: opts.workers,
         queue_capacity: opts.queue,
         trace_dir: opts.trace_dir.clone(),
+        state_dir: opts.state_dir.clone(),
+        chaos: chaos.clone(),
         ..ServiceConfig::default()
     })
     .expect("service starts");
@@ -125,6 +146,8 @@ fn main() {
 
     let started = Instant::now();
     let mut rejections = 0u64;
+    let mut faulted_submits = 0u64;
+    let mut admitted = 0usize;
     for i in 0..opts.m {
         let sub = Submission {
             name: format!("load-{i}"),
@@ -135,10 +158,21 @@ fn main() {
         };
         loop {
             match service.submit(sub.clone()) {
-                Ok(_) => break,
+                Ok(_) => {
+                    admitted += 1;
+                    break;
+                }
                 Err(SubmitError::QueueFull) => {
                     rejections += 1;
                     std::thread::sleep(Duration::from_millis(2));
+                }
+                // An injected state-dir fault rejects the submission
+                // loudly; retrying would hit the same deterministic
+                // fault, so the generator counts it and moves on.
+                Err(SubmitError::Io(e)) if chaos.is_some() => {
+                    faulted_submits += 1;
+                    eprintln!("submission {i} rejected by injected fault: {e}");
+                    break;
                 }
                 Err(e) => panic!("submission {i}: {e}"),
             }
@@ -151,9 +185,18 @@ fn main() {
     let wall = started.elapsed().as_secs_f64();
     let metrics_json = service.metrics_json();
     let summary = service.metrics().latency_summary();
+    let panicked = service
+        .metrics()
+        .counters
+        .jobs_panicked
+        .load(std::sync::atomic::Ordering::Relaxed);
     let records = service.drain();
 
     let done = records.iter().filter(|r| r.state == JobState::Done).count();
+    let failed = records
+        .iter()
+        .filter(|r| r.state == JobState::Failed)
+        .count();
     let serial: f64 = records.iter().filter_map(|r| r.run_wall).sum();
     let speedup = if wall > 0.0 { serial / wall } else { 0.0 };
     let mut run_walls: Vec<f64> = records.iter().filter_map(|r| r.run_wall).collect();
@@ -165,6 +208,13 @@ fn main() {
         opts.queue
     );
     println!("   completed: {done}/{}", opts.m);
+    if let Some(plan) = &chaos {
+        println!(
+            "   chaos: plan '{plan}' — admitted {admitted}/{} \
+             (submit faults {faulted_submits}), failed {failed}, panicked {panicked}",
+            opts.m
+        );
+    }
     println!("   wall time:  {wall:.3}s");
     println!("   serial sum: {serial:.3}s  (speedup {speedup:.2}x)");
     println!(
@@ -185,7 +235,13 @@ fn main() {
         out.push_str(&format!("  \"scale\": {},\n", json_number(opts.scale)));
         out.push_str(&format!("  \"seed\": {},\n", opts.seed));
         out.push_str(&format!("  \"completed\": {done},\n"));
+        out.push_str(&format!("  \"failed\": {failed},\n"));
+        out.push_str(&format!("  \"admitted\": {admitted},\n"));
+        out.push_str(&format!("  \"submit_faults\": {faulted_submits},\n"));
         out.push_str(&format!("  \"rejected_retried\": {rejections},\n"));
+        if let Some(plan) = &chaos {
+            out.push_str(&format!("  \"chaos\": {},\n", json_string(&plan.to_spec())));
+        }
         out.push_str(&format!("  \"wall_seconds\": {},\n", json_number(wall)));
         out.push_str(&format!(
             "  \"serial_sum_seconds\": {},\n",
@@ -207,9 +263,19 @@ fn main() {
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
-    assert_eq!(done, opts.m, "every admitted job must complete");
-    assert!(
-        wall < serial || opts.workers == 1 || opts.virtual_time,
-        "worker pool showed no concurrency: wall {wall:.3}s vs serial {serial:.3}s"
-    );
+    if chaos.is_some() {
+        // Under injected faults jobs may legitimately fail, but every
+        // admitted job must still reach a terminal state — nothing lost.
+        assert_eq!(
+            done + failed,
+            admitted,
+            "chaos run lost jobs: {done} done + {failed} failed != {admitted} admitted"
+        );
+    } else {
+        assert_eq!(done, opts.m, "every admitted job must complete");
+        assert!(
+            wall < serial || opts.workers == 1 || opts.virtual_time,
+            "worker pool showed no concurrency: wall {wall:.3}s vs serial {serial:.3}s"
+        );
+    }
 }

@@ -1,0 +1,938 @@
+//! Deterministic chaos harness for the real-system seams of Grid-WFS.
+//!
+//! The simulated Grid (`gridwfs-sim`) has always injected *modelled* failures
+//! — crashes, exceptions, heartbeat loss — inside virtual time.  This crate
+//! injects faults into the **real** system around the simulation: the service
+//! state directory, the worker threads, and the executor.  Everything is
+//! seed-driven and replayable:
+//!
+//! * [`FaultPlan`] — a parsed, seeded schedule of fault probabilities
+//!   (workflow panics, worker stalls, state-dir write/torn-write/rename/read
+//!   errors).  Every decision is a pure hash of the plan seed and a stable
+//!   key, never of wall-clock time or thread interleaving, so two runs of the
+//!   same plan make identical choices.
+//! * [`StateFs`] — the filesystem seam all state-dir I/O goes through.
+//!   [`RealFs`] is the production passthrough; [`ChaosFs`] wraps any
+//!   `StateFs` and injects plan-driven faults keyed by *file name* (not full
+//!   path), so runs in different temp dirs inject identically.
+//! * [`write_atomic`] — the one crash-atomic write helper: tmp file +
+//!   `sync_all` + rename + parent-dir fsync.  A fault (or crash) at any point
+//!   leaves either the complete old version or the complete new version,
+//!   never a torn file.
+//! * [`relock`] / [`wait_timeout_relock`] — poison-tolerant lock accessors: a
+//!   panicking lock holder must not take down status queries or snapshots.
+//!
+//! The crate is dependency-free by design (it sits below `serve` and next to
+//! `trace` in the build graph, and must build in the offline stub workspace).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Deterministic hashing
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 finaliser: a high-quality 64-bit mixer (Steele et al.).
+/// All chaos decisions reduce to one of these on a stable key.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    splitmix64(h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn mix_str(mut h: u64, s: &str) -> u64 {
+    for b in s.bytes() {
+        h = h.wrapping_mul(0x100_0000_01B3) ^ u64::from(b);
+    }
+    splitmix64(h)
+}
+
+/// Map a hash to the unit interval [0, 1).
+fn unit(h: u64) -> f64 {
+    // 53 high bits -> f64 mantissa.
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------------
+
+/// Per-fault-kind stream salts: decisions for different fault kinds are
+/// independent even when keyed by the same file or job.
+const SALT_PANIC: u64 = 0x0070_616e_6963; // "panic"
+const SALT_STALL: u64 = 0x0073_7461_6c6c; // "stall"
+const SALT_TASK_STALL: u64 = 0x7473_7461_6c6c; // "tstall"
+const SALT_WRITE: u64 = 0x0077_7269_7465; // "write"
+const SALT_TORN: u64 = 0x746f_726e; // "torn"
+const SALT_RENAME: u64 = 0x7265_6e61_6d65; // "rename"
+const SALT_READ: u64 = 0x7265_6164; // "read"
+
+/// A seed-driven schedule of injectable faults, replayable by seed.
+///
+/// Parse one from a CLI spec string (`key=value` pairs, comma-separated) or a
+/// flat JSON object with the same keys:
+///
+/// ```text
+/// seed=7,panic=0.1,torn=0.2,rename=0.1
+/// {"seed":7,"panic":0.1,"torn":0.2,"rename":0.1}
+/// ```
+///
+/// Keys: `seed` (u64 decision seed), `panic` (P(workflow closure panics), per
+/// job), `panic_seed` (repeatable: always panic the job with this submission
+/// seed), `stall` (P(worker stalls before running the engine) and, in paced
+/// mode, P(a task body stalls past its heartbeat interval)), `stall_ms`
+/// (stall duration), `write` (P(state-dir write fails)), `torn` (P(state-dir
+/// write silently truncates)), `rename` (P(rename fails — the
+/// crash-between-write-and-rename point)), `read` (P(state-dir read fails)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Decision seed: same seed + same keys = same injected faults.
+    pub seed: u64,
+    /// Probability a job's workflow closure panics inside the worker.
+    pub panic_p: f64,
+    /// Submission seeds whose jobs always panic (for targeted tests).
+    pub panic_seeds: Vec<u64>,
+    /// Probability a worker stalls (sleeps `stall_ms`) before the engine runs;
+    /// in paced mode, also the per-task probability of a heartbeat-starving
+    /// stall inside the task body.
+    pub stall_p: f64,
+    /// How long an injected stall lasts, in milliseconds.
+    pub stall_ms: u64,
+    /// Probability a state-dir write fails outright.
+    pub write_p: f64,
+    /// Probability a state-dir write is silently torn (short write).
+    pub torn_p: f64,
+    /// Probability a state-dir rename fails (crash-before-rename point).
+    pub rename_p: f64,
+    /// Probability a state-dir read fails.
+    pub read_p: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            panic_p: 0.0,
+            panic_seeds: Vec::new(),
+            stall_p: 0.0,
+            stall_ms: 50,
+            write_p: 0.0,
+            torn_p: 0.0,
+            rename_p: 0.0,
+            read_p: 0.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parse a plan from either the CLI spec form (`seed=7,panic=0.1`) or a
+    /// flat JSON object (`{"seed":7,"panic":0.1}`).  Unknown keys and
+    /// malformed values are errors: a typo must not silently disable chaos.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Ok(FaultPlan::default());
+        }
+        if spec.starts_with('{') {
+            Self::parse_json(spec)
+        } else {
+            Self::parse_spec(spec)
+        }
+    }
+
+    fn parse_spec(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for pair in spec.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec: expected key=value, got {pair:?}"))?;
+            plan.apply(key.trim(), value.trim())?;
+        }
+        Ok(plan)
+    }
+
+    fn parse_json(spec: &str) -> Result<FaultPlan, String> {
+        let body = spec
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| "chaos spec: unbalanced JSON braces".to_string())?;
+        let mut plan = FaultPlan::default();
+        // Flat object of numbers (plus one optional flat array of numbers):
+        // split on commas that are not inside brackets.
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        let mut fields = Vec::new();
+        for (i, c) in body.char_indices() {
+            match c {
+                '[' => depth += 1,
+                ']' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    fields.push(&body[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        fields.push(&body[start..]);
+        for field in fields {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| format!("chaos spec: expected \"key\":value, got {field:?}"))?;
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            if key == "panic_seeds" {
+                let inner = value
+                    .strip_prefix('[')
+                    .and_then(|s| s.strip_suffix(']'))
+                    .ok_or_else(|| "chaos spec: panic_seeds must be an array".to_string())?;
+                for n in inner.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    plan.apply("panic_seed", n)?;
+                }
+            } else {
+                plan.apply(key, value)?;
+            }
+        }
+        Ok(plan)
+    }
+
+    fn apply(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn prob(key: &str, value: &str) -> Result<f64, String> {
+            let p: f64 = value
+                .parse()
+                .map_err(|_| format!("chaos spec: {key}={value:?} is not a number"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("chaos spec: {key}={value} outside [0, 1]"));
+            }
+            Ok(p)
+        }
+        fn int(key: &str, value: &str) -> Result<u64, String> {
+            value
+                .parse()
+                .map_err(|_| format!("chaos spec: {key}={value:?} is not an integer"))
+        }
+        match key {
+            "seed" => self.seed = int(key, value)?,
+            "panic" => self.panic_p = prob(key, value)?,
+            "panic_seed" => self.panic_seeds.push(int(key, value)?),
+            "stall" => self.stall_p = prob(key, value)?,
+            "stall_ms" => self.stall_ms = int(key, value)?,
+            "write" => self.write_p = prob(key, value)?,
+            "torn" => self.torn_p = prob(key, value)?,
+            "rename" => self.rename_p = prob(key, value)?,
+            "read" => self.read_p = prob(key, value)?,
+            other => return Err(format!("chaos spec: unknown key {other:?}")),
+        }
+        Ok(())
+    }
+
+    /// Canonical spec-string form (round-trips through [`FaultPlan::parse`]).
+    pub fn to_spec(&self) -> String {
+        let mut out = format!("seed={}", self.seed);
+        let mut push = |key: &str, p: f64| {
+            if p > 0.0 {
+                out.push_str(&format!(",{key}={p}"));
+            }
+        };
+        push("panic", self.panic_p);
+        push("stall", self.stall_p);
+        push("write", self.write_p);
+        push("torn", self.torn_p);
+        push("rename", self.rename_p);
+        push("read", self.read_p);
+        if self.stall_p > 0.0 && self.stall_ms != 50 {
+            out.push_str(&format!(",stall_ms={}", self.stall_ms));
+        }
+        for s in &self.panic_seeds {
+            out.push_str(&format!(",panic_seed={s}"));
+        }
+        out
+    }
+
+    /// True if any state-dir filesystem fault can fire under this plan.
+    pub fn has_fs_faults(&self) -> bool {
+        self.write_p > 0.0 || self.torn_p > 0.0 || self.rename_p > 0.0 || self.read_p > 0.0
+    }
+
+    fn decide(&self, salt: u64, key: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        p >= 1.0 || unit(splitmix64(mix(mix(self.seed, salt), key))) < p
+    }
+
+    /// Does the workflow closure of the job with this submission seed panic?
+    /// Keyed by the job's own seed (not its id or path), so the decision is
+    /// identical regardless of worker count or state-dir location.
+    pub fn job_panics(&self, job_seed: u64) -> bool {
+        self.panic_seeds.contains(&job_seed) || self.decide(SALT_PANIC, job_seed, self.panic_p)
+    }
+
+    /// Should the worker running this job stall before starting the engine?
+    pub fn worker_stall(&self, job_seed: u64) -> Option<Duration> {
+        self.decide(SALT_STALL, job_seed, self.stall_p)
+            .then(|| Duration::from_millis(self.stall_ms))
+    }
+
+    /// Should this task attempt (paced mode) stall past its heartbeat
+    /// interval inside the task body?  Keyed by (job seed, task id).
+    pub fn task_stall(&self, job_seed: u64, task_id: u64) -> Option<Duration> {
+        self.decide(SALT_TASK_STALL, mix(job_seed, task_id), self.stall_p)
+            .then(|| Duration::from_millis(self.stall_ms))
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_spec())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StateFs seam
+// ---------------------------------------------------------------------------
+
+/// The filesystem seam every state-dir operation goes through.
+///
+/// `serve::recover` and `serve::service` never call `std::fs` directly for
+/// state-dir I/O; they call this trait.  Production uses [`RealFs`]; the
+/// chaos harness wraps it in [`ChaosFs`]; tests can script their own
+/// implementation to hit exact crash points.
+pub trait StateFs: Send + Sync {
+    /// Read an entire file to a string.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Create/truncate `path`, write `data`, and flush it to disk
+    /// (`sync_all`).  Durability matters here: [`write_atomic`] relies on the
+    /// tmp file being on disk before the rename makes it visible.
+    fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Atomically replace `to` with `from` (POSIX rename semantics).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// fsync a directory, making completed renames in it durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Create a directory and all parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// List the *file names* (not full paths) in a directory.
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Does this path exist?
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// Production [`StateFs`]: a straight passthrough to `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl StateFs for RealFs {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(data)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Directory fsync is how POSIX makes a completed rename durable.
+        // Platforms where opening a directory fails (e.g. Windows) simply
+        // skip it; the rename itself is still atomic.
+        match std::fs::File::open(dir) {
+            Ok(d) => d.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// Shared handles delegate, so a `ChaosFs<Arc<dyn StateFs>>` can wrap
+/// whatever filesystem a service was configured with.
+impl<F: StateFs + ?Sized> StateFs for std::sync::Arc<F> {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        (**self).read_to_string(path)
+    }
+    fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        (**self).write_file(path, data)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        (**self).rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        (**self).remove_file(path)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        (**self).sync_dir(dir)
+    }
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        (**self).create_dir_all(dir)
+    }
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        (**self).read_dir_names(dir)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        (**self).exists(path)
+    }
+}
+
+/// Fault-injecting [`StateFs`] wrapper.
+///
+/// Every fault decision is a pure function of `(plan seed, file name, op
+/// kind, per-(file, op) sequence number)` — crucially keyed by the file
+/// *name*, not the full path, so two runs of the same plan against different
+/// temp directories inject byte-identical fault schedules.  A torn write
+/// writes a prefix of the data and then *reports success*: the corruption is
+/// only discovered by the next reader, exactly like a lost page cache.
+pub struct ChaosFs<F> {
+    inner: F,
+    plan: FaultPlan,
+    seq: Mutex<HashMap<(String, &'static str), u64>>,
+}
+
+impl<F: StateFs> ChaosFs<F> {
+    pub fn new(inner: F, plan: FaultPlan) -> Self {
+        ChaosFs {
+            inner,
+            plan,
+            seq: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Take the next sequence number for `(file name of path, op)` and decide
+    /// whether this op faults.
+    fn fault(&self, path: &Path, op: &'static str, salt: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let n = {
+            let mut seq = relock(&self.seq);
+            let c = seq.entry((name.clone(), op)).or_insert(0);
+            let n = *c;
+            *c += 1;
+            n
+        };
+        self.plan
+            .decide(salt, mix(mix_str(0, &name), mix(salt, n)), p)
+    }
+
+    fn injected(what: &str, path: &Path) -> io::Error {
+        io::Error::other(format!(
+            "chaos: injected {what} failure ({})",
+            path.display()
+        ))
+    }
+}
+
+impl<F: StateFs> StateFs for ChaosFs<F> {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        if self.fault(path, "read", SALT_READ, self.plan.read_p) {
+            return Err(Self::injected("read", path));
+        }
+        self.inner.read_to_string(path)
+    }
+
+    fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        if self.fault(path, "write", SALT_WRITE, self.plan.write_p) {
+            return Err(Self::injected("write", path));
+        }
+        if self.fault(path, "torn", SALT_TORN, self.plan.torn_p) && !data.is_empty() {
+            // Short write that *claims* success — torn data surfaces later.
+            return self.inner.write_file(path, &data[..data.len() / 2]);
+        }
+        self.inner.write_file(path, data)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.fault(to, "rename", SALT_RENAME, self.plan.rename_p) {
+            // The crash-between-write-and-rename point: tmp exists, target
+            // still holds its previous version.
+            return Err(Self::injected("rename", to));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.inner.sync_dir(dir)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.read_dir_names(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-atomic write
+// ---------------------------------------------------------------------------
+
+/// The tmp-file path `write_atomic` stages through: `<name>.tmp` next to the
+/// target.  Exposed so scanners can recognise and ignore leftovers.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Crash-atomic file replacement: write `<path>.tmp` (created, written,
+/// `sync_all`ed), rename it over `path`, then fsync the parent directory.
+///
+/// Crash-point guarantees (each verified by the crash-point test matrix):
+/// * fault **during the tmp write** → `Err`, target untouched, tmp removed
+///   best-effort (scanners ignore `.tmp` leftovers anyway);
+/// * fault **between write and rename** (rename fails) → `Err`, target still
+///   holds its previous version in full;
+/// * fault **after the rename** (dir fsync fails) → `Err`, but the target
+///   already holds the complete new version — the caller sees a failure and
+///   may retry; the file is never a mix of old and new bytes.
+pub fn write_atomic(fs: &dyn StateFs, path: &Path, data: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    fs.write_file(&tmp, data)?;
+    if let Err(e) = fs.rename(&tmp, path) {
+        let _ = fs.remove_file(&tmp);
+        return Err(e);
+    }
+    if let Some(parent) = path.parent() {
+        fs.sync_dir(parent)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Poison-tolerant locking
+// ---------------------------------------------------------------------------
+
+/// Lock a mutex, recovering the data if a previous holder panicked.
+///
+/// Poisoning exists to warn that an invariant *might* be broken mid-update.
+/// Every shared structure in the service is written with single-assignment
+/// updates (insert/remove/store), so the data is always structurally sound;
+/// refusing service forever because one job's closure panicked would turn an
+/// isolated fault into a total outage — the opposite of the paper's thesis.
+pub fn relock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// `Condvar::wait_timeout` with the same poison recovery as [`relock`].
+pub fn wait_timeout_relock<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, timeout) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(poisoned) => {
+            let (g, t) = poisoned.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gridwfs-chaos-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    // -- FaultPlan parsing --------------------------------------------------
+
+    #[test]
+    fn parse_spec_form() {
+        let plan = FaultPlan::parse("seed=7,panic=0.25,torn=0.5,stall=0.1,stall_ms=20").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.panic_p, 0.25);
+        assert_eq!(plan.torn_p, 0.5);
+        assert_eq!(plan.stall_p, 0.1);
+        assert_eq!(plan.stall_ms, 20);
+        assert_eq!(plan.write_p, 0.0);
+    }
+
+    #[test]
+    fn parse_json_form_matches_spec_form() {
+        let a = FaultPlan::parse("seed=9,write=0.3,rename=0.2,panic_seed=4,panic_seed=8").unwrap();
+        let b = FaultPlan::parse(
+            "{\"seed\": 9, \"write\": 0.3, \"rename\": 0.2, \"panic_seeds\": [4, 8]}",
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_bad_values() {
+        assert!(FaultPlan::parse("panik=0.5").is_err());
+        assert!(FaultPlan::parse("panic=1.5").is_err());
+        assert!(FaultPlan::parse("panic=abc").is_err());
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("{\"panic\" 0.5}").is_err());
+    }
+
+    #[test]
+    fn parse_empty_spec_is_no_chaos() {
+        let plan = FaultPlan::parse("").unwrap();
+        assert_eq!(plan, FaultPlan::default());
+        assert!(!plan.has_fs_faults());
+        assert!(!plan.job_panics(123));
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        let plan =
+            FaultPlan::parse("seed=3,panic=0.1,stall=0.2,stall_ms=75,torn=0.4,panic_seed=11")
+                .unwrap();
+        assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+    }
+
+    // -- Decision determinism ----------------------------------------------
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::parse("seed=1,panic=0.5").unwrap();
+        let b = FaultPlan::parse("seed=2,panic=0.5").unwrap();
+        let choices_a: Vec<bool> = (0..64).map(|s| a.job_panics(s)).collect();
+        let choices_a2: Vec<bool> = (0..64).map(|s| a.job_panics(s)).collect();
+        let choices_b: Vec<bool> = (0..64).map(|s| b.job_panics(s)).collect();
+        assert_eq!(choices_a, choices_a2, "same seed, same decisions");
+        assert_ne!(choices_a, choices_b, "different seed, different schedule");
+        let hits = choices_a.iter().filter(|&&x| x).count();
+        assert!((10..=54).contains(&hits), "p=0.5 over 64 draws: got {hits}");
+    }
+
+    #[test]
+    fn panic_seed_overrides_probability() {
+        let plan = FaultPlan::parse("panic_seed=42").unwrap();
+        assert!(plan.job_panics(42));
+        assert!(!plan.job_panics(43));
+    }
+
+    #[test]
+    fn fault_streams_are_independent() {
+        // A plan with every probability at 0 except one kind must only ever
+        // fire that kind.
+        let plan = FaultPlan::parse("seed=5,stall=1").unwrap();
+        assert!(plan.worker_stall(1).is_some());
+        assert!(plan.task_stall(1, 2).is_some());
+        assert!(!plan.job_panics(1));
+    }
+
+    // -- RealFs + write_atomic ---------------------------------------------
+
+    #[test]
+    fn write_atomic_replaces_content() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("f.meta");
+        write_atomic(&RealFs, &path, b"one").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "one");
+        write_atomic(&RealFs, &path, b"two").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
+        assert!(!tmp_path(&path).exists(), "tmp staging file cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn real_fs_read_dir_names_lists_files() {
+        let dir = tmpdir("readdir");
+        std::fs::write(dir.join("a.meta"), "x").unwrap();
+        std::fs::write(dir.join("b.meta"), "y").unwrap();
+        let mut names = RealFs.read_dir_names(&dir).unwrap();
+        names.sort();
+        assert_eq!(names, vec!["a.meta", "b.meta"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -- Crash-point matrix -------------------------------------------------
+
+    /// Scripted fs: fail the N-th occurrence of one op kind, pass everything
+    /// else through to RealFs.
+    struct FailAt {
+        op: &'static str,
+        at: u64,
+        count: AtomicU64,
+    }
+
+    impl FailAt {
+        fn new(op: &'static str, at: u64) -> Self {
+            FailAt {
+                op,
+                at,
+                count: AtomicU64::new(0),
+            }
+        }
+
+        fn trip(&self, op: &'static str) -> bool {
+            op == self.op && self.count.fetch_add(1, Ordering::SeqCst) == self.at
+        }
+    }
+
+    impl StateFs for FailAt {
+        fn read_to_string(&self, path: &Path) -> io::Result<String> {
+            if self.trip("read") {
+                return Err(io::Error::other("scripted read failure"));
+            }
+            RealFs.read_to_string(path)
+        }
+        fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+            if self.trip("write") {
+                return Err(io::Error::other("scripted write failure"));
+            }
+            if self.trip("torn") && !data.is_empty() {
+                return RealFs.write_file(path, &data[..data.len() / 2]);
+            }
+            RealFs.write_file(path, data)
+        }
+        fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+            if self.trip("rename") {
+                return Err(io::Error::other("scripted rename failure"));
+            }
+            RealFs.rename(from, to)
+        }
+        fn remove_file(&self, path: &Path) -> io::Result<()> {
+            RealFs.remove_file(path)
+        }
+        fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+            if self.trip("sync_dir") {
+                return Err(io::Error::other("scripted dir-sync failure"));
+            }
+            RealFs.sync_dir(dir)
+        }
+        fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+            RealFs.create_dir_all(dir)
+        }
+        fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+            RealFs.read_dir_names(dir)
+        }
+        fn exists(&self, path: &Path) -> bool {
+            path.exists()
+        }
+    }
+
+    /// The acceptance-criteria matrix: a crash injected at every point of
+    /// `write_atomic` leaves the target either all-old or all-new — never a
+    /// mix, never truncated.
+    #[test]
+    fn write_atomic_crash_point_matrix() {
+        let old = b"previous version, intact";
+        let new = b"next version, also intact";
+        // (op to fail, occurrence, expect Err, expect old content to survive)
+        let cases: &[(&'static str, u64, bool)] = &[
+            ("write", 0, true),     // crash during tmp write -> old survives
+            ("rename", 0, true),    // crash between write and rename -> old survives
+            ("sync_dir", 0, false), // crash after rename -> new is in place
+        ];
+        for &(op, at, old_survives) in cases {
+            let dir = tmpdir(&format!("crash-{op}"));
+            let path = dir.join("f.meta");
+            write_atomic(&RealFs, &path, old).unwrap();
+            let fs = FailAt::new(op, at);
+            let result = write_atomic(&fs, &path, new);
+            assert!(result.is_err(), "crash at {op} must surface as Err");
+            let content = std::fs::read(&path).unwrap();
+            let expect: &[u8] = if old_survives { old } else { new };
+            assert_eq!(
+                content, expect,
+                "crash at {op}: file must be a complete version"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn write_atomic_torn_tmp_write_never_reaches_target() {
+        // A *silently* torn tmp write followed by a crash before rename
+        // leaves only the tmp file torn; the target keeps its old version.
+        let dir = tmpdir("torn-tmp");
+        let path = dir.join("f.meta");
+        write_atomic(&RealFs, &path, b"old and complete").unwrap();
+        struct TornThenCrash;
+        impl StateFs for TornThenCrash {
+            fn read_to_string(&self, path: &Path) -> io::Result<String> {
+                RealFs.read_to_string(path)
+            }
+            fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+                RealFs.write_file(path, &data[..data.len() / 2])
+            }
+            fn rename(&self, _from: &Path, _to: &Path) -> io::Result<()> {
+                Err(io::Error::other("crash before rename"))
+            }
+            fn remove_file(&self, path: &Path) -> io::Result<()> {
+                RealFs.remove_file(path)
+            }
+            fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+                RealFs.sync_dir(dir)
+            }
+            fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+                RealFs.create_dir_all(dir)
+            }
+            fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+                RealFs.read_dir_names(dir)
+            }
+            fn exists(&self, path: &Path) -> bool {
+                path.exists()
+            }
+        }
+        assert!(write_atomic(&TornThenCrash, &path, b"new but torn").is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old and complete");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -- ChaosFs ------------------------------------------------------------
+
+    #[test]
+    fn chaos_fs_injects_by_file_name_not_path() {
+        // Same plan, two different directories: the fault schedule must be
+        // identical, because decisions key on file names only.
+        let plan = FaultPlan::parse("seed=13,write=0.5,rename=0.3,read=0.4").unwrap();
+        let dirs = [tmpdir("chaos-a"), tmpdir("chaos-b")];
+        let mut outcomes: Vec<Vec<bool>> = Vec::new();
+        for dir in &dirs {
+            let fs = ChaosFs::new(RealFs, plan.clone());
+            let mut ok = Vec::new();
+            for i in 0..24 {
+                let path = dir.join(format!("job-{}.meta", i % 6));
+                ok.push(write_atomic(&fs, &path, b"payload").is_ok());
+                ok.push(fs.read_to_string(&path).is_ok());
+            }
+            outcomes.push(ok);
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert!(
+            outcomes[0].iter().any(|&x| x) && outcomes[0].iter().any(|&x| !x),
+            "p=0.3..0.5 over 48 ops should both pass and fail at least once"
+        );
+        for dir in &dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn chaos_fs_torn_write_survives_write_atomic_but_corrupts_content() {
+        // torn=1 means every write is short; write_atomic "succeeds" and the
+        // final file holds the truncated payload — the scanner's problem now.
+        let plan = FaultPlan::parse("seed=1,torn=1").unwrap();
+        let dir = tmpdir("chaos-torn");
+        let fs = ChaosFs::new(RealFs, plan);
+        let path = dir.join("job-1.meta");
+        write_atomic(&fs, &path, b"0123456789").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "01234");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_fs_rename_failure_keeps_previous_version() {
+        let plan = FaultPlan::parse("seed=1,rename=1").unwrap();
+        let dir = tmpdir("chaos-rename");
+        let path = dir.join("job-1.meta");
+        write_atomic(&RealFs, &path, b"old").unwrap();
+        let fs = ChaosFs::new(RealFs, plan);
+        assert!(write_atomic(&fs, &path, b"new").is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // -- Poison tolerance ---------------------------------------------------
+
+    #[test]
+    fn relock_recovers_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex is poisoned");
+        assert_eq!(*relock(&m), 7, "relock still reads the data");
+        *relock(&m) = 8;
+        assert_eq!(*relock(&m), 8);
+    }
+
+    #[test]
+    fn wait_timeout_relock_recovers_poisoned_pair() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let _ = std::thread::spawn(move || {
+            let _g = pair2.0.lock().unwrap();
+            panic!("poison the condvar mutex");
+        })
+        .join();
+        let g = relock(&pair.0);
+        let (g, timed_out) = wait_timeout_relock(&pair.1, g, Duration::from_millis(5));
+        assert!(timed_out);
+        assert!(!*g);
+    }
+}

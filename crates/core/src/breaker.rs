@@ -1,0 +1,305 @@
+//! Per-host circuit breaker for the engine's task placement.
+//!
+//! The paper's recovery ladder (retry → replicate → alternate) treats every
+//! attempt as independent, but real Grids have *flaky hosts*: a host that
+//! just failed three tasks in a row will very likely fail the fourth, and
+//! naive retry burns the workflow's attempt budget against it.  The breaker
+//! sits between task-level recovery and host selection:
+//!
+//! * `threshold` **consecutive** failures on a host open its breaker;
+//! * an open breaker holds for a decorrelated-jitter backoff delay
+//!   (`delay = min(max_delay, uniform(base_delay, prev_delay * 3))`,
+//!   AWS-style), after which the next submission is a **half-open probe**;
+//! * a successful probe closes the breaker, a failed probe re-opens it with
+//!   a fresh (longer, jittered) delay.
+//!
+//! While a host's breaker is open, simple-policy option cycling skips it in
+//! favour of the next closed host; if *every* candidate is open the engine
+//! still submits (to the cycled choice, as a forced probe) — a breaker must
+//! degrade placement, never deadlock it.  All decisions run on the engine's
+//! single-threaded loop and draw jitter from a seeded SplitMix64 stream, so
+//! runs are deterministic and journals replayable.  Transitions are recorded
+//! to the flight journal as `breaker_open` / `breaker_probe` /
+//! `breaker_closed` events.
+
+use std::collections::HashMap;
+
+/// Tuning for the per-host circuit breaker.  Off by default: the engine only
+/// constructs breakers when `EngineConfig::breaker` is `Some`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures on one host that open its breaker.
+    pub threshold: u32,
+    /// Backoff floor in executor seconds (first open waits at least this).
+    pub base_delay: f64,
+    /// Backoff ceiling in executor seconds.
+    pub max_delay: f64,
+    /// Seed for the decorrelated-jitter stream (deterministic per run).
+    pub seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            base_delay: 1.0,
+            max_delay: 60.0,
+            seed: 2003,
+        }
+    }
+}
+
+/// A breaker state transition the engine should journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BreakerEvent {
+    /// The host's breaker opened; no placement until `until`.
+    Opened {
+        /// Affected host.
+        host: String,
+        /// Executor time the backoff expires.
+        until: f64,
+    },
+    /// A success closed the host's (open or half-open) breaker.
+    Closed {
+        /// Affected host.
+        host: String,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Closed,
+    Open { until: f64 },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct HostState {
+    consecutive: u32,
+    state: State,
+    prev_delay: f64,
+}
+
+/// The engine-side registry of one breaker per host.
+#[derive(Debug)]
+pub struct HostBreakers {
+    cfg: BreakerConfig,
+    rng: u64,
+    hosts: HashMap<String, HostState>,
+}
+
+impl HostBreakers {
+    /// An empty registry (all breakers closed).
+    pub fn new(cfg: BreakerConfig) -> Self {
+        let rng = cfg.seed;
+        HostBreakers {
+            cfg,
+            rng,
+            hosts: HashMap::new(),
+        }
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decorrelated jitter (AWS): uniform between the floor and three times
+    /// the previous delay, capped.
+    fn jitter_delay(&mut self, prev: f64) -> f64 {
+        let lo = self.cfg.base_delay;
+        let hi = (prev * 3.0).max(lo);
+        let u = self.next_unit();
+        (lo + u * (hi - lo)).min(self.cfg.max_delay)
+    }
+
+    /// Is this host's breaker open (still inside its backoff) at `now`?
+    pub fn is_blocked(&self, host: &str, now: f64) -> bool {
+        matches!(
+            self.hosts.get(host).map(|h| h.state),
+            Some(State::Open { until }) if now < until
+        )
+    }
+
+    /// The engine is about to submit to `host`.  If the breaker was open
+    /// (backoff elapsed, or the engine was forced), this submission becomes
+    /// the half-open probe; returns `true` so it can be journalled.
+    pub fn on_submit(&mut self, host: &str, _now: f64) -> bool {
+        match self.hosts.get_mut(host) {
+            Some(h) if matches!(h.state, State::Open { .. }) => {
+                h.state = State::HalfOpen;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Record a task failure (crash / presumed-dead) on `host` at `now`.
+    pub fn record_failure(&mut self, host: &str, now: f64) -> Option<BreakerEvent> {
+        // Draw the jitter unconditionally: the stream depends only on the
+        // failure sequence, not on which failures cause transitions.
+        let prev = self
+            .hosts
+            .get(host)
+            .map(|h| h.prev_delay)
+            .unwrap_or(self.cfg.base_delay);
+        let delay = self.jitter_delay(prev);
+        let threshold = self.cfg.threshold.max(1);
+        let lo = self.cfg.base_delay;
+        let h = self.hosts.entry(host.to_string()).or_insert(HostState {
+            consecutive: 0,
+            state: State::Closed,
+            prev_delay: lo,
+        });
+        h.consecutive = h.consecutive.saturating_add(1);
+        let opens = match h.state {
+            State::Closed => h.consecutive >= threshold,
+            State::HalfOpen => true, // failed probe re-opens immediately
+            State::Open { .. } => false,
+        };
+        if !opens {
+            return None;
+        }
+        h.prev_delay = delay;
+        let until = now + delay;
+        h.state = State::Open { until };
+        Some(BreakerEvent::Opened {
+            host: host.to_string(),
+            until,
+        })
+    }
+
+    /// Record a task success on `host`.
+    pub fn record_success(&mut self, host: &str) -> Option<BreakerEvent> {
+        let lo = self.cfg.base_delay;
+        let h = self.hosts.get_mut(host)?;
+        h.consecutive = 0;
+        if h.state == State::Closed {
+            return None;
+        }
+        h.state = State::Closed;
+        h.prev_delay = lo;
+        Some(BreakerEvent::Closed {
+            host: host.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 3,
+            base_delay: 1.0,
+            max_delay: 10.0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = BreakerConfig::default();
+        assert_eq!(c.threshold, 3);
+        assert!(c.base_delay > 0.0 && c.base_delay < c.max_delay);
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let mut br = HostBreakers::new(cfg());
+        assert!(br.record_failure("h", 0.0).is_none());
+        assert!(br.record_failure("h", 1.0).is_none());
+        let ev = br.record_failure("h", 2.0).expect("third failure opens");
+        match ev {
+            BreakerEvent::Opened { ref host, until } => {
+                assert_eq!(host, "h");
+                assert!(until > 2.0 && until <= 2.0 + 10.0, "until={until}");
+            }
+            other => panic!("expected Opened, got {other:?}"),
+        }
+        assert!(br.is_blocked("h", 2.5));
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut br = HostBreakers::new(cfg());
+        br.record_failure("h", 0.0);
+        br.record_failure("h", 1.0);
+        assert!(br.record_success("h").is_none(), "closed stays closed");
+        assert!(br.record_failure("h", 2.0).is_none());
+        assert!(br.record_failure("h", 3.0).is_none());
+        assert!(br.record_failure("h", 4.0).is_some(), "count restarted");
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens_longer() {
+        let mut br = HostBreakers::new(cfg());
+        for t in 0..3 {
+            br.record_failure("h", t as f64);
+        }
+        let first_until = match br.hosts["h"].state {
+            State::Open { until } => until,
+            s => panic!("expected open, got {s:?}"),
+        };
+        // Backoff elapsed: submission becomes a probe.
+        assert!(br.on_submit("h", first_until + 0.1));
+        assert!(!br.is_blocked("h", first_until + 0.1));
+        // Failed probe re-opens without needing `threshold` new failures.
+        let ev = br.record_failure("h", first_until + 0.2);
+        assert!(matches!(ev, Some(BreakerEvent::Opened { .. })));
+        // Successful probe closes.
+        assert!(br.on_submit("h", 1e9));
+        let ev = br.record_success("h");
+        assert!(matches!(ev, Some(BreakerEvent::Closed { .. })));
+        assert!(!br.is_blocked("h", 1e9));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_bounded() {
+        let runs: Vec<Vec<f64>> = (0..2)
+            .map(|_| {
+                let mut br = HostBreakers::new(cfg());
+                let mut untils = Vec::new();
+                let mut now = 0.0;
+                for i in 0..40 {
+                    if let Some(BreakerEvent::Opened { until, .. }) = br.record_failure("h", now) {
+                        untils.push(until);
+                        // Probe at expiry, fail again: drives prev_delay up.
+                        now = until;
+                        br.on_submit("h", now);
+                    }
+                    now += 0.1 * (i as f64);
+                }
+                untils
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "same seed, same jitter schedule");
+        assert!(!runs[0].is_empty());
+        let mut br = HostBreakers::new(BreakerConfig { seed: 7, ..cfg() });
+        for t in 0..3 {
+            br.record_failure("h", t as f64);
+        }
+        let mut prev = 1.0;
+        for _ in 0..50 {
+            let d = br.jitter_delay(prev);
+            assert!((1.0..=10.0).contains(&d), "delay {d} out of bounds");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn hosts_are_independent() {
+        let mut br = HostBreakers::new(cfg());
+        for t in 0..3 {
+            br.record_failure("flaky", t as f64);
+        }
+        assert!(br.is_blocked("flaky", 2.1));
+        assert!(!br.is_blocked("healthy", 2.1));
+        assert!(br.record_failure("healthy", 2.2).is_none());
+    }
+}

@@ -104,11 +104,11 @@ pub fn to_xml(instance: &Instance) -> String {
     xml::write(&doc)
 }
 
-/// Writes the checkpoint atomically (temp file + rename).
+/// Writes the checkpoint crash-atomically: tmp file + `sync_all`, then
+/// rename, then parent-dir fsync.  A crash at any point leaves either the
+/// previous checkpoint or the new one in full, never a torn file.
 pub fn save(instance: &Instance, path: &Path) -> Result<(), CheckpointError> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, to_xml(instance))?;
-    std::fs::rename(&tmp, path)?;
+    gridwfs_chaos::write_atomic(&gridwfs_chaos::RealFs, path, to_xml(instance).as_bytes())?;
     Ok(())
 }
 

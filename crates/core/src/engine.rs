@@ -185,6 +185,12 @@ pub struct EngineConfig {
     /// this, the run aborts with reason `"deadline"`.  Virtual seconds for
     /// the simulated Grid, wall seconds for the thread executor.
     pub deadline: Option<f64>,
+    /// Per-host circuit breaker (see [`crate::breaker`]): consecutive
+    /// failures open a host's breaker and simple-policy option cycling
+    /// skips it until a decorrelated-jitter backoff elapses and a
+    /// half-open probe succeeds.  `None` (the default) disables breakers
+    /// entirely and leaves existing traces byte-identical.
+    pub breaker: Option<crate::breaker::BreakerConfig>,
 }
 
 impl Default for EngineConfig {
@@ -197,6 +203,7 @@ impl Default for EngineConfig {
             max_settlements: None,
             stop: None,
             deadline: None,
+            breaker: None,
         }
     }
 }
@@ -266,6 +273,8 @@ pub struct Engine<X: Executor> {
     instance: Instance,
     nodes: HashMap<String, NodeRt>,
     attempts: HashMap<TaskId, (String, usize)>,
+    attempt_hosts: HashMap<TaskId, String>,
+    breakers: Option<crate::breaker::HostBreakers>,
     timers: BinaryHeap<Timer>,
     timer_seq: u64,
     next_task: u64,
@@ -302,6 +311,8 @@ impl<X: Executor> Engine<X> {
             instance,
             nodes: HashMap::new(),
             attempts: HashMap::new(),
+            attempt_hosts: HashMap::new(),
+            breakers: None,
             timers: BinaryHeap::new(),
             timer_seq: 0,
             next_task: 1,
@@ -316,6 +327,10 @@ impl<X: Executor> Engine<X> {
 
     /// Sets the configuration.
     pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.breakers = config
+            .breaker
+            .clone()
+            .map(crate::breaker::HostBreakers::new);
         self.config = config;
         self
     }
@@ -483,20 +498,42 @@ impl<X: Executor> Engine<X> {
             .expect("validated reference")
             .clone();
         let task = self.fresh_task();
-        let rt = self.nodes.get_mut(name).expect("runtime exists");
-        let s = &mut rt.slots[slot];
+        let now = self.executor.now();
+        let (tries_used, flag) = {
+            let rt = self.nodes.get_mut(name).expect("runtime exists");
+            let s = &mut rt.slots[slot];
+            s.live = Some(task);
+            (s.tries_used, s.ckpt_flag.clone())
+        };
         // Simple policy cycles through the options on retry ("retrying on
         // different resources by simply defining multiple Grid resources",
-        // Figure 2 caption); replicas are pinned to their own option.
+        // Figure 2 caption); replicas are pinned to their own option.  With
+        // breakers enabled, cycling additionally skips hosts whose breaker
+        // is open — unless every candidate is open, in which case the
+        // cycled choice goes ahead as a forced probe (a breaker degrades
+        // placement, it never deadlocks it).
         let option_index = match act.policy {
-            Policy::Simple => (s.tries_used as usize) % program.options.len(),
+            Policy::Simple => {
+                let n = program.options.len();
+                let base = (tries_used as usize) % n;
+                match &self.breakers {
+                    Some(br) => (0..n)
+                        .map(|k| (base + k) % n)
+                        .find(|&i| !br.is_blocked(&program.options[i].hostname, now))
+                        .unwrap_or(base),
+                    None => base,
+                }
+            }
             Policy::Replica => slot,
         };
         let option = &program.options[option_index];
-        s.live = Some(task);
-        let attempt = s.tries_used + 1;
-        let flag = s.ckpt_flag.clone();
+        let attempt = tries_used + 1;
+        let is_probe = match &mut self.breakers {
+            Some(br) => br.on_submit(&option.hostname, now),
+            None => false,
+        };
         self.attempts.insert(task, (name.to_string(), slot));
+        self.attempt_hosts.insert(task, option.hostname.clone());
         let replaced = self.detector.register_task(
             task,
             act.heartbeat_interval,
@@ -525,6 +562,9 @@ impl<X: Executor> Engine<X> {
                 task: task.0,
                 was_presumed_dead: liveness == Liveness::PresumedDead,
             });
+        }
+        if is_probe {
+            self.trace(TraceKind::BreakerProbe { host: host.clone() });
         }
         self.trace(TraceKind::TaskSubmitted {
             activity: name.to_string(),
@@ -560,11 +600,49 @@ impl<X: Executor> Engine<X> {
         }
     }
 
+    /// Feeds a task success on `host` to the breaker registry (if enabled)
+    /// and journals the transition it caused, if any.
+    fn breaker_success(&mut self, host: Option<&str>) {
+        let Some(host) = host else { return };
+        let ev = match self.breakers.as_mut() {
+            Some(br) => br.record_success(host),
+            None => return,
+        };
+        if let Some(ev) = ev {
+            self.trace_breaker(ev);
+        }
+    }
+
+    /// Feeds a task failure (crash / presumed-dead) on `host` to the
+    /// breaker registry and journals the transition it caused, if any.
+    fn breaker_failure(&mut self, host: Option<&str>) {
+        let Some(host) = host else { return };
+        let now = self.executor.now();
+        let ev = match self.breakers.as_mut() {
+            Some(br) => br.record_failure(host, now),
+            None => return,
+        };
+        if let Some(ev) = ev {
+            self.trace_breaker(ev);
+        }
+    }
+
+    fn trace_breaker(&mut self, ev: crate::breaker::BreakerEvent) {
+        let kind = match ev {
+            crate::breaker::BreakerEvent::Opened { host, until } => {
+                TraceKind::BreakerOpen { host, until }
+            }
+            crate::breaker::BreakerEvent::Closed { host } => TraceKind::BreakerClosed { host },
+        };
+        self.trace(kind);
+    }
+
     fn cancel_live(&mut self, name: &str) {
         if let Some(rt) = self.nodes.get_mut(name) {
             let live: Vec<TaskId> = rt.slots.iter_mut().filter_map(|s| s.live.take()).collect();
             for task in live {
                 self.attempts.remove(&task);
+                self.attempt_hosts.remove(&task);
                 self.executor.cancel(task);
                 self.settle_attempt(name, task, TaskOutcome::Cancelled, "node-settled");
                 self.log(LogKind::Cancel, format!("{name} cancelled {task}"));
@@ -770,10 +848,12 @@ impl<X: Executor> Engine<X> {
                 // The winner is no longer live; cancel_live must only touch
                 // the losing replicas.
                 self.attempts.remove(&task);
+                let host = self.attempt_hosts.remove(&task);
                 if let Some(rt) = self.nodes.get_mut(&name) {
                     rt.slots[slot].live = None;
                 }
                 self.settle_attempt(&name, task, TaskOutcome::Completed, "task-end");
+                self.breaker_success(host.as_deref());
                 self.settle_node(&name, NodeStatus::Done);
             }
             Detection::Crashed { reason, .. } => {
@@ -787,7 +867,9 @@ impl<X: Executor> Engine<X> {
                 };
                 self.log(LogKind::Detect, format!("{name} {task} {why}"));
                 self.attempts.remove(&task);
+                let host = self.attempt_hosts.remove(&task);
                 self.settle_attempt(&name, task, TaskOutcome::Crashed, reason_str);
+                self.breaker_failure(host.as_deref());
                 self.recover_or_fail(&name, slot, NodeStatus::Failed);
             }
             Detection::ExceptionRaised {
@@ -801,6 +883,9 @@ impl<X: Executor> Engine<X> {
                     ),
                 );
                 self.attempts.remove(&task);
+                // Exceptions are application-level outcomes, not host
+                // flakiness: they neither trip nor reset the host breaker.
+                self.attempt_hosts.remove(&task);
                 self.settle_attempt(&name, task, TaskOutcome::Exception, &exc);
                 let severity = self
                     .detector
@@ -887,6 +972,7 @@ impl<X: Executor> Engine<X> {
             self.log(LogKind::Cancel, format!("{name} cancelled {task} (abort)"));
         }
         self.attempts.clear();
+        self.attempt_hosts.clear();
         self.write_checkpoint();
     }
 
@@ -1062,6 +1148,7 @@ mod tests {
             !c.cancel_redundant,
             "prototype let redundant branches finish"
         );
+        assert!(c.breaker.is_none(), "breakers are opt-in");
         assert!(c.max_loop_iterations >= 1000);
     }
 

@@ -43,6 +43,7 @@
 //! assert_eq!(report.status_of("slow_task"), Some("skipped"));
 //! ```
 
+pub mod breaker;
 pub mod checkpoint;
 pub mod engine;
 pub mod executor;
@@ -51,10 +52,13 @@ pub mod sim_executor;
 pub mod thread_executor;
 pub mod timeline;
 
+pub use breaker::{BreakerConfig, BreakerEvent, HostBreakers};
 pub use engine::{Engine, EngineConfig, LogEntry, LogKind, Report};
 pub use executor::{Executor, SubmitRequest};
 pub use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind, TraceSink};
 pub use instance::{CompleteResult, EdgeState, Instance, NodeStatus, Outcome};
 pub use sim_executor::{ExceptionProfile, SimGrid, TaskProfile};
-pub use thread_executor::{TaskContext, TaskFn, TaskResult, ThreadExecutor};
+pub use thread_executor::{
+    FaultHook, InjectedTaskFault, TaskContext, TaskFn, TaskResult, ThreadExecutor,
+};
 pub use timeline::{spans_from_trace, Span, SpanOutcome};

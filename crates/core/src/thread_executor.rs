@@ -116,6 +116,22 @@ impl TaskContext {
 /// A program body.
 pub type TaskFn = dyn Fn(&mut TaskContext) -> TaskResult + Send + Sync;
 
+/// A fault the chaos harness injects into one task attempt (decided per
+/// [`SubmitRequest`] by a [`FaultHook`] before the task thread starts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectedTaskFault {
+    /// The task body panics instead of running — exercising the executor's
+    /// `catch_unwind` isolation (the attempt is classified as a crash).
+    PanicBody,
+    /// The task stalls this many seconds after `Task Start` without
+    /// heartbeating — long enough stalls trip the heartbeat monitor's
+    /// presumed-dead rule while the thread is still alive.
+    Stall(f64),
+}
+
+/// Decides, per submission, whether to inject a fault into the attempt.
+pub type FaultHook = dyn Fn(&SubmitRequest) -> Option<InjectedTaskFault> + Send + Sync;
+
 /// Executor running program closures on OS threads.
 pub struct ThreadExecutor {
     programs: HashMap<String, Arc<TaskFn>>,
@@ -124,6 +140,7 @@ pub struct ThreadExecutor {
     epoch: Instant,
     cancel_flags: HashMap<TaskId, Arc<AtomicBool>>,
     outstanding: HashMap<TaskId, std::thread::JoinHandle<()>>,
+    fault_hook: Option<Arc<FaultHook>>,
 }
 
 impl Default for ThreadExecutor {
@@ -143,7 +160,14 @@ impl ThreadExecutor {
             epoch: Instant::now(),
             cancel_flags: HashMap::new(),
             outstanding: HashMap::new(),
+            fault_hook: None,
         }
+    }
+
+    /// Installs a chaos fault hook, consulted once per submission before
+    /// the task thread starts.  `None` decisions run the task untouched.
+    pub fn set_fault_hook(&mut self, hook: Arc<FaultHook>) {
+        self.fault_hook = Some(hook);
     }
 
     /// Registers the closure implementing a program.
@@ -193,6 +217,7 @@ impl Executor for ThreadExecutor {
         self.cancel_flags.insert(req.task, cancelled.clone());
         let tx = self.tx.clone();
         let epoch = self.epoch;
+        let fault = self.fault_hook.as_ref().and_then(|h| h(&req));
         let handle = std::thread::spawn(move || {
             let mut ctx = TaskContext {
                 task: req.task,
@@ -205,20 +230,37 @@ impl Executor for ThreadExecutor {
                 resume_flag: req.checkpoint_flag.clone(),
             };
             ctx.send(Notification::TaskStart);
-            let result = body(&mut ctx);
+            // Panics (the closure's or an injected one) must kill only this
+            // attempt, never the executor: the unwind is caught and the
+            // attempt classified as a crash (`Done` without `Task End`), so
+            // the engine's normal task-level recovery takes over.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match fault {
+                    Some(InjectedTaskFault::Stall(secs)) => {
+                        // Heartbeat-starving stall: the thread lives, the
+                        // monitor hears nothing.
+                        std::thread::sleep(Duration::from_secs_f64(secs));
+                    }
+                    Some(InjectedTaskFault::PanicBody) => {
+                        panic!("chaos: injected task panic");
+                    }
+                    None => {}
+                }
+                body(&mut ctx)
+            }));
             if ctx.is_cancelled() {
                 // The engine no longer cares; stay silent like a killed job.
                 return;
             }
             match result {
-                TaskResult::Success => {
+                Ok(TaskResult::Success) => {
                     ctx.send(Notification::TaskEnd);
                     ctx.send(Notification::Done);
                 }
-                TaskResult::Crash => {
+                Ok(TaskResult::Crash) | Err(_) => {
                     ctx.send(Notification::Done);
                 }
-                TaskResult::Exception { name, detail } => {
+                Ok(TaskResult::Exception { name, detail }) => {
                     ctx.send(Notification::Exception { name, detail });
                     ctx.send(Notification::Done);
                 }
@@ -412,5 +454,90 @@ mod tests {
         let mut x = ThreadExecutor::new();
         assert!(x.next_notification(Some(x.now() + 0.05)).is_none());
         assert!(x.is_idle());
+    }
+
+    /// Silence the default panic hook's stderr spam for panics this test
+    /// binary injects on purpose (recognised by their message).
+    fn quiet_expected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .map(String::from)
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                if !msg.contains("chaos:") && !msg.contains("expected panic") {
+                    default(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn panicking_closure_is_classified_as_crash_and_executor_survives() {
+        quiet_expected_panics();
+        let mut x = ThreadExecutor::new();
+        x.register("panics", |_| -> TaskResult {
+            panic!("expected panic: task body blew up");
+        });
+        x.register("ok", |_| TaskResult::Success);
+        x.submit(req(1, "panics"));
+        let bodies = drain(&mut x, 2.0);
+        assert!(!bodies.iter().any(|b| matches!(b, Notification::TaskEnd)));
+        assert!(
+            matches!(bodies.last(), Some(Notification::Done)),
+            "panic must surface as Done-without-TaskEnd, got {bodies:?}"
+        );
+        // The executor (and its channel) survived; later tasks still run.
+        x.submit(req(2, "ok"));
+        let bodies = drain(&mut x, 2.0);
+        assert!(bodies.iter().any(|b| matches!(b, Notification::TaskEnd)));
+    }
+
+    #[test]
+    fn fault_hook_panic_body_crashes_the_attempt() {
+        quiet_expected_panics();
+        let mut x = ThreadExecutor::new();
+        x.register("ok", |_| TaskResult::Success);
+        x.set_fault_hook(Arc::new(|r: &SubmitRequest| {
+            (r.task == TaskId(1)).then_some(InjectedTaskFault::PanicBody)
+        }));
+        x.submit(req(1, "ok"));
+        let bodies = drain(&mut x, 2.0);
+        assert!(!bodies.iter().any(|b| matches!(b, Notification::TaskEnd)));
+        assert!(matches!(bodies.last(), Some(Notification::Done)));
+        // Task 2 is not targeted by the hook and completes normally.
+        x.submit(req(2, "ok"));
+        let bodies = drain(&mut x, 2.0);
+        assert!(bodies.iter().any(|b| matches!(b, Notification::TaskEnd)));
+    }
+
+    #[test]
+    fn fault_hook_stall_starves_heartbeats_past_the_interval() {
+        let mut x = ThreadExecutor::new();
+        x.register("beats", |ctx| {
+            ctx.heartbeat();
+            TaskResult::Success
+        });
+        x.set_fault_hook(Arc::new(|_: &SubmitRequest| {
+            Some(InjectedTaskFault::Stall(0.3))
+        }));
+        x.submit(req(1, "beats")); // heartbeat_interval is 0.02
+        let (start_at, env) = x.next_notification(Some(x.now() + 2.0)).expect("start");
+        assert!(matches!(env.body, Notification::TaskStart));
+        // The next notification is the post-stall heartbeat: nothing for
+        // many multiples of the heartbeat interval — exactly the silence
+        // that trips the monitor's presumed-dead rule.
+        let (beat_at, env) = x.next_notification(Some(x.now() + 2.0)).expect("beat");
+        assert!(matches!(env.body, Notification::Heartbeat { .. }));
+        assert!(
+            beat_at - start_at >= 0.25,
+            "stall should delay the first heartbeat, gap was {}",
+            beat_at - start_at
+        );
     }
 }

@@ -60,11 +60,39 @@ pub mod service;
 mod worker;
 
 pub use gridspec::{ExecMode, GridSpec, HostSpec, LinkSpec, ProfileSpec};
+pub use gridwfs_chaos::{relock, ChaosFs, FaultPlan, RealFs, StateFs};
 pub use gridwfs_trace::{TraceEvent, TraceKind, TraceSink};
 pub use job::{JobId, JobRecord, JobState, Submission};
 pub use metrics::{LatencySummary, Metrics, TraceMetricsSink};
 pub use queue::{BoundedQueue, Pop, PushError};
 pub use service::{Service, ServiceConfig, SubmitError};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::Once;
+
+    /// Installs a panic hook that stays quiet for the panics this crate's
+    /// tests inject on purpose (payloads mentioning "chaos:" or "expected
+    /// panic") and delegates everything else to the default hook.
+    pub(crate) fn quiet_expected_panics() {
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                if msg.contains("chaos:") || msg.contains("expected panic") {
+                    return;
+                }
+                default(info);
+            }));
+        });
+    }
+}
 
 #[cfg(test)]
 mod send_bounds {

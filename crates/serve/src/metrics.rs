@@ -12,6 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use gridwfs_chaos::relock;
 use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind, TraceSink};
 
 use crate::json::{json_number, json_string};
@@ -39,6 +40,11 @@ pub struct Counters {
     /// Task attempts presumed dead by heartbeat loss (derived from the
     /// trace stream by [`TraceMetricsSink`]).
     pub tasks_presumed_dead: AtomicU64,
+    /// Workflow closures that panicked inside a worker (the worker
+    /// survived; the job settled as `Failed`).
+    pub jobs_panicked: AtomicU64,
+    /// Corrupt state-dir entries moved aside by recovery scans.
+    pub quarantined: AtomicU64,
 }
 
 /// The registry: counters + the running-jobs gauge + latency samples.
@@ -92,12 +98,12 @@ impl Metrics {
 
     /// Records one admission-to-terminal latency sample (seconds).
     pub fn observe_latency(&self, seconds: f64) {
-        self.latency.lock().unwrap().push(seconds);
+        relock(&self.latency).push(seconds);
     }
 
     /// Summarises the latency samples so far.
     pub fn latency_summary(&self) -> LatencySummary {
-        let mut samples = self.latency.lock().unwrap().clone();
+        let mut samples = relock(&self.latency).clone();
         samples.sort_by(f64::total_cmp);
         if samples.is_empty() {
             return LatencySummary {
@@ -140,6 +146,8 @@ impl Metrics {
             ("recovered", get(&c.recovered)),
             ("task_retries", get(&c.task_retries)),
             ("tasks_presumed_dead", get(&c.tasks_presumed_dead)),
+            ("jobs_panicked", get(&c.jobs_panicked)),
+            ("quarantined", get(&c.quarantined)),
         ];
         for (i, (name, v)) in counters.iter().enumerate() {
             let comma = if i + 1 < counters.len() { "," } else { "" };
@@ -281,5 +289,23 @@ mod tests {
         let l = m.latency_summary();
         assert_eq!(l.count, 0);
         assert_eq!(l.max, 0.0);
+    }
+
+    #[test]
+    fn snapshot_survives_a_poisoned_latency_mutex() {
+        crate::test_support::quiet_expected_panics();
+        let m = Arc::new(Metrics::new());
+        m.observe_latency(1.0);
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = relock(&m2.latency);
+            panic!("chaos: poison the latency mutex");
+        })
+        .join();
+        // The sample recorded before the poison is still served.
+        m.observe_latency(3.0);
+        let l = m.latency_summary();
+        assert_eq!(l.count, 2);
+        assert!(m.snapshot_json(0).contains("\"count\": 2"));
     }
 }

@@ -15,6 +15,8 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+use gridwfs_chaos::{relock, wait_timeout_relock};
+
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PushError<T> {
@@ -64,7 +66,7 @@ impl<T> BoundedQueue<T> {
     /// Admits `item`, or rejects it when at capacity ([`PushError::Full`])
     /// or closed ([`PushError::Closed`]).  Never blocks.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = relock(&self.inner);
         if g.closed {
             return Err(PushError::Closed(item));
         }
@@ -81,7 +83,7 @@ impl<T> BoundedQueue<T> {
     /// re-admission, where refusing previously-accepted work would break
     /// the admission contract; still refuses on a closed queue.
     pub fn force_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = relock(&self.inner);
         if g.closed {
             return Err(PushError::Closed(item));
         }
@@ -102,7 +104,7 @@ impl<T> BoundedQueue<T> {
     /// itemless wakeups occur.
     pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
         let deadline = std::time::Instant::now().checked_add(timeout);
-        let mut g = self.inner.lock().unwrap();
+        let mut g = relock(&self.inner);
         loop {
             if let Some(item) = g.items.pop_front() {
                 return Pop::Item(item);
@@ -119,7 +121,7 @@ impl<T> BoundedQueue<T> {
             if remaining.is_zero() {
                 return Pop::Empty;
             }
-            let (guard, _) = self.nonempty.wait_timeout(g, remaining).unwrap();
+            let (guard, _) = wait_timeout_relock(&self.nonempty, g, remaining);
             g = guard;
         }
     }
@@ -127,13 +129,13 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: future pushes fail, consumers drain what remains
     /// and then observe [`Pop::Closed`].
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        relock(&self.inner).closed = true;
         self.nonempty.notify_all();
     }
 
     /// Current depth (the queue-depth gauge).
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        relock(&self.inner).items.len()
     }
 
     /// True when nothing is queued.
@@ -205,7 +207,7 @@ mod tests {
             let t0 = Instant::now();
             while !done2.load(Ordering::Relaxed) && t0.elapsed() < Duration::from_secs(5) {
                 {
-                    let mut g = q2.inner.lock().unwrap();
+                    let mut g = relock(&q2.inner);
                     g.items.push_back(1);
                     q2.nonempty.notify_one();
                     g.items.pop_front();
@@ -258,5 +260,25 @@ mod tests {
         q.close();
         let got = consumer.join().unwrap();
         assert_eq!(got, (0..20).collect::<Vec<_>>(), "FIFO, nothing lost");
+    }
+
+    #[test]
+    fn queue_survives_a_poisoned_mutex() {
+        crate::test_support::quiet_expected_panics();
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).unwrap();
+        let q2 = q.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = relock(&q2.inner);
+            panic!("chaos: poison the queue mutex");
+        })
+        .join();
+        // Every operation still works on the recovered lock.
+        q.try_push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Item(1));
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Item(2));
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Pop::Closed);
     }
 }

@@ -27,12 +27,22 @@
 //!   terminal or not, so a restarted service never reuses the id — and
 //!   thereby the checkpoint or result marker — of a finished job.
 //!
+//! All I/O goes through the [`StateFs`] seam (production: `RealFs`;
+//! chaos tests: `ChaosFs`), and every mutation of a state file is a
+//! [`write_atomic`] — tmp file, `sync_all`, rename, parent-dir fsync —
+//! so a crash at any point leaves either the complete old version or the
+//! complete new version of a file, never a torn one.  Leftover `*.tmp`
+//! staging files are ignored by [`scan`] but still burn their id in
+//! [`max_job_id`].
+//!
 //! Corrupt state-dir entries are quarantined (meta renamed to
 //! `job-<id>.meta.quarantined`, warning on stderr) rather than failing
 //! the whole startup: one bad job must not take the service down.
 
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use gridwfs_chaos::{write_atomic, StateFs};
 
 use crate::gridspec::GridSpec;
 use crate::job::{JobId, Submission};
@@ -70,7 +80,9 @@ pub fn trace_path(dir: &Path, id: JobId) -> PathBuf {
 
 /// 0-based incarnation number the next `job_start` event in `path` gets:
 /// the count of `job_start` lines already in the journal.  A missing or
-/// unreadable journal counts as a fresh one.
+/// unreadable journal counts as a fresh one.  (Trace journals live outside
+/// the state directory and are append-only diagnostics, so they stay on
+/// plain `std::fs` rather than the [`StateFs`] seam.)
 pub fn count_incarnations(path: &Path) -> u32 {
     fs::read_to_string(path)
         .map(|text| {
@@ -82,17 +94,18 @@ pub fn count_incarnations(path: &Path) -> u32 {
 }
 
 /// Executor-clock seconds this job consumed in earlier incarnations
-/// (0.0 when no ledger exists).
-pub fn read_elapsed(dir: &Path, id: JobId) -> f64 {
-    fs::read_to_string(elapsed_path(dir, id))
+/// (0.0 when no ledger exists or it cannot be read/parsed — forfeiting
+/// the ledger only widens the deadline budget, never loses the job).
+pub fn read_elapsed(fs: &dyn StateFs, dir: &Path, id: JobId) -> f64 {
+    fs.read_to_string(&elapsed_path(dir, id))
         .ok()
         .and_then(|s| s.trim().parse().ok())
         .unwrap_or(0.0)
 }
 
 /// Records the total executor-clock seconds consumed so far.
-pub fn write_elapsed(dir: &Path, id: JobId, secs: f64) -> std::io::Result<()> {
-    fs::write(elapsed_path(dir, id), format!("{secs}\n"))
+pub fn write_elapsed(fs: &dyn StateFs, dir: &Path, id: JobId, secs: f64) -> std::io::Result<()> {
+    write_atomic(fs, &elapsed_path(dir, id), format!("{secs}\n").as_bytes())
 }
 
 /// The meta file is line-oriented, so the client-chosen label must not be
@@ -136,11 +149,16 @@ fn unescape_label(s: &str) -> String {
 /// Persists an admitted submission (workflow + meta).  Any leftover
 /// checkpoint, result marker, or elapsed ledger at this id is cleared
 /// first: a freshly assigned id must never inherit another job's state.
-pub fn write_submission(dir: &Path, id: JobId, sub: &Submission) -> std::io::Result<()> {
-    let _ = fs::remove_file(checkpoint_path(dir, id));
-    let _ = fs::remove_file(result_path(dir, id));
-    let _ = fs::remove_file(elapsed_path(dir, id));
-    fs::write(workflow_path(dir, id), &sub.workflow_xml)?;
+pub fn write_submission(
+    fs: &dyn StateFs,
+    dir: &Path,
+    id: JobId,
+    sub: &Submission,
+) -> std::io::Result<()> {
+    let _ = fs.remove_file(&checkpoint_path(dir, id));
+    let _ = fs.remove_file(&result_path(dir, id));
+    let _ = fs.remove_file(&elapsed_path(dir, id));
+    write_atomic(fs, &workflow_path(dir, id), sub.workflow_xml.as_bytes())?;
     let mut meta = String::new();
     meta.push_str(&format!("name {}\n", escape_label(&sub.name)));
     meta.push_str(&format!("seed {}\n", sub.seed));
@@ -151,23 +169,30 @@ pub fn write_submission(dir: &Path, id: JobId, sub: &Submission) -> std::io::Res
             .unwrap_or_else(|| "-".into())
     ));
     meta.push_str(&sub.grid.to_manifest());
-    fs::write(meta_path(dir, id), meta)
+    write_atomic(fs, &meta_path(dir, id), meta.as_bytes())
 }
 
 /// Removes the persisted submission (rejected push rollback).
-pub fn remove_submission(dir: &Path, id: JobId) {
-    let _ = fs::remove_file(workflow_path(dir, id));
-    let _ = fs::remove_file(meta_path(dir, id));
-    let _ = fs::remove_file(checkpoint_path(dir, id));
-    let _ = fs::remove_file(result_path(dir, id));
-    let _ = fs::remove_file(elapsed_path(dir, id));
+pub fn remove_submission(fs: &dyn StateFs, dir: &Path, id: JobId) {
+    let _ = fs.remove_file(&workflow_path(dir, id));
+    let _ = fs.remove_file(&meta_path(dir, id));
+    let _ = fs.remove_file(&checkpoint_path(dir, id));
+    let _ = fs.remove_file(&result_path(dir, id));
+    let _ = fs.remove_file(&elapsed_path(dir, id));
 }
 
 /// Writes the terminal marker.
-pub fn write_result(dir: &Path, id: JobId, state: &str, detail: &str) -> std::io::Result<()> {
-    fs::write(
-        result_path(dir, id),
-        format!("state {state}\ndetail {detail}\n"),
+pub fn write_result(
+    fs: &dyn StateFs,
+    dir: &Path,
+    id: JobId,
+    state: &str,
+    detail: &str,
+) -> std::io::Result<()> {
+    write_atomic(
+        fs,
+        &result_path(dir, id),
+        format!("state {state}\ndetail {detail}\n").as_bytes(),
     )
 }
 
@@ -213,18 +238,16 @@ fn parse_meta(text: &str, wf_xml: String) -> Result<Submission, String> {
 }
 
 /// Largest job id any `job-<id>.*` file in the state directory mentions
-/// (0 when there is none).  Unlike [`scan`] this counts terminal and
-/// quarantined jobs too: id allocation must never hand out an id whose
-/// checkpoint or result marker is still on disk.
-pub fn max_job_id(dir: &Path) -> Result<u64, String> {
+/// (0 when there is none).  Unlike [`scan`] this counts terminal jobs,
+/// quarantined jobs, and even `.tmp` staging leftovers: id allocation must
+/// never hand out an id whose checkpoint or result marker is (or was about
+/// to be) on disk.
+pub fn max_job_id(fs: &dyn StateFs, dir: &Path) -> Result<u64, String> {
     let mut max = 0u64;
-    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| e.to_string())?;
-        let file_name = entry.file_name();
-        let Some(name) = file_name.to_str() else {
-            continue;
-        };
+    let names = fs
+        .read_dir_names(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    for name in names {
         if let Some(rest) = name.strip_prefix("job-") {
             let digits: &str = &rest[..rest.find('.').unwrap_or(rest.len())];
             if let Ok(id) = digits.parse::<u64>() {
@@ -235,27 +258,50 @@ pub fn max_job_id(dir: &Path) -> Result<u64, String> {
     Ok(max)
 }
 
+/// What a state-directory scan found.
+#[derive(Debug)]
+pub struct Scan {
+    /// Jobs to re-admit, ascending by id.
+    pub jobs: Vec<(JobId, Submission)>,
+    /// Corrupt entries moved aside during this scan.
+    pub quarantined: u64,
+}
+
 /// Moves a job's meta file aside so later scans skip it, keeping the
-/// workflow/checkpoint files around for post-mortem.
-fn quarantine(dir: &Path, id: JobId, why: &str) {
+/// workflow/checkpoint files around for post-mortem.  A failed rename must
+/// not leave the corrupt meta in place (the next restart would trip over
+/// it again), so it falls back to copy + remove; if even that fails the
+/// paths are named in the warning and the scan still skips the job.
+fn quarantine(fs: &dyn StateFs, dir: &Path, id: JobId, why: &str) {
     let meta = meta_path(dir, id);
+    let aside = meta.with_extension("meta.quarantined");
     eprintln!("gridwfs-serve: quarantining {id}: {why}");
-    let _ = fs::rename(&meta, meta.with_extension("meta.quarantined"));
+    if fs.rename(&meta, &aside).is_ok() {
+        return;
+    }
+    let copied = fs
+        .read_to_string(&meta)
+        .and_then(|text| fs.write_file(&aside, text.as_bytes()))
+        .and_then(|()| fs.remove_file(&meta));
+    if let Err(e) = copied {
+        eprintln!(
+            "gridwfs-serve: cannot move {} aside to {}: {e}",
+            meta.display(),
+            aside.display()
+        );
+    }
 }
 
 /// Scans a state directory for jobs to re-admit: every `job-<id>.meta`
 /// without a matching `job-<id>.result`, ascending by id.  Entries that
 /// cannot be read or parsed are quarantined with a stderr warning — one
 /// corrupt job must not keep the whole service from starting.
-pub fn scan(dir: &Path) -> Result<Vec<(JobId, Submission)>, String> {
+pub fn scan(fs: &dyn StateFs, dir: &Path) -> Result<Scan, String> {
     let mut ids: Vec<u64> = Vec::new();
-    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| e.to_string())?;
-        let file_name = entry.file_name();
-        let Some(name) = file_name.to_str() else {
-            continue;
-        };
+    let names = fs
+        .read_dir_names(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    for name in names {
         if let Some(id) = name
             .strip_prefix("job-")
             .and_then(|r| r.strip_suffix(".meta"))
@@ -267,29 +313,37 @@ pub fn scan(dir: &Path) -> Result<Vec<(JobId, Submission)>, String> {
         }
     }
     ids.sort_unstable();
-    let mut out = Vec::new();
+    let mut out = Scan {
+        jobs: Vec::new(),
+        quarantined: 0,
+    };
     for raw in ids {
         let id = JobId(raw);
-        if result_path(dir, id).exists() {
+        if fs.exists(&result_path(dir, id)) {
             continue; // terminal before the restart
         }
-        let meta = match fs::read_to_string(meta_path(dir, id)) {
+        let meta = match fs.read_to_string(&meta_path(dir, id)) {
             Ok(meta) => meta,
             Err(e) => {
-                quarantine(dir, id, &format!("meta unreadable: {e}"));
+                quarantine(fs, dir, id, &format!("meta unreadable: {e}"));
+                out.quarantined += 1;
                 continue;
             }
         };
-        let wf = match fs::read_to_string(workflow_path(dir, id)) {
+        let wf = match fs.read_to_string(&workflow_path(dir, id)) {
             Ok(wf) => wf,
             Err(e) => {
-                quarantine(dir, id, &format!("workflow unreadable: {e}"));
+                quarantine(fs, dir, id, &format!("workflow unreadable: {e}"));
+                out.quarantined += 1;
                 continue;
             }
         };
         match parse_meta(&meta, wf) {
-            Ok(sub) => out.push((id, sub)),
-            Err(e) => quarantine(dir, id, &e),
+            Ok(sub) => out.jobs.push((id, sub)),
+            Err(e) => {
+                quarantine(fs, dir, id, &e);
+                out.quarantined += 1;
+            }
         }
     }
     Ok(out)
@@ -298,6 +352,9 @@ pub fn scan(dir: &Path) -> Result<Vec<(JobId, Submission)>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gridwfs_chaos::RealFs;
+
+    const FS: RealFs = RealFs;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -323,10 +380,11 @@ mod tests {
     #[test]
     fn submission_round_trips_through_disk() {
         let dir = tmpdir("roundtrip");
-        write_submission(&dir, JobId(3), &sub("alpha beta")).unwrap();
-        let scanned = scan(&dir).unwrap();
-        assert_eq!(scanned.len(), 1);
-        let (id, got) = &scanned[0];
+        write_submission(&FS, &dir, JobId(3), &sub("alpha beta")).unwrap();
+        let scanned = scan(&FS, &dir).unwrap();
+        assert_eq!(scanned.quarantined, 0);
+        assert_eq!(scanned.jobs.len(), 1);
+        let (id, got) = &scanned.jobs[0];
         assert_eq!(*id, JobId(3));
         assert_eq!(got.name, "alpha beta", "labels keep their spaces");
         assert_eq!(got.seed, 9);
@@ -339,21 +397,21 @@ mod tests {
     #[test]
     fn terminal_jobs_are_not_rescanned() {
         let dir = tmpdir("terminal");
-        write_submission(&dir, JobId(1), &sub("a")).unwrap();
-        write_submission(&dir, JobId(2), &sub("b")).unwrap();
-        write_result(&dir, JobId(1), "done", "Success").unwrap();
-        let scanned = scan(&dir).unwrap();
-        assert_eq!(scanned.len(), 1);
-        assert_eq!(scanned[0].0, JobId(2));
+        write_submission(&FS, &dir, JobId(1), &sub("a")).unwrap();
+        write_submission(&FS, &dir, JobId(2), &sub("b")).unwrap();
+        write_result(&FS, &dir, JobId(1), "done", "Success").unwrap();
+        let scanned = scan(&FS, &dir).unwrap();
+        assert_eq!(scanned.jobs.len(), 1);
+        assert_eq!(scanned.jobs[0].0, JobId(2));
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn removed_submission_disappears() {
         let dir = tmpdir("remove");
-        write_submission(&dir, JobId(7), &sub("a")).unwrap();
-        remove_submission(&dir, JobId(7));
-        assert!(scan(&dir).unwrap().is_empty());
+        write_submission(&FS, &dir, JobId(7), &sub("a")).unwrap();
+        remove_submission(&FS, &dir, JobId(7));
+        assert!(scan(&FS, &dir).unwrap().jobs.is_empty());
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -361,11 +419,11 @@ mod tests {
     fn labels_with_newlines_cannot_inject_meta_lines() {
         let dir = tmpdir("newline");
         let label = "evil\nhost h9 1.0\r";
-        write_submission(&dir, JobId(1), &sub(label)).unwrap();
-        let scanned = scan(&dir).unwrap();
-        assert_eq!(scanned.len(), 1);
-        assert_eq!(scanned[0].1.name, label, "label round-trips verbatim");
-        assert_eq!(scanned[0].1.grid, sub("x").grid, "no host injected");
+        write_submission(&FS, &dir, JobId(1), &sub(label)).unwrap();
+        let scanned = scan(&FS, &dir).unwrap();
+        assert_eq!(scanned.jobs.len(), 1);
+        assert_eq!(scanned.jobs[0].1.name, label, "label round-trips verbatim");
+        assert_eq!(scanned.jobs[0].1.grid, sub("x").grid, "no host injected");
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -373,62 +431,121 @@ mod tests {
     fn labels_with_backslashes_round_trip() {
         let dir = tmpdir("backslash");
         let label = "a\\nb \\ trailing\\";
-        write_submission(&dir, JobId(1), &sub(label)).unwrap();
-        assert_eq!(scan(&dir).unwrap()[0].1.name, label);
+        write_submission(&FS, &dir, JobId(1), &sub(label)).unwrap();
+        assert_eq!(scan(&FS, &dir).unwrap().jobs[0].1.name, label);
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn corrupt_meta_is_quarantined_not_fatal() {
         let dir = tmpdir("quarantine");
-        write_submission(&dir, JobId(1), &sub("good")).unwrap();
+        write_submission(&FS, &dir, JobId(1), &sub("good")).unwrap();
         fs::write(dir.join("job-2.meta"), "frobnicate\n").unwrap();
-        let scanned = scan(&dir).unwrap();
-        assert_eq!(scanned.len(), 1, "the good job still recovers");
-        assert_eq!(scanned[0].0, JobId(1));
+        let scanned = scan(&FS, &dir).unwrap();
+        assert_eq!(scanned.jobs.len(), 1, "the good job still recovers");
+        assert_eq!(scanned.jobs[0].0, JobId(1));
+        assert_eq!(scanned.quarantined, 1);
         assert!(!meta_path(&dir, JobId(2)).exists(), "bad meta moved aside");
         assert!(dir.join("job-2.meta.quarantined").exists());
         // Later scans stay clean and the id stays burned.
-        assert_eq!(scan(&dir).unwrap().len(), 1);
-        assert_eq!(max_job_id(&dir).unwrap(), 2);
+        let again = scan(&FS, &dir).unwrap();
+        assert_eq!(again.jobs.len(), 1);
+        assert_eq!(again.quarantined, 0);
+        assert_eq!(max_job_id(&FS, &dir).unwrap(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_falls_back_to_copy_when_rename_fails() {
+        /// A filesystem whose renames always fail — the seam the
+        /// quarantine fallback exists for (e.g. cross-device link errors).
+        struct NoRename;
+        impl StateFs for NoRename {
+            fn read_to_string(&self, path: &Path) -> std::io::Result<String> {
+                RealFs.read_to_string(path)
+            }
+            fn write_file(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
+                RealFs.write_file(path, data)
+            }
+            fn rename(&self, _from: &Path, _to: &Path) -> std::io::Result<()> {
+                Err(std::io::Error::other("rename refused"))
+            }
+            fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+                RealFs.remove_file(path)
+            }
+            fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+                RealFs.sync_dir(dir)
+            }
+            fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+                RealFs.create_dir_all(dir)
+            }
+            fn read_dir_names(&self, dir: &Path) -> std::io::Result<Vec<String>> {
+                RealFs.read_dir_names(dir)
+            }
+            fn exists(&self, path: &Path) -> bool {
+                RealFs.exists(path)
+            }
+        }
+        let dir = tmpdir("quarantine-norename");
+        fs::write(dir.join("job-5.meta"), "frobnicate\n").unwrap();
+        let scanned = scan(&NoRename, &dir).unwrap();
+        assert_eq!(scanned.quarantined, 1);
+        assert!(
+            !meta_path(&dir, JobId(5)).exists(),
+            "copy+remove fallback still moves the corrupt meta aside"
+        );
+        assert_eq!(
+            fs::read_to_string(dir.join("job-5.meta.quarantined")).unwrap(),
+            "frobnicate\n"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn max_job_id_counts_terminal_jobs() {
         let dir = tmpdir("maxid");
-        assert_eq!(max_job_id(&dir).unwrap(), 0);
-        write_submission(&dir, JobId(3), &sub("a")).unwrap();
-        write_result(&dir, JobId(3), "done", "Success").unwrap();
-        write_submission(&dir, JobId(2), &sub("b")).unwrap();
+        assert_eq!(max_job_id(&FS, &dir).unwrap(), 0);
+        write_submission(&FS, &dir, JobId(3), &sub("a")).unwrap();
+        write_result(&FS, &dir, JobId(3), "done", "Success").unwrap();
+        write_submission(&FS, &dir, JobId(2), &sub("b")).unwrap();
         // Job 3 is terminal — scan skips it — but its id stays burned.
-        assert_eq!(scan(&dir).unwrap().len(), 1);
-        assert_eq!(max_job_id(&dir).unwrap(), 3);
+        assert_eq!(scan(&FS, &dir).unwrap().jobs.len(), 1);
+        assert_eq!(max_job_id(&FS, &dir).unwrap(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tmp_staging_leftovers_burn_ids_but_do_not_scan() {
+        let dir = tmpdir("tmpleft");
+        // A crash between tmp-write and rename leaves exactly this.
+        fs::write(dir.join("job-9.meta.tmp"), "name half-written").unwrap();
+        assert!(scan(&FS, &dir).unwrap().jobs.is_empty(), "no meta, no job");
+        assert_eq!(max_job_id(&FS, &dir).unwrap(), 9, "but the id is burned");
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn reassigned_id_does_not_inherit_stale_state() {
         let dir = tmpdir("stale");
-        write_result(&dir, JobId(4), "done", "Success").unwrap();
+        write_result(&FS, &dir, JobId(4), "done", "Success").unwrap();
         fs::write(checkpoint_path(&dir, JobId(4)), "<EngineCheckpoint/>").unwrap();
-        write_elapsed(&dir, JobId(4), 9.0).unwrap();
-        write_submission(&dir, JobId(4), &sub("fresh")).unwrap();
+        write_elapsed(&FS, &dir, JobId(4), 9.0).unwrap();
+        write_submission(&FS, &dir, JobId(4), &sub("fresh")).unwrap();
         assert!(!result_path(&dir, JobId(4)).exists());
         assert!(!checkpoint_path(&dir, JobId(4)).exists());
-        assert_eq!(read_elapsed(&dir, JobId(4)), 0.0);
-        assert_eq!(scan(&dir).unwrap().len(), 1);
+        assert_eq!(read_elapsed(&FS, &dir, JobId(4)), 0.0);
+        assert_eq!(scan(&FS, &dir).unwrap().jobs.len(), 1);
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn elapsed_ledger_round_trips_and_clears() {
         let dir = tmpdir("elapsed");
-        assert_eq!(read_elapsed(&dir, JobId(5)), 0.0);
-        write_elapsed(&dir, JobId(5), 12.5).unwrap();
-        assert_eq!(read_elapsed(&dir, JobId(5)), 12.5);
-        remove_submission(&dir, JobId(5));
-        assert_eq!(read_elapsed(&dir, JobId(5)), 0.0);
+        assert_eq!(read_elapsed(&FS, &dir, JobId(5)), 0.0);
+        write_elapsed(&FS, &dir, JobId(5), 12.5).unwrap();
+        assert_eq!(read_elapsed(&FS, &dir, JobId(5)), 12.5);
+        remove_submission(&FS, &dir, JobId(5));
+        assert_eq!(read_elapsed(&FS, &dir, JobId(5)), 0.0);
         fs::remove_dir_all(&dir).ok();
     }
 }

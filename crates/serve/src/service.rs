@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use gridwfs_chaos::{relock, ChaosFs, FaultPlan, RealFs, StateFs};
 use gridwfs_trace::{JsonlSink, RingSink, TraceEvent, TraceKind, TraceSink};
 
 use crate::job::{JobId, JobRecord, JobState, Submission};
@@ -34,7 +35,7 @@ use crate::recover;
 const SERVICE_RING: usize = 1024;
 
 /// Service tuning knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServiceConfig {
     /// Worker threads (concurrent engine instances).
     pub workers: usize,
@@ -48,6 +49,13 @@ pub struct ServiceConfig {
     /// here; recovered incarnations append to the same journal.  `None`
     /// keeps tracing in-memory only (the service ring).
     pub trace_dir: Option<PathBuf>,
+    /// Filesystem all state-dir I/O goes through.  Production keeps the
+    /// default passthrough; tests can script exact crash points.
+    pub fs: Arc<dyn StateFs>,
+    /// Fault-injection plan.  `None` (the default) disables chaos
+    /// entirely; with a plan, state-dir I/O is wrapped in [`ChaosFs`] and
+    /// workers inject the plan's panics and stalls.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -58,7 +66,22 @@ impl Default for ServiceConfig {
             state_dir: None,
             default_deadline: None,
             trace_dir: None,
+            fs: Arc::new(RealFs),
+            chaos: None,
         }
+    }
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("state_dir", &self.state_dir)
+            .field("default_deadline", &self.default_deadline)
+            .field("trace_dir", &self.trace_dir)
+            .field("chaos", &self.chaos)
+            .finish_non_exhaustive()
     }
 }
 
@@ -87,6 +110,11 @@ impl std::error::Error for SubmitError {}
 /// State shared between the service handle and its workers.
 pub(crate) struct Shared {
     pub(crate) cfg: ServiceConfig,
+    /// The *effective* filesystem: `cfg.fs`, wrapped in [`ChaosFs`] when
+    /// the chaos plan injects state-dir faults.
+    pub(crate) fs: Arc<dyn StateFs>,
+    /// The chaos plan workers consult for panic/stall injection.
+    pub(crate) chaos: Option<Arc<FaultPlan>>,
     pub(crate) queue: BoundedQueue<JobId>,
     pub(crate) jobs: Mutex<HashMap<u64, JobRecord>>,
     pub(crate) subs: Mutex<HashMap<u64, Submission>>,
@@ -132,7 +160,16 @@ impl Service {
     /// directory (if configured), then spawns the worker pool.
     pub fn start(cfg: ServiceConfig) -> Result<Service, String> {
         assert!(cfg.workers > 0, "need at least one worker");
+        let chaos = cfg.chaos.clone().map(Arc::new);
+        let fs: Arc<dyn StateFs> = match &cfg.chaos {
+            Some(plan) if plan.has_fs_faults() => {
+                Arc::new(ChaosFs::new(cfg.fs.clone(), plan.clone()))
+            }
+            _ => cfg.fs.clone(),
+        };
         let shared = Arc::new(Shared {
+            fs,
+            chaos,
             queue: BoundedQueue::new(cfg.queue_capacity),
             jobs: Mutex::new(HashMap::new()),
             subs: Mutex::new(HashMap::new()),
@@ -149,17 +186,25 @@ impl Service {
             std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
         }
         if let Some(dir) = shared.cfg.state_dir.clone() {
-            std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-            let recovered = recover::scan(&dir)?;
+            shared
+                .fs
+                .create_dir_all(&dir)
+                .map_err(|e| format!("{}: {e}", dir.display()))?;
+            let scanned = recover::scan(shared.fs.as_ref(), &dir)?;
+            shared
+                .metrics
+                .counters
+                .quarantined
+                .fetch_add(scanned.quarantined, Ordering::Relaxed);
             // Seed id allocation from every job file on disk — terminal
             // jobs included — so a reused id can never pick up a stale
             // checkpoint or result marker.
-            let max_id = recover::max_job_id(&dir)?;
-            for (id, sub) in recovered {
+            let max_id = recover::max_job_id(shared.fs.as_ref(), &dir)?;
+            for (id, sub) in scanned.jobs {
                 let mut record = JobRecord::new(id, sub.name.clone(), shared.now(), true);
                 record.recovered = true;
-                shared.jobs.lock().unwrap().insert(id.0, record);
-                shared.subs.lock().unwrap().insert(id.0, sub);
+                relock(&shared.jobs).insert(id.0, record);
+                relock(&shared.subs).insert(id.0, sub);
                 // Refusing previously-admitted work would break the
                 // admission contract, so recovery bypasses the capacity
                 // check.
@@ -194,10 +239,10 @@ impl Service {
         }
         let id = JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
         let record = JobRecord::new(id, sub.name.clone(), self.shared.now(), false);
-        self.shared.jobs.lock().unwrap().insert(id.0, record);
-        self.shared.subs.lock().unwrap().insert(id.0, sub.clone());
+        relock(&self.shared.jobs).insert(id.0, record);
+        relock(&self.shared.subs).insert(id.0, sub.clone());
         if let Some(dir) = &self.shared.cfg.state_dir {
-            if let Err(e) = recover::write_submission(dir, id, &sub) {
+            if let Err(e) = recover::write_submission(self.shared.fs.as_ref(), dir, id, &sub) {
                 self.rollback(id);
                 self.reject(&sub.name, "io");
                 return Err(SubmitError::Io(e.to_string()));
@@ -257,10 +302,10 @@ impl Service {
     }
 
     fn rollback(&self, id: JobId) {
-        self.shared.jobs.lock().unwrap().remove(&id.0);
-        self.shared.subs.lock().unwrap().remove(&id.0);
+        relock(&self.shared.jobs).remove(&id.0);
+        relock(&self.shared.subs).remove(&id.0);
         if let Some(dir) = &self.shared.cfg.state_dir {
-            recover::remove_submission(dir, id);
+            recover::remove_submission(self.shared.fs.as_ref(), dir, id);
         }
         if let Some(dir) = &self.shared.cfg.trace_dir {
             let _ = std::fs::remove_file(recover::trace_path(dir, id));
@@ -269,12 +314,12 @@ impl Service {
 
     /// Snapshot of one job's record.
     pub fn status(&self, id: JobId) -> Option<JobRecord> {
-        self.shared.jobs.lock().unwrap().get(&id.0).cloned()
+        relock(&self.shared.jobs).get(&id.0).cloned()
     }
 
     /// Snapshot of every job, ascending by id.
     pub fn jobs(&self) -> Vec<JobRecord> {
-        let mut all: Vec<JobRecord> = self.shared.jobs.lock().unwrap().values().cloned().collect();
+        let mut all: Vec<JobRecord> = relock(&self.shared.jobs).values().cloned().collect();
         all.sort_by_key(|r| r.id);
         all
     }
@@ -284,7 +329,7 @@ impl Service {
     /// `Cancelled` shortly after.  Returns false for unknown or already
     /// terminal jobs.
     pub fn cancel(&self, id: JobId) -> bool {
-        let mut jobs = self.shared.jobs.lock().unwrap();
+        let mut jobs = relock(&self.shared.jobs);
         let Some(rec) = jobs.get_mut(&id.0) else {
             return false;
         };
@@ -296,14 +341,20 @@ impl Service {
                 rec.detail = Some("cancelled while queued".into());
                 Metrics::incr(&self.shared.metrics.counters.cancelled);
                 if let Some(dir) = &self.shared.cfg.state_dir {
-                    let _ = recover::write_result(dir, id, "cancelled", "cancelled while queued");
+                    let _ = recover::write_result(
+                        self.shared.fs.as_ref(),
+                        dir,
+                        id,
+                        "cancelled",
+                        "cancelled while queued",
+                    );
                 }
                 true
             }
             JobState::Running => {
                 rec.cancel_requested = true;
                 drop(jobs);
-                if let Some(stop) = self.shared.stops.lock().unwrap().get(&id.0) {
+                if let Some(stop) = relock(&self.shared.stops).get(&id.0) {
                     stop.store(true, Ordering::Relaxed);
                 }
                 true
@@ -341,7 +392,7 @@ impl Service {
         let deadline = Instant::now() + timeout;
         loop {
             let all_terminal = {
-                let jobs = self.shared.jobs.lock().unwrap();
+                let jobs = relock(&self.shared.jobs);
                 jobs.values().all(|r| r.state.is_terminal())
             };
             if all_terminal {
@@ -358,7 +409,7 @@ impl Service {
         self.shared.accepting.store(false, Ordering::Relaxed);
         if abort {
             self.shared.aborting.store(true, Ordering::Relaxed);
-            for stop in self.shared.stops.lock().unwrap().values() {
+            for stop in relock(&self.shared.stops).values() {
                 stop.store(true, Ordering::Relaxed);
             }
         }
@@ -390,5 +441,49 @@ impl Drop for Service {
         if !self.workers.is_empty() {
             self.halt(true);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gridspec::GridSpec;
+
+    #[test]
+    fn queries_survive_a_poisoned_jobs_mutex() {
+        crate::test_support::quiet_expected_panics();
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let id = svc
+            .submit(Submission {
+                name: "poison-probe".into(),
+                workflow_xml: "<Workflow name='w'>\
+                   <Activity name='a'><Implement>p</Implement></Activity>\
+                   <Program name='p' duration='5'><Option hostname='h1'/></Program>\
+                 </Workflow>"
+                    .into(),
+                grid: GridSpec::virtual_grid().with_host("h1", 1.0),
+                seed: 1,
+                deadline: None,
+            })
+            .unwrap();
+        assert!(svc.wait_all_terminal(Duration::from_secs(10)));
+        let shared = svc.shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = relock(&shared.jobs);
+            panic!("chaos: poison the jobs mutex");
+        })
+        .join();
+        // Queries, cancellation, and snapshots all answer from the
+        // recovered lock instead of propagating the poison.
+        assert_eq!(svc.status(id).unwrap().state, JobState::Done);
+        assert_eq!(svc.jobs().len(), 1);
+        assert!(!svc.cancel(id), "terminal job: cancel refused, no panic");
+        assert!(svc.metrics_json().contains("\"completed\": 1"));
+        let records = svc.drain();
+        assert_eq!(records.len(), 1);
     }
 }

@@ -1,11 +1,21 @@
 //! The worker loop: one popped job at a time, one engine instance each.
+//!
+//! A workflow closure that panics must not take its worker thread down —
+//! that would silently shrink the pool until the service stopped making
+//! progress.  [`run_job`] wraps the whole engine run in `catch_unwind`:
+//! the panicking job settles as `Failed` (detail: the panic payload), a
+//! `job_panicked` event lands in its journal and the service ring, the
+//! `jobs_panicked` counter bumps, and the worker survives to pop the next
+//! job.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use grid_wfs::engine::{Engine, EngineConfig, LogKind, Report};
-use grid_wfs::{checkpoint, Executor, Instance};
+use grid_wfs::{checkpoint, Executor, InjectedTaskFault, Instance};
+use gridwfs_chaos::relock;
 use gridwfs_trace::{FanoutSink, JsonlSink, TraceEvent, TraceKind, TraceSink};
 use gridwfs_wpdl::parse;
 use gridwfs_wpdl::validate::validate;
@@ -38,12 +48,12 @@ pub(crate) fn worker_loop(shared: Arc<Shared>) {
 }
 
 fn run_job(shared: &Arc<Shared>, id: JobId) {
-    let Some(sub) = shared.subs.lock().unwrap().get(&id.0).cloned() else {
+    let Some(sub) = relock(&shared.subs).get(&id.0).cloned() else {
         return;
     };
     let stop = Arc::new(AtomicBool::new(false));
     {
-        let mut jobs = shared.jobs.lock().unwrap();
+        let mut jobs = relock(&shared.jobs);
         let Some(rec) = jobs.get_mut(&id.0) else {
             return;
         };
@@ -55,14 +65,42 @@ fn run_job(shared: &Arc<Shared>, id: JobId) {
         // Register the stop flag before the state change becomes visible:
         // any cancel() that observes `Running` is then guaranteed to find
         // the flag (it takes the jobs lock first).
-        shared.stops.lock().unwrap().insert(id.0, stop.clone());
+        relock(&shared.stops).insert(id.0, stop.clone());
     }
     shared.metrics.running.fetch_add(1, Ordering::Relaxed);
     let journal = open_journal(shared, id, &sub);
     let wall_start = Instant::now();
-    let result = execute(shared, id, &sub, stop, journal.clone());
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        execute(shared, id, &sub, stop, journal.clone())
+    }));
+    let result = match caught {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Metrics::incr(&shared.metrics.counters.jobs_panicked);
+            if let Some(journal) = &journal {
+                journal.record(&TraceEvent {
+                    at: 0.0,
+                    kind: TraceKind::JobPanicked {
+                        job: id.0,
+                        detail: msg.clone(),
+                    },
+                });
+                journal.flush();
+            }
+            shared.trace(TraceKind::JobPanicked {
+                job: id.0,
+                detail: msg.clone(),
+            });
+            Err(format!("workflow panicked: {msg}"))
+        }
+    };
     let run_wall = wall_start.elapsed().as_secs_f64();
-    shared.stops.lock().unwrap().remove(&id.0);
+    relock(&shared.stops).remove(&id.0);
     shared.metrics.running.fetch_sub(1, Ordering::Relaxed);
     settle(shared, id, result, run_wall, journal);
 }
@@ -104,6 +142,18 @@ fn execute(
     stop: Arc<AtomicBool>,
     journal: Option<Arc<JsonlSink>>,
 ) -> Result<Report, String> {
+    // Chaos hooks run inside the caller's catch_unwind region: an
+    // injected panic exercises exactly the path a buggy workflow closure
+    // would take.  Both decisions are keyed by the submission seed, so
+    // they replay identically whatever worker picks the job up.
+    if let Some(plan) = &shared.chaos {
+        if let Some(pause) = plan.worker_stall(sub.seed) {
+            std::thread::sleep(pause);
+        }
+        if plan.job_panics(sub.seed) {
+            panic!("chaos: injected workflow panic (job seed {})", sub.seed);
+        }
+    }
     let ckpt_path = shared
         .cfg
         .state_dir
@@ -133,7 +183,7 @@ fn execute(
             .cfg
             .state_dir
             .as_ref()
-            .map(|dir| recover::read_elapsed(dir, id))
+            .map(|dir| recover::read_elapsed(shared.fs.as_ref(), dir, id))
             .unwrap_or(0.0);
         (total - consumed).max(0.0)
     });
@@ -158,7 +208,17 @@ fn execute(
             sink,
         )),
         ExecMode::Paced { scale } => {
-            let executor = sub.grid.build_paced(instance.workflow(), scale);
+            let mut executor = sub.grid.build_paced(instance.workflow(), scale);
+            // Paced mode runs real threads, so the stall fault can starve
+            // real heartbeats: the executor hook decides per task attempt.
+            if let Some(plan) = &shared.chaos {
+                let plan = plan.clone();
+                let seed = sub.seed;
+                executor.set_fault_hook(Arc::new(move |req: &grid_wfs::SubmitRequest| {
+                    plan.task_stall(seed, req.task.0)
+                        .map(|d| InjectedTaskFault::Stall(d.as_secs_f64()))
+                }));
+            }
             Ok(run_engine(instance, executor, config, sink))
         }
     }
@@ -190,10 +250,7 @@ fn settle(
         Err(msg) => (JobState::Failed, msg, None),
         Ok(report) => match report.aborted.as_deref() {
             Some("stop") => {
-                let cancel_requested = shared
-                    .jobs
-                    .lock()
-                    .unwrap()
+                let cancel_requested = relock(&shared.jobs)
                     .get(&id.0)
                     .is_some_and(|r| r.cancel_requested);
                 if cancel_requested {
@@ -205,8 +262,9 @@ fn settle(
                     // executor time this incarnation consumed so the resume
                     // gets the remaining deadline budget, not a fresh one.
                     if let Some(dir) = &shared.cfg.state_dir {
-                        let consumed = recover::read_elapsed(dir, id) + report.makespan;
-                        if let Err(e) = recover::write_elapsed(dir, id, consumed) {
+                        let fs = shared.fs.as_ref();
+                        let consumed = recover::read_elapsed(fs, dir, id) + report.makespan;
+                        if let Err(e) = recover::write_elapsed(fs, dir, id, consumed) {
                             eprintln!("gridwfs-serve: {id}: cannot write elapsed ledger: {e}");
                         }
                     }
@@ -220,7 +278,7 @@ fn settle(
                         });
                         journal.flush();
                     }
-                    let mut jobs = shared.jobs.lock().unwrap();
+                    let mut jobs = relock(&shared.jobs);
                     if let Some(rec) = jobs.get_mut(&id.0) {
                         rec.state = JobState::Queued;
                         rec.started_at = None;
@@ -268,7 +326,7 @@ fn settle(
         _ => Metrics::incr(&c.failed),
     }
     let latency = {
-        let mut jobs = shared.jobs.lock().unwrap();
+        let mut jobs = relock(&shared.jobs);
         let Some(rec) = jobs.get_mut(&id.0) else {
             return;
         };
@@ -292,7 +350,8 @@ fn settle(
         }
     }
     if let Some(dir) = &shared.cfg.state_dir {
-        if let Err(e) = recover::write_result(dir, id, state.as_str(), &detail) {
+        if let Err(e) = recover::write_result(shared.fs.as_ref(), dir, id, state.as_str(), &detail)
+        {
             eprintln!("gridwfs-serve: {id}: cannot write result marker: {e}");
         }
     }

@@ -1,0 +1,26 @@
+//! Shared helpers for the chaos-facing integration tests.
+
+use std::sync::Once;
+
+/// Installs a panic hook that stays quiet for the panics these tests
+/// inject on purpose (payloads mentioning "chaos:" or "expected panic")
+/// and delegates everything else to the default hook.  Without this the
+/// injected worker panics spray backtraces over the test output.
+pub fn quiet_expected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if msg.contains("chaos:") || msg.contains("expected panic") {
+                return;
+            }
+            default(info);
+        }));
+    });
+}

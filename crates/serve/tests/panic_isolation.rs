@@ -1,0 +1,95 @@
+//! Worker panic isolation (ISSUE satellite): one workflow whose closure
+//! panics must fail **only its own job** — the worker thread survives, the
+//! other N−1 jobs complete, the panic is counted and journalled.
+
+mod common;
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use gridwfs_serve::{recover, FaultPlan, GridSpec, JobState, Service, ServiceConfig, Submission};
+
+#[test]
+fn one_panicking_workflow_fails_alone_while_five_complete() {
+    common::quiet_expected_panics();
+
+    let trace = std::env::temp_dir().join(format!(
+        "gridwfs-panic-iso-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&trace);
+
+    // Six jobs, seeds 100..=105; the plan targets exactly seed 103.  With
+    // only two workers, every worker is guaranteed to keep popping jobs
+    // *after* the panic — three jobs each — so completion of all six
+    // proves the pool survived, not just that the panic was caught.
+    let plan = FaultPlan::parse("seed=1,panic_seed=103").unwrap();
+    let svc = Service::start(ServiceConfig {
+        workers: 2,
+        queue_capacity: 16,
+        trace_dir: Some(trace.clone()),
+        chaos: Some(plan),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+
+    let mut ids = Vec::new();
+    for i in 0..6u64 {
+        let id = svc
+            .submit(Submission {
+                name: format!("iso-{i}"),
+                workflow_xml: "<Workflow name='w'>\
+                   <Activity name='a'><Implement>p</Implement></Activity>\
+                   <Program name='p' duration='5'><Option hostname='h1'/></Program>\
+                 </Workflow>"
+                    .into(),
+                grid: GridSpec::virtual_grid().with_host("h1", 1.0),
+                seed: 100 + i,
+                deadline: None,
+            })
+            .unwrap();
+        ids.push((id, 100 + i));
+    }
+
+    assert!(
+        svc.wait_all_terminal(Duration::from_secs(30)),
+        "a worker died: jobs after the panic never ran"
+    );
+    assert_eq!(
+        svc.metrics().counters.jobs_panicked.load(Ordering::Relaxed),
+        1,
+        "exactly one panic expected"
+    );
+    let metrics_json = svc.metrics_json();
+    assert!(
+        metrics_json.contains("\"jobs_panicked\": 1"),
+        "snapshot missing the panic counter: {metrics_json}"
+    );
+
+    let records = svc.drain();
+    assert_eq!(records.len(), 6);
+    for (id, seed) in ids {
+        let rec = records.iter().find(|r| r.id == id).unwrap();
+        if seed == 103 {
+            assert_eq!(rec.state, JobState::Failed, "targeted job must fail");
+            let detail = rec.detail.as_deref().unwrap_or("");
+            assert!(
+                detail.contains("workflow panicked") && detail.contains("chaos:"),
+                "failure detail should carry the panic payload, got: {detail}"
+            );
+            // The flight journal records the panic for post-mortem.
+            let journal = std::fs::read_to_string(recover::trace_path(&trace, id)).unwrap();
+            assert!(
+                journal.contains("job_panicked"),
+                "journal missing job_panicked event:\n{journal}"
+            );
+        } else {
+            assert_eq!(
+                rec.state,
+                JobState::Done,
+                "job {id} (seed {seed}) should be untouched by the panic"
+            );
+        }
+    }
+}

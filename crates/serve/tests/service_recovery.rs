@@ -206,14 +206,14 @@ fn deadline_budget_carries_across_restarts() {
     }
     service.shutdown_now();
     assert!(
-        recover::read_elapsed(&dir, id) > 0.0,
+        recover::read_elapsed(&gridwfs_serve::RealFs, &dir, id) > 0.0,
         "aborted incarnation banked its consumed executor time"
     );
 
     // Simulate a job that has already burned through its whole budget:
     // the next incarnation must fail the deadline instead of granting a
     // fresh one.
-    recover::write_elapsed(&dir, id, 1e6).unwrap();
+    recover::write_elapsed(&gridwfs_serve::RealFs, &dir, id, 1e6).unwrap();
     let service = start(&dir);
     assert!(service.wait_all_terminal(Duration::from_secs(30)));
     let rec = service.status(id).unwrap();

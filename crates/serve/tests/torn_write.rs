@@ -1,0 +1,170 @@
+//! Torn-write robustness (ISSUE satellite): truncate every state-dir file
+//! kind at **every byte boundary** and assert recovery never panics, never
+//! loses track of an id, and either recovers or quarantines the entry.
+//!
+//! A torn write is a short write that *reported success* (lost page cache,
+//! powered-off disk cache): the corruption only surfaces at the next read.
+//! `write_atomic` makes these windows small but recovery must still treat
+//! every file on disk as potentially half-written.
+
+use std::path::{Path, PathBuf};
+
+use grid_wfs::{checkpoint, Instance};
+use gridwfs_serve::{recover, GridSpec, JobId, RealFs, Service, ServiceConfig, Submission};
+use gridwfs_wpdl::parse;
+use gridwfs_wpdl::validate::validate;
+
+const FS: RealFs = RealFs;
+
+const WF: &str = "<Workflow name='w'>\
+   <Activity name='a'><Implement>p</Implement></Activity>\
+   <Program name='p' duration='5'><Option hostname='h1'/></Program>\
+ </Workflow>";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gridwfs-torn-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn submission() -> Submission {
+    Submission {
+        name: "torn".into(),
+        workflow_xml: WF.into(),
+        grid: GridSpec::virtual_grid().with_host("h1", 1.0),
+        seed: 7,
+        deadline: None,
+    }
+}
+
+/// Write `job-<id>` into `dir` and return the full meta bytes.
+fn seed_job(dir: &Path, id: JobId) -> Vec<u8> {
+    recover::write_submission(&FS, dir, id, &submission()).unwrap();
+    std::fs::read(recover::meta_path(dir, id)).unwrap()
+}
+
+#[test]
+fn meta_truncated_at_every_byte_boundary_recovers_or_quarantines() {
+    let template = tmpdir("meta-template");
+    let id = JobId(7);
+    let full = seed_job(&template, id);
+    assert!(full.len() > 10, "meta file suspiciously small");
+
+    for len in 0..full.len() {
+        let dir = tmpdir("meta");
+        recover::write_submission(&FS, &dir, id, &submission()).unwrap();
+        std::fs::write(recover::meta_path(&dir, id), &full[..len]).unwrap();
+
+        let scanned = recover::scan(&FS, &dir)
+            .unwrap_or_else(|e| panic!("scan must not fail at len {len}: {e}"));
+        assert_eq!(
+            scanned.jobs.len() as u64 + scanned.quarantined,
+            1,
+            "len {len}: job neither recovered nor quarantined"
+        );
+        // Whatever happened to the meta, the id stays burned: a restarted
+        // service must never hand job-7's files to a new submission.
+        assert_eq!(recover::max_job_id(&FS, &dir).unwrap(), 7, "len {len}");
+
+        // A second scan is clean: quarantined entries were moved aside,
+        // recovered ones are still recoverable — and still burn the id.
+        let again = recover::scan(&FS, &dir).unwrap();
+        assert_eq!(again.quarantined, 0, "len {len}: quarantine not sticky");
+        assert_eq!(recover::max_job_id(&FS, &dir).unwrap(), 7, "len {len}");
+    }
+}
+
+#[test]
+fn checkpoint_truncated_at_every_byte_boundary_loads_gracefully() {
+    let workflow = parse::from_str(WF).unwrap();
+    let instance = Instance::new(validate(workflow).unwrap());
+    let xml = checkpoint::to_xml(&instance);
+    let bytes = xml.as_bytes();
+    assert!(
+        checkpoint::from_xml(&xml).is_ok(),
+        "full checkpoint round-trips"
+    );
+
+    let dir = tmpdir("ckpt");
+    let path = dir.join("job-1.ckpt");
+    for len in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..len]).unwrap();
+        // Must return, never panic; a truncated checkpoint is an Err the
+        // worker converts into a Failed job with the parse detail.
+        let _ = checkpoint::load(&path);
+    }
+}
+
+#[test]
+fn torn_checkpoint_on_disk_fails_the_job_instead_of_the_service() {
+    let workflow = parse::from_str(WF).unwrap();
+    let instance = Instance::new(validate(workflow).unwrap());
+    let xml = checkpoint::to_xml(&instance);
+
+    // A handful of representative tear points (full sweep is covered by
+    // the loader test above; here each point boots a whole service).
+    for len in [0, 1, xml.len() / 2, xml.len() - 1] {
+        let dir = tmpdir(&format!("ckpt-e2e-{len}"));
+        let id = JobId(3);
+        recover::write_submission(&FS, &dir, id, &submission()).unwrap();
+        std::fs::write(recover::checkpoint_path(&dir, id), &xml.as_bytes()[..len]).unwrap();
+
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            state_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        assert!(
+            svc.wait_all_terminal(std::time::Duration::from_secs(30)),
+            "len {len}: recovered job never settled"
+        );
+        let records = svc.drain();
+        let rec = records
+            .iter()
+            .find(|r| r.id == id)
+            .expect("job re-admitted");
+        assert!(
+            rec.state.is_terminal(),
+            "len {len}: expected terminal, got {:?}",
+            rec.state
+        );
+    }
+}
+
+#[test]
+fn elapsed_ledger_truncated_at_every_byte_boundary_reads_without_panic() {
+    let dir = tmpdir("elapsed");
+    let id = JobId(4);
+    recover::write_elapsed(&FS, &dir, id, 123.456).unwrap();
+    let full = std::fs::read(recover::elapsed_path(&dir, id)).unwrap();
+    assert!(!full.is_empty());
+
+    for len in 0..full.len() {
+        std::fs::write(recover::elapsed_path(&dir, id), &full[..len]).unwrap();
+        let v = recover::read_elapsed(&FS, &dir, id);
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "len {len}: read_elapsed returned {v}"
+        );
+    }
+}
+
+#[test]
+fn staging_and_quarantine_leftovers_still_burn_their_ids() {
+    let dir = tmpdir("leftovers");
+    std::fs::write(dir.join("job-12.meta.quarantined"), b"corrupt").unwrap();
+    std::fs::write(dir.join("job-9.meta.tmp"), b"half a meta").unwrap();
+    // Neither is scannable work...
+    let scanned = recover::scan(&FS, &dir).unwrap();
+    assert!(scanned.jobs.is_empty());
+    assert_eq!(scanned.quarantined, 0);
+    // ...but both keep their ids out of circulation.
+    assert_eq!(recover::max_job_id(&FS, &dir).unwrap(), 12);
+}

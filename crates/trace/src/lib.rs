@@ -26,7 +26,14 @@ use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Poison-tolerant lock: sinks must keep recording even if some thread
+/// panicked while holding the buffer (a chaos-injected workflow panic must
+/// not silence the journal that exists to record it).
+fn relock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// How a task attempt ended, as recorded in [`TraceKind::TaskSettled`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -221,6 +228,33 @@ pub enum TraceKind {
         /// Human detail (outcome, error, `deadline exceeded`, ...).
         detail: String,
     },
+    /// serve: the job's workflow closure panicked inside a worker; the
+    /// worker caught the unwind, failed the job, and survived.
+    JobPanicked {
+        /// Job id.
+        job: u64,
+        /// Panic payload (message), best-effort stringified.
+        detail: String,
+    },
+    /// engine: the per-host circuit breaker opened after consecutive
+    /// failures; no new attempts target the host until `until`.
+    BreakerOpen {
+        /// Host whose breaker opened.
+        host: String,
+        /// Executor time at which the breaker allows a half-open probe.
+        until: f64,
+    },
+    /// engine: a submission to a host with an open breaker went ahead as a
+    /// half-open probe (backoff elapsed, or every candidate host was open).
+    BreakerProbe {
+        /// Host being probed.
+        host: String,
+    },
+    /// engine: a success on a probed host closed its breaker.
+    BreakerClosed {
+        /// Host whose breaker closed.
+        host: String,
+    },
 }
 
 impl TraceKind {
@@ -246,6 +280,10 @@ impl TraceKind {
             TraceKind::JobStarted { .. } => "job_start",
             TraceKind::JobAborted { .. } => "job_abort",
             TraceKind::JobSettled { .. } => "job_settle",
+            TraceKind::JobPanicked { .. } => "job_panicked",
+            TraceKind::BreakerOpen { .. } => "breaker_open",
+            TraceKind::BreakerProbe { .. } => "breaker_probe",
+            TraceKind::BreakerClosed { .. } => "breaker_closed",
         }
     }
 }
@@ -440,6 +478,24 @@ impl TraceEvent {
                 o.push_str(",\"detail\":");
                 push_escaped(&mut o, detail);
             }
+            TraceKind::JobPanicked { job, detail } => {
+                o.push_str(&format!(",\"job\":{job},\"detail\":"));
+                push_escaped(&mut o, detail);
+            }
+            TraceKind::BreakerOpen { host, until } => {
+                o.push_str(",\"host\":");
+                push_escaped(&mut o, host);
+                o.push_str(",\"until\":");
+                push_f64(&mut o, *until);
+            }
+            TraceKind::BreakerProbe { host } => {
+                o.push_str(",\"host\":");
+                push_escaped(&mut o, host);
+            }
+            TraceKind::BreakerClosed { host } => {
+                o.push_str(",\"host\":");
+                push_escaped(&mut o, host);
+            }
         }
         o.push('}');
         o
@@ -494,12 +550,12 @@ impl RingSink {
 
     /// Snapshot of the retained events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.buf.lock().unwrap().iter().cloned().collect()
+        relock(&self.buf).iter().cloned().collect()
     }
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.buf.lock().unwrap().len()
+        relock(&self.buf).len()
     }
 
     /// True when nothing has been recorded (or everything was evicted).
@@ -510,7 +566,7 @@ impl RingSink {
 
 impl TraceSink for RingSink {
     fn record(&self, event: &TraceEvent) {
-        let mut buf = self.buf.lock().unwrap();
+        let mut buf = relock(&self.buf);
         if buf.len() == self.capacity {
             buf.pop_front();
         }
@@ -533,13 +589,13 @@ impl VecSink {
 
     /// Snapshot of everything recorded so far.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.buf.lock().unwrap().clone()
+        relock(&self.buf).clone()
     }
 }
 
 impl TraceSink for VecSink {
     fn record(&self, event: &TraceEvent) {
-        self.buf.lock().unwrap().push(event.clone());
+        relock(&self.buf).push(event.clone());
     }
 }
 
@@ -580,7 +636,7 @@ impl JsonlSink {
 
 impl TraceSink for JsonlSink {
     fn record(&self, event: &TraceEvent) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = relock(&self.inner);
         if inner.error.is_some() {
             return;
         }
@@ -591,7 +647,7 @@ impl TraceSink for JsonlSink {
     }
 
     fn flush(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = relock(&self.inner);
         if inner.error.is_some() {
             return;
         }
@@ -601,7 +657,7 @@ impl TraceSink for JsonlSink {
     }
 
     fn error(&self) -> Option<String> {
-        self.inner.lock().unwrap().error.clone()
+        relock(&self.inner).error.clone()
     }
 }
 
@@ -713,6 +769,56 @@ mod tests {
             );
             assert!(e.to_json().contains(&format!("\"outcome\":\"{s}\"")));
         }
+    }
+
+    #[test]
+    fn chaos_and_breaker_kinds_have_stable_wire_forms() {
+        let cases = [
+            (
+                ev(
+                    0.0,
+                    TraceKind::JobPanicked {
+                        job: 3,
+                        detail: "boom".into(),
+                    },
+                ),
+                r#"{"at":0,"kind":"job_panicked","job":3,"detail":"boom"}"#,
+            ),
+            (
+                ev(
+                    12.5,
+                    TraceKind::BreakerOpen {
+                        host: "h1".into(),
+                        until: 19.25,
+                    },
+                ),
+                r#"{"at":12.5,"kind":"breaker_open","host":"h1","until":19.25}"#,
+            ),
+            (
+                ev(19.25, TraceKind::BreakerProbe { host: "h1".into() }),
+                r#"{"at":19.25,"kind":"breaker_probe","host":"h1"}"#,
+            ),
+            (
+                ev(20.0, TraceKind::BreakerClosed { host: "h1".into() }),
+                r#"{"at":20,"kind":"breaker_closed","host":"h1"}"#,
+            ),
+        ];
+        for (event, wire) in cases {
+            assert_eq!(event.to_json(), wire);
+        }
+    }
+
+    #[test]
+    fn sinks_survive_a_poisoned_buffer() {
+        let ring = Arc::new(RingSink::new(4));
+        let r2 = Arc::clone(&ring);
+        let _ = std::thread::spawn(move || {
+            let _g = r2.buf.lock().unwrap();
+            panic!("poison the ring");
+        })
+        .join();
+        ring.record(&ev(1.0, TraceKind::JobRecovered { job: 1 }));
+        assert_eq!(ring.len(), 1, "poisoned ring still records");
     }
 
     #[test]

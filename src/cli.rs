@@ -35,8 +35,8 @@ use grid_wfs::sim_executor::{SimGrid, TaskProfile};
 use grid_wfs::TraceSink;
 use gridwfs_serve::json::{json_number, json_string};
 use gridwfs_serve::{
-    ExecMode, GridSpec, HostSpec, JobState, LinkSpec, ProfileSpec, Service, ServiceConfig,
-    Submission, SubmitError,
+    ExecMode, FaultPlan, GridSpec, HostSpec, JobState, LinkSpec, ProfileSpec, Service,
+    ServiceConfig, Submission, SubmitError,
 };
 use gridwfs_sim::dist::Dist;
 use gridwfs_sim::net::LinkModel;
@@ -254,6 +254,9 @@ pub struct RunOptions {
     /// Write the flight-recorder journal (JSONL, one event per line) to
     /// this path.  Byte-identical across re-runs with the same seed.
     pub trace: Option<PathBuf>,
+    /// Enable the per-host circuit breaker with this consecutive-failure
+    /// threshold (decorrelated-jitter backoff, half-open probes).
+    pub breaker: Option<u32>,
 }
 
 /// Renders a [`Report`] as machine-readable JSON (schema 1): outcome,
@@ -329,6 +332,7 @@ pub fn cmd_run_repeat(opts: &RunOptions, n: u32) -> Result<String, CliError> {
             ..RunOptions::default()
         };
         one.reorder_settle = opts.reorder_settle;
+        one.breaker = opts.breaker;
         let (report, _) = cmd_run(&one)?;
         if report.is_success() {
             successes += 1;
@@ -402,6 +406,15 @@ pub fn run_with_config(cfg: &GridConfig, opts: &RunOptions) -> Result<(Report, S
         ..EngineConfig::default()
     };
     config.checkpoint_path = opts.checkpoint.clone();
+    if let Some(threshold) = opts.breaker {
+        if threshold == 0 {
+            return err("--breaker threshold must be >= 1");
+        }
+        config.breaker = Some(grid_wfs::BreakerConfig {
+            threshold,
+            ..grid_wfs::BreakerConfig::default()
+        });
+    }
     let mut engine = engine.with_config(config);
     let trace_sink = match &opts.trace {
         Some(path) => {
@@ -477,6 +490,9 @@ pub struct ServeOptions {
     pub metrics: Option<PathBuf>,
     /// Flight-recorder directory: each job writes `job-<id>.trace.jsonl`.
     pub trace_dir: Option<PathBuf>,
+    /// Chaos fault-plan spec (e.g. `seed=7,panic=0.1,torn=0.2`); the whole
+    /// batch runs under seeded fault injection (see `gridwfs-chaos`).
+    pub chaos: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -492,6 +508,7 @@ impl Default for ServeOptions {
             seed: None,
             metrics: None,
             trace_dir: None,
+            chaos: None,
         }
     }
 }
@@ -570,16 +587,23 @@ pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, 
         None => ExecMode::Virtual,
     };
     let spec = grid_config_to_spec(cfg, mode)?;
+    let chaos = match &opts.chaos {
+        Some(s) => Some(FaultPlan::parse(s).map_err(CliError)?),
+        None => None,
+    };
     let service = Service::start(ServiceConfig {
         workers: opts.workers,
         queue_capacity: opts.queue,
         state_dir: opts.state_dir.clone(),
         default_deadline: opts.deadline,
         trace_dir: opts.trace_dir.clone(),
+        chaos: chaos.clone(),
+        ..ServiceConfig::default()
     })
     .map_err(CliError)?;
     let base_seed = opts.seed.unwrap_or(cfg.seed);
     let mut backpressure_retries = 0u64;
+    let mut out_faults = String::new();
     for (i, wf) in opts.workflows.iter().enumerate() {
         let sub = Submission {
             name: wf
@@ -598,6 +622,17 @@ pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, 
                     // Backpressure: hold the batch until a slot frees up.
                     backpressure_retries += 1;
                     std::thread::sleep(Duration::from_millis(5));
+                }
+                // An injected persistence fault is the point of a chaos
+                // run: the rejection is loud, deterministic, and retrying
+                // would hit it again — report it and keep going.
+                Err(SubmitError::Io(e)) if chaos.is_some() => {
+                    let _ = writeln!(
+                        out_faults,
+                        "{}: rejected by injected fault: {e}",
+                        wf.display()
+                    );
+                    break;
                 }
                 Err(e) => return err(format!("{}: {e}", wf.display())),
             }
@@ -627,11 +662,15 @@ pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, 
             r.detail.as_deref().unwrap_or(""),
         );
     }
+    out.push_str(&out_faults);
     if backpressure_retries > 0 {
         let _ = writeln!(
             out,
             "backpressure: {backpressure_retries} submit retries while the queue was full"
         );
+    }
+    if let Some(plan) = &chaos {
+        let _ = writeln!(out, "chaos: ran under fault plan '{plan}'");
     }
     match &opts.metrics {
         Some(path) => {
@@ -666,6 +705,8 @@ RUN OPTIONS:
   --resume <file>      resume navigation from a saved checkpoint
   --reorder <delay>    buffer notifications against transport reordering
   --repeat <n>         Monte-Carlo over n consecutive seeds; print statistics
+  --breaker <n>        per-host circuit breaker: n consecutive failures open
+                       a host (jittered backoff, half-open probes)
   --timeline           render an ASCII Gantt of all attempts
   --verbose            include the full engine log
   --json <file>        also write a machine-readable JSON report
@@ -683,6 +724,8 @@ SERVE OPTIONS:
   --metrics <file>     write the final metrics JSON snapshot here
   --trace-dir <dir>    per-job flight-recorder journals (job-<id>.trace.jsonl);
                        recovered incarnations append to the same journal
+  --chaos <spec>       seeded fault injection for the whole batch, e.g.
+                       seed=7,panic=0.1,torn=0.2,stall=0.1 (see gridwfs-chaos)
 ";
 
 /// Parses the shared `run`/`resume` option set.  With `resume_first` the
@@ -715,6 +758,12 @@ fn parse_run_opts<'a>(
                 opts.repeat = match rest.next().map(|v| v.parse()) {
                     Some(Ok(n)) => Some(n),
                     _ => return err("--repeat requires an integer"),
+                }
+            }
+            "--breaker" => {
+                opts.breaker = match rest.next().map(|v| v.parse()) {
+                    Some(Ok(n)) => Some(n),
+                    _ => return err("--breaker requires an integer threshold"),
                 }
             }
             "--timeline" => opts.timeline = true,
@@ -804,6 +853,7 @@ pub fn main_with_args(args: &[String]) -> (i32, String) {
                     }
                     "--metrics" => opts.metrics = rest.next().map(PathBuf::from),
                     "--trace-dir" => opts.trace_dir = rest.next().map(PathBuf::from),
+                    "--chaos" => opts.chaos = rest.next().cloned(),
                     other if !other.starts_with("--") => opts.workflows.push(PathBuf::from(other)),
                     other => return err(format!("unknown argument '{other}'\n\n{USAGE}")),
                 }
@@ -1255,6 +1305,87 @@ mod tests {
         let spec = grid_config_to_spec(&cfg, ExecMode::Virtual).unwrap();
         assert_eq!(spec.hosts.len(), 1);
         assert_eq!(spec.hosts[0].hostname, "h1");
+    }
+
+    #[test]
+    fn serve_chaos_flag_injects_a_panic_and_reports_it() {
+        // Keep the injected panic from spraying a backtrace over the
+        // test output; everything else still reaches the default hook.
+        static QUIET: std::sync::Once = std::sync::Once::new();
+        QUIET.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let is_injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains("chaos:"));
+                if !is_injected {
+                    default(info);
+                }
+            }));
+        });
+        let dir = tmpdir();
+        let mut workflows = Vec::new();
+        for i in 0..2 {
+            let path = dir.join(format!("wf{i}.xml"));
+            std::fs::write(&path, WF).unwrap();
+            workflows.push(path);
+        }
+        let cfg = grid_literal();
+        // Job i runs with seed base+i; the plan targets exactly seed 101,
+        // so the second workflow fails and the first is untouched.
+        let opts = ServeOptions {
+            workflows,
+            workers: 1,
+            queue: 8,
+            seed: Some(100),
+            chaos: Some("seed=1,panic_seed=101".into()),
+            ..ServeOptions::default()
+        };
+        let (code, out) = serve_with_config(&cfg, &opts).unwrap();
+        assert_eq!(code, 1, "{out}");
+        assert_eq!(out.matches(" done ").count(), 1, "{out}");
+        assert!(out.contains("workflow panicked"), "{out}");
+        assert!(out.contains("chaos: ran under fault plan"), "{out}");
+        assert!(out.contains("\"jobs_panicked\": 1"), "{out}");
+        let bad = ServeOptions {
+            workflows: vec![dir.join("wf0.xml")],
+            chaos: Some("seed=1,panic=nope".into()),
+            ..ServeOptions::default()
+        };
+        assert!(serve_with_config(&cfg, &bad).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_breaker_flag_parses_and_runs() {
+        let dir = tmpdir();
+        let wf = dir.join("wf.xml");
+        std::fs::write(&wf, WF).unwrap();
+        let cfg = grid_literal();
+        let opts = RunOptions {
+            workflow: Some(wf.clone()),
+            breaker: Some(2),
+            ..RunOptions::default()
+        };
+        let (report, out) = run_with_config(&cfg, &opts).unwrap();
+        assert!(report.is_success(), "{out}");
+        let bad = RunOptions {
+            workflow: Some(wf),
+            breaker: Some(0),
+            ..RunOptions::default()
+        };
+        assert!(run_with_config(&cfg, &bad).is_err());
+        // Arg-parse path: a non-integer threshold is rejected before
+        // anything touches the filesystem.
+        let args: Vec<String> = ["run", "wf.xml", "--breaker", "soon"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (code, out) = main_with_args(&args);
+        assert_eq!(code, 2);
+        assert!(out.contains("--breaker"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
