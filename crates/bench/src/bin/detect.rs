@@ -1,0 +1,87 @@
+//! Failure-detection study (extension): fixed timeout vs φ-accrual over
+//! lossy heartbeat links.  For every (drop probability, jitter) cell the
+//! sweep measures, per policy, the false-suspicion rate against a live
+//! sender, the mean detection latency for a real crash (conditional on the
+//! detector still trusting the sender when it dies), and the mean
+//! completion time of a task restarted from scratch on every false
+//! suspicion.  See `gridwfs_eval::detect_sweep` for the channel model.
+
+use gridwfs_eval::detect_sweep::{
+    evaluate, DetectParams, DetectorKind, LinkParams, DROP_GRID, JITTER_GRID,
+};
+use gridwfs_eval::sweep::Series;
+
+const POLICIES: [DetectorKind; 6] = [
+    DetectorKind::FixedTimeout { tolerance: 3.0 },
+    DetectorKind::FixedTimeout { tolerance: 5.0 },
+    DetectorKind::FixedTimeout { tolerance: 8.0 },
+    DetectorKind::Phi { threshold: 4.0 },
+    DetectorKind::Phi { threshold: 8.0 },
+    DetectorKind::Phi { threshold: 12.0 },
+];
+
+fn main() {
+    let opts = gridwfs_bench::options();
+    let mut report = gridwfs_bench::Report::new("detect", &opts);
+    let p = DetectParams::default();
+    println!(
+        "== failure detection: fixed timeout vs phi-accrual (interval {}, horizon {} beats, crash at {})",
+        p.interval, p.horizon_beats, p.crash_at
+    );
+    println!("   runs/cell: {}\n", opts.runs);
+    for &jitter in &JITTER_GRID {
+        let mut false_rate = Vec::new();
+        let mut latency = Vec::new();
+        let mut completion = Vec::new();
+        for kind in POLICIES {
+            let mut fr = Vec::new();
+            let mut lat = Vec::new();
+            let mut comp = Vec::new();
+            for &drop_p in &DROP_GRID {
+                let link = LinkParams { drop_p, jitter };
+                let seed = 0xDE7EC7 ^ ((jitter * 64.0) as u64) << 8 ^ ((drop_p * 64.0) as u64);
+                let point = evaluate(kind, link, &p, opts.runs, seed);
+                report.add_samples(opts.runs as u64);
+                fr.push((drop_p, point.false_suspicion_rate));
+                lat.push((drop_p, point.mean_detection_latency));
+                comp.push((drop_p, point.mean_completion_time));
+            }
+            false_rate.push(Series {
+                label: kind.label(),
+                points: fr,
+            });
+            latency.push(Series {
+                label: kind.label(),
+                points: lat,
+            });
+            completion.push(Series {
+                label: kind.label(),
+                points: comp,
+            });
+        }
+        for (metric, series) in [
+            ("false_suspicion_rate", &false_rate),
+            ("detection_latency", &latency),
+            ("completion_time", &completion),
+        ] {
+            gridwfs_bench::print_figure(
+                &format!("detect_{metric}_jitter{jitter}"),
+                &format!("{metric} vs drop probability (jitter {jitter})"),
+                &format!(
+                    "interval {}, horizon {} beats, work {}, jitter {jitter}",
+                    p.interval, p.horizon_beats, p.work
+                ),
+                "drop_p",
+                series,
+                &opts,
+            );
+            report.add_figure(
+                &format!("detect_{metric}_jitter{jitter}"),
+                "drop_p",
+                series,
+                0,
+            );
+        }
+    }
+    report.save(&opts);
+}

@@ -24,7 +24,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use gridwfs_detect::detector::{CrashReason, Detection, Detector};
+use gridwfs_detect::detector::{CrashReason, Detection, Detector, DetectorPolicy};
 use gridwfs_detect::exception::{ExceptionDef, ExceptionRegistry, Severity};
 use gridwfs_detect::heartbeat::Liveness;
 use gridwfs_detect::notify::TaskId;
@@ -191,6 +191,12 @@ pub struct EngineConfig {
     /// half-open probe succeeds.  `None` (the default) disables breakers
     /// entirely and leaves existing traces byte-identical.
     pub breaker: Option<crate::breaker::BreakerConfig>,
+    /// Crash-presumption policy (see [`gridwfs_detect::detector::DetectorPolicy`]):
+    /// the classic fixed timeout (`interval × tolerance`, the default — keeps
+    /// existing traces byte-identical) or adaptive φ-accrual suspicion that
+    /// learns the observed heartbeat inter-arrival distribution and resists
+    /// false presumptions under jittery, lossy links.
+    pub detector: DetectorPolicy,
 }
 
 impl Default for EngineConfig {
@@ -204,6 +210,7 @@ impl Default for EngineConfig {
             stop: None,
             deadline: None,
             breaker: None,
+            detector: DetectorPolicy::default(),
         }
     }
 }
@@ -274,6 +281,11 @@ pub struct Engine<X: Executor> {
     nodes: HashMap<String, NodeRt>,
     attempts: HashMap<TaskId, (String, usize)>,
     attempt_hosts: HashMap<TaskId, String>,
+    /// Activity of each attempt presumed dead by the detector — post-mortem
+    /// evidence from such an attempt (a zombie completion, a late heartbeat)
+    /// is journalled under this name even though the attempt has long been
+    /// removed from `attempts`.
+    presumed: HashMap<TaskId, String>,
     breakers: Option<crate::breaker::HostBreakers>,
     timers: BinaryHeap<Timer>,
     timer_seq: u64,
@@ -312,6 +324,7 @@ impl<X: Executor> Engine<X> {
             nodes: HashMap::new(),
             attempts: HashMap::new(),
             attempt_hosts: HashMap::new(),
+            presumed: HashMap::new(),
             breakers: None,
             timers: BinaryHeap::new(),
             timer_seq: 0,
@@ -331,6 +344,7 @@ impl<X: Executor> Engine<X> {
             .breaker
             .clone()
             .map(crate::breaker::HostBreakers::new);
+        self.detector.set_policy(config.detector.clone());
         self.config = config;
         self
     }
@@ -838,6 +852,44 @@ impl<X: Executor> Engine<X> {
 
     fn handle(&mut self, detection: Detection) {
         let task = detection.task();
+        // Post-mortem evidence from presumed-dead attempts is handled before
+        // the `attempts` lookup: the attempt was removed at presumption, so
+        // these would otherwise vanish as "stale".  The attempt stays settled
+        // — fencing means the evidence is journalled and discarded, never
+        // allowed to re-settle a node or resurrect a cancelled replica.
+        match &detection {
+            Detection::Zombie { body, .. } => {
+                let activity = self
+                    .presumed
+                    .get(&task)
+                    .cloned()
+                    .unwrap_or_else(|| "?".to_string());
+                self.log(
+                    LogKind::Detect,
+                    format!("{activity} {task} zombie {body} discarded (presumed dead)"),
+                );
+                self.trace(TraceKind::ZombieCompletion {
+                    activity,
+                    task: task.0,
+                    body: (*body).to_string(),
+                });
+                return;
+            }
+            Detection::LateHeartbeat { seq, .. } => {
+                let activity = self
+                    .presumed
+                    .get(&task)
+                    .cloned()
+                    .unwrap_or_else(|| "?".to_string());
+                self.trace(TraceKind::LateHeartbeat {
+                    activity,
+                    task: task.0,
+                    seq: *seq,
+                });
+                return;
+            }
+            _ => {}
+        }
         let Some(&(ref name, slot)) = self.attempts.get(&task) else {
             return; // stale: attempt was cancelled or node already settled
         };
@@ -866,9 +918,33 @@ impl<X: Executor> Engine<X> {
                     }
                 };
                 self.log(LogKind::Detect, format!("{name} {task} {why}"));
+                if reason == CrashReason::HeartbeatLoss {
+                    // A presumption, not an observation: the attempt may be
+                    // alive behind a flaky link.  Journal the evidence that
+                    // convicted it and remember its activity so post-mortem
+                    // messages can be attributed when they surface later.
+                    let suspicion = self.detector.suspicion(task);
+                    self.trace(TraceKind::SuspicionRaised {
+                        activity: name.clone(),
+                        task: task.0,
+                        silence: suspicion.map(|s| s.silence).unwrap_or(0.0),
+                        phi: suspicion.and_then(|s| s.phi),
+                    });
+                    self.presumed.insert(task, name.clone());
+                }
                 self.attempts.remove(&task);
                 let host = self.attempt_hosts.remove(&task);
                 self.settle_attempt(&name, task, TaskOutcome::Crashed, reason_str);
+                if reason == CrashReason::HeartbeatLoss {
+                    // Best-effort cancel to the possibly-alive orphan — it
+                    // travels the same unreliable network, so it may be lost
+                    // and messages already in flight still arrive.
+                    self.executor.orphan_cancel(task);
+                    self.trace(TraceKind::OrphanCancelled {
+                        activity: name.clone(),
+                        task: task.0,
+                    });
+                }
                 self.breaker_failure(host.as_deref());
                 self.recover_or_fail(&name, slot, NodeStatus::Failed);
             }
@@ -916,6 +992,9 @@ impl<X: Executor> Engine<X> {
                     flag: flag.clone(),
                 });
                 self.log(LogKind::Checkpoint, format!("{name} {task} flag={flag}"));
+            }
+            Detection::Zombie { .. } | Detection::LateHeartbeat { .. } => {
+                unreachable!("post-mortem evidence is handled before the attempts lookup")
             }
         }
     }

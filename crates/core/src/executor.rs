@@ -51,6 +51,18 @@ pub trait Executor {
     /// required to arrive, but stale ones may.
     fn cancel(&mut self, task: TaskId);
 
+    /// Best-effort cancel of an *orphaned* attempt — one the engine has
+    /// presumed dead and superseded.  Unlike [`Executor::cancel`] (an
+    /// engine-side decision that takes effect immediately), an orphan
+    /// cancel is a message to a possibly-alive remote task: it travels the
+    /// same unreliable network as everything else, so notifications the
+    /// orphan already sent may still arrive, and the cancel itself may be
+    /// lost.  The default forwards to `cancel` for executors without a
+    /// network model.
+    fn orphan_cancel(&mut self, task: TaskId) {
+        self.cancel(task);
+    }
+
     /// Delivers the next notification at or before `deadline`.
     ///
     /// * `Some((t, env))` — a notification delivered at time `t` (the clock

@@ -55,6 +55,7 @@ pub mod timeline;
 pub use breaker::{BreakerConfig, BreakerEvent, HostBreakers};
 pub use engine::{Engine, EngineConfig, LogEntry, LogKind, Report};
 pub use executor::{Executor, SubmitRequest};
+pub use gridwfs_detect::{DetectorPolicy, PhiConfig};
 pub use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind, TraceSink};
 pub use instance::{CompleteResult, EdgeState, Instance, NodeStatus, Outcome};
 pub use sim_executor::{ExceptionProfile, SimGrid, TaskProfile};

@@ -103,8 +103,15 @@ pub struct SimGrid {
     hosts: HashMap<String, HostState>,
     profiles: HashMap<String, TaskProfile>,
     link: LinkModel,
+    host_links: HashMap<String, LinkModel>,
     rng: Rng,
-    pending: HashMap<TaskId, Vec<gridwfs_sim::event::EventId>>,
+    /// Scheduled notification events per attempt, with their *send* times
+    /// — an orphan cancel arriving at the host at time `t` suppresses only
+    /// messages the task would have sent after `t`.
+    pending: HashMap<TaskId, Vec<(gridwfs_sim::event::EventId, f64)>>,
+    /// Which host each attempt was submitted to (orphan cancels must
+    /// travel that host's link).
+    task_hosts: HashMap<TaskId, String>,
     submitted: u64,
 }
 
@@ -116,15 +123,29 @@ impl SimGrid {
             hosts: HashMap::new(),
             profiles: HashMap::new(),
             link: LinkModel::perfect(),
+            host_links: HashMap::new(),
             rng: Rng::seed_from_u64(seed),
             pending: HashMap::new(),
+            task_hosts: HashMap::new(),
             submitted: 0,
         }
     }
 
-    /// Replaces the notification link model.
+    /// Replaces the default notification link model (used by every host
+    /// without a per-host override).
     pub fn with_link(mut self, link: LinkModel) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Overrides the link model for one host.
+    pub fn set_host_link(&mut self, host: impl Into<String>, link: LinkModel) {
+        self.host_links.insert(host.into(), link);
+    }
+
+    /// Builder form of [`SimGrid::set_host_link`].
+    pub fn with_host_link(mut self, host: impl Into<String>, link: LinkModel) -> Self {
+        self.set_host_link(host, link);
         self
     }
 
@@ -153,14 +174,16 @@ impl SimGrid {
         self.hosts.contains_key(hostname)
     }
 
+    fn link_for(&self, host: &str) -> &LinkModel {
+        self.host_links.get(host).unwrap_or(&self.link)
+    }
+
     fn deliver(&mut self, task: TaskId, host: &str, send_at: f64, body: Notification) {
-        match self.link.offer(&mut self.rng) {
-            Delivery::Dropped => {}
-            Delivery::After(delay) => {
-                let env = Envelope::new(task, host, send_at, body);
-                let id = self.sim.schedule_at(SimTime::new(send_at + delay), env);
-                self.pending.entry(task).or_default().push(id);
-            }
+        let link = self.link_for(host).clone();
+        for delay in link.offer_copies(&mut self.rng) {
+            let env = Envelope::new(task, host, send_at, body.clone());
+            let id = self.sim.schedule_at(SimTime::new(send_at + delay), env);
+            self.pending.entry(task).or_default().push((id, send_at));
         }
     }
 
@@ -180,6 +203,7 @@ impl Executor for SimGrid {
 
     fn submit(&mut self, req: SubmitRequest) {
         self.submitted += 1;
+        self.task_hosts.insert(req.task, req.hostname.clone());
         let attempt_rng_id = 0x7A5C_0000_0000 | req.task.0;
         let mut arng = self.rng.split(attempt_rng_id);
         let now = self.now();
@@ -337,8 +361,40 @@ impl Executor for SimGrid {
 
     fn cancel(&mut self, task: TaskId) {
         if let Some(ids) = self.pending.remove(&task) {
-            for id in ids {
+            for (id, _) in ids {
                 self.sim.cancel(id);
+            }
+        }
+    }
+
+    fn orphan_cancel(&mut self, task: TaskId) {
+        // The cancel is a message to the (possibly alive) remote task: it
+        // travels the host's link like everything else.  If it gets
+        // through, it arrives at `now + delay` and stops the task — which
+        // suppresses only notifications the task would have *sent* after
+        // that instant.  Messages already in flight still deliver, which
+        // is exactly what makes zombies possible.
+        let Some(host) = self.task_hosts.get(&task).cloned() else {
+            return; // never submitted here: nothing to cancel
+        };
+        let link = self.link_for(&host).clone();
+        match link.offer(&mut self.rng) {
+            Delivery::Dropped => {} // cancel lost; the orphan streams on
+            Delivery::After(delay) => {
+                let arrival = self.now() + delay;
+                if let Some(ids) = self.pending.get_mut(&task) {
+                    ids.retain(|&(id, send_at)| {
+                        if send_at > arrival {
+                            self.sim.cancel(id);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if ids.is_empty() {
+                        self.pending.remove(&task);
+                    }
+                }
             }
         }
     }
@@ -350,7 +406,7 @@ impl Executor for SimGrid {
         };
         // Drop the event id from the cancellation index.
         if let Some(ids) = self.pending.get_mut(&fired.payload.task) {
-            ids.retain(|&id| id != fired.id);
+            ids.retain(|&(id, _)| id != fired.id);
             if ids.is_empty() {
                 self.pending.remove(&fired.payload.task);
             }
@@ -582,6 +638,94 @@ mod tests {
         g.add_host(ResourceSpec::reliable("h"));
         g.submit(req(1, "h", 5.0));
         assert!(g.is_idle(), "everything dropped at the link");
+    }
+
+    #[test]
+    fn orphan_cancel_lets_in_flight_messages_deliver() {
+        // Every message on h travels 3 time units.  The orphan cancel sent
+        // at t=3 reaches the host at t=6: it suppresses only what the task
+        // would have sent after 6, while everything already in flight (and
+        // everything sent before the cancel landed) still arrives.
+        let mut g = SimGrid::new(3).with_host_link("h", LinkModel::lossy(3.0, 0.0));
+        g.add_host(ResourceSpec::reliable("h"));
+        g.submit(req(1, "h", 20.0));
+        let (t, first) = g.next_notification(None).expect("TaskStart in flight");
+        assert_eq!(t, 3.0, "TaskStart sent at 0 arrives at 3");
+        assert!(matches!(first.body, N::TaskStart));
+        g.orphan_cancel(TaskId(1));
+        let rest = drain(&mut g);
+        assert!(!rest.is_empty(), "in-flight messages still deliver");
+        assert!(
+            rest.iter().all(|(_, e)| e.sent_at <= 6.0),
+            "nothing sent after the cancel arrived at t=6 gets out"
+        );
+        assert!(
+            !rest
+                .iter()
+                .any(|(_, e)| matches!(e.body, N::Done | N::TaskEnd)),
+            "the orphan never completes once the cancel lands"
+        );
+    }
+
+    #[test]
+    fn orphan_cancel_for_unknown_task_is_noop() {
+        let mut g = grid();
+        g.submit(req(1, "good.host", 5.0));
+        g.orphan_cancel(TaskId(99));
+        let events = drain(&mut g);
+        assert!(matches!(events.last().unwrap().1.body, N::Done));
+    }
+
+    #[test]
+    fn per_host_link_override_applies_only_to_that_host() {
+        let mut g = SimGrid::new(9).with_host_link("slow", LinkModel::lossy(5.0, 0.0));
+        g.add_host(ResourceSpec::reliable("slow"));
+        g.add_host(ResourceSpec::reliable("clean"));
+        g.submit(req(1, "slow", 2.0));
+        g.submit(req(2, "clean", 2.0));
+        for (t, e) in drain(&mut g) {
+            if e.task == TaskId(1) {
+                assert_eq!(t, e.sent_at + 5.0, "slow host's link delays by 5");
+            } else {
+                assert_eq!(t, e.sent_at, "clean host keeps the default link");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicating_link_doubles_every_message() {
+        let baseline = {
+            let mut g = SimGrid::new(4);
+            g.add_host(ResourceSpec::reliable("h"));
+            g.submit(req(1, "h", 5.0));
+            drain(&mut g).len()
+        };
+        let mut g = SimGrid::new(4).with_link(LinkModel::lossy(0.0, 0.0).with_duplicates(1.0));
+        g.add_host(ResourceSpec::reliable("h"));
+        g.submit(req(1, "h", 5.0));
+        assert_eq!(drain(&mut g).len(), baseline * 2);
+    }
+
+    #[test]
+    fn lossy_deterministic_with_orphan_cancel() {
+        let run = |seed| {
+            let mut g = SimGrid::new(seed)
+                .with_link(LinkModel::jittered(0.2, 0.5, 0.3).with_duplicates(0.1));
+            g.add_host(ResourceSpec::reliable("h"));
+            g.submit(req(1, "h", 10.0));
+            g.submit(req(2, "h", 10.0));
+            let first = g.next_notification(None);
+            g.orphan_cancel(TaskId(1));
+            let mut out = vec![first.map(|(t, e)| (t, e.task, format!("{:?}", e.body)))];
+            out.extend(
+                drain(&mut g)
+                    .into_iter()
+                    .map(|(t, e)| Some((t, e.task, format!("{:?}", e.body)))),
+            );
+            out
+        };
+        assert_eq!(run(13), run(13));
+        assert_ne!(run(13), run(14));
     }
 
     #[test]

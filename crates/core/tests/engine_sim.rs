@@ -737,6 +737,7 @@ fn reorder_buffer_prevents_spurious_crash_classification() {
     let jittery = || LinkModel {
         delay: Dist::uniform(0.0, 2.0),
         drop_p: 0.0,
+        dup_p: 0.0,
     };
     let wf = || {
         let mut b = WorkflowBuilder::new("jitter").program("p", 5.0, &["h"]);

@@ -16,9 +16,130 @@
 use std::collections::HashMap;
 
 use crate::exception::ExceptionRegistry;
-use crate::heartbeat::{HeartbeatMonitor, Liveness};
+use crate::heartbeat::{BeatOutcome, HeartbeatMonitor, Liveness};
 use crate::notify::{Envelope, Notification, TaskId};
+use crate::phi::{PhiAccrualDetector, PhiConfig};
 use crate::state::{TaskState, TaskStateMachine};
+
+/// Which presumption strategy the detector runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectorPolicy {
+    /// Classic fixed timeout: presume a crash after `tolerance × interval`
+    /// of silence.  `tolerance: None` uses each activity's own tolerance;
+    /// `Some(t)` overrides it globally (the CLI's `--detector timeout:t`).
+    FixedTimeout {
+        /// Optional global tolerance override.
+        tolerance: Option<f64>,
+    },
+    /// Adaptive φ-accrual detection (see [`crate::phi`]).
+    PhiAccrual(PhiConfig),
+}
+
+impl Default for DetectorPolicy {
+    fn default() -> Self {
+        DetectorPolicy::FixedTimeout { tolerance: None }
+    }
+}
+
+/// What the detector knew at the instant it presumed a crash — journalled
+/// by the engine as `suspicion_raised`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuspicionInfo {
+    /// Heartbeat silence at presumption time.
+    pub silence: f64,
+    /// Suspicion level φ at presumption time (`None` under fixed timeout).
+    pub phi: Option<f64>,
+}
+
+/// Policy-dispatching heartbeat monitor.
+#[derive(Debug)]
+enum Monitor {
+    Fixed {
+        inner: HeartbeatMonitor,
+        tolerance: Option<f64>,
+    },
+    Phi(PhiAccrualDetector),
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Monitor::Fixed {
+            inner: HeartbeatMonitor::new(),
+            tolerance: None,
+        }
+    }
+}
+
+impl Monitor {
+    fn from_policy(policy: DetectorPolicy) -> Self {
+        match policy {
+            DetectorPolicy::FixedTimeout { tolerance } => Monitor::Fixed {
+                inner: HeartbeatMonitor::new(),
+                tolerance,
+            },
+            DetectorPolicy::PhiAccrual(config) => Monitor::Phi(PhiAccrualDetector::new(config)),
+        }
+    }
+
+    fn watch(&mut self, task: TaskId, interval: f64, tolerance: f64, now: f64) -> Option<Liveness> {
+        match self {
+            Monitor::Fixed {
+                inner,
+                tolerance: o,
+            } => inner.watch(task, interval, o.unwrap_or(tolerance), now),
+            Monitor::Phi(phi) => phi.watch(task, interval, tolerance, now),
+        }
+    }
+
+    fn unwatch(&mut self, task: TaskId) {
+        match self {
+            Monitor::Fixed { inner, .. } => inner.unwatch(task),
+            Monitor::Phi(phi) => phi.unwatch(task),
+        }
+    }
+
+    fn beat(&mut self, task: TaskId, seq: u64, now: f64) -> BeatOutcome {
+        match self {
+            Monitor::Fixed { inner, .. } => inner.beat(task, seq, now),
+            Monitor::Phi(phi) => phi.beat(task, seq, now),
+        }
+    }
+
+    fn deadline(&self, task: TaskId) -> Option<f64> {
+        match self {
+            Monitor::Fixed { inner, .. } => inner.deadline(task),
+            Monitor::Phi(phi) => phi.deadline(task),
+        }
+    }
+
+    fn expired(&mut self, now: f64) -> Vec<TaskId> {
+        match self {
+            Monitor::Fixed { inner, .. } => inner.expired(now),
+            Monitor::Phi(phi) => phi.expired(now),
+        }
+    }
+
+    fn last_seen(&self, task: TaskId) -> Option<f64> {
+        match self {
+            Monitor::Fixed { inner, .. } => inner.last_seen(task),
+            Monitor::Phi(phi) => phi.last_seen(task),
+        }
+    }
+
+    fn phi(&self, task: TaskId, now: f64) -> Option<f64> {
+        match self {
+            Monitor::Fixed { .. } => None,
+            Monitor::Phi(phi) => phi.phi(task, now),
+        }
+    }
+
+    fn late_beats(&self) -> u64 {
+        match self {
+            Monitor::Fixed { inner, .. } => inner.late_beats(),
+            Monitor::Phi(phi) => phi.late_beats(),
+        }
+    }
+}
 
 /// Why a crash was declared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +193,30 @@ pub enum Detection {
         /// Opaque recovery cookie.
         flag: String,
     },
+    /// A terminal message (`Done` or `Exception`) arrived from an attempt
+    /// *already presumed dead* — the presumption was false and the attempt
+    /// is a zombie.  Reported once per attempt (informational: the engine
+    /// journals it as `zombie_completion` and discards it; the attempt
+    /// stays settled and the node must never settle twice through it).
+    Zombie {
+        /// Which attempt.
+        task: TaskId,
+        /// Arrival time of the zombie message.
+        at: f64,
+        /// What arrived: `"done"` or `"exception"`.
+        body: &'static str,
+    },
+    /// A heartbeat arrived from an attempt already presumed dead —
+    /// evidence the suspicion was false (informational; journalled as
+    /// `late_heartbeat`).
+    LateHeartbeat {
+        /// Which attempt.
+        task: TaskId,
+        /// Arrival time.
+        at: f64,
+        /// Heartbeat sequence number.
+        seq: u64,
+    },
 }
 
 impl Detection {
@@ -81,14 +226,21 @@ impl Detection {
             Detection::Completed { task, .. }
             | Detection::Crashed { task, .. }
             | Detection::ExceptionRaised { task, .. }
-            | Detection::CheckpointRecorded { task, .. } => *task,
+            | Detection::CheckpointRecorded { task, .. }
+            | Detection::Zombie { task, .. }
+            | Detection::LateHeartbeat { task, .. } => *task,
         }
     }
 
     /// True for detections that settle the attempt (no further events
     /// expected).
     pub fn is_terminal(&self) -> bool {
-        !matches!(self, Detection::CheckpointRecorded { .. })
+        !matches!(
+            self,
+            Detection::CheckpointRecorded { .. }
+                | Detection::Zombie { .. }
+                | Detection::LateHeartbeat { .. }
+        )
     }
 }
 
@@ -98,6 +250,12 @@ struct TaskRecord {
     saw_task_end: bool,
     checkpoint_flag: Option<String>,
     checkpoint_enabled: bool,
+    /// Settled by heartbeat-loss presumption (not by observed messages).
+    presumed_dead: bool,
+    /// A zombie terminal message has already been reported for this attempt.
+    zombie_reported: bool,
+    /// What the detector knew at presumption time.
+    suspicion: Option<SuspicionInfo>,
 }
 
 impl TaskRecord {
@@ -107,6 +265,9 @@ impl TaskRecord {
             saw_task_end: false,
             checkpoint_flag: None,
             checkpoint_enabled: false,
+            presumed_dead: false,
+            zombie_reported: false,
+            suspicion: None,
         }
     }
 }
@@ -115,7 +276,7 @@ impl TaskRecord {
 #[derive(Debug, Default)]
 pub struct Detector {
     records: HashMap<TaskId, TaskRecord>,
-    monitor: HeartbeatMonitor,
+    monitor: Monitor,
     registry: ExceptionRegistry,
 }
 
@@ -129,14 +290,31 @@ impl Detector {
     pub fn with_registry(registry: ExceptionRegistry) -> Self {
         Detector {
             records: HashMap::new(),
-            monitor: HeartbeatMonitor::new(),
+            monitor: Monitor::default(),
             registry,
         }
+    }
+
+    /// Replaces the presumption policy.  Call before any task is
+    /// registered: existing heartbeat watches do not carry over.
+    pub fn set_policy(&mut self, policy: DetectorPolicy) {
+        self.monitor = Monitor::from_policy(policy);
     }
 
     /// The exception registry in use.
     pub fn registry(&self) -> &ExceptionRegistry {
         &self.registry
+    }
+
+    /// Total late heartbeats (beats from presumed-dead attempts) seen.
+    pub fn late_beats(&self) -> u64 {
+        self.monitor.late_beats()
+    }
+
+    /// What the detector knew when it presumed this attempt crashed
+    /// (`None` if the attempt was never presumed dead).
+    pub fn suspicion(&self, task: TaskId) -> Option<SuspicionInfo> {
+        self.records.get(&task).and_then(|r| r.suspicion)
     }
 
     /// Registers a task attempt before submission.  `hb_interval` /
@@ -211,7 +389,40 @@ impl Detector {
             return Vec::new(); // unknown attempt: stale or misrouted
         };
         if record.machine.is_settled() {
-            return Vec::new(); // late message after terminal classification
+            // Late message after terminal classification.  When the attempt
+            // was settled by *presumption* (not by an observed terminal
+            // message), later evidence means the suspicion was false: the
+            // attempt is a zombie, and the engine must get to journal that
+            // instead of the message vanishing silently.  The attempt stays
+            // settled either way — fencing, not revival.
+            if record.presumed_dead {
+                match &env.body {
+                    Notification::Heartbeat { seq } => {
+                        self.monitor.beat(env.task, *seq, now); // counted as Late
+                        return vec![Detection::LateHeartbeat {
+                            task: env.task,
+                            at: now,
+                            seq: *seq,
+                        }];
+                    }
+                    Notification::Done | Notification::Exception { .. }
+                        if !record.zombie_reported =>
+                    {
+                        record.zombie_reported = true;
+                        let body = match &env.body {
+                            Notification::Done => "done",
+                            _ => "exception",
+                        };
+                        return vec![Detection::Zombie {
+                            task: env.task,
+                            at: now,
+                            body,
+                        }];
+                    }
+                    _ => {}
+                }
+            }
+            return Vec::new();
         }
         match &env.body {
             Notification::Heartbeat { seq } => {
@@ -284,6 +495,8 @@ impl Detector {
         let expired = self.monitor.expired(now);
         let mut out = Vec::with_capacity(expired.len());
         for task in expired {
+            let silence = now - self.monitor.last_seen(task).unwrap_or(now);
+            let phi = self.monitor.phi(task, now);
             let record = self
                 .records
                 .get_mut(&task)
@@ -295,6 +508,8 @@ impl Detector {
                 .machine
                 .transition(TaskState::Failed)
                 .expect("non-terminal -> Failed is legal");
+            record.presumed_dead = true;
+            record.suspicion = Some(SuspicionInfo { silence, phi });
             out.push(Detection::Crashed {
                 task,
                 at: now,
@@ -529,5 +744,160 @@ mod tests {
             flag: "f".into(),
         };
         assert!(!k.is_terminal());
+        let z = Detection::Zombie {
+            task: T,
+            at: 1.0,
+            body: "done",
+        };
+        assert_eq!(z.task(), T);
+        assert!(!z.is_terminal(), "zombies never settle anything");
+        let l = Detection::LateHeartbeat {
+            task: T,
+            at: 1.0,
+            seq: 3,
+        };
+        assert!(!l.is_terminal());
+    }
+
+    #[test]
+    fn zombie_done_after_presumption_surfaces_once() {
+        let mut d = detector();
+        d.observe(&env(Notification::Heartbeat { seq: 0 }, 1.0), 1.0);
+        assert_eq!(d.sweep(4.0).len(), 1, "presumed dead");
+        // The delayed terminal stream now straggles in.
+        assert!(
+            d.observe(&env(Notification::TaskEnd, 5.0), 5.0).is_empty(),
+            "TaskEnd alone is not a completion"
+        );
+        let dets = d.observe(&env(Notification::Done, 5.1), 5.1);
+        assert_eq!(
+            dets,
+            vec![Detection::Zombie {
+                task: T,
+                at: 5.1,
+                body: "done"
+            }]
+        );
+        assert!(
+            d.observe(&env(Notification::Done, 5.2), 5.2).is_empty(),
+            "a zombie is reported once per attempt"
+        );
+        assert_eq!(
+            d.state(T),
+            Some(TaskState::Failed),
+            "the zombie never un-settles the attempt"
+        );
+    }
+
+    #[test]
+    fn zombie_exception_after_presumption_surfaces() {
+        let mut d = detector();
+        assert_eq!(d.sweep(3.0).len(), 1);
+        let dets = d.observe(
+            &env(
+                Notification::Exception {
+                    name: "late".into(),
+                    detail: String::new(),
+                },
+                4.0,
+            ),
+            4.0,
+        );
+        assert_eq!(
+            dets,
+            vec![Detection::Zombie {
+                task: T,
+                at: 4.0,
+                body: "exception"
+            }]
+        );
+    }
+
+    #[test]
+    fn late_heartbeat_after_presumption_surfaces_and_counts() {
+        let mut d = detector();
+        assert_eq!(d.sweep(3.0).len(), 1);
+        let dets = d.observe(&env(Notification::Heartbeat { seq: 7 }, 3.5), 3.5);
+        assert_eq!(
+            dets,
+            vec![Detection::LateHeartbeat {
+                task: T,
+                at: 3.5,
+                seq: 7
+            }]
+        );
+        assert_eq!(d.late_beats(), 1);
+        assert_eq!(
+            d.observe(&env(Notification::Heartbeat { seq: 8 }, 3.6), 3.6)
+                .len(),
+            1,
+            "every late beat surfaces"
+        );
+        assert_eq!(d.late_beats(), 2);
+    }
+
+    #[test]
+    fn duplicate_done_after_real_completion_is_not_a_zombie() {
+        let mut d = detector();
+        d.observe(&env(Notification::TaskEnd, 1.0), 1.0);
+        assert_eq!(d.observe(&env(Notification::Done, 1.1), 1.1).len(), 1);
+        assert!(
+            d.observe(&env(Notification::Done, 1.2), 1.2).is_empty(),
+            "a duplicated Done after observed completion is mere noise"
+        );
+    }
+
+    #[test]
+    fn suspicion_info_recorded_at_presumption() {
+        let mut d = detector();
+        d.observe(&env(Notification::Heartbeat { seq: 0 }, 1.0), 1.0);
+        assert_eq!(d.suspicion(T), None, "no suspicion before presumption");
+        d.sweep(4.5);
+        let info = d.suspicion(T).expect("recorded at presumption");
+        assert!(
+            (info.silence - 3.5).abs() < 1e-9,
+            "silence {}",
+            info.silence
+        );
+        assert_eq!(info.phi, None, "fixed timeout has no phi level");
+    }
+
+    #[test]
+    fn phi_policy_end_to_end() {
+        let mut d = Detector::new();
+        d.set_policy(DetectorPolicy::PhiAccrual(PhiConfig {
+            threshold: 4.0,
+            window: 16,
+            min_samples: 4,
+        }));
+        d.register_task(T, 1.0, 3.0, 0.0);
+        let mut t = 0.0;
+        for k in 0..10u64 {
+            t += 1.0;
+            d.observe(&env(Notification::Heartbeat { seq: k }, t), t);
+        }
+        // Warm window of regular beats: deadline is adaptive, tighter than
+        // the fixed 3.0 tolerance would allow.
+        let dl = d.next_deadline().expect("watched");
+        assert!(dl < t + 3.0, "adaptive deadline {dl} tightens on {t}+3");
+        let dets = d.sweep(dl);
+        assert_eq!(dets.len(), 1, "silence past the phi deadline presumes");
+        let info = d.suspicion(T).expect("suspicion recorded");
+        let phi = info.phi.expect("phi policy records the level");
+        assert!(phi > 2.0, "phi at presumption: {phi}");
+    }
+
+    #[test]
+    fn fixed_timeout_tolerance_override() {
+        let mut d = Detector::new();
+        d.set_policy(DetectorPolicy::FixedTimeout {
+            tolerance: Some(10.0),
+        });
+        d.register_task(T, 1.0, 3.0, 0.0);
+        assert_eq!(
+            d.next_deadline(),
+            Some(10.0),
+            "override wins over the per-activity tolerance"
+        );
     }
 }

@@ -3,9 +3,12 @@
 //! A host crash, a network partition, and a machine rebooted by its owner
 //! all look the same from the engine's desk: heartbeats stop.  The monitor
 //! declares an attempt *presumed crashed* once no heartbeat has arrived for
-//! `tolerance` × `interval` time units.  Late heartbeats after presumption
-//! are ignored (the engine has already started recovery; the original
-//! system relied on the job manager to reap orphans).
+//! `tolerance` × `interval` time units.  A late heartbeat after presumption
+//! does not revive the attempt (the engine has already started recovery;
+//! the original system relied on the job manager to reap orphans), but it
+//! is *evidence the presumption was false* — [`HeartbeatMonitor::beat`]
+//! reports it as [`BeatOutcome::Late`] and counts it, so false suspicions
+//! are observable rather than silently discarded.
 
 use std::collections::HashMap;
 
@@ -33,10 +36,30 @@ pub enum Liveness {
     PresumedDead,
 }
 
+/// Outcome of recording one heartbeat (see [`HeartbeatMonitor::beat`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeatOutcome {
+    /// The beat was recorded; the watch's deadline moved forward.
+    Accepted,
+    /// The task was already presumed dead: the beat does not revive it,
+    /// but it proves the presumption was false.  Counted by the monitor.
+    Late,
+    /// No watch exists for this task; the beat was ignored.
+    Unwatched,
+}
+
+impl BeatOutcome {
+    /// True only for [`BeatOutcome::Accepted`].
+    pub fn is_accepted(self) -> bool {
+        self == BeatOutcome::Accepted
+    }
+}
+
 /// Watches heartbeat streams and reports tasks whose stream went silent.
 #[derive(Debug, Clone, Default)]
 pub struct HeartbeatMonitor {
     watches: HashMap<TaskId, Watch>,
+    late_beats: u64,
 }
 
 impl HeartbeatMonitor {
@@ -92,11 +115,11 @@ impl HeartbeatMonitor {
         self.watches.remove(&task);
     }
 
-    /// Records a heartbeat.  Returns `false` if the task is unwatched or
-    /// already presumed dead (the beat is ignored), `true` otherwise.
-    /// Out-of-order sequence numbers are tolerated but do not move
-    /// `last_seen` backwards.
-    pub fn beat(&mut self, task: TaskId, seq: u64, now: f64) -> bool {
+    /// Records a heartbeat.  Out-of-order sequence numbers are tolerated
+    /// but do not move `last_seen` backwards.  A beat from a presumed-dead
+    /// task is reported as [`BeatOutcome::Late`] and counted (the watch
+    /// stays dead); a beat for an unknown task is [`BeatOutcome::Unwatched`].
+    pub fn beat(&mut self, task: TaskId, seq: u64, now: f64) -> BeatOutcome {
         match self.watches.get_mut(&task) {
             Some(w) if !w.presumed_dead => {
                 if w.last_seq.is_none_or(|s| seq >= s) {
@@ -105,10 +128,20 @@ impl HeartbeatMonitor {
                 if now > w.last_seen {
                     w.last_seen = now;
                 }
-                true
+                BeatOutcome::Accepted
             }
-            _ => false,
+            Some(_) => {
+                self.late_beats += 1;
+                BeatOutcome::Late
+            }
+            None => BeatOutcome::Unwatched,
         }
+    }
+
+    /// Number of late beats seen (heartbeats from tasks already presumed
+    /// dead) — each one is a presumption proven false after the fact.
+    pub fn late_beats(&self) -> u64 {
+        self.late_beats
     }
 
     /// Deadline at which this task will be presumed crashed if no further
@@ -147,6 +180,13 @@ impl HeartbeatMonitor {
             .unwrap_or(false)
     }
 
+    /// Time of the last heartbeat (or the watch start), even after the
+    /// task has been presumed dead — the silence at presumption time is
+    /// `now - last_seen`.
+    pub fn last_seen(&self, task: TaskId) -> Option<f64> {
+        self.watches.get(&task).map(|w| w.last_seen)
+    }
+
     /// Highest sequence number seen for a task.
     pub fn last_seq(&self, task: TaskId) -> Option<u64> {
         self.watches.get(&task).and_then(|w| w.last_seq)
@@ -172,8 +212,8 @@ mod tests {
     fn heartbeats_push_deadline_forward() {
         let mut m = HeartbeatMonitor::new();
         m.watch(T1, 1.0, 3.0, 0.0);
-        assert!(m.beat(T1, 0, 1.0));
-        assert!(m.beat(T1, 1, 2.0));
+        assert!(m.beat(T1, 0, 1.0).is_accepted());
+        assert!(m.beat(T1, 1, 2.0).is_accepted());
         assert_eq!(m.deadline(T1), Some(5.0));
         assert!(m.expired(4.9).is_empty());
         assert_eq!(m.expired(5.0), vec![T1]);
@@ -189,11 +229,15 @@ mod tests {
     }
 
     #[test]
-    fn late_heartbeat_after_presumption_is_ignored() {
+    fn late_heartbeat_after_presumption_is_distinct_and_counted() {
         let mut m = HeartbeatMonitor::new();
         m.watch(T1, 1.0, 2.0, 0.0);
         m.expired(10.0);
-        assert!(!m.beat(T1, 5, 10.5), "beat after presumption rejected");
+        assert_eq!(m.beat(T1, 5, 10.5), BeatOutcome::Late);
+        assert_eq!(m.beat(T1, 6, 11.5), BeatOutcome::Late);
+        assert_eq!(m.late_beats(), 2, "each late beat is counted");
+        assert!(!m.is_live(T1), "a late beat never revives the attempt");
+        assert_eq!(m.deadline(T1), None, "still no deadline after late beats");
     }
 
     #[test]
@@ -266,7 +310,8 @@ mod tests {
     #[test]
     fn beat_for_unwatched_task_rejected() {
         let mut m = HeartbeatMonitor::new();
-        assert!(!m.beat(T1, 0, 1.0));
+        assert_eq!(m.beat(T1, 0, 1.0), BeatOutcome::Unwatched);
+        assert_eq!(m.late_beats(), 0, "unwatched beats are not late beats");
     }
 
     #[test]

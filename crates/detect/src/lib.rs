@@ -21,9 +21,13 @@
 //! * [`api`] — the task-side event-notification API (the
 //!   `globus_FDS_task_*` calls of the original),
 //! * [`heartbeat`] — timeout-based crash presumption,
+//! * [`phi`] — adaptive φ-accrual crash presumption (suspicion level from
+//!   the observed heartbeat inter-arrival distribution),
 //! * [`exception`] — the user-defined exception registry (§2.3),
 //! * [`detector`] — the classifier that turns a notification stream into
-//!   [`detector::Detection`]s the workflow engine acts on;
+//!   [`detector::Detection`]s the workflow engine acts on, pluggable
+//!   between the two presumption policies via
+//!   [`detector::DetectorPolicy`];
 //! * [`transport`] — a reorder-tolerant delivery buffer protecting the
 //!   `Done`-without-`Task End` rule from message races.
 
@@ -32,13 +36,15 @@ pub mod detector;
 pub mod exception;
 pub mod heartbeat;
 pub mod notify;
+pub mod phi;
 pub mod state;
 pub mod transport;
 
 pub use api::TaskNotifier;
-pub use detector::{Detection, Detector};
+pub use detector::{Detection, Detector, DetectorPolicy, SuspicionInfo};
 pub use exception::{ExceptionDef, ExceptionRegistry};
-pub use heartbeat::{HeartbeatMonitor, Liveness};
+pub use heartbeat::{BeatOutcome, HeartbeatMonitor, Liveness};
 pub use notify::{Envelope, Notification, TaskId};
+pub use phi::{PhiAccrualDetector, PhiConfig};
 pub use state::{TaskState, TaskStateMachine};
 pub use transport::ReorderBuffer;

@@ -24,7 +24,10 @@
 //! * [`capability`] — Table 1 (the related-work capability matrix) as data;
 //! * [`ablation`] — extensions beyond the paper: Young's checkpoint
 //!   interval, replica-count sweep, Weibull failure models, and the §5.2
-//!   redundancy-vs-replication comparison.
+//!   redundancy-vs-replication comparison;
+//! * [`detect_sweep`] — extension: the failure-detection study (fixed
+//!   timeout vs φ-accrual over lossy heartbeat links: false-suspicion
+//!   rate, detection latency, completion time under false restarts).
 //!
 //! The samplers run at ~10⁷ draws/second, so the paper's 100 000-run
 //! estimates regenerate in milliseconds per point.
@@ -32,6 +35,7 @@
 pub mod ablation;
 pub mod analytic;
 pub mod capability;
+pub mod detect_sweep;
 pub mod exception_dag;
 pub mod experiments;
 pub mod parallel;

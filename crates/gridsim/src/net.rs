@@ -19,6 +19,11 @@ pub struct LinkModel {
     pub delay: Dist,
     /// Probability an individual message is silently dropped.
     pub drop_p: f64,
+    /// Probability a delivered message is duplicated (a second copy
+    /// arrives after an independently sampled delay).  Jittered delays plus
+    /// duplicates also yield reordering: copies overtake each other.
+    #[serde(default)]
+    pub dup_p: f64,
 }
 
 /// Outcome of offering one message to a link.
@@ -36,6 +41,7 @@ impl LinkModel {
         LinkModel {
             delay: Dist::constant(0.0),
             drop_p: 0.0,
+            dup_p: 0.0,
         }
     }
 
@@ -44,11 +50,53 @@ impl LinkModel {
     /// # Panics
     /// Panics unless `0 <= drop_p <= 1` and `delay >= 0` finite.
     pub fn lossy(delay: f64, drop_p: f64) -> Self {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be finite and >= 0"
+        );
         assert!((0.0..=1.0).contains(&drop_p), "drop_p must be in [0,1]");
         LinkModel {
             delay: Dist::constant(delay),
             drop_p,
+            dup_p: 0.0,
         }
+    }
+
+    /// A lossy link whose delay is uniform on `[base, base + jitter)`.
+    ///
+    /// # Panics
+    /// Panics unless `base >= 0`, `jitter >= 0` (both finite) and
+    /// `0 <= drop_p <= 1`.
+    pub fn jittered(base: f64, jitter: f64, drop_p: f64) -> Self {
+        assert!(
+            base.is_finite() && base >= 0.0,
+            "base delay must be finite and >= 0"
+        );
+        assert!(
+            jitter.is_finite() && jitter >= 0.0,
+            "jitter must be finite and >= 0"
+        );
+        assert!((0.0..=1.0).contains(&drop_p), "drop_p must be in [0,1]");
+        let delay = if jitter > 0.0 {
+            Dist::uniform(base, base + jitter)
+        } else {
+            Dist::constant(base)
+        };
+        LinkModel {
+            delay,
+            drop_p,
+            dup_p: 0.0,
+        }
+    }
+
+    /// Same link, with a per-message duplication probability.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= dup_p <= 1`.
+    pub fn with_duplicates(mut self, dup_p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&dup_p), "dup_p must be in [0,1]");
+        self.dup_p = dup_p;
+        self
     }
 
     /// A fully partitioned link: everything is dropped.  Heartbeats cease,
@@ -57,6 +105,7 @@ impl LinkModel {
         LinkModel {
             delay: Dist::constant(0.0),
             drop_p: 1.0,
+            dup_p: 0.0,
         }
     }
 
@@ -66,6 +115,26 @@ impl LinkModel {
             Delivery::Dropped
         } else {
             Delivery::After(self.delay.sample(rng))
+        }
+    }
+
+    /// Offers one message and returns the arrival delay of every copy that
+    /// gets through: empty if dropped, one entry normally, two if the link
+    /// duplicated the message.  Draw order (drop, delay, dup, dup delay) is
+    /// fixed, and the dup draw happens only when `dup_p > 0`, so links
+    /// without duplication consume exactly the same RNG stream as
+    /// [`LinkModel::offer`].
+    pub fn offer_copies(&self, rng: &mut Rng) -> Vec<f64> {
+        match self.offer(rng) {
+            Delivery::Dropped => Vec::new(),
+            Delivery::After(d) => {
+                if self.dup_p > 0.0 && rng.bernoulli(self.dup_p) {
+                    let extra = self.delay.sample(rng);
+                    vec![d, extra]
+                } else {
+                    vec![d]
+                }
+            }
         }
     }
 }
@@ -118,10 +187,61 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "delay must be finite and >= 0")]
+    fn negative_delay_rejected() {
+        let _ = LinkModel::lossy(-1.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be finite and >= 0")]
+    fn non_finite_delay_rejected() {
+        let _ = LinkModel::lossy(f64::NAN, 0.1);
+    }
+
+    #[test]
+    fn jittered_link_delays_within_band() {
+        let link = LinkModel::jittered(0.2, 0.4, 0.0);
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            match link.offer(&mut rng) {
+                Delivery::After(d) => assert!((0.2..0.6).contains(&d), "delay {d}"),
+                Delivery::Dropped => panic!("no drops configured"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_rate_matches() {
+        let link = LinkModel::jittered(0.1, 0.1, 0.0).with_duplicates(0.3);
+        let mut rng = Rng::seed_from_u64(10);
+        let n = 100_000;
+        let dups = (0..n)
+            .filter(|_| link.offer_copies(&mut rng).len() == 2)
+            .count();
+        let rate = dups as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn offer_copies_without_duplication_matches_offer_stream() {
+        let link = LinkModel::jittered(0.1, 0.5, 0.2);
+        let mut a = Rng::seed_from_u64(11);
+        let mut b = Rng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let copies = link.offer_copies(&mut a);
+            match link.offer(&mut b) {
+                Delivery::Dropped => assert!(copies.is_empty()),
+                Delivery::After(d) => assert_eq!(copies, vec![d]),
+            }
+        }
+    }
+
+    #[test]
     fn stochastic_delay_link() {
         let link = LinkModel {
             delay: Dist::uniform(0.1, 0.3),
             drop_p: 0.0,
+            dup_p: 0.0,
         };
         let mut rng = Rng::seed_from_u64(5);
         for _ in 0..1000 {

@@ -18,7 +18,7 @@
 //!   to demonstrate throughput.
 
 use grid_wfs::sim_executor::TaskProfile;
-use grid_wfs::{SimGrid, TaskResult, ThreadExecutor};
+use grid_wfs::{DetectorPolicy, PhiConfig, SimGrid, TaskResult, ThreadExecutor};
 use gridwfs_sim::dist::Dist;
 use gridwfs_sim::net::LinkModel;
 use gridwfs_sim::resource::ResourceSpec;
@@ -52,10 +52,61 @@ pub struct HostSpec {
 /// Notification link behaviour.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
-    /// Constant delivery delay.
+    /// Base delivery delay.
     pub delay: f64,
     /// Per-message drop probability.
     pub drop_p: f64,
+    /// Uniform extra delay in `[0, jitter)` on top of the base delay.
+    pub jitter: f64,
+    /// Per-message duplication probability.
+    pub dup_p: f64,
+}
+
+impl LinkSpec {
+    /// A constant-delay, possibly lossy link (no jitter, no duplicates).
+    pub fn constant(delay: f64, drop_p: f64) -> Self {
+        LinkSpec {
+            delay,
+            drop_p,
+            jitter: 0.0,
+            dup_p: 0.0,
+        }
+    }
+
+    /// Instantiates the simulated link.
+    pub fn to_model(&self) -> LinkModel {
+        LinkModel::jittered(self.delay, self.jitter, self.drop_p).with_duplicates(self.dup_p)
+    }
+}
+
+/// Crash-presumption policy for every engine run on this Grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorSpec {
+    /// Classic fixed timeout; `tolerance` overrides every activity's
+    /// declared heartbeat tolerance when set.
+    Timeout {
+        /// Tolerance override (multiples of the heartbeat interval).
+        tolerance: Option<f64>,
+    },
+    /// Adaptive φ-accrual suspicion at this threshold.
+    Phi {
+        /// Presumption threshold (suspicion level φ).
+        threshold: f64,
+    },
+}
+
+impl DetectorSpec {
+    /// The engine-side policy this spec describes.
+    pub fn to_policy(&self) -> DetectorPolicy {
+        match self {
+            DetectorSpec::Timeout { tolerance } => DetectorPolicy::FixedTimeout {
+                tolerance: *tolerance,
+            },
+            DetectorSpec::Phi { threshold } => {
+                DetectorPolicy::PhiAccrual(PhiConfig::with_threshold(*threshold))
+            }
+        }
+    }
 }
 
 /// Behaviour profile of one program's tasks (virtual mode only).
@@ -80,6 +131,11 @@ pub struct GridSpec {
     pub hosts: Vec<HostSpec>,
     /// Link model (default: perfect).
     pub link: Option<LinkSpec>,
+    /// Per-host link overrides (hosts not listed use `link`).
+    pub host_links: Vec<(String, LinkSpec)>,
+    /// Crash-presumption policy (default: each activity's declared fixed
+    /// timeout).
+    pub detector: Option<DetectorSpec>,
     /// Per-program behaviour profiles.
     pub profiles: Vec<ProfileSpec>,
 }
@@ -91,6 +147,8 @@ impl GridSpec {
             mode: ExecMode::Virtual,
             hosts: Vec::new(),
             link: None,
+            host_links: Vec::new(),
+            detector: None,
             profiles: Vec::new(),
         }
     }
@@ -134,8 +192,31 @@ impl GridSpec {
 
     /// Builder: set the notification link model.
     pub fn with_link(mut self, delay: f64, drop_p: f64) -> Self {
-        self.link = Some(LinkSpec { delay, drop_p });
+        self.link = Some(LinkSpec::constant(delay, drop_p));
         self
+    }
+
+    /// Builder: set the full notification link model (jitter, duplicates).
+    pub fn with_link_spec(mut self, link: LinkSpec) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    /// Builder: override the link model for one host.
+    pub fn with_host_link(mut self, hostname: &str, link: LinkSpec) -> Self {
+        self.host_links.push((hostname.into(), link));
+        self
+    }
+
+    /// Builder: set the crash-presumption policy.
+    pub fn with_detector(mut self, detector: DetectorSpec) -> Self {
+        self.detector = Some(detector);
+        self
+    }
+
+    /// The engine-side crash-presumption policy for jobs on this Grid.
+    pub fn detector_policy(&self) -> DetectorPolicy {
+        self.detector.map(|d| d.to_policy()).unwrap_or_default()
     }
 
     /// Builder: attach a behaviour profile.
@@ -148,7 +229,10 @@ impl GridSpec {
     pub fn build_sim(&self, seed: u64) -> SimGrid {
         let mut grid = SimGrid::new(seed);
         if let Some(link) = &self.link {
-            grid = grid.with_link(LinkModel::lossy(link.delay, link.drop_p));
+            grid = grid.with_link(link.to_model());
+        }
+        for (host, link) in &self.host_links {
+            grid.set_host_link(host.clone(), link.to_model());
         }
         for h in &self.hosts {
             let spec = match h.mttf {
@@ -213,8 +297,33 @@ impl GridSpec {
                 h.hostname, h.speed, mttf, h.downtime
             ));
         }
+        let link_line = |name: &str, l: &LinkSpec| {
+            // Old manifests carried two link fields; keep emitting that
+            // form when the extensions are unused so existing state dirs
+            // stay byte-stable.
+            if l.jitter == 0.0 && l.dup_p == 0.0 {
+                format!("{name} {} {}\n", l.delay, l.drop_p)
+            } else {
+                format!("{name} {} {} {} {}\n", l.delay, l.drop_p, l.jitter, l.dup_p)
+            }
+        };
         if let Some(l) = &self.link {
-            out.push_str(&format!("link {} {}\n", l.delay, l.drop_p));
+            out.push_str(&link_line("link", l));
+        }
+        for (host, l) in &self.host_links {
+            out.push_str(&link_line(&format!("hostlink {host}"), l));
+        }
+        match &self.detector {
+            None => {}
+            Some(DetectorSpec::Timeout { tolerance }) => {
+                let t = tolerance
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "-".into());
+                out.push_str(&format!("detector timeout {t}\n"));
+            }
+            Some(DetectorSpec::Phi { threshold }) => {
+                out.push_str(&format!("detector phi {threshold}\n"));
+            }
         }
         for p in &self.profiles {
             let ck = p
@@ -275,14 +384,26 @@ impl GridSpec {
                 }
                 Some("link") => {
                     let fields: Vec<&str> = f.collect();
-                    let [delay, drop_p] = fields.as_slice() else {
-                        return Err(format!("malformed link line '{line}'"));
+                    spec.link = Some(parse_link(&fields, line)?);
+                }
+                Some("hostlink") => {
+                    let fields: Vec<&str> = f.collect();
+                    let Some((host, rest)) = fields.split_first() else {
+                        return Err(format!("malformed hostlink line '{line}'"));
                     };
-                    spec.link = Some(LinkSpec {
-                        delay: delay.parse().map_err(|_| format!("bad delay '{delay}'"))?,
-                        drop_p: drop_p
-                            .parse()
-                            .map_err(|_| format!("bad drop_p '{drop_p}'"))?,
+                    spec.host_links
+                        .push((host.to_string(), parse_link(rest, line)?));
+                }
+                Some("detector") => {
+                    let fields: Vec<&str> = f.collect();
+                    spec.detector = Some(match fields.as_slice() {
+                        ["timeout", t] => DetectorSpec::Timeout {
+                            tolerance: opt(t, "tolerance")?,
+                        },
+                        ["phi", t] => DetectorSpec::Phi {
+                            threshold: t.parse().map_err(|_| format!("bad threshold '{t}'"))?,
+                        },
+                        _ => return Err(format!("malformed detector line '{line}'")),
                     });
                 }
                 Some("profile") => {
@@ -320,6 +441,27 @@ impl GridSpec {
     }
 }
 
+/// Parses `delay drop_p [jitter dup_p]` link fields — the 2-field form is
+/// the pre-extension manifest format and must keep parsing.
+fn parse_link(fields: &[&str], line: &str) -> Result<LinkSpec, String> {
+    let num = |s: &str, what: &str| -> Result<f64, String> {
+        s.parse().map_err(|_| format!("bad {what} '{s}'"))
+    };
+    match fields {
+        [delay, drop_p] => Ok(LinkSpec::constant(
+            num(delay, "delay")?,
+            num(drop_p, "drop_p")?,
+        )),
+        [delay, drop_p, jitter, dup_p] => Ok(LinkSpec {
+            delay: num(delay, "delay")?,
+            drop_p: num(drop_p, "drop_p")?,
+            jitter: num(jitter, "jitter")?,
+            dup_p: num(dup_p, "dup_p")?,
+        }),
+        _ => Err(format!("malformed link line '{line}'")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,10 +487,61 @@ mod tests {
     }
 
     #[test]
+    fn manifest_round_trips_lossy_extensions() {
+        let spec = GridSpec::virtual_grid()
+            .with_host("h1", 1.0)
+            .with_host("h2", 1.0)
+            .with_link_spec(LinkSpec {
+                delay: 0.2,
+                drop_p: 0.1,
+                jitter: 0.5,
+                dup_p: 0.05,
+            })
+            .with_host_link("h1", LinkSpec::constant(3.0, 0.25))
+            .with_detector(DetectorSpec::Phi { threshold: 8.0 });
+        let parsed = GridSpec::from_manifest(&spec.to_manifest()).unwrap();
+        assert_eq!(spec, parsed);
+        let timeout =
+            GridSpec::virtual_grid().with_detector(DetectorSpec::Timeout { tolerance: None });
+        assert_eq!(
+            GridSpec::from_manifest(&timeout.to_manifest()).unwrap(),
+            timeout
+        );
+    }
+
+    #[test]
+    fn old_two_field_link_lines_still_parse() {
+        let spec = GridSpec::from_manifest("mode virtual\nlink 0.5 0.01\n").unwrap();
+        assert_eq!(spec.link, Some(LinkSpec::constant(0.5, 0.01)));
+        // ... and specs without the extensions still emit the old form.
+        assert!(spec.to_manifest().contains("link 0.5 0.01\n"));
+    }
+
+    #[test]
+    fn detector_policies_map_to_engine_policies() {
+        use grid_wfs::DetectorPolicy;
+        assert_eq!(
+            GridSpec::virtual_grid().detector_policy(),
+            DetectorPolicy::default()
+        );
+        let phi = GridSpec::virtual_grid()
+            .with_detector(DetectorSpec::Phi { threshold: 5.0 })
+            .detector_policy();
+        match phi {
+            DetectorPolicy::PhiAccrual(cfg) => assert_eq!(cfg.threshold, 5.0),
+            other => panic!("expected phi policy, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn manifest_rejects_garbage() {
         assert!(GridSpec::from_manifest("frobnicate x").is_err());
         assert!(GridSpec::from_manifest("host only-two 1.0").is_err());
         assert!(GridSpec::from_manifest("mode paced").is_err());
+        assert!(GridSpec::from_manifest("link 1.0").is_err());
+        assert!(GridSpec::from_manifest("hostlink h 1.0").is_err());
+        assert!(GridSpec::from_manifest("detector phi x").is_err());
+        assert!(GridSpec::from_manifest("detector voodoo 1").is_err());
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod recover;
 pub mod service;
 mod worker;
 
-pub use gridspec::{ExecMode, GridSpec, HostSpec, LinkSpec, ProfileSpec};
+pub use gridspec::{DetectorSpec, ExecMode, GridSpec, HostSpec, LinkSpec, ProfileSpec};
 pub use gridwfs_chaos::{relock, ChaosFs, FaultPlan, RealFs, StateFs};
 pub use gridwfs_trace::{TraceEvent, TraceKind, TraceSink};
 pub use job::{JobId, JobRecord, JobState, Submission};

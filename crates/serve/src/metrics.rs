@@ -40,6 +40,15 @@ pub struct Counters {
     /// Task attempts presumed dead by heartbeat loss (derived from the
     /// trace stream by [`TraceMetricsSink`]).
     pub tasks_presumed_dead: AtomicU64,
+    /// Presumed-dead attempts that later produced post-mortem evidence —
+    /// a zombie completion or a late heartbeat — proving the suspicion
+    /// false.  Counted once per attempt (derived from the trace stream by
+    /// [`TraceMetricsSink`]).
+    pub false_suspicions: AtomicU64,
+    /// Completion-class messages (`Done` / `Exception`) that arrived from
+    /// attempts already presumed dead and were discarded by fencing
+    /// (derived from the trace stream by [`TraceMetricsSink`]).
+    pub zombie_completions: AtomicU64,
     /// Workflow closures that panicked inside a worker (the worker
     /// survived; the job settled as `Failed`).
     pub jobs_panicked: AtomicU64,
@@ -146,6 +155,8 @@ impl Metrics {
             ("recovered", get(&c.recovered)),
             ("task_retries", get(&c.task_retries)),
             ("tasks_presumed_dead", get(&c.tasks_presumed_dead)),
+            ("false_suspicions", get(&c.false_suspicions)),
+            ("zombie_completions", get(&c.zombie_completions)),
             ("jobs_panicked", get(&c.jobs_panicked)),
             ("quarantined", get(&c.quarantined)),
         ];
@@ -185,12 +196,26 @@ impl Metrics {
 /// construction — both are views of the same event stream.
 pub struct TraceMetricsSink {
     metrics: Arc<Metrics>,
+    /// Presumed-dead attempts already counted as false suspicions — a
+    /// zombie sends many post-mortem messages (late heartbeats, then a
+    /// completion) but proves the suspicion false only once.  Sinks are
+    /// created per job, so attempt ids cannot collide across engines.
+    refuted: Mutex<std::collections::HashSet<u64>>,
 }
 
 impl TraceMetricsSink {
     /// A sink bumping counters in `metrics`.
     pub fn new(metrics: Arc<Metrics>) -> Self {
-        TraceMetricsSink { metrics }
+        TraceMetricsSink {
+            metrics,
+            refuted: Mutex::new(std::collections::HashSet::new()),
+        }
+    }
+
+    fn false_suspicion(&self, task: u64) {
+        if relock(&self.refuted).insert(task) {
+            Metrics::incr(&self.metrics.counters.false_suspicions);
+        }
     }
 }
 
@@ -206,6 +231,13 @@ impl TraceSink for TraceMetricsSink {
                 ..
             } if reason == "heartbeat-loss" => {
                 Metrics::incr(&self.metrics.counters.tasks_presumed_dead);
+            }
+            TraceKind::ZombieCompletion { task, .. } => {
+                Metrics::incr(&self.metrics.counters.zombie_completions);
+                self.false_suspicion(*task);
+            }
+            TraceKind::LateHeartbeat { task, .. } => {
+                self.false_suspicion(*task);
             }
             _ => {}
         }
@@ -281,6 +313,39 @@ mod tests {
         let json = metrics.snapshot_json(0);
         assert!(json.contains("\"task_retries\": 1"), "{json}");
         assert!(json.contains("\"tasks_presumed_dead\": 1"), "{json}");
+    }
+
+    #[test]
+    fn false_suspicions_dedupe_per_attempt_but_zombies_count_each() {
+        let metrics = Arc::new(Metrics::new());
+        let sink = TraceMetricsSink::new(metrics.clone());
+        let ev = |kind| TraceEvent { at: 1.0, kind };
+        // Attempt 7 sends three late heartbeats then its zombie Done; it
+        // refuted its suspicion exactly once.
+        for seq in 0..3 {
+            sink.record(&ev(TraceKind::LateHeartbeat {
+                activity: "a".into(),
+                task: 7,
+                seq,
+            }));
+        }
+        sink.record(&ev(TraceKind::ZombieCompletion {
+            activity: "a".into(),
+            task: 7,
+            body: "done".into(),
+        }));
+        // Attempt 9's only evidence is a zombie completion.
+        sink.record(&ev(TraceKind::ZombieCompletion {
+            activity: "b".into(),
+            task: 9,
+            body: "exception".into(),
+        }));
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        assert_eq!(get(&metrics.counters.false_suspicions), 2);
+        assert_eq!(get(&metrics.counters.zombie_completions), 2);
+        let json = metrics.snapshot_json(0);
+        assert!(json.contains("\"false_suspicions\": 2"), "{json}");
+        assert!(json.contains("\"zombie_completions\": 2"), "{json}");
     }
 
     #[test]

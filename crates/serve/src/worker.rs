@@ -191,6 +191,7 @@ fn execute(
         checkpoint_path: ckpt_path,
         stop: Some(stop),
         deadline,
+        detector: sub.grid.detector_policy(),
         ..EngineConfig::default()
     };
     // The engine's trace stream always feeds the metrics registry; with a

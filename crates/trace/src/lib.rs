@@ -255,6 +255,52 @@ pub enum TraceKind {
         /// Host whose breaker closed.
         host: String,
     },
+    /// engine: the failure detector presumed an attempt crashed from
+    /// heartbeat silence.  Distinct from the `task_settle` that follows:
+    /// this event records what the detector *knew* — the silence and (for
+    /// φ-accrual) the suspicion level — so false suspicions can be audited
+    /// against it.
+    SuspicionRaised {
+        /// Owning activity.
+        activity: String,
+        /// Engine task id.
+        task: u64,
+        /// Heartbeat silence at presumption time.
+        silence: f64,
+        /// Suspicion level φ (`null` under the fixed-timeout detector).
+        phi: Option<f64>,
+    },
+    /// engine: a terminal message (`done` / `exception`) arrived from an
+    /// attempt already presumed dead — the suspicion was false, the
+    /// message is discarded, and the node it belonged to is *not*
+    /// re-settled.  At most one per attempt.
+    ZombieCompletion {
+        /// Owning activity.
+        activity: String,
+        /// Engine task id of the zombie attempt.
+        task: u64,
+        /// What arrived: `done` or `exception`.
+        body: String,
+    },
+    /// engine: a best-effort cancel was sent to a superseded attempt
+    /// (presumed dead, or replaced by a retry).  Delivery is not
+    /// guaranteed — the link may drop or delay it like any other message.
+    OrphanCancelled {
+        /// Owning activity.
+        activity: String,
+        /// Engine task id the cancel targets.
+        task: u64,
+    },
+    /// engine: a heartbeat arrived from an attempt already presumed dead —
+    /// evidence the suspicion was false (the attempt stays dead).
+    LateHeartbeat {
+        /// Owning activity.
+        activity: String,
+        /// Engine task id.
+        task: u64,
+        /// Heartbeat sequence number.
+        seq: u64,
+    },
 }
 
 impl TraceKind {
@@ -284,6 +330,10 @@ impl TraceKind {
             TraceKind::BreakerOpen { .. } => "breaker_open",
             TraceKind::BreakerProbe { .. } => "breaker_probe",
             TraceKind::BreakerClosed { .. } => "breaker_closed",
+            TraceKind::SuspicionRaised { .. } => "suspicion_raised",
+            TraceKind::ZombieCompletion { .. } => "zombie_completion",
+            TraceKind::OrphanCancelled { .. } => "orphan_cancelled",
+            TraceKind::LateHeartbeat { .. } => "late_heartbeat",
         }
     }
 }
@@ -495,6 +545,46 @@ impl TraceEvent {
             TraceKind::BreakerClosed { host } => {
                 o.push_str(",\"host\":");
                 push_escaped(&mut o, host);
+            }
+            TraceKind::SuspicionRaised {
+                activity,
+                task,
+                silence,
+                phi,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(",\"task\":{task},\"silence\":"));
+                push_f64(&mut o, *silence);
+                o.push_str(",\"phi\":");
+                match phi {
+                    Some(level) => push_f64(&mut o, *level),
+                    None => o.push_str("null"),
+                }
+            }
+            TraceKind::ZombieCompletion {
+                activity,
+                task,
+                body,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(",\"task\":{task},\"body\":"));
+                push_escaped(&mut o, body);
+            }
+            TraceKind::OrphanCancelled { activity, task } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(",\"task\":{task}"));
+            }
+            TraceKind::LateHeartbeat {
+                activity,
+                task,
+                seq,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(",\"task\":{task},\"seq\":{seq}"));
             }
         }
         o.push('}');
@@ -801,6 +891,71 @@ mod tests {
             (
                 ev(20.0, TraceKind::BreakerClosed { host: "h1".into() }),
                 r#"{"at":20,"kind":"breaker_closed","host":"h1"}"#,
+            ),
+        ];
+        for (event, wire) in cases {
+            assert_eq!(event.to_json(), wire);
+        }
+    }
+
+    #[test]
+    fn detection_kinds_have_stable_wire_forms() {
+        let cases = [
+            (
+                ev(
+                    4.0,
+                    TraceKind::SuspicionRaised {
+                        activity: "a".into(),
+                        task: 3,
+                        silence: 3.5,
+                        phi: Some(8.25),
+                    },
+                ),
+                r#"{"at":4,"kind":"suspicion_raised","activity":"a","task":3,"silence":3.5,"phi":8.25}"#,
+            ),
+            (
+                ev(
+                    4.0,
+                    TraceKind::SuspicionRaised {
+                        activity: "a".into(),
+                        task: 3,
+                        silence: 3.5,
+                        phi: None,
+                    },
+                ),
+                r#"{"at":4,"kind":"suspicion_raised","activity":"a","task":3,"silence":3.5,"phi":null}"#,
+            ),
+            (
+                ev(
+                    9.5,
+                    TraceKind::ZombieCompletion {
+                        activity: "a".into(),
+                        task: 3,
+                        body: "done".into(),
+                    },
+                ),
+                r#"{"at":9.5,"kind":"zombie_completion","activity":"a","task":3,"body":"done"}"#,
+            ),
+            (
+                ev(
+                    4.25,
+                    TraceKind::OrphanCancelled {
+                        activity: "a".into(),
+                        task: 3,
+                    },
+                ),
+                r#"{"at":4.25,"kind":"orphan_cancelled","activity":"a","task":3}"#,
+            ),
+            (
+                ev(
+                    5.0,
+                    TraceKind::LateHeartbeat {
+                        activity: "a".into(),
+                        task: 3,
+                        seq: 7,
+                    },
+                ),
+                r#"{"at":5,"kind":"late_heartbeat","activity":"a","task":3,"seq":7}"#,
             ),
         ];
         for (event, wire) in cases {

@@ -11,7 +11,7 @@
 //! gridwfs run      workflow.xml --grid grid.json [--seed N]
 //!                  [--checkpoint state.xml] [--resume state.xml]
 //!                  [--timeline] [--verbose] [--json report.json]
-//!                  [--trace trace.jsonl]
+//!                  [--trace trace.jsonl] [--detector phi:8]
 //! gridwfs resume   state.xml --grid grid.json [run options]
 //! gridwfs serve    wf1.xml wf2.xml ... --grid grid.json [--workers N]
 //!                  [--queue N] [--state-dir DIR] [--deadline S]
@@ -101,14 +101,48 @@ pub struct ProfileConfig {
 }
 
 /// Notification link model.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone, Default, Deserialize)]
 pub struct LinkConfig {
-    /// Constant delivery delay.
+    /// Base delivery delay.
     #[serde(default)]
     pub delay: f64,
     /// Per-message drop probability.
     #[serde(default)]
     pub drop_p: f64,
+    /// Uniform extra delay in `[0, jitter)` on top of the base delay.
+    #[serde(default)]
+    pub jitter: f64,
+    /// Per-message duplication probability.
+    #[serde(default)]
+    pub dup_p: f64,
+}
+
+impl LinkConfig {
+    fn check(&self, what: &str) -> Result<(), CliError> {
+        if !(self.delay.is_finite() && self.delay >= 0.0) {
+            return err(format!(
+                "{what} delay {} must be finite and >= 0",
+                self.delay
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.drop_p) {
+            return err(format!("{what} drop_p {} outside [0,1]", self.drop_p));
+        }
+        if !(self.jitter.is_finite() && self.jitter >= 0.0) {
+            return err(format!(
+                "{what} jitter {} must be finite and >= 0",
+                self.jitter
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.dup_p) {
+            return err(format!("{what} dup_p {} outside [0,1]", self.dup_p));
+        }
+        Ok(())
+    }
+
+    fn to_model(&self) -> LinkModel {
+        LinkModel::jittered(self.delay, self.jitter, self.drop_p).with_duplicates(self.dup_p)
+    }
 }
 
 /// The full Grid configuration file.
@@ -121,6 +155,15 @@ pub struct GridConfig {
     pub hosts: Vec<HostConfig>,
     /// Link model (default: perfect).
     pub link: Option<LinkConfig>,
+    /// Per-host link overrides, keyed by hostname (hosts not listed use
+    /// `link`).
+    #[serde(default)]
+    pub host_links: std::collections::BTreeMap<String, LinkConfig>,
+    /// Crash-presumption policy: `"phi:<threshold>"` or
+    /// `"timeout[:<tolerance>]"` (default: each activity's declared fixed
+    /// timeout).  `--detector` overrides this.
+    #[serde(default)]
+    pub detector: Option<String>,
     /// Per-program behaviour profiles, keyed by program name.
     #[serde(default)]
     pub profiles: std::collections::BTreeMap<String, ProfileConfig>,
@@ -146,10 +189,12 @@ impl GridConfig {
         }
         let mut grid = SimGrid::new(seed_override.unwrap_or(self.seed));
         if let Some(link) = &self.link {
-            if !(0.0..=1.0).contains(&link.drop_p) {
-                return err(format!("link drop_p {} outside [0,1]", link.drop_p));
-            }
-            grid = grid.with_link(LinkModel::lossy(link.delay, link.drop_p));
+            link.check("link")?;
+            grid = grid.with_link(link.to_model());
+        }
+        for (host, link) in &self.host_links {
+            link.check(&format!("host_links.{host}"))?;
+            grid.set_host_link(host.clone(), link.to_model());
         }
         for h in &self.hosts {
             if h.speed <= 0.0 {
@@ -257,6 +302,61 @@ pub struct RunOptions {
     /// Enable the per-host circuit breaker with this consecutive-failure
     /// threshold (decorrelated-jitter backoff, half-open probes).
     pub breaker: Option<u32>,
+    /// Crash-presumption policy: `phi:<threshold>` or
+    /// `timeout[:<tolerance>]` (overrides the grid config's `detector`).
+    pub detector: Option<String>,
+}
+
+/// Parses a detector spec: `phi:<threshold>` or `timeout[:<tolerance>]`.
+pub fn parse_detector(spec: &str) -> Result<gridwfs_serve::DetectorSpec, CliError> {
+    use gridwfs_serve::DetectorSpec;
+    let (kind, arg) = match spec.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (spec, None),
+    };
+    match kind {
+        "phi" => {
+            let raw =
+                arg.ok_or_else(|| CliError("detector 'phi' needs a threshold, e.g. phi:8".into()))?;
+            let threshold: f64 = raw
+                .parse()
+                .map_err(|_| CliError(format!("bad phi threshold '{raw}'")))?;
+            if !(threshold.is_finite() && threshold > 0.0) {
+                return err(format!("phi threshold {threshold} must be finite and > 0"));
+            }
+            Ok(DetectorSpec::Phi { threshold })
+        }
+        "timeout" => {
+            let tolerance = match arg {
+                None => None,
+                Some(raw) => {
+                    let v: f64 = raw
+                        .parse()
+                        .map_err(|_| CliError(format!("bad timeout tolerance '{raw}'")))?;
+                    if !(v.is_finite() && v >= 1.0) {
+                        return err(format!("timeout tolerance {v} must be >= 1"));
+                    }
+                    Some(v)
+                }
+            };
+            Ok(DetectorSpec::Timeout { tolerance })
+        }
+        other => err(format!(
+            "unknown detector '{other}' (use phi:<threshold> or timeout[:<tolerance>])"
+        )),
+    }
+}
+
+/// The detector spec a run should use: the CLI flag wins over the grid
+/// config's `detector` field; neither means the engine default.
+fn resolve_detector(
+    cli: &Option<String>,
+    cfg: &GridConfig,
+) -> Result<Option<gridwfs_serve::DetectorSpec>, CliError> {
+    match cli.as_deref().or(cfg.detector.as_deref()) {
+        Some(spec) => parse_detector(spec).map(Some),
+        None => Ok(None),
+    }
 }
 
 /// Renders a [`Report`] as machine-readable JSON (schema 1): outcome,
@@ -406,6 +506,9 @@ pub fn run_with_config(cfg: &GridConfig, opts: &RunOptions) -> Result<(Report, S
         ..EngineConfig::default()
     };
     config.checkpoint_path = opts.checkpoint.clone();
+    if let Some(spec) = resolve_detector(&opts.detector, cfg)? {
+        config.detector = spec.to_policy();
+    }
     if let Some(threshold) = opts.breaker {
         if threshold == 0 {
             return err("--breaker threshold must be >= 1");
@@ -539,14 +642,27 @@ pub fn grid_config_to_spec(cfg: &GridConfig, mode: ExecMode) -> Result<GridSpec,
         });
     }
     if let Some(link) = &cfg.link {
-        if !(0.0..=1.0).contains(&link.drop_p) {
-            return err(format!("link drop_p {} outside [0,1]", link.drop_p));
-        }
+        link.check("link")?;
         spec.link = Some(LinkSpec {
             delay: link.delay,
             drop_p: link.drop_p,
+            jitter: link.jitter,
+            dup_p: link.dup_p,
         });
     }
+    for (host, link) in &cfg.host_links {
+        link.check(&format!("host_links.{host}"))?;
+        spec.host_links.push((
+            host.clone(),
+            LinkSpec {
+                delay: link.delay,
+                drop_p: link.drop_p,
+                jitter: link.jitter,
+                dup_p: link.dup_p,
+            },
+        ));
+    }
+    spec.detector = resolve_detector(&None, cfg)?;
     for (program, p) in &cfg.profiles {
         spec.profiles.push(ProfileSpec {
             program: program.clone(),
@@ -707,6 +823,9 @@ RUN OPTIONS:
   --repeat <n>         Monte-Carlo over n consecutive seeds; print statistics
   --breaker <n>        per-host circuit breaker: n consecutive failures open
                        a host (jittered backoff, half-open probes)
+  --detector <spec>    crash-presumption policy: phi:<threshold> (adaptive
+                       φ-accrual) or timeout[:<tolerance>] (fixed timeout);
+                       overrides the grid config's \"detector\" field
   --timeline           render an ASCII Gantt of all attempts
   --verbose            include the full engine log
   --json <file>        also write a machine-readable JSON report
@@ -764,6 +883,14 @@ fn parse_run_opts<'a>(
                 opts.breaker = match rest.next().map(|v| v.parse()) {
                     Some(Ok(n)) => Some(n),
                     _ => return err("--breaker requires an integer threshold"),
+                }
+            }
+            "--detector" => {
+                opts.detector = match rest.next() {
+                    Some(spec) => Some(spec.clone()),
+                    None => {
+                        return err("--detector requires phi:<threshold> or timeout[:<tolerance>]")
+                    }
                 }
             }
             "--timeline" => opts.timeline = true,
@@ -1111,6 +1238,8 @@ mod tests {
                 },
             ],
             link: None,
+            host_links: Default::default(),
+            detector: None,
             profiles: std::iter::once((
                 "p".to_string(),
                 ProfileConfig {
@@ -1263,6 +1392,8 @@ mod tests {
                 },
             ],
             link: None,
+            host_links: Default::default(),
+            detector: None,
             profiles: Default::default(),
         };
         let opts = ServeOptions {
@@ -1292,6 +1423,8 @@ mod tests {
                 downtime: 0.0,
             }],
             link: None,
+            host_links: Default::default(),
+            detector: None,
             profiles: Default::default(),
         };
         let no_work = ServeOptions::default();
@@ -1355,6 +1488,107 @@ mod tests {
         };
         assert!(serve_with_config(&cfg, &bad).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn detector_specs_parse_and_validate() {
+        use gridwfs_serve::DetectorSpec;
+        assert_eq!(
+            parse_detector("phi:8").unwrap(),
+            DetectorSpec::Phi { threshold: 8.0 }
+        );
+        assert_eq!(
+            parse_detector("timeout").unwrap(),
+            DetectorSpec::Timeout { tolerance: None }
+        );
+        assert_eq!(
+            parse_detector("timeout:4.5").unwrap(),
+            DetectorSpec::Timeout {
+                tolerance: Some(4.5)
+            }
+        );
+        assert!(parse_detector("phi").is_err(), "phi needs a threshold");
+        assert!(parse_detector("phi:-1").is_err());
+        assert!(parse_detector("phi:soon").is_err());
+        assert!(parse_detector("timeout:0.5").is_err(), "tolerance < 1");
+        assert!(parse_detector("voodoo:3").is_err());
+    }
+
+    #[test]
+    fn run_detector_flag_selects_the_policy() {
+        let dir = tmpdir();
+        let wf = dir.join("wf.xml");
+        std::fs::write(&wf, WF).unwrap();
+        let cfg = grid_literal();
+        for spec in ["phi:8", "timeout:4"] {
+            let opts = RunOptions {
+                workflow: Some(wf.clone()),
+                detector: Some(spec.into()),
+                ..RunOptions::default()
+            };
+            let (report, out) = run_with_config(&cfg, &opts).unwrap();
+            assert!(report.is_success(), "{spec}: {out}");
+        }
+        let bad = RunOptions {
+            workflow: Some(wf),
+            detector: Some("phi".into()),
+            ..RunOptions::default()
+        };
+        assert!(run_with_config(&cfg, &bad).is_err());
+        // Arg-parse path: a bare --detector is rejected.
+        let args: Vec<String> = ["run", "wf.xml", "--detector"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (code, out) = main_with_args(&args);
+        assert_eq!(code, 2);
+        assert!(out.contains("--detector"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grid_config_lossy_extensions_flow_into_the_spec() {
+        let mut cfg = grid_literal();
+        cfg.link = Some(LinkConfig {
+            delay: 0.2,
+            drop_p: 0.1,
+            jitter: 0.5,
+            dup_p: 0.05,
+        });
+        cfg.host_links.insert("h1".into(), LinkConfig::default());
+        cfg.detector = Some("phi:6".into());
+        let grid = cfg.build(None).unwrap();
+        assert!(grid.has_host("h1"));
+        let spec = grid_config_to_spec(&cfg, ExecMode::Virtual).unwrap();
+        assert_eq!(
+            spec.link,
+            Some(LinkSpec {
+                delay: 0.2,
+                drop_p: 0.1,
+                jitter: 0.5,
+                dup_p: 0.05
+            })
+        );
+        assert_eq!(spec.host_links.len(), 1);
+        assert_eq!(
+            spec.detector,
+            Some(gridwfs_serve::DetectorSpec::Phi { threshold: 6.0 })
+        );
+        // Invalid extensions are rejected politely, not by panic.
+        cfg.link = Some(LinkConfig {
+            jitter: -1.0,
+            ..LinkConfig::default()
+        });
+        assert!(cfg.build(None).is_err());
+        assert!(grid_config_to_spec(&cfg, ExecMode::Virtual).is_err());
+        cfg.link = Some(LinkConfig {
+            dup_p: 2.0,
+            ..LinkConfig::default()
+        });
+        assert!(cfg.build(None).is_err());
+        cfg.link = None;
+        cfg.detector = Some("voodoo".into());
+        assert!(grid_config_to_spec(&cfg, ExecMode::Virtual).is_err());
     }
 
     #[test]

@@ -166,6 +166,8 @@ fn recovery_demo_grid() -> GridConfig {
             host("jupiter.isi.edu", 1.3),
         ],
         link: None,
+        host_links: Default::default(),
+        detector: None,
         profiles: [
             (
                 "fast_impl".to_string(),
