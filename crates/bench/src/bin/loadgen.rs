@@ -1,11 +1,13 @@
 //! Load generator for the `gridwfs-serve` worker pool (`BENCH_serve.json`).
 //!
 //! Submits `--m` three-task paced workflows to a service with `--workers`
-//! concurrent engine instances and a `--queue`-deep admission queue, then
-//! reports throughput: total wall time vs the serial sum of per-job engine
-//! wall times (the speedup the pool delivers), submit-side backpressure
-//! (every `QueueFull` rejection is counted and retried, never dropped),
-//! and the admission-to-terminal latency distribution.
+//! scheduler threads, each multiplexing up to `--inflight` engine
+//! instances, behind a `--queue`-deep admission queue, then reports
+//! throughput: total wall time vs the serial sum of per-job engine wall
+//! times (the concurrency the async core delivers), submit-side
+//! backpressure (every `QueueFull` rejection is counted and retried with
+//! capped exponential backoff plus seeded jitter, never dropped), and the
+//! admission-to-terminal latency distribution.
 //!
 //! ```text
 //! cargo run --release -p gridwfs-bench --bin loadgen -- \
@@ -15,8 +17,11 @@
 //! `--trace-dir DIR` additionally journals every job's flight record to
 //! `DIR/job-<N>.trace.jsonl`.  Combined with `--virtual` (virtual-time
 //! simulation instead of paced threads) the journals are byte-identical
-//! across `--workers` settings; paced journals carry wall-clock engine
-//! times, so they are not comparable run to run.
+//! across `--workers` settings; `--journal-hash` proves it without
+//! shipping the journals around — an FNV-1a digest over every journal in
+//! job-id order, printed and included in the JSON summary.  Paced
+//! journals carry wall-clock engine times, so they are not comparable
+//! run to run.
 //!
 //! Paced mode is what makes the concurrency observable: each task body
 //! *sleeps* its scaled nominal duration on a real thread, so overlapping
@@ -29,19 +34,28 @@
 //! to "every admitted job terminal" — injected faults may fail jobs, but
 //! must never lose them.
 
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use gridwfs_serve::json::{json_number, json_string};
 use gridwfs_serve::metrics::percentile;
 use gridwfs_serve::{
-    FaultPlan, GridSpec, JobState, Service, ServiceConfig, Submission, SubmitError,
+    splitmix64, FaultPlan, GridSpec, JobState, Service, ServiceConfig, Submission, SubmitError,
 };
 use gridwfs_wpdl::builder::WorkflowBuilder;
+
+/// First QueueFull retry waits this long (before jitter).
+const BACKOFF_BASE_US: u64 = 500;
+/// Backoff doubles per retry up to this cap.
+const BACKOFF_CAP_US: u64 = 16_000;
+/// Retry-count buckets: attempts 1..7 individually, 8+ pooled.
+const RETRY_BUCKETS: usize = 8;
 
 #[derive(Debug, Clone)]
 struct LoadOptions {
     m: usize,
     workers: usize,
+    inflight: usize,
     queue: usize,
     scale: f64,
     seed: u64,
@@ -50,6 +64,7 @@ struct LoadOptions {
     state_dir: Option<std::path::PathBuf>,
     chaos: Option<String>,
     virtual_time: bool,
+    journal_hash: bool,
 }
 
 impl Default for LoadOptions {
@@ -57,6 +72,7 @@ impl Default for LoadOptions {
         LoadOptions {
             m: 200,
             workers: 4,
+            inflight: 1,
             queue: 64,
             scale: 0.005,
             seed: 2003,
@@ -65,6 +81,7 @@ impl Default for LoadOptions {
             state_dir: None,
             chaos: None,
             virtual_time: false,
+            journal_hash: false,
         }
     }
 }
@@ -82,6 +99,11 @@ fn parse_args(args: impl Iterator<Item = String>) -> LoadOptions {
             "--workers" => {
                 if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
                     opts.workers = n;
+                }
+            }
+            "--inflight" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    opts.inflight = n;
                 }
             }
             "--queue" => {
@@ -104,10 +126,57 @@ fn parse_args(args: impl Iterator<Item = String>) -> LoadOptions {
             "--state-dir" => opts.state_dir = args.next().map(std::path::PathBuf::from),
             "--chaos" => opts.chaos = args.next(),
             "--virtual" => opts.virtual_time = true,
+            "--journal-hash" => opts.journal_hash = true,
             _ => {}
         }
     }
     opts
+}
+
+/// Sleep before retry `attempt` (0-based) of submission `i`: exponential
+/// from [`BACKOFF_BASE_US`] capped at [`BACKOFF_CAP_US`], with
+/// deterministic seeded jitter in the upper half ("equal jitter") so a
+/// herd of blocked submitters decorrelates instead of thundering back in
+/// lockstep — while two runs with the same seed still sleep identically.
+fn backoff(seed: u64, i: usize, attempt: u32) -> Duration {
+    let exp = BACKOFF_BASE_US.saturating_mul(1 << attempt.min(6));
+    let capped = exp.min(BACKOFF_CAP_US);
+    let z = splitmix64(seed ^ ((i as u64) << 20) ^ u64::from(attempt));
+    let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+    Duration::from_micros(capped / 2 + ((capped / 2) as f64 * frac) as u64)
+}
+
+/// FNV-1a digest over every `job-<id>.trace.jsonl` in `dir`, in job-id
+/// order with a separator between files: two service runs produced the
+/// same journals iff the hashes match.
+fn journal_hash(dir: &Path) -> std::io::Result<(u64, usize)> {
+    let mut ids: Vec<u64> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            e.file_name()
+                .to_str()?
+                .strip_prefix("job-")?
+                .strip_suffix(".trace.jsonl")?
+                .parse()
+                .ok()
+        })
+        .collect();
+    ids.sort_unstable();
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    let count = ids.len();
+    for id in ids {
+        for b in std::fs::read(dir.join(format!("job-{id}.trace.jsonl")))? {
+            eat(b);
+        }
+        eat(0x1e); // record separator: file boundaries are part of the digest
+    }
+    Ok((h, count))
 }
 
 /// The canonical load unit: a three-task chain, one nominal unit each.
@@ -124,13 +193,16 @@ fn chain_xml(i: usize) -> String {
 
 fn main() {
     let opts = parse_args(std::env::args().skip(1));
-    assert!(opts.m > 0 && opts.workers > 0 && opts.queue > 0 && opts.scale > 0.0);
+    assert!(
+        opts.m > 0 && opts.workers > 0 && opts.inflight > 0 && opts.queue > 0 && opts.scale > 0.0
+    );
     let chaos = opts
         .chaos
         .as_deref()
         .map(|spec| FaultPlan::parse(spec).unwrap_or_else(|e| panic!("--chaos {spec}: {e}")));
     let service = Service::start(ServiceConfig {
         workers: opts.workers,
+        max_in_flight: opts.inflight,
         queue_capacity: opts.queue,
         trace_dir: opts.trace_dir.clone(),
         state_dir: opts.state_dir.clone(),
@@ -146,6 +218,7 @@ fn main() {
 
     let started = Instant::now();
     let mut rejections = 0u64;
+    let mut retry_buckets = [0u64; RETRY_BUCKETS];
     let mut faulted_submits = 0u64;
     let mut admitted = 0usize;
     for i in 0..opts.m {
@@ -156,6 +229,7 @@ fn main() {
             seed: opts.seed + i as u64,
             deadline: None,
         };
+        let mut attempt = 0u32;
         loop {
             match service.submit(sub.clone()) {
                 Ok(_) => {
@@ -164,7 +238,9 @@ fn main() {
                 }
                 Err(SubmitError::QueueFull) => {
                     rejections += 1;
-                    std::thread::sleep(Duration::from_millis(2));
+                    retry_buckets[(attempt as usize).min(RETRY_BUCKETS - 1)] += 1;
+                    std::thread::sleep(backoff(opts.seed, i, attempt));
+                    attempt += 1;
                 }
                 // An injected state-dir fault rejects the submission
                 // loudly; retrying would hit the same deterministic
@@ -202,12 +278,39 @@ fn main() {
     let mut run_walls: Vec<f64> = records.iter().filter_map(|r| r.run_wall).collect();
     run_walls.sort_by(f64::total_cmp);
 
-    println!("== loadgen: {} jobs on {} workers", opts.m, opts.workers);
+    let journals = opts
+        .trace_dir
+        .as_deref()
+        .filter(|_| opts.journal_hash)
+        .map(|dir| journal_hash(dir).unwrap_or_else(|e| panic!("--journal-hash: {e}")));
+
+    println!(
+        "== loadgen: {} jobs on {} workers x {} in flight",
+        opts.m, opts.workers, opts.inflight
+    );
     println!(
         "   queue capacity: {} (rejected-then-retried submits: {rejections})",
         opts.queue
     );
+    if rejections > 0 {
+        let buckets: Vec<String> = retry_buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, n)| {
+                if k + 1 == RETRY_BUCKETS {
+                    format!("{}+:{n}", k + 1)
+                } else {
+                    format!("{}:{n}", k + 1)
+                }
+            })
+            .collect();
+        println!("   retries by attempt: {}", buckets.join("  "));
+    }
     println!("   completed: {done}/{}", opts.m);
+    if let Some((hash, count)) = journals {
+        println!("   journal hash: {hash:016x} over {count} journals");
+    }
     if let Some(plan) = &chaos {
         println!(
             "   chaos: plan '{plan}' — admitted {admitted}/{} \
@@ -228,17 +331,34 @@ fn main() {
     if let Some(path) = &opts.json {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"bench\": {},\n", json_string("loadgen")));
-        out.push_str("  \"schema\": 1,\n");
+        out.push_str("  \"schema\": 2,\n");
         out.push_str(&format!("  \"m\": {},\n", opts.m));
         out.push_str(&format!("  \"workers\": {},\n", opts.workers));
+        out.push_str(&format!("  \"max_in_flight\": {},\n", opts.inflight));
         out.push_str(&format!("  \"queue_capacity\": {},\n", opts.queue));
         out.push_str(&format!("  \"scale\": {},\n", json_number(opts.scale)));
         out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+        out.push_str(&format!("  \"virtual\": {},\n", opts.virtual_time));
         out.push_str(&format!("  \"completed\": {done},\n"));
         out.push_str(&format!("  \"failed\": {failed},\n"));
         out.push_str(&format!("  \"admitted\": {admitted},\n"));
         out.push_str(&format!("  \"submit_faults\": {faulted_submits},\n"));
         out.push_str(&format!("  \"rejected_retried\": {rejections},\n"));
+        out.push_str(&format!(
+            "  \"retries_by_attempt\": [{}],\n",
+            retry_buckets
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        if let Some((hash, count)) = journals {
+            out.push_str(&format!(
+                "  \"journal_hash\": {},\n",
+                json_string(&format!("{hash:016x}"))
+            ));
+            out.push_str(&format!("  \"journal_count\": {count},\n"));
+        }
         if let Some(plan) = &chaos {
             out.push_str(&format!("  \"chaos\": {},\n", json_string(&plan.to_spec())));
         }

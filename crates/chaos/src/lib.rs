@@ -559,6 +559,55 @@ pub fn write_atomic(fs: &dyn StateFs, path: &Path, data: &[u8]) -> io::Result<()
     Ok(())
 }
 
+/// Group commit: crash-atomically replaces a whole batch of files with ONE
+/// parent-directory fsync per distinct directory, instead of the one fsync
+/// *per file* that looping over [`write_atomic`] costs.  The scheduler's
+/// per-tick state-dir batches (result markers, elapsed ledgers) are the
+/// intended caller: under a 100k-job load the directory fsync dominates the
+/// state-dir write path, and amortising it across a tick is what keeps the
+/// settle rate off the disk's fsync ceiling.
+///
+/// Per-file guarantees are exactly [`write_atomic`]'s: every target is
+/// either all-old or all-new, never torn (each tmp is written and
+/// `sync_all`ed before its rename).  The relaxation is only in the
+/// directory entries: a crash after some renames but before the directory
+/// fsync may lose any subset of the *renames* — the same window a single
+/// `write_atomic` already has between its rename and its dir fsync.
+///
+/// Failures are per-file: one bad write must not sink the rest of the
+/// batch, so errors are collected and returned (empty = full success) and
+/// the remaining files still commit.
+pub fn write_atomic_batch(
+    fs: &dyn StateFs,
+    writes: &[(PathBuf, Vec<u8>)],
+) -> Vec<(PathBuf, io::Error)> {
+    let mut errors = Vec::new();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    for (path, data) in writes {
+        let tmp = tmp_path(path);
+        if let Err(e) = fs.write_file(&tmp, data) {
+            errors.push((path.clone(), e));
+            continue;
+        }
+        if let Err(e) = fs.rename(&tmp, path) {
+            let _ = fs.remove_file(&tmp);
+            errors.push((path.clone(), e));
+            continue;
+        }
+        if let Some(parent) = path.parent() {
+            if !dirs.iter().any(|d| d == parent) {
+                dirs.push(parent.to_path_buf());
+            }
+        }
+    }
+    for dir in dirs {
+        if let Err(e) = fs.sync_dir(&dir) {
+            errors.push((dir, e));
+        }
+    }
+    errors
+}
+
 // ---------------------------------------------------------------------------
 // Poison-tolerant locking
 // ---------------------------------------------------------------------------

@@ -33,7 +33,7 @@ use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind, TraceSink};
 use gridwfs_wpdl::ast::{Policy, Trigger};
 use gridwfs_wpdl::validate::Validated;
 
-use crate::executor::{Executor, SubmitRequest};
+use crate::executor::{Executor, Polled, SubmitRequest};
 use crate::instance::{CompleteResult, EdgeState, Instance, NodeStatus, Outcome};
 use crate::timeline::{Span, SpanOutcome};
 
@@ -215,6 +215,38 @@ impl Default for EngineConfig {
     }
 }
 
+/// What one non-blocking [`Engine::step`] accomplished.
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// The engine did work (delivered a notification, fired timers, swept
+    /// the detector, or launched tasks): step again soon.
+    Progressed,
+    /// Nothing is deliverable yet.  `wake_at` is the executor-clock instant
+    /// by which the engine wants to be stepped again (its next timer /
+    /// detector / deadline edge), and is only reported when that instant
+    /// is a *safe* park bound — no in-flight completion can arrive
+    /// earlier.  `None` means "poll again soon": the engine is waiting on
+    /// in-flight work that may deliver at any moment.
+    Idle {
+        /// Executor-clock re-step deadline, if one exists.
+        wake_at: Option<f64>,
+    },
+    /// Navigation terminated; the report is final.  The engine must not be
+    /// stepped again.
+    Finished(Box<Report>),
+}
+
+/// Per-run navigation state, created lazily on the first step so that
+/// `started_at` (and hence the deadline clamp) matches what `run()` always
+/// measured: the executor clock at entry.
+#[derive(Debug)]
+struct RunState {
+    started_at: f64,
+    deadline_abs: Option<f64>,
+    reorder: Option<ReorderBuffer>,
+    done: bool,
+}
+
 #[derive(Debug)]
 struct Slot {
     tries_used: u32,
@@ -296,6 +328,7 @@ pub struct Engine<X: Executor> {
     open_attempts: std::collections::HashSet<TaskId>,
     settlements: u64,
     config: EngineConfig,
+    run_state: Option<RunState>,
 }
 
 impl<X: Executor> Engine<X> {
@@ -335,6 +368,7 @@ impl<X: Executor> Engine<X> {
             open_attempts: std::collections::HashSet::new(),
             settlements: 0,
             config: EngineConfig::default(),
+            run_state: None,
         }
     }
 
@@ -1075,62 +1109,118 @@ impl<X: Executor> Engine<X> {
     }
 
     /// Runs the workflow to completion and returns the report.
+    ///
+    /// A thin blocking driver over the same slice of work [`Engine::step`]
+    /// performs: each iteration is exactly one turn of the historical event
+    /// loop, with the executor allowed to park inside `next_notification`,
+    /// so the trace (and therefore the JSONL journal) is byte-identical to
+    /// what the monolithic loop produced.
     pub fn run(mut self) -> Report {
-        let started_at = self.executor.now();
-        let deadline_abs = self.config.deadline.map(|d| started_at + d);
-        let mut aborted: Option<String> = None;
-        let mut reorder = self.config.reorder_settle.map(ReorderBuffer::new);
         loop {
-            if let Some(limit) = self.config.max_settlements {
-                if self.settlements >= limit {
-                    self.log(
-                        LogKind::Stall,
-                        format!("aborting after {limit} settlements (simulated engine crash)"),
-                    );
-                    self.trace(TraceKind::EngineAborted {
-                        reason: "max_settlements".to_string(),
-                    });
-                    aborted = Some("max_settlements".to_string());
-                    break;
-                }
+            match self.step_inner(true) {
+                StepOutcome::Finished(report) => return *report,
+                StepOutcome::Progressed => {}
+                StepOutcome::Idle { .. } => unreachable!("blocking step never reports Idle"),
             }
-            if self
-                .config
-                .stop
-                .as_ref()
-                .is_some_and(|f| f.load(Ordering::Relaxed))
-            {
-                self.log(LogKind::Stall, "stop requested; aborting".to_string());
+        }
+    }
+
+    /// Performs one bounded slice of navigation without blocking.
+    ///
+    /// Where [`Engine::run`] parks the calling thread inside the executor's
+    /// `next_notification`, `step` polls ([`Executor::poll_notification`])
+    /// and hands control back with [`StepOutcome::Idle`] instead — the hook
+    /// a cooperative scheduler needs to multiplex many engines over a few
+    /// worker threads.  `Idle::wake_at` is on the executor's clock; convert
+    /// with [`Engine::now`].  Stepping again after
+    /// [`StepOutcome::Finished`] panics.
+    pub fn step(&mut self) -> StepOutcome {
+        self.step_inner(false)
+    }
+
+    /// Current executor-clock time (virtual seconds for the simulated Grid,
+    /// wall seconds since construction for the thread executor) — the clock
+    /// [`StepOutcome::Idle`]'s `wake_at` is expressed in.
+    pub fn now(&self) -> f64 {
+        self.executor.now()
+    }
+
+    fn step_inner(&mut self, block: bool) -> StepOutcome {
+        if self.run_state.is_none() {
+            let started_at = self.executor.now();
+            self.run_state = Some(RunState {
+                started_at,
+                deadline_abs: self.config.deadline.map(|d| started_at + d),
+                reorder: self.config.reorder_settle.map(ReorderBuffer::new),
+                done: false,
+            });
+        }
+        let state = self.run_state.as_ref().expect("just initialised");
+        assert!(!state.done, "Engine stepped after StepOutcome::Finished");
+        let deadline_abs = state.deadline_abs;
+        if let Some(limit) = self.config.max_settlements {
+            if self.settlements >= limit {
+                self.log(
+                    LogKind::Stall,
+                    format!("aborting after {limit} settlements (simulated engine crash)"),
+                );
                 self.trace(TraceKind::EngineAborted {
-                    reason: "stop".to_string(),
+                    reason: "max_settlements".to_string(),
+                });
+                return self.finish(Some("max_settlements".to_string()));
+            }
+        }
+        if self
+            .config
+            .stop
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+        {
+            self.log(LogKind::Stall, "stop requested; aborting".to_string());
+            self.trace(TraceKind::EngineAborted {
+                reason: "stop".to_string(),
+            });
+            self.abort_live();
+            return self.finish(Some("stop".to_string()));
+        }
+        if let Some(d) = deadline_abs {
+            if self.executor.now() >= d {
+                self.log(LogKind::Stall, format!("deadline reached at {d}; aborting"));
+                self.trace(TraceKind::EngineAborted {
+                    reason: "deadline".to_string(),
                 });
                 self.abort_live();
-                aborted = Some("stop".to_string());
-                break;
+                return self.finish(Some("deadline".to_string()));
             }
-            if let Some(d) = deadline_abs {
-                if self.executor.now() >= d {
-                    self.log(LogKind::Stall, format!("deadline reached at {d}; aborting"));
-                    self.trace(TraceKind::EngineAborted {
-                        reason: "deadline".to_string(),
-                    });
-                    self.abort_live();
-                    aborted = Some("deadline".to_string());
-                    break;
-                }
-            }
-            self.launch_ready();
-            if self.instance.is_finished() {
-                break;
-            }
-            // Clamp the wait so the engine wakes up (and aborts) at the
-            // deadline even if no notification ever arrives.
-            let deadline = match (self.next_deadline(reorder.as_ref()), deadline_abs) {
+        }
+        self.launch_ready();
+        if self.instance.is_finished() {
+            return self.finish(None);
+        }
+        // Clamp the wait so the engine wakes up (and aborts) at the
+        // deadline even if no notification ever arrives.
+        let deadline = {
+            let reorder = self.run_state.as_ref().expect("stepping").reorder.as_ref();
+            match (self.next_deadline(reorder), deadline_abs) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
-            };
+            }
+        };
+        let polled = if block {
             match self.executor.next_notification(deadline) {
-                Some((t, env)) => match &mut reorder {
+                Some((t, env)) => Polled::Delivered(t, env),
+                None => Polled::TimedOut,
+            }
+        } else {
+            self.executor.poll_notification(deadline)
+        };
+        match polled {
+            Polled::Pending { wake_at } => return StepOutcome::Idle { wake_at },
+            Polled::Delivered(t, env) => {
+                // The buffer is lifted out of `run_state` while its releases
+                // are observed (observe needs `&mut self`), then put back.
+                let mut reorder = self.run_state.as_mut().expect("stepping").reorder.take();
+                match &mut reorder {
                     Some(buf) => {
                         buf.accept(env, t);
                         for e in buf.release(t) {
@@ -1138,43 +1228,58 @@ impl<X: Executor> Engine<X> {
                         }
                     }
                     None => self.observe(&env, t),
-                },
-                None => {
-                    let now = self.executor.now();
-                    let mut released = 0;
-                    if let Some(buf) = &mut reorder {
-                        for e in buf.release(now) {
-                            released += 1;
-                            self.observe(&e, now);
-                        }
+                }
+                self.run_state.as_mut().expect("stepping").reorder = reorder;
+            }
+            Polled::TimedOut => {
+                let now = self.executor.now();
+                let mut released = 0;
+                let mut reorder = self.run_state.as_mut().expect("stepping").reorder.take();
+                if let Some(buf) = &mut reorder {
+                    for e in buf.release(now) {
+                        released += 1;
+                        self.observe(&e, now);
                     }
-                    let fired = self.fire_timers(now);
-                    let swept = self.detector.sweep(now);
-                    let any_swept = !swept.is_empty();
-                    for d in swept {
-                        self.handle(d);
-                    }
-                    if fired == 0
-                        && !any_swept
-                        && released == 0
-                        && deadline.is_none()
-                        && self.executor.is_idle()
-                    {
-                        self.fail_stalled();
-                    }
+                }
+                self.run_state.as_mut().expect("stepping").reorder = reorder;
+                let fired = self.fire_timers(now);
+                let swept = self.detector.sweep(now);
+                let any_swept = !swept.is_empty();
+                for d in swept {
+                    self.handle(d);
+                }
+                if fired == 0
+                    && !any_swept
+                    && released == 0
+                    && deadline.is_none()
+                    && self.executor.is_idle()
+                {
+                    self.fail_stalled();
                 }
             }
         }
+        StepOutcome::Progressed
+    }
+
+    /// Seals the run and builds the final report (the tail of the old
+    /// monolithic `run`): flushes the sink, then moves the log and trace
+    /// out of the engine so `step` can return [`StepOutcome::Finished`]
+    /// without consuming `self`.
+    fn finish(&mut self, aborted: Option<String>) -> StepOutcome {
+        let state = self.run_state.as_mut().expect("stepping");
+        state.done = true;
+        let started_at = state.started_at;
         let finished_at = self.executor.now();
         if let Some(sink) = &self.sink {
             sink.flush();
         }
-        Report {
+        let trace = std::mem::take(&mut self.trace);
+        StepOutcome::Finished(Box::new(Report {
             outcome: self.instance.outcome(),
             aborted,
             finished_at,
             makespan: finished_at - started_at,
-            spans: crate::timeline::spans_from_trace(&self.trace),
+            spans: crate::timeline::spans_from_trace(&trace),
             node_status: self
                 .instance
                 .statuses()
@@ -1186,10 +1291,10 @@ impl<X: Executor> Engine<X> {
                     (n.to_string(), s)
                 })
                 .collect(),
-            log: self.log,
-            trace: self.trace,
+            log: std::mem::take(&mut self.log),
+            trace,
             eval_errors: self.instance.eval_errors().to_vec(),
-        }
+        }))
     }
 }
 

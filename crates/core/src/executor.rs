@@ -38,6 +38,26 @@ pub struct SubmitRequest {
     pub heartbeat_interval: f64,
 }
 
+/// Result of a non-blocking notification poll (see
+/// [`Executor::poll_notification`]).
+#[derive(Debug)]
+pub enum Polled {
+    /// A notification delivered at this executor time (the clock advances).
+    Delivered(f64, Envelope),
+    /// The deadline passed (or nothing can ever arrive): the caller should
+    /// run its timeout work — fire timers, sweep the detector.
+    TimedOut,
+    /// Nothing is deliverable *yet*, but something may still arrive: the
+    /// caller should step other work and come back.  `wake_at` is the
+    /// executor-clock instant by which a re-poll is guaranteed to observe
+    /// the timeout (the deadline that was passed in), or `None` when the
+    /// poll is waiting on in-flight work with no deadline.
+    Pending {
+        /// Executor-clock re-poll deadline, if one exists.
+        wake_at: Option<f64>,
+    },
+}
+
 /// A notification transport + job submission endpoint.
 pub trait Executor {
     /// Current time on the executor's clock (simulated or wall-clock
@@ -70,6 +90,23 @@ pub trait Executor {
     /// * `None` — no notification arrives by `deadline`; the clock advances
     ///   to the deadline (or, with no deadline, to idleness).
     fn next_notification(&mut self, deadline: Option<f64>) -> Option<(f64, Envelope)>;
+
+    /// Non-blocking variant of [`Executor::next_notification`], the heart of
+    /// [`crate::engine::Engine::step`]: instead of sleeping until `deadline`
+    /// it reports [`Polled::Pending`] so a cooperative scheduler can run
+    /// other engines on the same OS thread and re-poll later.
+    ///
+    /// The default delegates to `next_notification` and never returns
+    /// `Pending` — correct for executors whose delivery already never
+    /// blocks (the simulated Grid advances virtual time instead of
+    /// waiting).  Executors that wait on real wall time (the thread
+    /// executor) must override this.
+    fn poll_notification(&mut self, deadline: Option<f64>) -> Polled {
+        match self.next_notification(deadline) {
+            Some((t, env)) => Polled::Delivered(t, env),
+            None => Polled::TimedOut,
+        }
+    }
 
     /// True if no notification can ever arrive again (nothing in flight).
     fn is_idle(&self) -> bool;

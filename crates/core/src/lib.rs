@@ -53,8 +53,8 @@ pub mod thread_executor;
 pub mod timeline;
 
 pub use breaker::{BreakerConfig, BreakerEvent, HostBreakers};
-pub use engine::{Engine, EngineConfig, LogEntry, LogKind, Report};
-pub use executor::{Executor, SubmitRequest};
+pub use engine::{Engine, EngineConfig, LogEntry, LogKind, Report, StepOutcome};
+pub use executor::{Executor, Polled, SubmitRequest};
 pub use gridwfs_detect::{DetectorPolicy, PhiConfig};
 pub use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind, TraceSink};
 pub use instance::{CompleteResult, EdgeState, Instance, NodeStatus, Outcome};

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gridwfs_detect::notify::{Envelope, Notification, TaskId};
 
-use crate::executor::{Executor, SubmitRequest};
+use crate::executor::{Executor, Polled, SubmitRequest};
 
 /// How a task closure finished.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -303,6 +303,42 @@ impl Executor for ThreadExecutor {
             }
         };
         Some((self.now(), env))
+    }
+
+    /// Non-blocking poll: where [`ThreadExecutor::next_notification`] parks
+    /// the OS thread in `recv_timeout`, this returns [`Polled::Pending`] so
+    /// a scheduler can interleave other engines on the same thread.
+    fn poll_notification(&mut self, deadline: Option<f64>) -> Polled {
+        self.reap_finished();
+        if let Ok(env) = self.rx.try_recv() {
+            return Polled::Delivered(self.now(), env);
+        }
+        match deadline {
+            Some(d) if self.now() >= d => Polled::TimedOut,
+            Some(d) => {
+                if self.outstanding.values().all(|h| h.is_finished()) {
+                    // Purely timer-driven: nothing can arrive on the
+                    // channel before the engine's own edge at `d`.
+                    Polled::Pending { wake_at: Some(d) }
+                } else {
+                    // A live task can complete at any moment, and its
+                    // notification lands on the channel rather than at an
+                    // engine timer edge — there is no instant a scheduler
+                    // could safely sleep until, so ask to be re-polled
+                    // soon instead of parking until `d`.
+                    Polled::Pending { wake_at: None }
+                }
+            }
+            None => {
+                if self.outstanding.values().all(|h| h.is_finished()) {
+                    // Channel drained and nothing can send again: same
+                    // terminal answer the blocking path gives.
+                    Polled::TimedOut
+                } else {
+                    Polled::Pending { wake_at: None }
+                }
+            }
+        }
     }
 
     fn is_idle(&self) -> bool {

@@ -1,0 +1,158 @@
+//! Seeded step/run equivalence corpus: driving an engine through the
+//! non-blocking `step()` API must reproduce `run()`'s journal byte for
+//! byte, and the same report, across a corpus of workflows on a
+//! fault-injecting Grid.  `trace_properties.rs` checks the same law with
+//! randomized workflows under proptest; this file is the plain-`#[test]`
+//! counterpart that runs everywhere (no dev-dependencies), so the
+//! equivalence the `gridwfs-serve` scheduler stands on is never skipped.
+
+use grid_wfs::engine::{Engine, Report, StepOutcome};
+use grid_wfs::sim_executor::{SimGrid, TaskProfile};
+use grid_wfs::{TaskResult, ThreadExecutor};
+use gridwfs_sim::dist::Dist;
+use gridwfs_sim::resource::ResourceSpec;
+use gridwfs_wpdl::builder::{figure4, figure5, figure6, WorkflowBuilder};
+use gridwfs_wpdl::validate::{validate, Validated};
+
+/// A Grid where `h2` fails often enough that retries, replicas, and
+/// failure transitions all fire somewhere in the seed corpus.
+fn lossy_grid(seed: u64) -> SimGrid {
+    let mut g = SimGrid::new(seed);
+    g.add_host(ResourceSpec::reliable("h1"));
+    g.add_host(ResourceSpec::unreliable("h2", 20.0, 1.0));
+    g.set_profile(
+        "p",
+        TaskProfile::reliable().with_soft_crash(Dist::exponential_mean(30.0)),
+    );
+    g
+}
+
+/// The paper's example hosts, with the volunteer machine flaky so the
+/// figure workflows actually exercise their failure edges.
+fn paper_grid(seed: u64) -> SimGrid {
+    let mut g = SimGrid::new(seed);
+    g.add_host(ResourceSpec::unreliable("volunteer.example.org", 40.0, 2.0));
+    g.add_host(ResourceSpec::reliable("condor.example.org"));
+    g.set_profile(
+        "fast_impl",
+        TaskProfile::reliable().with_soft_crash(Dist::exponential_mean(25.0)),
+    );
+    g
+}
+
+/// A chain that leans on every recovery policy at once: retries with
+/// backoff up front, a replicated middle, and a failure edge to a
+/// cleanup tail.
+fn recovery_chain() -> Validated {
+    let mut b = WorkflowBuilder::new("recovery-chain").program("p", 12.0, &["h1", "h2"]);
+    b.activity("ingest", "p").retry(3, 2.0).backoff(2.0);
+    b.activity("transform", "p").replicate();
+    b.activity("publish", "p").retry(2, 1.0);
+    b.activity("cleanup", "p");
+    b.edge("ingest", "transform")
+        .edge("transform", "publish")
+        .on_failure("publish", "cleanup")
+        .build()
+        .expect("recovery chain validates")
+}
+
+/// Drives `engine` to completion through `step()`, asserting the
+/// contract virtual grids promise: they never report `Idle`.
+fn step_to_finish(mut engine: Engine<SimGrid>) -> Report {
+    loop {
+        match engine.step() {
+            StepOutcome::Finished(report) => return *report,
+            StepOutcome::Progressed => {}
+            StepOutcome::Idle { wake_at } => {
+                panic!("virtual grid reported Idle (wake_at {wake_at:?})")
+            }
+        }
+    }
+}
+
+fn assert_equivalent(ran: &Report, stepped: &Report) {
+    assert_eq!(
+        ran.trace_jsonl(),
+        stepped.trace_jsonl(),
+        "step() and run() journals diverged"
+    );
+    assert_eq!(
+        format!("{:?}", ran.outcome),
+        format!("{:?}", stepped.outcome)
+    );
+    assert_eq!(ran.makespan, stepped.makespan);
+    assert_eq!(ran.spans, stepped.spans);
+    assert_eq!(ran.log.len(), stepped.log.len());
+}
+
+#[test]
+fn step_matches_run_across_seeded_fault_corpus() {
+    for seed in 0..32u64 {
+        let ran = Engine::new(recovery_chain(), lossy_grid(seed)).run();
+        let stepped = step_to_finish(Engine::new(recovery_chain(), lossy_grid(seed)));
+        assert_equivalent(&ran, &stepped);
+    }
+}
+
+#[test]
+fn step_matches_run_on_paper_figure_workflows() {
+    let figures: [fn(f64, f64) -> gridwfs_wpdl::ast::Workflow; 3] = [figure4, figure5, figure6];
+    for build in figures {
+        for seed in [1u64, 7, 23, 40, 77, 104, 271, 828] {
+            let workflow = || validate(build(30.0, 150.0)).expect("figure workflow validates");
+            let ran = Engine::new(workflow(), paper_grid(seed)).run();
+            let stepped = step_to_finish(Engine::new(workflow(), paper_grid(seed)));
+            assert_equivalent(&ran, &stepped);
+        }
+    }
+}
+
+/// On the paced `ThreadExecutor` the engine genuinely waits on wall-clock
+/// work, so `step()` must hand control back with `Idle` instead of
+/// parking — and still converge on the same successful outcome `run()`
+/// would produce.
+#[test]
+fn paced_step_yields_idle_and_still_finishes() {
+    let chain = || {
+        let mut b = WorkflowBuilder::new("paced-chain").program("p", 1.0, &["local"]);
+        b.activity("a", "p");
+        b.activity("b", "p");
+        b.edge("a", "b").build().expect("paced chain validates")
+    };
+    let executor = || {
+        let mut executor = ThreadExecutor::new();
+        executor.register("p", |ctx| {
+            ctx.work_for(0.05, 0.01);
+            TaskResult::Success
+        });
+        executor
+    };
+
+    let mut engine = Engine::new(chain(), executor());
+    let mut idles = 0usize;
+    let stepped = loop {
+        match engine.step() {
+            StepOutcome::Finished(report) => break *report,
+            StepOutcome::Progressed => {}
+            StepOutcome::Idle { wake_at } => {
+                idles += 1;
+                // wake_at is on the executor's clock; without a deadline
+                // the engine is simply waiting on in-flight work.
+                if let Some(t) = wake_at {
+                    assert!(t.is_finite(), "non-finite wake_at {t}");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+    };
+    assert!(idles > 0, "paced tasks never left the engine idle");
+    assert!(stepped.is_success(), "{:?}", stepped.outcome);
+    assert_eq!(stepped.spans.len(), 2, "one attempt per activity");
+
+    let ran = Engine::new(chain(), executor()).run();
+    assert!(ran.is_success(), "{:?}", ran.outcome);
+    assert_eq!(
+        ran.node_status, stepped.node_status,
+        "run() and step() disagree on terminal node states"
+    );
+}

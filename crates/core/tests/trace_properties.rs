@@ -4,7 +4,7 @@
 //! once, retries fire in the future, and the derived spans agree with the
 //! raw event stream.  Identical seeds always reproduce identical journals.
 
-use grid_wfs::engine::Engine;
+use grid_wfs::engine::{Engine, StepOutcome};
 use grid_wfs::sim_executor::{SimGrid, TaskProfile};
 use grid_wfs::timeline;
 use gridwfs_sim::dist::Dist;
@@ -148,5 +148,29 @@ proptest! {
         let first = Engine::new(validate(w.clone()).unwrap(), grid(seed)).run();
         let second = Engine::new(validate(w).unwrap(), grid(seed)).run();
         prop_assert_eq!(first.trace_jsonl(), second.trace_jsonl());
+    }
+
+    /// Driving a fresh engine through the non-blocking `step()` API yields
+    /// the same journal (byte for byte) and the same report as the
+    /// blocking `run()` driver — the scheduler in `gridwfs-serve` stands
+    /// on this equivalence.
+    #[test]
+    fn step_and_run_are_byte_identical(w in arb_workflow(), seed in any::<u64>()) {
+        let ran = Engine::new(validate(w.clone()).unwrap(), grid(seed)).run();
+        let mut engine = Engine::new(validate(w).unwrap(), grid(seed));
+        let stepped = loop {
+            match engine.step() {
+                StepOutcome::Finished(report) => break *report,
+                StepOutcome::Progressed => {}
+                StepOutcome::Idle { .. } => {
+                    prop_assert!(false, "virtual grids never report Idle");
+                }
+            }
+        };
+        prop_assert_eq!(ran.trace_jsonl(), stepped.trace_jsonl());
+        prop_assert_eq!(format!("{:?}", ran.outcome), format!("{:?}", stepped.outcome));
+        prop_assert_eq!(ran.makespan, stepped.makespan);
+        prop_assert_eq!(&ran.spans, &stepped.spans);
+        prop_assert_eq!(ran.log.len(), stepped.log.len());
     }
 }

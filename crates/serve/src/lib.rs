@@ -11,8 +11,14 @@
 //!   (virtual-time simulation or real paced threads), manifest
 //!   round-trippable for crash recovery;
 //! * [`service`] — the service itself: worker pool, submission API,
-//!   status queries, cancellation, deadlines, graceful and hard shutdown;
-//! * [`worker`] — one engine instance per popped job;
+//!   status queries, cancellation, deadlines, graceful and hard shutdown,
+//!   backed by a sharded job table (per-shard locks, `id % SHARDS`);
+//! * `sched` — the cooperative work-stealing scheduler: each worker
+//!   steps many paused engines (`Engine::step`) from a local run queue
+//!   plus a timer heap, steals from siblings when idle, and
+//!   group-commits state-dir writes once per tick;
+//! * `worker` — per-job lifecycle: engine construction, journals,
+//!   settlement;
 //! * [`recover`] — state-directory persistence: a restarted service
 //!   re-admits unfinished jobs and resumes their engines from checkpoint;
 //! * [`metrics`] — counters / gauges / latency histogram, JSON snapshots.
@@ -56,11 +62,13 @@ pub mod json;
 pub mod metrics;
 pub mod queue;
 pub mod recover;
+mod sched;
 pub mod service;
+mod table;
 mod worker;
 
 pub use gridspec::{DetectorSpec, ExecMode, GridSpec, HostSpec, LinkSpec, ProfileSpec};
-pub use gridwfs_chaos::{relock, ChaosFs, FaultPlan, RealFs, StateFs};
+pub use gridwfs_chaos::{relock, splitmix64, ChaosFs, FaultPlan, RealFs, StateFs};
 pub use gridwfs_trace::{TraceEvent, TraceKind, TraceSink};
 pub use job::{JobId, JobRecord, JobState, Submission};
 pub use metrics::{LatencySummary, Metrics, TraceMetricsSink};

@@ -1,9 +1,13 @@
 //! The service metrics registry.
 //!
 //! Counters are monotonic over the service's lifetime; gauges are sampled
-//! at snapshot time; the latency histogram keeps the exact sample set (the
-//! service's job counts are nowhere near the scale where a sketch would be
-//! needed) and reports count/mean/min/percentiles/max.
+//! at snapshot time; the latency histogram is a fixed-memory log-bucketed
+//! sketch ([`LatencyHisto`]): lock-free to record into from every
+//! scheduler thread at once, a few KiB however many jobs pass through,
+//! exact count/mean/min/max, and percentiles within one bucket's
+//! resolution (±3.5%).  The old `Mutex<Vec<f64>>` kept every sample —
+//! unbounded memory and a lock on the settle path, both of which the
+//! 100k-job loadgen runs straight into.
 //!
 //! [`Metrics::snapshot_json`] renders the whole registry as a JSON
 //! document — the machine-readable face of the service (`gridwfs serve
@@ -56,14 +60,134 @@ pub struct Counters {
     pub quarantined: AtomicU64,
 }
 
-/// The registry: counters + the running-jobs gauge + latency samples.
+/// The registry: counters + the running-jobs gauge + the latency sketch.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Event counters.
     pub counters: Counters,
     /// Jobs currently held by a worker (gauge).
     pub running: AtomicU64,
-    latency: Mutex<Vec<f64>>,
+    latency: LatencyHisto,
+}
+
+/// Smallest resolvable latency; everything at or below lands in bucket 0.
+const HISTO_FLOOR: f64 = 1e-4;
+/// Geometric bucket width: each bucket's upper edge is 7% above the last,
+/// bounding the percentile error at half a bucket (±3.5%).
+const HISTO_GROWTH: f64 = 1.07;
+/// Covers `(HISTO_FLOOR, HISTO_FLOOR * GROWTH^273]` ≈ 1e-4 s .. 1.1e4 s;
+/// the top bucket absorbs anything larger.
+const HISTO_BUCKETS: usize = 274;
+
+/// Lock-free log-bucketed latency histogram.
+///
+/// Writes are one relaxed `fetch_add` per sample plus CAS loops for the
+/// float accumulators — no lock on the settle path, and the footprint is
+/// `HISTO_BUCKETS` words no matter how many samples arrive.  Count, mean,
+/// min, and max are exact; percentiles are read from the bucket midpoints
+/// (geometric), clamped into `[min, max]` so a one-sample histogram
+/// reports that sample, not its bucket's midpoint.
+#[derive(Debug)]
+pub struct LatencyHisto {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// `f64` bit patterns maintained by CAS — plain atomic adds would
+    /// need `AtomicF64`, which std does not have.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        LatencyHisto {
+            counts: (0..HISTO_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+fn bucket_index(v: f64) -> usize {
+    if v <= HISTO_FLOOR {
+        return 0;
+    }
+    let i = ((v / HISTO_FLOOR).ln() / HISTO_GROWTH.ln()).floor() as usize + 1;
+    i.min(HISTO_BUCKETS - 1)
+}
+
+/// Representative value reported for bucket `i`: its geometric midpoint.
+fn bucket_mid(i: usize) -> f64 {
+    if i == 0 {
+        HISTO_FLOOR
+    } else {
+        HISTO_FLOOR * HISTO_GROWTH.powf(i as f64 - 0.5)
+    }
+}
+
+/// CAS-update a float cell with `op` (add, min, max).
+fn update_f64(cell: &AtomicU64, op: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = op(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl LatencyHisto {
+    fn observe(&self, v: f64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        update_f64(&self.sum_bits, |s| s + v);
+        update_f64(&self.min_bits, |m| m.min(v));
+        update_f64(&self.max_bits, |m| m.max(v));
+    }
+
+    /// Nearest-rank percentile walk over the buckets.  A racing `observe`
+    /// can make the rank run past the bucket counts; the walk then falls
+    /// back to `max`, which is where the freshest sample class lives.
+    fn value_at_rank(&self, rank: u64, min: f64, max: f64) -> f64 {
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum > rank {
+                return bucket_mid(i).clamp(min, max);
+            }
+        }
+        max
+    }
+
+    fn summary(&self) -> LatencySummary {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return LatencySummary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let rank = |q: f64| ((count - 1) as f64 * q).round() as u64;
+        LatencySummary {
+            count: count as usize,
+            mean: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)) / count as f64,
+            min,
+            p50: self.value_at_rank(rank(0.50), min, max),
+            p90: self.value_at_rank(rank(0.90), min, max),
+            p99: self.value_at_rank(rank(0.99), min, max),
+            max,
+        }
+    }
 }
 
 /// Summary of the latency samples.
@@ -106,34 +230,15 @@ impl Metrics {
     }
 
     /// Records one admission-to-terminal latency sample (seconds).
+    /// Lock-free; safe to call from every scheduler thread at once.
     pub fn observe_latency(&self, seconds: f64) {
-        relock(&self.latency).push(seconds);
+        self.latency.observe(seconds);
     }
 
-    /// Summarises the latency samples so far.
+    /// Summarises the latency histogram so far: exact count/mean/min/max,
+    /// percentiles within one bucket's resolution.
     pub fn latency_summary(&self) -> LatencySummary {
-        let mut samples = relock(&self.latency).clone();
-        samples.sort_by(f64::total_cmp);
-        if samples.is_empty() {
-            return LatencySummary {
-                count: 0,
-                mean: 0.0,
-                min: 0.0,
-                p50: 0.0,
-                p90: 0.0,
-                p99: 0.0,
-                max: 0.0,
-            };
-        }
-        LatencySummary {
-            count: samples.len(),
-            mean: samples.iter().sum::<f64>() / samples.len() as f64,
-            min: samples[0],
-            p50: percentile(&samples, 0.50),
-            p90: percentile(&samples, 0.90),
-            p99: percentile(&samples, 0.99),
-            max: samples[samples.len() - 1],
-        }
+        self.latency.summary()
     }
 
     /// Renders the registry as JSON.  `queue_depth` is sampled by the
@@ -357,20 +462,89 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_survives_a_poisoned_latency_mutex() {
-        crate::test_support::quiet_expected_panics();
-        let m = Arc::new(Metrics::new());
-        m.observe_latency(1.0);
-        let m2 = m.clone();
-        let _ = std::thread::spawn(move || {
-            let _guard = relock(&m2.latency);
-            panic!("chaos: poison the latency mutex");
-        })
-        .join();
-        // The sample recorded before the poison is still served.
-        m.observe_latency(3.0);
+    fn histogram_percentiles_track_exact_within_bucket_resolution() {
+        let m = Metrics::new();
+        // Deterministic spread over four decades (0.5ms .. ~5s), the range
+        // real admission-to-terminal latencies live in.
+        let mut samples: Vec<f64> = Vec::new();
+        let mut z = 1u64;
+        for _ in 0..10_000 {
+            z = gridwfs_chaos::splitmix64(z);
+            let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+            samples.push(5e-4 * 10f64.powf(4.0 * frac));
+        }
+        for &v in &samples {
+            m.observe_latency(v);
+        }
+        samples.sort_by(f64::total_cmp);
         let l = m.latency_summary();
-        assert_eq!(l.count, 2);
-        assert!(m.snapshot_json(0).contains("\"count\": 2"));
+        assert_eq!(l.count, 10_000);
+        assert_eq!(l.min, samples[0], "min is exact");
+        assert_eq!(l.max, samples[samples.len() - 1], "max is exact");
+        let exact_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((l.mean / exact_mean - 1.0).abs() < 1e-9, "mean is exact");
+        for (got, q) in [(l.p50, 0.50), (l.p90, 0.90), (l.p99, 0.99)] {
+            let want = percentile(&samples, q);
+            let rel = (got / want - 1.0).abs();
+            assert!(
+                rel < 0.07,
+                "p{} off by {:.1}% (histogram {got}, exact {want})",
+                (q * 100.0) as u32,
+                rel * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_memory_is_fixed_and_extremes_clamp() {
+        let m = Metrics::new();
+        // A million samples is far past any Vec-backed design's comfort
+        // zone; the histogram stays at HISTO_BUCKETS words regardless.
+        for i in 0..1_000_000u64 {
+            m.observe_latency((i % 1000) as f64 * 1e-3);
+        }
+        m.observe_latency(0.0); // below the floor bucket
+        m.observe_latency(1e9); // beyond the top bucket
+        let l = m.latency_summary();
+        assert_eq!(l.count, 1_000_002);
+        assert_eq!(l.min, 0.0);
+        assert_eq!(l.max, 1e9);
+        assert!(l.p50 > 0.0 && l.p50 <= l.max);
+        assert!(l.p99 >= l.p50 && l.p99 <= l.max);
+    }
+
+    #[test]
+    fn histogram_is_lock_free_across_threads() {
+        let m = Arc::new(Metrics::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        m.observe_latency((t * 1000 + i) as f64 * 1e-4);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let l = m.latency_summary();
+        assert_eq!(l.count, 4000, "no sample lost to a race");
+        assert_eq!(l.min, 0.0);
+        assert!(m.snapshot_json(0).contains("\"count\": 4000"));
+    }
+
+    #[test]
+    fn one_sample_summary_reports_the_sample_not_the_bucket() {
+        let m = Metrics::new();
+        m.observe_latency(0.0123);
+        let l = m.latency_summary();
+        assert_eq!(l.min, 0.0123);
+        assert_eq!(l.max, 0.0123);
+        // The midpoint of 0.0123's bucket is not 0.0123, but clamping to
+        // [min, max] collapses every percentile onto the only sample.
+        assert_eq!(l.p50, 0.0123);
+        assert_eq!(l.p99, 0.0123);
     }
 }

@@ -103,9 +103,15 @@ pub fn read_elapsed(fs: &dyn StateFs, dir: &Path, id: JobId) -> f64 {
         .unwrap_or(0.0)
 }
 
+/// Serialized form of the consumed-deadline ledger — one source of truth
+/// for the synchronous writer and the scheduler's group-commit batches.
+pub fn elapsed_payload(secs: f64) -> Vec<u8> {
+    format!("{secs}\n").into_bytes()
+}
+
 /// Records the total executor-clock seconds consumed so far.
 pub fn write_elapsed(fs: &dyn StateFs, dir: &Path, id: JobId, secs: f64) -> std::io::Result<()> {
-    write_atomic(fs, &elapsed_path(dir, id), format!("{secs}\n").as_bytes())
+    write_atomic(fs, &elapsed_path(dir, id), &elapsed_payload(secs))
 }
 
 /// The meta file is line-oriented, so the client-chosen label must not be
@@ -181,6 +187,12 @@ pub fn remove_submission(fs: &dyn StateFs, dir: &Path, id: JobId) {
     let _ = fs.remove_file(&elapsed_path(dir, id));
 }
 
+/// Serialized form of the terminal marker — one source of truth for the
+/// synchronous writer and the scheduler's group-commit batches.
+pub fn result_payload(state: &str, detail: &str) -> Vec<u8> {
+    format!("state {state}\ndetail {detail}\n").into_bytes()
+}
+
 /// Writes the terminal marker.
 pub fn write_result(
     fs: &dyn StateFs,
@@ -189,11 +201,7 @@ pub fn write_result(
     state: &str,
     detail: &str,
 ) -> std::io::Result<()> {
-    write_atomic(
-        fs,
-        &result_path(dir, id),
-        format!("state {state}\ndetail {detail}\n").as_bytes(),
-    )
+    write_atomic(fs, &result_path(dir, id), &result_payload(state, detail))
 }
 
 fn parse_meta(text: &str, wf_xml: String) -> Result<Submission, String> {

@@ -16,7 +16,6 @@
 //!   re-admits unfinished jobs and their engines resume from checkpoint;
 //! * **metrics** — a [`Metrics`] registry snapshot-able as JSON.
 
-use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -29,6 +28,8 @@ use crate::job::{JobId, JobRecord, JobState, Submission};
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
 use crate::recover;
+use crate::sched::SchedState;
+use crate::table::JobTable;
 
 /// Capacity of the service-level trace ring (admissions, rejections,
 /// recoveries — the events that happen outside any one job's journal).
@@ -56,6 +57,12 @@ pub struct ServiceConfig {
     /// entirely; with a plan, state-dir I/O is wrapped in [`ChaosFs`] and
     /// workers inject the plan's panics and stalls.
     pub chaos: Option<FaultPlan>,
+    /// Engine instances one worker thread multiplexes concurrently.  The
+    /// default of 1 reproduces the classic one-job-per-worker behaviour;
+    /// raising it lets each worker interleave that many paused engines
+    /// (paced jobs spend most of their life waiting, so tens per worker
+    /// is cheap — this is the knob behind the loadgen headline).
+    pub max_in_flight: usize,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +75,7 @@ impl Default for ServiceConfig {
             trace_dir: None,
             fs: Arc::new(RealFs),
             chaos: None,
+            max_in_flight: 1,
         }
     }
 }
@@ -81,6 +89,7 @@ impl std::fmt::Debug for ServiceConfig {
             .field("default_deadline", &self.default_deadline)
             .field("trace_dir", &self.trace_dir)
             .field("chaos", &self.chaos)
+            .field("max_in_flight", &self.max_in_flight)
             .finish_non_exhaustive()
     }
 }
@@ -116,9 +125,11 @@ pub(crate) struct Shared {
     /// The chaos plan workers consult for panic/stall injection.
     pub(crate) chaos: Option<Arc<FaultPlan>>,
     pub(crate) queue: BoundedQueue<JobId>,
-    pub(crate) jobs: Mutex<HashMap<u64, JobRecord>>,
-    pub(crate) subs: Mutex<HashMap<u64, Submission>>,
-    pub(crate) stops: Mutex<HashMap<u64, Arc<AtomicBool>>>,
+    /// The sharded job table: records, submissions, and stop flags keyed
+    /// by `id % SHARDS`, one lock per shard.
+    pub(crate) table: JobTable,
+    /// Work-stealing scheduler state: one run-queue slot per worker.
+    pub(crate) sched: SchedState,
     pub(crate) metrics: Arc<Metrics>,
     /// Service-level flight recorder: admissions, rejections, recoveries.
     /// Wall-clock timestamps — the per-job journals carry the
@@ -131,6 +142,11 @@ pub(crate) struct Shared {
     pub(crate) aborting: AtomicBool,
     epoch: Instant,
     next_id: AtomicU64,
+    /// Ids whose submission was rolled back before becoming observable
+    /// (queue full / IO error).  Reused by the next submit so the
+    /// submission→id mapping — and with it the per-job journal file names
+    /// — stays independent of backpressure timing.
+    free_ids: Mutex<Vec<u64>>,
 }
 
 impl Shared {
@@ -171,15 +187,15 @@ impl Service {
             fs,
             chaos,
             queue: BoundedQueue::new(cfg.queue_capacity),
-            jobs: Mutex::new(HashMap::new()),
-            subs: Mutex::new(HashMap::new()),
-            stops: Mutex::new(HashMap::new()),
+            table: JobTable::new(),
+            sched: SchedState::new(cfg.workers),
             metrics: Arc::new(Metrics::new()),
             trace_ring: RingSink::new(SERVICE_RING),
             accepting: AtomicBool::new(true),
             aborting: AtomicBool::new(false),
             epoch: Instant::now(),
             next_id: AtomicU64::new(1),
+            free_ids: Mutex::new(Vec::new()),
             cfg,
         });
         if let Some(dir) = &shared.cfg.trace_dir {
@@ -203,8 +219,10 @@ impl Service {
             for (id, sub) in scanned.jobs {
                 let mut record = JobRecord::new(id, sub.name.clone(), shared.now(), true);
                 record.recovered = true;
-                relock(&shared.jobs).insert(id.0, record);
-                relock(&shared.subs).insert(id.0, sub);
+                let mut shard = shared.table.shard(id.0);
+                shard.jobs.insert(id.0, record);
+                shard.subs.insert(id.0, sub);
+                drop(shard);
                 // Refusing previously-admitted work would break the
                 // admission contract, so recovery bypasses the capacity
                 // check.
@@ -223,7 +241,7 @@ impl Service {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("gridwfs-serve-worker-{i}"))
-                    .spawn(move || crate::worker::worker_loop(shared))
+                    .spawn(move || crate::sched::worker_loop(shared, i))
                     .expect("spawn worker")
             })
             .collect();
@@ -237,10 +255,16 @@ impl Service {
             self.reject(&sub.name, "shutting-down");
             return Err(SubmitError::ShuttingDown);
         }
-        let id = JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+        let id = match relock(&self.shared.free_ids).pop() {
+            Some(freed) => JobId(freed),
+            None => JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed)),
+        };
         let record = JobRecord::new(id, sub.name.clone(), self.shared.now(), false);
-        relock(&self.shared.jobs).insert(id.0, record);
-        relock(&self.shared.subs).insert(id.0, sub.clone());
+        {
+            let mut shard = self.shared.table.shard(id.0);
+            shard.jobs.insert(id.0, record);
+            shard.subs.insert(id.0, sub.clone());
+        }
         if let Some(dir) = &self.shared.cfg.state_dir {
             if let Err(e) = recover::write_submission(self.shared.fs.as_ref(), dir, id, &sub) {
                 self.rollback(id);
@@ -302,26 +326,28 @@ impl Service {
     }
 
     fn rollback(&self, id: JobId) {
-        relock(&self.shared.jobs).remove(&id.0);
-        relock(&self.shared.subs).remove(&id.0);
+        {
+            let mut shard = self.shared.table.shard(id.0);
+            shard.jobs.remove(&id.0);
+            shard.subs.remove(&id.0);
+        }
         if let Some(dir) = &self.shared.cfg.state_dir {
             recover::remove_submission(self.shared.fs.as_ref(), dir, id);
         }
         if let Some(dir) = &self.shared.cfg.trace_dir {
             let _ = std::fs::remove_file(recover::trace_path(dir, id));
         }
+        relock(&self.shared.free_ids).push(id.0);
     }
 
     /// Snapshot of one job's record.
     pub fn status(&self, id: JobId) -> Option<JobRecord> {
-        relock(&self.shared.jobs).get(&id.0).cloned()
+        self.shared.table.shard(id.0).jobs.get(&id.0).cloned()
     }
 
     /// Snapshot of every job, ascending by id.
     pub fn jobs(&self) -> Vec<JobRecord> {
-        let mut all: Vec<JobRecord> = relock(&self.shared.jobs).values().cloned().collect();
-        all.sort_by_key(|r| r.id);
-        all
+        self.shared.table.all_jobs()
     }
 
     /// Requests cancellation.  Queued jobs become `Cancelled` immediately;
@@ -329,8 +355,8 @@ impl Service {
     /// `Cancelled` shortly after.  Returns false for unknown or already
     /// terminal jobs.
     pub fn cancel(&self, id: JobId) -> bool {
-        let mut jobs = relock(&self.shared.jobs);
-        let Some(rec) = jobs.get_mut(&id.0) else {
+        let mut shard = self.shared.table.shard(id.0);
+        let Some(rec) = shard.jobs.get_mut(&id.0) else {
             return false;
         };
         match rec.state {
@@ -339,6 +365,7 @@ impl Service {
                 rec.state = JobState::Cancelled;
                 rec.finished_at = Some(self.shared.now());
                 rec.detail = Some("cancelled while queued".into());
+                drop(shard);
                 Metrics::incr(&self.shared.metrics.counters.cancelled);
                 if let Some(dir) = &self.shared.cfg.state_dir {
                     let _ = recover::write_result(
@@ -353,8 +380,10 @@ impl Service {
             }
             JobState::Running => {
                 rec.cancel_requested = true;
-                drop(jobs);
-                if let Some(stop) = relock(&self.shared.stops).get(&id.0) {
+                // The stop flag lives in the same shard, registered in the
+                // same critical section that made the job `Running` — if
+                // we saw `Running`, the flag is here.
+                if let Some(stop) = shard.stops.get(&id.0) {
                     stop.store(true, Ordering::Relaxed);
                 }
                 true
@@ -391,11 +420,7 @@ impl Service {
     pub fn wait_all_terminal(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
-            let all_terminal = {
-                let jobs = relock(&self.shared.jobs);
-                jobs.values().all(|r| r.state.is_terminal())
-            };
-            if all_terminal {
+            if self.shared.table.all_terminal() {
                 return true;
             }
             if Instant::now() >= deadline {
@@ -409,9 +434,7 @@ impl Service {
         self.shared.accepting.store(false, Ordering::Relaxed);
         if abort {
             self.shared.aborting.store(true, Ordering::Relaxed);
-            for stop in relock(&self.shared.stops).values() {
-                stop.store(true, Ordering::Relaxed);
-            }
+            self.shared.table.stop_all();
         }
         self.shared.queue.close();
         for h in self.workers.drain(..) {
@@ -472,13 +495,14 @@ mod tests {
             .unwrap();
         assert!(svc.wait_all_terminal(Duration::from_secs(10)));
         let shared = svc.shared.clone();
+        let poisoned_id = id;
         let _ = std::thread::spawn(move || {
-            let _guard = relock(&shared.jobs);
-            panic!("chaos: poison the jobs mutex");
+            let _guard = shared.table.shard(poisoned_id.0);
+            panic!("chaos: poison the job's shard");
         })
         .join();
         // Queries, cancellation, and snapshots all answer from the
-        // recovered lock instead of propagating the poison.
+        // recovered shard lock instead of propagating the poison.
         assert_eq!(svc.status(id).unwrap().state, JobState::Done);
         assert_eq!(svc.jobs().len(), 1);
         assert!(!svc.cancel(id), "terminal job: cancel refused, no panic");

@@ -1,21 +1,29 @@
-//! The worker loop: one popped job at a time, one engine instance each.
+//! Per-job lifecycle: engine construction, the flight-recorder journal,
+//! and settlement.
 //!
-//! A workflow closure that panics must not take its worker thread down —
-//! that would silently shrink the pool until the service stopped making
-//! progress.  [`run_job`] wraps the whole engine run in `catch_unwind`:
-//! the panicking job settles as `Failed` (detail: the panic payload), a
-//! `job_panicked` event lands in its journal and the service ring, the
-//! `jobs_panicked` counter bumps, and the worker survives to pop the next
-//! job.
+//! This module used to *be* the worker — one blocking `Engine::run()` per
+//! popped job.  The run loop now lives in [`crate::sched`], which steps
+//! many paused engines per OS thread; what remains here is everything a
+//! scheduler slice needs around the engine itself:
+//!
+//! * [`build_engine`] — parse/validate (or checkpoint-load) the workflow
+//!   and wire up a steppable [`AnyEngine`] with its stop flag, deadline
+//!   budget, and trace fanout;
+//! * [`open_journal`] — the per-job journal with its incarnation header;
+//! * [`settle`] — apply a finished run's outcome to the job record, the
+//!   metrics registry, and the state directory (terminal markers ride the
+//!   scheduler's group-commit batch);
+//! * [`note_panic`] / [`panic_message`] — a workflow closure that panics
+//!   must not take its scheduler thread down; the catch sites in
+//!   [`crate::sched`] route the payload here so the panicking job settles
+//!   as `Failed`, a `job_panicked` event lands in its journal and the
+//!   service ring, and the `jobs_panicked` counter bumps.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
-use grid_wfs::engine::{Engine, EngineConfig, LogKind, Report};
-use grid_wfs::{checkpoint, Executor, InjectedTaskFault, Instance};
-use gridwfs_chaos::relock;
+use grid_wfs::engine::{Engine, EngineConfig, LogKind, Report, StepOutcome};
+use grid_wfs::{checkpoint, InjectedTaskFault, Instance, SimGrid, ThreadExecutor};
 use gridwfs_trace::{FanoutSink, JsonlSink, TraceEvent, TraceKind, TraceSink};
 use gridwfs_wpdl::parse;
 use gridwfs_wpdl::validate::validate;
@@ -23,86 +31,65 @@ use gridwfs_wpdl::validate::validate;
 use crate::gridspec::ExecMode;
 use crate::job::{JobId, JobState, Submission};
 use crate::metrics::{Metrics, TraceMetricsSink};
-use crate::queue::Pop;
 use crate::recover;
+use crate::sched::StateBatch;
 use crate::service::Shared;
 
-const POLL: Duration = Duration::from_millis(25);
+/// A steppable engine on whichever executor the submission's Grid spec
+/// asked for.  Boxed: a `Run` moves between deques and the sleeper heap,
+/// and the engines are large.
+pub(crate) enum AnyEngine {
+    /// Deterministic virtual time; never reports `Idle`.
+    Virtual(Box<Engine<SimGrid>>),
+    /// Real threads on the wall clock; `Idle` between notifications.
+    Paced(Box<Engine<ThreadExecutor>>),
+}
 
-/// Drains the admission queue until it is closed and empty.
-pub(crate) fn worker_loop(shared: Arc<Shared>) {
-    loop {
-        match shared.queue.pop_timeout(POLL) {
-            Pop::Closed => return,
-            Pop::Empty => continue,
-            Pop::Item(id) => {
-                if shared.aborting.load(Ordering::Relaxed) {
-                    // Hard shutdown: leave the job `Queued`; its manifest
-                    // survives for the next incarnation's recovery scan.
-                    continue;
-                }
-                run_job(&shared, id);
-            }
+impl AnyEngine {
+    pub(crate) fn step(&mut self) -> StepOutcome {
+        match self {
+            AnyEngine::Virtual(e) => e.step(),
+            AnyEngine::Paced(e) => e.step(),
+        }
+    }
+
+    /// Current executor-clock time (for converting `Idle` wake times to
+    /// wall instants).
+    pub(crate) fn now(&self) -> f64 {
+        match self {
+            AnyEngine::Virtual(e) => e.now(),
+            AnyEngine::Paced(e) => e.now(),
         }
     }
 }
 
-fn run_job(shared: &Arc<Shared>, id: JobId) {
-    let Some(sub) = relock(&shared.subs).get(&id.0).cloned() else {
-        return;
-    };
-    let stop = Arc::new(AtomicBool::new(false));
-    {
-        let mut jobs = relock(&shared.jobs);
-        let Some(rec) = jobs.get_mut(&id.0) else {
-            return;
-        };
-        if rec.state != JobState::Queued {
-            return; // cancelled while queued
-        }
-        rec.state = JobState::Running;
-        rec.started_at = Some(shared.now());
-        // Register the stop flag before the state change becomes visible:
-        // any cancel() that observes `Running` is then guaranteed to find
-        // the flag (it takes the jobs lock first).
-        relock(&shared.stops).insert(id.0, stop.clone());
-    }
-    shared.metrics.running.fetch_add(1, Ordering::Relaxed);
-    let journal = open_journal(shared, id, &sub);
-    let wall_start = Instant::now();
-    let caught = catch_unwind(AssertUnwindSafe(|| {
-        execute(shared, id, &sub, stop, journal.clone())
-    }));
-    let result = match caught {
-        Ok(result) => result,
-        Err(payload) => {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "opaque panic payload".to_string());
-            Metrics::incr(&shared.metrics.counters.jobs_panicked);
-            if let Some(journal) = &journal {
-                journal.record(&TraceEvent {
-                    at: 0.0,
-                    kind: TraceKind::JobPanicked {
-                        job: id.0,
-                        detail: msg.clone(),
-                    },
-                });
-                journal.flush();
-            }
-            shared.trace(TraceKind::JobPanicked {
+/// Renders a panic payload as the detail string the job settles with.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Records a workflow panic in the job's journal, the service ring, and
+/// the `jobs_panicked` counter.
+pub(crate) fn note_panic(shared: &Shared, id: JobId, journal: Option<&Arc<JsonlSink>>, msg: &str) {
+    Metrics::incr(&shared.metrics.counters.jobs_panicked);
+    if let Some(journal) = journal {
+        journal.record(&TraceEvent {
+            at: 0.0,
+            kind: TraceKind::JobPanicked {
                 job: id.0,
-                detail: msg.clone(),
-            });
-            Err(format!("workflow panicked: {msg}"))
-        }
-    };
-    let run_wall = wall_start.elapsed().as_secs_f64();
-    relock(&shared.stops).remove(&id.0);
-    shared.metrics.running.fetch_sub(1, Ordering::Relaxed);
-    settle(shared, id, result, run_wall, journal);
+                detail: msg.to_string(),
+            },
+        });
+        journal.flush();
+    }
+    shared.trace(TraceKind::JobPanicked {
+        job: id.0,
+        detail: msg.to_string(),
+    });
 }
 
 /// Opens the job's flight-recorder journal (append: a recovered job's
@@ -110,7 +97,7 @@ fn run_job(shared: &Arc<Shared>, id: JobId) {
 /// header.  Journal timestamps are the engine's executor clock, which
 /// restarts at 0 per incarnation — the `job_start` header is what keeps
 /// the segments apart.
-fn open_journal(shared: &Arc<Shared>, id: JobId, sub: &Submission) -> Option<Arc<JsonlSink>> {
+pub(crate) fn open_journal(shared: &Shared, id: JobId, sub: &Submission) -> Option<Arc<JsonlSink>> {
     let dir = shared.cfg.trace_dir.as_ref()?;
     let path = recover::trace_path(dir, id);
     let incarnation = recover::count_incarnations(&path);
@@ -134,18 +121,18 @@ fn open_journal(shared: &Arc<Shared>, id: JobId, sub: &Submission) -> Option<Arc
 }
 
 /// Builds the instance (fresh, or from the persisted engine checkpoint)
-/// and runs it on the submission's Grid.
-fn execute(
-    shared: &Arc<Shared>,
+/// and wires it to the submission's Grid as a steppable engine.  Runs
+/// inside the scheduler's `catch_unwind` region: the chaos hooks here
+/// inject exactly the panic a buggy workflow closure would raise.  Both
+/// chaos decisions are keyed by the submission seed, so they replay
+/// identically whatever worker picks the job up.
+pub(crate) fn build_engine(
+    shared: &Shared,
     id: JobId,
     sub: &Submission,
     stop: Arc<AtomicBool>,
     journal: Option<Arc<JsonlSink>>,
-) -> Result<Report, String> {
-    // Chaos hooks run inside the caller's catch_unwind region: an
-    // injected panic exercises exactly the path a buggy workflow closure
-    // would take.  Both decisions are keyed by the submission seed, so
-    // they replay identically whatever worker picks the job up.
+) -> Result<AnyEngine, String> {
     if let Some(plan) = &shared.chaos {
         if let Some(pause) = plan.worker_stall(sub.seed) {
             std::thread::sleep(pause);
@@ -177,7 +164,7 @@ fn execute(
     // resumed job its *remaining* budget: total minus the executor time
     // already consumed in earlier incarnations (the `.elapsed` ledger).
     // An exhausted budget still runs with deadline 0 — the engine aborts
-    // on its first loop turn and the job settles as a deadline failure.
+    // on its first step and the job settles as a deadline failure.
     let deadline = sub.deadline.or(shared.cfg.default_deadline).map(|total| {
         let consumed = shared
             .cfg
@@ -202,12 +189,11 @@ fn execute(
         None => metrics_sink,
     };
     match sub.grid.mode {
-        ExecMode::Virtual => Ok(run_engine(
-            instance,
-            sub.grid.build_sim(sub.seed),
-            config,
-            sink,
-        )),
+        ExecMode::Virtual => Ok(AnyEngine::Virtual(Box::new(
+            Engine::from_instance(instance, sub.grid.build_sim(sub.seed))
+                .with_config(config)
+                .with_trace_sink(sink),
+        ))),
         ExecMode::Paced { scale } => {
             let mut executor = sub.grid.build_paced(instance.workflow(), scale);
             // Paced mode runs real threads, so the stall fault can starve
@@ -220,38 +206,36 @@ fn execute(
                         .map(|d| InjectedTaskFault::Stall(d.as_secs_f64()))
                 }));
             }
-            Ok(run_engine(instance, executor, config, sink))
+            Ok(AnyEngine::Paced(Box::new(
+                Engine::from_instance(instance, executor)
+                    .with_config(config)
+                    .with_trace_sink(sink),
+            )))
         }
     }
 }
 
-fn run_engine<X: Executor>(
-    instance: Instance,
-    executor: X,
-    config: EngineConfig,
-    sink: Arc<dyn TraceSink>,
-) -> Report {
-    Engine::from_instance(instance, executor)
-        .with_config(config)
-        .with_trace_sink(sink)
-        .run()
-}
-
 /// Applies the run's outcome to the job record, the metrics registry, and
-/// the state directory.
-fn settle(
-    shared: &Arc<Shared>,
+/// the state directory.  Terminal markers and elapsed ledgers are staged
+/// on the scheduler's [`StateBatch`] (group-committed per tick) instead
+/// of paying one fsync each.
+pub(crate) fn settle(
+    shared: &Shared,
     id: JobId,
     result: Result<Report, String>,
     run_wall: f64,
     journal: Option<Arc<JsonlSink>>,
+    batch: &mut StateBatch,
 ) {
     let c = &shared.metrics.counters;
     let (state, detail, report) = match result {
         Err(msg) => (JobState::Failed, msg, None),
         Ok(report) => match report.aborted.as_deref() {
             Some("stop") => {
-                let cancel_requested = relock(&shared.jobs)
+                let cancel_requested = shared
+                    .table
+                    .shard(id.0)
+                    .jobs
                     .get(&id.0)
                     .is_some_and(|r| r.cancel_requested);
                 if cancel_requested {
@@ -262,12 +246,15 @@ fn settle(
                     // checkpoint the aborting engine just wrote.  Bank the
                     // executor time this incarnation consumed so the resume
                     // gets the remaining deadline budget, not a fresh one.
+                    // (The batch is flushed before the worker exits, which
+                    // is always before the next incarnation can start.)
                     if let Some(dir) = &shared.cfg.state_dir {
                         let fs = shared.fs.as_ref();
                         let consumed = recover::read_elapsed(fs, dir, id) + report.makespan;
-                        if let Err(e) = recover::write_elapsed(fs, dir, id, consumed) {
-                            eprintln!("gridwfs-serve: {id}: cannot write elapsed ledger: {e}");
-                        }
+                        batch.stage(
+                            recover::elapsed_path(dir, id),
+                            recover::elapsed_payload(consumed),
+                        );
                     }
                     if let Some(journal) = &journal {
                         journal.record(&TraceEvent {
@@ -279,8 +266,8 @@ fn settle(
                         });
                         journal.flush();
                     }
-                    let mut jobs = relock(&shared.jobs);
-                    if let Some(rec) = jobs.get_mut(&id.0) {
+                    let mut shard = shared.table.shard(id.0);
+                    if let Some(rec) = shard.jobs.get_mut(&id.0) {
                         rec.state = JobState::Queued;
                         rec.started_at = None;
                     }
@@ -327,8 +314,8 @@ fn settle(
         _ => Metrics::incr(&c.failed),
     }
     let latency = {
-        let mut jobs = relock(&shared.jobs);
-        let Some(rec) = jobs.get_mut(&id.0) else {
+        let mut shard = shared.table.shard(id.0);
+        let Some(rec) = shard.jobs.get_mut(&id.0) else {
             return;
         };
         rec.state = state;
@@ -351,9 +338,9 @@ fn settle(
         }
     }
     if let Some(dir) = &shared.cfg.state_dir {
-        if let Err(e) = recover::write_result(shared.fs.as_ref(), dir, id, state.as_str(), &detail)
-        {
-            eprintln!("gridwfs-serve: {id}: cannot write result marker: {e}");
-        }
+        batch.stage(
+            recover::result_path(dir, id),
+            recover::result_payload(state.as_str(), &detail),
+        );
     }
 }

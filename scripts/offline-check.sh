@@ -4,8 +4,9 @@
 # The dev container has no network access, so crates.io dependencies
 # (serde, crossbeam, ...) cannot be fetched.  /tmp/check mirrors the repo
 # with those dependencies replaced by minimal API-compatible stubs
-# (/tmp/check/stubs, created in PR 1) and the proptest-based test files
-# removed (proptest cannot be stubbed usefully).  Run this, then
+# (scripts/stubs, committed in-repo so fresh containers can rebuild the
+# check workspace) and the proptest-based test files removed (proptest
+# cannot be stubbed usefully).  Run this, then
 # `cd /tmp/check && cargo build --release && cargo test -q`.
 #
 # crates/trace (the flight recorder, PR 3) is dependency-free on purpose —
@@ -16,9 +17,12 @@ REPO=/root/repo
 CHECK=/tmp/check
 
 mkdir -p "$CHECK"
-# Copy sources, preserving the stub crates and the incremental target dir.
+# Copy sources, preserving the incremental target dir.
 (cd "$REPO" && tar cf - --exclude=./target --exclude=./scripts .) | \
     (cd "$CHECK" && tar xf -)
+# Install the stub crates from the repo copy.
+rm -rf "$CHECK/stubs"
+cp -r "$REPO/scripts/stubs" "$CHECK/stubs"
 
 # Point the workspace at the stubs and drop proptest (unstubbable).
 sed -i \

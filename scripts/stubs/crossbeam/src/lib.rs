@@ -1,0 +1,92 @@
+//! Offline stub for `crossbeam` (see scripts/offline-check.sh): just the
+//! channel API the workspace uses, backed by `std::sync::mpsc`.
+//!
+//! The one behavioural addition over mpsc is `Receiver::is_empty`, which
+//! crossbeam has and mpsc lacks — emulated with a peek stash: `is_empty`
+//! pulls an available message into the stash, and every receive drains the
+//! stash before touching the underlying channel, so no message is lost or
+//! reordered.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half (mpsc passthrough).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half: mpsc plus a stash so `is_empty` can peek.
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+        stash: Mutex<VecDeque<T>>,
+    }
+
+    fn relock<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            if let Some(v) = relock(&self.stash).pop_front() {
+                return Ok(v);
+            }
+            self.rx.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            if let Some(v) = relock(&self.stash).pop_front() {
+                return Ok(v);
+            }
+            self.rx.try_recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            if let Some(v) = relock(&self.stash).pop_front() {
+                return Ok(v);
+            }
+            self.rx.recv_timeout(timeout)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            let mut stash = relock(&self.stash);
+            if !stash.is_empty() {
+                return false;
+            }
+            match self.rx.try_recv() {
+                Ok(v) => {
+                    stash.push_back(v);
+                    false
+                }
+                Err(_) => true,
+            }
+        }
+    }
+
+    /// An unbounded MPSC channel (crossbeam's is MPMC; the workspace only
+    /// ever uses one consumer per channel).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender(tx),
+            Receiver {
+                rx,
+                stash: Mutex::new(VecDeque::new()),
+            },
+        )
+    }
+}

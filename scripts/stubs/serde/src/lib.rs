@@ -1,0 +1,22 @@
+//! Offline stub for `serde` (see scripts/offline-check.sh).
+//!
+//! The dev container cannot fetch crates.io, so the check workspace swaps
+//! the real serde for this shim: the `Serialize`/`Deserialize` traits are
+//! markers with blanket impls, and the derive macros (from the sibling
+//! `serde_derive` stub) expand to nothing.  Anything that only needs the
+//! types to *compile* works; tests that need real (de)serialisation fail
+//! with the documented "stub" error from the serde_json shim.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialisation marker, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}

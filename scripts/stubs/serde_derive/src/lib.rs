@@ -1,0 +1,15 @@
+//! Offline stub for `serde_derive`: the derive macros accept the usual
+//! `#[serde(...)]` helper attributes and expand to nothing — the serde
+//! stub's blanket impls satisfy every `Serialize`/`Deserialize` bound.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

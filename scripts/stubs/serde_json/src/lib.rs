@@ -1,0 +1,69 @@
+//! Offline stub for `serde_json` (see scripts/offline-check.sh).
+//!
+//! Every entry point returns the same loud error: real (de)serialisation
+//! needs the crates.io crate, which the dev container cannot fetch.  Tests
+//! that hit these paths are the documented "serde_json stub" failure set —
+//! expected offline, green with real dependencies.
+
+use std::fmt;
+
+/// The one error this stub ever produces.
+#[derive(Debug)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+fn stub_error() -> Error {
+    Error("serde_json stub: (de)serialisation unavailable offline")
+}
+
+/// Always fails: serialisation needs the real crate.
+pub fn to_string<T: ?Sized>(_value: &T) -> Result<String, Error> {
+    Err(stub_error())
+}
+
+/// Always fails: serialisation needs the real crate.
+pub fn to_string_pretty<T: ?Sized>(_value: &T) -> Result<String, Error> {
+    Err(stub_error())
+}
+
+/// Always fails: deserialisation needs the real crate.
+pub fn from_str<T>(_s: &str) -> Result<T, Error> {
+    Err(stub_error())
+}
+
+/// Minimal `Value` so type annotations compile; never actually produced
+/// (because `from_str` always fails).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The only inhabitant the stub ever names.
+    Null,
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, _key: &str) -> &Value {
+        &Value::Null
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, _other: &i32) -> bool {
+        false
+    }
+}
+impl PartialEq<u64> for Value {
+    fn eq(&self, _other: &u64) -> bool {
+        false
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, _other: &&str) -> bool {
+        false
+    }
+}

@@ -578,6 +578,8 @@ pub struct ServeOptions {
     pub grid: Option<PathBuf>,
     /// Worker threads (concurrent engine instances).
     pub workers: usize,
+    /// Jobs each worker admits concurrently (cooperative stepping).
+    pub inflight: usize,
     /// Admission-queue capacity.
     pub queue: usize,
     /// Crash-recovery state directory.
@@ -604,6 +606,7 @@ impl Default for ServeOptions {
             workflows: Vec::new(),
             grid: None,
             workers: 4,
+            inflight: 1,
             queue: 64,
             state_dir: None,
             deadline: None,
@@ -697,6 +700,9 @@ pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, 
     if opts.workers == 0 || opts.queue == 0 {
         return err("serve requires --workers and --queue >= 1");
     }
+    if opts.inflight == 0 {
+        return err("serve requires --inflight >= 1");
+    }
     let mode = match opts.paced {
         Some(scale) if scale > 0.0 => ExecMode::Paced { scale },
         Some(bad) => return err(format!("--paced scale {bad} must be positive")),
@@ -709,6 +715,7 @@ pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, 
     };
     let service = Service::start(ServiceConfig {
         workers: opts.workers,
+        max_in_flight: opts.inflight,
         queue_capacity: opts.queue,
         state_dir: opts.state_dir.clone(),
         default_deadline: opts.deadline,
@@ -834,7 +841,9 @@ RUN OPTIONS:
 
 SERVE OPTIONS:
   --grid <file>        Grid configuration (JSON: hosts, link, profiles)
-  --workers <n>        concurrent engine instances (default 4)
+  --workers <n>        worker threads (default 4)
+  --inflight <n>       jobs each worker steps cooperatively at once
+                       (default 1; raise for paced jobs that mostly wait)
   --queue <n>          admission-queue capacity (default 64)
   --state-dir <dir>    persist jobs + checkpoints for crash recovery
   --deadline <s>       per-job deadline in executor seconds
@@ -951,6 +960,12 @@ pub fn main_with_args(args: &[String]) -> (i32, String) {
                         opts.workers = match rest.next().map(|v| v.parse()) {
                             Some(Ok(n)) => n,
                             _ => return err("--workers requires an integer"),
+                        }
+                    }
+                    "--inflight" => {
+                        opts.inflight = match rest.next().map(|v| v.parse()) {
+                            Some(Ok(n)) => n,
+                            _ => return err("--inflight requires an integer"),
                         }
                     }
                     "--queue" => {
