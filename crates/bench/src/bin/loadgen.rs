@@ -30,7 +30,8 @@
 //! `--chaos SPEC` runs the whole load under a seeded fault-injection plan
 //! (see `gridwfs-chaos`), e.g. `--chaos seed=7,panic=0.05,torn=0.1`;
 //! `--state-dir DIR` gives the chaos somewhere to bite by persisting every
-//! submission.  Under chaos the final accounting relaxes from "all done"
+//! submission, and `--backend wal|dir|memory` picks the storage engine
+//! behind it (the WAL's group commit is the durable default).  Under chaos the final accounting relaxes from "all done"
 //! to "every admitted job terminal" — injected faults may fail jobs, but
 //! must never lose them.
 
@@ -40,7 +41,8 @@ use std::time::{Duration, Instant};
 use gridwfs_serve::json::{json_number, json_string};
 use gridwfs_serve::metrics::percentile;
 use gridwfs_serve::{
-    splitmix64, FaultPlan, GridSpec, JobState, Service, ServiceConfig, Submission, SubmitError,
+    splitmix64, Backend, FaultPlan, GridSpec, JobState, Service, ServiceConfig, Submission,
+    SubmitError,
 };
 use gridwfs_wpdl::builder::WorkflowBuilder;
 
@@ -62,6 +64,7 @@ struct LoadOptions {
     json: Option<String>,
     trace_dir: Option<std::path::PathBuf>,
     state_dir: Option<std::path::PathBuf>,
+    backend: Backend,
     chaos: Option<String>,
     virtual_time: bool,
     journal_hash: bool,
@@ -79,6 +82,7 @@ impl Default for LoadOptions {
             json: None,
             trace_dir: None,
             state_dir: None,
+            backend: Backend::default(),
             chaos: None,
             virtual_time: false,
             journal_hash: false,
@@ -124,6 +128,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> LoadOptions {
             "--json" => opts.json = args.next(),
             "--trace-dir" => opts.trace_dir = args.next().map(std::path::PathBuf::from),
             "--state-dir" => opts.state_dir = args.next().map(std::path::PathBuf::from),
+            "--backend" => {
+                let name = args.next().expect("--backend needs a value");
+                opts.backend = Backend::parse(&name).unwrap_or_else(|e| panic!("{e}"));
+            }
             "--chaos" => opts.chaos = args.next(),
             "--virtual" => opts.virtual_time = true,
             "--journal-hash" => opts.journal_hash = true,
@@ -206,6 +214,7 @@ fn main() {
         queue_capacity: opts.queue,
         trace_dir: opts.trace_dir.clone(),
         state_dir: opts.state_dir.clone(),
+        backend: opts.backend,
         chaos: chaos.clone(),
         ..ServiceConfig::default()
     })
@@ -339,6 +348,12 @@ fn main() {
         out.push_str(&format!("  \"scale\": {},\n", json_number(opts.scale)));
         out.push_str(&format!("  \"seed\": {},\n", opts.seed));
         out.push_str(&format!("  \"virtual\": {},\n", opts.virtual_time));
+        if opts.state_dir.is_some() {
+            out.push_str(&format!(
+                "  \"backend\": {},\n",
+                json_string(opts.backend.as_str())
+            ));
+        }
         out.push_str(&format!("  \"completed\": {done},\n"));
         out.push_str(&format!("  \"failed\": {failed},\n"));
         out.push_str(&format!("  \"admitted\": {admitted},\n"));

@@ -296,6 +296,48 @@ impl FaultPlan {
         self.decide(SALT_TASK_STALL, mix(job_seed, task_id), self.stall_p)
             .then(|| Duration::from_millis(self.stall_ms))
     }
+
+    /// Deterministic per-op fault decision for a named record: the `n`-th
+    /// `kind` operation on `name` faults iff this returns true.  Keyed by
+    /// the record *name* (never a full path), so decisions are identical
+    /// regardless of state-dir location or which backend executes the op.
+    /// `ChaosFs` routes its per-file decisions through this; the storage
+    /// crate's record-level chaos wrapper reuses it so every backend sees
+    /// the same fault stream.
+    pub fn op_faults(&self, kind: FsFaultKind, name: &str, n: u64) -> bool {
+        let (salt, p) = match kind {
+            FsFaultKind::Write => (SALT_WRITE, self.write_p),
+            FsFaultKind::Torn => (SALT_TORN, self.torn_p),
+            FsFaultKind::Rename => (SALT_RENAME, self.rename_p),
+            FsFaultKind::Read => (SALT_READ, self.read_p),
+        };
+        self.decide(salt, mix(mix_str(0, name), mix(salt, n)), p)
+    }
+}
+
+/// The four state-mutation fault classes a [`FaultPlan`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsFaultKind {
+    /// Write reported as failed (nothing persisted).
+    Write,
+    /// Short write that *claims* success — half the payload persisted.
+    Torn,
+    /// Rename reported as failed (source intact, target unchanged).
+    Rename,
+    /// Read reported as failed.
+    Read,
+}
+
+impl FsFaultKind {
+    /// Stable op label used to key per-`(name, op)` sequence counters.
+    pub fn op_name(self) -> &'static str {
+        match self {
+            FsFaultKind::Write => "write",
+            FsFaultKind::Torn => "torn",
+            FsFaultKind::Rename => "rename",
+            FsFaultKind::Read => "read",
+        }
+    }
 }
 
 impl fmt::Display for FaultPlan {
@@ -444,7 +486,13 @@ impl<F: StateFs> ChaosFs<F> {
 
     /// Take the next sequence number for `(file name of path, op)` and decide
     /// whether this op faults.
-    fn fault(&self, path: &Path, op: &'static str, salt: u64, p: f64) -> bool {
+    fn fault(&self, path: &Path, kind: FsFaultKind) -> bool {
+        let p = match kind {
+            FsFaultKind::Write => self.plan.write_p,
+            FsFaultKind::Torn => self.plan.torn_p,
+            FsFaultKind::Rename => self.plan.rename_p,
+            FsFaultKind::Read => self.plan.read_p,
+        };
         if p <= 0.0 {
             return false;
         }
@@ -454,13 +502,12 @@ impl<F: StateFs> ChaosFs<F> {
             .unwrap_or_default();
         let n = {
             let mut seq = relock(&self.seq);
-            let c = seq.entry((name.clone(), op)).or_insert(0);
+            let c = seq.entry((name.clone(), kind.op_name())).or_insert(0);
             let n = *c;
             *c += 1;
             n
         };
-        self.plan
-            .decide(salt, mix(mix_str(0, &name), mix(salt, n)), p)
+        self.plan.op_faults(kind, &name, n)
     }
 
     fn injected(what: &str, path: &Path) -> io::Error {
@@ -473,17 +520,17 @@ impl<F: StateFs> ChaosFs<F> {
 
 impl<F: StateFs> StateFs for ChaosFs<F> {
     fn read_to_string(&self, path: &Path) -> io::Result<String> {
-        if self.fault(path, "read", SALT_READ, self.plan.read_p) {
+        if self.fault(path, FsFaultKind::Read) {
             return Err(Self::injected("read", path));
         }
         self.inner.read_to_string(path)
     }
 
     fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()> {
-        if self.fault(path, "write", SALT_WRITE, self.plan.write_p) {
+        if self.fault(path, FsFaultKind::Write) {
             return Err(Self::injected("write", path));
         }
-        if self.fault(path, "torn", SALT_TORN, self.plan.torn_p) && !data.is_empty() {
+        if self.fault(path, FsFaultKind::Torn) && !data.is_empty() {
             // Short write that *claims* success — torn data surfaces later.
             return self.inner.write_file(path, &data[..data.len() / 2]);
         }
@@ -491,7 +538,7 @@ impl<F: StateFs> StateFs for ChaosFs<F> {
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        if self.fault(to, "rename", SALT_RENAME, self.plan.rename_p) {
+        if self.fault(to, FsFaultKind::Rename) {
             // The crash-between-write-and-rename point: tmp exists, target
             // still holds its previous version.
             return Err(Self::injected("rename", to));

@@ -107,6 +107,11 @@ pub fn to_xml(instance: &Instance) -> String {
 /// Writes the checkpoint crash-atomically: tmp file + `sync_all`, then
 /// rename, then parent-dir fsync.  A crash at any point leaves either the
 /// previous checkpoint or the new one in full, never a torn file.
+///
+/// This is the standalone path (`gridwfs run --checkpoint`), one fsync
+/// pair per checkpoint.  The service never calls it: engines there hand
+/// serialized checkpoints to a [`crate::CheckpointSink`] and the
+/// scheduler group-commits them through its storage backend.
 pub fn save(instance: &Instance, path: &Path) -> Result<(), CheckpointError> {
     gridwfs_chaos::write_atomic(&gridwfs_chaos::RealFs, path, to_xml(instance).as_bytes())?;
     Ok(())

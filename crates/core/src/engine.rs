@@ -20,6 +20,7 @@
 //! and a restarted engine resumes navigation from where it left off.
 
 use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -152,12 +153,43 @@ impl Report {
     }
 }
 
+/// Where the engine hands finished checkpoint XML when the host, not the
+/// engine, owns durability.  The callback must be cheap and non-blocking
+/// (the serve worker just replaces a staging cell); any error is logged
+/// and traced exactly like a failed direct checkpoint write.
+#[derive(Clone)]
+pub struct CheckpointSink(Arc<dyn Fn(String) -> std::io::Result<()> + Send + Sync>);
+
+impl CheckpointSink {
+    pub fn new(f: impl Fn(String) -> std::io::Result<()> + Send + Sync + 'static) -> Self {
+        CheckpointSink(Arc::new(f))
+    }
+
+    /// Offer one serialized checkpoint to the host.
+    pub fn save(&self, xml: String) -> std::io::Result<()> {
+        (self.0)(xml)
+    }
+}
+
+impl fmt::Debug for CheckpointSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CheckpointSink(..)")
+    }
+}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Write an engine checkpoint here after every task termination
     /// (paper §7's engine fault tolerance).
     pub checkpoint_path: Option<PathBuf>,
+    /// Hand checkpoints to a host-provided sink instead of (or as well
+    /// as — the sink wins when both are set) writing `checkpoint_path`
+    /// directly.  The serve worker uses this to stage checkpoint XML into
+    /// the scheduler's group-committed state batch, so checkpoint
+    /// durability costs one shared fsync per tick instead of a private
+    /// tmp→rename→fsync per settlement.
+    pub checkpoint_sink: Option<CheckpointSink>,
     /// Safety cap on do-while iterations per activity.
     pub max_loop_iterations: u32,
     /// Hold notifications this long and deliver them in send order —
@@ -203,6 +235,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             checkpoint_path: None,
+            checkpoint_sink: None,
             max_loop_iterations: 10_000,
             reorder_settle: None,
             cancel_redundant: false,
@@ -386,6 +419,13 @@ impl<X: Executor> Engine<X> {
     /// Enables engine checkpointing to `path`.
     pub fn with_checkpointing(mut self, path: impl Into<PathBuf>) -> Self {
         self.config.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Enables engine checkpointing through a host-owned sink (see
+    /// [`CheckpointSink`]); takes precedence over `checkpoint_path`.
+    pub fn with_checkpoint_sink(mut self, sink: CheckpointSink) -> Self {
+        self.config.checkpoint_sink = Some(sink);
         self
     }
 
@@ -808,7 +848,21 @@ impl<X: Executor> Engine<X> {
     }
 
     fn write_checkpoint(&mut self) {
-        if let Some(path) = self.config.checkpoint_path.clone() {
+        if let Some(sink) = self.config.checkpoint_sink.clone() {
+            // The log message is a constant, never a path: sink hosts
+            // assert journals byte-identical across state-dir locations.
+            let ok = match sink.save(crate::checkpoint::to_xml(&self.instance)) {
+                Err(e) => {
+                    self.log(LogKind::Checkpoint, format!("checkpoint stage failed: {e}"));
+                    false
+                }
+                Ok(()) => {
+                    self.log(LogKind::Checkpoint, "staged for group commit".to_string());
+                    true
+                }
+            };
+            self.trace(TraceKind::EngineCheckpoint { ok });
+        } else if let Some(path) = self.config.checkpoint_path.clone() {
             let ok = match crate::checkpoint::save(&self.instance, &path) {
                 Err(e) => {
                     self.log(LogKind::Checkpoint, format!("checkpoint write failed: {e}"));

@@ -53,7 +53,7 @@ pub mod thread_executor;
 pub mod timeline;
 
 pub use breaker::{BreakerConfig, BreakerEvent, HostBreakers};
-pub use engine::{Engine, EngineConfig, LogEntry, LogKind, Report, StepOutcome};
+pub use engine::{CheckpointSink, Engine, EngineConfig, LogEntry, LogKind, Report, StepOutcome};
 pub use executor::{Executor, Polled, SubmitRequest};
 pub use gridwfs_detect::{DetectorPolicy, PhiConfig};
 pub use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind, TraceSink};

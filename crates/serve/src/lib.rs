@@ -19,8 +19,9 @@
 //!   group-commits state-dir writes once per tick;
 //! * `worker` — per-job lifecycle: engine construction, journals,
 //!   settlement;
-//! * [`recover`] — state-directory persistence: a restarted service
-//!   re-admits unfinished jobs and resumes their engines from checkpoint;
+//! * [`recover`] — persistence policy over the pluggable storage
+//!   backends ([`gridwfs_storage`]): a restarted service re-admits
+//!   unfinished jobs and resumes their engines from checkpoint;
 //! * [`metrics`] — counters / gauges / latency histogram, JSON snapshots.
 //!
 //! ## Quickstart
@@ -69,6 +70,9 @@ mod worker;
 
 pub use gridspec::{DetectorSpec, ExecMode, GridSpec, HostSpec, LinkSpec, ProfileSpec};
 pub use gridwfs_chaos::{relock, splitmix64, ChaosFs, FaultPlan, RealFs, StateFs};
+pub use gridwfs_storage::{
+    Backend, ChaosStorage, CountersSnapshot, DirStorage, MemStorage, Storage, WalStorage,
+};
 pub use gridwfs_trace::{TraceEvent, TraceKind, TraceSink};
 pub use job::{JobId, JobRecord, JobState, Submission};
 pub use metrics::{LatencySummary, Metrics, TraceMetricsSink};

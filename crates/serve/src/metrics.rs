@@ -244,11 +244,24 @@ impl Metrics {
     /// Renders the registry as JSON.  `queue_depth` is sampled by the
     /// caller (the queue lives next to the registry, not inside it).
     pub fn snapshot_json(&self, queue_depth: usize) -> String {
+        self.snapshot_json_with_storage(queue_depth, None)
+    }
+
+    /// Renders the registry as JSON with an optional `storage` section —
+    /// the backend label plus the [`gridwfs_storage::Storage::counters`]
+    /// snapshot the service samples at the same instant as the gauges.
+    /// Schema 1 is the storage-less document; schema 2 adds the section.
+    pub fn snapshot_json_with_storage(
+        &self,
+        queue_depth: usize,
+        storage: Option<(&'static str, gridwfs_storage::CountersSnapshot)>,
+    ) -> String {
         let c = &self.counters;
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let l = self.latency_summary();
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": 1,\n");
+        let schema = if storage.is_some() { 2 } else { 1 };
+        out.push_str(&format!("  \"schema\": {schema},\n"));
         out.push_str("  \"counters\": {\n");
         let counters = [
             ("submitted", get(&c.submitted)),
@@ -277,6 +290,22 @@ impl Metrics {
             self.running.load(Ordering::Relaxed)
         ));
         out.push_str("  },\n");
+        if let Some((backend, s)) = storage {
+            out.push_str("  \"storage\": {\n");
+            out.push_str(&format!("    \"backend\": {},\n", json_string(backend)));
+            let fields = [
+                ("wal_appends", s.wal_appends),
+                ("group_commits", s.group_commits),
+                ("compactions", s.compactions),
+                ("bytes_logged", s.bytes_logged),
+                ("recovery_replayed_records", s.recovery_replayed_records),
+            ];
+            for (i, (name, v)) in fields.iter().enumerate() {
+                let comma = if i + 1 < fields.len() { "," } else { "" };
+                out.push_str(&format!("    {}: {v}{comma}\n", json_string(name)));
+            }
+            out.push_str("  },\n");
+        }
         out.push_str("  \"latency_seconds\": {\n");
         out.push_str(&format!("    \"count\": {},\n", l.count));
         for (name, v) in [
@@ -385,6 +414,28 @@ mod tests {
         );
         assert!(!json.contains(",\n  }"), "{json}");
         assert!(!json.contains(",\n}"), "{json}");
+    }
+
+    #[test]
+    fn snapshot_with_storage_adds_section_and_bumps_schema() {
+        let m = Metrics::new();
+        let counters = gridwfs_storage::CountersSnapshot {
+            wal_appends: 12,
+            group_commits: 3,
+            compactions: 1,
+            bytes_logged: 4096,
+            recovery_replayed_records: 7,
+        };
+        let json = m.snapshot_json_with_storage(0, Some(("wal", counters)));
+        assert!(json.contains("\"schema\": 2"), "{json}");
+        assert!(json.contains("\"backend\": \"wal\""), "{json}");
+        assert!(json.contains("\"wal_appends\": 12"), "{json}");
+        assert!(json.contains("\"group_commits\": 3"), "{json}");
+        assert!(json.contains("\"recovery_replayed_records\": 7"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  }"), "{json}");
+        // The storage-less snapshot keeps the original schema.
+        assert!(m.snapshot_json(0).contains("\"schema\": 1"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! State-directory persistence and crash recovery.
+//! State persistence and crash recovery over the [`Storage`] trait.
 //!
-//! An admitted job leaves three kinds of files in the service's state
-//! directory:
+//! An admitted job leaves a handful of named records in the service's
+//! storage backend:
 //!
 //! * `job-<id>.wf.xml`   — the submitted WPDL document;
 //! * `job-<id>.meta`     — label, seed, deadline, and the Grid manifest
@@ -10,70 +10,100 @@
 //!   task settlement while the job runs;
 //! * `job-<id>.result`   — the terminal marker, written exactly once.
 //!
-//! A restarted service re-admits every job that has a meta file but no
+//! A restarted service re-admits every job that has a meta record but no
 //! result marker.  If a checkpoint exists the worker resumes the engine
-//! from it ([`grid_wfs::checkpoint::load`]) instead of starting the
+//! from it ([`grid_wfs::checkpoint::from_xml`]) instead of starting the
 //! workflow from scratch — the paper's §7 engine fault tolerance, lifted
 //! to the service level.
 //!
-//! Two more files keep restarts honest:
+//! Two more records keep restarts honest:
 //!
 //! * `job-<id>.elapsed` — executor-clock seconds the job has already
 //!   consumed in earlier incarnations, so a resumed job's deadline is the
 //!   *remaining* budget, not a fresh one.  It is updated whenever an
 //!   aborted engine is requeued; time spent in an incarnation that died
 //!   without a clean abort (kill -9) is forfeited from the ledger.
-//! * id allocation scans **every** `job-<id>.*` file ([`max_job_id`]),
+//! * id allocation scans **every** `job-<id>.*` record ([`max_job_id`]),
 //!   terminal or not, so a restarted service never reuses the id — and
 //!   thereby the checkpoint or result marker — of a finished job.
 //!
-//! All I/O goes through the [`StateFs`] seam (production: `RealFs`;
-//! chaos tests: `ChaosFs`), and every mutation of a state file is a
-//! [`write_atomic`] — tmp file, `sync_all`, rename, parent-dir fsync —
-//! so a crash at any point leaves either the complete old version or the
-//! complete new version of a file, never a torn one.  Leftover `*.tmp`
-//! staging files are ignored by [`scan`] but still burn their id in
-//! [`max_job_id`].
+//! Where the records live is the backend's business: one file each under
+//! [`gridwfs_storage::DirStorage`] (the PR-4 layout, every name is a file
+//! name), frames in a group-committed log under
+//! [`gridwfs_storage::WalStorage`], plain map entries in memory.  Every
+//! mutation goes through [`Storage::apply`], whose batch is one crash-
+//! atomic group commit — a crash at any point leaves either the old or
+//! the new version of each record, never a torn one.
 //!
-//! Corrupt state-dir entries are quarantined (meta renamed to
+//! Corrupt entries are quarantined (meta renamed to
 //! `job-<id>.meta.quarantined`, warning on stderr) rather than failing
 //! the whole startup: one bad job must not take the service down.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use gridwfs_chaos::{write_atomic, StateFs};
+use gridwfs_storage::{Op, Storage};
 
 use crate::gridspec::GridSpec;
 use crate::job::{JobId, Submission};
 
-/// Path of the persisted workflow document.
-pub fn workflow_path(dir: &Path, id: JobId) -> PathBuf {
-    dir.join(format!("{id}.wf.xml"))
+/// Record name of the persisted workflow document.
+pub fn workflow_name(id: JobId) -> String {
+    format!("{id}.wf.xml")
 }
 
-/// Path of the job metadata manifest.
+/// Record name of the job metadata manifest.
+pub fn meta_name(id: JobId) -> String {
+    format!("{id}.meta")
+}
+
+/// Record name of the engine checkpoint.
+pub fn checkpoint_name(id: JobId) -> String {
+    format!("{id}.ckpt.xml")
+}
+
+/// Record name of the terminal marker.
+pub fn result_name(id: JobId) -> String {
+    format!("{id}.result")
+}
+
+/// Record name of the consumed-deadline ledger.
+pub fn elapsed_name(id: JobId) -> String {
+    format!("{id}.elapsed")
+}
+
+/// On-disk path of a record under the per-file [`DirStorage`] layout —
+/// for tests and operators that inspect the state dir directly.  Other
+/// backends have no per-record paths.
+///
+/// [`DirStorage`]: gridwfs_storage::DirStorage
 pub fn meta_path(dir: &Path, id: JobId) -> PathBuf {
-    dir.join(format!("{id}.meta"))
+    dir.join(meta_name(id))
 }
 
-/// Path of the engine checkpoint.
+/// See [`meta_path`].
+pub fn workflow_path(dir: &Path, id: JobId) -> PathBuf {
+    dir.join(workflow_name(id))
+}
+
+/// See [`meta_path`].
 pub fn checkpoint_path(dir: &Path, id: JobId) -> PathBuf {
-    dir.join(format!("{id}.ckpt.xml"))
+    dir.join(checkpoint_name(id))
 }
 
-/// Path of the terminal marker.
+/// See [`meta_path`].
 pub fn result_path(dir: &Path, id: JobId) -> PathBuf {
-    dir.join(format!("{id}.result"))
+    dir.join(result_name(id))
 }
 
-/// Path of the consumed-deadline ledger.
+/// See [`meta_path`].
 pub fn elapsed_path(dir: &Path, id: JobId) -> PathBuf {
-    dir.join(format!("{id}.elapsed"))
+    dir.join(elapsed_name(id))
 }
 
 /// Path of the per-job flight-recorder journal (under the service's
-/// *trace* directory, which may differ from the state directory).
+/// *trace* directory, which is a plain directory regardless of the state
+/// backend).
 pub fn trace_path(dir: &Path, id: JobId) -> PathBuf {
     dir.join(format!("{id}.trace.jsonl"))
 }
@@ -81,8 +111,8 @@ pub fn trace_path(dir: &Path, id: JobId) -> PathBuf {
 /// 0-based incarnation number the next `job_start` event in `path` gets:
 /// the count of `job_start` lines already in the journal.  A missing or
 /// unreadable journal counts as a fresh one.  (Trace journals live outside
-/// the state directory and are append-only diagnostics, so they stay on
-/// plain `std::fs` rather than the [`StateFs`] seam.)
+/// the state backend and are append-only diagnostics, so they stay on
+/// plain `std::fs`.)
 pub fn count_incarnations(path: &Path) -> u32 {
     fs::read_to_string(path)
         .map(|text| {
@@ -96,8 +126,8 @@ pub fn count_incarnations(path: &Path) -> u32 {
 /// Executor-clock seconds this job consumed in earlier incarnations
 /// (0.0 when no ledger exists or it cannot be read/parsed — forfeiting
 /// the ledger only widens the deadline budget, never loses the job).
-pub fn read_elapsed(fs: &dyn StateFs, dir: &Path, id: JobId) -> f64 {
-    fs.read_to_string(&elapsed_path(dir, id))
+pub fn read_elapsed(st: &dyn Storage, id: JobId) -> f64 {
+    st.read_to_string(&elapsed_name(id))
         .ok()
         .and_then(|s| s.trim().parse().ok())
         .unwrap_or(0.0)
@@ -110,12 +140,12 @@ pub fn elapsed_payload(secs: f64) -> Vec<u8> {
 }
 
 /// Records the total executor-clock seconds consumed so far.
-pub fn write_elapsed(fs: &dyn StateFs, dir: &Path, id: JobId, secs: f64) -> std::io::Result<()> {
-    write_atomic(fs, &elapsed_path(dir, id), &elapsed_payload(secs))
+pub fn write_elapsed(st: &dyn Storage, id: JobId, secs: f64) -> std::io::Result<()> {
+    st.put(&elapsed_name(id), &elapsed_payload(secs))
 }
 
-/// The meta file is line-oriented, so the client-chosen label must not be
-/// able to inject lines: escape backslashes and CR/LF on write…
+/// The meta record is line-oriented, so the client-chosen label must not
+/// be able to inject lines: escape backslashes and CR/LF on write…
 fn escape_label(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -152,19 +182,12 @@ fn unescape_label(s: &str) -> String {
     out
 }
 
-/// Persists an admitted submission (workflow + meta).  Any leftover
-/// checkpoint, result marker, or elapsed ledger at this id is cleared
-/// first: a freshly assigned id must never inherit another job's state.
-pub fn write_submission(
-    fs: &dyn StateFs,
-    dir: &Path,
-    id: JobId,
-    sub: &Submission,
-) -> std::io::Result<()> {
-    let _ = fs.remove_file(&checkpoint_path(dir, id));
-    let _ = fs.remove_file(&result_path(dir, id));
-    let _ = fs.remove_file(&elapsed_path(dir, id));
-    write_atomic(fs, &workflow_path(dir, id), sub.workflow_xml.as_bytes())?;
+/// Persists an admitted submission (workflow + meta) as **one** group
+/// commit.  Any leftover checkpoint, result marker, or elapsed ledger at
+/// this id is cleared in the same batch: a freshly assigned id must never
+/// inherit another job's state, and admission costs a single durability
+/// point, not five.
+pub fn write_submission(st: &dyn Storage, id: JobId, sub: &Submission) -> std::io::Result<()> {
     let mut meta = String::new();
     meta.push_str(&format!("name {}\n", escape_label(&sub.name)));
     meta.push_str(&format!("seed {}\n", sub.seed));
@@ -175,16 +198,29 @@ pub fn write_submission(
             .unwrap_or_else(|| "-".into())
     ));
     meta.push_str(&sub.grid.to_manifest());
-    write_atomic(fs, &meta_path(dir, id), meta.as_bytes())
+    let mut errors = st.apply(vec![
+        Op::Del(checkpoint_name(id)),
+        Op::Del(result_name(id)),
+        Op::Del(elapsed_name(id)),
+        Op::Put(workflow_name(id), sub.workflow_xml.clone().into_bytes()),
+        Op::Put(meta_name(id), meta.into_bytes()),
+    ]);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.swap_remove(0).1)
+    }
 }
 
 /// Removes the persisted submission (rejected push rollback).
-pub fn remove_submission(fs: &dyn StateFs, dir: &Path, id: JobId) {
-    let _ = fs.remove_file(&workflow_path(dir, id));
-    let _ = fs.remove_file(&meta_path(dir, id));
-    let _ = fs.remove_file(&checkpoint_path(dir, id));
-    let _ = fs.remove_file(&result_path(dir, id));
-    let _ = fs.remove_file(&elapsed_path(dir, id));
+pub fn remove_submission(st: &dyn Storage, id: JobId) {
+    let _ = st.apply(vec![
+        Op::Del(workflow_name(id)),
+        Op::Del(meta_name(id)),
+        Op::Del(checkpoint_name(id)),
+        Op::Del(result_name(id)),
+        Op::Del(elapsed_name(id)),
+    ]);
 }
 
 /// Serialized form of the terminal marker — one source of truth for the
@@ -194,14 +230,8 @@ pub fn result_payload(state: &str, detail: &str) -> Vec<u8> {
 }
 
 /// Writes the terminal marker.
-pub fn write_result(
-    fs: &dyn StateFs,
-    dir: &Path,
-    id: JobId,
-    state: &str,
-    detail: &str,
-) -> std::io::Result<()> {
-    write_atomic(fs, &result_path(dir, id), &result_payload(state, detail))
+pub fn write_result(st: &dyn Storage, id: JobId, state: &str, detail: &str) -> std::io::Result<()> {
+    st.put(&result_name(id), &result_payload(state, detail))
 }
 
 fn parse_meta(text: &str, wf_xml: String) -> Result<Submission, String> {
@@ -245,16 +275,14 @@ fn parse_meta(text: &str, wf_xml: String) -> Result<Submission, String> {
     })
 }
 
-/// Largest job id any `job-<id>.*` file in the state directory mentions
-/// (0 when there is none).  Unlike [`scan`] this counts terminal jobs,
-/// quarantined jobs, and even `.tmp` staging leftovers: id allocation must
-/// never hand out an id whose checkpoint or result marker is (or was about
-/// to be) on disk.
-pub fn max_job_id(fs: &dyn StateFs, dir: &Path) -> Result<u64, String> {
+/// Largest job id any `job-<id>.*` record mentions (0 when there is
+/// none).  Unlike [`scan`] this counts terminal jobs, quarantined jobs,
+/// and even `.tmp` staging leftovers (DirStorage lists them as records):
+/// id allocation must never hand out an id whose checkpoint or result
+/// marker is (or was about to be) durable.
+pub fn max_job_id(st: &dyn Storage) -> Result<u64, String> {
     let mut max = 0u64;
-    let names = fs
-        .read_dir_names(dir)
-        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    let names = st.list().map_err(|e| format!("storage list: {e}"))?;
     for name in names {
         if let Some(rest) = name.strip_prefix("job-") {
             let digits: &str = &rest[..rest.find('.').unwrap_or(rest.len())];
@@ -266,7 +294,7 @@ pub fn max_job_id(fs: &dyn StateFs, dir: &Path) -> Result<u64, String> {
     Ok(max)
 }
 
-/// What a state-directory scan found.
+/// What a storage scan found.
 #[derive(Debug)]
 pub struct Scan {
     /// Jobs to re-admit, ascending by id.
@@ -275,40 +303,27 @@ pub struct Scan {
     pub quarantined: u64,
 }
 
-/// Moves a job's meta file aside so later scans skip it, keeping the
-/// workflow/checkpoint files around for post-mortem.  A failed rename must
-/// not leave the corrupt meta in place (the next restart would trip over
-/// it again), so it falls back to copy + remove; if even that fails the
-/// paths are named in the warning and the scan still skips the job.
-fn quarantine(fs: &dyn StateFs, dir: &Path, id: JobId, why: &str) {
-    let meta = meta_path(dir, id);
-    let aside = meta.with_extension("meta.quarantined");
+/// Moves a job's meta record aside so later scans skip it, keeping the
+/// workflow/checkpoint records around for post-mortem.  Backends make
+/// the rename as robust as they can (DirStorage falls back to
+/// copy+remove); if it still fails the record is named in the warning
+/// and the scan skips the job for this incarnation.
+fn quarantine(st: &dyn Storage, id: JobId, why: &str) {
+    let meta = meta_name(id);
+    let aside = format!("{meta}.quarantined");
     eprintln!("gridwfs-serve: quarantining {id}: {why}");
-    if fs.rename(&meta, &aside).is_ok() {
-        return;
-    }
-    let copied = fs
-        .read_to_string(&meta)
-        .and_then(|text| fs.write_file(&aside, text.as_bytes()))
-        .and_then(|()| fs.remove_file(&meta));
-    if let Err(e) = copied {
-        eprintln!(
-            "gridwfs-serve: cannot move {} aside to {}: {e}",
-            meta.display(),
-            aside.display()
-        );
+    if let Err(e) = st.rename(&meta, &aside) {
+        eprintln!("gridwfs-serve: cannot move {meta} aside to {aside}: {e}");
     }
 }
 
-/// Scans a state directory for jobs to re-admit: every `job-<id>.meta`
-/// without a matching `job-<id>.result`, ascending by id.  Entries that
-/// cannot be read or parsed are quarantined with a stderr warning — one
-/// corrupt job must not keep the whole service from starting.
-pub fn scan(fs: &dyn StateFs, dir: &Path) -> Result<Scan, String> {
+/// Scans storage for jobs to re-admit: every `job-<id>.meta` without a
+/// matching `job-<id>.result`, ascending by id.  Entries that cannot be
+/// read or parsed are quarantined with a stderr warning — one corrupt
+/// job must not keep the whole service from starting.
+pub fn scan(st: &dyn Storage) -> Result<Scan, String> {
     let mut ids: Vec<u64> = Vec::new();
-    let names = fs
-        .read_dir_names(dir)
-        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    let names = st.list().map_err(|e| format!("storage list: {e}"))?;
     for name in names {
         if let Some(id) = name
             .strip_prefix("job-")
@@ -327,21 +342,21 @@ pub fn scan(fs: &dyn StateFs, dir: &Path) -> Result<Scan, String> {
     };
     for raw in ids {
         let id = JobId(raw);
-        if fs.exists(&result_path(dir, id)) {
+        if st.exists(&result_name(id)) {
             continue; // terminal before the restart
         }
-        let meta = match fs.read_to_string(&meta_path(dir, id)) {
+        let meta = match st.read_to_string(&meta_name(id)) {
             Ok(meta) => meta,
             Err(e) => {
-                quarantine(fs, dir, id, &format!("meta unreadable: {e}"));
+                quarantine(st, id, &format!("meta unreadable: {e}"));
                 out.quarantined += 1;
                 continue;
             }
         };
-        let wf = match fs.read_to_string(&workflow_path(dir, id)) {
+        let wf = match st.read_to_string(&workflow_name(id)) {
             Ok(wf) => wf,
             Err(e) => {
-                quarantine(fs, dir, id, &format!("workflow unreadable: {e}"));
+                quarantine(st, id, &format!("workflow unreadable: {e}"));
                 out.quarantined += 1;
                 continue;
             }
@@ -349,7 +364,7 @@ pub fn scan(fs: &dyn StateFs, dir: &Path) -> Result<Scan, String> {
         match parse_meta(&meta, wf) {
             Ok(sub) => out.jobs.push((id, sub)),
             Err(e) => {
-                quarantine(fs, dir, id, &e);
+                quarantine(st, id, &e);
                 out.quarantined += 1;
             }
         }
@@ -361,8 +376,8 @@ pub fn scan(fs: &dyn StateFs, dir: &Path) -> Result<Scan, String> {
 mod tests {
     use super::*;
     use gridwfs_chaos::RealFs;
-
-    const FS: RealFs = RealFs;
+    use gridwfs_storage::{DirStorage, MemStorage, WalStorage};
+    use std::sync::Arc;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -373,6 +388,19 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    /// Every backend must satisfy the recovery invariants.
+    fn backends(root: &Path) -> Vec<Arc<dyn Storage>> {
+        vec![
+            Arc::new(DirStorage::new(Arc::new(RealFs), root.join("dir")).unwrap()),
+            Arc::new(WalStorage::open(root.join("wal")).unwrap()),
+            Arc::new(MemStorage::new()),
+        ]
+    }
+
+    fn dir_storage(dir: &Path) -> DirStorage {
+        DirStorage::new(Arc::new(RealFs), dir).unwrap()
     }
 
     fn sub(name: &str) -> Submission {
@@ -386,174 +414,149 @@ mod tests {
     }
 
     #[test]
-    fn submission_round_trips_through_disk() {
-        let dir = tmpdir("roundtrip");
-        write_submission(&FS, &dir, JobId(3), &sub("alpha beta")).unwrap();
-        let scanned = scan(&FS, &dir).unwrap();
-        assert_eq!(scanned.quarantined, 0);
-        assert_eq!(scanned.jobs.len(), 1);
-        let (id, got) = &scanned.jobs[0];
-        assert_eq!(*id, JobId(3));
-        assert_eq!(got.name, "alpha beta", "labels keep their spaces");
-        assert_eq!(got.seed, 9);
-        assert_eq!(got.deadline, Some(100.0));
-        assert_eq!(got.grid, sub("x").grid);
-        assert_eq!(got.workflow_xml, sub("x").workflow_xml);
-        fs::remove_dir_all(&dir).ok();
+    fn submission_round_trips_on_every_backend() {
+        let root = tmpdir("roundtrip");
+        for st in backends(&root) {
+            write_submission(st.as_ref(), JobId(3), &sub("alpha beta")).unwrap();
+            let scanned = scan(st.as_ref()).unwrap();
+            assert_eq!(scanned.quarantined, 0);
+            assert_eq!(scanned.jobs.len(), 1);
+            let (id, got) = &scanned.jobs[0];
+            assert_eq!(*id, JobId(3));
+            assert_eq!(got.name, "alpha beta", "labels keep their spaces");
+            assert_eq!(got.seed, 9);
+            assert_eq!(got.deadline, Some(100.0));
+            assert_eq!(got.grid, sub("x").grid);
+            assert_eq!(got.workflow_xml, sub("x").workflow_xml);
+        }
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]
     fn terminal_jobs_are_not_rescanned() {
-        let dir = tmpdir("terminal");
-        write_submission(&FS, &dir, JobId(1), &sub("a")).unwrap();
-        write_submission(&FS, &dir, JobId(2), &sub("b")).unwrap();
-        write_result(&FS, &dir, JobId(1), "done", "Success").unwrap();
-        let scanned = scan(&FS, &dir).unwrap();
-        assert_eq!(scanned.jobs.len(), 1);
-        assert_eq!(scanned.jobs[0].0, JobId(2));
-        fs::remove_dir_all(&dir).ok();
+        let root = tmpdir("terminal");
+        for st in backends(&root) {
+            write_submission(st.as_ref(), JobId(1), &sub("a")).unwrap();
+            write_submission(st.as_ref(), JobId(2), &sub("b")).unwrap();
+            write_result(st.as_ref(), JobId(1), "done", "Success").unwrap();
+            let scanned = scan(st.as_ref()).unwrap();
+            assert_eq!(scanned.jobs.len(), 1);
+            assert_eq!(scanned.jobs[0].0, JobId(2));
+        }
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]
     fn removed_submission_disappears() {
-        let dir = tmpdir("remove");
-        write_submission(&FS, &dir, JobId(7), &sub("a")).unwrap();
-        remove_submission(&FS, &dir, JobId(7));
-        assert!(scan(&FS, &dir).unwrap().jobs.is_empty());
-        fs::remove_dir_all(&dir).ok();
+        let root = tmpdir("remove");
+        for st in backends(&root) {
+            write_submission(st.as_ref(), JobId(7), &sub("a")).unwrap();
+            remove_submission(st.as_ref(), JobId(7));
+            assert!(scan(st.as_ref()).unwrap().jobs.is_empty());
+        }
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]
     fn labels_with_newlines_cannot_inject_meta_lines() {
-        let dir = tmpdir("newline");
+        let root = tmpdir("newline");
         let label = "evil\nhost h9 1.0\r";
-        write_submission(&FS, &dir, JobId(1), &sub(label)).unwrap();
-        let scanned = scan(&FS, &dir).unwrap();
-        assert_eq!(scanned.jobs.len(), 1);
-        assert_eq!(scanned.jobs[0].1.name, label, "label round-trips verbatim");
-        assert_eq!(scanned.jobs[0].1.grid, sub("x").grid, "no host injected");
-        fs::remove_dir_all(&dir).ok();
+        for st in backends(&root) {
+            write_submission(st.as_ref(), JobId(1), &sub(label)).unwrap();
+            let scanned = scan(st.as_ref()).unwrap();
+            assert_eq!(scanned.jobs.len(), 1);
+            assert_eq!(scanned.jobs[0].1.name, label, "label round-trips verbatim");
+            assert_eq!(scanned.jobs[0].1.grid, sub("x").grid, "no host injected");
+        }
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]
     fn labels_with_backslashes_round_trip() {
-        let dir = tmpdir("backslash");
+        let root = tmpdir("backslash");
         let label = "a\\nb \\ trailing\\";
-        write_submission(&FS, &dir, JobId(1), &sub(label)).unwrap();
-        assert_eq!(scan(&FS, &dir).unwrap().jobs[0].1.name, label);
-        fs::remove_dir_all(&dir).ok();
+        for st in backends(&root) {
+            write_submission(st.as_ref(), JobId(1), &sub(label)).unwrap();
+            assert_eq!(scan(st.as_ref()).unwrap().jobs[0].1.name, label);
+        }
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]
     fn corrupt_meta_is_quarantined_not_fatal() {
-        let dir = tmpdir("quarantine");
-        write_submission(&FS, &dir, JobId(1), &sub("good")).unwrap();
-        fs::write(dir.join("job-2.meta"), "frobnicate\n").unwrap();
-        let scanned = scan(&FS, &dir).unwrap();
-        assert_eq!(scanned.jobs.len(), 1, "the good job still recovers");
-        assert_eq!(scanned.jobs[0].0, JobId(1));
-        assert_eq!(scanned.quarantined, 1);
-        assert!(!meta_path(&dir, JobId(2)).exists(), "bad meta moved aside");
-        assert!(dir.join("job-2.meta.quarantined").exists());
-        // Later scans stay clean and the id stays burned.
-        let again = scan(&FS, &dir).unwrap();
-        assert_eq!(again.jobs.len(), 1);
-        assert_eq!(again.quarantined, 0);
-        assert_eq!(max_job_id(&FS, &dir).unwrap(), 2);
-        fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn quarantine_falls_back_to_copy_when_rename_fails() {
-        /// A filesystem whose renames always fail — the seam the
-        /// quarantine fallback exists for (e.g. cross-device link errors).
-        struct NoRename;
-        impl StateFs for NoRename {
-            fn read_to_string(&self, path: &Path) -> std::io::Result<String> {
-                RealFs.read_to_string(path)
-            }
-            fn write_file(&self, path: &Path, data: &[u8]) -> std::io::Result<()> {
-                RealFs.write_file(path, data)
-            }
-            fn rename(&self, _from: &Path, _to: &Path) -> std::io::Result<()> {
-                Err(std::io::Error::other("rename refused"))
-            }
-            fn remove_file(&self, path: &Path) -> std::io::Result<()> {
-                RealFs.remove_file(path)
-            }
-            fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
-                RealFs.sync_dir(dir)
-            }
-            fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
-                RealFs.create_dir_all(dir)
-            }
-            fn read_dir_names(&self, dir: &Path) -> std::io::Result<Vec<String>> {
-                RealFs.read_dir_names(dir)
-            }
-            fn exists(&self, path: &Path) -> bool {
-                RealFs.exists(path)
-            }
+        let root = tmpdir("quarantine");
+        for st in backends(&root) {
+            write_submission(st.as_ref(), JobId(1), &sub("good")).unwrap();
+            st.put(&meta_name(JobId(2)), b"frobnicate\n").unwrap();
+            let scanned = scan(st.as_ref()).unwrap();
+            assert_eq!(scanned.jobs.len(), 1, "the good job still recovers");
+            assert_eq!(scanned.jobs[0].0, JobId(1));
+            assert_eq!(scanned.quarantined, 1);
+            assert!(!st.exists(&meta_name(JobId(2))), "bad meta moved aside");
+            assert!(st.exists("job-2.meta.quarantined"));
+            // Later scans stay clean and the id stays burned.
+            let again = scan(st.as_ref()).unwrap();
+            assert_eq!(again.jobs.len(), 1);
+            assert_eq!(again.quarantined, 0);
+            assert_eq!(max_job_id(st.as_ref()).unwrap(), 2);
         }
-        let dir = tmpdir("quarantine-norename");
-        fs::write(dir.join("job-5.meta"), "frobnicate\n").unwrap();
-        let scanned = scan(&NoRename, &dir).unwrap();
-        assert_eq!(scanned.quarantined, 1);
-        assert!(
-            !meta_path(&dir, JobId(5)).exists(),
-            "copy+remove fallback still moves the corrupt meta aside"
-        );
-        assert_eq!(
-            fs::read_to_string(dir.join("job-5.meta.quarantined")).unwrap(),
-            "frobnicate\n"
-        );
-        fs::remove_dir_all(&dir).ok();
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]
     fn max_job_id_counts_terminal_jobs() {
-        let dir = tmpdir("maxid");
-        assert_eq!(max_job_id(&FS, &dir).unwrap(), 0);
-        write_submission(&FS, &dir, JobId(3), &sub("a")).unwrap();
-        write_result(&FS, &dir, JobId(3), "done", "Success").unwrap();
-        write_submission(&FS, &dir, JobId(2), &sub("b")).unwrap();
-        // Job 3 is terminal — scan skips it — but its id stays burned.
-        assert_eq!(scan(&FS, &dir).unwrap().jobs.len(), 1);
-        assert_eq!(max_job_id(&FS, &dir).unwrap(), 3);
-        fs::remove_dir_all(&dir).ok();
+        let root = tmpdir("maxid");
+        for st in backends(&root) {
+            assert_eq!(max_job_id(st.as_ref()).unwrap(), 0);
+            write_submission(st.as_ref(), JobId(3), &sub("a")).unwrap();
+            write_result(st.as_ref(), JobId(3), "done", "Success").unwrap();
+            write_submission(st.as_ref(), JobId(2), &sub("b")).unwrap();
+            // Job 3 is terminal — scan skips it — but its id stays burned.
+            assert_eq!(scan(st.as_ref()).unwrap().jobs.len(), 1);
+            assert_eq!(max_job_id(st.as_ref()).unwrap(), 3);
+        }
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]
     fn tmp_staging_leftovers_burn_ids_but_do_not_scan() {
         let dir = tmpdir("tmpleft");
-        // A crash between tmp-write and rename leaves exactly this.
+        // A crash between tmp-write and rename leaves exactly this — a
+        // DirStorage-only artifact (the WAL has no per-record tmp files).
         fs::write(dir.join("job-9.meta.tmp"), "name half-written").unwrap();
-        assert!(scan(&FS, &dir).unwrap().jobs.is_empty(), "no meta, no job");
-        assert_eq!(max_job_id(&FS, &dir).unwrap(), 9, "but the id is burned");
+        let st = dir_storage(&dir);
+        assert!(scan(&st).unwrap().jobs.is_empty(), "no meta, no job");
+        assert_eq!(max_job_id(&st).unwrap(), 9, "but the id is burned");
         fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn reassigned_id_does_not_inherit_stale_state() {
-        let dir = tmpdir("stale");
-        write_result(&FS, &dir, JobId(4), "done", "Success").unwrap();
-        fs::write(checkpoint_path(&dir, JobId(4)), "<EngineCheckpoint/>").unwrap();
-        write_elapsed(&FS, &dir, JobId(4), 9.0).unwrap();
-        write_submission(&FS, &dir, JobId(4), &sub("fresh")).unwrap();
-        assert!(!result_path(&dir, JobId(4)).exists());
-        assert!(!checkpoint_path(&dir, JobId(4)).exists());
-        assert_eq!(read_elapsed(&FS, &dir, JobId(4)), 0.0);
-        assert_eq!(scan(&FS, &dir).unwrap().jobs.len(), 1);
-        fs::remove_dir_all(&dir).ok();
+        let root = tmpdir("stale");
+        for st in backends(&root) {
+            write_result(st.as_ref(), JobId(4), "done", "Success").unwrap();
+            st.put(&checkpoint_name(JobId(4)), b"<EngineCheckpoint/>")
+                .unwrap();
+            write_elapsed(st.as_ref(), JobId(4), 9.0).unwrap();
+            write_submission(st.as_ref(), JobId(4), &sub("fresh")).unwrap();
+            assert!(!st.exists(&result_name(JobId(4))));
+            assert!(!st.exists(&checkpoint_name(JobId(4))));
+            assert_eq!(read_elapsed(st.as_ref(), JobId(4)), 0.0);
+            assert_eq!(scan(st.as_ref()).unwrap().jobs.len(), 1);
+        }
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]
     fn elapsed_ledger_round_trips_and_clears() {
-        let dir = tmpdir("elapsed");
-        assert_eq!(read_elapsed(&FS, &dir, JobId(5)), 0.0);
-        write_elapsed(&FS, &dir, JobId(5), 12.5).unwrap();
-        assert_eq!(read_elapsed(&FS, &dir, JobId(5)), 12.5);
-        remove_submission(&FS, &dir, JobId(5));
-        assert_eq!(read_elapsed(&FS, &dir, JobId(5)), 0.0);
-        fs::remove_dir_all(&dir).ok();
+        let root = tmpdir("elapsed");
+        for st in backends(&root) {
+            assert_eq!(read_elapsed(st.as_ref(), JobId(5)), 0.0);
+            write_elapsed(st.as_ref(), JobId(5), 12.5).unwrap();
+            assert_eq!(read_elapsed(st.as_ref(), JobId(5)), 12.5);
+            remove_submission(st.as_ref(), JobId(5));
+            assert_eq!(read_elapsed(st.as_ref(), JobId(5)), 0.0);
+        }
+        fs::remove_dir_all(&root).ok();
     }
 }

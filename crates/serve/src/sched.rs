@@ -17,10 +17,12 @@
 //! * a worker below its in-flight cap parks on the admission queue —
 //!   bounded by its next timer so wakes never slip — and otherwise
 //!   sleeps until the next timer;
-//! * terminal markers and elapsed ledgers are staged on a per-worker
-//!   [`StateBatch`] and group-committed once per scheduler tick
-//!   ([`gridwfs_chaos::write_atomic_batch`]): one directory fsync
-//!   amortised over the whole tick instead of one per settlement.
+//! * terminal markers, elapsed ledgers, and engine checkpoints are
+//!   staged on a per-worker [`StateBatch`] and group-committed once per
+//!   scheduler tick through [`gridwfs_storage::Storage::apply`]: one
+//!   durability point (one WAL fsync, or one directory fsync under the
+//!   per-file backend) amortised over the whole tick instead of one per
+//!   settlement.
 //!
 //! Concurrency is opt-in: [`crate::ServiceConfig::max_in_flight`]
 //! defaults to 1, which reproduces the old one-job-per-worker admission
@@ -34,13 +36,13 @@
 
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use grid_wfs::engine::{Report, StepOutcome};
-use gridwfs_chaos::{relock, write_atomic_batch};
+use gridwfs_chaos::relock;
+use gridwfs_storage::Op;
 use gridwfs_trace::JsonlSink;
 
 use crate::job::{JobId, JobState};
@@ -67,6 +69,12 @@ pub(crate) struct Run {
     pub(crate) id: JobId,
     pub(crate) engine: AnyEngine,
     pub(crate) journal: Option<Arc<JsonlSink>>,
+    /// Latest checkpoint XML the engine staged via its
+    /// [`grid_wfs::CheckpointSink`] and the record it commits to.  The
+    /// worker drains the cell into its [`StateBatch`] after every slice,
+    /// so only the newest checkpoint of a tick pays for serialization to
+    /// storage.
+    pub(crate) checkpoint: Option<(String, worker::CheckpointCell)>,
     /// Pickup instant; `run_wall` on the record is pickup-to-settle.
     pub(crate) started: Instant,
 }
@@ -100,21 +108,21 @@ impl Ord for Sleeper {
     }
 }
 
-/// Per-worker staged state-directory writes, group-committed per tick.
-/// `stage` replaces any pending write to the same path, so a batch holds
-/// at most one (the latest) version of each file — same end state a
-/// sequence of synchronous [`gridwfs_chaos::write_atomic`] calls leaves.
+/// Per-worker staged state writes, group-committed per tick.  `stage`
+/// replaces any pending write to the same record, so a batch holds at
+/// most one (the latest) version of each record — same end state a
+/// sequence of synchronous single-record puts leaves.
 #[derive(Default)]
 pub(crate) struct StateBatch {
-    writes: Vec<(PathBuf, Vec<u8>)>,
+    writes: Vec<(String, Vec<u8>)>,
 }
 
 impl StateBatch {
-    pub(crate) fn stage(&mut self, path: PathBuf, data: Vec<u8>) {
-        if let Some(slot) = self.writes.iter_mut().find(|(p, _)| *p == path) {
+    pub(crate) fn stage(&mut self, name: String, data: Vec<u8>) {
+        if let Some(slot) = self.writes.iter_mut().find(|(n, _)| *n == name) {
             slot.1 = data;
         } else {
-            self.writes.push((path, data));
+            self.writes.push((name, data));
         }
     }
 
@@ -122,19 +130,26 @@ impl StateBatch {
         self.writes.len()
     }
 
-    /// Group commit: every staged file lands crash-atomically with one
-    /// parent-directory fsync for the whole batch.
+    /// Group commit: every staged record lands crash-atomically with one
+    /// durability point for the whole batch ([`Storage::apply`]).
+    ///
+    /// [`Storage::apply`]: gridwfs_storage::Storage::apply
     fn flush(&mut self, shared: &Shared) {
         if self.writes.is_empty() {
             return;
         }
-        for (path, e) in write_atomic_batch(shared.fs.as_ref(), &self.writes) {
-            eprintln!(
-                "gridwfs-serve: batched state write failed for {}: {e}",
-                path.display()
-            );
+        let Some(st) = &shared.storage else {
+            self.writes.clear();
+            return;
+        };
+        let ops = self
+            .writes
+            .drain(..)
+            .map(|(name, data)| Op::Put(name, data))
+            .collect();
+        for (name, e) in st.apply(ops) {
+            eprintln!("gridwfs-serve: batched state write failed for {name}: {e}");
         }
-        self.writes.clear();
     }
 }
 
@@ -298,11 +313,12 @@ fn pickup(shared: &Arc<Shared>, id: JobId, batch: &mut StateBatch) -> Option<Run
         worker::build_engine(shared, id, &sub, stop, journal.clone())
     }));
     let failure = match built {
-        Ok(Ok(engine)) => {
+        Ok(Ok((engine, checkpoint))) => {
             return Some(Run {
                 id,
                 engine,
                 journal,
+                checkpoint,
                 started,
             });
         }
@@ -364,7 +380,16 @@ pub(crate) fn worker_loop(shared: Arc<Shared>, me: usize) {
             sched.pop_runnable(me)
         });
         if let Some(mut run) = next {
-            match step_slice(&shared, &mut run) {
+            let slice = step_slice(&shared, &mut run);
+            // Drain the engine's staged checkpoint (if any) into the
+            // batch: at most the newest checkpoint per record per tick
+            // reaches storage.
+            if let Some((name, cell)) = &run.checkpoint {
+                if let Some(xml) = relock(cell).take() {
+                    batch.stage(name.clone(), xml);
+                }
+            }
+            match slice {
                 Slice::Yield => sched.push_runnable(me, run),
                 Slice::Sleep(wake) => {
                     seq += 1;

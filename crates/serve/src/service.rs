@@ -21,7 +21,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use gridwfs_chaos::{relock, ChaosFs, FaultPlan, RealFs, StateFs};
+use gridwfs_chaos::{relock, FaultPlan, RealFs, StateFs};
+use gridwfs_storage::{Backend, ChaosStorage, DirStorage, MemStorage, Storage, WalStorage};
 use gridwfs_trace::{JsonlSink, RingSink, TraceEvent, TraceKind, TraceSink};
 
 use crate::job::{JobId, JobRecord, JobState, Submission};
@@ -44,18 +45,29 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Persistence root for crash recovery; `None` = in-memory only.
     pub state_dir: Option<PathBuf>,
+    /// Which storage engine backs the state dir: the group-committed
+    /// write-ahead log (the durable default), the per-file directory
+    /// layout, or a process-local in-memory table.
+    pub backend: Backend,
+    /// Pre-built storage override: tests and benches inject a backend
+    /// directly (e.g. one shared `MemStorage` across restarts).  When
+    /// set, `state_dir`/`backend` only label the configuration — the
+    /// override is used as-is (chaos wrapping still applies).
+    pub storage: Option<Arc<dyn Storage>>,
     /// Deadline applied to submissions that do not carry their own.
     pub default_deadline: Option<f64>,
     /// Flight-recorder root: every job writes `job-<id>.trace.jsonl`
     /// here; recovered incarnations append to the same journal.  `None`
     /// keeps tracing in-memory only (the service ring).
     pub trace_dir: Option<PathBuf>,
-    /// Filesystem all state-dir I/O goes through.  Production keeps the
+    /// Filesystem the per-file [`DirStorage`] backend goes through (the
+    /// other backends manage their own I/O).  Production keeps the
     /// default passthrough; tests can script exact crash points.
     pub fs: Arc<dyn StateFs>,
     /// Fault-injection plan.  `None` (the default) disables chaos
-    /// entirely; with a plan, state-dir I/O is wrapped in [`ChaosFs`] and
-    /// workers inject the plan's panics and stalls.
+    /// entirely; with a plan, storage is wrapped in [`ChaosStorage`]
+    /// (record-level fault injection, identical decisions on every
+    /// backend) and workers inject the plan's panics and stalls.
     pub chaos: Option<FaultPlan>,
     /// Engine instances one worker thread multiplexes concurrently.  The
     /// default of 1 reproduces the classic one-job-per-worker behaviour;
@@ -71,6 +83,8 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_capacity: 64,
             state_dir: None,
+            backend: Backend::default(),
+            storage: None,
             default_deadline: None,
             trace_dir: None,
             fs: Arc::new(RealFs),
@@ -86,6 +100,7 @@ impl std::fmt::Debug for ServiceConfig {
             .field("workers", &self.workers)
             .field("queue_capacity", &self.queue_capacity)
             .field("state_dir", &self.state_dir)
+            .field("backend", &self.backend)
             .field("default_deadline", &self.default_deadline)
             .field("trace_dir", &self.trace_dir)
             .field("chaos", &self.chaos)
@@ -119,9 +134,10 @@ impl std::error::Error for SubmitError {}
 /// State shared between the service handle and its workers.
 pub(crate) struct Shared {
     pub(crate) cfg: ServiceConfig,
-    /// The *effective* filesystem: `cfg.fs`, wrapped in [`ChaosFs`] when
-    /// the chaos plan injects state-dir faults.
-    pub(crate) fs: Arc<dyn StateFs>,
+    /// The *effective* storage: the configured backend, wrapped in
+    /// [`ChaosStorage`] when the chaos plan injects state faults.
+    /// `None` = no persistence (no state dir, no override).
+    pub(crate) storage: Option<Arc<dyn Storage>>,
     /// The chaos plan workers consult for panic/stall injection.
     pub(crate) chaos: Option<Arc<FaultPlan>>,
     pub(crate) queue: BoundedQueue<JobId>,
@@ -177,14 +193,30 @@ impl Service {
     pub fn start(cfg: ServiceConfig) -> Result<Service, String> {
         assert!(cfg.workers > 0, "need at least one worker");
         let chaos = cfg.chaos.clone().map(Arc::new);
-        let fs: Arc<dyn StateFs> = match &cfg.chaos {
-            Some(plan) if plan.has_fs_faults() => {
-                Arc::new(ChaosFs::new(cfg.fs.clone(), plan.clone()))
-            }
-            _ => cfg.fs.clone(),
+        let base: Option<Arc<dyn Storage>> = if let Some(st) = cfg.storage.clone() {
+            Some(st)
+        } else if let Some(dir) = &cfg.state_dir {
+            Some(match cfg.backend {
+                Backend::Wal => {
+                    Arc::new(WalStorage::open(dir).map_err(|e| format!("{}: {e}", dir.display()))?)
+                }
+                Backend::Dir => Arc::new(
+                    DirStorage::new(cfg.fs.clone(), dir)
+                        .map_err(|e| format!("{}: {e}", dir.display()))?,
+                ),
+                Backend::Memory => Arc::new(MemStorage::new()),
+            })
+        } else {
+            None
         };
+        let storage = base.map(|st| match &cfg.chaos {
+            Some(plan) if plan.has_fs_faults() => {
+                Arc::new(ChaosStorage::new(st, plan.clone())) as Arc<dyn Storage>
+            }
+            _ => st,
+        });
         let shared = Arc::new(Shared {
-            fs,
+            storage,
             chaos,
             queue: BoundedQueue::new(cfg.queue_capacity),
             table: JobTable::new(),
@@ -201,21 +233,17 @@ impl Service {
         if let Some(dir) = &shared.cfg.trace_dir {
             std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
         }
-        if let Some(dir) = shared.cfg.state_dir.clone() {
-            shared
-                .fs
-                .create_dir_all(&dir)
-                .map_err(|e| format!("{}: {e}", dir.display()))?;
-            let scanned = recover::scan(shared.fs.as_ref(), &dir)?;
+        if let Some(st) = shared.storage.clone() {
+            let scanned = recover::scan(st.as_ref())?;
             shared
                 .metrics
                 .counters
                 .quarantined
                 .fetch_add(scanned.quarantined, Ordering::Relaxed);
-            // Seed id allocation from every job file on disk — terminal
-            // jobs included — so a reused id can never pick up a stale
-            // checkpoint or result marker.
-            let max_id = recover::max_job_id(shared.fs.as_ref(), &dir)?;
+            // Seed id allocation from every persisted job record —
+            // terminal jobs included — so a reused id can never pick up
+            // a stale checkpoint or result marker.
+            let max_id = recover::max_job_id(st.as_ref())?;
             for (id, sub) in scanned.jobs {
                 let mut record = JobRecord::new(id, sub.name.clone(), shared.now(), true);
                 record.recovered = true;
@@ -265,8 +293,8 @@ impl Service {
             shard.jobs.insert(id.0, record);
             shard.subs.insert(id.0, sub.clone());
         }
-        if let Some(dir) = &self.shared.cfg.state_dir {
-            if let Err(e) = recover::write_submission(self.shared.fs.as_ref(), dir, id, &sub) {
+        if let Some(st) = &self.shared.storage {
+            if let Err(e) = recover::write_submission(st.as_ref(), id, &sub) {
                 self.rollback(id);
                 self.reject(&sub.name, "io");
                 return Err(SubmitError::Io(e.to_string()));
@@ -331,8 +359,8 @@ impl Service {
             shard.jobs.remove(&id.0);
             shard.subs.remove(&id.0);
         }
-        if let Some(dir) = &self.shared.cfg.state_dir {
-            recover::remove_submission(self.shared.fs.as_ref(), dir, id);
+        if let Some(st) = &self.shared.storage {
+            recover::remove_submission(st.as_ref(), id);
         }
         if let Some(dir) = &self.shared.cfg.trace_dir {
             let _ = std::fs::remove_file(recover::trace_path(dir, id));
@@ -367,10 +395,9 @@ impl Service {
                 rec.detail = Some("cancelled while queued".into());
                 drop(shard);
                 Metrics::incr(&self.shared.metrics.counters.cancelled);
-                if let Some(dir) = &self.shared.cfg.state_dir {
+                if let Some(st) = &self.shared.storage {
                     let _ = recover::write_result(
-                        self.shared.fs.as_ref(),
-                        dir,
+                        st.as_ref(),
                         id,
                         "cancelled",
                         "cancelled while queued",
@@ -402,9 +429,17 @@ impl Service {
         &self.shared.metrics
     }
 
-    /// JSON snapshot of the metrics registry.
+    /// JSON snapshot of the metrics registry, including the storage
+    /// engine's counters when the service persists state.
     pub fn metrics_json(&self) -> String {
-        self.shared.metrics.snapshot_json(self.queue_depth())
+        let storage = self
+            .shared
+            .storage
+            .as_ref()
+            .map(|st| (st.backend_name(), st.counters()));
+        self.shared
+            .metrics
+            .snapshot_json_with_storage(self.queue_depth(), storage)
     }
 
     /// Snapshot of the service-level flight recorder: admissions,

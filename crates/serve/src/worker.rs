@@ -11,7 +11,7 @@
 //!   budget, and trace fanout;
 //! * [`open_journal`] — the per-job journal with its incarnation header;
 //! * [`settle`] — apply a finished run's outcome to the job record, the
-//!   metrics registry, and the state directory (terminal markers ride the
+//!   metrics registry, and the storage backend (terminal markers ride the
 //!   scheduler's group-commit batch);
 //! * [`note_panic`] / [`panic_message`] — a workflow closure that panics
 //!   must not take its scheduler thread down; the catch sites in
@@ -20,10 +20,11 @@
 //!   service ring, and the `jobs_panicked` counter bumps.
 
 use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use grid_wfs::engine::{Engine, EngineConfig, LogKind, Report, StepOutcome};
+use grid_wfs::engine::{CheckpointSink, Engine, EngineConfig, LogKind, Report, StepOutcome};
 use grid_wfs::{checkpoint, InjectedTaskFault, Instance, SimGrid, ThreadExecutor};
+use gridwfs_chaos::relock;
 use gridwfs_trace::{FanoutSink, JsonlSink, TraceEvent, TraceKind, TraceSink};
 use gridwfs_wpdl::parse;
 use gridwfs_wpdl::validate::validate;
@@ -34,6 +35,11 @@ use crate::metrics::{Metrics, TraceMetricsSink};
 use crate::recover;
 use crate::sched::StateBatch;
 use crate::service::Shared;
+
+/// Mailbox between an engine's [`CheckpointSink`] and the scheduler: the
+/// sink overwrites it with the newest serialized checkpoint, the worker
+/// drains it into its [`StateBatch`] after every slice.
+pub(crate) type CheckpointCell = Arc<Mutex<Option<Vec<u8>>>>;
 
 /// A steppable engine on whichever executor the submission's Grid spec
 /// asked for.  Boxed: a `Run` moves between deques and the sleeper heap,
@@ -121,18 +127,20 @@ pub(crate) fn open_journal(shared: &Shared, id: JobId, sub: &Submission) -> Opti
 }
 
 /// Builds the instance (fresh, or from the persisted engine checkpoint)
-/// and wires it to the submission's Grid as a steppable engine.  Runs
-/// inside the scheduler's `catch_unwind` region: the chaos hooks here
-/// inject exactly the panic a buggy workflow closure would raise.  Both
-/// chaos decisions are keyed by the submission seed, so they replay
-/// identically whatever worker picks the job up.
+/// and wires it to the submission's Grid as a steppable engine, plus the
+/// checkpoint mailbox its [`CheckpointSink`] feeds (named after the
+/// record the scheduler commits it to).  Runs inside the scheduler's
+/// `catch_unwind` region: the chaos hooks here inject exactly the panic a
+/// buggy workflow closure would raise.  Both chaos decisions are keyed by
+/// the submission seed, so they replay identically whatever worker picks
+/// the job up.
 pub(crate) fn build_engine(
     shared: &Shared,
     id: JobId,
     sub: &Submission,
     stop: Arc<AtomicBool>,
     journal: Option<Arc<JsonlSink>>,
-) -> Result<AnyEngine, String> {
+) -> Result<(AnyEngine, Option<(String, CheckpointCell)>), String> {
     if let Some(plan) = &shared.chaos {
         if let Some(pause) = plan.worker_stall(sub.seed) {
             std::thread::sleep(pause);
@@ -141,13 +149,12 @@ pub(crate) fn build_engine(
             panic!("chaos: injected workflow panic (job seed {})", sub.seed);
         }
     }
-    let ckpt_path = shared
-        .cfg
-        .state_dir
-        .as_ref()
-        .map(|dir| recover::checkpoint_path(dir, id));
-    let instance = match &ckpt_path {
-        Some(path) if path.exists() => checkpoint::load(path).map_err(|e| e.to_string())?,
+    let ckpt_name = recover::checkpoint_name(id);
+    let instance = match shared.storage.as_deref() {
+        Some(st) if st.exists(&ckpt_name) => {
+            let xml = st.read_to_string(&ckpt_name).map_err(|e| e.to_string())?;
+            checkpoint::from_xml(&xml).map_err(|e| e.to_string())?
+        }
         _ => {
             let workflow = parse::from_str(&sub.workflow_xml).map_err(|e| e.to_string())?;
             let validated = validate(workflow).map_err(|issues| {
@@ -167,15 +174,28 @@ pub(crate) fn build_engine(
     // on its first step and the job settles as a deadline failure.
     let deadline = sub.deadline.or(shared.cfg.default_deadline).map(|total| {
         let consumed = shared
-            .cfg
-            .state_dir
-            .as_ref()
-            .map(|dir| recover::read_elapsed(shared.fs.as_ref(), dir, id))
+            .storage
+            .as_deref()
+            .map(|st| recover::read_elapsed(st, id))
             .unwrap_or(0.0);
         (total - consumed).max(0.0)
     });
+    // With a storage backend, checkpoints are staged into a mailbox the
+    // scheduler group-commits (one durability point per tick) instead of
+    // paying a file write + fsync inside the engine step.
+    let checkpoint = shared.storage.as_ref().map(|_| {
+        let cell: CheckpointCell = Arc::new(Mutex::new(None));
+        (ckpt_name, cell)
+    });
+    let checkpoint_sink = checkpoint.as_ref().map(|(_, cell)| {
+        let cell = cell.clone();
+        CheckpointSink::new(move |xml: String| {
+            *relock(&cell) = Some(xml.into_bytes());
+            Ok(())
+        })
+    });
     let config = EngineConfig {
-        checkpoint_path: ckpt_path,
+        checkpoint_sink,
         stop: Some(stop),
         deadline,
         detector: sub.grid.detector_policy(),
@@ -189,11 +209,14 @@ pub(crate) fn build_engine(
         None => metrics_sink,
     };
     match sub.grid.mode {
-        ExecMode::Virtual => Ok(AnyEngine::Virtual(Box::new(
-            Engine::from_instance(instance, sub.grid.build_sim(sub.seed))
-                .with_config(config)
-                .with_trace_sink(sink),
-        ))),
+        ExecMode::Virtual => Ok((
+            AnyEngine::Virtual(Box::new(
+                Engine::from_instance(instance, sub.grid.build_sim(sub.seed))
+                    .with_config(config)
+                    .with_trace_sink(sink),
+            )),
+            checkpoint,
+        )),
         ExecMode::Paced { scale } => {
             let mut executor = sub.grid.build_paced(instance.workflow(), scale);
             // Paced mode runs real threads, so the stall fault can starve
@@ -206,19 +229,22 @@ pub(crate) fn build_engine(
                         .map(|d| InjectedTaskFault::Stall(d.as_secs_f64()))
                 }));
             }
-            Ok(AnyEngine::Paced(Box::new(
-                Engine::from_instance(instance, executor)
-                    .with_config(config)
-                    .with_trace_sink(sink),
-            )))
+            Ok((
+                AnyEngine::Paced(Box::new(
+                    Engine::from_instance(instance, executor)
+                        .with_config(config)
+                        .with_trace_sink(sink),
+                )),
+                checkpoint,
+            ))
         }
     }
 }
 
 /// Applies the run's outcome to the job record, the metrics registry, and
-/// the state directory.  Terminal markers and elapsed ledgers are staged
+/// the storage backend.  Terminal markers and elapsed ledgers are staged
 /// on the scheduler's [`StateBatch`] (group-committed per tick) instead
-/// of paying one fsync each.
+/// of paying one durability point each.
 pub(crate) fn settle(
     shared: &Shared,
     id: JobId,
@@ -248,11 +274,10 @@ pub(crate) fn settle(
                     // gets the remaining deadline budget, not a fresh one.
                     // (The batch is flushed before the worker exits, which
                     // is always before the next incarnation can start.)
-                    if let Some(dir) = &shared.cfg.state_dir {
-                        let fs = shared.fs.as_ref();
-                        let consumed = recover::read_elapsed(fs, dir, id) + report.makespan;
+                    if let Some(st) = shared.storage.as_deref() {
+                        let consumed = recover::read_elapsed(st, id) + report.makespan;
                         batch.stage(
-                            recover::elapsed_path(dir, id),
+                            recover::elapsed_name(id),
                             recover::elapsed_payload(consumed),
                         );
                     }
@@ -337,9 +362,9 @@ pub(crate) fn settle(
             shared.metrics.observe_latency(latency);
         }
     }
-    if let Some(dir) = &shared.cfg.state_dir {
+    if shared.storage.is_some() {
         batch.stage(
-            recover::result_path(dir, id),
+            recover::result_name(id),
             recover::result_payload(state.as_str(), &detail),
         );
     }

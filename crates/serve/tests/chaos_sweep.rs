@@ -2,28 +2,35 @@
 //!
 //! For every (fault plan, seed) combination — 4 plans × 8 seeds = 32
 //! combos — run a 2-worker service against a seeded [`FaultPlan`], then
-//! restart the same state directory with chaos off, and assert the three
-//! service invariants:
+//! restart the same storage with chaos off, and assert the three service
+//! invariants **on every storage backend** (WAL, per-file dir, memory):
 //!
 //! 1. **No deadlock** — `wait_all_terminal` returns within its budget in
-//!    both phases, under injected panics, stalls, and fs faults.
+//!    both phases, under injected panics, stalls, and storage faults.
 //! 2. **No admitted job lost** — every submission that returned `Ok` is,
-//!    after the restart, terminal on disk, terminal in memory, or
+//!    after the restart, terminal in storage, terminal in memory, or
 //!    explicitly quarantined (corrupt-by-injection, moved aside and
 //!    counted); nothing silently vanishes.
 //! 3. **Determinism** — running the identical combo in a fresh temp
 //!    directory admits the same jobs and produces byte-identical per-job
 //!    flight journals, because every fault decision is a pure function of
-//!    (plan seed, file name, op, sequence) and never of wall time or path.
+//!    (plan seed, record name, op, sequence) and never of wall time, path,
+//!    or backend file layout.
+//!
+//! Fault injection sits at the [`Storage`] record level (`ChaosStorage`),
+//! so the exact same decision stream hits the WAL, the per-file dir, and
+//! the in-memory table.
 
 mod common;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 use gridwfs_serve::{
-    recover, FaultPlan, GridSpec, JobId, Service, ServiceConfig, Submission, SubmitError,
+    recover, Backend, FaultPlan, GridSpec, JobId, MemStorage, Service, ServiceConfig, Storage,
+    Submission, SubmitError, WalStorage,
 };
 
 const JOBS: u64 = 5;
@@ -63,26 +70,46 @@ struct Outcome {
     journals: BTreeMap<u64, Vec<u8>>,
 }
 
-fn config(state: &Path, trace: &Path, chaos: Option<FaultPlan>) -> ServiceConfig {
+fn config(
+    state: &Path,
+    trace: &Path,
+    chaos: Option<FaultPlan>,
+    backend: Backend,
+    storage: Option<Arc<dyn Storage>>,
+) -> ServiceConfig {
     ServiceConfig {
         workers: 2,
         queue_capacity: 64,
         state_dir: Some(state.to_path_buf()),
         trace_dir: Some(trace.to_path_buf()),
         chaos,
+        backend,
+        storage,
         ..ServiceConfig::default()
     }
 }
 
 /// Phase 1 (chaos on) + phase 2 (restart, chaos off) in `base`.
-fn run_combo(base: &Path, spec: &str) -> Outcome {
+fn run_combo(base: &Path, spec: &str, backend: Backend) -> Outcome {
     let state = base.join("state");
     let trace = base.join("trace");
     let plan = FaultPlan::parse(spec).unwrap_or_else(|e| panic!("bad spec '{spec}': {e}"));
+    // The memory backend has no disk to restart from: both phases (and
+    // the final inspection) share one table through the storage override,
+    // which is exactly how a caller embeds the service without a disk.
+    let mem: Option<Arc<MemStorage>> =
+        (backend == Backend::Memory).then(|| Arc::new(MemStorage::new()));
+    let override_storage = || mem.clone().map(|m| m as Arc<dyn Storage>);
 
     // Phase 1: chaos on.
-    let svc = Service::start(config(&state, &trace, Some(plan)))
-        .unwrap_or_else(|e| panic!("phase-1 start ({spec}): {e}"));
+    let svc = Service::start(config(
+        &state,
+        &trace,
+        Some(plan),
+        backend,
+        override_storage(),
+    ))
+    .unwrap_or_else(|e| panic!("phase-1 start ({spec}, {backend:?}): {e}"));
     let mut admitted = Vec::new();
     for i in 0..JOBS {
         match svc.submit(submission(i)) {
@@ -90,36 +117,45 @@ fn run_combo(base: &Path, spec: &str) -> Outcome {
             // An injected fault while persisting the submission: loudly
             // rejected, nothing of the job remains — not "admitted".
             Err(SubmitError::Io(_)) => {}
-            Err(e) => panic!("unexpected submit error ({spec}): {e}"),
+            Err(e) => panic!("unexpected submit error ({spec}, {backend:?}): {e}"),
         }
     }
     assert!(
         svc.wait_all_terminal(Duration::from_secs(60)),
-        "phase-1 deadlock under chaos ({spec})"
+        "phase-1 deadlock under chaos ({spec}, {backend:?})"
     );
+    // `drain` consumes the service, so the backend (and a WAL's append
+    // handle) is released before the restart opens the same storage.
     drop(svc.drain());
 
-    // Phase 2: restart the same state dir with chaos off; recovery must
+    // Phase 2: restart the same storage with chaos off; recovery must
     // re-admit every unfinished job and run it to a terminal state.
-    let svc = Service::start(config(&state, &trace, None))
-        .unwrap_or_else(|e| panic!("phase-2 start ({spec}): {e}"));
+    let svc = Service::start(config(&state, &trace, None, backend, override_storage()))
+        .unwrap_or_else(|e| panic!("phase-2 start ({spec}, {backend:?}): {e}"));
     assert!(
         svc.wait_all_terminal(Duration::from_secs(60)),
-        "phase-2 deadlock after restart ({spec})"
+        "phase-2 deadlock after restart ({spec}, {backend:?})"
     );
     let records = svc.drain();
 
-    // Invariant 2: every admitted job is accounted for.
+    // Invariant 2: every admitted job is accounted for.  Inspect through
+    // the trait so the check is layout-agnostic (the WAL has no per-job
+    // files to stat).
+    let st: Arc<dyn Storage> = match backend {
+        Backend::Memory => mem.clone().unwrap(),
+        Backend::Dir => Arc::new(
+            gridwfs_serve::DirStorage::new(Arc::new(gridwfs_serve::RealFs), &state).unwrap(),
+        ),
+        Backend::Wal => Arc::new(WalStorage::open(&state).unwrap()),
+    };
     for &id in &admitted {
         let jid = JobId(id);
-        let terminal_on_disk = recover::result_path(&state, jid).exists();
+        let terminal_in_storage = st.exists(&recover::result_name(jid));
         let terminal_in_memory = records.iter().any(|r| r.id == jid && r.state.is_terminal());
-        let quarantined = recover::meta_path(&state, jid)
-            .with_extension("meta.quarantined")
-            .exists();
+        let quarantined = st.exists(&format!("{}.quarantined", recover::meta_name(jid)));
         assert!(
-            terminal_on_disk || terminal_in_memory || quarantined,
-            "job {id} lost ({spec}): admitted but neither terminal nor quarantined"
+            terminal_in_storage || terminal_in_memory || quarantined,
+            "job {id} lost ({spec}, {backend:?}): admitted but neither terminal nor quarantined"
         );
     }
 
@@ -131,26 +167,39 @@ fn run_combo(base: &Path, spec: &str) -> Outcome {
     Outcome { admitted, journals }
 }
 
-/// Runs each seeded variant of `template` twice in fresh directories and
-/// asserts the two runs are indistinguishable.
+/// Runs each seeded variant of `template` twice in fresh directories, on
+/// every backend, and asserts the two runs are indistinguishable.  The
+/// admission schedule must also agree **across** backends: the fault
+/// stream is keyed by record name, not by what the backend does with it.
 fn sweep(tag: &str, template: &str) {
     common::quiet_expected_panics();
     for seed in SEEDS {
         let spec = format!("seed={seed},{template}");
-        let a = run_combo(&tmpdir(&format!("{tag}-{seed}-a")), &spec);
-        let b = run_combo(&tmpdir(&format!("{tag}-{seed}-b")), &spec);
-        assert_eq!(
-            a.admitted, b.admitted,
-            "admission schedule diverged ({spec})"
-        );
-        for (&id, bytes_a) in &a.journals {
-            let bytes_b = &b.journals[&id];
+        let mut admitted_by_backend: Vec<Vec<u64>> = Vec::new();
+        for backend in [Backend::Wal, Backend::Dir, Backend::Memory] {
+            let bt = backend.as_str();
+            let a = run_combo(&tmpdir(&format!("{tag}-{seed}-{bt}-a")), &spec, backend);
+            let b = run_combo(&tmpdir(&format!("{tag}-{seed}-{bt}-b")), &spec, backend);
             assert_eq!(
-                bytes_a,
-                bytes_b,
-                "journal for job {id} not byte-identical across runs ({spec}):\n--- a ---\n{}\n--- b ---\n{}",
-                String::from_utf8_lossy(bytes_a),
-                String::from_utf8_lossy(bytes_b)
+                a.admitted, b.admitted,
+                "admission schedule diverged ({spec}, {backend:?})"
+            );
+            for (&id, bytes_a) in &a.journals {
+                let bytes_b = &b.journals[&id];
+                assert_eq!(
+                    bytes_a,
+                    bytes_b,
+                    "journal for job {id} not byte-identical across runs ({spec}, {backend:?}):\n--- a ---\n{}\n--- b ---\n{}",
+                    String::from_utf8_lossy(bytes_a),
+                    String::from_utf8_lossy(bytes_b)
+                );
+            }
+            admitted_by_backend.push(a.admitted);
+        }
+        for pair in admitted_by_backend.windows(2) {
+            assert_eq!(
+                pair[0], pair[1],
+                "admission schedule diverged across backends ({spec})"
             );
         }
     }

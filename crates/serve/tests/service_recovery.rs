@@ -5,7 +5,10 @@
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use gridwfs_serve::{recover, GridSpec, JobId, JobState, Service, ServiceConfig, Submission};
+use gridwfs_serve::{
+    recover, Backend, DirStorage, GridSpec, JobId, JobState, RealFs, Service, ServiceConfig,
+    Submission,
+};
 use gridwfs_wpdl::builder::WorkflowBuilder;
 
 fn tmpdir(label: &str) -> PathBuf {
@@ -30,14 +33,22 @@ fn chain3_xml() -> String {
         .expect("test workflow serialises")
 }
 
+/// These tests poke `job-*` files on disk directly, so they pin the
+/// per-file backend; the WAL gets the same round trips via the
+/// backend-parameterized suites in `recover` and `chaos_sweep`.
 fn start(dir: &Path) -> Service {
     Service::start(ServiceConfig {
         workers: 1,
         queue_capacity: 8,
         state_dir: Some(dir.to_path_buf()),
+        backend: Backend::Dir,
         ..ServiceConfig::default()
     })
     .unwrap()
+}
+
+fn dir_storage(dir: &Path) -> DirStorage {
+    DirStorage::new(std::sync::Arc::new(RealFs), dir).unwrap()
 }
 
 #[test]
@@ -205,15 +216,17 @@ fn deadline_budget_carries_across_restarts() {
         std::thread::sleep(Duration::from_millis(5));
     }
     service.shutdown_now();
+    let st = dir_storage(&dir);
     assert!(
-        recover::read_elapsed(&gridwfs_serve::RealFs, &dir, id) > 0.0,
+        recover::read_elapsed(&st, id) > 0.0,
         "aborted incarnation banked its consumed executor time"
     );
 
     // Simulate a job that has already burned through its whole budget:
     // the next incarnation must fail the deadline instead of granting a
     // fresh one.
-    recover::write_elapsed(&gridwfs_serve::RealFs, &dir, id, 1e6).unwrap();
+    recover::write_elapsed(&st, id, 1e6).unwrap();
+    drop(st);
     let service = start(&dir);
     assert!(service.wait_all_terminal(Duration::from_secs(30)));
     let rec = service.status(id).unwrap();

@@ -6,7 +6,9 @@
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-use gridwfs_serve::{recover, GridSpec, JobId, JobState, Service, ServiceConfig, Submission};
+use gridwfs_serve::{
+    recover, Backend, GridSpec, JobId, JobState, Service, ServiceConfig, Submission,
+};
 use gridwfs_wpdl::builder::WorkflowBuilder;
 
 fn tmpdir(label: &str) -> PathBuf {
@@ -98,11 +100,14 @@ fn journals_are_byte_identical_across_worker_counts() {
 fn recovered_incarnation_appends_to_the_journal() {
     let state = tmpdir("state");
     let traces = tmpdir("traces");
+    // Pinned to the per-file backend: the test polls the checkpoint file
+    // on disk to time its kill.
     let config = || ServiceConfig {
         workers: 1,
         queue_capacity: 8,
         state_dir: Some(state.clone()),
         trace_dir: Some(traces.clone()),
+        backend: Backend::Dir,
         ..ServiceConfig::default()
     };
     let service = Service::start(config()).unwrap();

@@ -1,0 +1,483 @@
+//! Pluggable state backends for the Grid-WFS service.
+//!
+//! The service persists one flat namespace of small records per state dir —
+//! `job-3.meta`, `job-3.ckpt.xml`, `job-3.result`, … — and every mutation
+//! must be crash-atomic: after kill-9 at any instant, recovery sees either
+//! the old record or the new one, never a torn file (the PR-4 invariant the
+//! torn-write suite pins).  This crate promotes the `StateFs` seam into a
+//! [`Storage`] trait over *named records* and provides three backends:
+//!
+//! * [`WalStorage`] — the durable default.  A single append-only
+//!   write-ahead log with length+CRC32-framed record batches.  One
+//!   [`Storage::apply`] batch is one frame and **one fsync** (group
+//!   commit), replacing the per-file tmp→rename→fsync dance of the
+//!   per-file layout.  The log compacts periodically by atomically
+//!   rewriting itself as a single snapshot frame.  Recovery replays the
+//!   log; a torn or corrupt tail is quarantined to `wal.quarantined` and
+//!   trimmed, never fatal.
+//! * [`DirStorage`] — the PR-4 per-file layout (one file per record,
+//!   `write_atomic_batch` group commit per directory), preserved for
+//!   compatibility and as the bench baseline.  Tests that poke state
+//!   files directly on disk run against this backend.
+//! * [`MemStorage`] — a mutex-guarded map for tests and benches.
+//!
+//! Fault injection moves *behind the trait*: [`ChaosStorage`] wraps any
+//! backend and injects the same seed-driven write/torn/rename/read faults
+//! as `ChaosFs`, keyed by **record name** and a per-`(name, op)` sequence
+//! number.  Keying at the record level (not the backing file) is what lets
+//! the chaos sweep run identically against all three backends: the WAL
+//! funnels every record through one file whose op interleaving across
+//! worker threads is nondeterministic, so file-level injection would break
+//! seed-replayability there.  It also means the WAL's own file I/O sits
+//! *below* the fault plane — a "torn write" tears one record's payload
+//! (surfacing at parse time, exactly like a torn file in the directory
+//! layout) rather than corrupting the log suffix for every job after it.
+//!
+//! Ordering contract: [`Storage::apply`] executes deletes and renames in
+//! op order, and commits all puts of the batch together at the end.
+//! Callers must not delete or rename a name they put in the same batch.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gridwfs_chaos::{relock, FaultPlan, FsFaultKind};
+
+mod dir;
+mod mem;
+mod wal;
+
+pub use dir::DirStorage;
+pub use mem::MemStorage;
+pub use wal::{WalStorage, WAL_FILE, WAL_QUARANTINE};
+
+// ---------------------------------------------------------------------------
+// Ops and the Storage trait
+// ---------------------------------------------------------------------------
+
+/// One record mutation inside a group-committed batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Create or replace the record `name` with `data`.
+    Put(String, Vec<u8>),
+    /// Remove the record `name` (absent records are not an error).
+    Del(String),
+    /// Rename the record `from` to `to`, replacing any existing `to`.
+    Rename(String, String),
+}
+
+impl Op {
+    /// The name an error for this op is reported under: the record it
+    /// creates or affects (`to` for renames).
+    pub fn reported_name(&self) -> &str {
+        match self {
+            Op::Put(name, _) | Op::Del(name) => name,
+            Op::Rename(_, to) => to,
+        }
+    }
+}
+
+/// A flat namespace of named records with batched, crash-atomic mutation.
+///
+/// All methods take record *names* (`job-3.meta`), never paths: where the
+/// bytes live is the backend's business.  Implementations are internally
+/// synchronized; the service shares one `Arc<dyn Storage>` across workers.
+pub trait Storage: Send + Sync {
+    /// Read a record's bytes.  `ErrorKind::NotFound` if absent.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+
+    /// Does the record exist?
+    fn exists(&self, name: &str) -> bool;
+
+    /// All record names, in unspecified order.
+    fn list(&self) -> io::Result<Vec<String>>;
+
+    /// Apply a batch of mutations as one group commit — one durability
+    /// point for the whole batch.  Returns per-op failures keyed by
+    /// [`Op::reported_name`]; an empty vec means every op landed.
+    fn apply(&self, ops: Vec<Op>) -> Vec<(String, io::Error)>;
+
+    /// Snapshot of the backend's activity counters.
+    fn counters(&self) -> CountersSnapshot;
+
+    /// Force a compaction now.  No-op for backends without a log.
+    fn compact(&self) -> io::Result<()>;
+
+    /// Human label for metrics and bench output (`"wal"`, `"dir"`, …).
+    fn backend_name(&self) -> &'static str;
+
+    // --- convenience wrappers over `apply` -------------------------------
+
+    /// Read a record as UTF-8 text (`ErrorKind::InvalidData` otherwise).
+    fn read_to_string(&self, name: &str) -> io::Result<String> {
+        String::from_utf8(self.read(name)?)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Single-record durable write (a one-op group commit).
+    fn put(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        take_first_error(self.apply(vec![Op::Put(name.to_string(), data.to_vec())]))
+    }
+
+    /// Single-record removal.
+    fn del(&self, name: &str) -> io::Result<()> {
+        take_first_error(self.apply(vec![Op::Del(name.to_string())]))
+    }
+
+    /// Single-record rename.
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        take_first_error(self.apply(vec![Op::Rename(from.to_string(), to.to_string())]))
+    }
+}
+
+fn take_first_error(mut errors: Vec<(String, io::Error)>) -> io::Result<()> {
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.swap_remove(0).1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Lock-free activity counters every backend carries.  Backends without a
+/// log leave the `wal_*` counters at zero but still count group commits.
+#[derive(Debug, Default)]
+pub struct StorageCounters {
+    /// Ops appended to the WAL (records logged).
+    pub wal_appends: AtomicU64,
+    /// Group commits: one durability point covering a whole batch.
+    pub group_commits: AtomicU64,
+    /// Log compactions (snapshot + truncate).
+    pub compactions: AtomicU64,
+    /// Bytes appended to the WAL (frames, not compaction rewrites).
+    pub bytes_logged: AtomicU64,
+    /// Ops replayed from the log during recovery.
+    pub recovery_replayed_records: AtomicU64,
+}
+
+impl StorageCounters {
+    pub fn snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            bytes_logged: self.bytes_logged.load(Ordering::Relaxed),
+            recovery_replayed_records: self.recovery_replayed_records.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn add(&self, counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of [`StorageCounters`], for metrics snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    pub wal_appends: u64,
+    pub group_commits: u64,
+    pub compactions: u64,
+    pub bytes_logged: u64,
+    pub recovery_replayed_records: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+/// Which backend a state dir is opened with (`--backend wal|dir|memory`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Group-committed write-ahead log (the durable default).
+    #[default]
+    Wal,
+    /// One file per record, `write_atomic` per mutation batch (PR-4 layout).
+    Dir,
+    /// In-memory table: no durability, for tests and bench baselines.
+    Memory,
+}
+
+impl Backend {
+    pub fn parse(s: &str) -> Result<Backend, String> {
+        match s {
+            "wal" => Ok(Backend::Wal),
+            "dir" => Ok(Backend::Dir),
+            "memory" | "mem" => Ok(Backend::Memory),
+            other => Err(format!(
+                "unknown storage backend {other:?} (expected wal, dir, or memory)"
+            )),
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Wal => "wal",
+            Backend::Dir => "dir",
+            Backend::Memory => "memory",
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ChaosStorage: record-level fault injection
+// ---------------------------------------------------------------------------
+
+/// Wraps any backend and injects plan-driven faults at the record level,
+/// with the same decision function as `ChaosFs`: the `n`-th op of a kind
+/// on a record name faults iff `FaultPlan::op_faults(kind, name, n)`.
+/// Decisions never depend on the backend, the state-dir path, or thread
+/// interleaving on *other* records, so a fault plan replays identically
+/// against WAL, directory, and memory backends.
+pub struct ChaosStorage {
+    inner: Arc<dyn Storage>,
+    plan: FaultPlan,
+    seq: Mutex<HashMap<(String, &'static str), u64>>,
+}
+
+impl ChaosStorage {
+    pub fn new(inner: Arc<dyn Storage>, plan: FaultPlan) -> Self {
+        ChaosStorage {
+            inner,
+            plan,
+            seq: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Take the next sequence number for `(name, op)` and decide whether
+    /// this op faults.  Mirrors `ChaosFs::fault`: the counter only
+    /// advances for kinds the plan can actually fire.
+    fn fault(&self, name: &str, kind: FsFaultKind) -> bool {
+        let p = match kind {
+            FsFaultKind::Write => self.plan.write_p,
+            FsFaultKind::Torn => self.plan.torn_p,
+            FsFaultKind::Rename => self.plan.rename_p,
+            FsFaultKind::Read => self.plan.read_p,
+        };
+        if p <= 0.0 {
+            return false;
+        }
+        let n = {
+            let mut seq = relock(&self.seq);
+            let c = seq.entry((name.to_string(), kind.op_name())).or_insert(0);
+            let n = *c;
+            *c += 1;
+            n
+        };
+        self.plan.op_faults(kind, name, n)
+    }
+
+    fn injected(what: &str, name: &str) -> io::Error {
+        io::Error::other(format!("chaos: injected {what} failure ({name})"))
+    }
+}
+
+impl Storage for ChaosStorage {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        if self.fault(name, FsFaultKind::Read) {
+            return Err(Self::injected("read", name));
+        }
+        self.inner.read(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn apply(&self, ops: Vec<Op>) -> Vec<(String, io::Error)> {
+        let mut errors = Vec::new();
+        let mut kept = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                Op::Put(name, data) => {
+                    if self.fault(&name, FsFaultKind::Write) {
+                        errors.push((name.clone(), Self::injected("write", &name)));
+                    } else if self.fault(&name, FsFaultKind::Torn) && !data.is_empty() {
+                        // Short write that *claims* success — the torn
+                        // record surfaces later, at parse time.
+                        let half = data.len() / 2;
+                        kept.push(Op::Put(name, data[..half].to_vec()));
+                    } else {
+                        kept.push(Op::Put(name, data));
+                    }
+                }
+                Op::Del(name) => kept.push(Op::Del(name)),
+                Op::Rename(from, to) => {
+                    if self.fault(&to, FsFaultKind::Rename) {
+                        errors.push((to.clone(), Self::injected("rename", &to)));
+                    } else {
+                        kept.push(Op::Rename(from, to));
+                    }
+                }
+            }
+        }
+        errors.extend(self.inner.apply(kept));
+        errors
+    }
+
+    fn counters(&self) -> CountersSnapshot {
+        self.inner.counters()
+    }
+
+    fn compact(&self) -> io::Result<()> {
+        self.inner.compact()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+}
+
+impl fmt::Debug for ChaosStorage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaosStorage")
+            .field("backend", &self.inner.backend_name())
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backends(dir: &std::path::Path) -> Vec<Arc<dyn Storage>> {
+        vec![
+            Arc::new(MemStorage::new()),
+            Arc::new(DirStorage::new(Arc::new(gridwfs_chaos::RealFs), dir.join("dir")).unwrap()),
+            Arc::new(WalStorage::open(dir.join("wal")).unwrap()),
+        ]
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gridwfs-storage-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trip_on_every_backend() {
+        let dir = tmpdir("roundtrip");
+        for st in backends(&dir) {
+            st.put("job-1.meta", b"name=a").unwrap();
+            st.put("job-2.meta", b"name=b").unwrap();
+            assert_eq!(st.read_to_string("job-1.meta").unwrap(), "name=a");
+            assert!(st.exists("job-2.meta"));
+            assert!(!st.exists("job-3.meta"));
+            assert_eq!(
+                st.read("job-3.meta").unwrap_err().kind(),
+                io::ErrorKind::NotFound
+            );
+
+            st.rename("job-1.meta", "job-1.meta.quarantined").unwrap();
+            assert!(!st.exists("job-1.meta"));
+            assert_eq!(
+                st.read_to_string("job-1.meta.quarantined").unwrap(),
+                "name=a"
+            );
+
+            st.del("job-2.meta").unwrap();
+            assert!(!st.exists("job-2.meta"));
+            // Deleting an absent record is not an error.
+            st.del("job-2.meta").unwrap();
+
+            let mut names = st.list().unwrap();
+            names.sort();
+            assert_eq!(names, vec!["job-1.meta.quarantined".to_string()]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_apply_is_ordered_and_counted() {
+        let dir = tmpdir("batch");
+        for st in backends(&dir) {
+            let errors = st.apply(vec![
+                Op::Put("job-7.wf.xml".into(), b"<Workflow/>".to_vec()),
+                Op::Put("job-7.meta".into(), b"meta".to_vec()),
+            ]);
+            assert!(errors.is_empty(), "{errors:?}");
+            // Del-then-put of the same name in one batch: the put wins on
+            // every backend (deletes run before the batch's puts).
+            let errors = st.apply(vec![
+                Op::Del("job-7.meta".into()),
+                Op::Put("job-7.meta".into(), b"meta2".to_vec()),
+            ]);
+            assert!(errors.is_empty(), "{errors:?}");
+            assert_eq!(st.read_to_string("job-7.meta").unwrap(), "meta2");
+            let c = st.counters();
+            assert!(c.group_commits >= 2, "{c:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_decisions_identical_across_backends() {
+        let dir = tmpdir("chaos-eq");
+        let plan = FaultPlan::parse("seed=11,write=0.3,torn=0.3,rename=0.3,read=0.3").unwrap();
+        let mut logs: Vec<Vec<String>> = Vec::new();
+        for st in backends(&dir) {
+            let chaos = ChaosStorage::new(st, plan.clone());
+            let mut log = Vec::new();
+            for i in 0..40u32 {
+                let name = format!("job-{}.meta", i % 5);
+                let errors = chaos.apply(vec![Op::Put(name.clone(), vec![b'x'; 16])]);
+                log.push(format!("put {name} {}", errors.len()));
+                let read = chaos.read(&name).map(|b| b.len()).map_err(|e| e.kind());
+                log.push(format!("read {name} {read:?}"));
+                let q = format!("{name}.q");
+                let errors = chaos.apply(vec![Op::Rename(name.clone(), q)]);
+                log.push(format!("rename {name} {}", errors.len()));
+            }
+            logs.push(log);
+        }
+        assert_eq!(logs[0], logs[1], "mem vs dir fault streams differ");
+        assert_eq!(logs[0], logs[2], "mem vs wal fault streams differ");
+        // Chaos actually fired somewhere, or this test checks nothing.
+        assert!(logs[0].iter().any(|l| l.ends_with(" 1")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_torn_put_truncates_payload() {
+        // With torn=1 every non-empty put is halved; the storage still
+        // reports success, exactly like ChaosFs torn writes.
+        let plan = FaultPlan::parse("seed=3,torn=1.0").unwrap();
+        let st = ChaosStorage::new(Arc::new(MemStorage::new()), plan);
+        st.put("job-1.meta", b"0123456789").unwrap();
+        assert_eq!(st.read("job-1.meta").unwrap(), b"01234");
+    }
+
+    #[test]
+    fn backend_parse_round_trips() {
+        for b in [Backend::Wal, Backend::Dir, Backend::Memory] {
+            assert_eq!(Backend::parse(b.as_str()).unwrap(), b);
+        }
+        assert_eq!(Backend::parse("mem").unwrap(), Backend::Memory);
+        assert!(Backend::parse("floppy").is_err());
+        assert_eq!(Backend::default(), Backend::Wal);
+    }
+}

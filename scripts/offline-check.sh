@@ -9,8 +9,13 @@
 # cannot be stubbed usefully).  Run this, then
 # `cd /tmp/check && cargo build --release && cargo test -q`.
 #
-# crates/trace (the flight recorder, PR 3) is dependency-free on purpose —
-# it needs no stubbing and its tests all run here.
+# crates/trace (the flight recorder, PR 3) and crates/storage (the WAL +
+# pluggable backends, PR 7; depends only on gridwfs-chaos) are
+# dependency-free on purpose — they need no stubbing and their tests all
+# run here.  Path-only crates like them mirror into this workspace
+# automatically: the tar below copies everything but ./target and
+# ./scripts, so a new crate only needs a stub entry when it pulls a
+# crates.io dependency.
 set -eu
 
 REPO=/root/repo

@@ -584,6 +584,8 @@ pub struct ServeOptions {
     pub queue: usize,
     /// Crash-recovery state directory.
     pub state_dir: Option<PathBuf>,
+    /// Storage backend for the state directory (`wal` | `dir` | `memory`).
+    pub backend: gridwfs_serve::Backend,
     /// Per-job deadline (executor seconds).
     pub deadline: Option<f64>,
     /// Run paced (wall-clock) instead of virtual-time, with this
@@ -609,6 +611,7 @@ impl Default for ServeOptions {
             inflight: 1,
             queue: 64,
             state_dir: None,
+            backend: gridwfs_serve::Backend::default(),
             deadline: None,
             paced: None,
             seed: None,
@@ -718,6 +721,7 @@ pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, 
         max_in_flight: opts.inflight,
         queue_capacity: opts.queue,
         state_dir: opts.state_dir.clone(),
+        backend: opts.backend,
         default_deadline: opts.deadline,
         trace_dir: opts.trace_dir.clone(),
         chaos: chaos.clone(),
@@ -846,6 +850,9 @@ SERVE OPTIONS:
                        (default 1; raise for paced jobs that mostly wait)
   --queue <n>          admission-queue capacity (default 64)
   --state-dir <dir>    persist jobs + checkpoints for crash recovery
+  --backend <name>     storage engine for --state-dir: wal (group-commit
+                       write-ahead log, default), dir (one file per
+                       record), memory (tests/benches; nothing survives)
   --deadline <s>       per-job deadline in executor seconds
   --paced <scale>      run on real threads, scale wall-seconds per unit
   --seed <n>           base seed (job i runs with seed base+i)
@@ -975,6 +982,13 @@ pub fn main_with_args(args: &[String]) -> (i32, String) {
                         }
                     }
                     "--state-dir" => opts.state_dir = rest.next().map(PathBuf::from),
+                    "--backend" => match rest.next() {
+                        Some(name) => match gridwfs_serve::Backend::parse(name) {
+                            Ok(b) => opts.backend = b,
+                            Err(e) => return err(format!("{e}\n\n{USAGE}")),
+                        },
+                        None => return err(format!("--backend needs a value\n\n{USAGE}")),
+                    },
                     "--deadline" => {
                         opts.deadline = match rest.next().map(|v| v.parse()) {
                             Some(Ok(d)) => Some(d),
