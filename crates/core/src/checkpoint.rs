@@ -20,7 +20,7 @@ use gridwfs_wpdl::validate::validate;
 use gridwfs_wpdl::xml::{self, Element};
 use gridwfs_wpdl::{parse as wpdl_parse, writer};
 
-use crate::instance::{Instance, NodeStatus};
+use crate::instance::{Instance, ItemProgress, ItemState, NodeStatus};
 
 /// Errors from saving/loading engine checkpoints.
 #[derive(Debug)]
@@ -84,6 +84,25 @@ pub fn to_xml(instance: &Instance) -> String {
                 .attr("status", status_str(status))
                 .attr("runs", instance.runs(name).to_string()),
         );
+    }
+    for (name, items) in instance.items_iter() {
+        for (idx, p) in items.iter().enumerate() {
+            let mut el = Element::new("Item")
+                .attr("activity", name)
+                .attr("index", idx.to_string())
+                .attr("state", p.state.wire_str())
+                .attr("attempts", p.attempts.to_string());
+            if p.failover {
+                el = el.attr("failover", "true");
+            }
+            if p.reprocess {
+                el = el.attr("reprocess", "true");
+            }
+            if !p.reason.is_empty() {
+                el = el.attr("reason", &p.reason);
+            }
+            runtime = runtime.child(el);
+        }
     }
     for (name, value) in instance.vars_iter() {
         let (ty, raw) = match value {
@@ -185,8 +204,93 @@ pub fn from_xml(text: &str) -> Result<Instance, CheckpointError> {
             instance.force_status(name, status);
         }
     }
+    for item in runtime.children_named("Item") {
+        let activity = item
+            .get_attr("activity")
+            .ok_or_else(|| CheckpointError::Format("<Item> missing activity".into()))?;
+        let idx: usize = item
+            .get_attr("index")
+            .ok_or_else(|| CheckpointError::Format("<Item> missing index".into()))?
+            .parse()
+            .map_err(|_| CheckpointError::Format(format!("bad item index on '{activity}'")))?;
+        match instance.items(activity) {
+            Some(items) if idx < items.len() => {}
+            _ => {
+                return Err(CheckpointError::Format(format!(
+                    "runtime mentions unknown foreach item {idx} of '{activity}'"
+                )))
+            }
+        }
+        let state = item
+            .get_attr("state")
+            .and_then(ItemState::parse_wire)
+            .ok_or_else(|| {
+                CheckpointError::Format(format!("bad item state on '{activity}'[{idx}]"))
+            })?;
+        let attempts: u32 = item
+            .get_attr("attempts")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| {
+                CheckpointError::Format(format!("bad item attempts on '{activity}'[{idx}]"))
+            })?;
+        instance.force_item(
+            activity,
+            idx,
+            ItemProgress {
+                state,
+                attempts,
+                failover: item.get_attr("failover") == Some("true"),
+                reprocess: item.get_attr("reprocess") == Some("true"),
+                reason: item.get_attr("reason").unwrap_or("").to_string(),
+            },
+        );
+    }
     instance.recompute_edges();
     Ok(instance)
+}
+
+/// Rewrites a checkpoint so every dead-lettered `foreach` item becomes
+/// pending again with a fresh attempt budget and the `reprocess` marker
+/// set, and its owning activity reverts to `pending` so the engine re-runs
+/// it.  Settled items, other activities, variables, and run counters are
+/// untouched — the resume machinery re-runs *only* the failed items.
+/// Returns the rewritten document and the number of items reset.
+pub fn reset_dead_letters(text: &str) -> Result<(String, usize), CheckpointError> {
+    let mut instance = from_xml(text)?;
+    let targets: Vec<(String, usize)> = instance
+        .items_iter()
+        .flat_map(|(name, items)| {
+            items
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.state == ItemState::DeadLettered)
+                .map(|(i, _)| (name.to_string(), i))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut reverted: Vec<String> = Vec::new();
+    for (name, idx) in &targets {
+        instance.force_item(
+            name,
+            *idx,
+            ItemProgress {
+                state: ItemState::Pending,
+                attempts: 0,
+                failover: false,
+                reprocess: true,
+                reason: String::new(),
+            },
+        );
+        if !reverted.contains(name) {
+            instance.force_status(name, NodeStatus::Pending);
+            reverted.push(name.clone());
+        }
+    }
+    if !targets.is_empty() {
+        instance.recompute_edges();
+    }
+    Ok((to_xml(&instance), targets.len()))
 }
 
 /// Reads and reconstructs an instance from a checkpoint file.
@@ -295,6 +399,149 @@ mod tests {
         let back = load(&path).unwrap();
         assert_eq!(back.status("fast_task"), &NodeStatus::Failed);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn foreach_instance() -> Instance {
+        use gridwfs_wpdl::ast::{Activity, ForeachSpec, Program, Transition, Workflow};
+        let mut w = Workflow::new("mapred");
+        w.programs.push(Program::new("p", 10.0, "h1").option("h2"));
+        let mut m = Activity::new("map", "p");
+        let mut f = ForeachSpec::new(vec!["s0".into(), "s1".into(), "s2".into()]);
+        f.max_attempts = 2;
+        m.foreach = Some(f);
+        w.activities.push(m);
+        w.activities.push(Activity::new("reduce", "p"));
+        w.transitions.push(Transition::new("map", "reduce"));
+        Instance::new(validate(w).unwrap())
+    }
+
+    #[test]
+    fn foreach_item_progress_roundtrips() {
+        let mut inst = foreach_instance();
+        inst.mark_running("map");
+        inst.force_item(
+            "map",
+            0,
+            ItemProgress {
+                state: ItemState::Done,
+                attempts: 1,
+                ..Default::default()
+            },
+        );
+        inst.force_item(
+            "map",
+            1,
+            ItemProgress {
+                state: ItemState::DeadLettered,
+                attempts: 4,
+                failover: true,
+                reprocess: false,
+                reason: "crashed".into(),
+            },
+        );
+        // Item 2 still pending with a banked attempt.
+        inst.force_item(
+            "map",
+            2,
+            ItemProgress {
+                attempts: 1,
+                ..Default::default()
+            },
+        );
+        let back = from_xml(&to_xml(&inst)).unwrap();
+        let items = back.items("map").unwrap();
+        assert_eq!(items[0].state, ItemState::Done);
+        assert_eq!(items[0].attempts, 1);
+        assert_eq!(items[1].state, ItemState::DeadLettered);
+        assert_eq!(items[1].attempts, 4);
+        assert!(items[1].failover);
+        assert_eq!(items[1].reason, "crashed");
+        assert_eq!(items[2].state, ItemState::Pending);
+        assert_eq!(items[2].attempts, 1, "banked attempt survives");
+        assert_eq!(
+            back.status("map"),
+            &NodeStatus::Pending,
+            "running saved as pending"
+        );
+    }
+
+    #[test]
+    fn reset_dead_letters_flips_only_dlq_items() {
+        let mut inst = foreach_instance();
+        inst.mark_running("map");
+        inst.force_item(
+            "map",
+            0,
+            ItemProgress {
+                state: ItemState::Done,
+                attempts: 1,
+                ..Default::default()
+            },
+        );
+        inst.force_item(
+            "map",
+            1,
+            ItemProgress {
+                state: ItemState::DeadLettered,
+                attempts: 4,
+                failover: true,
+                reprocess: false,
+                reason: "crashed".into(),
+            },
+        );
+        inst.force_item(
+            "map",
+            2,
+            ItemProgress {
+                state: ItemState::Done,
+                attempts: 2,
+                ..Default::default()
+            },
+        );
+        inst.settle("map", NodeStatus::Done);
+        inst.mark_running("reduce");
+        inst.settle("reduce", NodeStatus::Done);
+        assert!(inst.is_finished());
+
+        let (text, reset) = reset_dead_letters(&to_xml(&inst)).unwrap();
+        assert_eq!(reset, 1);
+        let back = from_xml(&text).unwrap();
+        let items = back.items("map").unwrap();
+        assert_eq!(items[0].state, ItemState::Done, "settled item untouched");
+        assert_eq!(items[1].state, ItemState::Pending);
+        assert_eq!(items[1].attempts, 0, "fresh budget");
+        assert!(!items[1].failover);
+        assert!(items[1].reprocess, "marked for the reprocess trace event");
+        assert_eq!(items[2].state, ItemState::Done);
+        assert_eq!(back.status("map"), &NodeStatus::Pending, "will re-run");
+        assert_eq!(
+            back.status("reduce"),
+            &NodeStatus::Done,
+            "downstream stays settled"
+        );
+        assert_eq!(back.ready_nodes(), vec!["map"], "only the foreach re-runs");
+
+        // Idempotent on a DLQ-free checkpoint.
+        let (text2, reset2) = reset_dead_letters(&text).unwrap();
+        assert_eq!(reset2, 0);
+        assert_eq!(text2, text);
+    }
+
+    #[test]
+    fn malformed_item_entries_rejected() {
+        let mut inst = foreach_instance();
+        inst.mark_running("map");
+        let text = to_xml(&inst);
+        let evil = text.replace("index='2'", "index='9'");
+        assert!(from_xml(&evil)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown foreach item"));
+        let evil = text.replace("state='pending'", "state='levitating'");
+        assert!(from_xml(&evil)
+            .unwrap_err()
+            .to_string()
+            .contains("bad item state"));
     }
 
     #[test]

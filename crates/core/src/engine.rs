@@ -31,11 +31,11 @@ use gridwfs_detect::heartbeat::Liveness;
 use gridwfs_detect::notify::TaskId;
 use gridwfs_detect::transport::ReorderBuffer;
 use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind, TraceSink};
-use gridwfs_wpdl::ast::{Policy, Trigger};
+use gridwfs_wpdl::ast::{ForeachSpec, ItemAction, Policy, Trigger};
 use gridwfs_wpdl::validate::Validated;
 
 use crate::executor::{Executor, Polled, SubmitRequest};
-use crate::instance::{CompleteResult, EdgeState, Instance, NodeStatus, Outcome};
+use crate::instance::{CompleteResult, EdgeState, Instance, ItemState, NodeStatus, Outcome};
 use crate::timeline::{Span, SpanOutcome};
 
 /// What a log entry records.
@@ -70,6 +70,23 @@ pub struct LogEntry {
     pub message: String,
 }
 
+/// One item of a `<Foreach>` fan-out that exhausted every recovery avenue
+/// (retries, then failover) and was parked for offline reprocessing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DlqEntry {
+    /// The fan-out activity the item belongs to.
+    pub activity: String,
+    /// Zero-based index into the activity's `<Item>` list.
+    pub index: usize,
+    /// The item payload, verbatim.
+    pub item: String,
+    /// Attempts consumed before the item was parked.
+    pub attempts: u32,
+    /// Terminal classification of the last attempt
+    /// (`heartbeat-loss`, `exception:<name>`, ...).
+    pub reason: String,
+}
+
 /// Result of a completed engine run.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -97,6 +114,10 @@ pub struct Report {
     pub trace: Vec<TraceEvent>,
     /// Guard-evaluation problems (empty in healthy runs).
     pub eval_errors: Vec<String>,
+    /// Dead-lettered `<Foreach>` items, in (topological activity, item
+    /// index) order — the host persists these so `dlq retry` can
+    /// reprocess exactly the failed slice of the fan-out.
+    pub dlq: Vec<DlqEntry>,
 }
 
 impl Report {
@@ -286,6 +307,22 @@ struct Slot {
     live: Option<TaskId>,
     exhausted: bool,
     ckpt_flag: Option<String>,
+    /// A retry timer is pending for this slot.  Only `<Foreach>` slots set
+    /// it: a waiting item keeps holding its `max_parallel` token so the
+    /// fan-out never runs more than the bound when the timer fires.
+    waiting: bool,
+}
+
+impl Slot {
+    fn idle() -> Self {
+        Slot {
+            tries_used: 0,
+            live: None,
+            exhausted: false,
+            ckpt_flag: None,
+            waiting: false,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -508,6 +545,10 @@ impl<X: Executor> Engine<X> {
             .activity(name)
             .expect("known activity")
             .clone();
+        if act.foreach.is_some() {
+            self.start_foreach(name);
+            return;
+        }
         let program = self
             .instance
             .workflow()
@@ -521,14 +562,7 @@ impl<X: Executor> Engine<X> {
         self.nodes.insert(
             name.to_string(),
             NodeRt {
-                slots: (0..n_slots)
-                    .map(|_| Slot {
-                        tries_used: 0,
-                        live: None,
-                        exhausted: false,
-                        ckpt_flag: None,
-                    })
-                    .collect(),
+                slots: (0..n_slots).map(|_| Slot::idle()).collect(),
                 loop_iterations: self.nodes.get(name).map(|n| n.loop_iterations).unwrap_or(0),
             },
         );
@@ -671,6 +705,449 @@ impl<X: Executor> Engine<X> {
         );
     }
 
+    // ----------------------------------------------------------- foreach ---
+
+    fn foreach_spec(&self, name: &str) -> ForeachSpec {
+        self.instance
+            .workflow()
+            .activity(name)
+            .expect("known activity")
+            .foreach
+            .clone()
+            .expect("foreach activity")
+    }
+
+    fn is_foreach(&self, name: &str) -> bool {
+        self.instance
+            .workflow()
+            .activity(name)
+            .and_then(|a| a.foreach.as_ref())
+            .is_some()
+    }
+
+    /// Launches a `<Foreach>` fan-out: one slot per item.  Items restored
+    /// from a checkpoint keep their terminal state (their slots start
+    /// exhausted); everything else is launched in index order under the
+    /// `max_parallel` bound.  Routing the launch through
+    /// [`Self::foreach_after_item`] makes a fresh start, a restart and a
+    /// dead-letter reprocess the same code path — including the case where
+    /// the checkpoint already holds a settled item set and the node must
+    /// settle without submitting anything.
+    fn start_foreach(&mut self, name: &str) {
+        let states: Vec<ItemState> = self
+            .instance
+            .items(name)
+            .expect("foreach activity has items")
+            .iter()
+            .map(|p| p.state)
+            .collect();
+        self.nodes.insert(
+            name.to_string(),
+            NodeRt {
+                slots: states
+                    .iter()
+                    .map(|st| {
+                        let mut s = Slot::idle();
+                        s.exhausted = st.is_terminal();
+                        s
+                    })
+                    .collect(),
+                loop_iterations: 0,
+            },
+        );
+        self.instance.mark_running(name);
+        self.trace_launch(name);
+        let pending = states.iter().filter(|st| !st.is_terminal()).count();
+        self.trace(TraceKind::ForeachStarted {
+            activity: name.to_string(),
+            items: states.len(),
+            pending,
+        });
+        self.foreach_after_item(name);
+    }
+
+    /// The fan-out's settlement policy, re-evaluated after every item
+    /// transition: a `stop` item or a breached failure budget fails the
+    /// node (remaining items are cancelled by [`Self::settle_node`]), a
+    /// fully-terminal item set completes it — dead-lettered items do not
+    /// block completion, they are reported for offline reprocessing — and
+    /// otherwise the next pending items launch under `max_parallel`.
+    fn foreach_after_item(&mut self, name: &str) {
+        let spec = self.foreach_spec(name);
+        let (failures, stop, terminal, total) = {
+            let items = self.instance.items(name).expect("foreach activity");
+            let failures = items
+                .iter()
+                .filter(|p| {
+                    matches!(
+                        p.state,
+                        ItemState::DeadLettered | ItemState::Skipped | ItemState::Failed
+                    )
+                })
+                .count();
+            let stop = items.iter().any(|p| p.state == ItemState::Failed);
+            let terminal = items.iter().filter(|p| p.state.is_terminal()).count();
+            (failures, stop, terminal, items.len())
+        };
+        let breached = spec.max_failures.is_some_and(|m| failures > m as usize)
+            || spec
+                .failure_threshold
+                .is_some_and(|t| failures as f64 / total as f64 > t);
+        if stop || breached {
+            if breached && !stop {
+                self.log(
+                    LogKind::Recovery,
+                    format!("{name} failure budget breached ({failures}/{total} items failed)"),
+                );
+            }
+            self.settle_node(name, NodeStatus::Failed);
+        } else if terminal == total {
+            self.settle_node(name, NodeStatus::Done);
+        } else {
+            self.pump_foreach(name);
+        }
+    }
+
+    /// Launches unlaunched pending items in index order while the fan-out
+    /// has `max_parallel` tokens free (0 = unbounded).  A slot waiting on
+    /// a retry timer keeps holding its token, so firing timers never push
+    /// the fan-out over the bound.
+    fn pump_foreach(&mut self, name: &str) {
+        let spec = self.foreach_spec(name);
+        loop {
+            let idx = {
+                let rt = self.nodes.get(name).expect("runtime exists");
+                let active = rt
+                    .slots
+                    .iter()
+                    .filter(|s| s.live.is_some() || s.waiting)
+                    .count();
+                if spec.max_parallel != 0 && active >= spec.max_parallel {
+                    return;
+                }
+                let items = self.instance.items(name).expect("foreach activity");
+                rt.slots.iter().zip(items.iter()).position(|(s, p)| {
+                    s.live.is_none() && !s.waiting && !s.exhausted && p.state == ItemState::Pending
+                })
+            };
+            match idx {
+                Some(i) => self.submit_item(name, i),
+                None => return,
+            }
+        }
+    }
+
+    /// Submits one attempt for a fan-out item.  Mirrors
+    /// [`Self::submit_slot`] with the item's own bookkeeping: the durable
+    /// attempt counter lives in the instance (so option cycling and retry
+    /// budgets survive engine restarts), and an item that failed over runs
+    /// the alternative program instead of the primary.
+    fn submit_item(&mut self, name: &str, idx: usize) {
+        let act = self
+            .instance
+            .workflow()
+            .activity(name)
+            .expect("known activity")
+            .clone();
+        let spec = act.foreach.clone().expect("foreach activity");
+        let progress = self.instance.items(name).expect("foreach activity")[idx].clone();
+        if progress.reprocess && progress.attempts == 0 {
+            self.trace(TraceKind::ItemReprocessed {
+                activity: name.to_string(),
+                item: idx,
+            });
+            self.log(
+                LogKind::Submit,
+                format!("{name} item={idx} reprocessing from the dead-letter queue"),
+            );
+        }
+        let program_name = if progress.failover {
+            spec.failover
+                .as_deref()
+                .expect("failover only when declared")
+        } else {
+            act.implement.as_deref().expect("non-dummy")
+        };
+        let program = self
+            .instance
+            .workflow()
+            .program(program_name)
+            .expect("validated reference")
+            .clone();
+        let task = self.fresh_task();
+        let now = self.executor.now();
+        let flag = {
+            let rt = self.nodes.get_mut(name).expect("runtime exists");
+            let s = &mut rt.slots[idx];
+            s.live = Some(task);
+            s.waiting = false;
+            s.ckpt_flag.clone()
+        };
+        // Items cycle through the chosen program's options exactly like the
+        // simple policy, keyed on the durable attempt counter; open host
+        // breakers are skipped the same way.
+        let n = program.options.len();
+        let base = (progress.attempts as usize) % n;
+        let option_index = match &self.breakers {
+            Some(br) => (0..n)
+                .map(|k| (base + k) % n)
+                .find(|&i| !br.is_blocked(&program.options[i].hostname, now))
+                .unwrap_or(base),
+            None => base,
+        };
+        let option = &program.options[option_index];
+        let attempt = progress.attempts + 1;
+        let is_probe = match &mut self.breakers {
+            Some(br) => br.on_submit(&option.hostname, now),
+            None => false,
+        };
+        self.attempts.insert(task, (name.to_string(), idx));
+        self.attempt_hosts.insert(task, option.hostname.clone());
+        let replaced = self.detector.register_task(
+            task,
+            act.heartbeat_interval,
+            act.heartbeat_tolerance,
+            self.executor.now(),
+        );
+        let req = SubmitRequest {
+            task,
+            activity: name.to_string(),
+            program: program.name.clone(),
+            hostname: option.hostname.clone(),
+            service: option.service.clone(),
+            nominal_duration: program.nominal_duration,
+            checkpoint_flag: flag.clone(),
+            heartbeat_interval: act.heartbeat_interval,
+        };
+        let host = option.hostname.clone();
+        self.open_attempts.insert(task);
+        self.executor.submit(req);
+        if let Some(liveness) = replaced {
+            self.trace(TraceKind::WatchReplaced {
+                task: task.0,
+                was_presumed_dead: liveness == Liveness::PresumedDead,
+            });
+        }
+        if is_probe {
+            self.trace(TraceKind::BreakerProbe { host: host.clone() });
+        }
+        self.trace(TraceKind::TaskSubmitted {
+            activity: name.to_string(),
+            slot: idx,
+            attempt,
+            task: task.0,
+            host: host.clone(),
+            resume: flag.clone(),
+        });
+        self.log(
+            LogKind::Submit,
+            format!(
+                "{name} slot={idx} try={attempt} task={task} host={host}{}{}",
+                if progress.failover { " failover" } else { "" },
+                flag.map(|f| format!(" resume={f}")).unwrap_or_default()
+            ),
+        );
+    }
+
+    /// A fan-out item's attempt completed: settle the item `done` and
+    /// re-evaluate the fan-out.  The checkpoint written here is what makes
+    /// item settlement exactly-once across engine incarnations — a crash
+    /// after it can only re-run items that never durably settled.
+    fn foreach_item_done(&mut self, name: &str, idx: usize) {
+        // Item settlements count toward `max_settlements`, so the simulated
+        // engine crash can land in the middle of a fan-out.
+        self.settlements += 1;
+        let attempts = {
+            let p = self.instance.item_mut(name, idx);
+            p.attempts += 1;
+            p.state = ItemState::Done;
+            p.reason.clear();
+            p.attempts
+        };
+        self.nodes.get_mut(name).expect("runtime exists").slots[idx].exhausted = true;
+        self.trace(TraceKind::ItemSettled {
+            activity: name.to_string(),
+            item: idx,
+            outcome: "done".to_string(),
+            attempts,
+        });
+        self.log(
+            LogKind::Settle,
+            format!("{name} item={idx} done after {attempts} attempt(s)"),
+        );
+        self.write_checkpoint();
+        self.foreach_after_item(name);
+    }
+
+    /// Task-level recovery for a failed fan-out item: retry on the current
+    /// program while its `max_attempts` budget lasts, then fail over to
+    /// the alternative program on a fresh budget if one is declared, then
+    /// apply the exhaustion action.  `maskable` is false for fatal
+    /// exceptions — retrying the same program cannot mask those, so the
+    /// remaining retry budget is forfeited and the item goes straight to
+    /// failover (a different program may well succeed) or exhaustion.
+    fn foreach_item_failed(&mut self, name: &str, idx: usize, reason: &str, maskable: bool) {
+        let spec = self.foreach_spec(name);
+        self.nodes.get_mut(name).expect("runtime exists").slots[idx].live = None;
+        let (attempts, failover) = {
+            let p = self.instance.item_mut(name, idx);
+            p.attempts += 1;
+            p.reason = reason.to_string();
+            (p.attempts, p.failover)
+        };
+        let budget = if failover {
+            spec.max_attempts.saturating_mul(2)
+        } else {
+            spec.max_attempts
+        };
+        if maskable && attempts < budget {
+            self.schedule_item_retry(name, idx, &spec, attempts);
+        } else if !failover && spec.failover.is_some() {
+            let program = spec.failover.clone().expect("just checked");
+            let attempts = {
+                let p = self.instance.item_mut(name, idx);
+                p.failover = true;
+                // Forfeit any unused primary budget (non-maskable path) so
+                // the failover phase is always attempts max+1 ..= 2*max —
+                // a fresh `max_attempts` budget on the alternative program.
+                p.attempts = p.attempts.max(spec.max_attempts);
+                p.attempts
+            };
+            self.trace(TraceKind::ItemFailover {
+                activity: name.to_string(),
+                item: idx,
+                program: program.clone(),
+            });
+            self.log(
+                LogKind::Recovery,
+                format!("{name} item={idx} failing over to '{program}'"),
+            );
+            self.schedule_item_retry(name, idx, &spec, attempts);
+        } else {
+            self.foreach_item_exhaust(name, idx);
+        }
+    }
+
+    fn schedule_item_retry(&mut self, name: &str, idx: usize, spec: &ForeachSpec, attempts: u32) {
+        let delay = spec.retry_interval;
+        let at = self.executor.now() + delay;
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.push(Timer {
+            key: TimerKey(at, seq),
+            activity: name.to_string(),
+            slot: idx,
+        });
+        self.nodes.get_mut(name).expect("runtime exists").slots[idx].waiting = true;
+        self.trace(TraceKind::RetryScheduled {
+            activity: name.to_string(),
+            slot: idx,
+            attempt: attempts + 1,
+            fire_at: at,
+        });
+        self.log(
+            LogKind::Recovery,
+            format!(
+                "{name} item={idx} retry (attempt {}) in {delay}",
+                attempts + 1
+            ),
+        );
+    }
+
+    /// Every recovery avenue for the item is spent: apply the fan-out's
+    /// exhaustion action and re-evaluate the node.
+    fn foreach_item_exhaust(&mut self, name: &str, idx: usize) {
+        self.settlements += 1;
+        let spec = self.foreach_spec(name);
+        let (attempts, reason) = {
+            let p = self.instance.item_mut(name, idx);
+            p.state = match spec.on_exhausted {
+                ItemAction::DeadLetter => ItemState::DeadLettered,
+                ItemAction::Skip => ItemState::Skipped,
+                ItemAction::Stop => ItemState::Failed,
+            };
+            (p.attempts, p.reason.clone())
+        };
+        self.nodes.get_mut(name).expect("runtime exists").slots[idx].exhausted = true;
+        match spec.on_exhausted {
+            ItemAction::DeadLetter => {
+                self.trace(TraceKind::ItemDeadLettered {
+                    activity: name.to_string(),
+                    item: idx,
+                    attempts,
+                    reason: reason.clone(),
+                });
+                self.log(
+                    LogKind::Recovery,
+                    format!(
+                        "{name} item={idx} dead-lettered after {attempts} attempt(s): {reason}"
+                    ),
+                );
+            }
+            ItemAction::Skip => {
+                self.trace(TraceKind::ItemSettled {
+                    activity: name.to_string(),
+                    item: idx,
+                    outcome: "skipped".to_string(),
+                    attempts,
+                });
+                self.log(
+                    LogKind::Settle,
+                    format!("{name} item={idx} skipped after {attempts} attempt(s)"),
+                );
+            }
+            ItemAction::Stop => {
+                self.trace(TraceKind::ItemSettled {
+                    activity: name.to_string(),
+                    item: idx,
+                    outcome: "failed".to_string(),
+                    attempts,
+                });
+                self.log(
+                    LogKind::Settle,
+                    format!("{name} item={idx} failed; stopping the fan-out"),
+                );
+            }
+        }
+        self.write_checkpoint();
+        self.foreach_after_item(name);
+    }
+
+    /// Marks every non-terminal item of a settling fan-out `cancelled` —
+    /// the one funnel every node-settling route (stop items, breached
+    /// budgets, stalls, redundant-branch pruning) passes through, so the
+    /// per-item accounting invariant (every instantiated item reaches
+    /// exactly one terminal state) holds no matter why the node settled.
+    fn cancel_foreach_items(&mut self, name: &str) {
+        if !self.is_foreach(name) {
+            return;
+        }
+        let n = self.instance.items(name).map(|it| it.len()).unwrap_or(0);
+        for idx in 0..n {
+            let attempts = {
+                let p = self.instance.item_mut(name, idx);
+                if p.state.is_terminal() {
+                    None
+                } else {
+                    p.state = ItemState::Cancelled;
+                    Some(p.attempts)
+                }
+            };
+            if let Some(attempts) = attempts {
+                self.trace(TraceKind::ItemSettled {
+                    activity: name.to_string(),
+                    item: idx,
+                    outcome: "cancelled".to_string(),
+                    attempts,
+                });
+                self.log(
+                    LogKind::Settle,
+                    format!("{name} item={idx} cancelled (node settled)"),
+                );
+            }
+        }
+    }
+
     // -------------------------------------------------------- settlement ---
 
     /// Journals an attempt's terminal classification exactly once (the
@@ -740,6 +1217,7 @@ impl<X: Executor> Engine<X> {
 
     fn settle_node(&mut self, name: &str, status: NodeStatus) {
         self.settlements += 1;
+        self.cancel_foreach_items(name);
         self.cancel_live(name);
         let status_str = status.as_expr_str().to_string();
         let (state_full, exc_detail) = match &status {
@@ -982,6 +1460,7 @@ impl<X: Executor> Engine<X> {
             return; // stale: attempt was cancelled or node already settled
         };
         let name = name.clone();
+        let is_foreach = self.is_foreach(&name);
         match detection {
             Detection::Completed { .. } => {
                 self.log(LogKind::Detect, format!("{name} {task} completed"));
@@ -994,7 +1473,11 @@ impl<X: Executor> Engine<X> {
                 }
                 self.settle_attempt(&name, task, TaskOutcome::Completed, "task-end");
                 self.breaker_success(host.as_deref());
-                self.settle_node(&name, NodeStatus::Done);
+                if is_foreach {
+                    self.foreach_item_done(&name, slot);
+                } else {
+                    self.settle_node(&name, NodeStatus::Done);
+                }
             }
             Detection::Crashed { reason, .. } => {
                 let (why, reason_str) = match reason {
@@ -1034,7 +1517,11 @@ impl<X: Executor> Engine<X> {
                     });
                 }
                 self.breaker_failure(host.as_deref());
-                self.recover_or_fail(&name, slot, NodeStatus::Failed);
+                if is_foreach {
+                    self.foreach_item_failed(&name, slot, reason_str, true);
+                } else {
+                    self.recover_or_fail(&name, slot, NodeStatus::Failed);
+                }
             }
             Detection::ExceptionRaised {
                 name: exc, known, ..
@@ -1063,11 +1550,28 @@ impl<X: Executor> Engine<X> {
                     // failures).  Exhaustion still surfaces the exception so
                     // on='exception:<name>' handlers can catch it.
                     Severity::Recoverable => {
-                        self.recover_or_fail(&name, slot, NodeStatus::Exception(exc))
+                        if is_foreach {
+                            self.foreach_item_failed(&name, slot, &format!("exception:{exc}"), true)
+                        } else {
+                            self.recover_or_fail(&name, slot, NodeStatus::Exception(exc))
+                        }
                     }
                     // Fatal (and undeclared) exceptions cannot be masked by
-                    // retrying — straight to the workflow level (§5.3).
-                    Severity::Fatal => self.settle_node(&name, NodeStatus::Exception(exc)),
+                    // retrying — straight to the workflow level (§5.3); for
+                    // a fan-out item that means forfeiting retries and going
+                    // straight to failover or the exhaustion action.
+                    Severity::Fatal => {
+                        if is_foreach {
+                            self.foreach_item_failed(
+                                &name,
+                                slot,
+                                &format!("exception:{exc}"),
+                                false,
+                            )
+                        } else {
+                            self.settle_node(&name, NodeStatus::Exception(exc))
+                        }
+                    }
                 }
             }
             Detection::CheckpointRecorded { flag, .. } => {
@@ -1114,7 +1618,25 @@ impl<X: Executor> Engine<X> {
             let t = self.timers.pop().expect("peeked");
             // The node may have settled since the retry was scheduled
             // (e.g. a sibling replica won): skip stale timers.
-            if self.instance.status(&t.activity) == &NodeStatus::Running {
+            if self.instance.status(&t.activity) != &NodeStatus::Running {
+                continue;
+            }
+            if self.is_foreach(&t.activity) {
+                if let Some(rt) = self.nodes.get_mut(&t.activity) {
+                    rt.slots[t.slot].waiting = false;
+                }
+                // The item may have settled since (node-level cancellation
+                // races the timer): only still-pending items resubmit.
+                let pending = self
+                    .instance
+                    .items(&t.activity)
+                    .map(|it| it[t.slot].state == ItemState::Pending)
+                    .unwrap_or(false);
+                if pending {
+                    self.submit_item(&t.activity, t.slot);
+                    fired += 1;
+                }
+            } else {
                 self.submit_slot(&t.activity, t.slot);
                 fired += 1;
             }
@@ -1328,6 +1850,28 @@ impl<X: Executor> Engine<X> {
             sink.flush();
         }
         let trace = std::mem::take(&mut self.trace);
+        let mut dlq = Vec::new();
+        for (name, items) in self.instance.items_iter() {
+            let Some(spec) = self
+                .instance
+                .workflow()
+                .activity(name)
+                .and_then(|a| a.foreach.as_ref())
+            else {
+                continue;
+            };
+            for (idx, p) in items.iter().enumerate() {
+                if p.state == ItemState::DeadLettered {
+                    dlq.push(DlqEntry {
+                        activity: name.to_string(),
+                        index: idx,
+                        item: spec.items[idx].clone(),
+                        attempts: p.attempts,
+                        reason: p.reason.clone(),
+                    });
+                }
+            }
+        }
         StepOutcome::Finished(Box::new(Report {
             outcome: self.instance.outcome(),
             aborted,
@@ -1348,6 +1892,7 @@ impl<X: Executor> Engine<X> {
             log: std::mem::take(&mut self.log),
             trace,
             eval_errors: self.instance.eval_errors().to_vec(),
+            dlq,
         }))
     }
 }
@@ -1420,6 +1965,7 @@ mod tests {
             }],
             trace: vec![],
             eval_errors: vec![],
+            dlq: vec![],
         };
         assert!(report.is_success());
         assert_eq!(report.status_of("a"), Some("done"));

@@ -75,6 +75,79 @@ impl NodeStatus {
     }
 }
 
+/// Runtime state of one `foreach` item.  `Pending` covers everything
+/// non-terminal (unlaunched, in flight, waiting on a retry timer) — the
+/// distinction is engine-local and deliberately not checkpointed: an
+/// in-flight attempt interrupted by a crash is simply re-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ItemState {
+    /// Not yet settled.
+    #[default]
+    Pending,
+    /// Completed successfully.
+    Done,
+    /// Exhausted recovery under `on_item_failure='skip'`.
+    Skipped,
+    /// Exhausted recovery and landed in the dead-letter queue.
+    DeadLettered,
+    /// Cancelled because the activity failed (threshold breach or `stop`).
+    Cancelled,
+    /// The item whose exhaustion tripped `on_item_failure='stop'`.
+    Failed,
+}
+
+impl ItemState {
+    /// True once the item can no longer change state (this run).
+    pub fn is_terminal(self) -> bool {
+        self != ItemState::Pending
+    }
+
+    /// Stable wire string used in checkpoints and DLQ records.
+    pub fn wire_str(self) -> &'static str {
+        match self {
+            ItemState::Pending => "pending",
+            ItemState::Done => "done",
+            ItemState::Skipped => "skipped",
+            ItemState::DeadLettered => "dlq",
+            ItemState::Cancelled => "cancelled",
+            ItemState::Failed => "failed",
+        }
+    }
+
+    /// Parses the wire string back.
+    pub fn parse_wire(s: &str) -> Option<ItemState> {
+        match s {
+            "pending" => Some(ItemState::Pending),
+            "done" => Some(ItemState::Done),
+            "skipped" => Some(ItemState::Skipped),
+            "dlq" => Some(ItemState::DeadLettered),
+            "cancelled" => Some(ItemState::Cancelled),
+            "failed" => Some(ItemState::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// Per-item progress of a `foreach` activity.  Checkpointed with the
+/// instance so restarts neither re-run settled items nor forget banked
+/// attempts, and so `dlq retry` can flip dead-lettered items back to
+/// pending without touching anything else.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ItemProgress {
+    /// Current state.
+    pub state: ItemState,
+    /// Attempts consumed (primary + failover), surviving restarts up to
+    /// the last checkpoint.
+    pub attempts: u32,
+    /// True once the item switched to the failover program.
+    pub failover: bool,
+    /// True when a `dlq retry` reset this item; the engine records an
+    /// `item_reprocess` trace event on its first re-submission.
+    pub reprocess: bool,
+    /// Last failure classification (dead-lettered items).
+    pub reason: String,
+}
+
 /// State of one transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeState {
@@ -118,6 +191,7 @@ pub struct Instance {
     edges: Vec<EdgeState>,
     runs: HashMap<String, u32>,
     vars: HashMap<String, Value>,
+    items: HashMap<String, Vec<ItemProgress>>,
     /// Expression-evaluation problems encountered while resolving guards
     /// (logged, and the offending edge dies).
     eval_errors: Vec<String>,
@@ -144,6 +218,15 @@ impl Instance {
             .map(|v| (v.name.clone(), v.value.clone()))
             .collect();
         let edges = vec![EdgeState::Pending; workflow.transitions.len()];
+        let items = workflow
+            .activities
+            .iter()
+            .filter_map(|a| {
+                a.foreach
+                    .as_ref()
+                    .map(|f| (a.name.clone(), vec![ItemProgress::default(); f.items.len()]))
+            })
+            .collect();
         Instance {
             workflow,
             topo,
@@ -151,6 +234,7 @@ impl Instance {
             edges,
             runs,
             vars,
+            items,
             eval_errors: Vec::new(),
         }
     }
@@ -421,6 +505,42 @@ impl Instance {
         self.topo
             .iter()
             .map(move |n| (n.as_str(), &self.status[n.as_str()]))
+    }
+
+    /// Per-item progress of a `foreach` activity, indexed like its item
+    /// list.  `None` for ordinary activities.
+    pub fn items(&self, name: &str) -> Option<&[ItemProgress]> {
+        self.items.get(name).map(|v| v.as_slice())
+    }
+
+    /// `foreach` activities with their item progress, in topological order
+    /// (for checkpointing and report building).
+    pub fn items_iter(&self) -> impl Iterator<Item = (&str, &[ItemProgress])> {
+        self.topo.iter().filter_map(move |n| {
+            self.items
+                .get(n.as_str())
+                .map(|v| (n.as_str(), v.as_slice()))
+        })
+    }
+
+    /// Mutable per-item progress (engine bookkeeping).
+    ///
+    /// # Panics
+    /// Panics if the activity has no `foreach` or the index is out of range.
+    pub(crate) fn item_mut(&mut self, name: &str, idx: usize) -> &mut ItemProgress {
+        &mut self
+            .items
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("activity '{name}' has no foreach items"))[idx]
+    }
+
+    /// Restores one item's progress (engine-checkpoint restart path).
+    pub(crate) fn force_item(&mut self, name: &str, idx: usize, progress: ItemProgress) {
+        if let Some(v) = self.items.get_mut(name) {
+            if idx < v.len() {
+                v[idx] = progress;
+            }
+        }
     }
 
     /// Restores a node's status directly (engine-checkpoint restart path).

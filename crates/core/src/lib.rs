@@ -53,11 +53,15 @@ pub mod thread_executor;
 pub mod timeline;
 
 pub use breaker::{BreakerConfig, BreakerEvent, HostBreakers};
-pub use engine::{CheckpointSink, Engine, EngineConfig, LogEntry, LogKind, Report, StepOutcome};
+pub use engine::{
+    CheckpointSink, DlqEntry, Engine, EngineConfig, LogEntry, LogKind, Report, StepOutcome,
+};
 pub use executor::{Executor, Polled, SubmitRequest};
 pub use gridwfs_detect::{DetectorPolicy, PhiConfig};
 pub use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind, TraceSink};
-pub use instance::{CompleteResult, EdgeState, Instance, NodeStatus, Outcome};
+pub use instance::{
+    CompleteResult, EdgeState, Instance, ItemProgress, ItemState, NodeStatus, Outcome,
+};
 pub use sim_executor::{ExceptionProfile, SimGrid, TaskProfile};
 pub use thread_executor::{
     FaultHook, InjectedTaskFault, TaskContext, TaskFn, TaskResult, ThreadExecutor,

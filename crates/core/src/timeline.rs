@@ -262,6 +262,7 @@ mod tests {
             spans,
             trace: vec![],
             eval_errors: vec![],
+            dlq: vec![],
         }
     }
 

@@ -71,7 +71,7 @@ mod worker;
 pub use gridspec::{DetectorSpec, ExecMode, GridSpec, HostSpec, LinkSpec, ProfileSpec};
 pub use gridwfs_chaos::{relock, splitmix64, ChaosFs, FaultPlan, RealFs, StateFs};
 pub use gridwfs_storage::{
-    Backend, ChaosStorage, CountersSnapshot, DirStorage, MemStorage, Storage, WalStorage,
+    Backend, ChaosStorage, CountersSnapshot, DirStorage, MemStorage, Op, Storage, WalStorage,
 };
 pub use gridwfs_trace::{TraceEvent, TraceKind, TraceSink};
 pub use job::{JobId, JobRecord, JobState, Submission};

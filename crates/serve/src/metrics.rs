@@ -53,6 +53,17 @@ pub struct Counters {
     /// attempts already presumed dead and were discarded by fencing
     /// (derived from the trace stream by [`TraceMetricsSink`]).
     pub zombie_completions: AtomicU64,
+    /// `foreach` items settled to a terminal state other than the
+    /// dead-letter queue (derived from the trace stream by
+    /// [`TraceMetricsSink`]).
+    pub items_settled: AtomicU64,
+    /// `foreach` items parked in a job's dead-letter queue after
+    /// exhausting their recovery budget (derived from the trace stream
+    /// by [`TraceMetricsSink`]).
+    pub items_dead_lettered: AtomicU64,
+    /// Previously dead-lettered items re-run after a `dlq retry`
+    /// (derived from the trace stream by [`TraceMetricsSink`]).
+    pub items_reprocessed: AtomicU64,
     /// Workflow closures that panicked inside a worker (the worker
     /// survived; the job settled as `Failed`).
     pub jobs_panicked: AtomicU64,
@@ -275,6 +286,9 @@ impl Metrics {
             ("tasks_presumed_dead", get(&c.tasks_presumed_dead)),
             ("false_suspicions", get(&c.false_suspicions)),
             ("zombie_completions", get(&c.zombie_completions)),
+            ("items_settled", get(&c.items_settled)),
+            ("items_dead_lettered", get(&c.items_dead_lettered)),
+            ("items_reprocessed", get(&c.items_reprocessed)),
             ("jobs_panicked", get(&c.jobs_panicked)),
             ("quarantined", get(&c.quarantined)),
         ];
@@ -373,6 +387,15 @@ impl TraceSink for TraceMetricsSink {
             TraceKind::LateHeartbeat { task, .. } => {
                 self.false_suspicion(*task);
             }
+            TraceKind::ItemSettled { .. } => {
+                Metrics::incr(&self.metrics.counters.items_settled);
+            }
+            TraceKind::ItemDeadLettered { .. } => {
+                Metrics::incr(&self.metrics.counters.items_dead_lettered);
+            }
+            TraceKind::ItemReprocessed { .. } => {
+                Metrics::incr(&self.metrics.counters.items_reprocessed);
+            }
             _ => {}
         }
     }
@@ -469,6 +492,39 @@ mod tests {
         let json = metrics.snapshot_json(0);
         assert!(json.contains("\"task_retries\": 1"), "{json}");
         assert!(json.contains("\"tasks_presumed_dead\": 1"), "{json}");
+    }
+
+    #[test]
+    fn trace_sink_derives_foreach_item_counters() {
+        let metrics = Arc::new(Metrics::new());
+        let sink = TraceMetricsSink::new(metrics.clone());
+        let ev = |kind| TraceEvent { at: 1.0, kind };
+        for (item, outcome) in [(0, "done"), (1, "skipped"), (2, "cancelled")] {
+            sink.record(&ev(TraceKind::ItemSettled {
+                activity: "map".into(),
+                item,
+                outcome: outcome.into(),
+                attempts: 1,
+            }));
+        }
+        sink.record(&ev(TraceKind::ItemDeadLettered {
+            activity: "map".into(),
+            item: 3,
+            attempts: 2,
+            reason: "crash".into(),
+        }));
+        sink.record(&ev(TraceKind::ItemReprocessed {
+            activity: "map".into(),
+            item: 3,
+        }));
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        assert_eq!(get(&metrics.counters.items_settled), 3);
+        assert_eq!(get(&metrics.counters.items_dead_lettered), 1);
+        assert_eq!(get(&metrics.counters.items_reprocessed), 1);
+        let json = metrics.snapshot_json(0);
+        assert!(json.contains("\"items_settled\": 3"), "{json}");
+        assert!(json.contains("\"items_dead_lettered\": 1"), "{json}");
+        assert!(json.contains("\"items_reprocessed\": 1"), "{json}");
     }
 
     #[test]

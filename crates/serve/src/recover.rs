@@ -72,6 +72,16 @@ pub fn elapsed_name(id: JobId) -> String {
     format!("{id}.elapsed")
 }
 
+/// Record name of the job's dead-letter queue: the `foreach` items that
+/// exhausted their recovery budget in the job's last completed run.
+/// Written at settle alongside the result marker, cleared once a
+/// `dlq retry` flips the items back to pending.  The checkpoint remains
+/// the source of truth for item *states*; this record is the listing the
+/// CLI serves without parsing checkpoints.
+pub fn dlq_name(id: JobId) -> String {
+    format!("{id}.dlq")
+}
+
 /// On-disk path of a record under the per-file [`DirStorage`] layout —
 /// for tests and operators that inspect the state dir directly.  Other
 /// backends have no per-record paths.
@@ -108,16 +118,28 @@ pub fn trace_path(dir: &Path, id: JobId) -> PathBuf {
     dir.join(format!("{id}.trace.jsonl"))
 }
 
+/// Top-level `kind` tag of one journal line, if the line is a well-formed
+/// trace event.  The wire format pins `at` (a bare number) first and
+/// `kind` second (see `gridwfs_trace`), so the tag sits before any
+/// escapable string value in the line — a `"kind":"job_start"` byte
+/// sequence buried inside a *value* (an adversarial job label, a line
+/// appended by foreign tooling) never reaches this parse.
+fn journal_line_kind(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("{\"at\":")?;
+    let rest = rest[rest.find(',')?..].strip_prefix(",\"kind\":\"")?;
+    Some(&rest[..rest.find('"')?])
+}
+
 /// 0-based incarnation number the next `job_start` event in `path` gets:
-/// the count of `job_start` lines already in the journal.  A missing or
-/// unreadable journal counts as a fresh one.  (Trace journals live outside
-/// the state backend and are append-only diagnostics, so they stay on
-/// plain `std::fs`.)
+/// the count of lines whose **top-level** `kind` is `job_start`.  A
+/// missing or unreadable journal counts as a fresh one.  (Trace journals
+/// live outside the state backend and are append-only diagnostics, so
+/// they stay on plain `std::fs`.)
 pub fn count_incarnations(path: &Path) -> u32 {
     fs::read_to_string(path)
         .map(|text| {
             text.lines()
-                .filter(|line| line.contains("\"kind\":\"job_start\""))
+                .filter(|line| journal_line_kind(line) == Some("job_start"))
                 .count() as u32
         })
         .unwrap_or(0)
@@ -202,6 +224,7 @@ pub fn write_submission(st: &dyn Storage, id: JobId, sub: &Submission) -> std::i
         Op::Del(checkpoint_name(id)),
         Op::Del(result_name(id)),
         Op::Del(elapsed_name(id)),
+        Op::Del(dlq_name(id)),
         Op::Put(workflow_name(id), sub.workflow_xml.clone().into_bytes()),
         Op::Put(meta_name(id), meta.into_bytes()),
     ]);
@@ -212,21 +235,98 @@ pub fn write_submission(st: &dyn Storage, id: JobId, sub: &Submission) -> std::i
     }
 }
 
-/// Removes the persisted submission (rejected push rollback).
-pub fn remove_submission(st: &dyn Storage, id: JobId) {
-    let _ = st.apply(vec![
+/// Removes the persisted submission (rejected push rollback).  Deleting a
+/// record that does not exist is a no-op on every backend, so any reported
+/// error is real — and the caller must treat it as such: a rollback that
+/// cannot clear its staged records must not recycle the job id, or the
+/// next restart's scan resurrects the rolled-back job under an id the
+/// service has since handed to someone else.
+pub fn remove_submission(st: &dyn Storage, id: JobId) -> std::io::Result<()> {
+    let mut errors = st.apply(vec![
         Op::Del(workflow_name(id)),
         Op::Del(meta_name(id)),
         Op::Del(checkpoint_name(id)),
         Op::Del(result_name(id)),
         Op::Del(elapsed_name(id)),
+        Op::Del(dlq_name(id)),
     ]);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.swap_remove(0).1)
+    }
 }
 
 /// Serialized form of the terminal marker — one source of truth for the
 /// synchronous writer and the scheduler's group-commit batches.
 pub fn result_payload(state: &str, detail: &str) -> Vec<u8> {
     format!("state {state}\ndetail {detail}\n").into_bytes()
+}
+
+/// Serialized form of the dead-letter record: line-oriented like the meta
+/// record — an `entry <index>` line opens each dead item, followed by its
+/// fields.  Client-chosen text (item payload, failure reason) is escaped
+/// so it cannot inject lines.
+pub fn dlq_payload(entries: &[grid_wfs::DlqEntry]) -> Vec<u8> {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&format!("entry {}\n", e.index));
+        out.push_str(&format!("activity {}\n", escape_label(&e.activity)));
+        out.push_str(&format!("item {}\n", escape_label(&e.item)));
+        out.push_str(&format!("attempts {}\n", e.attempts));
+        out.push_str(&format!("reason {}\n", escape_label(&e.reason)));
+    }
+    out.into_bytes()
+}
+
+/// Parses [`dlq_payload`].  Unknown keys are skipped (forward
+/// compatibility); a field line before the first `entry` is an error.
+pub fn parse_dlq(text: &str) -> Result<Vec<grid_wfs::DlqEntry>, String> {
+    let mut out: Vec<grid_wfs::DlqEntry> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once(' ').unwrap_or((line, ""));
+        if key == "entry" {
+            let index = value
+                .parse()
+                .map_err(|_| format!("dlq record: bad entry index '{value}'"))?;
+            out.push(grid_wfs::DlqEntry {
+                activity: String::new(),
+                index,
+                item: String::new(),
+                attempts: 0,
+                reason: String::new(),
+            });
+            continue;
+        }
+        let Some(e) = out.last_mut() else {
+            return Err(format!("dlq record: field '{key}' before any entry"));
+        };
+        match key {
+            "activity" => e.activity = unescape_label(value),
+            "item" => e.item = unescape_label(value),
+            "attempts" => {
+                e.attempts = value
+                    .parse()
+                    .map_err(|_| format!("dlq record: bad attempts '{value}'"))?;
+            }
+            "reason" => e.reason = unescape_label(value),
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Reads and parses a job's dead-letter record; an absent record is an
+/// empty queue.
+pub fn read_dlq(st: &dyn Storage, id: JobId) -> Result<Vec<grid_wfs::DlqEntry>, String> {
+    match st.read_to_string(&dlq_name(id)) {
+        Ok(text) => parse_dlq(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("{}: {e}", dlq_name(id))),
+    }
 }
 
 /// Writes the terminal marker.
@@ -447,11 +547,54 @@ mod tests {
     }
 
     #[test]
+    fn dlq_record_round_trips_on_every_backend() {
+        let entries = vec![
+            grid_wfs::DlqEntry {
+                activity: "map".into(),
+                index: 2,
+                item: "shard two\nwith a newline".into(),
+                attempts: 3,
+                reason: "exception:transient".into(),
+            },
+            grid_wfs::DlqEntry {
+                activity: "map".into(),
+                index: 5,
+                item: "shard five".into(),
+                attempts: 1,
+                reason: "heartbeat-loss".into(),
+            },
+        ];
+        let root = tmpdir("dlq");
+        for st in backends(&root) {
+            // Absent record reads as an empty queue.
+            assert_eq!(read_dlq(st.as_ref(), JobId(4)).unwrap(), vec![]);
+            st.put(&dlq_name(JobId(4)), &dlq_payload(&entries)).unwrap();
+            assert_eq!(read_dlq(st.as_ref(), JobId(4)).unwrap(), entries);
+            // Admitting a fresh submission under the id clears the stale
+            // record in the same commit.
+            write_submission(st.as_ref(), JobId(4), &sub("fresh")).unwrap();
+            assert_eq!(read_dlq(st.as_ref(), JobId(4)).unwrap(), vec![]);
+        }
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn dlq_parser_rejects_garbage() {
+        assert!(parse_dlq("activity orphaned\n").is_err());
+        assert!(parse_dlq("entry not-a-number\n").is_err());
+        assert!(parse_dlq("entry 1\nattempts many\n").is_err());
+        // Unknown keys are skipped for forward compatibility.
+        let got = parse_dlq("entry 0\nfuture field\nattempts 2\n").unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].attempts, 2);
+    }
+
+    #[test]
     fn removed_submission_disappears() {
         let root = tmpdir("remove");
         for st in backends(&root) {
             write_submission(st.as_ref(), JobId(7), &sub("a")).unwrap();
-            remove_submission(st.as_ref(), JobId(7));
+            remove_submission(st.as_ref(), JobId(7)).unwrap();
             assert!(scan(st.as_ref()).unwrap().jobs.is_empty());
         }
         fs::remove_dir_all(&root).ok();
@@ -548,13 +691,38 @@ mod tests {
     }
 
     #[test]
+    fn incarnation_count_reads_the_top_level_kind_only() {
+        let dir = tmpdir("incarnations");
+        let path = dir.join("job-1.trace.jsonl");
+        // Two genuine incarnations, plus three lines that only *contain*
+        // the job_start needle: an event whose string value embeds it
+        // verbatim (foreign tooling appends to these journals — nothing
+        // guarantees escaped quotes), a line where `kind` is not the
+        // second field, and a truncated torn write.  Substring counting
+        // reports 5 and the resumed incarnation numbering diverges from
+        // the journal forever after.
+        let journal = concat!(
+            "{\"at\":0,\"kind\":\"job_start\",\"job\":1,\"incarnation\":0}\n",
+            "{\"at\":1,\"kind\":\"node_state\",\"activity\":\"a \\\"kind\\\":\\\"job_start\\\" b\",\"state\":\"running\"}\n",
+            "{\"at\":2,\"kind\":\"node_state\",\"activity\":\"raw \"kind\":\"job_start\" bytes\",\"state\":\"done\"}\n",
+            "{\"at\":3,\"nested\":{\"kind\":\"job_start\"},\"kind\":\"custom\"}\n",
+            "{\"at\":4,\"kind\":\"job_start\",\"job\":1,\"incarnation\":1}\n",
+            "{\"at\":5,\"kind\":\"job_sta", // torn tail, no newline
+        );
+        fs::write(&path, journal).unwrap();
+        assert_eq!(count_incarnations(&path), 2);
+        assert_eq!(count_incarnations(&dir.join("missing.jsonl")), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn elapsed_ledger_round_trips_and_clears() {
         let root = tmpdir("elapsed");
         for st in backends(&root) {
             assert_eq!(read_elapsed(st.as_ref(), JobId(5)), 0.0);
             write_elapsed(st.as_ref(), JobId(5), 12.5).unwrap();
             assert_eq!(read_elapsed(st.as_ref(), JobId(5)), 12.5);
-            remove_submission(st.as_ref(), JobId(5));
+            remove_submission(st.as_ref(), JobId(5)).unwrap();
             assert_eq!(read_elapsed(st.as_ref(), JobId(5)), 0.0);
         }
         fs::remove_dir_all(&root).ok();

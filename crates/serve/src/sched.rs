@@ -114,11 +114,24 @@ impl Ord for Sleeper {
 /// sequence of synchronous single-record puts leaves.
 #[derive(Default)]
 pub(crate) struct StateBatch {
-    writes: Vec<(String, Vec<u8>)>,
+    /// `Some(data)` stages a put, `None` stages a delete; either way the
+    /// latest staging for a record name wins.
+    writes: Vec<(String, Option<Vec<u8>>)>,
 }
 
 impl StateBatch {
     pub(crate) fn stage(&mut self, name: String, data: Vec<u8>) {
+        self.entry(name, Some(data));
+    }
+
+    /// Stages a delete so record removal rides the same group commit as
+    /// the tick's puts (backends apply dels before puts, but a batch
+    /// never holds both ops for one name — latest staging wins).
+    pub(crate) fn stage_del(&mut self, name: String) {
+        self.entry(name, None);
+    }
+
+    fn entry(&mut self, name: String, data: Option<Vec<u8>>) {
         if let Some(slot) = self.writes.iter_mut().find(|(n, _)| *n == name) {
             slot.1 = data;
         } else {
@@ -145,7 +158,10 @@ impl StateBatch {
         let ops = self
             .writes
             .drain(..)
-            .map(|(name, data)| Op::Put(name, data))
+            .map(|(name, data)| match data {
+                Some(data) => Op::Put(name, data),
+                None => Op::Del(name),
+            })
             .collect();
         for (name, e) in st.apply(ops) {
             eprintln!("gridwfs-serve: batched state write failed for {name}: {e}");

@@ -360,7 +360,18 @@ impl Service {
             shard.subs.remove(&id.0);
         }
         if let Some(st) = &self.shared.storage {
-            recover::remove_submission(st.as_ref(), id);
+            if let Err(e) = recover::remove_submission(st.as_ref(), id) {
+                // The staged workflow/meta records may still be durable.
+                // Recycling the id now would hand a future submission an id
+                // whose storage slot a restart will resurrect as *this*
+                // rolled-back job.  Burn the id instead, and tombstone the
+                // slot with a terminal marker so the restart scan skips it
+                // (best-effort: if the tombstone also fails, the burned id
+                // still keeps live state and stale records disjoint).
+                eprintln!("gridwfs-serve: rollback of {id} left staged records: {e}");
+                let _ = recover::write_result(st.as_ref(), id, "failed", "rolled-back");
+                return;
+            }
         }
         if let Some(dir) = &self.shared.cfg.trace_dir {
             let _ = std::fs::remove_file(recover::trace_path(dir, id));

@@ -363,6 +363,17 @@ pub(crate) fn settle(
         }
     }
     if shared.storage.is_some() {
+        // The dead-letter record rides the same group commit as the
+        // terminal marker: a job is never terminal without its DLQ, and
+        // a reprocess run that drained the queue clears the stale record
+        // in the same durability point that settles it.
+        if let Some(report) = &report {
+            if report.dlq.is_empty() {
+                batch.stage_del(recover::dlq_name(id));
+            } else {
+                batch.stage(recover::dlq_name(id), recover::dlq_payload(&report.dlq));
+            }
+        }
         batch.stage(
             recover::result_name(id),
             recover::result_payload(state.as_str(), &detail),

@@ -20,6 +20,18 @@
 //! Fault injection sits at the [`Storage`] record level (`ChaosStorage`),
 //! so the exact same decision stream hits the WAL, the per-file dir, and
 //! the in-memory table.
+//!
+//! The sweep is parameterized over the *workflow shape* as well: plain
+//! chains and `<Foreach>` fan-outs with per-item retry and a dead-letter
+//! queue.  For fan-outs a fourth invariant applies — **per-item
+//! accounting**: in the final checkpoint of a done job every instantiated
+//! item holds exactly one terminal state (settled + dead-lettered ==
+//! instantiated; nothing lost, nothing double-settled) and the persisted
+//! `.dlq` record names exactly the checkpoint's dead-lettered items.  The
+//! accounting is asserted strictly when the plan injects no storage
+//! faults, and is compared for equality across runs *and across backends*
+//! always (the record-level fault stream is backend-agnostic, so even
+//! what chaos leaves behind must match).
 
 mod common;
 
@@ -28,9 +40,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
+use grid_wfs::ItemState;
 use gridwfs_serve::{
-    recover, Backend, FaultPlan, GridSpec, JobId, MemStorage, Service, ServiceConfig, Storage,
-    Submission, SubmitError, WalStorage,
+    recover, Backend, FaultPlan, GridSpec, JobId, MemStorage, ProfileSpec, Service, ServiceConfig,
+    Storage, Submission, SubmitError, WalStorage,
 };
 
 const JOBS: u64 = 5;
@@ -63,11 +76,123 @@ fn submission(i: u64) -> Submission {
     }
 }
 
+/// A MapReduce-shaped job: a fan-out over four items whose program
+/// raises a recoverable exception probabilistically (seed-driven), with
+/// one retry before the item parks in the dead-letter queue, then a
+/// reduce step.  Parked items do not fail the job.
+fn submission_foreach(i: u64) -> Submission {
+    Submission {
+        name: format!("mapred-{i}"),
+        workflow_xml: format!(
+            "<Workflow name='m{i}'>\
+               <Exception name='flaky' fatal='false'/>\
+               <Activity name='map' interval='1'><Implement>m</Implement>\
+                 <Foreach max_parallel='2' max_attempts='2' on_item_failure='dlq'>\
+                   <Item>north</Item><Item>east</Item><Item>south</Item><Item>west</Item>\
+                 </Foreach>\
+               </Activity>\
+               <Activity name='reduce'><Implement>r</Implement></Activity>\
+               <Transition from='map' to='reduce'/>\
+               <Program name='m' duration='{}'><Option hostname='h1'/></Program>\
+               <Program name='r' duration='2'><Option hostname='h1'/></Program>\
+             </Workflow>",
+            3 + i
+        ),
+        grid: GridSpec::virtual_grid()
+            .with_host("h1", 1.0)
+            .with_profile(ProfileSpec {
+                program: "m".into(),
+                checkpoint_period: Some(1.0),
+                soft_crash_mttf: None,
+                exception: Some(("flaky".into(), 1, 0.3)),
+            }),
+        seed: 100 + i,
+        deadline: None,
+    }
+}
+
 /// Everything a combo run produces that the invariants inspect.
 struct Outcome {
     admitted: Vec<u64>,
     /// Per-job journal bytes after BOTH phases, keyed by job id.
     journals: BTreeMap<u64, Vec<u8>>,
+    /// Per-job item accounting lines derived from the final checkpoint
+    /// and `.dlq` record (empty vec for jobs without a fan-out).
+    accounting: BTreeMap<u64, Vec<String>>,
+}
+
+/// Derives the per-item accounting of one job from what storage holds
+/// after phase 2.  With `strict` (no storage faults were injected) the
+/// strong invariants are asserted outright: the job is done, its final
+/// checkpoint parses, every item is terminal — settled + dead-lettered
+/// == instantiated, one state each — and the `.dlq` record lists exactly
+/// the checkpoint's dead-lettered indices.  Without `strict`, whatever
+/// chaos left behind is rendered to lines so runs and backends can be
+/// compared for equality.
+fn item_accounting(st: &dyn Storage, id: JobId, strict: bool, ctx: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let done = st
+        .read_to_string(&recover::result_name(id))
+        .map(|r| r.starts_with("state done"))
+        .unwrap_or(false);
+    if !done {
+        // Legitimately failed (e.g. a chaos-injected workflow panic keyed
+        // by the job seed, which recurs identically every incarnation):
+        // the per-item invariants apply to completed fan-outs only.
+        out.push("not-done".into());
+        return out;
+    }
+    let ckpt = match st.read_to_string(&recover::checkpoint_name(id)) {
+        Ok(text) => text,
+        Err(e) => {
+            assert!(!strict, "{ctx}: {id}: done job without a checkpoint: {e}");
+            out.push("no-ckpt".into());
+            return out;
+        }
+    };
+    let instance = match grid_wfs::checkpoint::from_xml(&ckpt) {
+        Ok(instance) => instance,
+        Err(e) => {
+            // A torn final group commit can land the done marker next to
+            // an unreadable checkpoint on a per-record backend; the torn
+            // bytes are still deterministic, which is what non-strict
+            // sweeps compare.
+            assert!(!strict, "{ctx}: {id}: done job with torn checkpoint: {e}");
+            out.push("torn-ckpt".into());
+            return out;
+        }
+    };
+    let mut ckpt_dlq = Vec::new();
+    for (name, items) in instance.items_iter() {
+        for (idx, p) in items.iter().enumerate() {
+            if strict {
+                assert!(
+                    p.state.is_terminal(),
+                    "{ctx}: {id}: item {name}[{idx}] left {:?} in a done job",
+                    p.state
+                );
+            }
+            if p.state == ItemState::DeadLettered {
+                ckpt_dlq.push(idx);
+            }
+            out.push(format!(
+                "{name}[{idx}] {} attempts={}",
+                p.state.wire_str(),
+                p.attempts
+            ));
+        }
+    }
+    let dlq_record: Vec<usize> = recover::read_dlq(st, id)
+        .map(|entries| entries.iter().map(|e| e.index).collect())
+        .unwrap_or_default();
+    if strict {
+        assert_eq!(
+            dlq_record, ckpt_dlq,
+            "{ctx}: {id}: .dlq record disagrees with the checkpoint"
+        );
+    }
+    out.push(format!("dlq-record {dlq_record:?}"));
+    out
 }
 
 fn config(
@@ -90,10 +215,11 @@ fn config(
 }
 
 /// Phase 1 (chaos on) + phase 2 (restart, chaos off) in `base`.
-fn run_combo(base: &Path, spec: &str, backend: Backend) -> Outcome {
+fn run_combo(base: &Path, spec: &str, backend: Backend, submit: fn(u64) -> Submission) -> Outcome {
     let state = base.join("state");
     let trace = base.join("trace");
     let plan = FaultPlan::parse(spec).unwrap_or_else(|e| panic!("bad spec '{spec}': {e}"));
+    let strict = !plan.has_fs_faults();
     // The memory backend has no disk to restart from: both phases (and
     // the final inspection) share one table through the storage override,
     // which is exactly how a caller embeds the service without a disk.
@@ -112,7 +238,7 @@ fn run_combo(base: &Path, spec: &str, backend: Backend) -> Outcome {
     .unwrap_or_else(|e| panic!("phase-1 start ({spec}, {backend:?}): {e}"));
     let mut admitted = Vec::new();
     for i in 0..JOBS {
-        match svc.submit(submission(i)) {
+        match svc.submit(submit(i)) {
             Ok(id) => admitted.push(id.0),
             // An injected fault while persisting the submission: loudly
             // rejected, nothing of the job remains — not "admitted".
@@ -160,26 +286,44 @@ fn run_combo(base: &Path, spec: &str, backend: Backend) -> Outcome {
     }
 
     let mut journals = BTreeMap::new();
+    let mut accounting = BTreeMap::new();
     for &id in &admitted {
         let bytes = std::fs::read(recover::trace_path(&trace, JobId(id))).unwrap_or_default();
         journals.insert(id, bytes);
+        let ctx = format!("({spec}, {backend:?})");
+        accounting.insert(id, item_accounting(st.as_ref(), JobId(id), strict, &ctx));
     }
-    Outcome { admitted, journals }
+    Outcome {
+        admitted,
+        journals,
+        accounting,
+    }
 }
 
 /// Runs each seeded variant of `template` twice in fresh directories, on
 /// every backend, and asserts the two runs are indistinguishable.  The
 /// admission schedule must also agree **across** backends: the fault
 /// stream is keyed by record name, not by what the backend does with it.
-fn sweep(tag: &str, template: &str) {
+fn sweep(tag: &str, template: &str, submit: fn(u64) -> Submission) {
     common::quiet_expected_panics();
     for seed in SEEDS {
         let spec = format!("seed={seed},{template}");
         let mut admitted_by_backend: Vec<Vec<u64>> = Vec::new();
+        let mut accounting_by_backend: Vec<BTreeMap<u64, Vec<String>>> = Vec::new();
         for backend in [Backend::Wal, Backend::Dir, Backend::Memory] {
             let bt = backend.as_str();
-            let a = run_combo(&tmpdir(&format!("{tag}-{seed}-{bt}-a")), &spec, backend);
-            let b = run_combo(&tmpdir(&format!("{tag}-{seed}-{bt}-b")), &spec, backend);
+            let a = run_combo(
+                &tmpdir(&format!("{tag}-{seed}-{bt}-a")),
+                &spec,
+                backend,
+                submit,
+            );
+            let b = run_combo(
+                &tmpdir(&format!("{tag}-{seed}-{bt}-b")),
+                &spec,
+                backend,
+                submit,
+            );
             assert_eq!(
                 a.admitted, b.admitted,
                 "admission schedule diverged ({spec}, {backend:?})"
@@ -194,7 +338,12 @@ fn sweep(tag: &str, template: &str) {
                     String::from_utf8_lossy(bytes_b)
                 );
             }
+            assert_eq!(
+                a.accounting, b.accounting,
+                "item accounting diverged across runs ({spec}, {backend:?})"
+            );
             admitted_by_backend.push(a.admitted);
+            accounting_by_backend.push(a.accounting);
         }
         for pair in admitted_by_backend.windows(2) {
             assert_eq!(
@@ -202,22 +351,31 @@ fn sweep(tag: &str, template: &str) {
                 "admission schedule diverged across backends ({spec})"
             );
         }
+        // The record-level fault stream is backend-agnostic, so per-item
+        // accounting — including what chaos dead-lettered — must be
+        // seed-identical on the WAL, the per-file dir, and memory.
+        for pair in accounting_by_backend.windows(2) {
+            assert_eq!(
+                pair[0], pair[1],
+                "item accounting diverged across backends ({spec})"
+            );
+        }
     }
 }
 
 #[test]
 fn sweep_workflow_panics() {
-    sweep("panic", "panic=0.3");
+    sweep("panic", "panic=0.3", submission);
 }
 
 #[test]
 fn sweep_state_dir_write_and_rename_faults() {
-    sweep("wr", "write=0.25,rename=0.25");
+    sweep("wr", "write=0.25,rename=0.25", submission);
 }
 
 #[test]
 fn sweep_torn_writes_and_read_faults() {
-    sweep("torn", "torn=0.4,read=0.2");
+    sweep("torn", "torn=0.4,read=0.2", submission);
 }
 
 #[test]
@@ -225,5 +383,88 @@ fn sweep_everything_at_once() {
     sweep(
         "all",
         "panic=0.15,stall=0.4,stall_ms=5,write=0.15,torn=0.2,rename=0.15,read=0.1",
+        submission,
     );
+}
+
+/// Fan-outs under engine-level chaos only (panics + stalls, no storage
+/// faults): every group commit lands, so the strong per-item invariants
+/// are asserted outright in [`item_accounting`] — every job done, every
+/// item exactly one terminal state, `.dlq` record == checkpoint.
+#[test]
+fn sweep_foreach_items_survive_panics_and_restart() {
+    sweep(
+        "fe-panic",
+        "panic=0.3,stall=0.3,stall_ms=3",
+        submission_foreach,
+    );
+}
+
+/// Fan-outs under storage chaos (torn writes, failed writes/renames,
+/// read faults) plus panics: the sweep's generic invariants hold and the
+/// per-item accounting — including what chaos left dead-lettered — is
+/// byte-identical across runs and backends per seed.
+#[test]
+fn sweep_foreach_fanout_under_storage_chaos() {
+    sweep(
+        "fe-all",
+        "panic=0.15,write=0.15,torn=0.2,rename=0.15,read=0.1",
+        submission_foreach,
+    );
+}
+
+/// Worker-count invariance for fan-outs: however many workers race the
+/// fan-out, the journals and the final per-item accounting are
+/// byte-identical — scheduling is not allowed to leak into outcomes.
+#[test]
+fn foreach_accounting_is_worker_count_invariant() {
+    let mut baseline: Option<(BTreeMap<u64, Vec<u8>>, BTreeMap<u64, Vec<String>>)> = None;
+    for workers in [1, 2, 4] {
+        let base = tmpdir(&format!("fe-workers-{workers}"));
+        let state = base.join("state");
+        let trace = base.join("trace");
+        let svc = Service::start(ServiceConfig {
+            workers,
+            queue_capacity: 64,
+            state_dir: Some(state.clone()),
+            trace_dir: Some(trace.clone()),
+            backend: Backend::Wal,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let mut admitted = Vec::new();
+        for i in 0..JOBS {
+            admitted.push(svc.submit(submission_foreach(i)).unwrap().0);
+        }
+        assert!(svc.wait_all_terminal(Duration::from_secs(60)));
+        drop(svc.drain());
+        let st = WalStorage::open(&state).unwrap();
+        let mut journals = BTreeMap::new();
+        let mut accounting = BTreeMap::new();
+        for &id in &admitted {
+            journals.insert(
+                id,
+                std::fs::read(recover::trace_path(&trace, JobId(id))).unwrap(),
+            );
+            let ctx = format!("(workers={workers})");
+            accounting.insert(id, item_accounting(&st, JobId(id), true, &ctx));
+        }
+        match &baseline {
+            None => baseline = Some((journals, accounting)),
+            Some((j0, a0)) => {
+                for (&id, bytes) in &journals {
+                    assert_eq!(
+                        bytes,
+                        &j0[&id],
+                        "journal for job {id} depends on worker count ({workers} workers):\n{}",
+                        String::from_utf8_lossy(bytes)
+                    );
+                }
+                assert_eq!(
+                    &accounting, a0,
+                    "item accounting depends on worker count ({workers} workers)"
+                );
+            }
+        }
+    }
 }

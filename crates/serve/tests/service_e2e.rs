@@ -289,7 +289,11 @@ fn metrics_snapshot_surfaces_storage_counters() {
     assert!(snapshot.contains("\"schema\": 2"), "{snapshot}");
     assert!(snapshot.contains("\"backend\": \"wal\""), "{snapshot}");
     let field = |name: &str| -> u64 {
-        let tail = &snapshot[snapshot.find(&format!("\"{name}\": ")).unwrap_or_else(|| panic!("{name} missing: {snapshot}")) + name.len() + 4..];
+        let tail = &snapshot[snapshot
+            .find(&format!("\"{name}\": "))
+            .unwrap_or_else(|| panic!("{name} missing: {snapshot}"))
+            + name.len()
+            + 4..];
         tail.split(|c: char| !c.is_ascii_digit())
             .next()
             .unwrap()

@@ -280,3 +280,129 @@ fn queued_jobs_survive_a_kill_without_checkpoints() {
     drop(service);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn failed_rollback_burns_the_id_instead_of_resurrecting_the_job() {
+    use std::io;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use gridwfs_serve::{CountersSnapshot, MemStorage, Op, Storage, SubmitError};
+
+    /// [`MemStorage`] that can be armed to bounce any all-`Del` batch —
+    /// the shape of a rollback whose cleanup commit fails while the
+    /// staged admission records stay durable.  (Admission's own staging
+    /// batch mixes `Del`s with `Put`s, so it passes through untouched.)
+    struct DelFail {
+        inner: MemStorage,
+        arm: AtomicBool,
+    }
+    impl Storage for DelFail {
+        fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+            self.inner.read(name)
+        }
+        fn exists(&self, name: &str) -> bool {
+            self.inner.exists(name)
+        }
+        fn list(&self) -> io::Result<Vec<String>> {
+            self.inner.list()
+        }
+        fn apply(&self, ops: Vec<Op>) -> Vec<(String, io::Error)> {
+            if self.arm.load(Ordering::Relaxed) && ops.iter().all(|op| matches!(op, Op::Del(_))) {
+                return ops
+                    .iter()
+                    .map(|op| {
+                        (
+                            op.reported_name().to_string(),
+                            io::Error::other("injected commit failure"),
+                        )
+                    })
+                    .collect();
+            }
+            self.inner.apply(ops)
+        }
+        fn counters(&self) -> CountersSnapshot {
+            self.inner.counters()
+        }
+        fn compact(&self) -> io::Result<()> {
+            self.inner.compact()
+        }
+        fn backend_name(&self) -> &'static str {
+            self.inner.backend_name()
+        }
+    }
+
+    let st = Arc::new(DelFail {
+        inner: MemStorage::new(),
+        arm: AtomicBool::new(false),
+    });
+    let config = |queue_capacity| ServiceConfig {
+        workers: 1,
+        queue_capacity,
+        storage: Some(st.clone() as Arc<dyn Storage>),
+        ..ServiceConfig::default()
+    };
+    let sub = |name: &str, seed, paced| Submission {
+        name: name.into(),
+        workflow_xml: chain3_xml(),
+        grid: if paced {
+            GridSpec::paced_grid(0.25).with_host("local", 1.0)
+        } else {
+            GridSpec::virtual_grid().with_host("local", 1.0)
+        },
+        seed,
+        deadline: None,
+    };
+
+    // One busy worker and a 1-deep queue: the third admission is staged
+    // to storage, bounces off the full queue, and rolls back — with its
+    // cleanup deletes armed to fail.
+    let service = Service::start(config(1)).unwrap();
+    let blocker = service.submit(sub("blocker", 1, true)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.status(blocker).unwrap().state == JobState::Queued {
+        assert!(Instant::now() < deadline, "blocker never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let queued = service.submit(sub("queued", 2, false)).unwrap();
+    st.arm.store(true, Ordering::Relaxed);
+    match service.submit(sub("bounced", 3, false)) {
+        Err(SubmitError::QueueFull) => {}
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    st.arm.store(false, Ordering::Relaxed);
+
+    // The staged records could not be cleared, so the slot must hold a
+    // terminal tombstone and the id must be burned, not recycled.
+    let burned = JobId(queued.0 + 1);
+    assert!(
+        st.exists(&recover::meta_name(burned)),
+        "premise: staged meta survived the failed rollback"
+    );
+    assert_eq!(
+        st.read_to_string(&recover::result_name(burned)).unwrap(),
+        "state failed\ndetail rolled-back\n"
+    );
+    service.shutdown_now();
+
+    // Restart over the same storage: the interrupted jobs are re-admitted,
+    // the rolled-back admission is terminal — never resurrected — and a
+    // fresh submission gets a fresh id past the burned one.
+    let service = Service::start(config(8)).unwrap();
+    assert_eq!(
+        service.jobs().len(),
+        2,
+        "only the genuinely admitted jobs recover"
+    );
+    assert!(
+        service.status(burned).is_none(),
+        "rolled-back admission resurrected"
+    );
+    let fresh = service.submit(sub("fresh", 4, false)).unwrap();
+    assert_eq!(fresh.0, burned.0 + 1, "burned id handed out again");
+    assert!(service.wait_all_terminal(Duration::from_secs(30)));
+    assert_eq!(service.status(queued).unwrap().state, JobState::Done);
+    assert_eq!(service.status(fresh).unwrap().state, JobState::Done);
+    assert_eq!(service.status(fresh).unwrap().name, "fresh");
+    drop(service);
+}

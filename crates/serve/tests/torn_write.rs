@@ -73,8 +73,8 @@ fn meta_truncated_at_every_byte_boundary_recovers_or_quarantines() {
         recover::write_submission(&st, id, &submission()).unwrap();
         std::fs::write(recover::meta_path(&dir, id), &full[..len]).unwrap();
 
-        let scanned = recover::scan(&st)
-            .unwrap_or_else(|e| panic!("scan must not fail at len {len}: {e}"));
+        let scanned =
+            recover::scan(&st).unwrap_or_else(|e| panic!("scan must not fail at len {len}: {e}"));
         assert_eq!(
             scanned.jobs.len() as u64 + scanned.quarantined,
             1,
@@ -242,13 +242,17 @@ fn wal_truncated_at_every_byte_boundary_quarantines_only_the_tail() {
         // Every complete frame before the tear survives; the torn tail is
         // moved aside, byte for byte, never dropped silently.
         let valid = *bounds.iter().filter(|&&b| b <= len).max().unwrap();
-        let want: Vec<u64> = (1..=bounds.iter().filter(|&&b| b > 0 && b <= len).count() as u64)
-            .collect();
+        let want: Vec<u64> =
+            (1..=bounds.iter().filter(|&&b| b > 0 && b <= len).count() as u64).collect();
         let got = replay_ids(&dir, &full[..len]);
         assert_eq!(got, want, "len {len}: wrong survivor set");
 
         let healed = std::fs::read(dir.join(WAL_FILE)).unwrap();
-        assert_eq!(healed, &full[..valid], "len {len}: healed log not the valid prefix");
+        assert_eq!(
+            healed,
+            &full[..valid],
+            "len {len}: healed log not the valid prefix"
+        );
         let quarantined = std::fs::read(dir.join(WAL_QUARANTINE)).unwrap_or_default();
         assert_eq!(
             quarantined,

@@ -61,7 +61,9 @@ impl DirStorage {
 
 impl Storage for DirStorage {
     fn read(&self, name: &str) -> io::Result<Vec<u8>> {
-        self.fs.read_to_string(&self.path(name)).map(String::into_bytes)
+        self.fs
+            .read_to_string(&self.path(name))
+            .map(String::into_bytes)
     }
 
     fn read_to_string(&self, name: &str) -> io::Result<String> {

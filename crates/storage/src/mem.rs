@@ -94,7 +94,9 @@ mod tests {
     #[test]
     fn rename_of_missing_record_reports_not_found() {
         let st = MemStorage::new();
-        let err = st.rename("job-1.meta", "job-1.meta.quarantined").unwrap_err();
+        let err = st
+            .rename("job-1.meta", "job-1.meta.quarantined")
+            .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 

@@ -38,9 +38,9 @@ use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use gridwfs_chaos::{relock, write_atomic, RealFs};
+use gridwfs_chaos::{relock, write_atomic, RealFs, StateFs};
 
 use crate::{CountersSnapshot, Op, Storage, StorageCounters};
 
@@ -63,6 +63,11 @@ pub struct WalStorage {
     dir: PathBuf,
     inner: Mutex<WalInner>,
     counters: StorageCounters,
+    /// Filesystem the compaction snapshot swap goes through — [`RealFs`]
+    /// in production, a fault-injecting [`StateFs`] in crash tests (see
+    /// [`WalStorage::open_with_fs`]).  Appends use the held [`File`]
+    /// directly and are faulted at the [`Storage`] layer instead.
+    fs: Arc<dyn StateFs>,
 }
 
 struct WalInner {
@@ -77,6 +82,13 @@ impl WalStorage {
     /// Open (creating if needed) the WAL in `dir`, replaying the log and
     /// healing any torn tail.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<WalStorage> {
+        Self::open_with_fs(dir, Arc::new(RealFs))
+    }
+
+    /// [`WalStorage::open`] with the compaction-swap filesystem injected —
+    /// the seam crash tests use to fail `write_atomic` mid-compaction and
+    /// prove the appender survives.
+    pub fn open_with_fs(dir: impl Into<PathBuf>, fs: Arc<dyn StateFs>) -> io::Result<WalStorage> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         let log_path = dir.join(WAL_FILE);
@@ -133,6 +145,7 @@ impl WalStorage {
                 snapshot_bytes: offset as u64,
             }),
             counters,
+            fs,
         })
     }
 
@@ -148,12 +161,34 @@ impl WalStorage {
             .map(|(name, data)| Op::Put(name.clone(), data.clone()))
             .collect();
         let frame = encode_frame(&ops);
-        // Drop the append handle before the atomic swap: after the rename
-        // the old fd points at an unlinked inode and must not be written.
-        inner.file = None;
         let log_path = self.dir.join(WAL_FILE);
-        write_atomic(&RealFs, &log_path, &frame)?;
-        inner.file = Some(OpenOptions::new().append(true).open(&log_path)?);
+        // The old append handle stays in place while the snapshot swap
+        // runs: compaction is an optimisation, and a failed swap must
+        // leave the appender exactly as it was (the log on disk is
+        // untouched until the rename inside `write_atomic` lands).
+        let swap = write_atomic(self.fs.as_ref(), &log_path, &frame);
+        // Re-open the *path* regardless of the swap's outcome.  After a
+        // successful rename the old fd points at an unlinked inode and
+        // must not be written; after a failed swap the path still names
+        // the old log.  Either way the freshly opened handle appends to
+        // whatever the crash model left durable at `wal.log`.
+        match OpenOptions::new().append(true).open(&log_path) {
+            Ok(f) => inner.file = Some(f),
+            Err(reopen) => {
+                if swap.is_ok() {
+                    // The rename landed but the path cannot be re-opened:
+                    // the old fd is the unlinked pre-snapshot inode, and
+                    // appending to it would silently drop acknowledged
+                    // commits.  Fail loudly instead.
+                    inner.file = None;
+                    return Err(reopen);
+                }
+                // The swap never landed, so the old log — and the handle
+                // already in `inner.file` — are both still good.
+                return swap;
+            }
+        }
+        swap?;
         inner.log_bytes = frame.len() as u64;
         inner.snapshot_bytes = frame.len() as u64;
         self.counters.add(&self.counters.compactions, 1);
@@ -205,9 +240,11 @@ impl Storage for WalStorage {
                 .collect();
         }
 
-        self.counters.add(&self.counters.wal_appends, ops.len() as u64);
+        self.counters
+            .add(&self.counters.wal_appends, ops.len() as u64);
         self.counters.add(&self.counters.group_commits, 1);
-        self.counters.add(&self.counters.bytes_logged, frame.len() as u64);
+        self.counters
+            .add(&self.counters.bytes_logged, frame.len() as u64);
         inner.log_bytes += frame.len() as u64;
 
         let mut errors = Vec::new();
@@ -323,7 +360,10 @@ fn decode_ops(mut payload: &[u8]) -> Option<Vec<Op>> {
             OP_PUT => {
                 let (name, rest) = take_blob(payload)?;
                 let (data, rest) = take_blob(rest)?;
-                ops.push(Op::Put(String::from_utf8(name.to_vec()).ok()?, data.to_vec()));
+                ops.push(Op::Put(
+                    String::from_utf8(name.to_vec()).ok()?,
+                    data.to_vec(),
+                ));
                 payload = rest;
             }
             OP_DEL => {
@@ -384,7 +424,11 @@ const fn crc_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -537,14 +581,20 @@ mod tests {
         st.compact().unwrap();
         assert_eq!(st.counters().compactions, 1);
         let log_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
-        assert!(log_len < 10_000, "snapshot should be table-sized, got {log_len}");
+        assert!(
+            log_len < 10_000,
+            "snapshot should be table-sized, got {log_len}"
+        );
         // Appends keep working after the swap, and reopen sees everything.
         st.put("job-2.meta", b"later").unwrap();
         drop(st);
         let st = WalStorage::open(&dir).unwrap();
         assert_eq!(st.read_to_string("job-1.meta").unwrap(), "meta");
         assert_eq!(st.read_to_string("job-2.meta").unwrap(), "later");
-        assert!(st.read_to_string("job-1.ckpt.xml").unwrap().starts_with("ckpt 199"));
+        assert!(st
+            .read_to_string("job-1.ckpt.xml")
+            .unwrap()
+            .starts_with("ckpt 199"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -557,9 +607,72 @@ mod tests {
             st.put("job-1.ckpt.xml", &big).unwrap();
         }
         let c = st.counters();
-        assert!(c.compactions >= 1, "log grew 200 snapshots, never compacted");
+        assert!(
+            c.compactions >= 1,
+            "log grew 200 snapshots, never compacted"
+        );
         let log_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
         assert!(log_len < 600 * 1024, "log did not shrink: {log_len}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_compaction_write_leaves_appender_usable() {
+        use gridwfs_chaos::{ChaosFs, FaultPlan};
+        let dir = tmpdir("compact-write-fault");
+        let plan = FaultPlan {
+            write_p: 1.0, // every snapshot tmp write fails
+            ..FaultPlan::default()
+        };
+        let st = WalStorage::open_with_fs(&dir, Arc::new(ChaosFs::new(RealFs, plan))).unwrap();
+        st.put("job-1.meta", b"meta").unwrap();
+        st.put("job-1.ckpt.xml", b"ckpt").unwrap();
+        let before = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+
+        let err = st.compact().expect_err("injected tmp-write fault");
+        assert!(err.to_string().contains("chaos"), "unexpected error: {err}");
+        assert_eq!(st.counters().compactions, 0);
+        // The swap never landed: the log on disk is byte-for-byte intact...
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), before);
+        // ...and the appender still commits.
+        st.put("job-2.meta", b"after-failed-compaction").unwrap();
+        drop(st);
+        let st = WalStorage::open(&dir).unwrap();
+        assert_eq!(st.read_to_string("job-1.meta").unwrap(), "meta");
+        assert_eq!(st.read_to_string("job-1.ckpt.xml").unwrap(), "ckpt");
+        assert_eq!(
+            st.read_to_string("job-2.meta").unwrap(),
+            "after-failed-compaction",
+            "post-failure append must survive reopen"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_compaction_rename_leaves_appender_usable() {
+        use gridwfs_chaos::{ChaosFs, FaultPlan};
+        let dir = tmpdir("compact-rename-fault");
+        let plan = FaultPlan {
+            rename_p: 1.0, // tmp writes land, the swap rename never does
+            ..FaultPlan::default()
+        };
+        let st = WalStorage::open_with_fs(&dir, Arc::new(ChaosFs::new(RealFs, plan))).unwrap();
+        for i in 0..20u32 {
+            st.put("job-1.ckpt.xml", format!("ckpt {i}").as_bytes())
+                .unwrap();
+        }
+        let before = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
+
+        let err = st.compact().expect_err("injected rename fault");
+        assert!(err.to_string().contains("chaos"), "unexpected error: {err}");
+        // Crash-between-write-and-rename: the log still holds its previous
+        // version in full, and the tmp leftovers were cleaned up.
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), before);
+        st.put("job-2.meta", b"still-alive").unwrap();
+        drop(st);
+        let st = WalStorage::open(&dir).unwrap();
+        assert_eq!(st.read_to_string("job-1.ckpt.xml").unwrap(), "ckpt 19");
+        assert_eq!(st.read_to_string("job-2.meta").unwrap(), "still-alive");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

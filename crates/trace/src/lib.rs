@@ -301,6 +301,59 @@ pub enum TraceKind {
         /// Heartbeat sequence number.
         seq: u64,
     },
+    /// engine: a `foreach` activity started fanning out over its item set.
+    ForeachStarted {
+        /// Owning activity.
+        activity: String,
+        /// Total instantiated items.
+        items: usize,
+        /// Items still pending (smaller than `items` when resuming: done
+        /// and dead-lettered items are not re-run).
+        pending: usize,
+    },
+    /// engine: a `foreach` item reached a terminal state other than the
+    /// dead-letter queue.  Exactly one `item_settle` *or* `item_dlq` is
+    /// recorded per item per job completion — never both, never neither.
+    ItemSettled {
+        /// Owning activity.
+        activity: String,
+        /// 0-based item index (the slot of its task submissions).
+        item: usize,
+        /// `done`, `skipped`, `cancelled`, or `failed`.
+        outcome: String,
+        /// Attempts consumed, across primary and failover programs.
+        attempts: u32,
+    },
+    /// engine: a `foreach` item exhausted its recovery budget and was
+    /// recorded in the job's dead-letter queue.
+    ItemDeadLettered {
+        /// Owning activity.
+        activity: String,
+        /// 0-based item index.
+        item: usize,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+        /// Last failure classification.
+        reason: String,
+    },
+    /// engine: an exhausted item switched to its failover program with a
+    /// fresh attempt budget.
+    ItemFailover {
+        /// Owning activity.
+        activity: String,
+        /// 0-based item index.
+        item: usize,
+        /// Failover program now implementing the item.
+        program: String,
+    },
+    /// engine: a previously dead-lettered item is being re-run after a
+    /// `dlq retry` reset its state in the checkpoint.
+    ItemReprocessed {
+        /// Owning activity.
+        activity: String,
+        /// 0-based item index.
+        item: usize,
+    },
 }
 
 impl TraceKind {
@@ -334,6 +387,11 @@ impl TraceKind {
             TraceKind::ZombieCompletion { .. } => "zombie_completion",
             TraceKind::OrphanCancelled { .. } => "orphan_cancelled",
             TraceKind::LateHeartbeat { .. } => "late_heartbeat",
+            TraceKind::ForeachStarted { .. } => "foreach_start",
+            TraceKind::ItemSettled { .. } => "item_settle",
+            TraceKind::ItemDeadLettered { .. } => "item_dlq",
+            TraceKind::ItemFailover { .. } => "item_failover",
+            TraceKind::ItemReprocessed { .. } => "item_reprocess",
         }
     }
 }
@@ -585,6 +643,55 @@ impl TraceEvent {
                 o.push_str(",\"activity\":");
                 push_escaped(&mut o, activity);
                 o.push_str(&format!(",\"task\":{task},\"seq\":{seq}"));
+            }
+            TraceKind::ForeachStarted {
+                activity,
+                items,
+                pending,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(",\"items\":{items},\"pending\":{pending}"));
+            }
+            TraceKind::ItemSettled {
+                activity,
+                item,
+                outcome,
+                attempts,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(",\"item\":{item},\"outcome\":"));
+                push_escaped(&mut o, outcome);
+                o.push_str(&format!(",\"attempts\":{attempts}"));
+            }
+            TraceKind::ItemDeadLettered {
+                activity,
+                item,
+                attempts,
+                reason,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(
+                    ",\"item\":{item},\"attempts\":{attempts},\"reason\":"
+                ));
+                push_escaped(&mut o, reason);
+            }
+            TraceKind::ItemFailover {
+                activity,
+                item,
+                program,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(",\"item\":{item},\"program\":"));
+                push_escaped(&mut o, program);
+            }
+            TraceKind::ItemReprocessed { activity, item } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(",\"item\":{item}"));
             }
         }
         o.push('}');
@@ -956,6 +1063,71 @@ mod tests {
                     },
                 ),
                 r#"{"at":5,"kind":"late_heartbeat","activity":"a","task":3,"seq":7}"#,
+            ),
+        ];
+        for (event, wire) in cases {
+            assert_eq!(event.to_json(), wire);
+        }
+    }
+
+    #[test]
+    fn foreach_kinds_have_stable_wire_forms() {
+        let cases = [
+            (
+                ev(
+                    0.0,
+                    TraceKind::ForeachStarted {
+                        activity: "map".into(),
+                        items: 5,
+                        pending: 3,
+                    },
+                ),
+                r#"{"at":0,"kind":"foreach_start","activity":"map","items":5,"pending":3}"#,
+            ),
+            (
+                ev(
+                    7.5,
+                    TraceKind::ItemSettled {
+                        activity: "map".into(),
+                        item: 2,
+                        outcome: "done".into(),
+                        attempts: 1,
+                    },
+                ),
+                r#"{"at":7.5,"kind":"item_settle","activity":"map","item":2,"outcome":"done","attempts":1}"#,
+            ),
+            (
+                ev(
+                    9.0,
+                    TraceKind::ItemDeadLettered {
+                        activity: "map".into(),
+                        item: 4,
+                        attempts: 3,
+                        reason: "crashed".into(),
+                    },
+                ),
+                r#"{"at":9,"kind":"item_dlq","activity":"map","item":4,"attempts":3,"reason":"crashed"}"#,
+            ),
+            (
+                ev(
+                    4.25,
+                    TraceKind::ItemFailover {
+                        activity: "map".into(),
+                        item: 1,
+                        program: "backup".into(),
+                    },
+                ),
+                r#"{"at":4.25,"kind":"item_failover","activity":"map","item":1,"program":"backup"}"#,
+            ),
+            (
+                ev(
+                    0.0,
+                    TraceKind::ItemReprocessed {
+                        activity: "map".into(),
+                        item: 4,
+                    },
+                ),
+                r#"{"at":0,"kind":"item_reprocess","activity":"map","item":4}"#,
             ),
         ];
         for (event, wire) in cases {

@@ -91,6 +91,84 @@ pub struct ExceptionDecl {
     pub description: String,
 }
 
+/// What happens to a `foreach` item once it exhausts its recovery budget
+/// (primary retries plus any failover budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ItemAction {
+    /// Record the item in the job's dead-letter queue and continue with the
+    /// remaining items; the DLQ can be reprocessed later.
+    #[default]
+    DeadLetter,
+    /// Drop the item (settled as skipped) and continue.
+    Skip,
+    /// Fail the whole activity immediately; in-flight and pending items are
+    /// cancelled.
+    Stop,
+}
+
+impl ItemAction {
+    /// Parses the `on_item_failure=` attribute syntax: `dlq|skip|stop`.
+    pub fn parse(s: &str) -> Option<ItemAction> {
+        match s {
+            "dlq" => Some(ItemAction::DeadLetter),
+            "skip" => Some(ItemAction::Skip),
+            "stop" => Some(ItemAction::Stop),
+            _ => None,
+        }
+    }
+
+    /// Renders back to the `on_item_failure=` attribute syntax.
+    pub fn render(&self) -> &'static str {
+        match self {
+            ItemAction::DeadLetter => "dlq",
+            ItemAction::Skip => "skip",
+            ItemAction::Stop => "stop",
+        }
+    }
+}
+
+/// MapReduce-style fan-out over a data list: the activity's program is
+/// instantiated once per item, with bounded concurrency and a *per-item*
+/// error policy (the unit of recovery is the item, not the activity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForeachSpec {
+    /// The item payloads, in instantiation order.
+    pub items: Vec<String>,
+    /// Maximum items in flight at once; 0 = unbounded.
+    pub max_parallel: usize,
+    /// Per-item attempt budget on the primary program (≥ 1).
+    pub max_attempts: u32,
+    /// Pause before each per-item retry.
+    pub retry_interval: f64,
+    /// Policy once an item's budget (including failover) is exhausted.
+    pub on_exhausted: ItemAction,
+    /// Optional alternative program: after the primary budget is spent the
+    /// item gets a fresh `max_attempts` budget on this program.
+    pub failover: Option<String>,
+    /// Fail the activity once this many items have exhausted recovery.
+    pub max_failures: Option<u32>,
+    /// Fail the activity once this fraction of the item set has exhausted
+    /// recovery (0.0–1.0).
+    pub failure_threshold: Option<f64>,
+}
+
+impl ForeachSpec {
+    /// A fan-out over `items` with defaults: unbounded concurrency, one
+    /// attempt per item, exhausted items dead-lettered.
+    pub fn new(items: Vec<String>) -> Self {
+        ForeachSpec {
+            items,
+            max_parallel: 0,
+            max_attempts: 1,
+            retry_interval: 0.0,
+            on_exhausted: ItemAction::DeadLetter,
+            failover: None,
+            max_failures: None,
+            failure_threshold: None,
+        }
+    }
+}
+
 /// A node of the workflow DAG.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Activity {
@@ -121,6 +199,9 @@ pub struct Activity {
     pub inputs: Vec<String>,
     /// Logical output names.
     pub outputs: Vec<String>,
+    /// MapReduce fan-out: instantiate the program once per item with a
+    /// per-item error policy.  `None` = the ordinary single-instance node.
+    pub foreach: Option<ForeachSpec>,
 }
 
 impl Activity {
@@ -139,6 +220,7 @@ impl Activity {
             heartbeat_tolerance: 3.0,
             inputs: Vec::new(),
             outputs: Vec::new(),
+            foreach: None,
         }
     }
 
@@ -156,6 +238,7 @@ impl Activity {
             heartbeat_tolerance: 3.0,
             inputs: Vec::new(),
             outputs: Vec::new(),
+            foreach: None,
         }
     }
 
@@ -437,6 +520,25 @@ mod tests {
             .when(expr::parse("runs('a') < 3").unwrap());
         assert_eq!(t.trigger, Trigger::Exception("oom".into()));
         assert!(t.condition.is_some());
+    }
+
+    #[test]
+    fn item_action_parse_render_roundtrip() {
+        for a in [ItemAction::DeadLetter, ItemAction::Skip, ItemAction::Stop] {
+            assert_eq!(ItemAction::parse(a.render()), Some(a));
+        }
+        assert_eq!(ItemAction::parse("explode"), None);
+    }
+
+    #[test]
+    fn foreach_spec_defaults() {
+        let f = ForeachSpec::new(vec!["a".into(), "b".into()]);
+        assert_eq!(f.max_parallel, 0, "unbounded by default");
+        assert_eq!(f.max_attempts, 1);
+        assert_eq!(f.on_exhausted, ItemAction::DeadLetter);
+        assert!(f.failover.is_none());
+        assert!(f.max_failures.is_none());
+        assert!(f.failure_threshold.is_none());
     }
 
     #[test]

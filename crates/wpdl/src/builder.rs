@@ -236,6 +236,14 @@ impl ActivityBuilder<'_> {
         self.act().outputs.push(name.into());
         self
     }
+
+    /// Turns the activity into a `<Foreach>` fan-out over `spec.items`,
+    /// one dynamically instantiated task per item with the spec's
+    /// per-item error policy (MapReduce-style map steps).
+    pub fn foreach(mut self, spec: ForeachSpec) -> Self {
+        self.act().foreach = Some(spec);
+        self
+    }
 }
 
 /// Builds the paper's Figure 4 strategy: a fast unreliable task with a slow

@@ -71,6 +71,63 @@ fn parse_expr_attr(el: &Element, name: &str, src: &str) -> Result<expr::Expr, Wp
     })
 }
 
+fn parse_foreach(el: &Element) -> Result<ForeachSpec, WpdlError> {
+    let mut items = Vec::new();
+    for item in el.children_named("Item") {
+        items.push(item.text_content());
+    }
+    if items.is_empty() {
+        return err(el, "<Foreach> must list at least one <Item>");
+    }
+    for child in el.child_elements() {
+        if child.name != "Item" {
+            return err(
+                child,
+                format!("unknown element <{}> inside <Foreach>", child.name),
+            );
+        }
+    }
+    let mut spec = ForeachSpec::new(items);
+    if let Some(v) = el.get_attr("max_parallel") {
+        spec.max_parallel = parse_u32(el, "max_parallel", v)? as usize;
+    }
+    if let Some(v) = el.get_attr("max_attempts") {
+        spec.max_attempts = parse_u32(el, "max_attempts", v)?;
+        if spec.max_attempts == 0 {
+            return err(el, "max_attempts must be at least 1");
+        }
+    }
+    if let Some(v) = el.get_attr("interval") {
+        spec.retry_interval = parse_f64(el, "interval", v)?;
+        if spec.retry_interval < 0.0 {
+            return err(el, "interval must be non-negative");
+        }
+    }
+    if let Some(v) = el.get_attr("on_item_failure") {
+        spec.on_exhausted = ItemAction::parse(v).ok_or_else(|| WpdlError {
+            message: format!("unknown on_item_failure '{v}' (dlq|skip|stop)"),
+            pos: el.pos,
+        })?;
+    }
+    if let Some(v) = el.get_attr("failover") {
+        if v.is_empty() {
+            return err(el, "failover must name a program");
+        }
+        spec.failover = Some(v.to_string());
+    }
+    if let Some(v) = el.get_attr("max_failures") {
+        spec.max_failures = Some(parse_u32(el, "max_failures", v)?);
+    }
+    if let Some(v) = el.get_attr("failure_threshold") {
+        let t = parse_f64(el, "failure_threshold", v)?;
+        if !(0.0..=1.0).contains(&t) {
+            return err(el, "failure_threshold must be between 0 and 1");
+        }
+        spec.failure_threshold = Some(t);
+    }
+    Ok(spec)
+}
+
 fn parse_activity(el: &Element) -> Result<Activity, WpdlError> {
     let name = req_attr(el, "name")?.to_string();
     let mut act = Activity::dummy(name);
@@ -135,10 +192,16 @@ fn parse_activity(el: &Element) -> Result<Activity, WpdlError> {
     for output in el.children_named("Output") {
         act.outputs.push(output.text_content());
     }
+    if let Some(fe) = el.first_child("Foreach") {
+        act.foreach = Some(parse_foreach(fe)?);
+    }
     // Reject unknown children early — silent typos in policy elements are
     // exactly the failure mode a policy language must not have.
     for child in el.child_elements() {
-        if !matches!(child.name.as_str(), "Implement" | "Input" | "Output") {
+        if !matches!(
+            child.name.as_str(),
+            "Implement" | "Input" | "Output" | "Foreach"
+        ) {
             return err(
                 child,
                 format!("unknown element <{}> inside <Activity>", child.name),
@@ -407,6 +470,78 @@ mod tests {
         expect_err(
             "<Workflow><Activity name='a' backoff='0.5'/></Workflow>",
             "backoff must be at least 1",
+        );
+    }
+
+    #[test]
+    fn foreach_fan_out_parses() {
+        let src = r#"
+<Workflow name='map'>
+  <Activity name='mapper'>
+    <Implement>grind</Implement>
+    <Foreach max_parallel='2' max_attempts='3' interval='5'
+             on_item_failure='dlq' failover='grind_backup'
+             max_failures='4' failure_threshold='0.5'>
+      <Item>shard-0</Item>
+      <Item>shard-1</Item>
+      <Item>shard-2</Item>
+    </Foreach>
+  </Activity>
+  <Program name='grind' duration='10'><Option hostname='h1'/></Program>
+  <Program name='grind_backup' duration='30'><Option hostname='h2'/></Program>
+</Workflow>"#;
+        let w = from_str(src).unwrap();
+        let f = w.activity("mapper").unwrap().foreach.as_ref().unwrap();
+        assert_eq!(f.items, vec!["shard-0", "shard-1", "shard-2"]);
+        assert_eq!(f.max_parallel, 2);
+        assert_eq!(f.max_attempts, 3);
+        assert_eq!(f.retry_interval, 5.0);
+        assert_eq!(f.on_exhausted, ItemAction::DeadLetter);
+        assert_eq!(f.failover.as_deref(), Some("grind_backup"));
+        assert_eq!(f.max_failures, Some(4));
+        assert_eq!(f.failure_threshold, Some(0.5));
+    }
+
+    #[test]
+    fn foreach_defaults_and_violations() {
+        let w = from_str(
+            "<Workflow><Activity name='m'><Implement>p</Implement>\
+             <Foreach><Item>x</Item></Foreach></Activity>\
+             <Program name='p'><Option hostname='h'/></Program></Workflow>",
+        )
+        .unwrap();
+        let f = w.activity("m").unwrap().foreach.as_ref().unwrap();
+        assert_eq!(f.max_parallel, 0);
+        assert_eq!(f.max_attempts, 1);
+        assert_eq!(f.on_exhausted, ItemAction::DeadLetter);
+        expect_err(
+            "<Workflow><Activity name='m'><Foreach/></Activity></Workflow>",
+            "at least one <Item>",
+        );
+        expect_err(
+            "<Workflow><Activity name='m'><Foreach max_attempts='0'>\
+             <Item>x</Item></Foreach></Activity></Workflow>",
+            "max_attempts must be at least 1",
+        );
+        expect_err(
+            "<Workflow><Activity name='m'><Foreach on_item_failure='explode'>\
+             <Item>x</Item></Foreach></Activity></Workflow>",
+            "unknown on_item_failure",
+        );
+        expect_err(
+            "<Workflow><Activity name='m'><Foreach failure_threshold='1.5'>\
+             <Item>x</Item></Foreach></Activity></Workflow>",
+            "failure_threshold must be between 0 and 1",
+        );
+        expect_err(
+            "<Workflow><Activity name='m'><Foreach failover=''>\
+             <Item>x</Item></Foreach></Activity></Workflow>",
+            "failover must name a program",
+        );
+        expect_err(
+            "<Workflow><Activity name='m'><Foreach><Item>x</Item><Shard/>\
+             </Foreach></Activity></Workflow>",
+            "unknown element <Shard> inside <Foreach>",
         );
     }
 

@@ -120,6 +120,46 @@ pub fn validate(workflow: Workflow) -> Result<Validated, Vec<Issue>> {
     );
 
     for a in &w.activities {
+        if let Some(f) = &a.foreach {
+            if a.implement.is_none() {
+                issues.push(Issue {
+                    kind: IssueKind::BadPolicy,
+                    message: format!(
+                        "dummy activity '{}' cannot use <Foreach> (nothing to instantiate)",
+                        a.name
+                    ),
+                });
+            }
+            if a.policy == Policy::Replica {
+                issues.push(Issue {
+                    kind: IssueKind::BadPolicy,
+                    message: format!(
+                        "activity '{}' combines <Foreach> with policy='replica' (pick one fan-out)",
+                        a.name
+                    ),
+                });
+            }
+            if w.loop_for(&a.name).is_some() {
+                issues.push(Issue {
+                    kind: IssueKind::BadPolicy,
+                    message: format!(
+                        "activity '{}' combines <Foreach> with <Loop> (iterate items, not the node)",
+                        a.name
+                    ),
+                });
+            }
+            if let Some(alt) = &f.failover {
+                if w.program(alt).is_none() {
+                    issues.push(Issue {
+                        kind: IssueKind::DanglingReference,
+                        message: format!(
+                            "activity '{}' fails over to unknown program '{alt}'",
+                            a.name
+                        ),
+                    });
+                }
+            }
+        }
         match &a.implement {
             Some(prog) => match w.program(prog) {
                 None => issues.push(Issue {
@@ -408,6 +448,51 @@ mod tests {
                 .count(),
             2
         );
+    }
+
+    #[test]
+    fn foreach_rules_enforced() {
+        use crate::ast::{ForeachSpec, LoopSpec};
+        // Valid: implemented activity, failover resolves.
+        let mut w = base();
+        let mut m = Activity::new("m", "p");
+        let mut f = ForeachSpec::new(vec!["x".into(), "y".into()]);
+        f.failover = Some("p".into());
+        m.foreach = Some(f);
+        w.activities.push(m);
+        assert!(validate(w).is_ok());
+
+        // Dummy foreach, replica combo, loop combo, dangling failover.
+        let mut w = base();
+        let mut d = Activity::dummy("d");
+        d.foreach = Some(ForeachSpec::new(vec!["x".into()]));
+        w.activities.push(d);
+        let mut r = Activity::new("r", "p");
+        r.policy = Policy::Replica;
+        let mut f = ForeachSpec::new(vec!["x".into()]);
+        f.failover = Some("ghost".into());
+        r.foreach = Some(f);
+        w.activities.push(r);
+        let mut l = Activity::new("l", "p");
+        l.foreach = Some(ForeachSpec::new(vec!["x".into()]));
+        w.activities.push(l);
+        w.loops.push(LoopSpec {
+            activity: "l".into(),
+            condition: expr::parse("runs('l') < 2").unwrap(),
+        });
+        let issues = validate(w).unwrap_err();
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("cannot use <Foreach>")));
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("policy='replica' (pick one fan-out)")));
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("<Foreach> with <Loop>")));
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("fails over to unknown program 'ghost'")));
     }
 
     #[test]

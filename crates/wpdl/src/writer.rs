@@ -53,6 +53,34 @@ fn activity_to_element(a: &Activity) -> Element {
     if let Some(p) = &a.implement {
         el = el.child(Element::new("Implement").text(p.clone()));
     }
+    if let Some(f) = &a.foreach {
+        let mut fe = Element::new("Foreach");
+        if f.max_parallel != 0 {
+            fe = fe.attr("max_parallel", f.max_parallel.to_string());
+        }
+        if f.max_attempts != 1 {
+            fe = fe.attr("max_attempts", f.max_attempts.to_string());
+        }
+        if f.retry_interval != 0.0 {
+            fe = fe.attr("interval", fmt_num(f.retry_interval));
+        }
+        if f.on_exhausted != ItemAction::DeadLetter {
+            fe = fe.attr("on_item_failure", f.on_exhausted.render());
+        }
+        if let Some(p) = &f.failover {
+            fe = fe.attr("failover", p);
+        }
+        if let Some(n) = f.max_failures {
+            fe = fe.attr("max_failures", n.to_string());
+        }
+        if let Some(t) = f.failure_threshold {
+            fe = fe.attr("failure_threshold", fmt_num(t));
+        }
+        for item in &f.items {
+            fe = fe.child(Element::new("Item").text(item.clone()));
+        }
+        el = el.child(fe);
+    }
     el
 }
 
@@ -176,6 +204,17 @@ mod tests {
         let mut join = Activity::dummy("join");
         join.join = JoinMode::Or;
         w.activities.push(join);
+        let mut map = Activity::new("map", "fast_impl");
+        let mut f = ForeachSpec::new(vec!["shard-0".into(), "shard <1> & co".into()]);
+        f.max_parallel = 2;
+        f.max_attempts = 3;
+        f.retry_interval = 5.0;
+        f.on_exhausted = ItemAction::Skip;
+        f.failover = Some("fast_impl".into());
+        f.max_failures = Some(2);
+        f.failure_threshold = Some(0.5);
+        map.foreach = Some(f);
+        w.activities.push(map);
         let mut p = Program::new("fast_impl", 30.0, "a.example");
         p = p.option("b.example");
         p.options[1].executable = "sum".into();
@@ -226,6 +265,21 @@ mod tests {
         assert!(!text.contains("duration"), "{text}");
         assert!(!text.contains("service"), "{text}");
         assert!(!text.contains("heartbeat"), "{text}");
+        assert!(!text.contains("Foreach"), "{text}");
+    }
+
+    #[test]
+    fn foreach_defaults_are_omitted() {
+        let mut w = Workflow::new("map");
+        let mut a = Activity::new("m", "p");
+        a.foreach = Some(ForeachSpec::new(vec!["x".into()]));
+        w.activities.push(a);
+        w.programs.push(Program::new("p", 1.0, "h"));
+        let text = to_string(&w);
+        assert!(text.contains("<Foreach>"), "no attributes expected: {text}");
+        assert!(text.contains("<Item>x</Item>"), "{text}");
+        let back = parse::from_str(&text).unwrap();
+        assert_eq!(back, w);
     }
 
     #[test]

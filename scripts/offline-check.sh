@@ -22,9 +22,22 @@ REPO=/root/repo
 CHECK=/tmp/check
 
 mkdir -p "$CHECK"
-# Copy sources, preserving the incremental target dir.
+# Copy sources, preserving the incremental target dir.  Stage the copy and
+# move only content-changed files across: a straight tar extract preserves
+# repo mtimes, so a mirror file that was edited in place (e.g. patched to
+# prove a test fails first) and then restored to *older* repo content
+# would keep its stale compiled artifact — cargo's freshness check is
+# mtime-based and never sees time move backward.  `cp` stamps now.
+STAGE=$(mktemp -d)
 (cd "$REPO" && tar cf - --exclude=./target --exclude=./scripts .) | \
-    (cd "$CHECK" && tar xf -)
+    (cd "$STAGE" && tar xf -)
+(cd "$STAGE" && find . -type f | while read -r f; do
+    if ! cmp -s "$f" "$CHECK/$f"; then
+        mkdir -p "$CHECK/$(dirname "$f")"
+        cp "$f" "$CHECK/$f"
+    fi
+done)
+rm -rf "$STAGE"
 # Install the stub crates from the repo copy.
 rm -rf "$CHECK/stubs"
 cp -r "$REPO/scripts/stubs" "$CHECK/stubs"

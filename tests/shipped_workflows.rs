@@ -29,8 +29,8 @@ fn every_shipped_workflow_validates() {
     let files = all_xml();
     assert_eq!(
         files.len(),
-        7,
-        "figure2-6, the pipeline, and the recovery demo"
+        8,
+        "figure2-6, the pipeline, the recovery demo, and the mapreduce fan-out"
     );
     for f in files {
         let out = cmd_validate(&f).unwrap_or_else(|e| panic!("{}: {e}", f.display()));
@@ -191,6 +191,57 @@ fn recovery_demo_grid() -> GridConfig {
         .into_iter()
         .collect(),
     }
+}
+
+/// The mapreduce fan-out's grid (`grid.flaky.json`) as a literal — this
+/// test must also run where the JSON parser is unavailable.
+fn flaky_grid() -> GridConfig {
+    GridConfig {
+        seed: 2003,
+        hosts: vec![HostConfig {
+            hostname: "h1".into(),
+            speed: 1.0,
+            mttf: None,
+            downtime: 0.0,
+        }],
+        link: None,
+        host_links: Default::default(),
+        detector: None,
+        profiles: std::iter::once((
+            "mapper".to_string(),
+            ProfileConfig {
+                exception: Some(gridwfs::cli::ExceptionConfig {
+                    name: "bad_shard".into(),
+                    checks: 1,
+                    prob: 0.45,
+                }),
+                ..ProfileConfig::default()
+            },
+        ))
+        .collect(),
+    }
+}
+
+/// Pins the documented seed-2003 outcome (EXPERIMENTS.md and CI's
+/// dlq-smoke job both assert it): seven shards settle, shard-06 burns
+/// both attempts on `bad_shard` and parks in the dead-letter queue.
+#[test]
+fn mapreduce_parks_shard_06_at_the_documented_seed() {
+    let cfg = flaky_grid();
+    let opts = RunOptions {
+        workflow: Some(workflows_dir().join("mapreduce.xml")),
+        seed: Some(2003),
+        ..RunOptions::default()
+    };
+    let (report, _) = run_with_config(&cfg, &opts).expect("setup succeeds");
+    assert!(report.is_success(), "{:?}", report.outcome);
+    assert_eq!(report.dlq.len(), 1, "exactly one shard parks");
+    let entry = &report.dlq[0];
+    assert_eq!(entry.activity, "map");
+    assert_eq!(entry.item, "shard-06");
+    assert_eq!(entry.index, 6);
+    assert_eq!(entry.attempts, 2);
+    assert_eq!(entry.reason, "exception:bad_shard");
 }
 
 #[test]
