@@ -34,15 +34,25 @@
 //! behind it (the WAL's group commit is the durable default).  Under chaos the final accounting relaxes from "all done"
 //! to "every admitted job terminal" — injected faults may fail jobs, but
 //! must never lose them.
+//!
+//! `--replicas M` switches to federated fleet mode: M in-process services
+//! share one storage backend, each owning its admissions via expiring
+//! lease records (`--lease-ttl` seconds).  `--kill N` chaos-kills the
+//! last N replicas from the start — their share of the round-robin load
+//! is orphaned and the survivors must take it over after the leases
+//! lapse.  The run asserts zero lost jobs fleet-wide and reports the
+//! admission-to-terminal latency split by path (owner vs takeover).
 
+use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gridwfs_serve::json::{json_number, json_string};
 use gridwfs_serve::metrics::percentile;
 use gridwfs_serve::{
-    splitmix64, Backend, FaultPlan, GridSpec, JobState, Service, ServiceConfig, Submission,
-    SubmitError,
+    recover, splitmix64, Backend, DirStorage, FaultPlan, GridSpec, JobState, MemStorage, RealFs,
+    Service, ServiceConfig, Storage, Submission, SubmitError, WalStorage,
 };
 use gridwfs_wpdl::builder::WorkflowBuilder;
 
@@ -68,6 +78,9 @@ struct LoadOptions {
     chaos: Option<String>,
     virtual_time: bool,
     journal_hash: bool,
+    replicas: usize,
+    lease_ttl: f64,
+    kill: usize,
 }
 
 impl Default for LoadOptions {
@@ -86,6 +99,9 @@ impl Default for LoadOptions {
             chaos: None,
             virtual_time: false,
             journal_hash: false,
+            replicas: 1,
+            lease_ttl: 2.0,
+            kill: 0,
         }
     }
 }
@@ -135,6 +151,21 @@ fn parse_args(args: impl Iterator<Item = String>) -> LoadOptions {
             "--chaos" => opts.chaos = args.next(),
             "--virtual" => opts.virtual_time = true,
             "--journal-hash" => opts.journal_hash = true,
+            "--replicas" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    opts.replicas = n;
+                }
+            }
+            "--lease-ttl" => {
+                if let Some(s) = args.next().and_then(|v| v.parse().ok()) {
+                    opts.lease_ttl = s;
+                }
+            }
+            "--kill" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    opts.kill = n;
+                }
+            }
             _ => {}
         }
     }
@@ -199,11 +230,273 @@ fn chain_xml(i: usize) -> String {
         .expect("load workflow serialises")
 }
 
+/// `--replicas M`: a federated fleet of M in-process services over one
+/// shared storage backend.  The last `--kill` replicas are chaos-killed
+/// from the start (their admissions — and epoch-1 leases — land, but no
+/// worker ever runs them), so their share of the load is orphaned and
+/// the survivors must lease-take it over.  The harness drives the load
+/// round-robin across the whole fleet, dead members included, and then
+/// watches the *shared* storage until every admitted job has exactly one
+/// terminal result record: zero lost jobs, whoever settled them.
+fn fleet_main(opts: &LoadOptions) {
+    assert!(
+        opts.kill < opts.replicas,
+        "--kill {} must leave at least one survivor of {}",
+        opts.kill,
+        opts.replicas
+    );
+    assert!(opts.lease_ttl > 0.0, "--lease-ttl must be positive");
+    let st: Arc<dyn Storage> = match &opts.state_dir {
+        Some(dir) => match opts.backend {
+            Backend::Wal => Arc::new(WalStorage::open(dir).expect("wal state dir")),
+            Backend::Dir => {
+                Arc::new(DirStorage::new(Arc::new(RealFs), dir).expect("dir state dir"))
+            }
+            Backend::Memory => Arc::new(MemStorage::new()),
+        },
+        None => Arc::new(MemStorage::new()),
+    };
+    // A probability-1 replica-kill plan: the doomed members are chosen by
+    // position (the tail of the fleet), not by coin flip, so two runs of
+    // the same command line orphan the same jobs.
+    let kill_plan =
+        FaultPlan::parse(&format!("seed={},replica_kill=1", opts.seed)).expect("kill plan parses");
+    let fleet: Vec<Service> = (0..opts.replicas)
+        .map(|k| {
+            let killed = k >= opts.replicas - opts.kill;
+            // A killed replica admits its share but never drains its
+            // queue (no workers), so its queue must hold that share —
+            // otherwise the round-robin submitter retries QueueFull
+            // against it forever.
+            let queue_capacity = if killed {
+                opts.queue.max(opts.m / opts.replicas + 1)
+            } else {
+                opts.queue
+            };
+            Service::start(ServiceConfig {
+                workers: opts.workers,
+                max_in_flight: opts.inflight,
+                queue_capacity,
+                trace_dir: opts.trace_dir.clone(),
+                storage: Some(st.clone()),
+                chaos: killed.then(|| kill_plan.clone()),
+                replica_id: Some(format!("r{k}")),
+                replica_index: k,
+                fleet_size: opts.replicas,
+                lease_ttl: Duration::from_secs_f64(opts.lease_ttl),
+                ..ServiceConfig::default()
+            })
+            .expect("replica starts")
+        })
+        .collect();
+    let grid = if opts.virtual_time {
+        GridSpec::virtual_grid().with_host("local", 1.0)
+    } else {
+        GridSpec::paced_grid(opts.scale).with_host("local", 1.0)
+    };
+
+    let started = Instant::now();
+    let mut rejections = 0u64;
+    // (job id, submit instant, orphaned?) per admitted submission.
+    let mut admitted: Vec<(u64, Instant, bool)> = Vec::with_capacity(opts.m);
+    for i in 0..opts.m {
+        let k = i % opts.replicas;
+        let sub = Submission {
+            name: format!("load-{i}"),
+            workflow_xml: chain_xml(i),
+            grid: grid.clone(),
+            seed: opts.seed + i as u64,
+            deadline: None,
+        };
+        let mut attempt = 0u32;
+        loop {
+            match fleet[k].submit(sub.clone()) {
+                Ok(id) => {
+                    admitted.push((id.0, Instant::now(), k >= opts.replicas - opts.kill));
+                    break;
+                }
+                Err(SubmitError::QueueFull) => {
+                    rejections += 1;
+                    std::thread::sleep(backoff(opts.seed, i, attempt));
+                    attempt += 1;
+                }
+                Err(e) => panic!("submission {i} to r{k}: {e}"),
+            }
+        }
+    }
+
+    // Fleet-wide completion against the shared storage: every admitted
+    // job must produce its one terminal record within the hour.
+    let mut done_at: HashMap<u64, Instant> = HashMap::with_capacity(admitted.len());
+    let deadline = Instant::now() + Duration::from_secs(3600);
+    while done_at.len() < admitted.len() {
+        for &(id, _, _) in &admitted {
+            if !done_at.contains_key(&id)
+                && st.exists(&recover::result_name(gridwfs_serve::JobId(id)))
+            {
+                done_at.insert(id, Instant::now());
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet lost jobs: {}/{} settled within an hour",
+            done_at.len(),
+            admitted.len()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    let counter = |f: fn(&gridwfs_serve::metrics::Counters) -> u64| -> u64 {
+        fleet.iter().map(|s| f(&s.metrics().counters)).sum()
+    };
+    use std::sync::atomic::Ordering::Relaxed;
+    let takeovers = counter(|c| c.takeovers.load(Relaxed));
+    let fenced = counter(|c| c.fenced_writes.load(Relaxed));
+    let renewed = counter(|c| c.leases_renewed.load(Relaxed));
+    let expirations = counter(|c| c.lease_expirations.load(Relaxed));
+    for svc in fleet {
+        drop(svc.drain());
+    }
+
+    let mut done = 0usize;
+    for &(id, _, _) in &admitted {
+        let result = st
+            .read_to_string(&recover::result_name(gridwfs_serve::JobId(id)))
+            .expect("terminal record readable");
+        if result.starts_with("state done") {
+            done += 1;
+        }
+        assert!(
+            !st.exists(&recover::lease_name(gridwfs_serve::JobId(id))),
+            "job {id}: lease released with its settle"
+        );
+    }
+    let orphans = admitted.iter().filter(|&&(_, _, o)| o).count();
+    assert!(
+        takeovers >= orphans as u64,
+        "every orphaned job must be taken over: {takeovers} takeovers < {orphans} orphans"
+    );
+
+    // Admission-to-terminal wall latency, split by path: jobs the killed
+    // replicas orphaned (settled via lease takeover, so they eat at least
+    // one TTL of detection delay) vs jobs their owner ran to completion.
+    let split = |orphaned: bool| -> Vec<f64> {
+        let mut v: Vec<f64> = admitted
+            .iter()
+            .filter(|&&(_, _, o)| o == orphaned)
+            .map(|&(id, at, _)| (done_at[&id] - at).as_secs_f64())
+            .collect();
+        v.sort_by(f64::total_cmp);
+        v
+    };
+    let owned_lat = split(false);
+    let takeover_lat = split(true);
+
+    let journals = opts
+        .trace_dir
+        .as_deref()
+        .filter(|_| opts.journal_hash)
+        .map(|dir| journal_hash(dir).unwrap_or_else(|e| panic!("--journal-hash: {e}")));
+
+    println!(
+        "== loadgen fleet: {} jobs round-robin over {} replicas ({} chaos-killed), \
+         lease ttl {:.3}s",
+        opts.m, opts.replicas, opts.kill, opts.lease_ttl
+    );
+    println!(
+        "   completed: {done}/{} done, {} failed, 0 lost",
+        admitted.len(),
+        admitted.len() - done
+    );
+    println!(
+        "   leases: {renewed} renewed, {expirations} expired, {takeovers} takeovers \
+         ({orphans} orphaned jobs), {fenced} fenced writes"
+    );
+    println!(
+        "   latency (owner path):    p50 {:.3}s  p99 {:.3}s",
+        percentile(&owned_lat, 0.50),
+        percentile(&owned_lat, 0.99)
+    );
+    if !takeover_lat.is_empty() {
+        println!(
+            "   latency (takeover path): p50 {:.3}s  p99 {:.3}s",
+            percentile(&takeover_lat, 0.50),
+            percentile(&takeover_lat, 0.99)
+        );
+    }
+    if let Some((hash, count)) = journals {
+        println!("   journal hash: {hash:016x} over {count} journals");
+    }
+    println!("   wall time:  {wall:.3}s");
+
+    if let Some(path) = &opts.json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": {},\n", json_string("loadgen-fleet")));
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str(&format!("  \"m\": {},\n", opts.m));
+        out.push_str(&format!("  \"replicas\": {},\n", opts.replicas));
+        out.push_str(&format!("  \"killed\": {},\n", opts.kill));
+        out.push_str(&format!(
+            "  \"lease_ttl_seconds\": {},\n",
+            json_number(opts.lease_ttl)
+        ));
+        out.push_str(&format!("  \"workers\": {},\n", opts.workers));
+        out.push_str(&format!("  \"queue_capacity\": {},\n", opts.queue));
+        out.push_str(&format!("  \"seed\": {},\n", opts.seed));
+        out.push_str(&format!("  \"virtual\": {},\n", opts.virtual_time));
+        out.push_str(&format!(
+            "  \"backend\": {},\n",
+            json_string(opts.backend.as_str())
+        ));
+        out.push_str(&format!("  \"admitted\": {},\n", admitted.len()));
+        out.push_str(&format!("  \"completed\": {done},\n"));
+        out.push_str(&format!("  \"failed\": {},\n", admitted.len() - done));
+        out.push_str("  \"lost\": 0,\n");
+        out.push_str(&format!("  \"orphaned\": {orphans},\n"));
+        out.push_str(&format!("  \"takeovers\": {takeovers},\n"));
+        out.push_str(&format!("  \"leases_renewed\": {renewed},\n"));
+        out.push_str(&format!("  \"lease_expirations\": {expirations},\n"));
+        out.push_str(&format!("  \"fenced_writes\": {fenced},\n"));
+        out.push_str(&format!("  \"rejected_retried\": {rejections},\n"));
+        out.push_str(&format!(
+            "  \"owner_latency_seconds\": {{\"p50\": {}, \"p99\": {}}},\n",
+            json_number(percentile(&owned_lat, 0.50)),
+            json_number(percentile(&owned_lat, 0.99)),
+        ));
+        out.push_str(&format!(
+            "  \"takeover_latency_seconds\": {{\"p50\": {}, \"p99\": {}}},\n",
+            json_number(percentile(&takeover_lat, 0.50)),
+            json_number(percentile(&takeover_lat, 0.99)),
+        ));
+        if let Some((hash, count)) = journals {
+            out.push_str(&format!(
+                "  \"journal_hash\": {},\n",
+                json_string(&format!("{hash:016x}"))
+            ));
+            out.push_str(&format!("  \"journal_count\": {count},\n"));
+        }
+        out.push_str(&format!("  \"wall_seconds\": {}\n", json_number(wall)));
+        out.push_str("}\n");
+        match std::fs::write(path, out) {
+            Ok(()) => eprintln!("fleet summary written to {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args(std::env::args().skip(1));
     assert!(
         opts.m > 0 && opts.workers > 0 && opts.inflight > 0 && opts.queue > 0 && opts.scale > 0.0
     );
+    if opts.replicas > 1 {
+        assert!(
+            opts.chaos.is_none(),
+            "fleet mode injects its own replica-kill plan; --chaos is single-service"
+        );
+        return fleet_main(&opts);
+    }
     let chaos = opts
         .chaos
         .as_deref()

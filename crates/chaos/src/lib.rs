@@ -75,6 +75,7 @@ const SALT_WRITE: u64 = 0x0077_7269_7465; // "write"
 const SALT_TORN: u64 = 0x746f_726e; // "torn"
 const SALT_RENAME: u64 = 0x7265_6e61_6d65; // "rename"
 const SALT_READ: u64 = 0x7265_6164; // "read"
+const SALT_RKILL: u64 = 0x0072_6b69_6c6c; // "rkill"
 
 /// A seed-driven schedule of injectable faults, replayable by seed.
 ///
@@ -92,7 +93,11 @@ const SALT_READ: u64 = 0x7265_6164; // "read"
 /// mode, P(a task body stalls past its heartbeat interval)), `stall_ms`
 /// (stall duration), `write` (P(state-dir write fails)), `torn` (P(state-dir
 /// write silently truncates)), `rename` (P(rename fails — the
-/// crash-between-write-and-rename point)), `read` (P(state-dir read fails)).
+/// crash-between-write-and-rename point)), `read` (P(state-dir read fails)),
+/// `replica_kill` (P(a federated serve replica's scheduler and lease
+/// heartbeat are dead from startup — the replica admits jobs but never
+/// runs or renews them, so peers must take its work over), keyed by
+/// replica id).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Decision seed: same seed + same keys = same injected faults.
@@ -115,6 +120,10 @@ pub struct FaultPlan {
     pub rename_p: f64,
     /// Probability a state-dir read fails.
     pub read_p: f64,
+    /// Probability a federated serve replica is chaos-killed: its
+    /// scheduler and lease heartbeat never start, so every job it admits
+    /// must be taken over by a peer.  Keyed by replica id.
+    pub replica_kill_p: f64,
 }
 
 impl Default for FaultPlan {
@@ -129,6 +138,7 @@ impl Default for FaultPlan {
             torn_p: 0.0,
             rename_p: 0.0,
             read_p: 0.0,
+            replica_kill_p: 0.0,
         }
     }
 }
@@ -237,6 +247,7 @@ impl FaultPlan {
             "torn" => self.torn_p = prob(key, value)?,
             "rename" => self.rename_p = prob(key, value)?,
             "read" => self.read_p = prob(key, value)?,
+            "replica_kill" => self.replica_kill_p = prob(key, value)?,
             other => return Err(format!("chaos spec: unknown key {other:?}")),
         }
         Ok(())
@@ -256,6 +267,7 @@ impl FaultPlan {
         push("torn", self.torn_p);
         push("rename", self.rename_p);
         push("read", self.read_p);
+        push("replica_kill", self.replica_kill_p);
         if self.stall_p > 0.0 && self.stall_ms != 50 {
             out.push_str(&format!(",stall_ms={}", self.stall_ms));
         }
@@ -295,6 +307,14 @@ impl FaultPlan {
     pub fn task_stall(&self, job_seed: u64, task_id: u64) -> Option<Duration> {
         self.decide(SALT_TASK_STALL, mix(job_seed, task_id), self.stall_p)
             .then(|| Duration::from_millis(self.stall_ms))
+    }
+
+    /// Is the federated replica with this id chaos-killed?  Keyed by the
+    /// replica id string, so the decision is independent of fleet size,
+    /// submission order, and wall time — the property the federated chaos
+    /// sweep's paired-run determinism rests on.
+    pub fn replica_killed(&self, replica: &str) -> bool {
+        self.decide(SALT_RKILL, mix_str(0, replica), self.replica_kill_p)
     }
 
     /// Deterministic per-op fault decision for a named record: the `n`-th
@@ -752,6 +772,23 @@ mod tests {
             FaultPlan::parse("seed=3,panic=0.1,stall=0.2,stall_ms=75,torn=0.4,panic_seed=11")
                 .unwrap();
         assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+        let plan = FaultPlan::parse("seed=5,replica_kill=0.4").unwrap();
+        assert_eq!(plan.replica_kill_p, 0.4);
+        assert_eq!(FaultPlan::parse(&plan.to_spec()).unwrap(), plan);
+    }
+
+    #[test]
+    fn replica_kill_is_deterministic_per_replica_id() {
+        let plan = FaultPlan::parse("seed=7,replica_kill=0.5").unwrap();
+        let ids: Vec<String> = (0..64).map(|i| format!("r{i}")).collect();
+        let a: Vec<bool> = ids.iter().map(|r| plan.replica_killed(r)).collect();
+        let b: Vec<bool> = ids.iter().map(|r| plan.replica_killed(r)).collect();
+        assert_eq!(a, b, "same plan, same kill set");
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!((10..=54).contains(&hits), "p=0.5 over 64 draws: got {hits}");
+        // Replica kills do not gate the fs-fault wrapping decision.
+        assert!(!plan.has_fs_faults());
+        assert!(!FaultPlan::default().replica_killed("r0"));
     }
 
     // -- Decision determinism ----------------------------------------------

@@ -22,6 +22,10 @@
 //! * [`recover`] — persistence policy over the pluggable storage
 //!   backends ([`gridwfs_storage`]): a restarted service re-admits
 //!   unfinished jobs and resumes their engines from checkpoint;
+//! * `federate` — federated serve: M replicas over one backend, each
+//!   job owned through an expiring lease record; replicas renew on a
+//!   heartbeat, fence every state batch on their lease epoch, and take
+//!   over expired peers through the crash-recovery path;
 //! * [`metrics`] — counters / gauges / latency histogram, JSON snapshots.
 //!
 //! ## Quickstart
@@ -57,6 +61,7 @@
 //! assert_eq!(record.state, gridwfs_serve::JobState::Done);
 //! ```
 
+mod federate;
 pub mod gridspec;
 pub mod job;
 pub mod json;

@@ -69,6 +69,18 @@ pub struct Counters {
     pub jobs_panicked: AtomicU64,
     /// Corrupt state-dir entries moved aside by recovery scans.
     pub quarantined: AtomicU64,
+    /// Successful lease heartbeat renewals by this replica (federated
+    /// serve only; derived from the trace stream by [`TraceMetricsSink`]).
+    pub leases_renewed: AtomicU64,
+    /// Expired peer leases this replica claimed, driving the orphaned job
+    /// through the recovery path (derived from the trace stream).
+    pub takeovers: AtomicU64,
+    /// Storage batches rejected by lease fencing — a zombie owner tried
+    /// to write a job it no longer leases (derived from the trace stream).
+    pub fenced_writes: AtomicU64,
+    /// Expired leases observed by the takeover scanner before claiming
+    /// (derived from the trace stream by [`TraceMetricsSink`]).
+    pub lease_expirations: AtomicU64,
 }
 
 /// The registry: counters + the running-jobs gauge + the latency sketch.
@@ -291,6 +303,10 @@ impl Metrics {
             ("items_reprocessed", get(&c.items_reprocessed)),
             ("jobs_panicked", get(&c.jobs_panicked)),
             ("quarantined", get(&c.quarantined)),
+            ("leases_renewed", get(&c.leases_renewed)),
+            ("takeovers", get(&c.takeovers)),
+            ("fenced_writes", get(&c.fenced_writes)),
+            ("lease_expirations", get(&c.lease_expirations)),
         ];
         for (i, (name, v)) in counters.iter().enumerate() {
             let comma = if i + 1 < counters.len() { "," } else { "" };
@@ -395,6 +411,18 @@ impl TraceSink for TraceMetricsSink {
             }
             TraceKind::ItemReprocessed { .. } => {
                 Metrics::incr(&self.metrics.counters.items_reprocessed);
+            }
+            TraceKind::LeaseRenewed { .. } => {
+                Metrics::incr(&self.metrics.counters.leases_renewed);
+            }
+            TraceKind::LeaseExpired { .. } => {
+                Metrics::incr(&self.metrics.counters.lease_expirations);
+            }
+            TraceKind::LeaseTakeover { .. } => {
+                Metrics::incr(&self.metrics.counters.takeovers);
+            }
+            TraceKind::WriteFenced { .. } => {
+                Metrics::incr(&self.metrics.counters.fenced_writes);
             }
             _ => {}
         }

@@ -38,6 +38,13 @@
 //! Corrupt entries are quarantined (meta renamed to
 //! `job-<id>.meta.quarantined`, warning on stderr) rather than failing
 //! the whole startup: one bad job must not take the service down.
+//!
+//! Federated fleets add one more record: `job-<id>.lease` — which replica
+//! owns the job (`owner <id> epoch <n>` fencing line + `expires <t>`
+//! wall-clock deadline).  The lease is minted in the admission batch,
+//! renewed on the owner's heartbeat, CAS-claimed with a bumped epoch by a
+//! takeover scanner once expired, and deleted in the same group commit as
+//! the terminal result.  See `crate::federate`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -80,6 +87,11 @@ pub fn elapsed_name(id: JobId) -> String {
 /// CLI serves without parsing checkpoints.
 pub fn dlq_name(id: JobId) -> String {
     format!("{id}.dlq")
+}
+
+/// Record name of the job's ownership lease (federated fleets only).
+pub fn lease_name(id: JobId) -> String {
+    format!("{id}.lease")
 }
 
 /// On-disk path of a record under the per-file [`DirStorage`] layout —
@@ -204,12 +216,11 @@ fn unescape_label(s: &str) -> String {
     out
 }
 
-/// Persists an admitted submission (workflow + meta) as **one** group
-/// commit.  Any leftover checkpoint, result marker, or elapsed ledger at
-/// this id is cleared in the same batch: a freshly assigned id must never
-/// inherit another job's state, and admission costs a single durability
-/// point, not five.
-pub fn write_submission(st: &dyn Storage, id: JobId, sub: &Submission) -> std::io::Result<()> {
+/// The ops [`write_submission`] commits, exposed so a federated service
+/// can mint the job's lease inside the *same* admission batch.  `lease`
+/// of `Some(bytes)` puts `job-<id>.lease`; `None` clears any stale lease
+/// at the id (a reassigned id must not inherit one).
+pub fn write_submission_ops(id: JobId, sub: &Submission, lease: Option<Vec<u8>>) -> Vec<Op> {
     let mut meta = String::new();
     meta.push_str(&format!("name {}\n", escape_label(&sub.name)));
     meta.push_str(&format!("seed {}\n", sub.seed));
@@ -220,14 +231,31 @@ pub fn write_submission(st: &dyn Storage, id: JobId, sub: &Submission) -> std::i
             .unwrap_or_else(|| "-".into())
     ));
     meta.push_str(&sub.grid.to_manifest());
-    let mut errors = st.apply(vec![
+    let mut ops = vec![
         Op::Del(checkpoint_name(id)),
         Op::Del(result_name(id)),
         Op::Del(elapsed_name(id)),
         Op::Del(dlq_name(id)),
-        Op::Put(workflow_name(id), sub.workflow_xml.clone().into_bytes()),
-        Op::Put(meta_name(id), meta.into_bytes()),
-    ]);
+    ];
+    match lease {
+        Some(bytes) => ops.push(Op::Put(lease_name(id), bytes)),
+        None => ops.push(Op::Del(lease_name(id))),
+    }
+    ops.push(Op::Put(
+        workflow_name(id),
+        sub.workflow_xml.clone().into_bytes(),
+    ));
+    ops.push(Op::Put(meta_name(id), meta.into_bytes()));
+    ops
+}
+
+/// Persists an admitted submission (workflow + meta) as **one** group
+/// commit.  Any leftover checkpoint, result marker, elapsed ledger, or
+/// lease at this id is cleared in the same batch: a freshly assigned id
+/// must never inherit another job's state, and admission costs a single
+/// durability point, not five.
+pub fn write_submission(st: &dyn Storage, id: JobId, sub: &Submission) -> std::io::Result<()> {
+    let mut errors = st.apply(write_submission_ops(id, sub, None));
     if errors.is_empty() {
         Ok(())
     } else {
@@ -249,6 +277,7 @@ pub fn remove_submission(st: &dyn Storage, id: JobId) -> std::io::Result<()> {
         Op::Del(result_name(id)),
         Op::Del(elapsed_name(id)),
         Op::Del(dlq_name(id)),
+        Op::Del(lease_name(id)),
     ]);
     if errors.is_empty() {
         Ok(())
@@ -334,6 +363,84 @@ pub fn write_result(st: &dyn Storage, id: JobId, state: &str, detail: &str) -> s
     st.put(&result_name(id), &result_payload(state, detail))
 }
 
+/// One job's ownership lease (federated fleets).
+///
+/// Wire form is two lines: `owner <escaped-id> epoch <n>` — the *fencing
+/// line*, stable for as long as the same replica holds the same epoch —
+/// followed by `expires <unix-secs>`, rewritten on every heartbeat
+/// renewal.  Keeping the volatile expiry out of the first line is what
+/// lets every guarded batch carry `Op::Check(lease, fencing-line)`
+/// without re-reading the lease after each renewal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lease {
+    /// Replica id of the owner.
+    pub owner: String,
+    /// Fencing epoch, bumped by every ownership transfer.
+    pub epoch: u64,
+    /// Wall-clock (unix seconds) deadline after which any replica may
+    /// claim the job.
+    pub expires_at: f64,
+}
+
+impl Lease {
+    /// The first payload line — the byte prefix a fenced batch checks.
+    pub fn fence_prefix(owner: &str, epoch: u64) -> Vec<u8> {
+        format!("owner {} epoch {epoch}\n", escape_label(owner)).into_bytes()
+    }
+
+    /// Serialized record form.
+    pub fn payload(&self) -> Vec<u8> {
+        let mut out = Self::fence_prefix(&self.owner, self.epoch);
+        out.extend_from_slice(format!("expires {}\n", self.expires_at).as_bytes());
+        out
+    }
+
+    /// Parses [`Lease::payload`].
+    pub fn parse(text: &str) -> Result<Lease, String> {
+        let mut lines = text.lines();
+        let head = lines.next().ok_or("lease record: empty")?;
+        let head = head
+            .strip_prefix("owner ")
+            .ok_or_else(|| format!("lease record: bad owner line '{head}'"))?;
+        // The owner id is escaped, so it cannot contain a newline; split
+        // on the *last* " epoch " so an owner containing the literal text
+        // still round-trips.
+        let (owner, epoch) = head
+            .rsplit_once(" epoch ")
+            .ok_or_else(|| format!("lease record: missing epoch in '{head}'"))?;
+        let epoch = epoch
+            .parse()
+            .map_err(|_| format!("lease record: bad epoch '{epoch}'"))?;
+        let exp = lines.next().ok_or("lease record: missing expires line")?;
+        let exp = exp
+            .strip_prefix("expires ")
+            .ok_or_else(|| format!("lease record: bad expires line '{exp}'"))?;
+        let expires_at = exp
+            .parse()
+            .map_err(|_| format!("lease record: bad expires '{exp}'"))?;
+        Ok(Lease {
+            owner: unescape_label(owner),
+            epoch,
+            expires_at,
+        })
+    }
+
+    /// Has this lease expired at wall-clock `now` (unix seconds)?
+    pub fn expired(&self, now: f64) -> bool {
+        now >= self.expires_at
+    }
+}
+
+/// Reads and parses a job's lease.  `Ok(None)` when absent; corrupt
+/// records are an error so the caller can quarantine them.
+pub fn read_lease(st: &dyn Storage, id: JobId) -> Result<Option<Lease>, String> {
+    match st.read_to_string(&lease_name(id)) {
+        Ok(text) => Lease::parse(&text).map(Some),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("{}: {e}", lease_name(id))),
+    }
+}
+
 fn parse_meta(text: &str, wf_xml: String) -> Result<Submission, String> {
     let mut name = None;
     let mut seed = 0u64;
@@ -399,30 +506,40 @@ pub fn max_job_id(st: &dyn Storage) -> Result<u64, String> {
 pub struct Scan {
     /// Jobs to re-admit, ascending by id.
     pub jobs: Vec<(JobId, Submission)>,
+    /// Valid leases found, by job id (terminal jobs excluded).  A
+    /// federated service consults these to decide which scanned jobs it
+    /// may claim; single-replica services ignore them.
+    pub leases: std::collections::HashMap<u64, Lease>,
     /// Corrupt entries moved aside during this scan.
     pub quarantined: u64,
 }
 
-/// Moves a job's meta record aside so later scans skip it, keeping the
-/// workflow/checkpoint records around for post-mortem.  Backends make
-/// the rename as robust as they can (DirStorage falls back to
-/// copy+remove); if it still fails the record is named in the warning
-/// and the scan skips the job for this incarnation.
-fn quarantine(st: &dyn Storage, id: JobId, why: &str) {
-    let meta = meta_name(id);
-    let aside = format!("{meta}.quarantined");
-    eprintln!("gridwfs-serve: quarantining {id}: {why}");
-    if let Err(e) = st.rename(&meta, &aside) {
-        eprintln!("gridwfs-serve: cannot move {meta} aside to {aside}: {e}");
+/// Moves a corrupt record aside (`<name>.quarantined`) so later scans
+/// skip it, keeping it around for post-mortem.  Backends make the rename
+/// as robust as they can (DirStorage falls back to copy+remove); if it
+/// still fails the record is named in the warning.
+pub(crate) fn quarantine_record(st: &dyn Storage, name: &str, why: &str) {
+    let aside = format!("{name}.quarantined");
+    eprintln!("gridwfs-serve: quarantining {name}: {why}");
+    if let Err(e) = st.rename(name, &aside) {
+        eprintln!("gridwfs-serve: cannot move {name} aside to {aside}: {e}");
     }
+}
+
+/// Quarantines a job's meta record; the scan skips the job for this
+/// incarnation (workflow/checkpoint records stay for post-mortem).
+fn quarantine(st: &dyn Storage, id: JobId, why: &str) {
+    quarantine_record(st, &meta_name(id), why);
 }
 
 /// Scans storage for jobs to re-admit: every `job-<id>.meta` without a
 /// matching `job-<id>.result`, ascending by id.  Entries that cannot be
-/// read or parsed are quarantined with a stderr warning — one corrupt
-/// job must not keep the whole service from starting.
+/// read or parsed — including corrupt `job-<id>.lease` records — are
+/// quarantined with a stderr warning — one corrupt job must not keep the
+/// whole service from starting.
 pub fn scan(st: &dyn Storage) -> Result<Scan, String> {
     let mut ids: Vec<u64> = Vec::new();
+    let mut lease_ids: Vec<u64> = Vec::new();
     let names = st.list().map_err(|e| format!("storage list: {e}"))?;
     for name in names {
         if let Some(id) = name
@@ -433,35 +550,45 @@ pub fn scan(st: &dyn Storage) -> Result<Scan, String> {
                 Ok(id) => ids.push(id),
                 Err(_) => eprintln!("gridwfs-serve: ignoring bad job id in '{name}'"),
             }
+        } else if let Some(id) = name
+            .strip_prefix("job-")
+            .and_then(|r| r.strip_suffix(".lease"))
+        {
+            if let Ok(id) = id.parse() {
+                lease_ids.push(id);
+            }
         }
     }
     ids.sort_unstable();
     let mut out = Scan {
         jobs: Vec::new(),
+        leases: std::collections::HashMap::new(),
         quarantined: 0,
     };
+    for raw in lease_ids {
+        let id = JobId(raw);
+        match read_lease(st, id) {
+            Ok(Some(lease)) => {
+                out.leases.insert(raw, lease);
+            }
+            Ok(None) => {}
+            Err(why) => {
+                // A torn or garbled lease must not wedge recovery: move it
+                // aside and let ownership be re-established from scratch
+                // (the fencing epoch restarts, but so did the owner — any
+                // zombie holding the old epoch fails its prefix check
+                // against a freshly minted lease anyway).
+                quarantine_record(st, &lease_name(id), &why);
+                out.quarantined += 1;
+            }
+        }
+    }
     for raw in ids {
         let id = JobId(raw);
         if st.exists(&result_name(id)) {
             continue; // terminal before the restart
         }
-        let meta = match st.read_to_string(&meta_name(id)) {
-            Ok(meta) => meta,
-            Err(e) => {
-                quarantine(st, id, &format!("meta unreadable: {e}"));
-                out.quarantined += 1;
-                continue;
-            }
-        };
-        let wf = match st.read_to_string(&workflow_name(id)) {
-            Ok(wf) => wf,
-            Err(e) => {
-                quarantine(st, id, &format!("workflow unreadable: {e}"));
-                out.quarantined += 1;
-                continue;
-            }
-        };
-        match parse_meta(&meta, wf) {
+        match load_job(st, id) {
             Ok(sub) => out.jobs.push((id, sub)),
             Err(e) => {
                 quarantine(st, id, &e);
@@ -470,6 +597,19 @@ pub fn scan(st: &dyn Storage) -> Result<Scan, String> {
         }
     }
     Ok(out)
+}
+
+/// Reads and parses one job's submission (meta + workflow) from storage —
+/// the per-job half of [`scan`], also used by the federated takeover
+/// scanner to re-admit a claimed job.
+pub fn load_job(st: &dyn Storage, id: JobId) -> Result<Submission, String> {
+    let meta = st
+        .read_to_string(&meta_name(id))
+        .map_err(|e| format!("meta unreadable: {e}"))?;
+    let wf = st
+        .read_to_string(&workflow_name(id))
+        .map_err(|e| format!("workflow unreadable: {e}"))?;
+    parse_meta(&meta, wf)
 }
 
 #[cfg(test)]
@@ -713,6 +853,119 @@ mod tests {
         assert_eq!(count_incarnations(&path), 2);
         assert_eq!(count_incarnations(&dir.join("missing.jsonl")), 0);
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lease_record_round_trips_on_every_backend() {
+        let root = tmpdir("lease");
+        let lease = Lease {
+            owner: "replica a\\with \n oddities".into(),
+            epoch: 7,
+            expires_at: 1234.5,
+        };
+        for st in backends(&root) {
+            assert_eq!(read_lease(st.as_ref(), JobId(3)).unwrap(), None);
+            st.put(&lease_name(JobId(3)), &lease.payload()).unwrap();
+            assert_eq!(
+                read_lease(st.as_ref(), JobId(3)).unwrap(),
+                Some(lease.clone())
+            );
+            // The payload starts with the fencing line a guarded batch
+            // checks — stable across renewals of the same epoch.
+            assert!(lease
+                .payload()
+                .starts_with(&Lease::fence_prefix(&lease.owner, 7)));
+            assert!(!lease
+                .payload()
+                .starts_with(&Lease::fence_prefix(&lease.owner, 8)));
+            // Scan surfaces it; a fresh admission under the id clears it.
+            write_submission(st.as_ref(), JobId(3), &sub("fresh")).unwrap();
+            assert_eq!(read_lease(st.as_ref(), JobId(3)).unwrap(), None);
+            remove_submission(st.as_ref(), JobId(3)).unwrap();
+        }
+        assert!(lease.expired(1234.5));
+        assert!(!lease.expired(1234.4));
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn scan_returns_valid_leases_for_live_jobs() {
+        let root = tmpdir("lease-scan");
+        let lease = Lease {
+            owner: "r1".into(),
+            epoch: 2,
+            expires_at: 50.0,
+        };
+        for st in backends(&root) {
+            write_submission(st.as_ref(), JobId(1), &sub("a")).unwrap();
+            st.put(&lease_name(JobId(1)), &lease.payload()).unwrap();
+            let scanned = scan(st.as_ref()).unwrap();
+            assert_eq!(scanned.jobs.len(), 1);
+            assert_eq!(scanned.leases.get(&1), Some(&lease));
+            assert_eq!(scanned.quarantined, 0);
+        }
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_lease_is_quarantined_not_fatal() {
+        let root = tmpdir("lease-corrupt");
+        for st in backends(&root) {
+            write_submission(st.as_ref(), JobId(1), &sub("good")).unwrap();
+            st.put(&lease_name(JobId(1)), b"owner r1 ep").unwrap();
+            let scanned = scan(st.as_ref()).unwrap();
+            assert_eq!(scanned.jobs.len(), 1, "the job itself still recovers");
+            assert_eq!(scanned.quarantined, 1);
+            assert!(scanned.leases.is_empty());
+            assert!(!st.exists(&lease_name(JobId(1))), "bad lease moved aside");
+            assert!(st.exists("job-1.lease.quarantined"));
+            // Later scans stay clean.
+            assert_eq!(scan(st.as_ref()).unwrap().quarantined, 0);
+        }
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn lease_parser_rejects_garbage() {
+        assert!(Lease::parse("").is_err());
+        assert!(Lease::parse("owner r1\nexpires 1\n").is_err(), "no epoch");
+        assert!(Lease::parse("owner r1 epoch x\nexpires 1\n").is_err());
+        assert!(Lease::parse("owner r1 epoch 1\n").is_err(), "no expires");
+        assert!(Lease::parse("owner r1 epoch 1\nexpires soon\n").is_err());
+        // An owner containing the literal " epoch " still round-trips.
+        let tricky = Lease {
+            owner: "r epoch 9".into(),
+            epoch: 3,
+            expires_at: 1.0,
+        };
+        let text = String::from_utf8(tricky.payload()).unwrap();
+        assert_eq!(Lease::parse(&text).unwrap(), tricky);
+    }
+
+    #[test]
+    fn max_job_id_counts_lease_records() {
+        // A lease can be the *only* record a job id has left behind
+        // mid-takeover (admission batch torn after the lease landed on a
+        // faulting backend).  Takeover must never re-mint a live job's id.
+        let root = tmpdir("lease-maxid");
+        for st in backends(&root) {
+            st.put(
+                &lease_name(JobId(7)),
+                &Lease {
+                    owner: "r1".into(),
+                    epoch: 1,
+                    expires_at: 5.0,
+                }
+                .payload(),
+            )
+            .unwrap();
+            assert_eq!(max_job_id(st.as_ref()).unwrap(), 7);
+            assert!(
+                scan(st.as_ref()).unwrap().jobs.is_empty(),
+                "no meta, no job"
+            );
+        }
+        fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -155,6 +155,13 @@ impl StateBatch {
             self.writes.clear();
             return;
         };
+        if let Some(fed) = &shared.federate {
+            // Federated: every job's writes are fenced on its lease
+            // epoch; a batch from a replica that lost a lease is
+            // rejected at the storage layer, never double-settling.
+            crate::federate::flush_fenced(shared, fed, std::mem::take(&mut self.writes));
+            return;
+        }
         let ops = self
             .writes
             .drain(..)

@@ -75,6 +75,22 @@ pub struct ServiceConfig {
     /// (paced jobs spend most of their life waiting, so tens per worker
     /// is cheap — this is the knob behind the loadgen headline).
     pub max_in_flight: usize,
+    /// Federated serve: this replica's stable identity.  `Some` turns on
+    /// the lease discipline — every job this replica admits or recovers
+    /// is owned through an expiring `job-<id>.lease` record, every state
+    /// batch is fenced on the lease epoch, and a heartbeat thread renews
+    /// owned leases and takes over expired peers.  `None` (the default)
+    /// is the classic single-owner service.
+    pub replica_id: Option<String>,
+    /// Lease validity window for federated serve; a replica silent for
+    /// this long loses its jobs to the surviving fleet.
+    pub lease_ttl: Duration,
+    /// This replica's position in the fleet (`0..fleet_size`); with
+    /// `fleet_size`, it strides job-id allocation so replicas sharing a
+    /// backend can never mint the same id.
+    pub replica_index: usize,
+    /// Number of replicas sharing the backend (id-allocation stride).
+    pub fleet_size: usize,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +106,10 @@ impl Default for ServiceConfig {
             fs: Arc::new(RealFs),
             chaos: None,
             max_in_flight: 1,
+            replica_id: None,
+            lease_ttl: Duration::from_secs(2),
+            replica_index: 0,
+            fleet_size: 1,
         }
     }
 }
@@ -105,6 +125,10 @@ impl std::fmt::Debug for ServiceConfig {
             .field("trace_dir", &self.trace_dir)
             .field("chaos", &self.chaos)
             .field("max_in_flight", &self.max_in_flight)
+            .field("replica_id", &self.replica_id)
+            .field("lease_ttl", &self.lease_ttl)
+            .field("replica_index", &self.replica_index)
+            .field("fleet_size", &self.fleet_size)
             .finish_non_exhaustive()
     }
 }
@@ -156,8 +180,14 @@ pub(crate) struct Shared {
     /// (their manifests survive for the next incarnation) instead of
     /// running them.
     pub(crate) aborting: AtomicBool,
+    /// Federated-serve state (lease ownership, fencing epochs) when the
+    /// config names a replica; `None` is the classic single owner.
+    pub(crate) federate: Option<Arc<crate::federate::Federation>>,
     epoch: Instant,
     next_id: AtomicU64,
+    /// Job-id allocation stride: 1 standalone, `fleet_size` federated,
+    /// so replicas sharing a backend mint disjoint id residues.
+    id_stride: u64,
     /// Ids whose submission was rolled back before becoming observable
     /// (queue full / IO error).  Reused by the next submit so the
     /// submission→id mapping — and with it the per-job journal file names
@@ -185,6 +215,9 @@ impl Shared {
 pub struct Service {
     shared: Arc<Shared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// The federation heartbeat (lease renewal + takeover scanning);
+    /// joined after the workers so leases stay live through a drain.
+    federation: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Service {
@@ -215,6 +248,19 @@ impl Service {
             }
             _ => st,
         });
+        let federate = cfg
+            .replica_id
+            .clone()
+            .map(|r| Arc::new(crate::federate::Federation::new(r, cfg.lease_ttl)));
+        // A chaos-killed replica models a box that wedged right after
+        // accepting work: admission (and its lease minting) still runs,
+        // but no worker ever picks a job up and no heartbeat ever renews
+        // — its leases expire and the surviving fleet takes over.
+        let killed = match (&chaos, &cfg.replica_id) {
+            (Some(plan), Some(r)) => plan.replica_killed(r),
+            _ => false,
+        };
+        let id_stride = cfg.fleet_size.max(1) as u64;
         let shared = Arc::new(Shared {
             storage,
             chaos,
@@ -225,14 +271,17 @@ impl Service {
             trace_ring: RingSink::new(SERVICE_RING),
             accepting: AtomicBool::new(true),
             aborting: AtomicBool::new(false),
+            federate,
             epoch: Instant::now(),
             next_id: AtomicU64::new(1),
+            id_stride,
             free_ids: Mutex::new(Vec::new()),
             cfg,
         });
         if let Some(dir) = &shared.cfg.trace_dir {
             std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
         }
+        let mut max_id = 0;
         if let Some(st) = shared.storage.clone() {
             let scanned = recover::scan(st.as_ref())?;
             shared
@@ -243,37 +292,67 @@ impl Service {
             // Seed id allocation from every persisted job record —
             // terminal jobs included — so a reused id can never pick up
             // a stale checkpoint or result marker.
-            let max_id = recover::max_job_id(st.as_ref())?;
-            for (id, sub) in scanned.jobs {
-                let mut record = JobRecord::new(id, sub.name.clone(), shared.now(), true);
-                record.recovered = true;
-                let mut shard = shared.table.shard(id.0);
-                shard.jobs.insert(id.0, record);
-                shard.subs.insert(id.0, sub);
-                drop(shard);
-                // Refusing previously-admitted work would break the
-                // admission contract, so recovery bypasses the capacity
-                // check.
-                shared
-                    .queue
-                    .force_push(id)
-                    .map_err(|_| "queue closed during recovery".to_string())?;
-                Metrics::incr(&shared.metrics.counters.recovered);
-                Metrics::incr(&shared.metrics.counters.submitted);
-                shared.trace(TraceKind::JobRecovered { job: id.0 });
+            max_id = recover::max_job_id(st.as_ref())?;
+            if shared.federate.is_some() {
+                // Federated restarts re-admit under the lease discipline:
+                // reclaim our own jobs (epoch bumped, fencing our previous
+                // incarnation), take over expired peers, skip live ones.
+                // A chaos-killed replica adopts nothing.
+                if !killed {
+                    crate::federate::admit_scanned(&shared, scanned)?;
+                }
+            } else {
+                for (id, sub) in scanned.jobs {
+                    let mut record = JobRecord::new(id, sub.name.clone(), shared.now(), true);
+                    record.recovered = true;
+                    let mut shard = shared.table.shard(id.0);
+                    shard.jobs.insert(id.0, record);
+                    shard.subs.insert(id.0, sub);
+                    drop(shard);
+                    // Refusing previously-admitted work would break the
+                    // admission contract, so recovery bypasses the capacity
+                    // check.
+                    shared
+                        .queue
+                        .force_push(id)
+                        .map_err(|_| "queue closed during recovery".to_string())?;
+                    Metrics::incr(&shared.metrics.counters.recovered);
+                    Metrics::incr(&shared.metrics.counters.submitted);
+                    shared.trace(TraceKind::JobRecovered { job: id.0 });
+                }
             }
-            shared.next_id.store(max_id + 1, Ordering::Relaxed);
         }
-        let workers = (0..shared.cfg.workers)
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("gridwfs-serve-worker-{i}"))
-                    .spawn(move || crate::sched::worker_loop(shared, i))
-                    .expect("spawn worker")
-            })
-            .collect();
-        Ok(Service { shared, workers })
+        // First free id at or above `max_id + 1` in this replica's
+        // residue class (`(id - 1) % stride == replica_index`).
+        let k = (shared.cfg.replica_index as u64) % id_stride;
+        let mut first = max_id + 1;
+        first += (k + id_stride - ((first - 1) % id_stride)) % id_stride;
+        shared.next_id.store(first, Ordering::Relaxed);
+        let workers = if killed {
+            Vec::new()
+        } else {
+            (0..shared.cfg.workers)
+                .map(|i| {
+                    let shared = shared.clone();
+                    std::thread::Builder::new()
+                        .name(format!("gridwfs-serve-worker-{i}"))
+                        .spawn(move || crate::sched::worker_loop(shared, i))
+                        .expect("spawn worker")
+                })
+                .collect()
+        };
+        let federation = (!killed && shared.federate.is_some()).then(|| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("gridwfs-serve-lease".into())
+                .spawn(move || crate::federate::heartbeat_loop(shared))
+                .expect("spawn federation heartbeat")
+        });
+        Ok(Service {
+            shared,
+            workers,
+            federation,
+        })
     }
 
     /// Submits a workflow.  On `Ok` the job is admitted and will reach a
@@ -285,7 +364,11 @@ impl Service {
         }
         let id = match relock(&self.shared.free_ids).pop() {
             Some(freed) => JobId(freed),
-            None => JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed)),
+            None => JobId(
+                self.shared
+                    .next_id
+                    .fetch_add(self.shared.id_stride, Ordering::Relaxed),
+            ),
         };
         let record = JobRecord::new(id, sub.name.clone(), self.shared.now(), false);
         {
@@ -294,10 +377,22 @@ impl Service {
             shard.subs.insert(id.0, sub.clone());
         }
         if let Some(st) = &self.shared.storage {
-            if let Err(e) = recover::write_submission(st.as_ref(), id, &sub) {
+            // Federated admission mints the job's lease (epoch 1) in the
+            // same group commit as the submission records: the job is
+            // never durable without an owner.
+            let lease = self
+                .shared
+                .federate
+                .as_ref()
+                .map(|fed| fed.lease_payload(1));
+            let errors = st.apply(recover::write_submission_ops(id, &sub, lease));
+            if let Some((name, e)) = errors.into_iter().next() {
                 self.rollback(id);
                 self.reject(&sub.name, "io");
-                return Err(SubmitError::Io(e.to_string()));
+                return Err(SubmitError::Io(format!("{name}: {e}")));
+            }
+            if let Some(fed) = &self.shared.federate {
+                fed.adopt(id.0, 1);
             }
         }
         // Open the job's journal before it becomes poppable, so a worker's
@@ -354,6 +449,9 @@ impl Service {
     }
 
     fn rollback(&self, id: JobId) {
+        if let Some(fed) = &self.shared.federate {
+            fed.disown(id.0);
+        }
         {
             let mut shard = self.shared.table.shard(id.0);
             shard.jobs.remove(&id.0);
@@ -407,12 +505,25 @@ impl Service {
                 drop(shard);
                 Metrics::incr(&self.shared.metrics.counters.cancelled);
                 if let Some(st) = &self.shared.storage {
-                    let _ = recover::write_result(
-                        st.as_ref(),
-                        id,
-                        "cancelled",
-                        "cancelled while queued",
-                    );
+                    match &self.shared.federate {
+                        // Fenced: the terminal marker and the lease
+                        // removal commit together, gated on ownership.
+                        Some(fed) => crate::federate::write_result_fenced(
+                            &self.shared,
+                            fed,
+                            id,
+                            "cancelled",
+                            "cancelled while queued",
+                        ),
+                        None => {
+                            let _ = recover::write_result(
+                                st.as_ref(),
+                                id,
+                                "cancelled",
+                                "cancelled while queued",
+                            );
+                        }
+                    }
                 }
                 true
             }
@@ -476,6 +587,16 @@ impl Service {
         }
     }
 
+    /// Test/maintenance hook for federated serve: a paused replica stops
+    /// renewing its leases and scanning for takeovers, so a peer claims
+    /// its jobs once the TTL lapses — the zombie drill.  No-op for a
+    /// standalone service.
+    pub fn pause_federation(&self, paused: bool) {
+        if let Some(fed) = &self.shared.federate {
+            fed.set_paused(paused);
+        }
+    }
+
     fn halt(&mut self, abort: bool) {
         self.shared.accepting.store(false, Ordering::Relaxed);
         if abort {
@@ -484,6 +605,14 @@ impl Service {
         }
         self.shared.queue.close();
         for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Stop the heartbeat only after the workers are done: a graceful
+        // drain needs the leases renewed until the last job settles.
+        if let Some(fed) = &self.shared.federate {
+            fed.request_stop();
+        }
+        if let Some(h) = self.federation.take() {
             let _ = h.join();
         }
     }

@@ -374,6 +374,12 @@ pub(crate) fn settle(
                 batch.stage(recover::dlq_name(id), recover::dlq_payload(&report.dlq));
             }
         }
+        // A federated terminal settle releases the job's lease in the
+        // same group commit as the result marker: peers see either a
+        // live lease or a finished job, never an orphan window.
+        if shared.federate.is_some() {
+            batch.stage_del(recover::lease_name(id));
+        }
         batch.stage(
             recover::result_name(id),
             recover::result_payload(state.as_str(), &detail),

@@ -3,9 +3,9 @@
 
 use std::io;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use gridwfs_chaos::{write_atomic_batch, StateFs};
+use gridwfs_chaos::{relock, write_atomic_batch, StateFs};
 
 use crate::{CountersSnapshot, Op, Storage, StorageCounters};
 
@@ -22,6 +22,10 @@ pub struct DirStorage {
     fs: Arc<dyn StateFs>,
     dir: PathBuf,
     counters: StorageCounters,
+    /// Serializes `apply` so `Op::Check` preconditions are evaluated
+    /// atomically with the batch they guard (the other backends get this
+    /// for free from their table lock).
+    commit: Mutex<()>,
 }
 
 impl DirStorage {
@@ -33,6 +37,7 @@ impl DirStorage {
             fs,
             dir,
             counters: StorageCounters::default(),
+            commit: Mutex::new(()),
         })
     }
 
@@ -82,10 +87,21 @@ impl Storage for DirStorage {
         if ops.is_empty() {
             return Vec::new();
         }
+        let _commit = relock(&self.commit);
+        let checks = crate::eval_checks(&ops, |name| {
+            self.fs
+                .read_to_string(&self.path(name))
+                .ok()
+                .map(String::into_bytes)
+        });
+        if !checks.is_empty() {
+            return checks;
+        }
         let mut errors = Vec::new();
         let mut puts: Vec<(PathBuf, Vec<u8>)> = Vec::new();
         for op in ops {
             match op {
+                Op::Check(..) | Op::CheckAbsent(..) => {}
                 Op::Put(name, data) => puts.push((self.path(&name), data)),
                 Op::Del(name) => match self.fs.remove_file(&self.path(&name)) {
                     Ok(()) => {}

@@ -36,6 +36,15 @@
 //! Ordering contract: [`Storage::apply`] executes deletes and renames in
 //! op order, and commits all puts of the batch together at the end.
 //! Callers must not delete or rename a name they put in the same batch.
+//!
+//! Batches may carry preconditions: [`Op::Check`] (record exists and its
+//! bytes start with the given prefix — the *fencing token*) and
+//! [`Op::CheckAbsent`] (record does not exist).  Checks are evaluated
+//! atomically with the commit, before any mutation; if any check fails the
+//! whole batch is rejected and nothing lands.  A failed check reports a
+//! [`fence_conflict`] error under the checked name — the primitive the
+//! federated serve layer builds lease-epoch fencing and lease CAS claims
+//! on.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -66,6 +75,14 @@ pub enum Op {
     Del(String),
     /// Rename the record `from` to `to`, replacing any existing `to`.
     Rename(String, String),
+    /// Precondition: the record exists and its bytes start with the given
+    /// prefix.  An empty prefix only requires existence.  Evaluated
+    /// atomically with the commit; a failed check rejects the whole batch
+    /// with a [`fence_conflict`] error and nothing lands.
+    Check(String, Vec<u8>),
+    /// Precondition: the record does not exist.  Same rejection semantics
+    /// as [`Op::Check`].
+    CheckAbsent(String),
 }
 
 impl Op {
@@ -73,10 +90,57 @@ impl Op {
     /// creates or affects (`to` for renames).
     pub fn reported_name(&self) -> &str {
         match self {
-            Op::Put(name, _) | Op::Del(name) => name,
+            Op::Put(name, _) | Op::Del(name) | Op::Check(name, _) | Op::CheckAbsent(name) => name,
             Op::Rename(_, to) => to,
         }
     }
+}
+
+/// The error a failed [`Op::Check`]/[`Op::CheckAbsent`] rejects its batch
+/// with.  `PermissionDenied` with a recognizable prefix so callers can
+/// tell a fence conflict (expected under contention) from real I/O loss.
+pub fn fence_conflict(name: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::PermissionDenied,
+        format!("fenced: precondition failed for {name}"),
+    )
+}
+
+/// Is this error a batch rejection from a failed [`Op::Check`]?
+pub fn is_fence_conflict(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::PermissionDenied && e.to_string().starts_with("fenced:")
+}
+
+/// Evaluate a batch's preconditions against `current` (lookup of a
+/// record's present bytes).  Returns one [`fence_conflict`] per failed
+/// check; any failure means the batch must not commit.  Backends call
+/// this inside their commit-side critical section so the check and the
+/// mutation are atomic.
+pub(crate) fn eval_checks<F>(ops: &[Op], mut current: F) -> Vec<(String, io::Error)>
+where
+    F: FnMut(&str) -> Option<Vec<u8>>,
+{
+    let mut errors = Vec::new();
+    for op in ops {
+        match op {
+            Op::Check(name, prefix) => match current(name) {
+                Some(bytes) if bytes.starts_with(prefix) => {}
+                _ => errors.push((name.clone(), fence_conflict(name))),
+            },
+            Op::CheckAbsent(name) if current(name).is_some() => {
+                errors.push((name.clone(), fence_conflict(name)));
+            }
+            _ => {}
+        }
+    }
+    errors
+}
+
+/// Drop the precondition ops from a batch, leaving only the mutations.
+pub(crate) fn strip_checks(ops: Vec<Op>) -> Vec<Op> {
+    ops.into_iter()
+        .filter(|op| !matches!(op, Op::Check(..) | Op::CheckAbsent(..)))
+        .collect()
 }
 
 /// A flat namespace of named records with batched, crash-atomic mutation.
@@ -97,6 +161,11 @@ pub trait Storage: Send + Sync {
     /// Apply a batch of mutations as one group commit — one durability
     /// point for the whole batch.  Returns per-op failures keyed by
     /// [`Op::reported_name`]; an empty vec means every op landed.
+    ///
+    /// [`Op::Check`]/[`Op::CheckAbsent`] preconditions are evaluated
+    /// atomically with the commit: if any fails, the batch is rejected as
+    /// a whole (one [`fence_conflict`] error per failed check, no
+    /// mutation applied).
     fn apply(&self, ops: Vec<Op>) -> Vec<(String, io::Error)>;
 
     /// Snapshot of the backend's activity counters.
@@ -262,6 +331,15 @@ impl ChaosStorage {
     /// this op faults.  Mirrors `ChaosFs::fault`: the counter only
     /// advances for kinds the plan can actually fire.
     fn fault(&self, name: &str, kind: FsFaultKind) -> bool {
+        // Lease records are exempt from record-level injection: lease
+        // traffic is wall-clock-paced (heartbeat renewals, takeover
+        // scans), so faulting it would make the per-(name, op) sequence —
+        // and thus every later decision on the record — depend on real
+        // time, breaking seed-replayability.  Replica failure is injected
+        // with the plan's `replica_kill` knob instead.
+        if name.ends_with(".lease") {
+            return false;
+        }
         let p = match kind {
             FsFaultKind::Write => self.plan.write_p,
             FsFaultKind::Torn => self.plan.torn_p,
@@ -320,6 +398,9 @@ impl Storage for ChaosStorage {
                     }
                 }
                 Op::Del(name) => kept.push(Op::Del(name)),
+                // Preconditions pass through unfaulted: they are evaluated
+                // by the inner backend, atomically with the commit.
+                op @ (Op::Check(..) | Op::CheckAbsent(..)) => kept.push(op),
                 Op::Rename(from, to) => {
                     if self.fault(&to, FsFaultKind::Rename) {
                         errors.push((to.clone(), Self::injected("rename", &to)));
@@ -469,6 +550,109 @@ mod tests {
         let st = ChaosStorage::new(Arc::new(MemStorage::new()), plan);
         st.put("job-1.meta", b"0123456789").unwrap();
         assert_eq!(st.read("job-1.meta").unwrap(), b"01234");
+    }
+
+    #[test]
+    fn checks_gate_the_whole_batch_on_every_backend() {
+        let dir = tmpdir("checks");
+        for st in backends(&dir) {
+            st.put("job-1.lease", b"owner a epoch 1\nexpires 10\n")
+                .unwrap();
+            // Prefix matches: the guarded write lands.
+            let errors = st.apply(vec![
+                Op::Check("job-1.lease".into(), b"owner a epoch 1\n".to_vec()),
+                Op::Put("job-1.result".into(), b"state done\n".to_vec()),
+            ]);
+            assert!(errors.is_empty(), "{errors:?}");
+            assert!(st.exists("job-1.result"));
+
+            // Stale prefix: batch rejected as a whole, nothing lands.
+            let errors = st.apply(vec![
+                Op::Check("job-1.lease".into(), b"owner b epoch 2\n".to_vec()),
+                Op::Put("job-1.result".into(), b"state failed\n".to_vec()),
+                Op::Del("job-1.lease".into()),
+            ]);
+            assert_eq!(errors.len(), 1, "{errors:?}");
+            assert!(is_fence_conflict(&errors[0].1), "{:?}", errors[0].1);
+            assert_eq!(st.read_to_string("job-1.result").unwrap(), "state done\n");
+            assert!(st.exists("job-1.lease"), "rejected batch must not delete");
+
+            // CAS claim: succeeds once, the loser is fenced.
+            let claim = |owner: &str| {
+                st.apply(vec![
+                    Op::Check("job-1.lease".into(), b"owner a epoch 1\n".to_vec()),
+                    Op::Put(
+                        "job-1.lease".into(),
+                        format!("owner {owner} epoch 2\nexpires 20\n").into_bytes(),
+                    ),
+                ])
+            };
+            assert!(claim("b").is_empty());
+            let errors = claim("c");
+            assert_eq!(errors.len(), 1);
+            assert!(is_fence_conflict(&errors[0].1));
+            assert!(st
+                .read_to_string("job-1.lease")
+                .unwrap()
+                .starts_with("owner b epoch 2\n"));
+
+            // CheckAbsent: first writer wins.
+            let mint = |owner: &str| {
+                st.apply(vec![
+                    Op::CheckAbsent("job-2.lease".into()),
+                    Op::Put(
+                        "job-2.lease".into(),
+                        format!("owner {owner} epoch 1\nexpires 5\n").into_bytes(),
+                    ),
+                ])
+            };
+            assert!(mint("a").is_empty());
+            let errors = mint("b");
+            assert_eq!(errors.len(), 1);
+            assert!(is_fence_conflict(&errors[0].1));
+
+            // A check-only batch that passes is a no-op, not an error.
+            assert!(st
+                .apply(vec![Op::Check("job-2.lease".into(), b"owner a".to_vec())])
+                .is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checks_survive_wal_reopen_without_replaying() {
+        // Checks are preconditions, not state: they must not be framed
+        // into the log, and guarded state must replay correctly.
+        let dir = tmpdir("checks-wal");
+        {
+            let st = WalStorage::open(dir.join("wal")).unwrap();
+            st.put("job-1.lease", b"owner a epoch 1\n").unwrap();
+            assert!(st
+                .apply(vec![
+                    Op::Check("job-1.lease".into(), b"owner a".to_vec()),
+                    Op::Put("job-1.result".into(), b"state done\n".to_vec()),
+                ])
+                .is_empty());
+        }
+        let st = WalStorage::open(dir.join("wal")).unwrap();
+        assert_eq!(st.read_to_string("job-1.result").unwrap(), "state done\n");
+        // 1 put + 1 guarded put (check not logged).
+        assert_eq!(st.counters().recovery_replayed_records, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_exempts_lease_records_and_forwards_checks() {
+        let plan = FaultPlan::parse("seed=5,write=1.0,read=1.0").unwrap();
+        let st = ChaosStorage::new(Arc::new(MemStorage::new()), plan);
+        // Every write and read faults — except on lease records.
+        st.put("job-1.lease", b"owner a epoch 1\n").unwrap();
+        assert_eq!(st.read("job-1.lease").unwrap(), b"owner a epoch 1\n");
+        assert!(st.put("job-1.meta", b"meta").is_err());
+        // Checks pass through to the inner backend untouched.
+        let errors = st.apply(vec![Op::Check("job-1.lease".into(), b"owner b".to_vec())]);
+        assert_eq!(errors.len(), 1);
+        assert!(is_fence_conflict(&errors[0].1));
     }
 
     #[test]

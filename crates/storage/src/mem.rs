@@ -47,11 +47,18 @@ impl Storage for MemStorage {
         }
         let mut errors = Vec::new();
         let mut table = relock(&self.table);
+        // Preconditions first, under the same lock as the commit: a
+        // failed check rejects the batch before anything mutates.
+        let checks = crate::eval_checks(&ops, |name| table.get(name).cloned());
+        if !checks.is_empty() {
+            return checks;
+        }
         // Deletes and renames in order first, puts last — the same commit
         // order DirStorage's write_atomic_batch gives a mixed batch.
         let mut puts = Vec::new();
         for op in ops {
             match op {
+                Op::Check(..) | Op::CheckAbsent(..) => {}
                 Op::Put(name, data) => puts.push((name, data)),
                 Op::Del(name) => {
                     table.remove(&name);

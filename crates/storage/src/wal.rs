@@ -218,6 +218,18 @@ impl Storage for WalStorage {
             return Vec::new();
         }
         let mut inner = relock(&self.inner);
+        // Preconditions are evaluated against the live table under the
+        // same lock as the append: check and commit are one atomic step.
+        // Checks are not state, so they are never framed into the log.
+        let checks = crate::eval_checks(&ops, |name| inner.table.get(name).cloned());
+        if !checks.is_empty() {
+            return checks;
+        }
+        let ops = crate::strip_checks(ops);
+        if ops.is_empty() {
+            // A check-only batch that passed: nothing to commit.
+            return Vec::new();
+        }
         let frame = encode_frame(&ops);
 
         // One write + one fsync for the whole batch: the group commit.
@@ -253,6 +265,7 @@ impl Storage for WalStorage {
         let mut puts = Vec::new();
         for op in ops {
             match op {
+                Op::Check(..) | Op::CheckAbsent(..) => unreachable!("checks stripped above"),
                 Op::Put(name, data) => puts.push((name, data)),
                 Op::Del(name) => {
                     inner.table.remove(&name);
@@ -323,6 +336,8 @@ fn encode_frame(ops: &[Op]) -> Vec<u8> {
     let mut payload = Vec::new();
     for op in ops {
         match op {
+            // Preconditions are commit-time-only; they have no frame tag.
+            Op::Check(..) | Op::CheckAbsent(..) => {}
             Op::Put(name, data) => {
                 payload.push(OP_PUT);
                 put_blob(&mut payload, name.as_bytes());
@@ -396,6 +411,8 @@ fn apply_to_table(table: &mut BTreeMap<String, Vec<u8>>, ops: Vec<Op>) {
     let mut puts = Vec::new();
     for op in ops {
         match op {
+            // Never logged, so never replayed.
+            Op::Check(..) | Op::CheckAbsent(..) => {}
             Op::Put(name, data) => puts.push((name, data)),
             Op::Del(name) => {
                 table.remove(&name);

@@ -236,6 +236,39 @@ pub enum TraceKind {
         /// Panic payload (message), best-effort stringified.
         detail: String,
     },
+    /// serve (federated): the owning replica renewed the job's lease on a
+    /// heartbeat tick.
+    LeaseRenewed {
+        /// Job id.
+        job: u64,
+        /// Lease epoch at renewal (unchanged by a renewal).
+        epoch: u64,
+    },
+    /// serve (federated): a takeover scanner observed an expired lease on
+    /// a job it does not own.
+    LeaseExpired {
+        /// Job id.
+        job: u64,
+        /// The expired lease's epoch.
+        epoch: u64,
+    },
+    /// serve (federated): a replica claimed an expired (or absent) lease,
+    /// bumping the epoch, and re-admitted the job locally.
+    LeaseTakeover {
+        /// Job id.
+        job: u64,
+        /// The new lease epoch after the claim.
+        epoch: u64,
+    },
+    /// serve (federated): a batch of job-record writes was rejected by the
+    /// storage layer because the writer no longer holds the job's lease —
+    /// the zombie-fencing event.
+    WriteFenced {
+        /// Job id.
+        job: u64,
+        /// The stale epoch the writer held.
+        epoch: u64,
+    },
     /// engine: the per-host circuit breaker opened after consecutive
     /// failures; no new attempts target the host until `until`.
     BreakerOpen {
@@ -380,6 +413,10 @@ impl TraceKind {
             TraceKind::JobAborted { .. } => "job_abort",
             TraceKind::JobSettled { .. } => "job_settle",
             TraceKind::JobPanicked { .. } => "job_panicked",
+            TraceKind::LeaseRenewed { .. } => "lease_renew",
+            TraceKind::LeaseExpired { .. } => "lease_expire",
+            TraceKind::LeaseTakeover { .. } => "lease_takeover",
+            TraceKind::WriteFenced { .. } => "write_fenced",
             TraceKind::BreakerOpen { .. } => "breaker_open",
             TraceKind::BreakerProbe { .. } => "breaker_probe",
             TraceKind::BreakerClosed { .. } => "breaker_closed",
@@ -589,6 +626,12 @@ impl TraceEvent {
             TraceKind::JobPanicked { job, detail } => {
                 o.push_str(&format!(",\"job\":{job},\"detail\":"));
                 push_escaped(&mut o, detail);
+            }
+            TraceKind::LeaseRenewed { job, epoch }
+            | TraceKind::LeaseExpired { job, epoch }
+            | TraceKind::LeaseTakeover { job, epoch }
+            | TraceKind::WriteFenced { job, epoch } => {
+                o.push_str(&format!(",\"job\":{job},\"epoch\":{epoch}"));
             }
             TraceKind::BreakerOpen { host, until } => {
                 o.push_str(",\"host\":");
@@ -965,6 +1008,31 @@ mod tests {
                 },
             );
             assert!(e.to_json().contains(&format!("\"outcome\":\"{s}\"")));
+        }
+    }
+
+    #[test]
+    fn lease_kinds_have_stable_wire_forms() {
+        let cases = [
+            (
+                ev(0.0, TraceKind::LeaseRenewed { job: 4, epoch: 2 }),
+                r#"{"at":0,"kind":"lease_renew","job":4,"epoch":2}"#,
+            ),
+            (
+                ev(0.0, TraceKind::LeaseExpired { job: 4, epoch: 2 }),
+                r#"{"at":0,"kind":"lease_expire","job":4,"epoch":2}"#,
+            ),
+            (
+                ev(0.0, TraceKind::LeaseTakeover { job: 4, epoch: 3 }),
+                r#"{"at":0,"kind":"lease_takeover","job":4,"epoch":3}"#,
+            ),
+            (
+                ev(0.0, TraceKind::WriteFenced { job: 4, epoch: 2 }),
+                r#"{"at":0,"kind":"write_fenced","job":4,"epoch":2}"#,
+            ),
+        ];
+        for (event, want) in cases {
+            assert_eq!(event.to_json(), want);
         }
     }
 

@@ -601,6 +601,12 @@ pub struct ServeOptions {
     /// Chaos fault-plan spec (e.g. `seed=7,panic=0.1,torn=0.2`); the whole
     /// batch runs under seeded fault injection (see `gridwfs-chaos`).
     pub chaos: Option<String>,
+    /// Replica identity for federated serve: every admitted job is owned
+    /// via an expiring lease record, peers sharing the state dir take
+    /// over jobs whose lease lapses.
+    pub replica_id: Option<String>,
+    /// Lease time-to-live in wall seconds (federated serve only).
+    pub lease_ttl: Option<f64>,
 }
 
 impl Default for ServeOptions {
@@ -619,6 +625,8 @@ impl Default for ServeOptions {
             metrics: None,
             trace_dir: None,
             chaos: None,
+            replica_id: None,
+            lease_ttl: None,
         }
     }
 }
@@ -717,6 +725,17 @@ pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, 
         Some(s) => Some(FaultPlan::parse(s).map_err(CliError)?),
         None => None,
     };
+    if opts.replica_id.is_none() && opts.lease_ttl.is_some() {
+        return err("--lease-ttl only applies to federated serve (--replica-id)");
+    }
+    let lease_ttl = match opts.lease_ttl {
+        Some(s) if s > 0.0 => Duration::from_secs_f64(s),
+        Some(bad) => return err(format!("--lease-ttl {bad} must be positive")),
+        None => ServiceConfig::default().lease_ttl,
+    };
+    if opts.replica_id.is_some() && opts.state_dir.is_none() {
+        return err("--replica-id requires --state-dir (the shared lease store)");
+    }
     let service = Service::start(ServiceConfig {
         workers: opts.workers,
         max_in_flight: opts.inflight,
@@ -726,6 +745,8 @@ pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, 
         default_deadline: opts.deadline,
         trace_dir: opts.trace_dir.clone(),
         chaos: chaos.clone(),
+        replica_id: opts.replica_id.clone(),
+        lease_ttl,
         ..ServiceConfig::default()
     })
     .map_err(CliError)?;
@@ -981,6 +1002,12 @@ SERVE OPTIONS:
                        recovered incarnations append to the same journal
   --chaos <spec>       seeded fault injection for the whole batch, e.g.
                        seed=7,panic=0.1,torn=0.2,stall=0.1 (see gridwfs-chaos)
+  --replica-id <id>    join a federation: every admitted job is owned via an
+                       expiring lease record in the (shared) --state-dir;
+                       peers take over jobs whose lease lapses, and the
+                       late writes of a deposed owner are fenced
+  --lease-ttl <s>      lease time-to-live in wall seconds (default 2);
+                       renewed at ttl/4 by a heartbeat thread
 
 DLQ OPTIONS:
   dlq list             print every dead-lettered <Foreach> item in the
@@ -1142,6 +1169,16 @@ pub fn main_with_args(args: &[String]) -> (i32, String) {
                     "--metrics" => opts.metrics = rest.next().map(PathBuf::from),
                     "--trace-dir" => opts.trace_dir = rest.next().map(PathBuf::from),
                     "--chaos" => opts.chaos = rest.next().cloned(),
+                    "--replica-id" => match rest.next() {
+                        Some(id) => opts.replica_id = Some(id.clone()),
+                        None => return err("--replica-id needs a value"),
+                    },
+                    "--lease-ttl" => {
+                        opts.lease_ttl = match rest.next().map(|v| v.parse()) {
+                            Some(Ok(s)) => Some(s),
+                            _ => return err("--lease-ttl requires a number"),
+                        }
+                    }
                     other if !other.starts_with("--") => opts.workflows.push(PathBuf::from(other)),
                     other => return err(format!("unknown argument '{other}'\n\n{USAGE}")),
                 }
@@ -1636,6 +1673,53 @@ mod tests {
         let spec = grid_config_to_spec(&cfg, ExecMode::Virtual).unwrap();
         assert_eq!(spec.hosts.len(), 1);
         assert_eq!(spec.hosts[0].hostname, "h1");
+    }
+
+    #[test]
+    fn serve_federated_flags_validate_and_run() {
+        let cfg = grid_literal();
+        // Federation needs a shared lease store; a TTL needs a federation.
+        let orphan_ttl = ServeOptions {
+            workflows: vec![PathBuf::from("x.xml")],
+            lease_ttl: Some(1.0),
+            ..ServeOptions::default()
+        };
+        assert!(serve_with_config(&cfg, &orphan_ttl).is_err());
+        let no_store = ServeOptions {
+            workflows: vec![PathBuf::from("x.xml")],
+            replica_id: Some("r0".into()),
+            ..ServeOptions::default()
+        };
+        assert!(serve_with_config(&cfg, &no_store).is_err());
+
+        let dir = tmpdir();
+        let wf = dir.join("wf.xml");
+        std::fs::write(&wf, WF).unwrap();
+        let bad_ttl = ServeOptions {
+            workflows: vec![wf.clone()],
+            state_dir: Some(dir.join("state")),
+            replica_id: Some("r0".into()),
+            lease_ttl: Some(0.0),
+            ..ServeOptions::default()
+        };
+        assert!(serve_with_config(&cfg, &bad_ttl).is_err());
+
+        // A single-replica federation still runs the batch end to end and
+        // reports the lease traffic in the metrics snapshot.
+        let opts = ServeOptions {
+            workflows: vec![wf],
+            workers: 1,
+            queue: 8,
+            state_dir: Some(dir.join("state")),
+            replica_id: Some("r0".into()),
+            lease_ttl: Some(1.0),
+            ..ServeOptions::default()
+        };
+        let (code, out) = serve_with_config(&cfg, &opts).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("\"takeovers\": 0"), "{out}");
+        assert!(out.contains("\"fenced_writes\": 0"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
