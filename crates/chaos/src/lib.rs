@@ -379,6 +379,14 @@ impl fmt::Display for FaultPlan {
 pub trait StateFs: Send + Sync {
     /// Read an entire file to a string.
     fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Read an entire file's raw bytes.  The default falls back to the
+    /// UTF-8 read (fine for scripted test filesystems, whose records are
+    /// text); byte-faithful backends override it so records that are not
+    /// valid UTF-8 still read — and precondition checks against them
+    /// still evaluate — instead of erroring as `InvalidData`.
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.read_to_string(path).map(String::into_bytes)
+    }
     /// Create/truncate `path`, write `data`, and flush it to disk
     /// (`sync_all`).  Durability matters here: [`write_atomic`] relies on the
     /// tmp file being on disk before the rename makes it visible.
@@ -404,6 +412,10 @@ pub struct RealFs;
 impl StateFs for RealFs {
     fn read_to_string(&self, path: &Path) -> io::Result<String> {
         std::fs::read_to_string(path)
+    }
+
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
     }
 
     fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()> {
@@ -453,6 +465,9 @@ impl StateFs for RealFs {
 impl<F: StateFs + ?Sized> StateFs for std::sync::Arc<F> {
     fn read_to_string(&self, path: &Path) -> io::Result<String> {
         (**self).read_to_string(path)
+    }
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+        (**self).read_bytes(path)
     }
     fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         (**self).write_file(path, data)
@@ -544,6 +559,13 @@ impl<F: StateFs> StateFs for ChaosFs<F> {
             return Err(Self::injected("read", path));
         }
         self.inner.read_to_string(path)
+    }
+
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if self.fault(path, FsFaultKind::Read) {
+            return Err(Self::injected("read", path));
+        }
+        self.inner.read_bytes(path)
     }
 
     fn write_file(&self, path: &Path, data: &[u8]) -> io::Result<()> {

@@ -17,13 +17,32 @@
 //!   losing its lease has the *whole* batch rejected — it can never
 //!   double-settle a job a peer already owns.  This is the PR-5 zombie
 //!   epoch discipline, moved down into the storage layer.
-//! * **Takeover** — the same heartbeat thread scans for unfinished jobs
-//!   whose lease has expired (or is missing/corrupt) and claims them by
-//!   compare-and-swap: `Check` the old fencing line (or `CheckAbsent`),
-//!   `Put` a fresh lease with the epoch bumped.  Exactly one racing
-//!   replica wins; the winner drives the orphan through the ordinary
-//!   crash-recovery path — checkpoint resume, elapsed-ledger deadline
-//!   budget, incarnation-tagged journal append.
+//! * **Takeover** — a slower sweep on the same heartbeat thread (once
+//!   per TTL, not every renewal tick: the sweep is O(records) while
+//!   renewal must land within the TTL, so renewal never queues behind
+//!   it) scans for unfinished jobs whose lease has expired (or is
+//!   missing/corrupt) and claims them by compare-and-swap: `Check` the
+//!   old fencing line (or `CheckAbsent`), `Put` a fresh lease with the
+//!   epoch bumped.  Exactly one racing replica wins; the winner drives
+//!   the orphan through the ordinary crash-recovery path — checkpoint
+//!   resume, elapsed-ledger deadline budget, incarnation-tagged journal
+//!   append.  A claim the winner then cannot admit locally is walked
+//!   back (lease deleted under its own fence) so any replica's next
+//!   sweep retries it, rather than this one renewing a job it will
+//!   never run.
+//!
+//! ## Clock assumptions
+//!
+//! Lease expiry compares a wall-clock deadline stamped by the owner
+//! against the observer's wall clock, so the protocol assumes fleet
+//! clocks agree to well within one TTL: configure `lease_ttl` ≫ the
+//! expected cross-replica skew (and NTP step size).  Skew or a forward
+//! clock step larger than that margin can expire a *live* owner's lease
+//! early.  Safety still holds — the epoch-bumped CAS fences the old
+//! owner's writes, so the job settles exactly once — but the fleet pays
+//! for it with a duplicated execution and a `write_fenced`/cancel on the
+//! deposed owner.  A clock before the unix epoch reads as 0 and would
+//! make every lease look permanently expired; don't run a fleet there.
 //!
 //! Lease traffic never reaches the per-job journals except for the two
 //! deterministic events (`lease_takeover`, `write_fenced`, both at
@@ -388,6 +407,24 @@ fn renew_leases(shared: &Shared, fed: &Federation) {
     }
 }
 
+/// Walks back a lease this replica minted but cannot serve: disown the
+/// job and delete the lease, guarded by its own fence so only *our*
+/// lease is ever removed.  The job is then immediately claimable by any
+/// replica's next sweep, instead of this replica renewing a lease for a
+/// job it will never run.
+fn release_claim(shared: &Shared, fed: &Federation, id: JobId, epoch: u64) {
+    fed.disown(id.0);
+    let Some(st) = &shared.storage else {
+        return;
+    };
+    let _commit = relock(&fed.commit);
+    let name = recover::lease_name(id);
+    let _ = st.apply(vec![
+        Op::Check(name.clone(), fed.fence(epoch)),
+        Op::Del(name),
+    ]);
+}
+
 /// Tries to claim `id`'s lease with `claim` ops (a CAS: check the old
 /// fencing line or absence, put the new lease).  True if this replica
 /// won the race.
@@ -401,28 +438,24 @@ fn try_claim(
     let Some(st) = &shared.storage else {
         return false;
     };
-    let _commit = relock(&fed.commit);
-    let name = recover::lease_name(id);
-    let precondition = match prior {
-        Some(l) => Op::Check(name.clone(), Lease::fence_prefix(&l.owner, l.epoch)),
-        None => Op::CheckAbsent(name.clone()),
-    };
-    let errors = st.apply(vec![
-        precondition,
-        Op::Put(name.clone(), fed.lease_payload(epoch)),
-    ]);
-    if !errors.is_empty() {
-        return false; // a peer won, or storage trouble — either way, skip
+    {
+        let _commit = relock(&fed.commit);
+        let name = recover::lease_name(id);
+        let precondition = match prior {
+            Some(l) => Op::Check(name.clone(), Lease::fence_prefix(&l.owner, l.epoch)),
+            None => Op::CheckAbsent(name.clone()),
+        };
+        let errors = st.apply(vec![precondition, Op::Put(name, fed.lease_payload(epoch))]);
+        if !errors.is_empty() {
+            return false; // a peer won, or storage trouble — either way, skip
+        }
     }
     // The old owner may have settled the job between our scan and the
     // claim on a backend snapshot where the lease was already gone
     // (CheckAbsent path).  A terminal job must stay terminal: release
     // the lease we just minted and walk away.
     if st.exists(&recover::result_name(id)) {
-        let _ = st.apply(vec![
-            Op::Check(name.clone(), fed.fence(epoch)),
-            Op::Del(name),
-        ]);
+        release_claim(shared, fed, id, epoch);
         return false;
     }
     fed.adopt(id.0, epoch);
@@ -458,10 +491,14 @@ fn admit_takeover(
         shard.jobs.insert(id.0, record);
         shard.subs.insert(id.0, sub);
     }
-    shared
-        .queue
-        .force_push(id)
-        .map_err(|_| "queue closed during takeover".to_string())?;
+    if shared.queue.force_push(id).is_err() {
+        // Undo the table insert: a job that can never be popped must not
+        // linger as a phantom `Queued` record.
+        let mut shard = shared.table.shard(id.0);
+        shard.jobs.remove(&id.0);
+        shard.subs.remove(&id.0);
+        return Err("queue closed during takeover".to_string());
+    }
     Metrics::incr(&shared.metrics.counters.recovered);
     Metrics::incr(&shared.metrics.counters.submitted);
     shared.trace(TraceKind::JobRecovered { job: id.0 });
@@ -522,19 +559,36 @@ fn scan_for_takeovers(shared: &Arc<Shared>, fed: &Federation) {
         };
         if try_claim(shared, fed, id, prior.as_ref(), epoch) {
             if let Err(e) = admit_takeover(shared, id, epoch, true) {
+                // We hold a lease for a job we could not admit (e.g. a
+                // transient read fault loading its records).  Holding on
+                // would renew that lease forever while the job never
+                // runs anywhere: walk the claim back so the next sweep —
+                // ours or a peer's — retries the takeover.
                 eprintln!("gridwfs-serve: takeover of {id} failed: {e}");
+                release_claim(shared, fed, id, epoch);
             }
         }
     }
 }
 
-/// The federation heartbeat: renew owned leases and scan for expired
-/// peers until shutdown.  One thread per live replica.
+/// Renewal ticks between takeover sweeps: renewals run every `ttl / 4`,
+/// the sweep once per TTL.  Renewal is a group commit over this
+/// replica's own leases and *must* land within the TTL; the sweep is
+/// `st.list()` plus a lease read per unfinished job — O(total records)
+/// — and merely bounds takeover latency (an orphan waits at most one
+/// extra sweep period on top of its lease expiry), so it runs on the
+/// slower cadence and never starves renewal at large job counts.
+const TICKS_PER_SCAN: u32 = 4;
+
+/// The federation heartbeat: renew owned leases every tick and sweep
+/// for expired peers every [`TICKS_PER_SCAN`] ticks until shutdown.
+/// One thread per live replica.
 pub(crate) fn heartbeat_loop(shared: Arc<Shared>) {
     let Some(fed) = shared.federate.clone() else {
         return;
     };
     let tick = Duration::from_secs_f64((fed.ttl / 4.0).max(0.01));
+    let mut ticks = 0u32;
     loop {
         if fed.wait_tick(tick) {
             return;
@@ -543,9 +597,10 @@ pub(crate) fn heartbeat_loop(shared: Arc<Shared>) {
             continue;
         }
         renew_leases(&shared, &fed);
+        ticks = ticks.wrapping_add(1);
         // A draining replica keeps renewing what it already runs but
         // stops adopting orphans — they are the surviving fleet's work.
-        if shared.accepting.load(Ordering::Relaxed) {
+        if ticks.is_multiple_of(TICKS_PER_SCAN) && shared.accepting.load(Ordering::Relaxed) {
             scan_for_takeovers(&shared, &fed);
         }
     }
@@ -575,7 +630,13 @@ pub(crate) fn admit_scanned(shared: &Arc<Shared>, scanned: recover::Scan) -> Res
             Some(_) => continue, // a live peer owns it
         };
         if try_claim(shared, &fed, id, prior.as_ref(), epoch) {
-            admit_takeover(shared, id, epoch, takeover)?;
+            if let Err(e) = admit_takeover(shared, id, epoch, takeover) {
+                // Startup is about to fail: release the claim so the job
+                // is immediately up for grabs instead of waiting out a
+                // lease nobody will renew.
+                release_claim(shared, &fed, id, epoch);
+                return Err(e);
+            }
         }
     }
     Ok(())

@@ -22,7 +22,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use gridwfs_chaos::{relock, FaultPlan, RealFs, StateFs};
-use gridwfs_storage::{Backend, ChaosStorage, DirStorage, MemStorage, Storage, WalStorage};
+use gridwfs_storage::{
+    is_fence_conflict, Backend, ChaosStorage, DirStorage, MemStorage, Op, Storage, WalStorage,
+};
 use gridwfs_trace::{JsonlSink, RingSink, TraceEvent, TraceKind, TraceSink};
 
 use crate::job::{JobId, JobRecord, JobState, Submission};
@@ -385,7 +387,39 @@ impl Service {
                 .federate
                 .as_ref()
                 .map(|fed| fed.lease_payload(1));
-            let errors = st.apply(recover::write_submission_ops(id, &sub, lease));
+            let mut ops = recover::write_submission_ops(id, &sub, lease);
+            if self.shared.federate.is_some() {
+                // A correctly strided fleet (`replica_index`/`fleet_size`)
+                // never mints the same id twice — but the id allocator is
+                // per-process configuration, and a misconfigured fleet
+                // (two replicas with the same index, or stride 1) would
+                // otherwise *silently overwrite* a peer's live job: the
+                // submission batch commits Dels+Puts over the peer's
+                // lease, meta, and workflow.  Guard the batch so a
+                // collision rejects atomically instead of clobbering.
+                ops.insert(0, Op::CheckAbsent(recover::lease_name(id)));
+                ops.insert(0, Op::CheckAbsent(recover::meta_name(id)));
+            }
+            let errors = st.apply(ops);
+            if errors.iter().any(|(_, e)| is_fence_conflict(e)) {
+                // The records at this id belong to another job (a peer's
+                // admission, live or settled).  The batch was rejected
+                // before any mutation, so there is nothing of ours in
+                // storage to roll back — and `remove_submission` would
+                // delete the *peer's* records.  Drop the in-memory entry
+                // and burn the id: recycling it would collide again.
+                {
+                    let mut shard = self.shared.table.shard(id.0);
+                    shard.jobs.remove(&id.0);
+                    shard.subs.remove(&id.0);
+                }
+                self.reject(&sub.name, "id-collision");
+                return Err(SubmitError::Io(format!(
+                    "{id}: id already in use in shared storage — fleet \
+                     misconfigured? (every replica needs a distinct \
+                     --replica-index and the common --fleet-size)"
+                )));
+            }
             if let Some((name, e)) = errors.into_iter().next() {
                 self.rollback(id);
                 self.reject(&sub.name, "io");

@@ -418,7 +418,9 @@ fn sweep_foreach_fanout_under_storage_chaos() {
 /// byte-identical — scheduling is not allowed to leak into outcomes.
 #[test]
 fn foreach_accounting_is_worker_count_invariant() {
-    let mut baseline: Option<(BTreeMap<u64, Vec<u8>>, BTreeMap<u64, Vec<String>>)> = None;
+    // (result bytes, journal lines) per job, from the first worker count.
+    type Baseline = (BTreeMap<u64, Vec<u8>>, BTreeMap<u64, Vec<String>>);
+    let mut baseline: Option<Baseline> = None;
     for workers in [1, 2, 4] {
         let base = tmpdir(&format!("fe-workers-{workers}"));
         let state = base.join("state");

@@ -19,8 +19,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gridwfs_serve::{
-    recover, DirStorage, GridSpec, JobId, JobState, MemStorage, RealFs, Service, ServiceConfig,
-    Storage, Submission, WalStorage,
+    recover, DirStorage, GridSpec, JobId, JobState, MemStorage, Op, RealFs, Service, ServiceConfig,
+    Storage, Submission, SubmitError, WalStorage,
 };
 use gridwfs_wpdl::builder::WorkflowBuilder;
 
@@ -273,5 +273,116 @@ fn restarted_replica_reclaims_its_own_leases() {
     );
     drop(a.drain());
     assert!(!st.exists(&recover::lease_name(id)));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A claim the winner cannot admit locally must be walked back, not
+/// renewed forever: plant a torn job (meta but no workflow) under an
+/// expired ghost lease, watch the sweeper claim it, fail `load_job`, and
+/// release the lease — then restore the workflow record and watch the
+/// next sweep retry the takeover to completion.
+#[test]
+fn unservable_claim_is_released_and_retried() {
+    let root = tmpdir("release");
+    let st: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let trace = root.join("trace");
+    let a = replica(0, 1, st.clone(), &trace, Duration::from_millis(400));
+
+    // One atomic batch: a full submission minus its workflow record,
+    // owned by a departed replica whose lease expired long ago.
+    let id = JobId(7);
+    let sub = paced_sub("release", 0.05);
+    let ghost = recover::Lease {
+        owner: "ghost".into(),
+        epoch: 1,
+        expires_at: 0.0,
+    };
+    let mut ops = recover::write_submission_ops(id, &sub, Some(ghost.payload()));
+    ops.retain(|op| !matches!(op, Op::Put(n, _) if *n == recover::workflow_name(id)));
+    assert!(st.apply(ops).is_empty());
+
+    // The sweeper sees the expiry and claims the orphan, but admission
+    // fails (no workflow record), so the fresh lease must come back off.
+    let ac = a.metrics();
+    wait_for(20, "ghost lease expiry observed", || {
+        ac.counters.lease_expirations.load(Ordering::Relaxed) >= 1
+    });
+    wait_for(20, "failed claim walked back", || {
+        !st.exists(&recover::lease_name(id))
+    });
+    assert_eq!(
+        ac.counters.takeovers.load(Ordering::Relaxed),
+        0,
+        "a claim that never admitted is not a takeover"
+    );
+
+    // Heal the job; the next sweep retries the takeover and runs it.
+    st.put(&recover::workflow_name(id), sub.workflow_xml.as_bytes())
+        .unwrap();
+    wait_for(20, "takeover retried after heal", || {
+        ac.counters.takeovers.load(Ordering::Relaxed) == 1
+    });
+    assert!(a.wait_all_terminal(Duration::from_secs(20)));
+    assert_eq!(a.status(id).unwrap().state, JobState::Done);
+    drop(a.drain());
+    let result = st.read_to_string(&recover::result_name(id)).unwrap();
+    assert!(result.starts_with("state done"), "{result}");
+    assert!(!st.exists(&recover::lease_name(id)));
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Two replicas misconfigured with the same id stride (neither sets a
+/// distinct `replica_index`) mint colliding job ids over shared storage.
+/// The admission guard must reject the second submission instead of
+/// silently overwriting the peer's live job — and the rejecting replica
+/// keeps serving: its next mint lands on a free id.
+#[test]
+fn colliding_admission_is_rejected_not_overwritten() {
+    let root = tmpdir("collide");
+    let st: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let trace = root.join("trace");
+    // Both claim index 0 of a fleet of 1 — the misconfiguration the
+    // guard exists for.  Long ttl keeps takeover out of the picture.
+    let a = replica(0, 1, st.clone(), &trace, Duration::from_secs(5));
+    let b = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        storage: Some(st.clone()),
+        trace_dir: Some(trace.to_path_buf()),
+        replica_id: Some("imposter".into()),
+        replica_index: 0,
+        fleet_size: 1,
+        lease_ttl: Duration::from_secs(5),
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+
+    let id = a.submit(paced_sub("collide-a", 0.05)).unwrap();
+    assert_eq!(id.0, 1);
+    match b.submit(paced_sub("collide-b", 0.05)) {
+        Err(SubmitError::Io(msg)) => {
+            assert!(msg.contains("already in use"), "{msg}");
+            assert!(msg.contains("--replica-index"), "{msg}");
+        }
+        other => panic!("collision admitted: {other:?}"),
+    }
+    assert!(b.status(id).is_none(), "no phantom record for the loser");
+
+    // The burned id is not recycled: b's next submission mints id 2 and
+    // runs normally alongside a's job 1.
+    let id2 = b.submit(paced_sub("collide-b2", 0.05)).unwrap();
+    assert_eq!(id2.0, 2);
+    assert!(a.wait_all_terminal(Duration::from_secs(20)));
+    assert!(b.wait_all_terminal(Duration::from_secs(20)));
+    assert_eq!(a.status(id).unwrap().state, JobState::Done);
+    assert_eq!(b.status(id2).unwrap().state, JobState::Done);
+    drop(a.drain());
+    drop(b.drain());
+
+    // Job 1's records are a's throughout: the collision never touched them.
+    let meta = st.read_to_string(&recover::meta_name(id)).unwrap();
+    assert!(meta.contains("collide-a"), "{meta}");
+    let result = st.read_to_string(&recover::result_name(id)).unwrap();
+    assert!(result.starts_with("state done"), "{result}");
     std::fs::remove_dir_all(&root).ok();
 }

@@ -56,8 +56,8 @@ impl DirStorage {
     fn rename_record(&self, from: &str, to: &str) -> io::Result<()> {
         let (src, dst) = (self.path(from), self.path(to));
         if self.fs.rename(&src, &dst).is_err() {
-            let data = self.fs.read_to_string(&src)?;
-            self.fs.write_file(&dst, data.as_bytes())?;
+            let data = self.fs.read_bytes(&src)?;
+            self.fs.write_file(&dst, &data)?;
             self.fs.remove_file(&src)?;
         }
         Ok(())
@@ -66,9 +66,7 @@ impl DirStorage {
 
 impl Storage for DirStorage {
     fn read(&self, name: &str) -> io::Result<Vec<u8>> {
-        self.fs
-            .read_to_string(&self.path(name))
-            .map(String::into_bytes)
+        self.fs.read_bytes(&self.path(name))
     }
 
     fn read_to_string(&self, name: &str) -> io::Result<String> {
@@ -89,10 +87,15 @@ impl Storage for DirStorage {
         }
         let _commit = relock(&self.commit);
         let checks = crate::eval_checks(&ops, |name| {
-            self.fs
-                .read_to_string(&self.path(name))
-                .ok()
-                .map(String::into_bytes)
+            match self.fs.read_bytes(&self.path(name)) {
+                Ok(bytes) => Ok(Some(bytes)),
+                // Only a definitive not-found is "absent".  Any other
+                // read error (permissions, I/O) rejects the batch: the
+                // record may well exist, and treating it as absent would
+                // let a `CheckAbsent`-guarded batch overwrite it.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+                Err(e) => Err(e),
+            }
         });
         if !checks.is_empty() {
             return checks;

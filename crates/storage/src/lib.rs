@@ -112,24 +112,31 @@ pub fn is_fence_conflict(e: &io::Error) -> bool {
 }
 
 /// Evaluate a batch's preconditions against `current` (lookup of a
-/// record's present bytes).  Returns one [`fence_conflict`] per failed
-/// check; any failure means the batch must not commit.  Backends call
-/// this inside their commit-side critical section so the check and the
-/// mutation are atomic.
+/// record's present bytes: `Ok(None)` means definitively absent, `Err`
+/// means the record's presence could not be established).  Returns one
+/// [`fence_conflict`] per failed check and the lookup error itself for
+/// unreadable records; any failure means the batch must not commit —
+/// in particular, a record that exists but cannot be read must *reject*
+/// the batch, never pass for absent and let a [`Op::CheckAbsent`] guard
+/// overwrite it.  Backends call this inside their commit-side critical
+/// section so the check and the mutation are atomic.
 pub(crate) fn eval_checks<F>(ops: &[Op], mut current: F) -> Vec<(String, io::Error)>
 where
-    F: FnMut(&str) -> Option<Vec<u8>>,
+    F: FnMut(&str) -> io::Result<Option<Vec<u8>>>,
 {
     let mut errors = Vec::new();
     for op in ops {
         match op {
             Op::Check(name, prefix) => match current(name) {
-                Some(bytes) if bytes.starts_with(prefix) => {}
-                _ => errors.push((name.clone(), fence_conflict(name))),
+                Ok(Some(bytes)) if bytes.starts_with(prefix) => {}
+                Ok(_) => errors.push((name.clone(), fence_conflict(name))),
+                Err(e) => errors.push((name.clone(), e)),
             },
-            Op::CheckAbsent(name) if current(name).is_some() => {
-                errors.push((name.clone(), fence_conflict(name)));
-            }
+            Op::CheckAbsent(name) => match current(name) {
+                Ok(None) => {}
+                Ok(Some(_)) => errors.push((name.clone(), fence_conflict(name))),
+                Err(e) => errors.push((name.clone(), e)),
+            },
             _ => {}
         }
     }
@@ -615,6 +622,40 @@ mod tests {
             assert!(st
                 .apply(vec![Op::Check("job-2.lease".into(), b"owner a".to_vec())])
                 .is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checks_see_non_utf8_records_on_every_backend() {
+        // A record whose bytes are not valid UTF-8 is still *present*:
+        // `Op::Check` against it must evaluate the prefix (not fence on a
+        // failed text read), and `Op::CheckAbsent` must fence instead of
+        // letting the batch overwrite it.
+        let dir = tmpdir("checks-binary");
+        for st in backends(&dir) {
+            let blob: &[u8] = &[0xff, 0xfe, b'b', b'i', b'n', 0x80];
+            st.put("job-9.blob", blob).unwrap();
+
+            let errors = st.apply(vec![
+                Op::Check("job-9.blob".into(), vec![0xff, 0xfe]),
+                Op::Put("job-9.ok".into(), b"guarded".to_vec()),
+            ]);
+            assert!(errors.is_empty(), "{}: {errors:?}", st.backend_name());
+            assert!(st.exists("job-9.ok"));
+
+            let errors = st.apply(vec![
+                Op::CheckAbsent("job-9.blob".into()),
+                Op::Put("job-9.blob".into(), b"clobbered".to_vec()),
+            ]);
+            assert_eq!(errors.len(), 1, "{}", st.backend_name());
+            assert!(is_fence_conflict(&errors[0].1), "{:?}", errors[0].1);
+            assert_eq!(
+                st.read("job-9.blob").unwrap(),
+                blob,
+                "{}",
+                st.backend_name()
+            );
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

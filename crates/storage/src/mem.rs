@@ -49,7 +49,7 @@ impl Storage for MemStorage {
         let mut table = relock(&self.table);
         // Preconditions first, under the same lock as the commit: a
         // failed check rejects the batch before anything mutates.
-        let checks = crate::eval_checks(&ops, |name| table.get(name).cloned());
+        let checks = crate::eval_checks(&ops, |name| Ok(table.get(name).cloned()));
         if !checks.is_empty() {
             return checks;
         }

@@ -221,7 +221,7 @@ impl Storage for WalStorage {
         // Preconditions are evaluated against the live table under the
         // same lock as the append: check and commit are one atomic step.
         // Checks are not state, so they are never framed into the log.
-        let checks = crate::eval_checks(&ops, |name| inner.table.get(name).cloned());
+        let checks = crate::eval_checks(&ops, |name| Ok(inner.table.get(name).cloned()));
         if !checks.is_empty() {
             return checks;
         }

@@ -607,6 +607,13 @@ pub struct ServeOptions {
     pub replica_id: Option<String>,
     /// Lease time-to-live in wall seconds (federated serve only).
     pub lease_ttl: Option<f64>,
+    /// This replica's position in the fleet (`0..fleet_size`): strides
+    /// job-id allocation so replicas sharing a state dir never mint the
+    /// same id (federated serve only; default 0).
+    pub replica_index: Option<usize>,
+    /// Number of replicas sharing the state dir — the id-allocation
+    /// stride (federated serve only; default 1).
+    pub fleet_size: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -627,6 +634,8 @@ impl Default for ServeOptions {
             chaos: None,
             replica_id: None,
             lease_ttl: None,
+            replica_index: None,
+            fleet_size: None,
         }
     }
 }
@@ -728,11 +737,30 @@ pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, 
     if opts.replica_id.is_none() && opts.lease_ttl.is_some() {
         return err("--lease-ttl only applies to federated serve (--replica-id)");
     }
+    if opts.replica_id.is_none() && (opts.replica_index.is_some() || opts.fleet_size.is_some()) {
+        return err("--replica-index/--fleet-size only apply to federated serve (--replica-id)");
+    }
     let lease_ttl = match opts.lease_ttl {
         Some(s) if s > 0.0 => Duration::from_secs_f64(s),
         Some(bad) => return err(format!("--lease-ttl {bad} must be positive")),
         None => ServiceConfig::default().lease_ttl,
     };
+    // Job-id striding: replicas sharing a state dir must each run with a
+    // distinct index under the common fleet size, or they would mint
+    // colliding job ids (the service's admission guard then rejects the
+    // collision rather than clobbering the peer's job — but a correctly
+    // configured fleet never hits it).
+    let fleet_size = opts.fleet_size.unwrap_or(1);
+    if fleet_size == 0 {
+        return err("--fleet-size must be >= 1");
+    }
+    let replica_index = opts.replica_index.unwrap_or(0);
+    if replica_index >= fleet_size {
+        return err(format!(
+            "--replica-index {replica_index} out of range: the fleet has \
+             {fleet_size} replica(s) (indexes 0..{fleet_size})"
+        ));
+    }
     if opts.replica_id.is_some() && opts.state_dir.is_none() {
         return err("--replica-id requires --state-dir (the shared lease store)");
     }
@@ -747,6 +775,8 @@ pub fn serve_with_config(cfg: &GridConfig, opts: &ServeOptions) -> Result<(i32, 
         chaos: chaos.clone(),
         replica_id: opts.replica_id.clone(),
         lease_ttl,
+        replica_index,
+        fleet_size,
         ..ServiceConfig::default()
     })
     .map_err(CliError)?;
@@ -1007,7 +1037,16 @@ SERVE OPTIONS:
                        peers take over jobs whose lease lapses, and the
                        late writes of a deposed owner are fenced
   --lease-ttl <s>      lease time-to-live in wall seconds (default 2);
-                       renewed at ttl/4 by a heartbeat thread
+                       renewed at ttl/4 by a heartbeat thread, which also
+                       sweeps for expired peers once per ttl; pick a ttl
+                       much larger than the fleet's wall-clock skew
+  --replica-index <k>  this replica's position in the fleet (0-based,
+                       default 0): strides job-id allocation so replicas
+                       sharing a state dir never mint the same id — every
+                       replica of a fleet needs a distinct index
+  --fleet-size <m>     number of replicas sharing the state dir (the id
+                       stride, default 1); must be the same on every
+                       replica
 
 DLQ OPTIONS:
   dlq list             print every dead-lettered <Foreach> item in the
@@ -1177,6 +1216,18 @@ pub fn main_with_args(args: &[String]) -> (i32, String) {
                         opts.lease_ttl = match rest.next().map(|v| v.parse()) {
                             Some(Ok(s)) => Some(s),
                             _ => return err("--lease-ttl requires a number"),
+                        }
+                    }
+                    "--replica-index" => {
+                        opts.replica_index = match rest.next().map(|v| v.parse()) {
+                            Some(Ok(n)) => Some(n),
+                            _ => return err("--replica-index requires an integer"),
+                        }
+                    }
+                    "--fleet-size" => {
+                        opts.fleet_size = match rest.next().map(|v| v.parse()) {
+                            Some(Ok(n)) => Some(n),
+                            _ => return err("--fleet-size requires an integer"),
                         }
                     }
                     other if !other.starts_with("--") => opts.workflows.push(PathBuf::from(other)),
@@ -1692,6 +1743,15 @@ mod tests {
         };
         assert!(serve_with_config(&cfg, &no_store).is_err());
 
+        // Fleet striding flags need a federation too, and the index must
+        // fit the fleet.
+        let orphan_index = ServeOptions {
+            workflows: vec![PathBuf::from("x.xml")],
+            replica_index: Some(1),
+            ..ServeOptions::default()
+        };
+        assert!(serve_with_config(&cfg, &orphan_index).is_err());
+
         let dir = tmpdir();
         let wf = dir.join("wf.xml");
         std::fs::write(&wf, WF).unwrap();
@@ -1703,11 +1763,28 @@ mod tests {
             ..ServeOptions::default()
         };
         assert!(serve_with_config(&cfg, &bad_ttl).is_err());
+        let index_out_of_range = ServeOptions {
+            workflows: vec![wf.clone()],
+            state_dir: Some(dir.join("state")),
+            replica_id: Some("r2".into()),
+            replica_index: Some(2),
+            fleet_size: Some(2),
+            ..ServeOptions::default()
+        };
+        assert!(serve_with_config(&cfg, &index_out_of_range).is_err());
+        let zero_fleet = ServeOptions {
+            workflows: vec![wf.clone()],
+            state_dir: Some(dir.join("state")),
+            replica_id: Some("r0".into()),
+            fleet_size: Some(0),
+            ..ServeOptions::default()
+        };
+        assert!(serve_with_config(&cfg, &zero_fleet).is_err());
 
         // A single-replica federation still runs the batch end to end and
         // reports the lease traffic in the metrics snapshot.
         let opts = ServeOptions {
-            workflows: vec![wf],
+            workflows: vec![wf.clone()],
             workers: 1,
             queue: 8,
             state_dir: Some(dir.join("state")),
@@ -1719,6 +1796,23 @@ mod tests {
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("\"takeovers\": 0"), "{out}");
         assert!(out.contains("\"fenced_writes\": 0"), "{out}");
+
+        // Fleet striding reaches the id allocator: replica 1 of a fleet
+        // of 3 mints ids in its own residue class (first id = 2).
+        let strided = ServeOptions {
+            workflows: vec![wf],
+            workers: 1,
+            queue: 8,
+            state_dir: Some(dir.join("state-strided")),
+            replica_id: Some("r1".into()),
+            replica_index: Some(1),
+            fleet_size: Some(3),
+            lease_ttl: Some(1.0),
+            ..ServeOptions::default()
+        };
+        let (code, out) = serve_with_config(&cfg, &strided).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("job-2"), "strided first id: {out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 
