@@ -125,6 +125,13 @@ impl HostBreakers {
         )
     }
 
+    /// Is this host's breaker half-open (a probe is in flight)?  The
+    /// resilience-aware scorer penalises half-open hosts: the probe exists
+    /// to test them, not to receive fresh work.
+    pub fn is_half_open(&self, host: &str) -> bool {
+        matches!(self.hosts.get(host).map(|h| h.state), Some(State::HalfOpen))
+    }
+
     /// The engine is about to submit to `host`.  If the breaker was open
     /// (backoff elapsed, or the engine was forced), this submission becomes
     /// the half-open probe; returns `true` so it can be journalled.

@@ -250,6 +250,14 @@ pub struct EngineConfig {
     /// learns the observed heartbeat inter-arrival distribution and resists
     /// false presumptions under jittery, lossy links.
     pub detector: DetectorPolicy,
+    /// Placement policy (see [`crate::sched_score`]): `Oblivious` (the
+    /// default — blind option cycling plus breaker-skip, byte-identical
+    /// journals to engines built before the scorer existed) or
+    /// `Resilient`, which scores every candidate host from live failure
+    /// evidence, steers retries away from suspected hosts, decorrelates
+    /// replica placement, pre-emptively re-replicates when φ rises, and
+    /// adapts per-host checkpoint intervals to observed MTTF.
+    pub scheduler: crate::sched_score::SchedulerPolicy,
 }
 
 impl Default for EngineConfig {
@@ -265,6 +273,7 @@ impl Default for EngineConfig {
             deadline: None,
             breaker: None,
             detector: DetectorPolicy::default(),
+            scheduler: crate::sched_score::SchedulerPolicy::default(),
         }
     }
 }
@@ -389,6 +398,16 @@ pub struct Engine<X: Executor> {
     /// removed from `attempts`.
     presumed: HashMap<TaskId, String>,
     breakers: Option<crate::breaker::HostBreakers>,
+    /// The resilience-aware host scorer (`Some` only under
+    /// `SchedulerPolicy::Resilient`; `None` leaves every placement path
+    /// byte-identical to the oblivious engine).
+    scorer: Option<crate::sched_score::HostScorer>,
+    /// Pre-emptive moves consumed per `(activity, slot)` — bounded by
+    /// `ScorerConfig::max_rereplications` so a flapping φ cannot thrash.
+    rereplications: HashMap<(String, usize), u32>,
+    /// Last adaptive checkpoint interval journalled per host (dedup for
+    /// `ckpt_interval_adapted` events).
+    ckpt_hints: HashMap<String, f64>,
     timers: BinaryHeap<Timer>,
     timer_seq: u64,
     next_task: u64,
@@ -429,6 +448,9 @@ impl<X: Executor> Engine<X> {
             attempt_hosts: HashMap::new(),
             presumed: HashMap::new(),
             breakers: None,
+            scorer: None,
+            rereplications: HashMap::new(),
+            ckpt_hints: HashMap::new(),
             timers: BinaryHeap::new(),
             timer_seq: 0,
             next_task: 1,
@@ -449,6 +471,12 @@ impl<X: Executor> Engine<X> {
             .clone()
             .map(crate::breaker::HostBreakers::new);
         self.detector.set_policy(config.detector.clone());
+        self.scorer = match &config.scheduler {
+            crate::sched_score::SchedulerPolicy::Resilient(cfg) => {
+                Some(crate::sched_score::HostScorer::new(cfg.clone()))
+            }
+            crate::sched_score::SchedulerPolicy::Oblivious => None,
+        };
         self.config = config;
         self
     }
@@ -606,7 +634,111 @@ impl<X: Executor> Engine<X> {
         });
     }
 
+    // ---------------------------------------------- resilient placement ---
+
+    /// Live evidence snapshot per host: the max φ and jitter over attempts
+    /// currently watched on each host.  Max-aggregation is
+    /// order-independent, so the engine's `HashMap` iteration order cannot
+    /// leak into placement.
+    fn host_health(&self, now: f64) -> gridwfs_detect::HostHealth {
+        let mut health = gridwfs_detect::HostHealth::new();
+        for (task, host) in &self.attempt_hosts {
+            health.observe(
+                host,
+                self.detector.phi_level(*task, now),
+                self.detector.jitter(*task),
+            );
+        }
+        health
+    }
+
+    /// Hosts this node's *other* live slots run on — the exclusion set
+    /// that keeps a replica set failure-decorrelated.
+    fn sibling_hosts(&self, name: &str, slot: usize) -> Vec<String> {
+        let Some(rt) = self.nodes.get(name) else {
+            return Vec::new();
+        };
+        rt.slots
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != slot)
+            .filter_map(|(_, s)| s.live)
+            .filter_map(|t| self.attempt_hosts.get(&t).cloned())
+            .collect()
+    }
+
+    /// Scores `program`'s options from live evidence (breaker state, φ,
+    /// jitter, windowed failure rate, simulator priors) and asks the
+    /// scorer for a placement.  `None` when the scorer is disabled or
+    /// abstains because every candidate is blocked, suspect or excluded —
+    /// the caller then degrades to oblivious cycling.
+    fn scored_option(
+        &self,
+        program: &gridwfs_wpdl::ast::Program,
+        base: usize,
+        exclude: &[String],
+    ) -> Option<crate::sched_score::Placement> {
+        let scorer = self.scorer.as_ref()?;
+        let now = self.executor.now();
+        let health = self.host_health(now);
+        let candidates: Vec<(&str, crate::sched_score::HostEvidence)> = program
+            .options
+            .iter()
+            .map(|o| {
+                let host = o.hostname.as_str();
+                let sig = health.signal(host);
+                (
+                    host,
+                    crate::sched_score::HostEvidence {
+                        blocked: self
+                            .breakers
+                            .as_ref()
+                            .is_some_and(|b| b.is_blocked(host, now)),
+                        half_open: self.breakers.as_ref().is_some_and(|b| b.is_half_open(host)),
+                        phi: sig.phi,
+                        jitter: sig.jitter,
+                    },
+                )
+            })
+            .collect();
+        let exclude: Vec<&str> = exclude.iter().map(String::as_str).collect();
+        scorer.choose_excluding(&candidates, base, program.nominal_duration, &exclude)
+    }
+
+    /// The adaptive checkpoint hint for `host` — Young's √(2·C·MTTF) over
+    /// the scorer's observed MTTF — journalling `ckpt_interval_adapted`
+    /// whenever a host's interval changes.  `None` (keep the executor's
+    /// own cadence) under the oblivious scheduler or when no failure
+    /// evidence or prior exists for the host.
+    fn adapt_checkpoint_hint(&mut self, host: &str) -> Option<f64> {
+        let (interval, mttf) = {
+            let sc = self.scorer.as_ref()?;
+            (
+                sc.checkpoint_interval(host)?,
+                sc.observed_mttf(host).unwrap_or(0.0),
+            )
+        };
+        if self.ckpt_hints.get(host) != Some(&interval) {
+            self.ckpt_hints.insert(host.to_string(), interval);
+            self.trace(TraceKind::CkptIntervalAdapted {
+                host: host.to_string(),
+                interval,
+                mttf,
+            });
+        }
+        Some(interval)
+    }
+
     fn submit_slot(&mut self, name: &str, slot: usize) {
+        self.submit_slot_inner(name, slot, None);
+    }
+
+    /// The body of [`Self::submit_slot`].  `forced_option` pins the
+    /// placement to one resource option — used by pre-emptive
+    /// re-replication, whose target the scorer already chose (and whose
+    /// decision the `rereplicate` trace event already journals, so no
+    /// `placement_scored` is emitted for it).
+    fn submit_slot_inner(&mut self, name: &str, slot: usize, forced_option: Option<usize>) {
         let act = self
             .instance
             .workflow()
@@ -634,19 +766,42 @@ impl<X: Executor> Engine<X> {
         // is open — unless every candidate is open, in which case the
         // cycled choice goes ahead as a forced probe (a breaker degrades
         // placement, it never deadlocks it).
-        let option_index = match act.policy {
-            Policy::Simple => {
-                let n = program.options.len();
-                let base = (tries_used as usize) % n;
-                match &self.breakers {
-                    Some(br) => (0..n)
-                        .map(|k| (base + k) % n)
-                        .find(|&i| !br.is_blocked(&program.options[i].hostname, now))
-                        .unwrap_or(base),
-                    None => base,
-                }
-            }
+        let obl_base = match act.policy {
+            Policy::Simple => (tries_used as usize) % program.options.len(),
             Policy::Replica => slot,
+        };
+        // The resilient scheduler scores every candidate from live
+        // evidence; replicas additionally exclude their live siblings'
+        // hosts so the replica set stays failure-decorrelated.  When the
+        // scorer abstains (every candidate blocked or suspect) the
+        // oblivious path below takes over: steered, never deadlocked.
+        let scored = if forced_option.is_none() && self.scorer.is_some() {
+            let exclude = match act.policy {
+                Policy::Replica => self.sibling_hosts(name, slot),
+                Policy::Simple => Vec::new(),
+            };
+            self.scored_option(&program, obl_base, &exclude)
+        } else {
+            None
+        };
+        let option_index = if let Some(i) = forced_option {
+            i
+        } else if let Some(p) = &scored {
+            p.index
+        } else {
+            match act.policy {
+                Policy::Simple => {
+                    let n = program.options.len();
+                    match &self.breakers {
+                        Some(br) => (0..n)
+                            .map(|k| (obl_base + k) % n)
+                            .find(|&i| !br.is_blocked(&program.options[i].hostname, now))
+                            .unwrap_or(obl_base),
+                        None => obl_base,
+                    }
+                }
+                Policy::Replica => slot,
+            }
         };
         let option = &program.options[option_index];
         let attempt = tries_used + 1;
@@ -662,6 +817,7 @@ impl<X: Executor> Engine<X> {
             act.heartbeat_tolerance,
             self.executor.now(),
         );
+        let checkpoint_hint = self.adapt_checkpoint_hint(&option.hostname);
         let req = SubmitRequest {
             task,
             activity: name.to_string(),
@@ -671,6 +827,7 @@ impl<X: Executor> Engine<X> {
             nominal_duration: program.nominal_duration,
             checkpoint_flag: flag.clone(),
             heartbeat_interval: act.heartbeat_interval,
+            checkpoint_hint,
         };
         let host = option.hostname.clone();
         self.open_attempts.insert(task);
@@ -687,6 +844,16 @@ impl<X: Executor> Engine<X> {
         }
         if is_probe {
             self.trace(TraceKind::BreakerProbe { host: host.clone() });
+        }
+        if let Some(p) = &scored {
+            self.trace(TraceKind::PlacementScored {
+                activity: name.to_string(),
+                slot,
+                attempt,
+                host: host.clone(),
+                score: p.score,
+                steered: p.steered,
+            });
         }
         self.trace(TraceKind::TaskSubmitted {
             activity: name.to_string(),
@@ -885,15 +1052,22 @@ impl<X: Executor> Engine<X> {
         };
         // Items cycle through the chosen program's options exactly like the
         // simple policy, keyed on the durable attempt counter; open host
-        // breakers are skipped the same way.
+        // breakers are skipped the same way.  The resilient scheduler
+        // scores the options first, falling back to the cycling below when
+        // it abstains.
         let n = program.options.len();
         let base = (progress.attempts as usize) % n;
-        let option_index = match &self.breakers {
-            Some(br) => (0..n)
-                .map(|k| (base + k) % n)
-                .find(|&i| !br.is_blocked(&program.options[i].hostname, now))
-                .unwrap_or(base),
-            None => base,
+        let scored = self.scored_option(&program, base, &[]);
+        let option_index = if let Some(p) = &scored {
+            p.index
+        } else {
+            match &self.breakers {
+                Some(br) => (0..n)
+                    .map(|k| (base + k) % n)
+                    .find(|&i| !br.is_blocked(&program.options[i].hostname, now))
+                    .unwrap_or(base),
+                None => base,
+            }
         };
         let option = &program.options[option_index];
         let attempt = progress.attempts + 1;
@@ -909,6 +1083,7 @@ impl<X: Executor> Engine<X> {
             act.heartbeat_tolerance,
             self.executor.now(),
         );
+        let checkpoint_hint = self.adapt_checkpoint_hint(&option.hostname);
         let req = SubmitRequest {
             task,
             activity: name.to_string(),
@@ -918,6 +1093,7 @@ impl<X: Executor> Engine<X> {
             nominal_duration: program.nominal_duration,
             checkpoint_flag: flag.clone(),
             heartbeat_interval: act.heartbeat_interval,
+            checkpoint_hint,
         };
         let host = option.hostname.clone();
         self.open_attempts.insert(task);
@@ -930,6 +1106,16 @@ impl<X: Executor> Engine<X> {
         }
         if is_probe {
             self.trace(TraceKind::BreakerProbe { host: host.clone() });
+        }
+        if let Some(p) = &scored {
+            self.trace(TraceKind::PlacementScored {
+                activity: name.to_string(),
+                slot: idx,
+                attempt,
+                host: host.clone(),
+                score: p.score,
+                steered: p.steered,
+            });
         }
         self.trace(TraceKind::TaskSubmitted {
             activity: name.to_string(),
@@ -1166,9 +1352,12 @@ impl<X: Executor> Engine<X> {
     }
 
     /// Feeds a task success on `host` to the breaker registry (if enabled)
-    /// and journals the transition it caused, if any.
+    /// and the host scorer, and journals any breaker transition it caused.
     fn breaker_success(&mut self, host: Option<&str>) {
         let Some(host) = host else { return };
+        if let Some(sc) = self.scorer.as_mut() {
+            sc.record_success(host);
+        }
         let ev = match self.breakers.as_mut() {
             Some(br) => br.record_success(host),
             None => return,
@@ -1179,16 +1368,114 @@ impl<X: Executor> Engine<X> {
     }
 
     /// Feeds a task failure (crash / presumed-dead) on `host` to the
-    /// breaker registry and journals the transition it caused, if any.
+    /// breaker registry and the host scorer, and journals any breaker
+    /// transition it caused.
     fn breaker_failure(&mut self, host: Option<&str>) {
         let Some(host) = host else { return };
         let now = self.executor.now();
+        if let Some(sc) = self.scorer.as_mut() {
+            sc.record_failure(host, now);
+        }
         let ev = match self.breakers.as_mut() {
             Some(br) => br.record_failure(host, now),
             None => return,
         };
         if let Some(ev) = ev {
             self.trace_breaker(ev);
+        }
+    }
+
+    /// Pre-emptive re-replication: when a live attempt's host shows a φ
+    /// level at or above [`crate::sched_score::ScorerConfig::rereplicate_phi`],
+    /// evacuate the attempt to the best failure-decorrelated host *before*
+    /// the presumption fires — the replacement resumes from the slot's
+    /// last checkpoint flag instead of losing the work to a crash.
+    /// Budgeted per slot by `max_rereplications`, and the move consumes no
+    /// retry (`tries_used` is untouched: nothing has failed yet).  Only
+    /// the φ-accrual detector produces a live suspicion level, so this is
+    /// a no-op under the fixed-timeout policy.
+    fn preemptive_rereplicate(&mut self) {
+        let Some(cfg) = self.scorer.as_ref().map(|s| s.config().clone()) else {
+            return;
+        };
+        let now = self.executor.now();
+        // Deterministic visiting order: ascending task id.
+        let mut live: Vec<(TaskId, String, usize)> = self
+            .attempts
+            .iter()
+            .map(|(t, (name, slot))| (*t, name.clone(), *slot))
+            .collect();
+        live.sort_by_key(|(t, _, _)| t.0);
+        for (task, name, slot) in live {
+            if self.is_foreach(&name) {
+                continue;
+            }
+            let Some(phi) = self.detector.phi_level(task, now) else {
+                continue;
+            };
+            if phi < cfg.rereplicate_phi {
+                continue;
+            }
+            let key = (name.clone(), slot);
+            if self.rereplications.get(&key).copied().unwrap_or(0) >= cfg.max_rereplications {
+                continue;
+            }
+            let Some(from) = self.attempt_hosts.get(&task).cloned() else {
+                continue;
+            };
+            let act = self
+                .instance
+                .workflow()
+                .activity(&name)
+                .expect("known activity")
+                .clone();
+            let program = self
+                .instance
+                .workflow()
+                .program(act.implement.as_deref().expect("non-dummy"))
+                .expect("validated reference")
+                .clone();
+            let base = match act.policy {
+                Policy::Simple => {
+                    let tries = self
+                        .nodes
+                        .get(&name)
+                        .map(|rt| rt.slots[slot].tries_used)
+                        .unwrap_or(0);
+                    (tries as usize) % program.options.len()
+                }
+                Policy::Replica => slot,
+            };
+            // Exclude the suspected host and every sibling's host; if no
+            // healthy decorrelated target exists, stay put — the detector
+            // will presume in its own time and the ordinary retry path
+            // takes over.
+            let mut exclude = self.sibling_hosts(&name, slot);
+            exclude.push(from.clone());
+            let Some(placement) = self.scored_option(&program, base, &exclude) else {
+                continue;
+            };
+            let to = program.options[placement.index].hostname.clone();
+            self.attempts.remove(&task);
+            self.attempt_hosts.remove(&task);
+            if let Some(rt) = self.nodes.get_mut(&name) {
+                rt.slots[slot].live = None;
+            }
+            self.executor.cancel(task);
+            self.settle_attempt(&name, task, TaskOutcome::Cancelled, "rereplicate");
+            self.trace(TraceKind::Rereplicate {
+                activity: name.clone(),
+                slot,
+                from: from.clone(),
+                to: to.clone(),
+                phi,
+            });
+            self.log(
+                LogKind::Recovery,
+                format!("{name} slot={slot} phi={phi:.2} rereplicate {from} -> {to}"),
+            );
+            *self.rereplications.entry(key).or_insert(0) += 1;
+            self.submit_slot_inner(&name, slot, Some(placement.index));
         }
     }
 
@@ -1806,6 +2093,7 @@ impl<X: Executor> Engine<X> {
                     None => self.observe(&env, t),
                 }
                 self.run_state.as_mut().expect("stepping").reorder = reorder;
+                self.preemptive_rereplicate();
             }
             Polled::TimedOut => {
                 let now = self.executor.now();
@@ -1824,6 +2112,7 @@ impl<X: Executor> Engine<X> {
                 for d in swept {
                     self.handle(d);
                 }
+                self.preemptive_rereplicate();
                 if fired == 0
                     && !any_swept
                     && released == 0
@@ -1932,6 +2221,10 @@ mod tests {
             "prototype let redundant branches finish"
         );
         assert!(c.breaker.is_none(), "breakers are opt-in");
+        assert!(
+            matches!(c.scheduler, crate::sched_score::SchedulerPolicy::Oblivious),
+            "resilient scheduling is opt-in: default journals stay byte-identical"
+        );
         assert!(c.max_loop_iterations >= 1000);
     }
 

@@ -36,6 +36,11 @@ pub struct SubmitRequest {
     pub checkpoint_flag: Option<String>,
     /// Expected heartbeat period (0 = no heartbeats).
     pub heartbeat_interval: f64,
+    /// Adaptive checkpoint interval for this attempt (nominal task
+    /// seconds), from the resilience-aware scheduler's observed-MTTF
+    /// estimate (Young's √(2·C·MTTF)).  `None` keeps the executor's own
+    /// cadence; only effective for tasks that are checkpoint-enabled.
+    pub checkpoint_hint: Option<f64>,
 }
 
 /// Result of a non-blocking notification poll (see

@@ -48,6 +48,7 @@ pub mod checkpoint;
 pub mod engine;
 pub mod executor;
 pub mod instance;
+pub mod sched_score;
 pub mod sim_executor;
 pub mod thread_executor;
 pub mod timeline;
@@ -61,6 +62,9 @@ pub use gridwfs_detect::{DetectorPolicy, PhiConfig};
 pub use gridwfs_trace::{TaskOutcome, TraceEvent, TraceKind, TraceSink};
 pub use instance::{
     CompleteResult, EdgeState, Instance, ItemProgress, ItemState, NodeStatus, Outcome,
+};
+pub use sched_score::{
+    HostEvidence, HostPrior, HostScorer, Placement, SchedulerPolicy, ScorerConfig,
 };
 pub use sim_executor::{ExceptionProfile, SimGrid, TaskProfile};
 pub use thread_executor::{

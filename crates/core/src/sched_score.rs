@@ -1,0 +1,545 @@
+//! Resilience-aware host scoring for task placement.
+//!
+//! The paper's §5 failure handling reacts *after* a host dies; everything
+//! the stack has accumulated since — φ-accrual suspicion levels (PR 5),
+//! per-host circuit-breaker state (PR 4), observed failure rates and
+//! heartbeat jitter — is evidence that can prevent the loss instead
+//! (WRATH: resilience decisions keyed to runtime signals).  The
+//! [`HostScorer`] folds that live evidence into one deterministic score
+//! per host, lower = healthier:
+//!
+//! ```text
+//! score(h) = w_rate    · windowed_failure_rate(h)
+//!          + w_phi     · max φ over live attempts on h
+//!          + w_jitter  · max heartbeat jitter over live attempts on h
+//!          + w_halfopen· [breaker half-open]
+//!          + w_prior   · λ(h) · (duration + D(h))     (simulator prior)
+//! ```
+//!
+//! The engine consults the score at every placement point: initial
+//! placement, retry target selection (steer retries *away* from suspected
+//! hosts instead of blind option cycling), replica placement
+//! (failure-decorrelated hosts), pre-emptive re-replication when a live
+//! replica's host crosses [`ScorerConfig::rereplicate_phi`], and per-host
+//! adaptive checkpoint intervals from observed MTTF — Young's
+//! approximation √(2·C·MTTF), the paper's own §6 K-optimisation made
+//! adaptive at runtime.
+//!
+//! Determinism: the scorer holds no RNG; scores are pure arithmetic over
+//! journalled evidence, candidates are visited in the oblivious cycling
+//! order and ties keep the *first* candidate — so with zero evidence the
+//! resilient scheduler reproduces the oblivious placement exactly.  When
+//! every candidate is blocked or suspect the scorer abstains
+//! ([`HostScorer::choose`] returns `None`) and the engine falls back to
+//! oblivious cycling with breaker-skip: placement is steered, never
+//! deadlocked.
+
+use std::collections::HashMap;
+
+/// Which placement policy the engine runs.  `Oblivious` (the default) is
+/// the pre-existing behaviour — option cycling plus breaker-skip — and
+/// produces byte-identical journals to engines built before the scorer
+/// existed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum SchedulerPolicy {
+    /// Blind option cycling (`tries % n`), skipping open breakers.
+    #[default]
+    Oblivious,
+    /// Evidence-driven placement through a [`HostScorer`].
+    Resilient(ScorerConfig),
+}
+
+/// A simulator-derived failure prior for one host: exponential failure
+/// rate λ (1/MTTF) and mean downtime D.  Hosts without a prior score as
+/// failure-free until live evidence says otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostPrior {
+    /// Hostname the prior describes.
+    pub host: String,
+    /// Failure rate λ = 1 / MTTF (0 for failure-free hosts).
+    pub lambda: f64,
+    /// Mean downtime after a crash, in executor seconds.
+    pub downtime: f64,
+}
+
+/// Tuning for the resilience-aware scorer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScorerConfig {
+    /// Outcomes remembered per host for the windowed failure rate.
+    pub window: usize,
+    /// Weight of the windowed failure rate.
+    pub w_rate: f64,
+    /// Weight of the live φ level (per unit φ).
+    pub w_phi: f64,
+    /// Weight of the heartbeat jitter (per second of σ).
+    pub w_jitter: f64,
+    /// Weight of the λ·(duration + D) prior term.
+    pub w_prior: f64,
+    /// Additive penalty while a host's breaker is half-open.
+    pub w_halfopen: f64,
+    /// Scores at or above this mark a host *suspect*: skipped when any
+    /// non-suspect candidate exists, forcing the fallback when none does.
+    pub suspect_score: f64,
+    /// Live φ level at which a replica is pre-emptively re-replicated
+    /// off its host.  Must sit above the cold-window ramp's healthy
+    /// ceiling (`threshold / tolerance` per heartbeat interval of
+    /// silence, ≈2.7 at the defaults) or warm-up jitter evacuates
+    /// perfectly healthy attempts.
+    pub rereplicate_phi: f64,
+    /// Pre-emptive moves allowed per slot per attempt (budget, so a
+    /// flapping φ cannot thrash a replica between hosts forever).
+    pub max_rereplications: u32,
+    /// Checkpoint cost C for Young's interval √(2·C·MTTF), in nominal
+    /// task seconds.
+    pub ckpt_cost: f64,
+    /// Simulator-derived per-host failure priors.
+    pub priors: Vec<HostPrior>,
+}
+
+impl Default for ScorerConfig {
+    fn default() -> Self {
+        ScorerConfig {
+            window: 16,
+            w_rate: 8.0,
+            w_phi: 1.0,
+            w_jitter: 0.5,
+            w_prior: 4.0,
+            w_halfopen: 2.0,
+            suspect_score: 6.0,
+            rereplicate_phi: 4.0,
+            max_rereplications: 1,
+            ckpt_cost: 1.0,
+            priors: Vec::new(),
+        }
+    }
+}
+
+/// Live evidence about one candidate host, gathered by the engine at the
+/// moment of a placement decision.  Keeping this a plain struct decouples
+/// the scorer from the breaker and detector types.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HostEvidence {
+    /// The host's breaker is open (inside its backoff) right now.
+    pub blocked: bool,
+    /// The host's breaker is half-open (probe in flight).
+    pub half_open: bool,
+    /// Highest live φ level over attempts currently running on the host.
+    pub phi: f64,
+    /// Highest heartbeat-interval standard deviation over those attempts.
+    pub jitter: f64,
+}
+
+/// The outcome of a scored placement decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Index into the candidate list the engine passed in.
+    pub index: usize,
+    /// The chosen candidate's score.
+    pub score: f64,
+    /// True when the choice differs from the oblivious cycling base.
+    pub steered: bool,
+}
+
+#[derive(Debug, Default)]
+struct HostRecord {
+    /// Ring of recent attempt outcomes, `true` = failure.
+    outcomes: Vec<bool>,
+    /// Next write position in the ring.
+    cursor: usize,
+    /// Failures observed (for the MTTF estimate).
+    failures: u64,
+    /// Executor time of the last observed failure.
+    last_failure_at: f64,
+    /// Online mean of inter-failure gaps (observed MTTF).
+    mean_gap: f64,
+}
+
+/// Per-host evidence accumulator + deterministic argmin selector.
+#[derive(Debug)]
+pub struct HostScorer {
+    cfg: ScorerConfig,
+    priors: HashMap<String, (f64, f64)>,
+    hosts: HashMap<String, HostRecord>,
+}
+
+impl HostScorer {
+    /// A scorer with no observed history yet.
+    pub fn new(cfg: ScorerConfig) -> Self {
+        let priors = cfg
+            .priors
+            .iter()
+            .map(|p| (p.host.clone(), (p.lambda, p.downtime)))
+            .collect();
+        HostScorer {
+            cfg,
+            priors,
+            hosts: HashMap::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ScorerConfig {
+        &self.cfg
+    }
+
+    fn record_outcome(&mut self, host: &str, failed: bool) -> &mut HostRecord {
+        let window = self.cfg.window.max(1);
+        let rec = self.hosts.entry(host.to_string()).or_default();
+        if rec.outcomes.len() < window {
+            rec.outcomes.push(failed);
+        } else {
+            rec.outcomes[rec.cursor] = failed;
+        }
+        rec.cursor = (rec.cursor + 1) % window;
+        rec
+    }
+
+    /// Record a successful attempt on `host`.
+    pub fn record_success(&mut self, host: &str) {
+        self.record_outcome(host, false);
+    }
+
+    /// Record a failed attempt (crash / presumed-dead) on `host` at `now`,
+    /// feeding both the windowed rate and the inter-failure MTTF estimate.
+    pub fn record_failure(&mut self, host: &str, now: f64) {
+        let rec = self.record_outcome(host, true);
+        if rec.failures > 0 {
+            let gap = (now - rec.last_failure_at).max(0.0);
+            let n = rec.failures as f64;
+            rec.mean_gap += (gap - rec.mean_gap) / n;
+        }
+        rec.failures += 1;
+        rec.last_failure_at = now;
+    }
+
+    /// Windowed failure rate for `host` in `[0, 1]` (0 when unobserved).
+    pub fn failure_rate(&self, host: &str) -> f64 {
+        match self.hosts.get(host) {
+            Some(r) if !r.outcomes.is_empty() => {
+                r.outcomes.iter().filter(|&&f| f).count() as f64 / r.outcomes.len() as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Observed MTTF for `host`: the online mean of inter-failure gaps,
+    /// falling back to the simulator prior (1/λ) and finally to `None`
+    /// for hosts with no failure evidence at all.
+    pub fn observed_mttf(&self, host: &str) -> Option<f64> {
+        if let Some(r) = self.hosts.get(host) {
+            if r.failures >= 2 && r.mean_gap > 0.0 {
+                return Some(r.mean_gap);
+            }
+        }
+        match self.priors.get(host) {
+            Some(&(lambda, _)) if lambda > 0.0 => Some(1.0 / lambda),
+            _ => None,
+        }
+    }
+
+    /// Young's checkpoint interval √(2·C·MTTF) for `host`, `None` when no
+    /// failure evidence or prior exists (keep the profile's own cadence).
+    /// Clamped below by the checkpoint cost itself so a dying host cannot
+    /// demand checkpoints more often than they cost to take.
+    pub fn checkpoint_interval(&self, host: &str) -> Option<f64> {
+        let mttf = self.observed_mttf(host)?;
+        let c = self.cfg.ckpt_cost.max(1e-9);
+        Some((2.0 * c * mttf).sqrt().max(c))
+    }
+
+    /// The score for one candidate, given the engine-gathered live
+    /// evidence.  Pure arithmetic — no RNG, no clock reads.
+    pub fn score(&self, host: &str, duration: f64, ev: &HostEvidence) -> f64 {
+        let c = &self.cfg;
+        let mut s = c.w_rate * self.failure_rate(host)
+            + c.w_phi * ev.phi.max(0.0)
+            + c.w_jitter * ev.jitter.max(0.0);
+        if ev.half_open {
+            s += c.w_halfopen;
+        }
+        if let Some(&(lambda, downtime)) = self.priors.get(host) {
+            s += c.w_prior * lambda * (duration.max(0.0) + downtime);
+        }
+        s
+    }
+
+    /// Picks the healthiest candidate, visiting candidates in the
+    /// oblivious cycling order starting at `base` so that a zero-evidence
+    /// tie reproduces the oblivious choice exactly.  Candidates that are
+    /// breaker-blocked or whose score reaches `suspect_score` are skipped;
+    /// returns `None` when *every* candidate is skipped — the caller must
+    /// then degrade to oblivious cycling (steered, never deadlocked).
+    pub fn choose(
+        &self,
+        candidates: &[(&str, HostEvidence)],
+        base: usize,
+        duration: f64,
+    ) -> Option<Placement> {
+        let n = candidates.len();
+        if n == 0 {
+            return None;
+        }
+        let base = base % n;
+        let mut best: Option<Placement> = None;
+        for k in 0..n {
+            let i = (base + k) % n;
+            let (host, ev) = &candidates[i];
+            if ev.blocked {
+                continue;
+            }
+            let score = self.score(host, duration, ev);
+            if score >= self.cfg.suspect_score {
+                continue;
+            }
+            // Strict less-than keeps the first (cycling-order) candidate
+            // on ties — the zero-evidence path is the oblivious path.
+            if best.as_ref().is_none_or(|b| score < b.score) {
+                best = Some(Placement {
+                    index: i,
+                    score,
+                    steered: i != base,
+                });
+            }
+        }
+        best
+    }
+
+    /// Like [`HostScorer::choose`], but also skips hosts named in
+    /// `exclude` — replica placement wants failure-decorrelated hosts, so
+    /// sibling replicas' hosts are excluded before health is considered.
+    pub fn choose_excluding(
+        &self,
+        candidates: &[(&str, HostEvidence)],
+        base: usize,
+        duration: f64,
+        exclude: &[&str],
+    ) -> Option<Placement> {
+        let filtered: Vec<(&str, HostEvidence)> = candidates
+            .iter()
+            .map(|(h, ev)| {
+                if exclude.contains(h) {
+                    (
+                        *h,
+                        HostEvidence {
+                            blocked: true,
+                            ..*ev
+                        },
+                    )
+                } else {
+                    (*h, *ev)
+                }
+            })
+            .collect();
+        self.choose(&filtered, base, duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scorer() -> HostScorer {
+        HostScorer::new(ScorerConfig::default())
+    }
+
+    fn ev() -> HostEvidence {
+        HostEvidence::default()
+    }
+
+    #[test]
+    fn default_policy_is_oblivious() {
+        assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::Oblivious);
+    }
+
+    #[test]
+    fn zero_evidence_reproduces_the_oblivious_choice() {
+        let s = scorer();
+        let cands = [("a", ev()), ("b", ev()), ("c", ev())];
+        for base in 0..5 {
+            let p = s.choose(&cands, base, 10.0).unwrap();
+            assert_eq!(p.index, base % 3, "tie keeps the cycling base");
+            assert!(!p.steered);
+            assert_eq!(p.score, 0.0);
+        }
+    }
+
+    #[test]
+    fn failure_rate_steers_away_from_the_flaky_host() {
+        let mut s = scorer();
+        for t in 0..4 {
+            s.record_failure("a", t as f64);
+        }
+        let cands = [("a", ev()), ("b", ev())];
+        let p = s.choose(&cands, 0, 10.0).unwrap();
+        assert_eq!(p.index, 1, "retries route away from the failing host");
+        assert!(p.steered);
+        assert!(s.failure_rate("a") > 0.99);
+        assert_eq!(s.failure_rate("b"), 0.0);
+    }
+
+    #[test]
+    fn successes_age_failures_out_of_the_window() {
+        let mut s = HostScorer::new(ScorerConfig {
+            window: 4,
+            ..ScorerConfig::default()
+        });
+        for t in 0..4 {
+            s.record_failure("a", t as f64);
+        }
+        assert_eq!(s.failure_rate("a"), 1.0);
+        for _ in 0..4 {
+            s.record_success("a");
+        }
+        assert_eq!(s.failure_rate("a"), 0.0, "window fully refreshed");
+    }
+
+    #[test]
+    fn live_phi_and_jitter_raise_the_score() {
+        let s = scorer();
+        let healthy = s.score("a", 10.0, &ev());
+        let phi = s.score("a", 10.0, &HostEvidence { phi: 3.0, ..ev() });
+        let jitter = s.score(
+            "a",
+            10.0,
+            &HostEvidence {
+                jitter: 2.0,
+                ..ev()
+            },
+        );
+        let half_open = s.score(
+            "a",
+            10.0,
+            &HostEvidence {
+                half_open: true,
+                ..ev()
+            },
+        );
+        assert_eq!(healthy, 0.0);
+        assert!(phi > healthy && jitter > healthy && half_open > healthy);
+    }
+
+    #[test]
+    fn prior_prefers_the_reliable_host_for_long_tasks() {
+        let s = HostScorer::new(ScorerConfig {
+            priors: vec![
+                HostPrior {
+                    host: "flaky".into(),
+                    lambda: 1.0 / 30.0,
+                    downtime: 5.0,
+                },
+                HostPrior {
+                    host: "solid".into(),
+                    lambda: 0.0,
+                    downtime: 0.0,
+                },
+            ],
+            ..ScorerConfig::default()
+        });
+        let cands = [("flaky", ev()), ("solid", ev())];
+        let p = s.choose(&cands, 0, 100.0).unwrap();
+        assert_eq!(p.index, 1, "long task avoids the high-λ host");
+        // A free task has nothing to lose: expected-loss prior scales
+        // with duration, so the short-task penalty is smaller.
+        assert!(s.score("flaky", 1.0, &ev()) < s.score("flaky", 100.0, &ev()));
+    }
+
+    #[test]
+    fn blocked_and_suspect_hosts_are_skipped_until_none_remain() {
+        let mut s = scorer();
+        for t in 0..8 {
+            s.record_failure("bad", t as f64); // rate 1.0 ⇒ score 8 ≥ 6
+        }
+        let blocked = HostEvidence {
+            blocked: true,
+            ..ev()
+        };
+        // One healthy candidate left: it wins.
+        let cands = [("bad", ev()), ("x", blocked), ("ok", ev())];
+        let p = s.choose(&cands, 0, 1.0).unwrap();
+        assert_eq!(p.index, 2);
+        // Everyone bad: the scorer abstains (graceful degradation).
+        let cands = [("bad", ev()), ("x", blocked)];
+        assert!(s.choose(&cands, 0, 1.0).is_none());
+        assert!(s.choose(&[], 0, 1.0).is_none());
+    }
+
+    #[test]
+    fn replica_exclusion_decorrelates_placement() {
+        let s = scorer();
+        let cands = [("a", ev()), ("b", ev()), ("c", ev())];
+        let p = s.choose_excluding(&cands, 0, 5.0, &["a"]).unwrap();
+        assert_eq!(p.index, 1, "sibling's host excluded, next-best wins");
+        assert!(s
+            .choose_excluding(&cands, 0, 5.0, &["a", "b", "c"])
+            .is_none());
+    }
+
+    #[test]
+    fn observed_mttf_prefers_evidence_over_prior() {
+        let mut s = HostScorer::new(ScorerConfig {
+            priors: vec![HostPrior {
+                host: "h".into(),
+                lambda: 1.0 / 100.0,
+                downtime: 1.0,
+            }],
+            ..ScorerConfig::default()
+        });
+        assert_eq!(s.observed_mttf("h"), Some(100.0), "prior before evidence");
+        assert_eq!(s.observed_mttf("unknown"), None);
+        s.record_failure("h", 10.0);
+        assert_eq!(s.observed_mttf("h"), Some(100.0), "one failure: no gap yet");
+        s.record_failure("h", 40.0);
+        s.record_failure("h", 60.0);
+        let mttf = s.observed_mttf("h").unwrap();
+        assert!(
+            (mttf - 25.0).abs() < 1e-9,
+            "mean gap of 30 and 20, got {mttf}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_interval_follows_youngs_approximation() {
+        let mut s = HostScorer::new(ScorerConfig {
+            ckpt_cost: 1.0,
+            priors: vec![HostPrior {
+                host: "h".into(),
+                lambda: 1.0 / 50.0,
+                downtime: 1.0,
+            }],
+            ..ScorerConfig::default()
+        });
+        let k = s.checkpoint_interval("h").unwrap();
+        assert!((k - 10.0).abs() < 1e-9, "√(2·1·50) = 10, got {k}");
+        assert_eq!(s.checkpoint_interval("unknown"), None);
+        // Shrinking observed MTTF shrinks the interval, floored at C.
+        s.record_failure("h", 0.0);
+        s.record_failure("h", 0.5);
+        let k2 = s.checkpoint_interval("h").unwrap();
+        assert!(k2 < k && k2 >= 1.0, "got {k2}");
+    }
+
+    #[test]
+    fn scoring_is_deterministic() {
+        let build = || {
+            let mut s = scorer();
+            s.record_failure("a", 1.0);
+            s.record_success("a");
+            s.record_failure("b", 2.0);
+            let cands = [
+                ("a", HostEvidence { phi: 0.5, ..ev() }),
+                ("b", ev()),
+                (
+                    "c",
+                    HostEvidence {
+                        jitter: 0.25,
+                        ..ev()
+                    },
+                ),
+            ];
+            (0..6)
+                .map(|base| s.choose(&cands, base, 7.0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

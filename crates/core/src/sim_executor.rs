@@ -187,6 +187,42 @@ impl SimGrid {
         }
     }
 
+    /// Per-host failure priors for the resilience-aware scheduler:
+    /// `(hostname, λ, D)` with λ = 1/E[TTF] (0 for failure-free hosts) and
+    /// D = E[downtime].  Hostname-sorted so the result is deterministic.
+    pub fn host_priors(&self) -> Vec<(String, f64, f64)> {
+        let mut out: Vec<(String, f64, f64)> = self
+            .hosts
+            .iter()
+            .map(|(name, h)| {
+                let spec = &h.resource.spec;
+                let lambda = if spec.ttf.is_never() {
+                    0.0
+                } else {
+                    let mttf = spec.ttf.mean();
+                    if mttf.is_finite() && mttf > 0.0 {
+                        1.0 / mttf
+                    } else {
+                        0.0
+                    }
+                };
+                let downtime = if spec.downtime.is_never() {
+                    0.0
+                } else {
+                    let d = spec.downtime.mean();
+                    if d.is_finite() {
+                        d
+                    } else {
+                        0.0
+                    }
+                };
+                (name.clone(), lambda, downtime)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Parses the progress cookie produced by checkpoint emission.
     fn parse_flag(flag: &str) -> f64 {
         flag.strip_prefix("ckpt:")
@@ -309,6 +345,13 @@ impl Executor for SimGrid {
             }
         }
         if let Some(period) = profile.checkpoint_period {
+            // The scheduler's adaptive hint overrides the profile's cadence,
+            // but only for tasks the profile already checkpoint-enables —
+            // the hint tunes K, it cannot conjure checkpoint support.
+            let period = req
+                .checkpoint_hint
+                .filter(|p| p.is_finite() && *p > 0.0)
+                .unwrap_or(period);
             // First checkpoint lands at the next period boundary after prior.
             let mut done_nominal = ((prior / period).floor() + 1.0) * period;
             while done_nominal < req.nominal_duration {
@@ -442,6 +485,7 @@ mod tests {
             nominal_duration: dur,
             checkpoint_flag: None,
             heartbeat_interval: 1.0,
+            checkpoint_hint: None,
         }
     }
 
@@ -569,6 +613,51 @@ mod tests {
             })
             .collect();
         assert_eq!(flags, vec!["ckpt:2", "ckpt:4", "ckpt:6", "ckpt:8"]);
+    }
+
+    #[test]
+    fn checkpoint_hint_overrides_the_profile_cadence() {
+        let mut g = grid();
+        g.set_profile("p", TaskProfile::reliable().with_checkpoints(2.0));
+        let mut r = req(1, "good.host", 10.0);
+        r.checkpoint_hint = Some(5.0);
+        g.submit(r);
+        let flags: Vec<String> = drain(&mut g)
+            .iter()
+            .filter_map(|(_, e)| match &e.body {
+                N::Checkpoint { flag } => Some(flag.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flags, vec!["ckpt:5"], "hint of 5 replaces the 2.0 period");
+        // A hint cannot enable checkpoints on a profile without them.
+        let mut g = grid();
+        let mut r = req(2, "good.host", 10.0);
+        r.checkpoint_hint = Some(1.0);
+        g.submit(r);
+        assert!(!drain(&mut g)
+            .iter()
+            .any(|(_, e)| matches!(e.body, N::Checkpoint { .. })));
+    }
+
+    #[test]
+    fn host_priors_surface_lambda_and_downtime() {
+        let g = grid();
+        let priors = g.host_priors();
+        let names: Vec<&str> = priors.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["bad.host", "fast.host", "good.host"],
+            "hostname-sorted"
+        );
+        let bad = &priors[0];
+        assert!(
+            (bad.1 - 1.0 / 5.0).abs() < 1e-12,
+            "λ = 1/MTTF, got {}",
+            bad.1
+        );
+        assert!((bad.2 - 10.0).abs() < 1e-12, "D = mean downtime");
+        assert_eq!((priors[1].1, priors[1].2), (0.0, 0.0), "reliable host");
     }
 
     #[test]

@@ -360,6 +360,7 @@ mod tests {
             nominal_duration: 0.1,
             checkpoint_flag: None,
             heartbeat_interval: 0.02,
+            checkpoint_hint: None,
         }
     }
 

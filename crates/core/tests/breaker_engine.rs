@@ -6,15 +6,19 @@
 
 use std::collections::VecDeque;
 
-use grid_wfs::{BreakerConfig, Engine, EngineConfig, Executor, SubmitRequest, TraceKind};
+use grid_wfs::{
+    BreakerConfig, Engine, EngineConfig, Executor, SchedulerPolicy, ScorerConfig, SubmitRequest,
+    TraceKind,
+};
 use gridwfs_detect::notify::{Envelope, Notification, TaskId};
 use gridwfs_wpdl::builder::WorkflowBuilder;
 use gridwfs_wpdl::validate::{validate, Validated};
 
 const FLAKY: &str = "flaky.example.org";
+const FLAKY2: &str = "flaky2.example.org";
 const RELIABLE: &str = "reliable.example.org";
 
-/// Scripted executor: every attempt on the flaky host crashes (`Done`
+/// Scripted executor: every attempt on a flaky host crashes (`Done`
 /// without `Task End`), every attempt on the reliable host succeeds, with
 /// fixed latencies — fully deterministic, no RNG.
 #[derive(Default)]
@@ -44,7 +48,7 @@ impl Executor for &mut Scripted {
             start,
             Envelope::new(req.task, host.clone(), start, Notification::TaskStart),
         ));
-        if req.hostname == FLAKY {
+        if req.hostname != RELIABLE {
             self.queue
                 .push_back((end, Envelope::new(req.task, host, end, Notification::Done)));
         } else {
@@ -193,6 +197,69 @@ fn single_option_program_probes_instead_of_deadlocking() {
             .any(|e| matches!(&e.kind, TraceKind::BreakerProbe { host } if host == FLAKY)),
         "forced submissions to an open breaker journal as probes"
     );
+}
+
+#[test]
+fn resilient_scoring_steers_placements_off_the_failing_host() {
+    // Same chain as the oblivious baseline above, but with the scorer on:
+    // one burnt attempt on the flaky host is all the evidence it needs to
+    // route every later placement to the reliable host.
+    let mut x = Scripted::default();
+    let config = EngineConfig {
+        scheduler: SchedulerPolicy::Resilient(ScorerConfig::default()),
+        ..EngineConfig::default()
+    };
+    let report = Engine::new(chain(6), &mut x).with_config(config).run();
+    assert!(report.is_success());
+    assert_eq!(
+        x.submissions_to(FLAKY),
+        1,
+        "only the zero-evidence first attempt lands on the flaky host"
+    );
+    assert_eq!(
+        x.submissions_to(RELIABLE),
+        6,
+        "a0's retry plus the 5 later firsts"
+    );
+    assert!(
+        report.trace.iter().any(|e| matches!(
+            &e.kind,
+            TraceKind::PlacementScored { steered: true, host, .. } if host == RELIABLE
+        )),
+        "steered placements are journalled"
+    );
+}
+
+#[test]
+fn resilient_scheduler_degrades_gracefully_when_every_host_is_bad() {
+    // Both options always crash: after one failure each the scorer marks
+    // both suspect and abstains, and the engine must fall back to
+    // oblivious cycling with breaker-skip — every retry still submits
+    // (forced probes once the breakers open) instead of stalling.
+    let mut b = WorkflowBuilder::new("all-bad").program("p", 1.0, &[FLAKY, FLAKY2]);
+    b.activity("only", "p").retry(6, 0.5);
+    let wf = validate(b.build_unchecked()).expect("valid");
+    let mut x = Scripted::default();
+    let config = EngineConfig {
+        breaker: Some(breaker(2, 1e6)), // backoff far beyond the run
+        scheduler: SchedulerPolicy::Resilient(ScorerConfig::default()),
+        ..EngineConfig::default()
+    };
+    let report = Engine::new(wf, &mut x).with_config(config).run();
+    assert!(!report.is_success(), "every host always crashes");
+    assert_eq!(
+        x.submissions_to(FLAKY) + x.submissions_to(FLAKY2),
+        6,
+        "all retries ran: an abstaining scorer degrades placement, never blocks it"
+    );
+    assert!(
+        report
+            .trace
+            .iter()
+            .any(|e| matches!(&e.kind, TraceKind::BreakerProbe { .. })),
+        "once both breakers open, fallback submissions journal as probes"
+    );
+    assert_eq!(report.status_of("only"), Some("failed"));
 }
 
 #[test]

@@ -1040,3 +1040,62 @@ fn abort_via_max_settlements_leaves_resumable_state() {
     assert_eq!(phase2.makespan, 10.0, "b and c only");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ------------------------------------------------ resilient scheduling ---
+
+#[test]
+fn resilient_retries_migrate_off_a_targeted_dying_host() {
+    use grid_wfs::timeline::SpanOutcome;
+    use grid_wfs::{SchedulerPolicy, ScorerConfig};
+    // A mini sweep over seeds: the first option's host dies almost
+    // immediately (a targeted failure), heartbeat loss detects it, and the
+    // scorer must steer every retry to the healthy hosts — the activity
+    // settles exactly once, with exactly one burnt attempt on the doomed
+    // host (the zero-evidence first placement).
+    for seed in 0..8u64 {
+        let mut b = WorkflowBuilder::new("steer").program(
+            "p",
+            10.0,
+            &["doomed.host", "ok1.host", "ok2.host"],
+        );
+        b.activity("a", "p").retry(4, 1.0).heartbeat(1.0, 3.0);
+        let mut grid = SimGrid::new(seed);
+        grid.add_host(ResourceSpec::unreliable("doomed.host", 0.001, 1e6));
+        grid.add_host(ResourceSpec::reliable("ok1.host"));
+        grid.add_host(ResourceSpec::reliable("ok2.host"));
+        let config = EngineConfig {
+            scheduler: SchedulerPolicy::Resilient(ScorerConfig::default()),
+            ..EngineConfig::default()
+        };
+        let report = Engine::new(build(b), grid).with_config(config).run();
+        assert!(report.is_success(), "seed {seed}");
+        let completed: Vec<_> = report
+            .spans
+            .iter()
+            .filter(|s| s.outcome == SpanOutcome::Completed)
+            .collect();
+        assert_eq!(completed.len(), 1, "seed {seed}: settled exactly once");
+        assert_ne!(completed[0].host, "doomed.host", "seed {seed}");
+        let doomed_attempts = report
+            .spans
+            .iter()
+            .filter(|s| s.host == "doomed.host")
+            .count();
+        assert_eq!(
+            doomed_attempts, 1,
+            "seed {seed}: retries migrated off the doomed host"
+        );
+        // The utilization histogram tells the same story: the doomed host
+        // only ever held the lost first attempt, never a full task.
+        let doomed_busy = report
+            .host_utilization()
+            .into_iter()
+            .find(|(h, _)| h == "doomed.host")
+            .map(|(_, t)| t)
+            .unwrap_or(0.0);
+        assert!(
+            doomed_busy < 10.0,
+            "seed {seed}: doomed host busy {doomed_busy} — ran a task to completion?"
+        );
+    }
+}

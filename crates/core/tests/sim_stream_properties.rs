@@ -59,6 +59,7 @@ proptest! {
             nominal_duration: duration,
             checkpoint_flag: resume.map(|r| format!("ckpt:{r}")),
             heartbeat_interval: hb,
+            checkpoint_hint: None,
         });
         let mut events = Vec::new();
         while let Some(ev) = grid.next_notification(None) {
@@ -122,6 +123,7 @@ proptest! {
             nominal_duration: 20.0,
             checkpoint_flag: None,
             heartbeat_interval: 1.0,
+            checkpoint_hint: None,
         });
         for _ in 0..after {
             if grid.next_notification(None).is_none() {
@@ -154,6 +156,7 @@ proptest! {
             nominal_duration: 10.0,
             checkpoint_flag: None,
             heartbeat_interval: 1.0,
+            checkpoint_hint: None,
         });
         let mut det = Detector::new();
         det.register_task(TaskId(1), 1.0, 3.0, 0.0);

@@ -4,9 +4,10 @@
 //! once, retries fire in the future, and the derived spans agree with the
 //! raw event stream.  Identical seeds always reproduce identical journals.
 
-use grid_wfs::engine::{Engine, StepOutcome};
+use grid_wfs::engine::{Engine, EngineConfig, StepOutcome};
 use grid_wfs::sim_executor::{SimGrid, TaskProfile};
 use grid_wfs::timeline;
+use grid_wfs::{SchedulerPolicy, ScorerConfig};
 use gridwfs_sim::dist::Dist;
 use gridwfs_sim::resource::ResourceSpec;
 use gridwfs_trace::TraceKind;
@@ -148,6 +149,37 @@ proptest! {
         let first = Engine::new(validate(w.clone()).unwrap(), grid(seed)).run();
         let second = Engine::new(validate(w).unwrap(), grid(seed)).run();
         prop_assert_eq!(first.trace_jsonl(), second.trace_jsonl());
+    }
+
+    /// The resilient scheduler holds no RNG: identical seeds reproduce
+    /// identical journals byte for byte, and a default (oblivious) engine
+    /// never journals the scorer's event kinds — existing journals stay
+    /// byte-identical unless the knob is turned.
+    #[test]
+    fn resilient_journal_is_deterministic_and_opt_in(w in arb_workflow(), seed in any::<u64>()) {
+        let config = || EngineConfig {
+            scheduler: SchedulerPolicy::Resilient(ScorerConfig::default()),
+            ..EngineConfig::default()
+        };
+        let first = Engine::new(validate(w.clone()).unwrap(), grid(seed))
+            .with_config(config())
+            .run();
+        let second = Engine::new(validate(w.clone()).unwrap(), grid(seed))
+            .with_config(config())
+            .run();
+        prop_assert_eq!(first.trace_jsonl(), second.trace_jsonl());
+        let default_run = Engine::new(validate(w).unwrap(), grid(seed)).run();
+        for e in &default_run.trace {
+            prop_assert!(
+                !matches!(
+                    &e.kind,
+                    TraceKind::PlacementScored { .. }
+                        | TraceKind::Rereplicate { .. }
+                        | TraceKind::CkptIntervalAdapted { .. }
+                ),
+                "scheduler kind in a default journal: {:?}", e
+            );
+        }
     }
 
     /// Driving a fresh engine through the non-blocking `step()` API yields

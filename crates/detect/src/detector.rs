@@ -133,6 +133,13 @@ impl Monitor {
         }
     }
 
+    fn jitter(&self, task: TaskId) -> Option<f64> {
+        match self {
+            Monitor::Fixed { .. } => None,
+            Monitor::Phi(phi) => phi.jitter(task),
+        }
+    }
+
     fn late_beats(&self) -> u64 {
         match self {
             Monitor::Fixed { inner, .. } => inner.late_beats(),
@@ -315,6 +322,21 @@ impl Detector {
     /// (`None` if the attempt was never presumed dead).
     pub fn suspicion(&self, task: TaskId) -> Option<SuspicionInfo> {
         self.records.get(&task).and_then(|r| r.suspicion)
+    }
+
+    /// *Live* suspicion level φ for a watched attempt at `now` — available
+    /// before any presumption, which is what makes pre-emptive decisions
+    /// possible.  `None` under the fixed-timeout policy or for unwatched
+    /// attempts.
+    pub fn phi_level(&self, task: TaskId, now: f64) -> Option<f64> {
+        self.monitor.phi(task, now)
+    }
+
+    /// Heartbeat-interval standard deviation for a watched attempt —
+    /// the jitter term of the resilience-aware host score.  `None` under
+    /// the fixed-timeout policy or before the window has samples.
+    pub fn jitter(&self, task: TaskId) -> Option<f64> {
+        self.monitor.jitter(task)
     }
 
     /// Registers a task attempt before submission.  `hb_interval` /

@@ -1,0 +1,106 @@
+//! Per-host aggregation of live failure-detector evidence.
+//!
+//! The detector watches *task attempts*; placement decisions are about
+//! *hosts*.  [`HostHealth`] is the bridge: the engine folds each live
+//! attempt's φ level and heartbeat jitter into the host it runs on, and
+//! the scheduler reads the per-host maxima.  Max-aggregation is
+//! order-independent, so the view is deterministic no matter what order
+//! the engine's `HashMap` of attempts iterates in, and a `BTreeMap` keys
+//! the result so enumeration is stable too.
+
+use std::collections::BTreeMap;
+
+/// One host's aggregated live evidence.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HostSignal {
+    /// Highest live φ over attempts currently on the host.
+    pub phi: f64,
+    /// Highest heartbeat-interval standard deviation over those attempts.
+    pub jitter: f64,
+    /// Number of live watched attempts folded in.
+    pub attempts: usize,
+}
+
+/// A snapshot of per-host detector evidence at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct HostHealth {
+    hosts: BTreeMap<String, HostSignal>,
+}
+
+impl HostHealth {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one live attempt's evidence into its host (max-aggregation;
+    /// `None` signals contribute nothing to that component).
+    pub fn observe(&mut self, host: &str, phi: Option<f64>, jitter: Option<f64>) {
+        let s = self.hosts.entry(host.to_string()).or_default();
+        if let Some(p) = phi {
+            s.phi = s.phi.max(p);
+        }
+        if let Some(j) = jitter {
+            s.jitter = s.jitter.max(j);
+        }
+        s.attempts += 1;
+    }
+
+    /// The aggregated signal for a host (zeroes when nothing live runs
+    /// there — no evidence is good evidence).
+    pub fn signal(&self, host: &str) -> HostSignal {
+        self.hosts.get(host).copied().unwrap_or_default()
+    }
+
+    /// Hosts with at least one live attempt, in stable (sorted) order.
+    pub fn hosts(&self) -> impl Iterator<Item = (&str, &HostSignal)> {
+        self.hosts.iter().map(|(h, s)| (h.as_str(), s))
+    }
+
+    /// True when no attempt has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_is_max_and_order_independent() {
+        let fold = |order: &[(f64, f64)]| {
+            let mut h = HostHealth::new();
+            for &(p, j) in order {
+                h.observe("h1", Some(p), Some(j));
+            }
+            h.signal("h1")
+        };
+        let a = fold(&[(1.0, 0.2), (3.0, 0.1), (2.0, 0.5)]);
+        let b = fold(&[(2.0, 0.5), (1.0, 0.2), (3.0, 0.1)]);
+        assert_eq!(a, b);
+        assert_eq!(a.phi, 3.0);
+        assert_eq!(a.jitter, 0.5);
+        assert_eq!(a.attempts, 3);
+    }
+
+    #[test]
+    fn missing_signals_contribute_nothing() {
+        let mut h = HostHealth::new();
+        h.observe("h1", None, None);
+        let s = h.signal("h1");
+        assert_eq!((s.phi, s.jitter, s.attempts), (0.0, 0.0, 1));
+        assert_eq!(h.signal("unknown"), HostSignal::default());
+    }
+
+    #[test]
+    fn hosts_enumerate_sorted() {
+        let mut h = HostHealth::new();
+        assert!(h.is_empty());
+        h.observe("z", Some(1.0), None);
+        h.observe("a", Some(2.0), None);
+        let names: Vec<&str> = h.hosts().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "z"]);
+        assert!(!h.is_empty());
+    }
+}

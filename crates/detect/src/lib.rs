@@ -35,6 +35,7 @@ pub mod api;
 pub mod detector;
 pub mod exception;
 pub mod heartbeat;
+pub mod host_health;
 pub mod notify;
 pub mod phi;
 pub mod state;
@@ -44,6 +45,7 @@ pub use api::TaskNotifier;
 pub use detector::{Detection, Detector, DetectorPolicy, SuspicionInfo};
 pub use exception::{ExceptionDef, ExceptionRegistry};
 pub use heartbeat::{BeatOutcome, HeartbeatMonitor, Liveness};
+pub use host_health::{HostHealth, HostSignal};
 pub use notify::{Envelope, Notification, TaskId};
 pub use phi::{PhiAccrualDetector, PhiConfig};
 pub use state::{TaskState, TaskStateMachine};

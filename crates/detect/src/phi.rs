@@ -293,6 +293,17 @@ impl PhiAccrualDetector {
     pub fn samples(&self, task: TaskId) -> usize {
         self.watches.get(&task).map(|w| w.window.len()).unwrap_or(0)
     }
+
+    /// Windowed inter-arrival standard deviation for a task — the
+    /// heartbeat *jitter*, an early-warning signal (a host whose beats
+    /// grow erratic is often about to miss them entirely).  `None` until
+    /// the window has at least one sample.
+    pub fn jitter(&self, task: TaskId) -> Option<f64> {
+        self.watches
+            .get(&task)
+            .filter(|w| !w.window.is_empty())
+            .map(|w| w.stats().1)
+    }
 }
 
 /// Standard normal CDF via the Abramowitz & Stegun 7.1.26 erf

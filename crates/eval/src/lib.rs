@@ -27,7 +27,10 @@
 //!   redundancy-vs-replication comparison;
 //! * [`detect_sweep`] — extension: the failure-detection study (fixed
 //!   timeout vs φ-accrual over lossy heartbeat links: false-suspicion
-//!   rate, detection latency, completion time under false restarts).
+//!   rate, detection latency, completion time under false restarts);
+//! * [`sched_sweep`] — extension: the resilience-aware scheduling study
+//!   (oblivious vs scored placement on a heterogeneous grid: completion
+//!   time and wasted work across failure intensities).
 //!
 //! The samplers run at ~10⁷ draws/second, so the paper's 100 000-run
 //! estimates regenerate in milliseconds per point.
@@ -40,6 +43,7 @@ pub mod exception_dag;
 pub mod experiments;
 pub mod parallel;
 pub mod params;
+pub mod sched_sweep;
 pub mod stats;
 pub mod sweep;
 pub mod techniques;

@@ -109,6 +109,42 @@ impl DetectorSpec {
     }
 }
 
+/// Placement policy for every engine run on this Grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerSpec {
+    /// Blind option cycling plus breaker-skip (the default engine).
+    Oblivious,
+    /// Evidence-scored placement: φ levels, breaker state, windowed
+    /// failure rates, and λ/D priors derived from the declared hosts.
+    Resilient,
+}
+
+impl SchedulerSpec {
+    /// The engine-side policy this spec describes, with per-host failure
+    /// priors (λ = 1/MTTF, D = downtime) taken from `hosts`.
+    pub fn to_policy(&self, hosts: &[HostSpec]) -> grid_wfs::SchedulerPolicy {
+        match self {
+            SchedulerSpec::Oblivious => grid_wfs::SchedulerPolicy::Oblivious,
+            SchedulerSpec::Resilient => {
+                let priors = hosts
+                    .iter()
+                    .filter_map(|h| {
+                        h.mttf.map(|mttf| grid_wfs::HostPrior {
+                            host: h.hostname.clone(),
+                            lambda: 1.0 / mttf,
+                            downtime: h.downtime,
+                        })
+                    })
+                    .collect();
+                grid_wfs::SchedulerPolicy::Resilient(grid_wfs::ScorerConfig {
+                    priors,
+                    ..grid_wfs::ScorerConfig::default()
+                })
+            }
+        }
+    }
+}
+
 /// Behaviour profile of one program's tasks (virtual mode only).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProfileSpec {
@@ -136,6 +172,8 @@ pub struct GridSpec {
     /// Crash-presumption policy (default: each activity's declared fixed
     /// timeout).
     pub detector: Option<DetectorSpec>,
+    /// Placement policy (default: oblivious cycling).
+    pub scheduler: Option<SchedulerSpec>,
     /// Per-program behaviour profiles.
     pub profiles: Vec<ProfileSpec>,
 }
@@ -149,6 +187,7 @@ impl GridSpec {
             link: None,
             host_links: Vec::new(),
             detector: None,
+            scheduler: None,
             profiles: Vec::new(),
         }
     }
@@ -217,6 +256,20 @@ impl GridSpec {
     /// The engine-side crash-presumption policy for jobs on this Grid.
     pub fn detector_policy(&self) -> DetectorPolicy {
         self.detector.map(|d| d.to_policy()).unwrap_or_default()
+    }
+
+    /// Builder: set the placement policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerSpec) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// The engine-side placement policy for jobs on this Grid (priors
+    /// derived from the declared hosts' MTTF/downtime).
+    pub fn scheduler_policy(&self) -> grid_wfs::SchedulerPolicy {
+        self.scheduler
+            .map(|s| s.to_policy(&self.hosts))
+            .unwrap_or_default()
     }
 
     /// Builder: attach a behaviour profile.
@@ -325,6 +378,11 @@ impl GridSpec {
                 out.push_str(&format!("detector phi {threshold}\n"));
             }
         }
+        match &self.scheduler {
+            None => {}
+            Some(SchedulerSpec::Oblivious) => out.push_str("scheduler oblivious\n"),
+            Some(SchedulerSpec::Resilient) => out.push_str("scheduler resilient\n"),
+        }
         for p in &self.profiles {
             let ck = p
                 .checkpoint_period
@@ -404,6 +462,13 @@ impl GridSpec {
                             threshold: t.parse().map_err(|_| format!("bad threshold '{t}'"))?,
                         },
                         _ => return Err(format!("malformed detector line '{line}'")),
+                    });
+                }
+                Some("scheduler") => {
+                    spec.scheduler = Some(match f.next() {
+                        Some("oblivious") => SchedulerSpec::Oblivious,
+                        Some("resilient") => SchedulerSpec::Resilient,
+                        other => return Err(format!("unknown scheduler {other:?}")),
                     });
                 }
                 Some("profile") => {
@@ -542,6 +607,42 @@ mod tests {
         assert!(GridSpec::from_manifest("hostlink h 1.0").is_err());
         assert!(GridSpec::from_manifest("detector phi x").is_err());
         assert!(GridSpec::from_manifest("detector voodoo 1").is_err());
+        assert!(GridSpec::from_manifest("scheduler voodoo").is_err());
+    }
+
+    #[test]
+    fn scheduler_directive_round_trips_and_maps_to_policy() {
+        use grid_wfs::SchedulerPolicy;
+        // Unset: no manifest line (old state dirs stay byte-stable) and
+        // the default (oblivious) engine policy.
+        let unset = GridSpec::virtual_grid();
+        assert!(!unset.to_manifest().contains("scheduler"));
+        assert!(matches!(
+            unset.scheduler_policy(),
+            SchedulerPolicy::Oblivious
+        ));
+        for spec in [SchedulerSpec::Oblivious, SchedulerSpec::Resilient] {
+            let grid = GridSpec::virtual_grid()
+                .with_host("ok.example.org", 1.0)
+                .with_unreliable_host("flaky.example.org", 1.0, 50.0, 4.0)
+                .with_scheduler(spec);
+            let parsed = GridSpec::from_manifest(&grid.to_manifest()).unwrap();
+            assert_eq!(grid, parsed);
+        }
+        let resilient = GridSpec::virtual_grid()
+            .with_host("ok.example.org", 1.0)
+            .with_unreliable_host("flaky.example.org", 1.0, 50.0, 4.0)
+            .with_scheduler(SchedulerSpec::Resilient);
+        match resilient.scheduler_policy() {
+            SchedulerPolicy::Resilient(cfg) => {
+                // Only the unreliable host carries a prior, with λ = 1/MTTF.
+                assert_eq!(cfg.priors.len(), 1);
+                assert_eq!(cfg.priors[0].host, "flaky.example.org");
+                assert!((cfg.priors[0].lambda - 0.02).abs() < 1e-12);
+                assert_eq!(cfg.priors[0].downtime, 4.0);
+            }
+            other => panic!("expected resilient policy, got {other:?}"),
+        }
     }
 
     #[test]

@@ -73,7 +73,9 @@ pub mod service;
 mod table;
 mod worker;
 
-pub use gridspec::{DetectorSpec, ExecMode, GridSpec, HostSpec, LinkSpec, ProfileSpec};
+pub use gridspec::{
+    DetectorSpec, ExecMode, GridSpec, HostSpec, LinkSpec, ProfileSpec, SchedulerSpec,
+};
 pub use gridwfs_chaos::{relock, splitmix64, ChaosFs, FaultPlan, RealFs, StateFs};
 pub use gridwfs_storage::{
     Backend, ChaosStorage, CountersSnapshot, DirStorage, MemStorage, Op, Storage, WalStorage,

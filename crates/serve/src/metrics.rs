@@ -81,6 +81,16 @@ pub struct Counters {
     /// Expired leases observed by the takeover scanner before claiming
     /// (derived from the trace stream by [`TraceMetricsSink`]).
     pub lease_expirations: AtomicU64,
+    /// Live attempts pre-emptively moved off a suspected host by the
+    /// resilient scheduler (derived from the trace stream by
+    /// [`TraceMetricsSink`]).
+    pub rereplications: AtomicU64,
+    /// Retry placements the scorer routed away from the oblivious cycling
+    /// choice (derived from the trace stream by [`TraceMetricsSink`]).
+    pub steered_retries: AtomicU64,
+    /// Per-host checkpoint-interval adaptations journalled by the
+    /// resilient scheduler (derived from the trace stream).
+    pub adaptive_ckpt_updates: AtomicU64,
 }
 
 /// The registry: counters + the running-jobs gauge + the latency sketch.
@@ -307,6 +317,9 @@ impl Metrics {
             ("takeovers", get(&c.takeovers)),
             ("fenced_writes", get(&c.fenced_writes)),
             ("lease_expirations", get(&c.lease_expirations)),
+            ("rereplications", get(&c.rereplications)),
+            ("steered_retries", get(&c.steered_retries)),
+            ("adaptive_ckpt_updates", get(&c.adaptive_ckpt_updates)),
         ];
         for (i, (name, v)) in counters.iter().enumerate() {
             let comma = if i + 1 < counters.len() { "," } else { "" };
@@ -423,6 +436,19 @@ impl TraceSink for TraceMetricsSink {
             }
             TraceKind::WriteFenced { .. } => {
                 Metrics::incr(&self.metrics.counters.fenced_writes);
+            }
+            TraceKind::Rereplicate { .. } => {
+                Metrics::incr(&self.metrics.counters.rereplications);
+            }
+            TraceKind::PlacementScored {
+                steered: true,
+                attempt,
+                ..
+            } if *attempt > 1 => {
+                Metrics::incr(&self.metrics.counters.steered_retries);
+            }
+            TraceKind::CkptIntervalAdapted { .. } => {
+                Metrics::incr(&self.metrics.counters.adaptive_ckpt_updates);
             }
             _ => {}
         }
@@ -553,6 +579,59 @@ mod tests {
         assert!(json.contains("\"items_settled\": 3"), "{json}");
         assert!(json.contains("\"items_dead_lettered\": 1"), "{json}");
         assert!(json.contains("\"items_reprocessed\": 1"), "{json}");
+    }
+
+    #[test]
+    fn trace_sink_derives_resilient_scheduling_counters() {
+        let metrics = Arc::new(Metrics::new());
+        let sink = TraceMetricsSink::new(metrics.clone());
+        let ev = |kind| TraceEvent { at: 1.0, kind };
+        sink.record(&ev(TraceKind::Rereplicate {
+            activity: "a".into(),
+            slot: 0,
+            from: "h1".into(),
+            to: "h2".into(),
+            phi: 5.0,
+        }));
+        // A steered retry counts; an initial placement (attempt 1) and an
+        // unsteered retry do not.
+        sink.record(&ev(TraceKind::PlacementScored {
+            activity: "a".into(),
+            slot: 0,
+            attempt: 2,
+            host: "h2".into(),
+            score: 0.5,
+            steered: true,
+        }));
+        sink.record(&ev(TraceKind::PlacementScored {
+            activity: "a".into(),
+            slot: 0,
+            attempt: 1,
+            host: "h1".into(),
+            score: 0.0,
+            steered: true,
+        }));
+        sink.record(&ev(TraceKind::PlacementScored {
+            activity: "a".into(),
+            slot: 0,
+            attempt: 3,
+            host: "h1".into(),
+            score: 0.0,
+            steered: false,
+        }));
+        sink.record(&ev(TraceKind::CkptIntervalAdapted {
+            host: "h2".into(),
+            interval: 6.3,
+            mttf: 20.0,
+        }));
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        assert_eq!(get(&metrics.counters.rereplications), 1);
+        assert_eq!(get(&metrics.counters.steered_retries), 1);
+        assert_eq!(get(&metrics.counters.adaptive_ckpt_updates), 1);
+        let json = metrics.snapshot_json(0);
+        assert!(json.contains("\"rereplications\": 1"), "{json}");
+        assert!(json.contains("\"steered_retries\": 1"), "{json}");
+        assert!(json.contains("\"adaptive_ckpt_updates\": 1"), "{json}");
     }
 
     #[test]

@@ -199,6 +199,7 @@ pub(crate) fn build_engine(
         stop: Some(stop),
         deadline,
         detector: sub.grid.detector_policy(),
+        scheduler: sub.grid.scheduler_policy(),
         ..EngineConfig::default()
     };
     // The engine's trace stream always feeds the metrics registry; with a

@@ -42,8 +42,8 @@ use std::time::Duration;
 
 use grid_wfs::ItemState;
 use gridwfs_serve::{
-    recover, Backend, FaultPlan, GridSpec, JobId, MemStorage, ProfileSpec, Service, ServiceConfig,
-    Storage, Submission, SubmitError, WalStorage,
+    recover, Backend, FaultPlan, GridSpec, JobId, MemStorage, ProfileSpec, SchedulerSpec, Service,
+    ServiceConfig, Storage, Submission, SubmitError, WalStorage,
 };
 
 const JOBS: u64 = 5;
@@ -106,6 +106,35 @@ fn submission_foreach(i: u64) -> Submission {
                 soft_crash_mttf: None,
                 exception: Some(("flaky".into(), 1, 0.3)),
             }),
+        seed: 100 + i,
+        deadline: None,
+    }
+}
+
+/// A resilient-scheduler job: three options where the first host dies
+/// almost immediately, so the scorer must steer the retries.  Used by the
+/// targeted-panic sweep below to prove the resilient path keeps every
+/// chaos invariant — paired-run and cross-backend byte-identical
+/// journals included.
+fn submission_resilient(i: u64) -> Submission {
+    Submission {
+        name: format!("steer-{i}"),
+        workflow_xml: format!(
+            "<Workflow name='s{i}'>\
+               <Activity name='a' max_tries='4' interval='1'><Implement>p</Implement></Activity>\
+               <Program name='p' duration='{}'>\
+                 <Option hostname='doomed.host'/>\
+                 <Option hostname='ok1'/>\
+                 <Option hostname='ok2'/>\
+               </Program>\
+             </Workflow>",
+            3 + i
+        ),
+        grid: GridSpec::virtual_grid()
+            .with_unreliable_host("doomed.host", 1.0, 0.001, 1e6)
+            .with_host("ok1", 1.0)
+            .with_host("ok2", 1.0)
+            .with_scheduler(SchedulerSpec::Resilient),
         seed: 100 + i,
         deadline: None,
     }
@@ -385,6 +414,65 @@ fn sweep_everything_at_once() {
         "panic=0.15,stall=0.4,stall_ms=5,write=0.15,torn=0.2,rename=0.15,read=0.1",
         submission,
     );
+}
+
+/// The resilient scheduler under targeted chaos: job seed 101 always
+/// panics in phase 1 (`panic_seed`), and every job's first option is a
+/// host that dies at once, so retries must migrate off it.  The full
+/// sweep invariants apply — no deadlock, nothing lost (each job settles
+/// exactly once), and the steered journals are byte-identical across
+/// paired runs and backends: evidence-driven placement stays as
+/// deterministic as oblivious cycling.
+#[test]
+fn sweep_resilient_steering_under_targeted_panics() {
+    sweep(
+        "steer",
+        "panic_seed=101,stall=0.2,stall_ms=3",
+        submission_resilient,
+    );
+}
+
+/// Worker-count invariance for the resilient scheduler: the scorer's
+/// evidence is engine-local and journal-fed, so however many workers run
+/// the batch, each job's steered flight journal is byte-identical.
+#[test]
+fn resilient_journals_are_worker_count_invariant() {
+    let mut baseline: Option<BTreeMap<u64, Vec<u8>>> = None;
+    for workers in [1, 2, 4] {
+        let base = tmpdir(&format!("steer-workers-{workers}"));
+        let trace = base.join("trace");
+        let svc = Service::start(ServiceConfig {
+            workers,
+            queue_capacity: 64,
+            trace_dir: Some(trace.clone()),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let mut admitted = Vec::new();
+        for i in 0..JOBS {
+            admitted.push(svc.submit(submission_resilient(i)).unwrap().0);
+        }
+        assert!(svc.wait_all_terminal(Duration::from_secs(60)));
+        drop(svc.drain());
+        let mut journals = BTreeMap::new();
+        for &id in &admitted {
+            journals.insert(
+                id,
+                std::fs::read(recover::trace_path(&trace, JobId(id))).unwrap(),
+            );
+        }
+        match &baseline {
+            None => baseline = Some(journals),
+            Some(j0) => {
+                for (&id, bytes) in &journals {
+                    assert_eq!(
+                        bytes, &j0[&id],
+                        "steered journal for job {id} depends on worker count ({workers} workers)"
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Fan-outs under engine-level chaos only (panics + stalls, no storage

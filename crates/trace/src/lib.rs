@@ -387,6 +387,47 @@ pub enum TraceKind {
         /// 0-based item index.
         item: usize,
     },
+    /// engine: the resilience-aware scheduler scored the candidate hosts
+    /// and picked one.  `steered` is true when the choice differs from
+    /// the oblivious cycling base — the evidence changed the placement.
+    PlacementScored {
+        /// Owning activity.
+        activity: String,
+        /// Replica slot (or foreach item index).
+        slot: usize,
+        /// 1-based attempt number within the slot.
+        attempt: u32,
+        /// Chosen host.
+        host: String,
+        /// The chosen host's score (lower is healthier).
+        score: f64,
+        /// True when the scorer moved the attempt off the cycling base.
+        steered: bool,
+    },
+    /// engine: a live replica was pre-emptively moved off a host whose
+    /// suspicion level crossed the re-replication threshold.
+    Rereplicate {
+        /// Owning activity.
+        activity: String,
+        /// Replica slot being moved.
+        slot: usize,
+        /// Host the replica is leaving.
+        from: String,
+        /// Host the replacement attempt targets.
+        to: String,
+        /// φ level that triggered the move.
+        phi: f64,
+    },
+    /// engine: the per-host adaptive checkpoint interval changed —
+    /// Young's approximation √(2·C·MTTF) over the observed MTTF.
+    CkptIntervalAdapted {
+        /// Host the interval applies to.
+        host: String,
+        /// New checkpoint interval (nominal task seconds).
+        interval: f64,
+        /// Observed MTTF the interval was derived from.
+        mttf: f64,
+    },
 }
 
 impl TraceKind {
@@ -429,6 +470,9 @@ impl TraceKind {
             TraceKind::ItemDeadLettered { .. } => "item_dlq",
             TraceKind::ItemFailover { .. } => "item_failover",
             TraceKind::ItemReprocessed { .. } => "item_reprocess",
+            TraceKind::PlacementScored { .. } => "placement_scored",
+            TraceKind::Rereplicate { .. } => "rereplicate",
+            TraceKind::CkptIntervalAdapted { .. } => "ckpt_interval_adapted",
         }
     }
 }
@@ -735,6 +779,50 @@ impl TraceEvent {
                 o.push_str(",\"activity\":");
                 push_escaped(&mut o, activity);
                 o.push_str(&format!(",\"item\":{item}"));
+            }
+            TraceKind::PlacementScored {
+                activity,
+                slot,
+                attempt,
+                host,
+                score,
+                steered,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(",\"slot\":{slot},\"attempt\":{attempt},\"host\":"));
+                push_escaped(&mut o, host);
+                o.push_str(",\"score\":");
+                push_f64(&mut o, *score);
+                o.push_str(&format!(",\"steered\":{steered}"));
+            }
+            TraceKind::Rereplicate {
+                activity,
+                slot,
+                from,
+                to,
+                phi,
+            } => {
+                o.push_str(",\"activity\":");
+                push_escaped(&mut o, activity);
+                o.push_str(&format!(",\"slot\":{slot},\"from\":"));
+                push_escaped(&mut o, from);
+                o.push_str(",\"to\":");
+                push_escaped(&mut o, to);
+                o.push_str(",\"phi\":");
+                push_f64(&mut o, *phi);
+            }
+            TraceKind::CkptIntervalAdapted {
+                host,
+                interval,
+                mttf,
+            } => {
+                o.push_str(",\"host\":");
+                push_escaped(&mut o, host);
+                o.push_str(",\"interval\":");
+                push_f64(&mut o, *interval);
+                o.push_str(",\"mttf\":");
+                push_f64(&mut o, *mttf);
             }
         }
         o.push('}');
@@ -1196,6 +1284,53 @@ mod tests {
                     },
                 ),
                 r#"{"at":0,"kind":"item_reprocess","activity":"map","item":4}"#,
+            ),
+        ];
+        for (event, wire) in cases {
+            assert_eq!(event.to_json(), wire);
+        }
+    }
+
+    #[test]
+    fn scheduler_kinds_have_stable_wire_forms() {
+        let cases = [
+            (
+                ev(
+                    2.5,
+                    TraceKind::PlacementScored {
+                        activity: "a".into(),
+                        slot: 0,
+                        attempt: 2,
+                        host: "h2".into(),
+                        score: 0.75,
+                        steered: true,
+                    },
+                ),
+                r#"{"at":2.5,"kind":"placement_scored","activity":"a","slot":0,"attempt":2,"host":"h2","score":0.75,"steered":true}"#,
+            ),
+            (
+                ev(
+                    8.0,
+                    TraceKind::Rereplicate {
+                        activity: "a".into(),
+                        slot: 1,
+                        from: "h1".into(),
+                        to: "h3".into(),
+                        phi: 2.5,
+                    },
+                ),
+                r#"{"at":8,"kind":"rereplicate","activity":"a","slot":1,"from":"h1","to":"h3","phi":2.5}"#,
+            ),
+            (
+                ev(
+                    10.0,
+                    TraceKind::CkptIntervalAdapted {
+                        host: "h1".into(),
+                        interval: 7.75,
+                        mttf: 30.0,
+                    },
+                ),
+                r#"{"at":10,"kind":"ckpt_interval_adapted","host":"h1","interval":7.75,"mttf":30}"#,
             ),
         ];
         for (event, wire) in cases {

@@ -12,6 +12,7 @@
 //!                  [--checkpoint state.xml] [--resume state.xml]
 //!                  [--timeline] [--verbose] [--json report.json]
 //!                  [--trace trace.jsonl] [--detector phi:8]
+//!                  [--scheduler resilient]
 //! gridwfs resume   state.xml --grid grid.json [run options]
 //! gridwfs serve    wf1.xml wf2.xml ... --grid grid.json [--workers N]
 //!                  [--queue N] [--state-dir DIR] [--deadline S]
@@ -165,6 +166,11 @@ pub struct GridConfig {
     /// timeout).  `--detector` overrides this.
     #[serde(default)]
     pub detector: Option<String>,
+    /// Placement policy: `"oblivious"` (default) or `"resilient"`
+    /// (evidence-scored placement with failure priors derived from the
+    /// hosts' MTTF/downtime).  `--scheduler` overrides this.
+    #[serde(default)]
+    pub scheduler: Option<String>,
     /// Per-program behaviour profiles, keyed by program name.
     #[serde(default)]
     pub profiles: std::collections::BTreeMap<String, ProfileConfig>,
@@ -306,6 +312,9 @@ pub struct RunOptions {
     /// Crash-presumption policy: `phi:<threshold>` or
     /// `timeout[:<tolerance>]` (overrides the grid config's `detector`).
     pub detector: Option<String>,
+    /// Placement policy: `oblivious` or `resilient` (overrides the grid
+    /// config's `scheduler`).
+    pub scheduler: Option<String>,
 }
 
 /// Parses a detector spec: `phi:<threshold>` or `timeout[:<tolerance>]`.
@@ -358,6 +367,46 @@ fn resolve_detector(
         Some(spec) => parse_detector(spec).map(Some),
         None => Ok(None),
     }
+}
+
+/// Parses a scheduler spec: `oblivious` or `resilient`.
+pub fn parse_scheduler(spec: &str) -> Result<gridwfs_serve::SchedulerSpec, CliError> {
+    use gridwfs_serve::SchedulerSpec;
+    match spec {
+        "oblivious" => Ok(SchedulerSpec::Oblivious),
+        "resilient" => Ok(SchedulerSpec::Resilient),
+        other => err(format!(
+            "unknown scheduler '{other}' (use oblivious or resilient)"
+        )),
+    }
+}
+
+/// The scheduler spec a run should use: the CLI flag wins over the grid
+/// config's `scheduler` field; neither means the engine default
+/// (oblivious — existing journals stay byte-identical).
+fn resolve_scheduler(
+    cli: &Option<String>,
+    cfg: &GridConfig,
+) -> Result<Option<gridwfs_serve::SchedulerSpec>, CliError> {
+    match cli.as_deref().or(cfg.scheduler.as_deref()) {
+        Some(spec) => parse_scheduler(spec).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// The hosts of a [`GridConfig`] as [`HostSpec`]s — what
+/// [`gridwfs_serve::SchedulerSpec::to_policy`] derives failure priors
+/// from.
+fn host_specs(cfg: &GridConfig) -> Vec<HostSpec> {
+    cfg.hosts
+        .iter()
+        .map(|h| HostSpec {
+            hostname: h.hostname.clone(),
+            speed: h.speed,
+            mttf: h.mttf,
+            downtime: h.downtime,
+        })
+        .collect()
 }
 
 /// Renders a [`Report`] as machine-readable JSON (schema 1): outcome,
@@ -509,6 +558,9 @@ pub fn run_with_config(cfg: &GridConfig, opts: &RunOptions) -> Result<(Report, S
     config.checkpoint_path = opts.checkpoint.clone();
     if let Some(spec) = resolve_detector(&opts.detector, cfg)? {
         config.detector = spec.to_policy();
+    }
+    if let Some(spec) = resolve_scheduler(&opts.scheduler, cfg)? {
+        config.scheduler = spec.to_policy(&host_specs(cfg));
     }
     if let Some(threshold) = opts.breaker {
         if threshold == 0 {
@@ -687,6 +739,7 @@ pub fn grid_config_to_spec(cfg: &GridConfig, mode: ExecMode) -> Result<GridSpec,
         ));
     }
     spec.detector = resolve_detector(&None, cfg)?;
+    spec.scheduler = resolve_scheduler(&None, cfg)?;
     for (program, p) in &cfg.profiles {
         spec.profiles.push(ProfileSpec {
             program: program.clone(),
@@ -1008,6 +1061,11 @@ RUN OPTIONS:
   --detector <spec>    crash-presumption policy: phi:<threshold> (adaptive
                        φ-accrual) or timeout[:<tolerance>] (fixed timeout);
                        overrides the grid config's \"detector\" field
+  --scheduler <name>   placement policy: oblivious (cycle declared options,
+                       the default) or resilient (score hosts by live
+                       failure evidence — φ, breaker state, failure rate —
+                       plus MTTF priors from the grid config); overrides
+                       the grid config's \"scheduler\" field
   --timeline           render an ASCII Gantt of all attempts
   --verbose            include the full engine log
   --json <file>        also write a machine-readable JSON report
@@ -1105,6 +1163,12 @@ fn parse_run_opts<'a>(
                     None => {
                         return err("--detector requires phi:<threshold> or timeout[:<tolerance>]")
                     }
+                }
+            }
+            "--scheduler" => {
+                opts.scheduler = match rest.next() {
+                    Some(spec) => Some(spec.clone()),
+                    None => return err("--scheduler requires oblivious or resilient"),
                 }
             }
             "--timeline" => opts.timeline = true,
@@ -1526,6 +1590,7 @@ mod tests {
             link: None,
             host_links: Default::default(),
             detector: None,
+            scheduler: None,
             profiles: std::iter::once((
                 "p".to_string(),
                 ProfileConfig {
@@ -1680,6 +1745,7 @@ mod tests {
             link: None,
             host_links: Default::default(),
             detector: None,
+            scheduler: None,
             profiles: Default::default(),
         };
         let opts = ServeOptions {
@@ -1711,6 +1777,7 @@ mod tests {
             link: None,
             host_links: Default::default(),
             detector: None,
+            scheduler: None,
             profiles: Default::default(),
         };
         let no_work = ServeOptions::default();
@@ -1923,6 +1990,96 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_specs_parse_and_validate() {
+        use gridwfs_serve::SchedulerSpec;
+        assert_eq!(
+            parse_scheduler("oblivious").unwrap(),
+            SchedulerSpec::Oblivious
+        );
+        assert_eq!(
+            parse_scheduler("resilient").unwrap(),
+            SchedulerSpec::Resilient
+        );
+        assert!(parse_scheduler("voodoo").is_err());
+        assert!(parse_scheduler("").is_err());
+    }
+
+    #[test]
+    fn run_scheduler_flag_selects_the_policy() {
+        let dir = tmpdir();
+        let wf = dir.join("wf.xml");
+        std::fs::write(&wf, WF).unwrap();
+        let cfg = grid_literal();
+        // The default and an explicit --scheduler oblivious must produce
+        // byte-identical journals: resilient scheduling is opt-in.
+        let mut journals = Vec::new();
+        for (i, scheduler) in [None, Some("oblivious".to_string())]
+            .into_iter()
+            .enumerate()
+        {
+            let trace = dir.join(format!("sched-{i}.trace.jsonl"));
+            let opts = RunOptions {
+                workflow: Some(wf.clone()),
+                scheduler,
+                trace: Some(trace.clone()),
+                ..RunOptions::default()
+            };
+            let (report, out) = run_with_config(&cfg, &opts).unwrap();
+            assert!(report.is_success(), "{out}");
+            journals.push(std::fs::read(&trace).unwrap());
+        }
+        assert_eq!(journals[0], journals[1]);
+        // Resilient runs succeed and journal their placement decisions.
+        let trace = dir.join("sched-resilient.trace.jsonl");
+        let opts = RunOptions {
+            workflow: Some(wf.clone()),
+            scheduler: Some("resilient".into()),
+            trace: Some(trace.clone()),
+            ..RunOptions::default()
+        };
+        let (report, out) = run_with_config(&cfg, &opts).unwrap();
+        assert!(report.is_success(), "{out}");
+        let journal = std::fs::read_to_string(&trace).unwrap();
+        assert!(journal.contains("\"placement_scored\""), "{journal}");
+        // ... and a bad spec is rejected politely.
+        let bad = RunOptions {
+            workflow: Some(wf),
+            scheduler: Some("voodoo".into()),
+            ..RunOptions::default()
+        };
+        assert!(run_with_config(&cfg, &bad).is_err());
+        let args: Vec<String> = ["run", "wf.xml", "--scheduler"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (code, out) = main_with_args(&args);
+        assert_eq!(code, 2);
+        assert!(out.contains("--scheduler"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn grid_config_scheduler_flows_into_the_spec() {
+        let mut cfg = grid_literal();
+        cfg.scheduler = Some("resilient".into());
+        let spec = grid_config_to_spec(&cfg, ExecMode::Virtual).unwrap();
+        assert_eq!(
+            spec.scheduler,
+            Some(gridwfs_serve::SchedulerSpec::Resilient)
+        );
+        match spec.scheduler_policy() {
+            grid_wfs::SchedulerPolicy::Resilient(scorer) => {
+                // Priors come from the config's unreliable hosts only.
+                assert_eq!(scorer.priors.len(), 1);
+                assert_eq!(scorer.priors[0].host, "h2");
+            }
+            other => panic!("expected resilient policy, got {other:?}"),
+        }
+        cfg.scheduler = Some("voodoo".into());
+        assert!(grid_config_to_spec(&cfg, ExecMode::Virtual).is_err());
+    }
+
+    #[test]
     fn grid_config_lossy_extensions_flow_into_the_spec() {
         let mut cfg = grid_literal();
         cfg.link = Some(LinkConfig {
@@ -2030,6 +2187,7 @@ mod tests {
             link: None,
             host_links: Default::default(),
             detector: None,
+            scheduler: None,
             profiles: std::iter::once((
                 "m".to_string(),
                 ProfileConfig {

@@ -168,6 +168,7 @@ fn recovery_demo_grid() -> GridConfig {
         link: None,
         host_links: Default::default(),
         detector: None,
+        scheduler: None,
         profiles: [
             (
                 "fast_impl".to_string(),
@@ -207,6 +208,7 @@ fn flaky_grid() -> GridConfig {
         link: None,
         host_links: Default::default(),
         detector: None,
+        scheduler: None,
         profiles: std::iter::once((
             "mapper".to_string(),
             ProfileConfig {
